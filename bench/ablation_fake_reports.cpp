@@ -1,0 +1,81 @@
+// Ablation: the fake-report budget n_r (PEOS §VI design choice).
+//
+// Sweeps n_r at fixed central target ε_c and prints, per Corollary 8:
+//   * ε_s — privacy against colluding users (improves with n_r),
+//   * the admissible local ε_l (grows with n_r: blanket shifts to fakes),
+//   * the optimal d' (grows with n_r; see the paper-typo note in
+//     EXPERIMENTS.md),
+//   * the predicted and simulated estimator variance.
+//
+// Flags: --epsc=0.5, --reps=10, --scale=1.0.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "data/datasets.h"
+#include "dp/amplification.h"
+#include "ldp/estimator.h"
+#include "ldp/fast_sim.h"
+#include "ldp/local_hash.h"
+#include "util/stats.h"
+
+using namespace shuffledp;
+using bench::Flags;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double eps_c = flags.GetDouble("epsc", 0.5);
+  const int reps = static_cast<int>(flags.GetU64("reps", 10));
+  const double scale = flags.GetDouble("scale", 1.0);
+  const double delta = 1e-9;
+
+  data::Dataset ds = data::MakeSyntheticIpums(20200802, scale);
+  const uint64_t n = ds.user_count();
+  const uint64_t d = ds.domain_size;
+  auto counts = ds.ValueCounts();
+  auto truth = ds.Frequencies();
+  std::vector<uint64_t> eval(d);
+  for (uint64_t v = 0; v < d; ++v) eval[v] = v;
+
+  std::printf("== Ablation: PEOS fake reports n_r (eps_c=%.2f, n=%llu) ==\n\n",
+              eps_c, static_cast<unsigned long long>(n));
+  std::printf("%10s %10s %10s %8s %14s %14s\n", "n_r", "eps_s", "eps_l",
+              "d'", "predicted var", "simulated MSE");
+
+  Rng rng(9);
+  for (uint64_t n_r : {uint64_t{0}, n / 100, n / 20, n / 10, n / 4, n / 2,
+                       n}) {
+    auto oracle = ldp::MakePeosSolh(eps_c, n, n_r, d, delta);
+    if (!oracle.ok()) continue;
+    uint64_t d_prime = (*oracle)->report_domain();
+    double eps_l = (*oracle)->epsilon_local();
+    double eps_s =
+        n_r == 0 ? std::numeric_limits<double>::infinity()
+                 : dp::PeosEpsAgainstUsers(n_r, d_prime, delta);
+    double predicted =
+        dp::LocalHashVarianceLocal(eps_l, n + n_r, d_prime) *
+        std::pow(static_cast<double>(n + n_r) / static_cast<double>(n), 2);
+
+    RunningStat mse;
+    ldp::SupportProbs probs = (*oracle)->support_probs();
+    probs.q_fake = (*oracle)->OrdinalFakeSupportProb();
+    for (int t = 0; t < reps; ++t) {
+      auto supports =
+          ldp::FastSimulateSupports(probs, counts, n, n_r, &rng);
+      auto est = ldp::CalibrateEstimatesOrdinal(**oracle, supports, n, n_r);
+      mse.Add(MeanSquaredErrorAt(truth, est, eval));
+    }
+    std::printf("%10llu %10.3f %10.3f %8llu %14.3e %14.3e\n",
+                static_cast<unsigned long long>(n_r), eps_s, eps_l,
+                static_cast<unsigned long long>(d_prime), predicted,
+                mse.mean());
+  }
+
+  std::printf(
+      "\nReading: at fixed eps_c, fake reports strictly improve utility\n"
+      "(cheap blanket) while also bounding eps_s against colluding users —\n"
+      "the reason PEOS dominates plain shuffling in the paper's Table II/III\n"
+      "setting. The cost is protocol bandwidth, not estimator accuracy.\n");
+  return 0;
+}

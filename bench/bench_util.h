@@ -1,0 +1,75 @@
+// Shared helpers for the reproduction benchmarks: tiny flag parsing and
+// table printing so every bench binary reads the same way.
+
+#ifndef SHUFFLEDP_BENCH_BENCH_UTIL_H_
+#define SHUFFLEDP_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace shuffledp {
+namespace bench {
+
+/// Parses "--name=value" style flags; missing flags keep their defaults.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  uint64_t GetU64(const std::string& name, uint64_t def) const {
+    std::string v = Raw(name);
+    return v.empty() ? def : std::strtoull(v.c_str(), nullptr, 10);
+  }
+
+  double GetDouble(const std::string& name, double def) const {
+    std::string v = Raw(name);
+    return v.empty() ? def : std::strtod(v.c_str(), nullptr);
+  }
+
+  bool GetBool(const std::string& name, bool def) const {
+    for (const auto& a : args_) {
+      if (a == "--" + name) return true;
+      if (a == "--no" + name) return false;
+    }
+    std::string v = Raw(name);
+    if (v.empty()) return def;
+    return v == "1" || v == "true" || v == "yes";
+  }
+
+ private:
+  std::string Raw(const std::string& name) const {
+    std::string prefix = "--" + name + "=";
+    for (const auto& a : args_) {
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    }
+    return "";
+  }
+
+  std::vector<std::string> args_;
+};
+
+/// Prints a row of right-aligned scientific-notation cells after a label.
+inline void PrintRow(const std::string& label,
+                     const std::vector<double>& cells, int width = 11) {
+  std::printf("%-10s", label.c_str());
+  for (double c : cells) std::printf(" %*.3e", width, c);
+  std::printf("\n");
+}
+
+inline void PrintHeader(const std::string& label,
+                        const std::vector<std::string>& cols,
+                        int width = 11) {
+  std::printf("%-10s", label.c_str());
+  for (const auto& c : cols) std::printf(" %*s", width, c.c_str());
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_BENCH_BENCH_UTIL_H_

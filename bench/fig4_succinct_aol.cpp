@@ -1,0 +1,89 @@
+// Figure 4 reproduction: succinct-histogram (TreeHist) precision on the
+// AOL-shaped workload — identify the top-32 most frequent 48-bit strings
+// in 6 rounds of 8 bits.
+//
+// LDP methods (OLH, Had) split users into 6 groups at ε_l = ε_c per user;
+// shuffle methods (SH, SOLH, AUE, RAP, RAP_R) and Lap use all users each
+// round with ε_c/6 and δ/6 per round (the paper's better strategy).
+//
+// Flags: --scale=1.0, --reps=5, --topk=32.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/methods.h"
+#include "data/datasets.h"
+#include "hist/tree_hist.h"
+#include "util/stats.h"
+
+using namespace shuffledp;
+using bench::Flags;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const double scale = flags.GetDouble("scale", 1.0);
+  const int reps = static_cast<int>(flags.GetU64("reps", 5));
+  const size_t top_k = flags.GetU64("topk", 32);
+  const double delta = 1e-9;
+  const unsigned rounds = 6;
+
+  data::Dataset ds = data::MakeSyntheticAol(20200802, scale);
+  auto truth = ds.TopK(top_k);
+
+  std::printf("== Figure 4: succinct histogram precision, AOL-shaped "
+              "(n=%llu, 48-bit strings, top-%zu, reps=%d) ==\n\n",
+              static_cast<unsigned long long>(ds.user_count()), top_k, reps);
+
+  const std::vector<core::Method> methods = {
+      core::Method::kOlh, core::Method::kHad,  core::Method::kLap,
+      core::Method::kSh,  core::Method::kSolh, core::Method::kAue,
+      core::Method::kRap, core::Method::kRapRemoval};
+  std::vector<std::string> names;
+  for (auto m : methods) names.emplace_back(core::MethodName(m));
+  bench::PrintHeader("eps_c", names, 8);
+
+  Rng rng(123);
+  for (double eps_c = 0.2; eps_c <= 1.001; eps_c += 0.2) {
+    std::vector<double> row;
+    for (auto method : methods) {
+      const bool ldp = !core::IsShuffleMethod(method) &&
+                       method != core::Method::kLap;
+      // LDP: groups at full ε; shuffle/central: everyone at ε/rounds.
+      double eps_round = ldp ? eps_c : eps_c / rounds;
+      double delta_round = ldp ? delta : delta / rounds;
+      auto estimator =
+          core::MakeRoundEstimator(method, eps_round, delta_round);
+      if (!estimator.ok()) {
+        row.push_back(-1);
+        continue;
+      }
+      hist::TreeHistConfig config;
+      config.total_bits = 48;
+      config.bits_per_round = 8;
+      config.top_k = top_k;
+      config.split_users = ldp;
+
+      RunningStat precision;
+      for (int t = 0; t < reps; ++t) {
+        auto result = hist::RunTreeHist(ds.values, config, *estimator, &rng);
+        if (!result.ok()) {
+          std::fprintf(stderr, "TreeHist failed: %s\n",
+                       result.status().ToString().c_str());
+          return 1;
+        }
+        precision.Add(TopKPrecision(result->heavy_hitters, truth));
+      }
+      row.push_back(precision.mean());
+    }
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1f", eps_c);
+    std::printf("%-10s", label);
+    for (double p : row) std::printf(" %8.3f", p);
+    std::printf("\n");
+  }
+
+  std::printf("\nExpected shape (paper SVII-C): all shuffle methods except "
+              "SH beat the LDP TreeHist;\nSOLH also allows non-interactive "
+              "execution (users can upload all prefixes at once).\n");
+  return 0;
+}

@@ -1,0 +1,209 @@
+// Microbenchmarks (google-benchmark) for every cryptographic and
+// mechanism primitive on the PEOS / SS critical paths — the per-operation
+// numbers behind Table III.
+
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes.h"
+#include "crypto/bigint.h"
+#include "crypto/ecies.h"
+#include "crypto/paillier.h"
+#include "crypto/secret_sharing.h"
+#include "crypto/secure_random.h"
+#include "crypto/sha256.h"
+#include "ldp/grr.h"
+#include "ldp/hadamard.h"
+#include "ldp/local_hash.h"
+#include "util/hash.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace shuffledp;
+using namespace shuffledp::crypto;
+
+SecureRandom& Srng() {
+  static SecureRandom* rng = new SecureRandom(uint64_t{1});
+  return *rng;
+}
+
+void BM_XxHash64_8B(benchmark::State& state) {
+  uint64_t key = 0x1234567890ABCDEFULL;
+  uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(XxHash64(&key, sizeof(key), seed++));
+  }
+}
+BENCHMARK(BM_XxHash64_8B);
+
+void BM_Sha256_64B(benchmark::State& state) {
+  Bytes data(64, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+}
+BENCHMARK(BM_Sha256_64B);
+
+void BM_Aes128_EncryptBlock(benchmark::State& state) {
+  Aes128 aes(std::array<uint8_t, 16>{});
+  uint8_t block[16] = {0};
+  for (auto _ : state) {
+    aes.EncryptBlock(block, block);
+    benchmark::DoNotOptimize(block);
+  }
+}
+BENCHMARK(BM_Aes128_EncryptBlock);
+
+void BM_BigInt_ModMul(benchmark::State& state) {
+  const size_t bits = static_cast<size_t>(state.range(0));
+  BigInt m = BigInt::RandomWithBits(bits, &Srng());
+  BigInt a = BigInt::RandomBelow(m, &Srng());
+  BigInt b = BigInt::RandomBelow(m, &Srng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.ModMul(b, m));
+  }
+}
+BENCHMARK(BM_BigInt_ModMul)->Arg(1024)->Arg(2048)->Arg(4096);
+
+void BM_BigInt_ModExp(benchmark::State& state) {
+  const size_t bits = static_cast<size_t>(state.range(0));
+  BigInt m = BigInt::RandomWithBits(bits, &Srng());
+  if (!m.IsOdd()) m = m.Add(BigInt(1));
+  BigInt a = BigInt::RandomBelow(m, &Srng());
+  BigInt e = BigInt::RandomWithBits(bits / 2, &Srng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.ModExp(e, m));
+  }
+}
+BENCHMARK(BM_BigInt_ModExp)->Arg(512)->Arg(1024)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+struct PaillierFixture {
+  PaillierKeyPair kp;
+  RandomizerPool* pool;
+  PaillierFixture() {
+    auto k = PaillierGenerateKeyPair(1024, &Srng());
+    kp = std::move(k).value();
+    pool = new RandomizerPool(kp.pub, 16, &Srng());
+  }
+};
+
+PaillierFixture& Paillier() {
+  static PaillierFixture* f = new PaillierFixture();
+  return *f;
+}
+
+void BM_Paillier_EncryptExact(benchmark::State& state) {
+  auto& f = Paillier();
+  uint64_t m = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.kp.pub.EncryptU64(m++, &Srng()));
+  }
+}
+BENCHMARK(BM_Paillier_EncryptExact)->Unit(benchmark::kMillisecond);
+
+void BM_Paillier_EncryptPooled(benchmark::State& state) {
+  auto& f = Paillier();
+  uint64_t m = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.pool->EncryptFastU64(m++, &Srng()));
+  }
+}
+BENCHMARK(BM_Paillier_EncryptPooled);
+
+void BM_Paillier_Decrypt(benchmark::State& state) {
+  auto& f = Paillier();
+  auto c = f.kp.pub.EncryptU64(123456, &Srng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.kp.priv.Decrypt(*c));
+  }
+}
+BENCHMARK(BM_Paillier_Decrypt)->Unit(benchmark::kMillisecond);
+
+void BM_Paillier_HomomorphicAdd(benchmark::State& state) {
+  auto& f = Paillier();
+  auto c1 = f.kp.pub.EncryptU64(1, &Srng());
+  auto c2 = f.kp.pub.EncryptU64(2, &Srng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.kp.pub.Add(*c1, *c2));
+  }
+}
+BENCHMARK(BM_Paillier_HomomorphicAdd);
+
+void BM_P256_ScalarBaseMult(benchmark::State& state) {
+  Scalar256 k = P256::RandomScalar(&Srng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(P256::ScalarBaseMult(k));
+    k[0]++;
+  }
+}
+BENCHMARK(BM_P256_ScalarBaseMult)->Unit(benchmark::kMicrosecond);
+
+void BM_Ecies_Encrypt32B(benchmark::State& state) {
+  auto kp = EciesGenerateKeyPair(&Srng());
+  Bytes msg(32, 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EciesEncrypt(kp.public_key, msg, &Srng()));
+  }
+}
+BENCHMARK(BM_Ecies_Encrypt32B)->Unit(benchmark::kMicrosecond);
+
+void BM_Ecies_Decrypt32B(benchmark::State& state) {
+  auto kp = EciesGenerateKeyPair(&Srng());
+  Bytes blob = EciesEncrypt(kp.public_key, Bytes(32, 0x5A), &Srng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EciesDecrypt(kp.private_key, blob));
+  }
+}
+BENCHMARK(BM_Ecies_Decrypt32B)->Unit(benchmark::kMicrosecond);
+
+void BM_SecretShare_Split(benchmark::State& state) {
+  const size_t r = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SplitShares2Ell(0xDEADBEEF, r, 64, &Srng()));
+  }
+}
+BENCHMARK(BM_SecretShare_Split)->Arg(3)->Arg(7);
+
+void BM_Oracle_Encode(benchmark::State& state) {
+  Rng rng(7);
+  ldp::LocalHash solh(4.0, 42178, 64, "SOLH");
+  uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solh.Encode(v++ % 42178, &rng));
+  }
+}
+BENCHMARK(BM_Oracle_Encode);
+
+void BM_Oracle_SupportScan(benchmark::State& state) {
+  // Server-side cost: one support test (the O(n d) aggregation kernel).
+  Rng rng(8);
+  ldp::LocalHash solh(4.0, 42178, 64, "SOLH");
+  auto report = solh.Encode(5, &rng);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solh.Supports(report, v++ % 42178));
+  }
+}
+BENCHMARK(BM_Oracle_SupportScan);
+
+void BM_Grr_Encode(benchmark::State& state) {
+  Rng rng(9);
+  ldp::Grr grr(1.0, 915);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grr.Encode(v++ % 915, &rng));
+  }
+}
+BENCHMARK(BM_Grr_Encode);
+
+void BM_Binomial_LargeN(benchmark::State& state) {
+  Rng rng(10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Binomial(1000000, 0.001));
+  }
+}
+BENCHMARK(BM_Binomial_LargeN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

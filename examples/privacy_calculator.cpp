@@ -1,0 +1,65 @@
+// Privacy calculator: explore the amplification landscape for your own
+// deployment parameters before running anything.
+//
+// Prints, for a given (n, d, δ):
+//   * the ε_l -> ε_c amplification curves (Table I bounds + Theorems 2/3),
+//   * SH's amplification threshold on this domain,
+//   * the SOLH configuration (d', ε_l) for a range of central targets,
+//   * a full PEOS plan for three-adversary goals.
+//
+// Usage:  ./build/examples/privacy_calculator [--n=602325] [--d=915]
+//         [--delta=1e-9] [--eps1=0.5] [--eps2=2] [--eps3=8]
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/planner.h"
+#include "dp/amplification.h"
+
+using namespace shuffledp;
+using bench::Flags;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const uint64_t n = flags.GetU64("n", 602325);
+  const uint64_t d = flags.GetU64("d", 915);
+  const double delta = flags.GetDouble("delta", 1e-9);
+
+  std::printf("deployment: n=%llu users, domain d=%llu, delta=%.0e\n\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(d), delta);
+
+  double threshold = std::sqrt(14.0 * std::log(2.0 / delta) *
+                               static_cast<double>(d) /
+                               static_cast<double>(n - 1));
+  std::printf("SH (GRR+shuffle) amplification threshold on this domain: "
+              "eps_c > %.3f\n", threshold);
+  std::printf("below it, GRR gains nothing from shuffling — use SOLH.\n\n");
+
+  std::printf("SOLH configuration per central target:\n");
+  std::printf("%8s %8s %10s %14s\n", "eps_c", "d'", "eps_l", "pred. var");
+  for (double eps_c : {0.1, 0.2, 0.5, 1.0}) {
+    uint64_t d_prime = dp::OptimalSolhDPrime(eps_c, n, delta);
+    double eps_l = dp::InverseSolhEpsLocal(eps_c, n, d_prime, delta);
+    double var = dp::SolhVarianceCentral(eps_c, n, d_prime, delta);
+    std::printf("%8.2f %8llu %10.3f %14.3e\n", eps_c,
+                static_cast<unsigned long long>(d_prime), eps_l, var);
+  }
+
+  core::PrivacyGoals goals;
+  goals.eps_server = flags.GetDouble("eps1", 0.5);
+  goals.eps_users = flags.GetDouble("eps2", 2.0);
+  goals.eps_local = flags.GetDouble("eps3", 8.0);
+  goals.delta = delta;
+  std::printf("\nPEOS plan for goals (eps1=%.2f vs server, eps2=%.2f vs "
+              "colluding users, eps3=%.2f LDP floor):\n",
+              goals.eps_server, goals.eps_users, goals.eps_local);
+  auto plan = core::PlanPeos(goals, n, d);
+  if (plan.ok()) {
+    std::printf("  %s\n", plan->ToString().c_str());
+  } else {
+    std::printf("  infeasible: %s\n", plan.status().ToString().c_str());
+  }
+  return 0;
+}

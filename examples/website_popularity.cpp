@@ -1,0 +1,88 @@
+// Scenario from the paper's §V-C: a server measures website popularity;
+// a malicious shuffler wants to promote a target website by poisoning
+// the data collection.
+//
+// This example runs the same attack against both protocols:
+//   * SS (sequential shuffle): the malicious shuffler draws its fake
+//     reports from a point mass on the target site. The spot check
+//     cannot see it (fakes are legitimate!) and the target's estimated
+//     popularity inflates massively.
+//   * PEOS: the malicious shuffler can only bias its own *shares* of the
+//     fake reports; one honest shuffler's uniform share re-randomizes
+//     every fake, so the attack is neutralized by construction.
+//
+// Build & run:  ./build/examples/website_popularity
+
+#include <cstdio>
+
+#include "crypto/secure_random.h"
+#include "data/datasets.h"
+#include "ldp/grr.h"
+#include "shuffle/peos.h"
+#include "shuffle/sequential_shuffle.h"
+
+using namespace shuffledp;
+
+int main() {
+  const uint64_t n = 4000;      // users
+  const uint64_t d = 16;        // websites
+  const uint64_t target = 13;   // the site the attacker promotes
+  const uint64_t fakes = 2000;  // n_r
+
+  // Zipf popularity: site 0 most popular; the target is unpopular.
+  data::Dataset ds = data::MakeZipfDataset("sites", n, d, 1.3, 7);
+  auto truth = ds.Frequencies();
+  ldp::Grr oracle(4.0, d);
+  crypto::SecureRandom rng;
+
+  std::printf("true popularity:   site0=%.3f  target(site%llu)=%.4f\n\n",
+              truth[0], static_cast<unsigned long long>(target),
+              truth[target]);
+
+  // --- Attack on SS ---------------------------------------------------------
+  shuffle::SequentialShuffleConfig ss;
+  ss.num_shufflers = 3;
+  ss.fake_reports_total = fakes;
+  ss.spot_check_dummies = 50;
+  ss.poison_target_value = target;
+  ss.behaviours = {shuffle::ShufflerBehaviour::kBiasedFakes,
+                   shuffle::ShufflerBehaviour::kHonest,
+                   shuffle::ShufflerBehaviour::kHonest};
+  auto ss_result = shuffle::RunSequentialShuffle(oracle, ds.values, ss, &rng);
+  if (!ss_result.ok()) {
+    std::fprintf(stderr, "SS failed: %s\n",
+                 ss_result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("SS under attack:   target estimate = %.4f (true %.4f)  "
+              "spot check: %s\n",
+              ss_result->estimates[target], truth[target],
+              ss_result->spot_check_passed ? "PASSED (attack undetected!)"
+                                           : "failed");
+
+  // --- Same attack on PEOS --------------------------------------------------
+  shuffle::PeosConfig peos;
+  peos.num_shufflers = 3;
+  peos.fake_reports = fakes;
+  peos.paillier_bits = 512;
+  peos.poison_target_packed = target;
+  peos.behaviours = {shuffle::PeosShufflerBehaviour::kBiasedFakeShares,
+                     shuffle::PeosShufflerBehaviour::kHonest,
+                     shuffle::PeosShufflerBehaviour::kHonest};
+  auto peos_result = shuffle::RunPeos(oracle, ds.values, peos, &rng);
+  if (!peos_result.ok()) {
+    std::fprintf(stderr, "PEOS failed: %s\n",
+                 peos_result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("PEOS under attack: target estimate = %.4f (true %.4f)  "
+              "— bias masked by honest shufflers' shares\n",
+              peos_result->estimates[target], truth[target]);
+
+  std::printf("\nSummary: SS lets one malicious shuffler inflate the target "
+              "by ~%.0f%%;\nPEOS bounds the same adversary to statistical "
+              "noise (paper §VI-A2).\n",
+              100.0 * (ss_result->estimates[target] - truth[target]) /
+                  std::max(truth[target], 1e-9));
+  return 0;
+}

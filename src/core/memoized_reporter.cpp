@@ -1,0 +1,36 @@
+#include "core/memoized_reporter.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/hash.h"
+
+namespace shuffledp {
+namespace core {
+
+uint64_t MemoizedReporter::ConfigHash(
+    const ldp::ScalarFrequencyOracle& oracle) {
+  // Identity of a configuration: mechanism name, ε_l (bit pattern),
+  // domain and report-domain sizes.
+  uint64_t h = XxHash64(oracle.Name(), 0x5EED);
+  double eps = oracle.epsilon_local();
+  uint64_t eps_bits;
+  static_assert(sizeof(eps) == sizeof(eps_bits));
+  std::memcpy(&eps_bits, &eps, sizeof(eps_bits));
+  h = XxHash64(&eps_bits, sizeof(eps_bits), h);
+  uint64_t dims[2] = {oracle.domain_size(), oracle.report_domain()};
+  return XxHash64(dims, sizeof(dims), h);
+}
+
+ldp::LdpReport MemoizedReporter::Report(
+    const ldp::ScalarFrequencyOracle& oracle, uint64_t value) {
+  Key key{ConfigHash(oracle), value};
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  ldp::LdpReport report = oracle.Encode(value, rng_);
+  cache_.emplace(key, report);
+  return report;
+}
+
+}  // namespace core
+}  // namespace shuffledp

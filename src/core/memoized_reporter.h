@@ -1,0 +1,72 @@
+// Report memoization (paper §V-C): "users need to remember their report
+// to avoid averaging attacks."
+//
+// If a collection round is re-run (e.g., a shuffler denied service and
+// the server restarts the protocol), a user who re-randomizes leaks a
+// fresh independent sample of their value each time; averaging k reports
+// shrinks the effective noise by sqrt(k) and eventually reveals the
+// value. The standard defense (RAPPOR's "permanent randomized response")
+// is to memoize: one perturbed report per (value, oracle configuration),
+// replayed verbatim on every re-run.
+
+#ifndef SHUFFLEDP_CORE_MEMOIZED_REPORTER_H_
+#define SHUFFLEDP_CORE_MEMOIZED_REPORTER_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "ldp/frequency_oracle.h"
+#include "util/rng.h"
+
+namespace shuffledp {
+namespace core {
+
+/// Client-side wrapper that memoizes one report per value.
+///
+/// The cache key includes the oracle's identity parameters (ε_l and the
+/// report domain), so a *reconfigured* collection (different privacy
+/// budget) legitimately draws a fresh report while a *re-run* of the same
+/// collection replays the old one.
+class MemoizedReporter {
+ public:
+  /// `rng` must outlive the reporter.
+  explicit MemoizedReporter(Rng* rng) : rng_(rng) {}
+
+  /// Returns the memoized report for (oracle configuration, value),
+  /// encoding it on first use.
+  ldp::LdpReport Report(const ldp::ScalarFrequencyOracle& oracle,
+                        uint64_t value);
+
+  /// Number of distinct (configuration, value) entries cached.
+  size_t cache_size() const { return cache_.size(); }
+
+  /// Drops all memoized reports (e.g., after the user's value changes
+  /// epoch — the deployment-level knob RAPPOR calls "instantaneous"
+  /// randomness is out of scope here).
+  void Clear() { cache_.clear(); }
+
+ private:
+  struct Key {
+    uint64_t config_hash;
+    uint64_t value;
+    bool operator==(const Key& o) const {
+      return config_hash == o.config_hash && value == o.value;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return static_cast<size_t>(k.config_hash * 0x9E3779B97F4A7C15ULL ^
+                                 k.value);
+    }
+  };
+
+  static uint64_t ConfigHash(const ldp::ScalarFrequencyOracle& oracle);
+
+  Rng* rng_;
+  std::unordered_map<Key, ldp::LdpReport, KeyHash> cache_;
+};
+
+}  // namespace core
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_CORE_MEMOIZED_REPORTER_H_

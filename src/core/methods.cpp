@@ -1,0 +1,223 @@
+#include "core/methods.h"
+
+#include <memory>
+
+#include "dp/amplification.h"
+#include "dp/laplace.h"
+#include "ldp/aue.h"
+#include "ldp/fast_sim.h"
+#include "ldp/grr.h"
+#include "ldp/hadamard.h"
+#include "ldp/local_hash.h"
+#include "ldp/unary.h"
+
+namespace shuffledp {
+namespace core {
+
+std::vector<Method> AllMethods() {
+  return {Method::kBase, Method::kOlh, Method::kHad,
+          Method::kLap,  Method::kSh,  Method::kSolh,
+          Method::kAue,  Method::kRap, Method::kRapRemoval};
+}
+
+const char* MethodName(Method method) {
+  switch (method) {
+    case Method::kBase:
+      return "Base";
+    case Method::kOlh:
+      return "OLH";
+    case Method::kHad:
+      return "Had";
+    case Method::kLap:
+      return "Lap";
+    case Method::kSh:
+      return "SH";
+    case Method::kSolh:
+      return "SOLH";
+    case Method::kAue:
+      return "AUE";
+    case Method::kRap:
+      return "RAP";
+    case Method::kRapRemoval:
+      return "RAP_R";
+  }
+  return "?";
+}
+
+bool IsShuffleMethod(Method method) {
+  switch (method) {
+    case Method::kSh:
+    case Method::kSolh:
+    case Method::kAue:
+    case Method::kRap:
+    case Method::kRapRemoval:
+      return true;
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+// Unary-style trial shared by RAP / RAP_R.
+Result<std::vector<double>> UnaryTrial(
+    const std::vector<uint64_t>& value_counts, uint64_t n, double eps_c,
+    double delta, const std::vector<uint64_t>& eval_points, Rng* rng) {
+  double eps_l = dp::InverseUnaryEpsLocal(eps_c, n, delta);
+  ldp::UnaryEncoding ue(eps_l, value_counts.size(),
+                        ldp::UnaryEncoding::Semantics::kReplacement);
+  auto cols = ldp::FastSimulateUnaryColumns(ue.p(), ue.q(), value_counts, n,
+                                            eval_points, rng);
+  std::vector<double> est(eval_points.size());
+  const double nd = static_cast<double>(n);
+  for (size_t j = 0; j < eval_points.size(); ++j) {
+    est[j] = (static_cast<double>(cols[j]) / nd - ue.q()) / (ue.p() - ue.q());
+  }
+  return est;
+}
+
+}  // namespace
+
+Result<std::vector<double>> RunUtilityTrial(
+    Method method, const std::vector<uint64_t>& value_counts, uint64_t n,
+    double eps_c, double delta, const std::vector<uint64_t>& eval_points,
+    Rng* rng) {
+  const uint64_t d = value_counts.size();
+  if (d < 2) return Status::InvalidArgument("domain too small");
+  if (n == 0) return Status::InvalidArgument("empty dataset");
+  if (eps_c <= 0.0) return Status::InvalidArgument("eps must be positive");
+
+  switch (method) {
+    case Method::kBase: {
+      return std::vector<double>(eval_points.size(),
+                                 1.0 / static_cast<double>(d));
+    }
+    case Method::kOlh: {
+      auto oracle = ldp::MakeOlh(eps_c, d);
+      return ldp::FastSimulateEstimateAt(*oracle, value_counts, n, 0,
+                                         eval_points, rng);
+    }
+    case Method::kHad: {
+      ldp::HadamardResponse oracle(eps_c, d);
+      return ldp::FastSimulateEstimateAt(oracle, value_counts, n, 0,
+                                         eval_points, rng);
+    }
+    case Method::kLap: {
+      const double scale = 2.0 / (eps_c * static_cast<double>(n));
+      std::vector<double> est(eval_points.size());
+      for (size_t j = 0; j < eval_points.size(); ++j) {
+        double truth = static_cast<double>(value_counts[eval_points[j]]) /
+                       static_cast<double>(n);
+        est[j] = truth + rng->Laplace(scale);
+      }
+      return est;
+    }
+    case Method::kSh: {
+      double eps_l = dp::InverseGrrEpsLocal(eps_c, n, d, delta);
+      ldp::Grr oracle(eps_l, d);
+      return ldp::FastSimulateEstimateAt(oracle, value_counts, n, 0,
+                                         eval_points, rng);
+    }
+    case Method::kSolh: {
+      auto oracle = ldp::MakeSolh(eps_c, n, d, delta);
+      if (!oracle.ok()) return oracle.status();
+      return ldp::FastSimulateEstimateAt(**oracle, value_counts, n, 0,
+                                         eval_points, rng);
+    }
+    case Method::kAue: {
+      ldp::Aue aue(eps_c, n, d, delta);
+      auto cols = ldp::FastSimulateAueColumns(aue.gamma(), value_counts, n,
+                                              eval_points, rng);
+      std::vector<double> est(eval_points.size());
+      for (size_t j = 0; j < eval_points.size(); ++j) {
+        est[j] = static_cast<double>(cols[j]) / static_cast<double>(n) -
+                 aue.gamma();
+      }
+      return est;
+    }
+    case Method::kRap: {
+      return UnaryTrial(value_counts, n, eps_c, delta, eval_points, rng);
+    }
+    case Method::kRapRemoval: {
+      // Removal-LDP semantics are worth a factor 2 in ε (paper §IV-B4).
+      return UnaryTrial(value_counts, n, 2.0 * eps_c, delta, eval_points,
+                        rng);
+    }
+  }
+  return Status::InvalidArgument("unknown method");
+}
+
+Result<double> PredictVariance(Method method, uint64_t n, uint64_t d,
+                               double eps_c, double delta) {
+  switch (method) {
+    case Method::kBase:
+      return Status::InvalidArgument("Base has no variance prediction");
+    case Method::kOlh: {
+      auto oracle = ldp::MakeOlh(eps_c, d);
+      return dp::LocalHashVarianceLocal(eps_c, n, oracle->report_domain());
+    }
+    case Method::kHad:
+      return dp::LocalHashVarianceLocal(eps_c, n, 2);
+    case Method::kLap:
+      return dp::LaplaceVariance(eps_c, n);
+    case Method::kSh:
+      return dp::ShGrrVarianceCentral(eps_c, n, d, delta);
+    case Method::kSolh: {
+      uint64_t d_prime = dp::OptimalSolhDPrime(eps_c, n, delta);
+      double eps_l = dp::InverseSolhEpsLocal(eps_c, n, d_prime, delta);
+      if (eps_l <= eps_c) {
+        // No amplification: plain LDP local hashing with d' = 2.
+        return dp::LocalHashVarianceLocal(eps_c, n, 2);
+      }
+      return dp::SolhVarianceCentral(eps_c, n, d_prime, delta);
+    }
+    case Method::kAue:
+      return dp::AueVarianceCentral(eps_c, n, delta);
+    case Method::kRap:
+      return dp::RapVarianceCentral(eps_c, n, delta);
+    case Method::kRapRemoval:
+      return dp::RapRemovalVarianceCentral(eps_c, n, delta);
+  }
+  return Status::InvalidArgument("unknown method");
+}
+
+Result<hist::RoundEstimator> MakeRoundEstimator(Method method,
+                                                double eps_round,
+                                                double delta_round) {
+  if (eps_round <= 0.0 || delta_round <= 0.0) {
+    return Status::InvalidArgument("round budget must be positive");
+  }
+  if (method == Method::kBase) {
+    return Status::InvalidArgument("Base cannot drive TreeHist");
+  }
+  Method m = method;
+  double eps = eps_round;
+  double delta = delta_round;
+  return hist::RoundEstimator(
+      [m, eps, delta](const std::vector<uint64_t>& candidate_counts,
+                      uint64_t n_round, Rng* rng) -> std::vector<double> {
+        // The candidate list (+ dummy bucket) is the round's domain.
+        const size_t num_candidates = candidate_counts.size() - 1;
+        auto est = RunUtilityTrial(m, candidate_counts, n_round, eps, delta,
+                                   [&] {
+                                     std::vector<uint64_t> all(
+                                         candidate_counts.size());
+                                     for (size_t i = 0; i < all.size(); ++i) {
+                                       all[i] = i;
+                                     }
+                                     return all;
+                                   }(),
+                                   rng);
+        if (!est.ok()) {
+          // Estimators inside TreeHist cannot propagate Status; an
+          // all-zero vector keeps the traversal alive and visibly fails
+          // precision metrics instead of crashing.
+          return std::vector<double>(num_candidates, 0.0);
+        }
+        est->resize(num_candidates);  // drop the dummy estimate
+        return std::move(est).value();
+      });
+}
+
+}  // namespace core
+}  // namespace shuffledp

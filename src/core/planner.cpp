@@ -1,0 +1,139 @@
+#include "core/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "dp/amplification.h"
+#include "util/math.h"
+
+namespace shuffledp {
+namespace core {
+
+std::string PeosPlan::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s eps_l=%.4f d'=%llu n_r=%llu | achieved: eps_c=%.4f eps_s=%.4f "
+      "eps_l=%.4f | predicted variance=%.3e",
+      use_grr ? "GRR" : "SOLH", eps_l,
+      static_cast<unsigned long long>(d_prime),
+      static_cast<unsigned long long>(n_r), eps_server_achieved,
+      eps_users_achieved, eps_local_achieved, predicted_variance);
+  return buf;
+}
+
+namespace {
+
+// Evaluates one (FO, n_r) candidate; returns false if infeasible.
+bool EvaluateCandidate(const PrivacyGoals& goals, uint64_t n, uint64_t d,
+                       bool use_grr, uint64_t n_r, PeosPlan* out) {
+  // Ordinal fake domain: the group the fake shares live in.
+  uint64_t report_domain;
+  uint64_t fake_domain;
+  if (use_grr) {
+    report_domain = d;
+    fake_domain = NextPow2(d);
+  } else {
+    uint64_t d_prime =
+        std::max<uint64_t>(2, dp::PeosOptimalDPrime(goals.eps_server, n, n_r,
+                                                    goals.delta));
+    d_prime = NextPow2(d_prime);
+    report_domain = d_prime;
+    fake_domain = d_prime;
+  }
+
+  // ε₂: privacy against colluding users comes from the fakes alone. The
+  // fake blanket per value is Bin(n_r, 1/fake_domain).
+  if (n_r == 0) return false;
+  double eps_users =
+      dp::PeosEpsAgainstUsers(n_r, fake_domain, goals.delta);
+  if (eps_users > goals.eps_users) return false;
+
+  // ε_l: the largest local budget meeting ε₁ given the fakes, capped by
+  // the ε₃ requirement.
+  double eps_l = dp::PeosInverseEpsLocal(goals.eps_server, n, n_r,
+                                         report_domain, goals.delta);
+  if (std::isinf(eps_l)) eps_l = goals.eps_local;
+  eps_l = std::min(eps_l, goals.eps_local);
+  if (eps_l <= 0.0) return false;
+
+  // Re-check ε₁ with the capped ε_l (capping only helps).
+  double eps_server = dp::PeosEpsAgainstServer(eps_l, n, n_r, report_domain,
+                                               goals.delta);
+  if (eps_server > goals.eps_server * (1.0 + 1e-9)) return false;
+
+  // Predicted variance (§VI-C): the base-oracle variance over n + n_r
+  // reports, scaled by the dilution factor squared.
+  double base_var;
+  if (use_grr) {
+    base_var = dp::GrrVarianceLocal(eps_l, n + n_r, d);
+  } else {
+    base_var = dp::LocalHashVarianceLocal(eps_l, n + n_r, report_domain);
+  }
+  double scale = static_cast<double>(n + n_r) / static_cast<double>(n);
+  double variance = base_var * scale * scale;
+
+  out->use_grr = use_grr;
+  out->eps_l = eps_l;
+  out->d_prime = report_domain;
+  out->n_r = n_r;
+  out->fake_domain = fake_domain;
+  out->eps_server_achieved = eps_server;
+  out->eps_users_achieved = eps_users;
+  out->eps_local_achieved = eps_l;
+  out->predicted_variance = variance;
+  return true;
+}
+
+}  // namespace
+
+Result<PeosPlan> PlanPeos(const PrivacyGoals& goals, uint64_t n, uint64_t d,
+                          uint64_t max_n_r) {
+  if (n < 2) return Status::InvalidArgument("planner: need n >= 2");
+  if (d < 2) return Status::InvalidArgument("planner: need d >= 2");
+  if (goals.eps_server <= 0.0 || goals.eps_users <= 0.0 ||
+      goals.eps_local <= 0.0 || goals.delta <= 0.0 || goals.delta >= 1.0) {
+    return Status::InvalidArgument("planner: privacy goals out of range");
+  }
+  if (goals.eps_server > goals.eps_local) {
+    return Status::InvalidArgument(
+        "planner: eps_server > eps_local is vacuous (LDP already stronger)");
+  }
+  if (max_n_r == 0) max_n_r = 4 * n;
+
+  PeosPlan best;
+  bool found = false;
+
+  // Geometric sweep over n_r, refined around the best coarse value.
+  std::vector<uint64_t> grid;
+  for (double x = 16.0; x <= static_cast<double>(max_n_r); x *= 1.25) {
+    grid.push_back(static_cast<uint64_t>(x));
+  }
+  grid.push_back(max_n_r);
+
+  for (bool use_grr : {false, true}) {
+    for (uint64_t n_r : grid) {
+      PeosPlan candidate;
+      if (!EvaluateCandidate(goals, n, d, use_grr, n_r, &candidate)) {
+        continue;
+      }
+      if (!found ||
+          candidate.predicted_variance < best.predicted_variance) {
+        best = candidate;
+        found = true;
+      }
+    }
+  }
+
+  if (!found) {
+    return Status::FailedPrecondition(
+        "planner: no PEOS configuration satisfies the privacy goals "
+        "(eps_users may require more fake reports than max_n_r)");
+  }
+  return best;
+}
+
+}  // namespace core
+}  // namespace shuffledp

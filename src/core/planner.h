@@ -1,0 +1,56 @@
+// PEOS parameter planner (paper §VI-D "Choosing Parameters").
+//
+// Given the desired privacy levels against the three adversaries,
+//   ε₁ vs Adv   (the server; central DP via shuffling + fakes),
+//   ε₂ vs Adv_u (server colluding with all other users; fake blanket only),
+//   ε₃ vs Adv_a (server colluding with > ⌊r/2⌋ shufflers; plain LDP),
+// plus (δ, n, d), the planner numerically searches the number of fake
+// reports n_r and the local budget ε_l (and, for SOLH, the hash range d')
+// that satisfy all three constraints with minimal estimator variance, and
+// picks GRR vs SOLH by comparing their optima.
+
+#ifndef SHUFFLEDP_CORE_PLANNER_H_
+#define SHUFFLEDP_CORE_PLANNER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace shuffledp {
+namespace core {
+
+/// The three-adversary privacy requirement.
+struct PrivacyGoals {
+  double eps_server = 0.5;   ///< ε₁ vs Adv
+  double eps_users = 2.0;    ///< ε₂ vs Adv_u
+  double eps_local = 8.0;    ///< ε₃ vs Adv_a (LDP floor)
+  double delta = 1e-9;
+};
+
+/// A concrete PEOS configuration chosen by the planner.
+struct PeosPlan {
+  bool use_grr = false;       ///< false => SOLH
+  double eps_l = 0.0;         ///< local budget actually used
+  uint64_t d_prime = 0;       ///< hash range (power of two; = d for GRR)
+  uint64_t n_r = 0;           ///< fake reports
+  uint64_t fake_domain = 0;   ///< ordinal fake domain 2^B driving ε₂/ε_c
+
+  double eps_server_achieved = 0.0;
+  double eps_users_achieved = 0.0;
+  double eps_local_achieved = 0.0;
+  double predicted_variance = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Searches for the variance-optimal PEOS configuration meeting `goals`.
+/// Returns FailedPrecondition when no configuration satisfies all three
+/// constraints (e.g., ε₂ so small that n_r would have to exceed max_n_r).
+Result<PeosPlan> PlanPeos(const PrivacyGoals& goals, uint64_t n, uint64_t d,
+                          uint64_t max_n_r = 0 /* default: 4n */);
+
+}  // namespace core
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_CORE_PLANNER_H_

@@ -1,0 +1,53 @@
+#include "core/shuffle_dp.h"
+
+#include "ldp/estimator.h"
+#include "ldp/fast_sim.h"
+#include "ldp/grr.h"
+#include "ldp/local_hash.h"
+
+namespace shuffledp {
+namespace core {
+
+Result<std::unique_ptr<ShuffleDpCollector>> ShuffleDpCollector::Create(
+    const PrivacyGoals& goals, uint64_t n, uint64_t domain_size,
+    const Options& options) {
+  SHUFFLEDP_ASSIGN_OR_RETURN(PeosPlan plan, PlanPeos(goals, n, domain_size));
+
+  std::unique_ptr<ldp::ScalarFrequencyOracle> oracle;
+  if (plan.use_grr) {
+    oracle = std::make_unique<ldp::Grr>(plan.eps_l, domain_size);
+  } else {
+    oracle = std::make_unique<ldp::LocalHash>(plan.eps_l, domain_size,
+                                              plan.d_prime, "PEOS-SOLH");
+  }
+  return std::unique_ptr<ShuffleDpCollector>(new ShuffleDpCollector(
+      plan, n, domain_size, options, std::move(oracle)));
+}
+
+Result<shuffle::PeosResult> ShuffleDpCollector::Collect(
+    const std::vector<uint64_t>& values, crypto::SecureRandom* rng) const {
+  shuffle::PeosConfig config;
+  config.num_shufflers = options_.num_shufflers;
+  config.fake_reports = plan_.n_r;
+  config.paillier_bits = options_.paillier_bits;
+  config.use_randomizer_pool = options_.use_randomizer_pool;
+  config.pool = options_.pool;
+  return shuffle::RunPeos(*oracle_, values, config, rng);
+}
+
+Result<std::vector<double>> ShuffleDpCollector::SimulateCollect(
+    const std::vector<uint64_t>& value_counts, uint64_t n, Rng* rng) const {
+  if (value_counts.size() != domain_size_) {
+    return Status::InvalidArgument("value_counts has wrong domain size");
+  }
+  // Fake reports reconstruct to uniform ordinal values; their support
+  // probability is the oracle's ordinal fake rate.
+  ldp::SupportProbs probs = oracle_->support_probs();
+  probs.q_fake = oracle_->OrdinalFakeSupportProb();
+  auto supports = ldp::FastSimulateSupports(probs, value_counts, n,
+                                            plan_.n_r, rng);
+  return ldp::CalibrateEstimatesOrdinal(*oracle_, supports, n, plan_.n_r);
+}
+
+}  // namespace core
+}  // namespace shuffledp

@@ -1,0 +1,58 @@
+// AES-128 (FIPS 197) with CBC (PKCS#7) and CTR modes.
+//
+// Used for the symmetric layer of the sequential-shuffle (SS) onion
+// encryption: the paper encrypts each report with a fresh AES-128-CBC key
+// and wraps that key with elliptic-curve ElGamal (our ECIES; see ecies.h).
+
+#ifndef SHUFFLEDP_CRYPTO_AES_H_
+#define SHUFFLEDP_CRYPTO_AES_H_
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace shuffledp {
+namespace crypto {
+
+/// AES-128 block cipher with an expanded key schedule.
+class Aes128 {
+ public:
+  static constexpr size_t kBlockSize = 16;
+  static constexpr size_t kKeySize = 16;
+
+  /// Expands the 16-byte `key`.
+  explicit Aes128(const std::array<uint8_t, kKeySize>& key);
+
+  /// Encrypts one 16-byte block in place (out may alias in).
+  void EncryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+  /// Decrypts one 16-byte block.
+  void DecryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+ private:
+  // 11 round keys of 16 bytes.
+  uint8_t round_keys_[176];
+};
+
+/// CBC mode with PKCS#7 padding. Output is IV || ciphertext.
+Bytes AesCbcEncrypt(const std::array<uint8_t, 16>& key,
+                    const std::array<uint8_t, 16>& iv, const Bytes& plaintext);
+
+/// Inverse of AesCbcEncrypt; input must be IV || ciphertext. Returns
+/// CryptoError on bad padding or truncated input.
+Result<Bytes> AesCbcDecrypt(const std::array<uint8_t, 16>& key,
+                            const Bytes& iv_and_ciphertext);
+
+/// CTR mode keystream XOR (encryption == decryption). `nonce` forms the
+/// high 12 bytes of the counter block; the low 4 bytes hold the big-endian
+/// block counter starting at `initial_counter`.
+Bytes AesCtrCrypt(const std::array<uint8_t, 16>& key,
+                  const std::array<uint8_t, 12>& nonce, const Bytes& data,
+                  uint32_t initial_counter = 0);
+
+}  // namespace crypto
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_CRYPTO_AES_H_

@@ -1,0 +1,566 @@
+#include "crypto/bigint.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "crypto/montgomery.h"
+#include "crypto/secure_random.h"
+
+namespace shuffledp {
+namespace crypto {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+int CountLeadingZeros64(uint64_t x) {
+  return x == 0 ? 64 : __builtin_clzll(x);
+}
+
+}  // namespace
+
+void BigInt::Normalize() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+Result<BigInt> BigInt::FromHexString(const std::string& hex) {
+  BigInt out;
+  if (hex.empty()) return out;
+  out.limbs_.assign((hex.size() + 15) / 16, 0);
+  for (size_t i = 0; i < hex.size(); ++i) {
+    char c = hex[hex.size() - 1 - i];
+    uint64_t nibble;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<uint64_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = static_cast<uint64_t>(c - 'A' + 10);
+    } else {
+      return Status::InvalidArgument("invalid hex digit in BigInt literal");
+    }
+    out.limbs_[i / 16] |= nibble << (4 * (i % 16));
+  }
+  out.Normalize();
+  return out;
+}
+
+Result<BigInt> BigInt::FromDecimalString(const std::string& dec) {
+  if (dec.empty()) return Status::InvalidArgument("empty decimal literal");
+  BigInt out;
+  const BigInt ten(10);
+  for (char c : dec) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("invalid decimal digit");
+    }
+    out = out.Mul(ten).Add(BigInt(static_cast<uint64_t>(c - '0')));
+  }
+  return out;
+}
+
+BigInt BigInt::FromBytesBigEndian(const Bytes& bytes) {
+  BigInt out;
+  out.limbs_.assign((bytes.size() + 7) / 8, 0);
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    // bytes[0] is most significant.
+    size_t bit_index = (bytes.size() - 1 - i) * 8;
+    out.limbs_[bit_index / 64] |= static_cast<uint64_t>(bytes[i])
+                                  << (bit_index % 64);
+  }
+  out.Normalize();
+  return out;
+}
+
+std::string BigInt::ToHexString() const {
+  if (IsZero()) return "0";
+  static const char* kDigits = "0123456789abcdef";
+  std::string out;
+  out.reserve(limbs_.size() * 16);
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int nib = 15; nib >= 0; --nib) {
+      out.push_back(kDigits[(limbs_[i] >> (4 * nib)) & 0xF]);
+    }
+  }
+  size_t first = out.find_first_not_of('0');
+  return out.substr(first);
+}
+
+std::string BigInt::ToDecimalString() const {
+  if (IsZero()) return "0";
+  BigInt v = *this;
+  const BigInt chunk(10000000000000000000ULL);  // 10^19
+  std::vector<uint64_t> groups;
+  while (!v.IsZero()) {
+    BigInt q, r;
+    Status st = v.DivMod(chunk, &q, &r);
+    assert(st.ok());
+    (void)st;
+    groups.push_back(r.ToU64Saturating());
+    v = q;
+  }
+  std::string out = std::to_string(groups.back());
+  for (size_t i = groups.size() - 1; i-- > 0;) {
+    std::string part = std::to_string(groups[i]);
+    out += std::string(19 - part.size(), '0') + part;
+  }
+  return out;
+}
+
+Bytes BigInt::ToBytesBigEndian(size_t min_len) const {
+  size_t nbytes = (BitLength() + 7) / 8;
+  size_t len = std::max(nbytes, min_len);
+  if (len == 0) len = 1;
+  Bytes out(len, 0);
+  for (size_t i = 0; i < nbytes; ++i) {
+    size_t bit_index = i * 8;
+    out[len - 1 - i] =
+        static_cast<uint8_t>(limbs_[bit_index / 64] >> (bit_index % 64));
+  }
+  return out;
+}
+
+uint64_t BigInt::ToU64Saturating() const {
+  if (IsZero()) return 0;
+  if (limbs_.size() > 1) return UINT64_MAX;
+  return limbs_[0];
+}
+
+size_t BigInt::BitLength() const {
+  if (IsZero()) return 0;
+  return limbs_.size() * 64 -
+         static_cast<size_t>(CountLeadingZeros64(limbs_.back()));
+}
+
+bool BigInt::GetBit(size_t i) const {
+  size_t limb = i / 64;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 64)) & 1;
+}
+
+int BigInt::Compare(const BigInt& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigInt BigInt::Add(const BigInt& other) const {
+  const BigInt& a = limbs_.size() >= other.limbs_.size() ? *this : other;
+  const BigInt& b = limbs_.size() >= other.limbs_.size() ? other : *this;
+  BigInt out;
+  out.limbs_.resize(a.limbs_.size() + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    u128 sum = static_cast<u128>(a.limbs_[i]) + carry;
+    if (i < b.limbs_.size()) sum += b.limbs_[i];
+    out.limbs_[i] = static_cast<uint64_t>(sum);
+    carry = static_cast<uint64_t>(sum >> 64);
+  }
+  out.limbs_[a.limbs_.size()] = carry;
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::Sub(const BigInt& other) const {
+  assert(*this >= other && "BigInt::Sub underflow");
+  BigInt out;
+  out.limbs_.resize(limbs_.size(), 0);
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t rhs = i < other.limbs_.size() ? other.limbs_[i] : 0;
+    u128 lhs = static_cast<u128>(limbs_[i]);
+    u128 need = static_cast<u128>(rhs) + borrow;
+    if (lhs >= need) {
+      out.limbs_[i] = static_cast<uint64_t>(lhs - need);
+      borrow = 0;
+    } else {
+      out.limbs_[i] =
+          static_cast<uint64_t>((static_cast<u128>(1) << 64) + lhs - need);
+      borrow = 1;
+    }
+  }
+  assert(borrow == 0);
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::MulSchoolbook(const BigInt& a, const BigInt& b) {
+  if (a.IsZero() || b.IsZero()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(a.limbs_.size() + b.limbs_.size(), 0);
+  for (size_t i = 0; i < a.limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    uint64_t ai = a.limbs_[i];
+    for (size_t j = 0; j < b.limbs_.size(); ++j) {
+      u128 cur = static_cast<u128>(ai) * b.limbs_[j] + out.limbs_[i + j] +
+                 carry;
+      out.limbs_[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    out.limbs_[i + b.limbs_.size()] += carry;
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::LimbRange(size_t from, size_t to) const {
+  BigInt out;
+  from = std::min(from, limbs_.size());
+  to = std::min(to, limbs_.size());
+  if (from < to) {
+    out.limbs_.assign(limbs_.begin() + static_cast<ptrdiff_t>(from),
+                      limbs_.begin() + static_cast<ptrdiff_t>(to));
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::MulKaratsuba(const BigInt& a, const BigInt& b) {
+  size_t n = std::max(a.limbs_.size(), b.limbs_.size());
+  if (std::min(a.limbs_.size(), b.limbs_.size()) < kKaratsubaThreshold) {
+    return MulSchoolbook(a, b);
+  }
+  size_t half = n / 2;
+  BigInt a0 = a.LimbRange(0, half), a1 = a.LimbRange(half, a.limbs_.size());
+  BigInt b0 = b.LimbRange(0, half), b1 = b.LimbRange(half, b.limbs_.size());
+
+  BigInt z0 = MulKaratsuba(a0, b0);
+  BigInt z2 = MulKaratsuba(a1, b1);
+  BigInt z1 = MulKaratsuba(a0.Add(a1), b0.Add(b1)).Sub(z0).Sub(z2);
+
+  return z0.Add(z1.ShiftLeft(64 * half)).Add(z2.ShiftLeft(128 * half));
+}
+
+BigInt BigInt::Mul(const BigInt& other) const {
+  return MulKaratsuba(*this, other);
+}
+
+BigInt BigInt::ShiftLeft(size_t bits) const {
+  if (IsZero() || bits == 0) {
+    BigInt out = *this;
+    return out;
+  }
+  size_t limb_shift = bits / 64;
+  size_t bit_shift = bits % 64;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    out.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0) {
+      out.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+BigInt BigInt::ShiftRight(size_t bits) const {
+  size_t limb_shift = bits / 64;
+  size_t bit_shift = bits % 64;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    out.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < limbs_.size()) {
+      out.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+Status BigInt::DivMod(const BigInt& divisor, BigInt* quotient,
+                      BigInt* remainder) const {
+  if (divisor.IsZero()) {
+    return Status::InvalidArgument("BigInt division by zero");
+  }
+  if (Compare(divisor) < 0) {
+    if (quotient) *quotient = BigInt();
+    if (remainder) *remainder = *this;
+    return Status::OK();
+  }
+  // Single-limb divisor: simple short division.
+  if (divisor.limbs_.size() == 1) {
+    uint64_t d = divisor.limbs_[0];
+    BigInt q;
+    q.limbs_.assign(limbs_.size(), 0);
+    u128 rem = 0;
+    for (size_t i = limbs_.size(); i-- > 0;) {
+      u128 cur = (rem << 64) | limbs_[i];
+      q.limbs_[i] = static_cast<uint64_t>(cur / d);
+      rem = cur % d;
+    }
+    q.Normalize();
+    if (quotient) *quotient = std::move(q);
+    if (remainder) *remainder = BigInt(static_cast<uint64_t>(rem));
+    return Status::OK();
+  }
+
+  // Knuth Algorithm D (TAOCP vol. 2, 4.3.1), base 2^64.
+  const size_t n = divisor.limbs_.size();
+  const size_t m = limbs_.size() - n;
+  const int shift = CountLeadingZeros64(divisor.limbs_.back());
+
+  // Normalized copies: v has top bit set; u gets one extra high limb.
+  BigInt v = divisor.ShiftLeft(static_cast<size_t>(shift));
+  BigInt u = ShiftLeft(static_cast<size_t>(shift));
+  u.limbs_.resize(limbs_.size() + 1, 0);
+  assert(v.limbs_.size() == n);
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  const uint64_t v_hi = v.limbs_[n - 1];
+  const uint64_t v_lo = v.limbs_[n - 2];
+
+  for (size_t j = m + 1; j-- > 0;) {
+    // Estimate qhat = (u[j+n]*B + u[j+n-1]) / v_hi.
+    u128 numerator =
+        (static_cast<u128>(u.limbs_[j + n]) << 64) | u.limbs_[j + n - 1];
+    u128 qhat = numerator / v_hi;
+    u128 rhat = numerator % v_hi;
+    if (qhat > UINT64_MAX) {
+      qhat = UINT64_MAX;
+      rhat = numerator - qhat * v_hi;
+    }
+    // Refine using the second-highest divisor limb.
+    while (rhat <= UINT64_MAX &&
+           qhat * v_lo > ((rhat << 64) | u.limbs_[j + n - 2])) {
+      --qhat;
+      rhat += v_hi;
+    }
+
+    // Multiply-subtract: u[j .. j+n] -= qhat * v.
+    u128 borrow = 0;
+    u128 carry = 0;
+    for (size_t i = 0; i < n; ++i) {
+      u128 prod = qhat * v.limbs_[i] + carry;
+      carry = prod >> 64;
+      uint64_t prod_lo = static_cast<uint64_t>(prod);
+      u128 diff = static_cast<u128>(u.limbs_[j + i]) - prod_lo - borrow;
+      u.limbs_[j + i] = static_cast<uint64_t>(diff);
+      borrow = (diff >> 64) & 1;  // 1 if wrapped
+    }
+    u128 diff = static_cast<u128>(u.limbs_[j + n]) - carry - borrow;
+    u.limbs_[j + n] = static_cast<uint64_t>(diff);
+    bool negative = ((diff >> 64) & 1) != 0;
+
+    if (negative) {
+      // qhat was one too large: add back v.
+      --qhat;
+      u128 c = 0;
+      for (size_t i = 0; i < n; ++i) {
+        u128 sum = static_cast<u128>(u.limbs_[j + i]) + v.limbs_[i] + c;
+        u.limbs_[j + i] = static_cast<uint64_t>(sum);
+        c = sum >> 64;
+      }
+      u.limbs_[j + n] += static_cast<uint64_t>(c);
+    }
+    q.limbs_[j] = static_cast<uint64_t>(qhat);
+  }
+
+  q.Normalize();
+  u.limbs_.resize(n);
+  u.Normalize();
+  BigInt r = u.ShiftRight(static_cast<size_t>(shift));
+  if (quotient) *quotient = std::move(q);
+  if (remainder) *remainder = std::move(r);
+  return Status::OK();
+}
+
+BigInt BigInt::Mod(const BigInt& m) const {
+  BigInt r;
+  Status st = DivMod(m, nullptr, &r);
+  assert(st.ok());
+  (void)st;
+  return r;
+}
+
+BigInt BigInt::ModMul(const BigInt& other, const BigInt& m) const {
+  return Mul(other).Mod(m);
+}
+
+BigInt BigInt::ModExp(const BigInt& exponent, const BigInt& m) const {
+  assert(!m.IsZero());
+  if (m == BigInt(1)) return BigInt();
+  if (exponent.IsZero()) return BigInt(1);
+
+  // Odd moduli (every Paillier/RSA-style modulus) take the Montgomery
+  // fast path: no per-step division. The generic path below remains for
+  // even moduli and as the reference implementation.
+  if (m.IsOdd() && m.limb_count() >= 2 && exponent.BitLength() >= 16) {
+    auto ctx = MontgomeryCtx::Create(m);
+    if (ctx.ok()) return ctx->ModExp(*this, exponent);
+  }
+
+  // 4-bit fixed window: precompute base^0..base^15 mod m.
+  const BigInt base = Mod(m);
+  BigInt table[16];
+  table[0] = BigInt(1);
+  for (int i = 1; i < 16; ++i) table[i] = table[i - 1].ModMul(base, m);
+
+  size_t bits = exponent.BitLength();
+  size_t windows = (bits + 3) / 4;
+  BigInt acc(1);
+  for (size_t w = windows; w-- > 0;) {
+    for (int s = 0; s < 4; ++s) acc = acc.ModMul(acc, m);
+    uint64_t idx = 0;
+    for (int b = 3; b >= 0; --b) {
+      idx = (idx << 1) | (exponent.GetBit(w * 4 + static_cast<size_t>(b)) ? 1 : 0);
+    }
+    if (idx != 0) acc = acc.ModMul(table[idx], m);
+  }
+  return acc;
+}
+
+BigInt BigInt::Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a, y = b;
+  while (!y.IsZero()) {
+    BigInt r = x.Mod(y);
+    x = y;
+    y = r;
+  }
+  return x;
+}
+
+BigInt BigInt::Lcm(const BigInt& a, const BigInt& b) {
+  if (a.IsZero() || b.IsZero()) return BigInt();
+  BigInt g = Gcd(a, b);
+  BigInt q;
+  Status st = a.DivMod(g, &q, nullptr);
+  assert(st.ok());
+  (void)st;
+  return q.Mul(b);
+}
+
+Result<BigInt> BigInt::ModInverse(const BigInt& m) const {
+  // Extended Euclid with non-negative bookkeeping: track coefficients of
+  // `this` modulo m as (sign, magnitude) pairs.
+  if (m.IsZero()) return Status::InvalidArgument("ModInverse: zero modulus");
+  BigInt r0 = m, r1 = Mod(m);
+  if (r1.IsZero()) {
+    return Status::InvalidArgument("ModInverse: not invertible (zero)");
+  }
+  BigInt t0, t1(1);
+  bool t0_neg = false, t1_neg = false;
+
+  while (!r1.IsZero()) {
+    BigInt q, r2;
+    Status st = r0.DivMod(r1, &q, &r2);
+    assert(st.ok());
+    (void)st;
+    // t2 = t0 - q * t1 with sign tracking.
+    BigInt qt1 = q.Mul(t1);
+    BigInt t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      // Same sign: t0 - q*t1 may flip sign.
+      if (t0 >= qt1) {
+        t2 = t0.Sub(qt1);
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt1.Sub(t0);
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = t0.Add(qt1);
+      t2_neg = t0_neg;
+    }
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+  }
+
+  if (r0 != BigInt(1)) {
+    return Status::InvalidArgument("ModInverse: gcd != 1, not invertible");
+  }
+  BigInt inv = t0.Mod(m);
+  if (t0_neg && !inv.IsZero()) inv = m.Sub(inv);
+  return inv;
+}
+
+bool BigInt::IsProbablePrime(int rounds, SecureRandom* rng) const {
+  if (*this < BigInt(2)) return false;
+  static const uint64_t kSmallPrimes[] = {2,  3,  5,  7,  11, 13, 17, 19,
+                                          23, 29, 31, 37, 41, 43, 47, 53};
+  for (uint64_t p : kSmallPrimes) {
+    BigInt bp(p);
+    if (*this == bp) return true;
+    if (Mod(bp).IsZero()) return false;
+  }
+
+  // Write this - 1 = d * 2^s with d odd.
+  const BigInt n_minus_1 = Sub(BigInt(1));
+  BigInt d = n_minus_1;
+  size_t s = 0;
+  while (!d.IsOdd()) {
+    d = d.ShiftRight(1);
+    ++s;
+  }
+
+  const BigInt two(2);
+  const BigInt n_minus_3 = Sub(BigInt(3));
+  for (int round = 0; round < rounds; ++round) {
+    // a uniform in [2, n-2].
+    BigInt a = RandomBelow(n_minus_3, rng).Add(two);
+    BigInt x = a.ModExp(d, *this);
+    if (x == BigInt(1) || x == n_minus_1) continue;
+    bool witness = true;
+    for (size_t i = 1; i < s; ++i) {
+      x = x.ModMul(x, *this);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigInt BigInt::RandomWithBits(size_t bits, SecureRandom* rng) {
+  assert(bits > 0);
+  Bytes bytes = rng->RandomBytes((bits + 7) / 8);
+  // Mask excess high bits, then force the top bit so BitLength() == bits.
+  size_t excess = bytes.size() * 8 - bits;
+  bytes[0] &= static_cast<uint8_t>(0xFF >> excess);
+  bytes[0] |= static_cast<uint8_t>(0x80 >> excess);
+  return FromBytesBigEndian(bytes);
+}
+
+BigInt BigInt::RandomBelow(const BigInt& bound, SecureRandom* rng) {
+  assert(!bound.IsZero());
+  size_t bits = bound.BitLength();
+  size_t nbytes = (bits + 7) / 8;
+  size_t excess = nbytes * 8 - bits;
+  // Rejection sampling; expected <= 2 iterations.
+  for (;;) {
+    Bytes bytes = rng->RandomBytes(nbytes);
+    bytes[0] &= static_cast<uint8_t>(0xFF >> excess);
+    BigInt candidate = FromBytesBigEndian(bytes);
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigInt BigInt::GeneratePrime(size_t bits, SecureRandom* rng) {
+  assert(bits >= 8);
+  for (;;) {
+    BigInt candidate = RandomWithBits(bits, rng);
+    // Force odd.
+    if (!candidate.IsOdd()) candidate = candidate.Add(BigInt(1));
+    if (candidate.BitLength() != bits) continue;  // wrapped; retry
+    if (candidate.IsProbablePrime(24, rng)) return candidate;
+  }
+}
+
+}  // namespace crypto
+}  // namespace shuffledp

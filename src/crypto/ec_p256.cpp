@@ -1,0 +1,385 @@
+#include "crypto/ec_p256.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "crypto/secure_random.h"
+
+namespace shuffledp {
+namespace crypto {
+
+namespace {
+
+using u64 = uint64_t;
+using u128 = unsigned __int128;
+using Fe = Scalar256;  // field element, little-endian limbs
+
+// p = 2^256 - 2^224 + 2^192 + 2^96 - 1
+constexpr Fe kP = {0xFFFFFFFFFFFFFFFFULL, 0x00000000FFFFFFFFULL,
+                   0x0000000000000000ULL, 0xFFFFFFFF00000001ULL};
+
+// Group order n.
+constexpr Fe kN = {0xF3B9CAC2FC632551ULL, 0xBCE6FAADA7179E84ULL,
+                   0xFFFFFFFFFFFFFFFFULL, 0xFFFFFFFF00000000ULL};
+
+// Curve coefficient b (a = -3 is implicit in the formulas).
+constexpr Fe kB = {0x3BCE3C3E27D2604BULL, 0x651D06B0CC53B0F6ULL,
+                   0xB3EBBD55769886BCULL, 0x5AC635D8AA3A93E7ULL};
+
+constexpr Fe kGx = {0xF4A13945D898C296ULL, 0x77037D812DEB33A0ULL,
+                    0xF8BCE6E563A440F2ULL, 0x6B17D1F2E12C4247ULL};
+constexpr Fe kGy = {0xCBB6406837BF51F5ULL, 0x2BCE33576B315ECEULL,
+                    0x8EE7EB4A7C0F9E16ULL, 0x4FE342E2FE1A7F9BULL};
+
+// mu = -p^{-1} mod 2^64.
+u64 ComputeMontgomeryMu(u64 p0) {
+  u64 inv = 1;
+  for (int i = 0; i < 6; ++i) inv *= 2 - p0 * inv;  // Newton: inv = p0^-1
+  return ~inv + 1;                                   // -inv
+}
+
+bool IsZeroFe(const Fe& a) {
+  return (a[0] | a[1] | a[2] | a[3]) == 0;
+}
+
+int CompareFe(const Fe& a, const Fe& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+// out = a + b, returns carry.
+u64 AddFeRaw(const Fe& a, const Fe& b, Fe* out) {
+  u128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 s = static_cast<u128>(a[i]) + b[i] + carry;
+    (*out)[i] = static_cast<u64>(s);
+    carry = s >> 64;
+  }
+  return static_cast<u64>(carry);
+}
+
+// out = a - b, returns borrow.
+u64 SubFeRaw(const Fe& a, const Fe& b, Fe* out) {
+  u128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 d = static_cast<u128>(a[i]) - b[i] - borrow;
+    (*out)[i] = static_cast<u64>(d);
+    borrow = (d >> 64) & 1;
+  }
+  return static_cast<u64>(borrow);
+}
+
+/// Montgomery arithmetic context for a fixed 256-bit odd modulus.
+class Mont256 {
+ public:
+  explicit Mont256(const Fe& modulus)
+      : m_(modulus), mu_(ComputeMontgomeryMu(modulus[0])) {
+    // r_mod = 2^256 mod m (m > 2^255, so a single subtraction suffices).
+    Fe zero{};
+    SubFeRaw(zero, m_, &r_mod_);  // 2^256 - m represented in 256 bits
+    // rr_ = (2^256)^2 mod m via 256 modular doublings of r_mod.
+    rr_ = r_mod_;
+    for (int i = 0; i < 256; ++i) rr_ = AddMod(rr_, rr_);
+    one_ = ToMont(Fe{1, 0, 0, 0});
+  }
+
+  const Fe& modulus() const { return m_; }
+  const Fe& mont_one() const { return one_; }
+
+  Fe AddMod(const Fe& a, const Fe& b) const {
+    Fe sum;
+    u64 carry = AddFeRaw(a, b, &sum);
+    if (carry || CompareFe(sum, m_) >= 0) {
+      Fe tmp;
+      SubFeRaw(sum, m_, &tmp);
+      return tmp;
+    }
+    return sum;
+  }
+
+  Fe SubMod(const Fe& a, const Fe& b) const {
+    Fe diff;
+    u64 borrow = SubFeRaw(a, b, &diff);
+    if (borrow) {
+      Fe tmp;
+      AddFeRaw(diff, m_, &tmp);
+      return tmp;
+    }
+    return diff;
+  }
+
+  // CIOS Montgomery multiplication: returns a*b*R^-1 mod m.
+  Fe MontMul(const Fe& a, const Fe& b) const {
+    u64 t[6] = {0, 0, 0, 0, 0, 0};
+    for (int i = 0; i < 4; ++i) {
+      // t += a * b[i]
+      u128 carry = 0;
+      for (int j = 0; j < 4; ++j) {
+        u128 cur = static_cast<u128>(a[j]) * b[i] + t[j] + carry;
+        t[j] = static_cast<u64>(cur);
+        carry = cur >> 64;
+      }
+      u128 cur = static_cast<u128>(t[4]) + carry;
+      t[4] = static_cast<u64>(cur);
+      t[5] = static_cast<u64>(cur >> 64);
+
+      // Reduce: add m * (t[0] * mu) and shift one limb.
+      u64 m = t[0] * mu_;
+      carry = (static_cast<u128>(m) * m_[0] + t[0]) >> 64;
+      for (int j = 1; j < 4; ++j) {
+        u128 cur2 = static_cast<u128>(m) * m_[j] + t[j] + carry;
+        t[j - 1] = static_cast<u64>(cur2);
+        carry = cur2 >> 64;
+      }
+      u128 cur3 = static_cast<u128>(t[4]) + carry;
+      t[3] = static_cast<u64>(cur3);
+      t[4] = t[5] + static_cast<u64>(cur3 >> 64);
+      t[5] = 0;
+    }
+    Fe out = {t[0], t[1], t[2], t[3]};
+    if (t[4] != 0 || CompareFe(out, m_) >= 0) {
+      Fe tmp;
+      SubFeRaw(out, m_, &tmp);
+      out = tmp;
+    }
+    return out;
+  }
+
+  Fe ToMont(const Fe& a) const { return MontMul(a, rr_); }
+  Fe FromMont(const Fe& a) const { return MontMul(a, Fe{1, 0, 0, 0}); }
+
+  // a^e mod m with a in Montgomery form; e a plain integer.
+  Fe MontPow(const Fe& a, const Fe& e) const {
+    Fe acc = one_;
+    for (int bit = 255; bit >= 0; --bit) {
+      acc = MontMul(acc, acc);
+      if ((e[bit / 64] >> (bit % 64)) & 1) acc = MontMul(acc, a);
+    }
+    return acc;
+  }
+
+  // Inverse via Fermat (m prime): a^(m-2).
+  Fe MontInverse(const Fe& a) const {
+    Fe e = m_;
+    // e = m - 2
+    Fe two = {2, 0, 0, 0};
+    Fe exp;
+    SubFeRaw(e, two, &exp);
+    return MontPow(a, exp);
+  }
+
+ private:
+  Fe m_;
+  u64 mu_;
+  Fe r_mod_;
+  Fe rr_;
+  Fe one_;
+};
+
+const Mont256& FieldCtx() {
+  static const Mont256* ctx = new Mont256(kP);
+  return *ctx;
+}
+
+// Jacobian point, coordinates in Montgomery form. Infinity <=> z == 0.
+struct Jacobian {
+  Fe x, y, z;
+};
+
+bool JIsInfinity(const Jacobian& p) { return IsZeroFe(p.z); }
+
+Jacobian JInfinity() { return Jacobian{Fe{}, Fe{}, Fe{}}; }
+
+Jacobian ToJacobian(const P256Point& p) {
+  if (p.infinity) return JInfinity();
+  const Mont256& f = FieldCtx();
+  return Jacobian{f.ToMont(p.x), f.ToMont(p.y), f.mont_one()};
+}
+
+P256Point ToAffine(const Jacobian& p) {
+  if (JIsInfinity(p)) return P256Point{};
+  const Mont256& f = FieldCtx();
+  Fe zinv = f.MontInverse(p.z);
+  Fe zinv2 = f.MontMul(zinv, zinv);
+  Fe zinv3 = f.MontMul(zinv2, zinv);
+  P256Point out;
+  out.infinity = false;
+  out.x = f.FromMont(f.MontMul(p.x, zinv2));
+  out.y = f.FromMont(f.MontMul(p.y, zinv3));
+  return out;
+}
+
+// Doubling with a = -3 (dbl-2001-b).
+Jacobian JDouble(const Jacobian& p) {
+  if (JIsInfinity(p) || IsZeroFe(p.y)) return JInfinity();
+  const Mont256& f = FieldCtx();
+  Fe delta = f.MontMul(p.z, p.z);
+  Fe gamma = f.MontMul(p.y, p.y);
+  Fe beta = f.MontMul(p.x, gamma);
+  Fe t1 = f.SubMod(p.x, delta);
+  Fe t2 = f.AddMod(p.x, delta);
+  Fe t3 = f.MontMul(t1, t2);
+  Fe alpha = f.AddMod(f.AddMod(t3, t3), t3);  // 3*(x-delta)*(x+delta)
+  Fe alpha2 = f.MontMul(alpha, alpha);
+  Fe beta2 = f.AddMod(beta, beta);
+  Fe beta4 = f.AddMod(beta2, beta2);
+  Fe beta8 = f.AddMod(beta4, beta4);
+  Jacobian out;
+  out.x = f.SubMod(alpha2, beta8);
+  Fe yz = f.AddMod(p.y, p.z);
+  Fe yz2 = f.MontMul(yz, yz);
+  out.z = f.SubMod(f.SubMod(yz2, gamma), delta);
+  Fe gamma2 = f.MontMul(gamma, gamma);
+  Fe g2_2 = f.AddMod(gamma2, gamma2);
+  Fe g2_4 = f.AddMod(g2_2, g2_2);
+  Fe g2_8 = f.AddMod(g2_4, g2_4);
+  Fe inner = f.SubMod(beta4, out.x);
+  out.y = f.SubMod(f.MontMul(alpha, inner), g2_8);
+  return out;
+}
+
+// General Jacobian addition.
+Jacobian JAdd(const Jacobian& a, const Jacobian& b) {
+  if (JIsInfinity(a)) return b;
+  if (JIsInfinity(b)) return a;
+  const Mont256& f = FieldCtx();
+  Fe z1z1 = f.MontMul(a.z, a.z);
+  Fe z2z2 = f.MontMul(b.z, b.z);
+  Fe u1 = f.MontMul(a.x, z2z2);
+  Fe u2 = f.MontMul(b.x, z1z1);
+  Fe s1 = f.MontMul(f.MontMul(a.y, b.z), z2z2);
+  Fe s2 = f.MontMul(f.MontMul(b.y, a.z), z1z1);
+  Fe h = f.SubMod(u2, u1);
+  Fe r = f.SubMod(s2, s1);
+  if (IsZeroFe(h)) {
+    if (IsZeroFe(r)) return JDouble(a);
+    return JInfinity();
+  }
+  Fe hh = f.MontMul(h, h);
+  Fe hhh = f.MontMul(hh, h);
+  Fe v = f.MontMul(u1, hh);
+  Fe r2 = f.MontMul(r, r);
+  Jacobian out;
+  out.x = f.SubMod(f.SubMod(r2, hhh), f.AddMod(v, v));
+  out.y = f.SubMod(f.MontMul(r, f.SubMod(v, out.x)), f.MontMul(s1, hhh));
+  out.z = f.MontMul(f.MontMul(a.z, b.z), h);
+  return out;
+}
+
+Jacobian JScalarMult(const Scalar256& k, const Jacobian& p) {
+  Jacobian acc = JInfinity();
+  bool started = false;
+  for (int bit = 255; bit >= 0; --bit) {
+    if (started) acc = JDouble(acc);
+    if ((k[bit / 64] >> (bit % 64)) & 1) {
+      acc = started ? JAdd(acc, p) : p;
+      started = true;
+    }
+  }
+  return started ? acc : JInfinity();
+}
+
+}  // namespace
+
+P256Point P256::Generator() {
+  P256Point g;
+  g.infinity = false;
+  g.x = kGx;
+  g.y = kGy;
+  return g;
+}
+
+Scalar256 P256::Order() { return kN; }
+
+P256Point P256::Add(const P256Point& a, const P256Point& b) {
+  return ToAffine(JAdd(ToJacobian(a), ToJacobian(b)));
+}
+
+P256Point P256::ScalarMult(const Scalar256& k, const P256Point& p) {
+  return ToAffine(JScalarMult(k, ToJacobian(p)));
+}
+
+P256Point P256::ScalarBaseMult(const Scalar256& k) {
+  return ScalarMult(k, Generator());
+}
+
+bool P256::IsOnCurve(const P256Point& p) {
+  if (p.infinity) return true;
+  if (CompareFe(p.x, kP) >= 0 || CompareFe(p.y, kP) >= 0) return false;
+  const Mont256& f = FieldCtx();
+  Fe x = f.ToMont(p.x);
+  Fe y = f.ToMont(p.y);
+  Fe b = f.ToMont(kB);
+  // y^2 == x^3 - 3x + b
+  Fe y2 = f.MontMul(y, y);
+  Fe x2 = f.MontMul(x, x);
+  Fe x3 = f.MontMul(x2, x);
+  Fe three_x = f.AddMod(f.AddMod(x, x), x);
+  Fe rhs = f.AddMod(f.SubMod(x3, three_x), b);
+  return CompareFe(y2, rhs) == 0;
+}
+
+Bytes P256::Serialize(const P256Point& p) {
+  assert(!p.infinity);
+  Bytes out;
+  out.reserve(kPointBytes);
+  out.push_back(0x04);
+  Bytes xb = ScalarToBytes(p.x);
+  Bytes yb = ScalarToBytes(p.y);
+  out.insert(out.end(), xb.begin(), xb.end());
+  out.insert(out.end(), yb.begin(), yb.end());
+  return out;
+}
+
+Result<P256Point> P256::Parse(const Bytes& bytes) {
+  if (bytes.size() != kPointBytes || bytes[0] != 0x04) {
+    return Status::CryptoError("P256: malformed point encoding");
+  }
+  P256Point p;
+  p.infinity = false;
+  p.x = ScalarFromBytes(bytes.data() + 1);
+  p.y = ScalarFromBytes(bytes.data() + 33);
+  if (!IsOnCurve(p)) {
+    return Status::CryptoError("P256: point not on curve");
+  }
+  return p;
+}
+
+Scalar256 P256::RandomScalar(SecureRandom* rng) {
+  for (;;) {
+    Bytes b = rng->RandomBytes(32);
+    Scalar256 k = ScalarFromBytes(b.data());
+    if (IsZeroFe(k)) continue;
+    if (CompareFe(k, kN) >= 0) continue;
+    return k;
+  }
+}
+
+Bytes ScalarToBytes(const Scalar256& s) {
+  Bytes out(32);
+  for (int i = 0; i < 4; ++i) {
+    u64 limb = s[3 - i];  // big-endian output
+    for (int b = 0; b < 8; ++b) {
+      out[static_cast<size_t>(8 * i + b)] =
+          static_cast<uint8_t>(limb >> (56 - 8 * b));
+    }
+  }
+  return out;
+}
+
+Scalar256 ScalarFromBytes(const uint8_t bytes[32]) {
+  Scalar256 s{};
+  for (int i = 0; i < 4; ++i) {
+    u64 limb = 0;
+    for (int b = 0; b < 8; ++b) {
+      limb = (limb << 8) | bytes[8 * i + b];
+    }
+    s[3 - i] = limb;
+  }
+  return s;
+}
+
+}  // namespace crypto
+}  // namespace shuffledp

@@ -1,0 +1,84 @@
+// NIST P-256 (secp256r1) elliptic-curve arithmetic.
+//
+// The sequential-shuffle protocol (SS) wraps per-report AES keys with
+// elliptic-curve ElGamal over secp256r1 (paper §VII-A "Implementation").
+// This is a from-scratch implementation: a fixed 4x64-limb field with
+// Montgomery (CIOS) multiplication, Jacobian point arithmetic with the
+// a = -3 doubling formulas, and uncompressed SEC1 serialization.
+//
+// Not constant-time: this library is a research simulation, not a TLS
+// stack; timing side channels are out of scope (the paper likewise assumes
+// "no side channels such as timing information", §V-B).
+
+#ifndef SHUFFLEDP_CRYPTO_EC_P256_H_
+#define SHUFFLEDP_CRYPTO_EC_P256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace shuffledp {
+namespace crypto {
+
+class SecureRandom;
+
+/// A 256-bit scalar (little-endian 64-bit limbs).
+using Scalar256 = std::array<uint64_t, 4>;
+
+/// A point on P-256 in affine coordinates, or the point at infinity.
+struct P256Point {
+  Scalar256 x{};
+  Scalar256 y{};
+  bool infinity = true;
+
+  bool operator==(const P256Point& o) const {
+    if (infinity != o.infinity) return false;
+    if (infinity) return true;
+    return x == o.x && y == o.y;
+  }
+};
+
+/// P-256 group operations.
+class P256 {
+ public:
+  static constexpr size_t kFieldBytes = 32;
+  static constexpr size_t kPointBytes = 65;  // 0x04 || X || Y
+
+  /// The standard base point G.
+  static P256Point Generator();
+
+  /// The group order n as little-endian limbs.
+  static Scalar256 Order();
+
+  /// Point addition (handles doubling and infinity).
+  static P256Point Add(const P256Point& a, const P256Point& b);
+
+  /// Scalar multiplication k * P (double-and-add).
+  static P256Point ScalarMult(const Scalar256& k, const P256Point& p);
+
+  /// k * G.
+  static P256Point ScalarBaseMult(const Scalar256& k);
+
+  /// True iff `p` satisfies the curve equation (or is infinity).
+  static bool IsOnCurve(const P256Point& p);
+
+  /// Uncompressed SEC1 encoding (65 bytes). Pre: not infinity.
+  static Bytes Serialize(const P256Point& p);
+
+  /// Parses an uncompressed point and validates it is on the curve.
+  static Result<P256Point> Parse(const Bytes& bytes);
+
+  /// Uniform scalar in [1, n-1].
+  static Scalar256 RandomScalar(SecureRandom* rng);
+};
+
+/// Converts a scalar to/from 32 big-endian bytes.
+Bytes ScalarToBytes(const Scalar256& s);
+Scalar256 ScalarFromBytes(const uint8_t bytes[32]);
+
+}  // namespace crypto
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_CRYPTO_EC_P256_H_

@@ -1,0 +1,80 @@
+#include "crypto/ecies.h"
+
+#include <cstring>
+
+#include "crypto/aes.h"
+#include "crypto/sha256.h"
+
+namespace shuffledp {
+namespace crypto {
+
+EciesKeyPair EciesGenerateKeyPair(SecureRandom* rng) {
+  EciesKeyPair kp;
+  kp.private_key = P256::RandomScalar(rng);
+  kp.public_key = P256::ScalarBaseMult(kp.private_key);
+  return kp;
+}
+
+namespace {
+
+// Derives (key, iv) from the shared ECDH point.
+void DeriveKeyIv(const P256Point& shared, std::array<uint8_t, 16>* key,
+                 std::array<uint8_t, 16>* iv) {
+  Bytes encoded = P256::Serialize(shared);
+  auto digest = Sha256::Hash(encoded.data(), encoded.size());
+  std::memcpy(key->data(), digest.data(), 16);
+  std::memcpy(iv->data(), digest.data() + 16, 16);
+}
+
+}  // namespace
+
+Bytes EciesEncrypt(const P256Point& recipient, const Bytes& plaintext,
+                   SecureRandom* rng) {
+  Scalar256 ephemeral = P256::RandomScalar(rng);
+  P256Point r_point = P256::ScalarBaseMult(ephemeral);
+  P256Point shared = P256::ScalarMult(ephemeral, recipient);
+
+  std::array<uint8_t, 16> key, iv;
+  DeriveKeyIv(shared, &key, &iv);
+
+  Bytes out = P256::Serialize(r_point);
+  Bytes ct = AesCbcEncrypt(key, iv, plaintext);
+  out.insert(out.end(), ct.begin(), ct.end());
+  return out;
+}
+
+Result<Bytes> EciesDecrypt(const Scalar256& private_key, const Bytes& blob) {
+  if (blob.size() < P256::kPointBytes + 32) {
+    return Status::CryptoError("ECIES: blob too short");
+  }
+  Bytes point_bytes(blob.begin(), blob.begin() + P256::kPointBytes);
+  auto r_point = P256::Parse(point_bytes);
+  if (!r_point.ok()) return r_point.status();
+
+  P256Point shared = P256::ScalarMult(private_key, *r_point);
+  if (shared.infinity) {
+    return Status::CryptoError("ECIES: degenerate shared point");
+  }
+  std::array<uint8_t, 16> key, iv;
+  DeriveKeyIv(shared, &key, &iv);
+
+  Bytes ct(blob.begin() + P256::kPointBytes, blob.end());
+  return AesCbcDecrypt(key, ct);
+}
+
+Bytes OnionEncrypt(const std::vector<P256Point>& layers, const Bytes& payload,
+                   SecureRandom* rng) {
+  Bytes blob = payload;
+  // Innermost layer first: the last recipient peels last.
+  for (size_t i = layers.size(); i-- > 0;) {
+    blob = EciesEncrypt(layers[i], blob, rng);
+  }
+  return blob;
+}
+
+Result<Bytes> OnionPeel(const Scalar256& private_key, const Bytes& blob) {
+  return EciesDecrypt(private_key, blob);
+}
+
+}  // namespace crypto
+}  // namespace shuffledp

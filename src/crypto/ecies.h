@@ -1,0 +1,54 @@
+// ECIES hybrid public-key encryption over P-256.
+//
+// Instantiates the paper's "generate a random AES key, encrypt the message
+// with AES-128-CBC, and encrypt the AES key with ElGamal over secp256r1":
+// an ephemeral ECDH share plays the ElGamal role, SHA-256 of the shared
+// point derives the AES key and IV. Wire format:
+//
+//   0x04 || R.x || R.y   (65 bytes, ephemeral public point)
+//   IV || CBC ciphertext (16 + padded length)
+
+#ifndef SHUFFLEDP_CRYPTO_ECIES_H_
+#define SHUFFLEDP_CRYPTO_ECIES_H_
+
+#include "crypto/ec_p256.h"
+#include "crypto/secure_random.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace shuffledp {
+namespace crypto {
+
+/// An ECIES key pair.
+struct EciesKeyPair {
+  Scalar256 private_key;
+  P256Point public_key;
+};
+
+/// Generates a fresh key pair.
+EciesKeyPair EciesGenerateKeyPair(SecureRandom* rng);
+
+/// Encrypts `plaintext` to `recipient`. Fresh ephemeral key per call.
+Bytes EciesEncrypt(const P256Point& recipient, const Bytes& plaintext,
+                   SecureRandom* rng);
+
+/// Decrypts a blob produced by EciesEncrypt.
+Result<Bytes> EciesDecrypt(const Scalar256& private_key, const Bytes& blob);
+
+/// Ciphertext expansion: bytes added on top of the padded plaintext.
+/// 65 (point) + 16 (IV); CBC padding adds 1..16 more.
+constexpr size_t kEciesOverhead = 65 + 16;
+
+/// Onion encryption: encrypts `payload` under `layers` back-to-front so
+/// that layers[0] peels first (the first shuffler), layers.back() last
+/// (the server).
+Bytes OnionEncrypt(const std::vector<P256Point>& layers, const Bytes& payload,
+                   SecureRandom* rng);
+
+/// Removes one onion layer.
+Result<Bytes> OnionPeel(const Scalar256& private_key, const Bytes& blob);
+
+}  // namespace crypto
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_CRYPTO_ECIES_H_

@@ -1,0 +1,153 @@
+#include "crypto/montgomery.h"
+
+#include <cassert>
+
+namespace shuffledp {
+namespace crypto {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+uint64_t NegInverse64(uint64_t m0) {
+  uint64_t inv = 1;
+  for (int i = 0; i < 6; ++i) inv *= 2 - m0 * inv;  // Newton: inv = m0^-1
+  return ~inv + 1;
+}
+
+}  // namespace
+
+Result<MontgomeryCtx> MontgomeryCtx::Create(const BigInt& modulus) {
+  if (modulus.IsZero() || !modulus.IsOdd() || modulus == BigInt(1)) {
+    return Status::InvalidArgument("Montgomery: modulus must be odd and > 1");
+  }
+  MontgomeryCtx ctx;
+  ctx.modulus_ = modulus;
+  ctx.limbs_ = modulus.limb_count();
+  ctx.mod_limbs_.resize(ctx.limbs_);
+  for (size_t i = 0; i < ctx.limbs_; ++i) {
+    ctx.mod_limbs_[i] = modulus.limb(i);
+  }
+  ctx.mu_ = NegInverse64(modulus.limb(0));
+  // R mod m and R^2 mod m via the generic divider (one-time cost).
+  BigInt r = BigInt(1).ShiftLeft(64 * ctx.limbs_);
+  ctx.one_mont_ = r.Mod(modulus);
+  ctx.rr_ = ctx.one_mont_.Mul(ctx.one_mont_).Mod(modulus);
+  return ctx;
+}
+
+std::vector<uint64_t> MontgomeryCtx::Pad(const BigInt& a) const {
+  assert(a < modulus_);
+  std::vector<uint64_t> out(limbs_);
+  for (size_t i = 0; i < limbs_; ++i) out[i] = a.limb(i);
+  return out;
+}
+
+BigInt MontgomeryCtx::FromLimbs(const std::vector<uint64_t>& limbs) {
+  return BigInt::FromLimbsLittleEndian(limbs);
+}
+
+void MontgomeryCtx::MulInto(const std::vector<uint64_t>& a,
+                            const std::vector<uint64_t>& b,
+                            std::vector<uint64_t>* out) const {
+  const size_t n = limbs_;
+  std::vector<uint64_t> t(n + 2, 0);
+  for (size_t i = 0; i < n; ++i) {
+    // t += a * b[i]
+    u128 carry = 0;
+    const uint64_t bi = b[i];
+    for (size_t j = 0; j < n; ++j) {
+      u128 cur = static_cast<u128>(a[j]) * bi + t[j] + carry;
+      t[j] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    u128 cur = static_cast<u128>(t[n]) + carry;
+    t[n] = static_cast<uint64_t>(cur);
+    t[n + 1] = static_cast<uint64_t>(cur >> 64);
+
+    // Reduce one limb: t = (t + m * ((t[0] * mu) mod 2^64)) / 2^64.
+    const uint64_t m = t[0] * mu_;
+    carry = (static_cast<u128>(m) * mod_limbs_[0] + t[0]) >> 64;
+    for (size_t j = 1; j < n; ++j) {
+      u128 cur2 = static_cast<u128>(m) * mod_limbs_[j] + t[j] + carry;
+      t[j - 1] = static_cast<uint64_t>(cur2);
+      carry = cur2 >> 64;
+    }
+    u128 cur3 = static_cast<u128>(t[n]) + carry;
+    t[n - 1] = static_cast<uint64_t>(cur3);
+    t[n] = t[n + 1] + static_cast<uint64_t>(cur3 >> 64);
+    t[n + 1] = 0;
+  }
+
+  // Conditional final subtraction (result < 2m is guaranteed).
+  bool ge = t[n] != 0;
+  if (!ge) {
+    ge = true;
+    for (size_t i = n; i-- > 0;) {
+      if (t[i] != mod_limbs_[i]) {
+        ge = t[i] > mod_limbs_[i];
+        break;
+      }
+    }
+  }
+  out->assign(t.begin(), t.begin() + static_cast<ptrdiff_t>(n));
+  if (ge) {
+    u128 borrow = 0;
+    for (size_t i = 0; i < n; ++i) {
+      u128 diff = static_cast<u128>((*out)[i]) - mod_limbs_[i] - borrow;
+      (*out)[i] = static_cast<uint64_t>(diff);
+      borrow = (diff >> 64) & 1;
+    }
+  }
+}
+
+BigInt MontgomeryCtx::MontMul(const BigInt& a, const BigInt& b) const {
+  std::vector<uint64_t> out;
+  MulInto(Pad(a), Pad(b), &out);
+  return FromLimbs(out);
+}
+
+BigInt MontgomeryCtx::ToMont(const BigInt& a) const {
+  return MontMul(a.Mod(modulus_), rr_);
+}
+
+BigInt MontgomeryCtx::FromMont(const BigInt& a) const {
+  return MontMul(a, BigInt(1));
+}
+
+BigInt MontgomeryCtx::ModExp(const BigInt& base,
+                             const BigInt& exponent) const {
+  if (exponent.IsZero()) return BigInt(1).Mod(modulus_);
+  // 4-bit fixed window over Montgomery-form limb vectors.
+  std::vector<std::vector<uint64_t>> table(16);
+  table[0] = Pad(one_mont_);
+  std::vector<uint64_t> base_m = Pad(ToMont(base));
+  table[1] = base_m;
+  for (int i = 2; i < 16; ++i) {
+    MulInto(table[i - 1], base_m, &table[i]);
+  }
+
+  const size_t bits = exponent.BitLength();
+  const size_t windows = (bits + 3) / 4;
+  std::vector<uint64_t> acc = table[0];
+  std::vector<uint64_t> tmp;
+  for (size_t w = windows; w-- > 0;) {
+    for (int s = 0; s < 4; ++s) {
+      MulInto(acc, acc, &tmp);
+      acc.swap(tmp);
+    }
+    uint64_t idx = 0;
+    for (int b = 3; b >= 0; --b) {
+      idx = (idx << 1) |
+            (exponent.GetBit(w * 4 + static_cast<size_t>(b)) ? 1 : 0);
+    }
+    if (idx != 0) {
+      MulInto(acc, table[idx], &tmp);
+      acc.swap(tmp);
+    }
+  }
+  return FromMont(FromLimbs(acc));
+}
+
+}  // namespace crypto
+}  // namespace shuffledp

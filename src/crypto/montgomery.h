@@ -1,0 +1,66 @@
+// Generic Montgomery (CIOS) modular arithmetic for odd BigInt moduli.
+//
+// Paillier encryption/decryption is modexp-bound; the schoolbook
+// ModMul+DivMod reduction in BigInt::ModExp costs a full Knuth-D division
+// per multiply. Montgomery's reduction replaces the division with two
+// limb-level multiply-accumulate passes, a ~3-6x speedup at the 1024- to
+// 3072-bit sizes PEOS uses. BigInt::ModExp dispatches here automatically
+// for odd moduli; this header is public for callers that want to amortize
+// the per-modulus precomputation across many exponentiations.
+
+#ifndef SHUFFLEDP_CRYPTO_MONTGOMERY_H_
+#define SHUFFLEDP_CRYPTO_MONTGOMERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/bigint.h"
+#include "util/status.h"
+
+namespace shuffledp {
+namespace crypto {
+
+/// Precomputed Montgomery context for a fixed odd modulus.
+class MontgomeryCtx {
+ public:
+  /// Pre: `modulus` is odd and > 1 (checked by Create).
+  static Result<MontgomeryCtx> Create(const BigInt& modulus);
+
+  const BigInt& modulus() const { return modulus_; }
+
+  /// a * R mod m (R = 2^(64*limbs)).
+  BigInt ToMont(const BigInt& a) const;
+
+  /// a * R^-1 mod m.
+  BigInt FromMont(const BigInt& a) const;
+
+  /// Montgomery product: a * b * R^-1 mod m (both in Montgomery form).
+  BigInt MontMul(const BigInt& a, const BigInt& b) const;
+
+  /// Full modular exponentiation base^exp mod m (plain-domain inputs and
+  /// output; 4-bit fixed window).
+  BigInt ModExp(const BigInt& base, const BigInt& exponent) const;
+
+ private:
+  MontgomeryCtx() = default;
+
+  // CIOS kernel over padded limb vectors of length limbs_.
+  void MulInto(const std::vector<uint64_t>& a,
+               const std::vector<uint64_t>& b,
+               std::vector<uint64_t>* out) const;
+
+  std::vector<uint64_t> Pad(const BigInt& a) const;
+  static BigInt FromLimbs(const std::vector<uint64_t>& limbs);
+
+  BigInt modulus_;
+  std::vector<uint64_t> mod_limbs_;
+  size_t limbs_ = 0;
+  uint64_t mu_ = 0;     // -m^{-1} mod 2^64
+  BigInt rr_;           // R^2 mod m
+  BigInt one_mont_;     // R mod m
+};
+
+}  // namespace crypto
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_CRYPTO_MONTGOMERY_H_

@@ -1,0 +1,213 @@
+#include "crypto/paillier.h"
+
+#include <cassert>
+
+namespace shuffledp {
+namespace crypto {
+
+PaillierPublicKey::PaillierPublicKey(BigInt n)
+    : n_(std::move(n)), n_squared_(n_.Mul(n_)) {}
+
+Result<PaillierCiphertext> PaillierPublicKey::Encrypt(
+    const BigInt& m, SecureRandom* rng) const {
+  if (n_.IsZero()) {
+    return Status::FailedPrecondition("Paillier public key not initialized");
+  }
+  if (m >= n_) {
+    return Status::InvalidArgument("Paillier plaintext >= N");
+  }
+  // r uniform in [1, N) with gcd(r, N) = 1 (overwhelming for random r).
+  BigInt r;
+  do {
+    r = BigInt::RandomBelow(n_, rng);
+  } while (r.IsZero() || BigInt::Gcd(r, n_) != BigInt(1));
+
+  // c = (1 + m*N) * r^N mod N^2.
+  BigInt g_to_m = BigInt(1).Add(m.Mul(n_)).Mod(n_squared_);
+  BigInt r_to_n = r.ModExp(n_, n_squared_);
+  return PaillierCiphertext{g_to_m.ModMul(r_to_n, n_squared_)};
+}
+
+Result<PaillierCiphertext> PaillierPublicKey::EncryptU64(
+    uint64_t m, SecureRandom* rng) const {
+  return Encrypt(BigInt(m), rng);
+}
+
+PaillierCiphertext PaillierPublicKey::Add(const PaillierCiphertext& a,
+                                          const PaillierCiphertext& b) const {
+  return PaillierCiphertext{a.value.ModMul(b.value, n_squared_)};
+}
+
+PaillierCiphertext PaillierPublicKey::AddPlain(const PaillierCiphertext& c,
+                                               const BigInt& m) const {
+  BigInt g_to_m = BigInt(1).Add(m.Mod(n_).Mul(n_)).Mod(n_squared_);
+  return PaillierCiphertext{c.value.ModMul(g_to_m, n_squared_)};
+}
+
+PaillierCiphertext PaillierPublicKey::ScalarMult(const PaillierCiphertext& c,
+                                                 const BigInt& k) const {
+  return PaillierCiphertext{c.value.ModExp(k, n_squared_)};
+}
+
+PaillierCiphertext PaillierPublicKey::TrivialEncrypt(const BigInt& m) const {
+  return PaillierCiphertext{BigInt(1).Add(m.Mod(n_).Mul(n_)).Mod(n_squared_)};
+}
+
+Bytes PaillierPublicKey::SerializeCiphertext(
+    const PaillierCiphertext& c) const {
+  return c.value.ToBytesBigEndian(CiphertextBytes());
+}
+
+Result<PaillierCiphertext> PaillierPublicKey::ParseCiphertext(
+    const Bytes& bytes) const {
+  if (bytes.size() != CiphertextBytes()) {
+    return Status::DataLoss("Paillier ciphertext has wrong length");
+  }
+  BigInt v = BigInt::FromBytesBigEndian(bytes);
+  if (v >= n_squared_) {
+    return Status::CryptoError("Paillier ciphertext out of range");
+  }
+  return PaillierCiphertext{std::move(v)};
+}
+
+namespace {
+
+// L_n(x) = (x - 1) / n. Pre: x == 1 mod n.
+BigInt LFunction(const BigInt& x, const BigInt& n) {
+  BigInt q;
+  Status st = x.Sub(BigInt(1)).DivMod(n, &q, nullptr);
+  assert(st.ok());
+  (void)st;
+  return q;
+}
+
+}  // namespace
+
+Result<PaillierPrivateKey> PaillierPrivateKey::FromPrimes(const BigInt& p,
+                                                          const BigInt& q) {
+  if (p == q) return Status::InvalidArgument("Paillier: p == q");
+  PaillierPrivateKey key;
+  key.p_ = p;
+  key.q_ = q;
+  key.p_squared_ = p.Mul(p);
+  key.q_squared_ = q.Mul(q);
+  BigInt n = p.Mul(q);
+  key.pub_ = PaillierPublicKey(n);
+
+  // With g = N + 1:  g^{p-1} mod p^2 = 1 + (p-1)*N mod p^2, so
+  // hp = ( L_p(g^{p-1} mod p^2) )^{-1} mod p.
+  const BigInt g = n.Add(BigInt(1));
+  BigInt p_minus_1 = p.Sub(BigInt(1));
+  BigInt q_minus_1 = q.Sub(BigInt(1));
+
+  BigInt gp = g.ModExp(p_minus_1, key.p_squared_);
+  BigInt gq = g.ModExp(q_minus_1, key.q_squared_);
+  auto hp = LFunction(gp, p).Mod(p).ModInverse(p);
+  if (!hp.ok()) return Status::CryptoError("Paillier: hp not invertible");
+  auto hq = LFunction(gq, q).Mod(q).ModInverse(q);
+  if (!hq.ok()) return Status::CryptoError("Paillier: hq not invertible");
+  key.hp_ = *hp;
+  key.hq_ = *hq;
+
+  auto q_inv = q.ModInverse(p);
+  if (!q_inv.ok()) return Status::CryptoError("Paillier: q not invertible");
+  key.q_sq_inv_mod_p_sq_ = *q_inv;  // actually q^{-1} mod p for Garner CRT
+  return key;
+}
+
+Result<BigInt> PaillierPrivateKey::Decrypt(const PaillierCiphertext& c) const {
+  if (p_.IsZero()) {
+    return Status::FailedPrecondition("Paillier private key not initialized");
+  }
+  if (c.value >= pub_.n_squared() || c.value.IsZero()) {
+    return Status::CryptoError("Paillier: ciphertext out of range");
+  }
+  // CRT decryption: m_p = L_p(c^{p-1} mod p^2) * hp mod p, same for q.
+  BigInt p_minus_1 = p_.Sub(BigInt(1));
+  BigInt q_minus_1 = q_.Sub(BigInt(1));
+  BigInt cp = c.value.Mod(p_squared_).ModExp(p_minus_1, p_squared_);
+  BigInt cq = c.value.Mod(q_squared_).ModExp(q_minus_1, q_squared_);
+  BigInt mp = LFunction(cp, p_).ModMul(hp_, p_);
+  BigInt mq = LFunction(cq, q_).ModMul(hq_, q_);
+
+  // Garner recombination: m = mq + q * ((mp - mq) * q^{-1} mod p).
+  BigInt diff;
+  if (mp >= mq.Mod(p_)) {
+    diff = mp.Sub(mq.Mod(p_));
+  } else {
+    diff = mp.Add(p_).Sub(mq.Mod(p_));
+  }
+  BigInt h = diff.ModMul(q_sq_inv_mod_p_sq_, p_);
+  return mq.Add(q_.Mul(h));
+}
+
+Result<uint64_t> PaillierPrivateKey::DecryptMod2Ell(
+    const PaillierCiphertext& c, unsigned ell) const {
+  assert(ell >= 1 && ell <= 64);
+  auto m = Decrypt(c);
+  if (!m.ok()) return m.status();
+  uint64_t low = m->IsZero() ? 0 : m->ToBytesBigEndian(8).back();
+  // Reconstruct the low 64 bits properly from big-endian bytes.
+  Bytes be = m->ToBytesBigEndian(8);
+  low = 0;
+  for (size_t i = be.size() - 8; i < be.size(); ++i) {
+    low = (low << 8) | be[i];
+  }
+  if (ell == 64) return low;
+  return low & ((uint64_t{1} << ell) - 1);
+}
+
+Result<PaillierKeyPair> PaillierGenerateKeyPair(size_t modulus_bits,
+                                                SecureRandom* rng) {
+  if (modulus_bits < 64) {
+    return Status::InvalidArgument("Paillier modulus too small");
+  }
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    BigInt p = BigInt::GeneratePrime(modulus_bits / 2, rng);
+    BigInt q = BigInt::GeneratePrime(modulus_bits - modulus_bits / 2, rng);
+    if (p == q) continue;
+    BigInt n = p.Mul(q);
+    BigInt phi = p.Sub(BigInt(1)).Mul(q.Sub(BigInt(1)));
+    if (BigInt::Gcd(n, phi) != BigInt(1)) continue;
+    auto priv = PaillierPrivateKey::FromPrimes(p, q);
+    if (!priv.ok()) continue;
+    PaillierKeyPair kp;
+    kp.pub = priv->public_key();
+    kp.priv = std::move(priv).value();
+    return kp;
+  }
+  return Status::Internal("Paillier key generation failed repeatedly");
+}
+
+RandomizerPool::RandomizerPool(const PaillierPublicKey& pub, size_t size,
+                               SecureRandom* rng)
+    : pub_(&pub) {
+  assert(size >= 2);
+  pool_.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    auto enc_zero = pub.Encrypt(BigInt(), rng);
+    assert(enc_zero.ok());
+    pool_.push_back(std::move(enc_zero)->value);
+  }
+}
+
+PaillierCiphertext RandomizerPool::Rerandomize(const PaillierCiphertext& c,
+                                               SecureRandom* rng) const {
+  size_t i = rng->UniformU64(pool_.size());
+  size_t j = rng->UniformU64(pool_.size());
+  BigInt masked = c.value.ModMul(pool_[i], pub_->n_squared());
+  return PaillierCiphertext{masked.ModMul(pool_[j], pub_->n_squared())};
+}
+
+PaillierCiphertext RandomizerPool::EncryptFast(const BigInt& m,
+                                               SecureRandom* rng) const {
+  return Rerandomize(pub_->TrivialEncrypt(m), rng);
+}
+
+PaillierCiphertext RandomizerPool::EncryptFastU64(uint64_t m,
+                                                  SecureRandom* rng) const {
+  return EncryptFast(BigInt(m), rng);
+}
+
+}  // namespace crypto
+}  // namespace shuffledp

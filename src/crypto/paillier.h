@@ -1,0 +1,146 @@
+// Paillier additively homomorphic encryption.
+//
+// PEOS needs an AHE scheme whose decrypted sums, reduced mod 2^ell, equal
+// the Z_{2^ell} secret-shared sums (the paper instantiates DGK with
+// Pohlig-Hellman full decryption for a Z_{2^ell} plaintext space; see
+// DESIGN.md §4 for why Paillier-with-final-mod-2^ell is an exact behavioural
+// substitute: every share is an ell-bit value, the number of summands k
+// satisfies k * 2^ell << N, so the decrypted integer is the true sum over Z
+// and its residue mod 2^ell is the shared value).
+//
+// Implementation notes:
+//  * g = N + 1, so Enc(m; r) = (1 + m*N) * r^N mod N^2 — one modexp.
+//  * Decryption uses CRT over p^2 and q^2 (≈4x faster than the direct
+//    lambda exponentiation).
+//  * A RandomizerPool can amortize the r^N modexp for simulation-scale
+//    benchmarks (documented tradeoff; full-strength mode is the default
+//    everywhere except the Table III bench).
+
+#ifndef SHUFFLEDP_CRYPTO_PAILLIER_H_
+#define SHUFFLEDP_CRYPTO_PAILLIER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "crypto/bigint.h"
+#include "crypto/secure_random.h"
+#include "util/status.h"
+
+namespace shuffledp {
+namespace crypto {
+
+/// A Paillier ciphertext (value in [0, N^2)).
+struct PaillierCiphertext {
+  BigInt value;
+};
+
+/// Public key: modulus N (and cached N^2).
+class PaillierPublicKey {
+ public:
+  PaillierPublicKey() = default;
+  explicit PaillierPublicKey(BigInt n);
+
+  const BigInt& n() const { return n_; }
+  const BigInt& n_squared() const { return n_squared_; }
+
+  /// Ciphertext wire size in bytes (= 2 * |N| rounded up).
+  size_t CiphertextBytes() const { return (n_squared_.BitLength() + 7) / 8; }
+
+  /// Encrypts `m` (must be < N) with fresh randomness (one modexp).
+  Result<PaillierCiphertext> Encrypt(const BigInt& m, SecureRandom* rng) const;
+
+  /// Encrypts a 64-bit share value.
+  Result<PaillierCiphertext> EncryptU64(uint64_t m, SecureRandom* rng) const;
+
+  /// Homomorphic addition: Enc(a) (+) Enc(b) = Enc(a + b mod N).
+  PaillierCiphertext Add(const PaillierCiphertext& a,
+                         const PaillierCiphertext& b) const;
+
+  /// Adds a plaintext constant: Enc(a) (+) m = Enc(a + m mod N). No modexp.
+  PaillierCiphertext AddPlain(const PaillierCiphertext& c,
+                              const BigInt& m) const;
+
+  /// Homomorphic scalar multiplication: Enc(a) ^ k = Enc(a * k mod N).
+  PaillierCiphertext ScalarMult(const PaillierCiphertext& c,
+                                const BigInt& k) const;
+
+  /// Deterministic trivial encryption of m with r = 1 (used as the identity
+  /// element; NOT semantically secure on its own — always rerandomize).
+  PaillierCiphertext TrivialEncrypt(const BigInt& m) const;
+
+  /// Serialization for the simulated network channels.
+  Bytes SerializeCiphertext(const PaillierCiphertext& c) const;
+  Result<PaillierCiphertext> ParseCiphertext(const Bytes& bytes) const;
+
+ private:
+  BigInt n_;
+  BigInt n_squared_;
+};
+
+/// Private key holding the factorization (CRT decryption).
+class PaillierPrivateKey {
+ public:
+  PaillierPrivateKey() = default;
+
+  /// Builds the private key from the prime factorization N = p * q.
+  static Result<PaillierPrivateKey> FromPrimes(const BigInt& p,
+                                               const BigInt& q);
+
+  /// Decrypts to the full plaintext in [0, N).
+  Result<BigInt> Decrypt(const PaillierCiphertext& c) const;
+
+  /// Decrypts and reduces mod 2^ell (the Z_{2^ell} share recovery).
+  Result<uint64_t> DecryptMod2Ell(const PaillierCiphertext& c,
+                                  unsigned ell) const;
+
+  const PaillierPublicKey& public_key() const { return pub_; }
+
+ private:
+  PaillierPublicKey pub_;
+  BigInt p_, q_;            // primes
+  BigInt p_squared_, q_squared_;
+  BigInt hp_, hq_;          // CRT precomputation: L_p(g^{p-1} mod p^2)^-1 etc.
+  BigInt q_sq_inv_mod_p_sq_;  // for CRT recombination
+};
+
+/// Key pair.
+struct PaillierKeyPair {
+  PaillierPublicKey pub;
+  PaillierPrivateKey priv;
+};
+
+/// Generates a key pair with an N of `modulus_bits` bits.
+Result<PaillierKeyPair> PaillierGenerateKeyPair(size_t modulus_bits,
+                                                SecureRandom* rng);
+
+/// Pool of precomputed Enc(0) randomizers.
+///
+/// Rerandomization multiplies by the product of two independently chosen
+/// pool entries, giving pool_size^2 distinct masks per ciphertext. This is
+/// a *documented simulation shortcut* for benchmark throughput (DESIGN.md
+/// §4 item 5); production deployments should use fresh r^N per ciphertext
+/// (`PaillierPublicKey::Encrypt`).
+class RandomizerPool {
+ public:
+  /// Precomputes `size` Enc(0) values (size >= 2).
+  RandomizerPool(const PaillierPublicKey& pub, size_t size,
+                 SecureRandom* rng);
+
+  /// Returns c * pool[i] * pool[j] mod N^2 for random i, j.
+  PaillierCiphertext Rerandomize(const PaillierCiphertext& c,
+                                 SecureRandom* rng) const;
+
+  /// Encrypts without a fresh modexp: (1 + mN) * pool mask.
+  PaillierCiphertext EncryptFast(const BigInt& m, SecureRandom* rng) const;
+  PaillierCiphertext EncryptFastU64(uint64_t m, SecureRandom* rng) const;
+
+ private:
+  const PaillierPublicKey* pub_;
+  std::vector<BigInt> pool_;
+};
+
+}  // namespace crypto
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_CRYPTO_PAILLIER_H_

@@ -1,0 +1,77 @@
+#include "crypto/secret_sharing.h"
+
+#include <cassert>
+
+namespace shuffledp {
+namespace crypto {
+
+namespace {
+
+inline uint64_t Mask(unsigned ell) {
+  return ell >= 64 ? ~uint64_t{0} : ((uint64_t{1} << ell) - 1);
+}
+
+}  // namespace
+
+std::vector<uint64_t> SplitShares2Ell(uint64_t secret, size_t count,
+                                      unsigned ell, SecureRandom* rng) {
+  assert(count >= 1);
+  assert(ell >= 1 && ell <= 64);
+  const uint64_t mask = Mask(ell);
+  std::vector<uint64_t> shares(count);
+  uint64_t sum = 0;
+  for (size_t i = 0; i + 1 < count; ++i) {
+    shares[i] = rng->NextU64() & mask;
+    sum = (sum + shares[i]) & mask;
+  }
+  shares[count - 1] = (secret - sum) & mask;
+  return shares;
+}
+
+uint64_t ReconstructShares2Ell(const std::vector<uint64_t>& shares,
+                               unsigned ell) {
+  const uint64_t mask = Mask(ell);
+  uint64_t sum = 0;
+  for (uint64_t s : shares) sum = (sum + s) & mask;
+  return sum;
+}
+
+Result<std::vector<uint64_t>> SplitSharesMod(uint64_t secret, size_t count,
+                                             uint64_t modulus,
+                                             SecureRandom* rng) {
+  if (count < 1) return Status::InvalidArgument("share count must be >= 1");
+  if (modulus == 0) return Status::InvalidArgument("modulus must be > 0");
+  if (secret >= modulus) {
+    return Status::InvalidArgument("secret must be < modulus");
+  }
+  std::vector<uint64_t> shares(count);
+  // Work in unsigned 128 bits to avoid overflow for modulus near 2^64.
+  unsigned __int128 sum = 0;
+  for (size_t i = 0; i + 1 < count; ++i) {
+    shares[i] = rng->UniformU64(modulus);
+    sum += shares[i];
+  }
+  uint64_t sum_mod = static_cast<uint64_t>(sum % modulus);
+  shares[count - 1] = (secret + modulus - sum_mod) % modulus;
+  return shares;
+}
+
+uint64_t ReconstructSharesMod(const std::vector<uint64_t>& shares,
+                              uint64_t modulus) {
+  unsigned __int128 sum = 0;
+  for (uint64_t s : shares) sum += s;
+  return static_cast<uint64_t>(sum % modulus);
+}
+
+std::vector<uint64_t> AddShareVectors2Ell(const std::vector<uint64_t>& a,
+                                          const std::vector<uint64_t>& b,
+                                          unsigned ell) {
+  assert(a.size() == b.size());
+  const uint64_t mask = Mask(ell);
+  std::vector<uint64_t> out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = (a[i] + b[i]) & mask;
+  return out;
+}
+
+}  // namespace crypto
+}  // namespace shuffledp

@@ -1,0 +1,47 @@
+// Additive secret sharing.
+//
+// PEOS users split their LDP report into r shares over Z_{2^ell}: r-1
+// shares are uniform, the last makes the sum equal the secret (paper
+// §II-C). The Z_{2^ell} group matches the AHE plaintext treatment (sums
+// are recovered mod 2^ell; see paillier.h). A general modulus variant is
+// provided for the ordinal-report mapping of GRR/SOLH outputs.
+
+#ifndef SHUFFLEDP_CRYPTO_SECRET_SHARING_H_
+#define SHUFFLEDP_CRYPTO_SECRET_SHARING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/secure_random.h"
+#include "util/status.h"
+
+namespace shuffledp {
+namespace crypto {
+
+/// Splits `secret` into `count` additive shares over Z_{2^ell}
+/// (1 <= ell <= 64). The first count-1 shares are uniform.
+std::vector<uint64_t> SplitShares2Ell(uint64_t secret, size_t count,
+                                      unsigned ell, SecureRandom* rng);
+
+/// Reconstructs the secret: sum of shares mod 2^ell.
+uint64_t ReconstructShares2Ell(const std::vector<uint64_t>& shares,
+                               unsigned ell);
+
+/// Splits `secret` (< modulus) into additive shares over Z_modulus.
+Result<std::vector<uint64_t>> SplitSharesMod(uint64_t secret, size_t count,
+                                             uint64_t modulus,
+                                             SecureRandom* rng);
+
+/// Reconstructs over Z_modulus.
+uint64_t ReconstructSharesMod(const std::vector<uint64_t>& shares,
+                              uint64_t modulus);
+
+/// Adds two share vectors component-wise over Z_{2^ell}.
+std::vector<uint64_t> AddShareVectors2Ell(const std::vector<uint64_t>& a,
+                                          const std::vector<uint64_t>& b,
+                                          unsigned ell);
+
+}  // namespace crypto
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_CRYPTO_SECRET_SHARING_H_

@@ -1,0 +1,144 @@
+#include "crypto/secure_random.h"
+
+#include <cstring>
+#include <random>
+
+namespace shuffledp {
+namespace crypto {
+
+namespace {
+
+inline uint32_t Rotl32(uint32_t x, int r) { return (x << r) | (x >> (32 - r)); }
+
+inline void QuarterRound(uint32_t* a, uint32_t* b, uint32_t* c, uint32_t* d) {
+  *a += *b;
+  *d ^= *a;
+  *d = Rotl32(*d, 16);
+  *c += *d;
+  *b ^= *c;
+  *b = Rotl32(*b, 12);
+  *a += *b;
+  *d ^= *a;
+  *d = Rotl32(*d, 8);
+  *c += *d;
+  *b ^= *c;
+  *b = Rotl32(*b, 7);
+}
+
+inline uint32_t Load32Le(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+inline void Store32Le(uint8_t* p, uint32_t v) {
+  p[0] = static_cast<uint8_t>(v);
+  p[1] = static_cast<uint8_t>(v >> 8);
+  p[2] = static_cast<uint8_t>(v >> 16);
+  p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+void ChaCha20Block(const uint8_t key[32], const uint8_t nonce[12],
+                   uint32_t counter, uint8_t out[64]) {
+  // "expand 32-byte k" constants.
+  uint32_t state[16] = {0x61707865, 0x3320646e, 0x79622d32, 0x6b206574};
+  for (int i = 0; i < 8; ++i) state[4 + i] = Load32Le(key + 4 * i);
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) state[13 + i] = Load32Le(nonce + 4 * i);
+
+  uint32_t w[16];
+  std::memcpy(w, state, sizeof(w));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(&w[0], &w[4], &w[8], &w[12]);
+    QuarterRound(&w[1], &w[5], &w[9], &w[13]);
+    QuarterRound(&w[2], &w[6], &w[10], &w[14]);
+    QuarterRound(&w[3], &w[7], &w[11], &w[15]);
+    QuarterRound(&w[0], &w[5], &w[10], &w[15]);
+    QuarterRound(&w[1], &w[6], &w[11], &w[12]);
+    QuarterRound(&w[2], &w[7], &w[8], &w[13]);
+    QuarterRound(&w[3], &w[4], &w[9], &w[14]);
+  }
+  for (int i = 0; i < 16; ++i) Store32Le(out + 4 * i, w[i] + state[i]);
+}
+
+SecureRandom::SecureRandom() {
+  std::random_device rd;
+  for (size_t i = 0; i < key_.size(); i += 4) {
+    uint32_t v = rd();
+    std::memcpy(key_.data() + i, &v, 4);
+  }
+  nonce_.fill(0);
+}
+
+SecureRandom::SecureRandom(uint64_t seed) {
+  // Expand the 64-bit seed into 256 bits with SplitMix64.
+  uint64_t z = seed;
+  for (size_t i = 0; i < 4; ++i) {
+    z += 0x9E3779B97F4A7C15ULL;
+    uint64_t x = z;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    std::memcpy(key_.data() + 8 * i, &x, 8);
+  }
+  nonce_.fill(0);
+}
+
+SecureRandom::SecureRandom(const std::array<uint8_t, 32>& key) : key_(key) {
+  nonce_.fill(0);
+}
+
+void SecureRandom::Refill() {
+  ChaCha20Block(key_.data(), nonce_.data(), counter_++, buffer_);
+  if (counter_ == 0) {
+    // Counter wrapped: bump the nonce so the keystream never repeats.
+    for (auto& b : nonce_) {
+      if (++b != 0) break;
+    }
+  }
+  buffered_ = sizeof(buffer_);
+}
+
+void SecureRandom::Fill(uint8_t* out, size_t len) {
+  while (len > 0) {
+    if (buffered_ == 0) Refill();
+    size_t take = std::min(len, buffered_);
+    std::memcpy(out, buffer_ + (sizeof(buffer_) - buffered_), take);
+    buffered_ -= take;
+    out += take;
+    len -= take;
+  }
+}
+
+Bytes SecureRandom::RandomBytes(size_t len) {
+  Bytes out(len);
+  Fill(out.data(), len);
+  return out;
+}
+
+uint64_t SecureRandom::NextU64() {
+  uint64_t v;
+  Fill(reinterpret_cast<uint8_t*>(&v), sizeof(v));
+  return v;
+}
+
+uint64_t SecureRandom::UniformU64(uint64_t bound) {
+  // Rejection sampling on the top of the range to avoid modulo bias.
+  uint64_t limit = UINT64_MAX - UINT64_MAX % bound;
+  uint64_t v;
+  do {
+    v = NextU64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+SecureRandom SecureRandom::Fork() {
+  std::array<uint8_t, 32> child_key;
+  Fill(child_key.data(), child_key.size());
+  return SecureRandom(child_key);
+}
+
+}  // namespace crypto
+}  // namespace shuffledp

@@ -1,0 +1,68 @@
+// ChaCha20-based deterministic random bit generator.
+//
+// All protocol randomness (keys, nonces, secret shares, shuffle
+// permutations) flows through SecureRandom. The generator is the RFC 7539
+// ChaCha20 block function run in counter mode over a 256-bit seed; when
+// constructed without an explicit seed it mixes entropy from
+// std::random_device. Tests construct it with fixed seeds for
+// reproducibility.
+
+#ifndef SHUFFLEDP_CRYPTO_SECURE_RANDOM_H_
+#define SHUFFLEDP_CRYPTO_SECURE_RANDOM_H_
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace shuffledp {
+namespace crypto {
+
+/// Computes one 64-byte ChaCha20 block (RFC 7539 §2.3).
+///
+/// `key` is 32 bytes, `nonce` 12 bytes, `counter` the 32-bit block counter.
+/// Exposed for the known-answer tests.
+void ChaCha20Block(const uint8_t key[32], const uint8_t nonce[12],
+                   uint32_t counter, uint8_t out[64]);
+
+/// Cryptographic DRBG: ChaCha20 keystream over a 256-bit seed.
+class SecureRandom {
+ public:
+  /// Seeds from std::random_device (non-deterministic).
+  SecureRandom();
+
+  /// Deterministic: expands `seed` into a 256-bit key via repeated hashing.
+  explicit SecureRandom(uint64_t seed);
+
+  /// Deterministic from a full 32-byte key.
+  explicit SecureRandom(const std::array<uint8_t, 32>& key);
+
+  /// Fills `out[0..len)` with keystream bytes.
+  void Fill(uint8_t* out, size_t len);
+
+  /// Returns `len` random bytes.
+  Bytes RandomBytes(size_t len);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Unbiased uniform value in [0, bound); bound > 0.
+  uint64_t UniformU64(uint64_t bound);
+
+  /// Derives an independent child generator.
+  SecureRandom Fork();
+
+ private:
+  void Refill();
+
+  std::array<uint8_t, 32> key_;
+  std::array<uint8_t, 12> nonce_;
+  uint32_t counter_ = 0;
+  uint8_t buffer_[64];
+  size_t buffered_ = 0;  // unread bytes remaining at the tail of buffer_
+};
+
+}  // namespace crypto
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_CRYPTO_SECURE_RANDOM_H_

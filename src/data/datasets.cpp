@@ -1,0 +1,143 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace shuffledp {
+namespace data {
+
+std::vector<uint64_t> Dataset::ValueCounts() const {
+  // Guard against materializing a histogram for huge string domains (AOL);
+  // those workloads use TopK / TreeHist instead.
+  assert(domain_size <= (1ULL << 26) &&
+         "ValueCounts: domain too large to materialize");
+  std::vector<uint64_t> counts(domain_size, 0);
+  for (uint64_t v : values) {
+    assert(v < domain_size);
+    ++counts[v];
+  }
+  return counts;
+}
+
+std::vector<double> Dataset::Frequencies() const {
+  auto counts = ValueCounts();
+  std::vector<double> f(counts.size());
+  const double n = static_cast<double>(values.size());
+  for (size_t v = 0; v < counts.size(); ++v) {
+    f[v] = static_cast<double>(counts[v]) / n;
+  }
+  return f;
+}
+
+std::vector<uint64_t> Dataset::TopK(size_t k) const {
+  std::unordered_map<uint64_t, uint64_t> counts;
+  counts.reserve(values.size() / 4);
+  for (uint64_t v : values) ++counts[v];
+  std::vector<std::pair<uint64_t, uint64_t>> items(counts.begin(),
+                                                   counts.end());
+  k = std::min(k, items.size());
+  std::partial_sort(items.begin(), items.begin() + static_cast<ptrdiff_t>(k),
+                    items.end(), [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  std::vector<uint64_t> top;
+  top.reserve(k);
+  for (size_t i = 0; i < k; ++i) top.push_back(items[i].first);
+  return top;
+}
+
+ZipfSampler::ZipfSampler(uint64_t d, double s) {
+  assert(d >= 1);
+  probs_.resize(d);
+  double norm = 0.0;
+  for (uint64_t v = 0; v < d; ++v) {
+    probs_[v] = 1.0 / std::pow(static_cast<double>(v + 1), s);
+    norm += probs_[v];
+  }
+  for (auto& p : probs_) p /= norm;
+
+  // Vose's alias method.
+  accept_.assign(d, 0.0);
+  alias_.assign(d, 0);
+  std::vector<double> scaled(d);
+  std::vector<uint32_t> small, large;
+  for (uint64_t v = 0; v < d; ++v) {
+    scaled[v] = probs_[v] * static_cast<double>(d);
+    (scaled[v] < 1.0 ? small : large).push_back(static_cast<uint32_t>(v));
+  }
+  while (!small.empty() && !large.empty()) {
+    uint32_t s_idx = small.back();
+    small.pop_back();
+    uint32_t l_idx = large.back();
+    large.pop_back();
+    accept_[s_idx] = scaled[s_idx];
+    alias_[s_idx] = l_idx;
+    scaled[l_idx] = (scaled[l_idx] + scaled[s_idx]) - 1.0;
+    (scaled[l_idx] < 1.0 ? small : large).push_back(l_idx);
+  }
+  for (uint32_t idx : large) accept_[idx] = 1.0;
+  for (uint32_t idx : small) accept_[idx] = 1.0;
+}
+
+uint64_t ZipfSampler::Sample(Rng* rng) const {
+  uint64_t column = rng->UniformU64(probs_.size());
+  return rng->UniformDouble() < accept_[column] ? column : alias_[column];
+}
+
+Dataset MakeZipfDataset(const std::string& name, uint64_t n, uint64_t d,
+                        double zipf_s, uint64_t seed) {
+  Rng rng(seed);
+  ZipfSampler zipf(d, zipf_s);
+  Dataset out;
+  out.name = name;
+  out.domain_size = d;
+  out.values.resize(n);
+  for (uint64_t i = 0; i < n; ++i) out.values[i] = zipf.Sample(&rng);
+  return out;
+}
+
+Dataset MakeSyntheticIpums(uint64_t seed, double scale) {
+  assert(scale > 0.0 && scale <= 1.0);
+  uint64_t n = static_cast<uint64_t>(602325.0 * scale);
+  return MakeZipfDataset("ipums-synth", n, 915, 1.0, seed);
+}
+
+Dataset MakeSyntheticKosarak(uint64_t seed, double scale) {
+  assert(scale > 0.0 && scale <= 1.0);
+  uint64_t n = static_cast<uint64_t>(1000000.0 * scale);
+  return MakeZipfDataset("kosarak-synth", n, 42178, 1.05, seed);
+}
+
+Dataset MakeSyntheticAol(uint64_t seed, double scale) {
+  assert(scale > 0.0 && scale <= 1.0);
+  const uint64_t n = static_cast<uint64_t>(500000.0 * scale);
+  const uint64_t distinct = static_cast<uint64_t>(120000.0 * scale) + 1;
+  Rng rng(seed);
+
+  // Draw `distinct` unique 48-bit codes (the "queries").
+  std::unordered_set<uint64_t> seen;
+  std::vector<uint64_t> codes;
+  codes.reserve(distinct);
+  while (codes.size() < distinct) {
+    uint64_t code = rng.NextU64() & ((1ULL << 48) - 1);
+    if (seen.insert(code).second) codes.push_back(code);
+  }
+
+  // Zipf-rank the codes: code[0] most popular.
+  ZipfSampler zipf(distinct, 1.0);
+  Dataset out;
+  out.name = "aol-synth";
+  out.domain_size = 1ULL << 48;
+  out.values.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    out.values[i] = codes[zipf.Sample(&rng)];
+  }
+  return out;
+}
+
+}  // namespace data
+}  // namespace shuffledp

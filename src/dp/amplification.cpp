@@ -1,0 +1,278 @@
+#include "dp/amplification.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace shuffledp {
+namespace dp {
+
+namespace {
+
+double Ln2OverDelta(double delta) { return std::log(2.0 / delta); }
+double Ln4OverDelta(double delta) { return std::log(4.0 / delta); }
+
+}  // namespace
+
+double BinomialMechanismEpsilon(uint64_t n, double p, double delta) {
+  assert(n > 0 && p > 0.0 && delta > 0.0);
+  return std::sqrt(14.0 * Ln2OverDelta(delta) /
+                   (static_cast<double>(n) * p));
+}
+
+double BlanketMass(double eps_c, uint64_t n, double delta) {
+  return eps_c * eps_c * static_cast<double>(n - 1) /
+         (14.0 * Ln2OverDelta(delta));
+}
+
+AmplificationBound AmplifyEfmrtt19(double eps_l, uint64_t n, double delta) {
+  AmplificationBound out;
+  if (eps_l >= 0.5 || n == 0) {
+    out.eps_c = eps_l;
+    out.amplified = false;
+    return out;
+  }
+  out.eps_c = 12.0 * eps_l * std::sqrt(std::log(1.0 / delta) /
+                                       static_cast<double>(n));
+  out.amplified = out.eps_c < eps_l;
+  if (!out.amplified) out.eps_c = eps_l;
+  return out;
+}
+
+AmplificationBound AmplifyCsuzz19(double eps_l, uint64_t n, double delta) {
+  AmplificationBound out;
+  double eps_c = std::sqrt(32.0 * Ln4OverDelta(delta) *
+                           (std::exp(eps_l) + 1.0) / static_cast<double>(n));
+  double lower = std::sqrt(192.0 / static_cast<double>(n) *
+                           Ln4OverDelta(delta));
+  if (eps_c <= lower || eps_c >= 1.0 || eps_c >= eps_l) {
+    out.eps_c = eps_l;
+    out.amplified = false;
+    return out;
+  }
+  out.eps_c = eps_c;
+  out.amplified = true;
+  return out;
+}
+
+AmplificationBound AmplifyBbgn19(double eps_l, uint64_t n, uint64_t d,
+                                 double delta) {
+  AmplificationBound out;
+  if (n < 2) {
+    out.eps_c = eps_l;
+    return out;
+  }
+  double eps_c =
+      std::sqrt(14.0 * Ln2OverDelta(delta) *
+                (std::exp(eps_l) + static_cast<double>(d) - 1.0) /
+                static_cast<double>(n - 1));
+  double lower = std::sqrt(14.0 * Ln2OverDelta(delta) *
+                           static_cast<double>(d) /
+                           static_cast<double>(n - 1));
+  if (eps_c <= lower || eps_c > 1.0 || eps_c >= eps_l) {
+    out.eps_c = eps_l;
+    out.amplified = false;
+    return out;
+  }
+  out.eps_c = eps_c;
+  out.amplified = true;
+  return out;
+}
+
+AmplificationBound AmplifyUnary(double eps_l, uint64_t n, double delta) {
+  AmplificationBound out;
+  if (n < 2) {
+    out.eps_c = eps_l;
+    return out;
+  }
+  double eps_c = 2.0 * std::sqrt(14.0 * Ln4OverDelta(delta) *
+                                 (std::exp(eps_l / 2.0) + 1.0) /
+                                 static_cast<double>(n - 1));
+  if (eps_c >= eps_l) {
+    out.eps_c = eps_l;
+    out.amplified = false;
+    return out;
+  }
+  out.eps_c = eps_c;
+  out.amplified = true;
+  return out;
+}
+
+AmplificationBound AmplifySolh(double eps_l, uint64_t n, uint64_t d_prime,
+                               double delta) {
+  AmplificationBound out;
+  if (n < 2) {
+    out.eps_c = eps_l;
+    return out;
+  }
+  double eps_c =
+      std::sqrt(14.0 * Ln2OverDelta(delta) *
+                (std::exp(eps_l) + static_cast<double>(d_prime) - 1.0) /
+                static_cast<double>(n - 1));
+  if (eps_c >= eps_l) {
+    out.eps_c = eps_l;
+    out.amplified = false;
+    return out;
+  }
+  out.eps_c = eps_c;
+  out.amplified = true;
+  return out;
+}
+
+double InverseGrrEpsLocal(double eps_c, uint64_t n, uint64_t d, double delta) {
+  double m = BlanketMass(eps_c, n, delta);
+  double e_eps = m - static_cast<double>(d) + 1.0;
+  if (e_eps <= std::exp(eps_c)) return eps_c;  // no amplification possible
+  return std::log(e_eps);
+}
+
+double InverseUnaryEpsLocal(double eps_c, uint64_t n, double delta) {
+  // ε_c = 2 sqrt(14 ln(4/δ)(e^{ε_l/2}+1)/(n−1))
+  //   =>  e^{ε_l/2} = ε_c²(n−1)/(56 ln(4/δ)) − 1.
+  double m2 = eps_c * eps_c * static_cast<double>(n - 1) /
+              (56.0 * Ln4OverDelta(delta));
+  double e_half = m2 - 1.0;
+  if (e_half <= std::exp(eps_c / 2.0)) return eps_c;
+  return 2.0 * std::log(e_half);
+}
+
+double InverseSolhEpsLocal(double eps_c, uint64_t n, uint64_t d_prime,
+                           double delta) {
+  double m = BlanketMass(eps_c, n, delta);
+  double e_eps = m - static_cast<double>(d_prime) + 1.0;
+  if (e_eps <= std::exp(eps_c)) return eps_c;
+  return std::log(e_eps);
+}
+
+uint64_t OptimalSolhDPrime(double eps_c, uint64_t n, double delta) {
+  double m = BlanketMass(eps_c, n, delta);
+  double d_opt = (m + 2.0) / 3.0;
+  if (d_opt < 2.0) return 2;
+  return static_cast<uint64_t>(d_opt);
+}
+
+double PeosEpsAgainstUsers(uint64_t n_r, uint64_t report_domain,
+                           double delta) {
+  assert(n_r > 0);
+  return std::sqrt(14.0 * Ln2OverDelta(delta) *
+                   static_cast<double>(report_domain) /
+                   static_cast<double>(n_r));
+}
+
+double PeosEpsAgainstServer(double eps_l, uint64_t n, uint64_t n_r,
+                            uint64_t report_domain, double delta) {
+  double blanket_users =
+      static_cast<double>(n - 1) /
+      (std::exp(eps_l) + static_cast<double>(report_domain) - 1.0);
+  double blanket_fakes =
+      static_cast<double>(n_r) / static_cast<double>(report_domain);
+  return std::sqrt(14.0 * Ln2OverDelta(delta) /
+                   (blanket_users + blanket_fakes));
+}
+
+double PeosInverseEpsLocal(double eps_c, uint64_t n, uint64_t n_r,
+                           uint64_t report_domain, double delta) {
+  // (n−1)/(e^{ε_l}+d'−1) + n_r/d' = 14 ln(2/δ)/ε_c²  =: a
+  double a = 14.0 * Ln2OverDelta(delta) / (eps_c * eps_c);
+  double d = static_cast<double>(report_domain);
+  double remaining = a - static_cast<double>(n_r) / d;
+  if (remaining <= 0.0) {
+    // The fake reports alone already give ε_c: local ε unconstrained by the
+    // central target; cap it to something meaningful (the caller applies
+    // the ε_3 ceiling).
+    return std::numeric_limits<double>::infinity();
+  }
+  double e_eps = static_cast<double>(n - 1) / remaining - d + 1.0;
+  if (e_eps <= std::exp(eps_c)) return eps_c;
+  return std::log(e_eps);
+}
+
+uint64_t PeosOptimalDPrime(double eps_c, uint64_t n, uint64_t n_r,
+                           double delta) {
+  double a = 14.0 * Ln2OverDelta(delta) / (eps_c * eps_c);
+  double b = static_cast<double>(n - 1);
+  double d_opt = ((b + static_cast<double>(n_r)) / a + 2.0) / 3.0;
+  if (d_opt < 2.0) return 2;
+  return static_cast<uint64_t>(d_opt);
+}
+
+double GrrVarianceLocal(double eps_l, uint64_t n, uint64_t d) {
+  double e = std::exp(eps_l);
+  return (e + static_cast<double>(d) - 2.0) /
+         (static_cast<double>(n) * (e - 1.0) * (e - 1.0));
+}
+
+double LocalHashVarianceLocal(double eps_l, uint64_t n, uint64_t d_prime) {
+  double e = std::exp(eps_l);
+  double dp = static_cast<double>(d_prime);
+  double num = (e + dp - 1.0) * (e + dp - 1.0);
+  return num / (static_cast<double>(n) * (e - 1.0) * (e - 1.0) * (dp - 1.0));
+}
+
+double UnaryVarianceLocal(double eps_l, uint64_t n) {
+  double e = std::exp(eps_l / 2.0);
+  return e / (static_cast<double>(n) * (e - 1.0) * (e - 1.0));
+}
+
+double ShGrrVarianceCentral(double eps_c, uint64_t n, uint64_t d,
+                            double delta) {
+  double eps_l = InverseGrrEpsLocal(eps_c, n, d, delta);
+  return GrrVarianceLocal(eps_l, n, d);
+}
+
+double RapVarianceCentral(double eps_c, uint64_t n, double delta) {
+  double eps_l = InverseUnaryEpsLocal(eps_c, n, delta);
+  return UnaryVarianceLocal(eps_l, n);
+}
+
+double SolhVarianceCentral(double eps_c, uint64_t n, uint64_t d_prime,
+                           double delta) {
+  double eps_l = InverseSolhEpsLocal(eps_c, n, d_prime, delta);
+  return LocalHashVarianceLocal(eps_l, n, d_prime);
+}
+
+double AueGamma(double eps_c, uint64_t n, double delta) {
+  // Bin(n, γ) blanket noise peaks at γ = 1/2; beyond it the variance (and
+  // privacy) *decrease* again, so γ is capped there. A capped γ means the
+  // requested ε_c is unachievable by AUE at this n — the mechanism then
+  // runs at its maximal blanket, ε = sqrt(28 ln(2/δ)/n) by Theorem 1
+  // (documented deviation; [8]'s formula silently degenerates to a
+  // noise-free, non-private report at γ -> 1).
+  return std::min(
+      0.5, 200.0 * Ln4OverDelta(delta) / (eps_c * eps_c *
+                                          static_cast<double>(n)));
+}
+
+double AueVarianceCentral(double eps_c, uint64_t n, double delta) {
+  double gamma = AueGamma(eps_c, n, delta);
+  return gamma * (1.0 - gamma) / static_cast<double>(n);
+}
+
+double RapRemovalVarianceCentral(double eps_c, uint64_t n, double delta) {
+  return RapVarianceCentral(2.0 * eps_c, n, delta);
+}
+
+double PeosSolhVarianceCentral(double eps_c, uint64_t n, uint64_t n_r,
+                               uint64_t d_prime, double delta) {
+  double eps_l = PeosInverseEpsLocal(eps_c, n, n_r, d_prime, delta);
+  if (std::isinf(eps_l)) {
+    // Fake reports alone provide the blanket; LDP noise can be minimal.
+    // Variance is then dominated by the dilution factor.
+    eps_l = 20.0;  // effectively no local noise
+  }
+  // §VI-C: variance of local hashing over n + n_r reports, scaled by the
+  // dilution factor ((n+n_r)/n)².
+  double diluted =
+      LocalHashVarianceLocal(eps_l, n + n_r, d_prime);
+  double scale = static_cast<double>(n + n_r) / static_cast<double>(n);
+  return diluted * scale * scale;
+}
+
+double LaplaceVariance(double eps, uint64_t n, double sensitivity) {
+  double b = sensitivity / eps;
+  return 2.0 * b * b / (static_cast<double>(n) * static_cast<double>(n));
+}
+
+}  // namespace dp
+}  // namespace shuffledp

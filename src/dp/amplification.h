@@ -1,0 +1,156 @@
+// Privacy amplification by shuffling: every bound used in the paper.
+//
+// Forward maps take a local ε_l and return the amplified central ε_c
+// (Table I plus the paper's Theorems 2/3); inverse maps take a target ε_c
+// and return the largest ε_l whose shuffled execution still satisfies
+// (ε_c, δ)-DP — these are what the mechanisms are configured with.
+// Corollaries 8/9 extend the bounds to PEOS, where the shufflers inject
+// n_r uniform fake reports.
+//
+// Notation follows the paper: n users, domain size d, hash range d',
+//   m := ε_c² (n-1) / (14 ln(2/δ)).
+
+#ifndef SHUFFLEDP_DP_AMPLIFICATION_H_
+#define SHUFFLEDP_DP_AMPLIFICATION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace shuffledp {
+namespace dp {
+
+/// Central (ε, δ) pair.
+struct CentralPrivacy {
+  double epsilon = 0.0;
+  double delta = 0.0;
+};
+
+/// Result of a forward amplification bound.
+struct AmplificationBound {
+  double eps_c = 0.0;   ///< amplified central epsilon
+  bool amplified = false;  ///< false => condition failed, ε_c = ε_l
+};
+
+/// Theorem 1 (binomial mechanism): ε_c = sqrt(14 ln(2/δ) / (n p)).
+double BinomialMechanismEpsilon(uint64_t n, double p, double delta);
+
+/// m = ε_c² (n−1) / (14 ln(2/δ)) — the "blanket mass" the analysis trades
+/// against (e^{ε_l} + d − 1).
+double BlanketMass(double eps_c, uint64_t n, double delta);
+
+// ---------------------------------------------------------------------------
+// Table I forward bounds (ε_l -> ε_c).
+// ---------------------------------------------------------------------------
+
+/// Erlingsson et al. SODA'19: ε_c = 12 ε_l sqrt(ln(1/δ)/n), needs ε_l < 1/2.
+AmplificationBound AmplifyEfmrtt19(double eps_l, uint64_t n, double delta);
+
+/// Cheu et al. EUROCRYPT'19 (binary only):
+/// ε_c = sqrt(32 ln(4/δ) (e^{ε_l}+1) / n), valid in
+/// (sqrt(192 ln(4/δ)/n), 1).
+AmplificationBound AmplifyCsuzz19(double eps_l, uint64_t n, double delta);
+
+/// Balle et al. CRYPTO'19 (GRR blanket):
+/// ε_c = sqrt(14 ln(2/δ) (e^{ε_l}+d−1) / (n−1)), valid when
+/// sqrt(14 ln(2/δ) d/(n−1)) < ε_c <= 1.
+AmplificationBound AmplifyBbgn19(double eps_l, uint64_t n, uint64_t d,
+                                 double delta);
+
+/// Paper Theorem 2 (unary encoding / RAPPOR):
+/// ε_c = 2 sqrt(14 ln(4/δ) (e^{ε_l/2}+1) / (n−1)).
+AmplificationBound AmplifyUnary(double eps_l, uint64_t n, double delta);
+
+/// Paper Theorem 3 (SOLH):
+/// ε_c = sqrt(14 ln(2/δ) (e^{ε_l}+d'−1) / (n−1)).
+AmplificationBound AmplifySolh(double eps_l, uint64_t n, uint64_t d_prime,
+                               double delta);
+
+// ---------------------------------------------------------------------------
+// Inverse maps (ε_c -> largest admissible ε_l). All return ε_l = ε_c when
+// the amplification condition cannot be met (no benefit; mechanism falls
+// back to plain LDP at the central target), mirroring the paper's
+// treatment of SH below its threshold.
+// ---------------------------------------------------------------------------
+
+/// GRR / SH: e^{ε_l} = m − d + 1.
+double InverseGrrEpsLocal(double eps_c, uint64_t n, uint64_t d, double delta);
+
+/// Unary (RAP): e^{ε_l/2} = ε_c²(n−1)/(56 ln(4/δ)) − 1.
+double InverseUnaryEpsLocal(double eps_c, uint64_t n, double delta);
+
+/// SOLH with a given hash range: e^{ε_l} = m − d' + 1.
+double InverseSolhEpsLocal(double eps_c, uint64_t n, uint64_t d_prime,
+                           double delta);
+
+/// Paper Eq. (5): variance-optimal hash range d' = (m+2)/3, floored and
+/// clamped to [2, +inf).
+uint64_t OptimalSolhDPrime(double eps_c, uint64_t n, double delta);
+
+// ---------------------------------------------------------------------------
+// PEOS (Corollaries 8/9): n_r uniform fake reports injected by shufflers.
+// ---------------------------------------------------------------------------
+
+/// ε_s against colluding users (fake reports are the only blanket):
+/// ε_s = sqrt(14 ln(2/δ) d' / n_r)   (use d for GRR).
+double PeosEpsAgainstUsers(uint64_t n_r, uint64_t report_domain, double delta);
+
+/// ε_c against the server, Eq. (7):
+/// ε_c = sqrt( 14 ln(2/δ) / ( (n−1)/(e^{ε_l}+d'−1) + n_r/d' ) ).
+double PeosEpsAgainstServer(double eps_l, uint64_t n, uint64_t n_r,
+                            uint64_t report_domain, double delta);
+
+/// Inverse of Eq. (7): the largest ε_l achieving a target ε_c given n_r
+/// and d'. Returns ε_c (no amplification) when infeasible.
+double PeosInverseEpsLocal(double eps_c, uint64_t n, uint64_t n_r,
+                           uint64_t report_domain, double delta);
+
+/// §VI-C optimal hash range under fake reports:
+/// d' = ((b + n_r)/a + 2) / 3 with a = 14 ln(2/δ)/ε_c², b = n−1.
+uint64_t PeosOptimalDPrime(double eps_c, uint64_t n, uint64_t n_r,
+                           double delta);
+
+// ---------------------------------------------------------------------------
+// Analytic variance formulas (Propositions 4-6, AUE, and §VI-C).
+// All are per-value variances of the frequency estimate (MSE predictors).
+// ---------------------------------------------------------------------------
+
+/// GRR at a given local ε (Wang et al. '17): (e^ε + d − 2) / (n (e^ε − 1)²).
+double GrrVarianceLocal(double eps_l, uint64_t n, uint64_t d);
+
+/// Local hashing at given local ε and d' (Eq. 4):
+/// (e^ε + d' − 1)² / (n (e^ε − 1)² (d' − 1)).
+double LocalHashVarianceLocal(double eps_l, uint64_t n, uint64_t d_prime);
+
+/// Unary encoding at given local ε: e^{ε/2} / (n (e^{ε/2} − 1)²).
+double UnaryVarianceLocal(double eps_l, uint64_t n);
+
+/// Proposition 4: SH (GRR + shuffle) at central ε_c.
+double ShGrrVarianceCentral(double eps_c, uint64_t n, uint64_t d,
+                            double delta);
+
+/// Proposition 5: RAP (unary + shuffle) at central ε_c.
+double RapVarianceCentral(double eps_c, uint64_t n, double delta);
+
+/// Proposition 6: SOLH at central ε_c with hash range d'.
+double SolhVarianceCentral(double eps_c, uint64_t n, uint64_t d_prime,
+                           double delta);
+
+/// AUE (Balcer-Cheu): blanket rate γ = 200 ln(4/δ)/(ε_c² n); per-value
+/// variance γ(1−γ)/n.
+double AueVarianceCentral(double eps_c, uint64_t n, double delta);
+double AueGamma(double eps_c, uint64_t n, double delta);
+
+/// RAP_R ([31], removal-LDP): equivalent to RAP at 2 ε_c.
+double RapRemovalVarianceCentral(double eps_c, uint64_t n, double delta);
+
+/// §VI-C: SOLH inside PEOS at central ε_c with n_r fakes and range d'.
+double PeosSolhVarianceCentral(double eps_c, uint64_t n, uint64_t n_r,
+                               uint64_t d_prime, double delta);
+
+/// Laplace mechanism baseline (central DP): Var = (sens/(n ε))² · 2.
+double LaplaceVariance(double eps, uint64_t n, double sensitivity = 2.0);
+
+}  // namespace dp
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_DP_AMPLIFICATION_H_

@@ -1,0 +1,42 @@
+#include "dp/binomial_mechanism.h"
+
+#include <cmath>
+
+namespace shuffledp {
+namespace dp {
+
+Result<std::vector<uint64_t>> BinomialNoiseCounts(
+    const std::vector<uint64_t>& counts, uint64_t trials, double p,
+    Rng* rng) {
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("binomial mechanism: p not in [0,1]");
+  }
+  std::vector<uint64_t> out(counts.size());
+  for (size_t v = 0; v < counts.size(); ++v) {
+    out[v] = counts[v] + rng->Binomial(trials, p);
+  }
+  return out;
+}
+
+Result<std::vector<double>> BinomialMechanismFrequencies(
+    const std::vector<uint64_t>& counts, uint64_t n, uint64_t trials,
+    double p, Rng* rng) {
+  if (n == 0) return Status::InvalidArgument("binomial mechanism: n == 0");
+  auto noisy = BinomialNoiseCounts(counts, trials, p, rng);
+  if (!noisy.ok()) return noisy.status();
+  const double mean_noise = static_cast<double>(trials) * p;
+  std::vector<double> out(counts.size());
+  for (size_t v = 0; v < counts.size(); ++v) {
+    out[v] = (static_cast<double>((*noisy)[v]) - mean_noise) /
+             static_cast<double>(n);
+  }
+  return out;
+}
+
+double BinomialNoiseProbabilityFor(double eps_c, uint64_t n, double delta) {
+  return 14.0 * std::log(2.0 / delta) /
+         (static_cast<double>(n) * eps_c * eps_c);
+}
+
+}  // namespace dp
+}  // namespace shuffledp

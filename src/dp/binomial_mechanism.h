@@ -1,0 +1,40 @@
+// The binomial mechanism (paper Theorem 1, derived from Balle et al.'s
+// privacy blanket): adding independent Bin(n, p) noise to each histogram
+// component satisfies (ε_c, δ)-DP with ε_c = sqrt(14 ln(2/δ) / (n p)).
+//
+// The shuffled LDP mechanisms never *run* this mechanism explicitly — the
+// blanket portion of the users' randomness realizes it implicitly — but it
+// is the analytical core of every amplification bound, and running it
+// directly is useful for validating those bounds empirically.
+
+#ifndef SHUFFLEDP_DP_BINOMIAL_MECHANISM_H_
+#define SHUFFLEDP_DP_BINOMIAL_MECHANISM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace shuffledp {
+namespace dp {
+
+/// Adds independent Bin(trials, p) noise to each count; returns the noisy
+/// counts (debiasing is the caller's business: E[noise] = trials * p).
+Result<std::vector<uint64_t>> BinomialNoiseCounts(
+    const std::vector<uint64_t>& counts, uint64_t trials, double p, Rng* rng);
+
+/// Unbiased frequency estimate after binomial noise:
+/// f~_v = (noisy_count_v − trials·p) / n.
+Result<std::vector<double>> BinomialMechanismFrequencies(
+    const std::vector<uint64_t>& counts, uint64_t n, uint64_t trials,
+    double p, Rng* rng);
+
+/// Smallest p such that Bin(n, p) noise gives (ε_c, δ)-DP (inverts
+/// Theorem 1): p = 14 ln(2/δ) / (n ε_c²).
+double BinomialNoiseProbabilityFor(double eps_c, uint64_t n, double delta);
+
+}  // namespace dp
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_DP_BINOMIAL_MECHANISM_H_

@@ -1,0 +1,66 @@
+#include "dp/composition.h"
+
+#include <cmath>
+
+namespace shuffledp {
+namespace dp {
+
+DpBudget ComposeBasic(const DpBudget& per_round, unsigned k) {
+  return DpBudget{per_round.epsilon * k, per_round.delta * k};
+}
+
+DpBudget ComposeAdvanced(const DpBudget& per_round, unsigned k,
+                         double delta_slack) {
+  const double eps = per_round.epsilon;
+  double composed = eps * std::sqrt(2.0 * k * std::log(1.0 / delta_slack)) +
+                    k * eps * (std::exp(eps) - 1.0);
+  return DpBudget{composed, per_round.delta * k + delta_slack};
+}
+
+Result<DpBudget> SplitBasic(const DpBudget& total, unsigned k) {
+  if (k == 0) return Status::InvalidArgument("composition: k must be > 0");
+  if (total.epsilon <= 0.0 || total.delta < 0.0) {
+    return Status::InvalidArgument("composition: bad total budget");
+  }
+  return DpBudget{total.epsilon / k, total.delta / k};
+}
+
+Result<DpBudget> SplitAdvanced(const DpBudget& total, unsigned k) {
+  if (k == 0) return Status::InvalidArgument("composition: k must be > 0");
+  if (total.epsilon <= 0.0 || total.delta <= 0.0) {
+    return Status::InvalidArgument(
+        "composition: advanced split needs positive epsilon and delta");
+  }
+  const double delta_slack = total.delta / 2.0;
+  const double delta_rounds = total.delta / 2.0 / k;
+
+  // Binary search the largest per-round eps whose advanced composition
+  // stays within total.epsilon.
+  double lo = 0.0, hi = total.epsilon;
+  for (int iter = 0; iter < 100; ++iter) {
+    double mid = 0.5 * (lo + hi);
+    DpBudget probe{mid, delta_rounds};
+    if (ComposeAdvanced(probe, k, delta_slack).epsilon <= total.epsilon) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo <= 0.0) {
+    return Status::FailedPrecondition(
+        "composition: advanced split found no positive per-round budget");
+  }
+  return DpBudget{lo, delta_rounds};
+}
+
+Result<DpBudget> SplitBest(const DpBudget& total, unsigned k) {
+  auto basic = SplitBasic(total, k);
+  if (!basic.ok()) return basic;
+  if (total.delta <= 0.0) return basic;  // advanced needs δ > 0
+  auto advanced = SplitAdvanced(total, k);
+  if (!advanced.ok()) return basic;
+  return advanced->epsilon > basic->epsilon ? advanced : basic;
+}
+
+}  // namespace dp
+}  // namespace shuffledp

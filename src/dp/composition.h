@@ -1,0 +1,52 @@
+// Composition accounting for multi-round mechanisms (TreeHist runs k = 6
+// rounds; paper §VII-C divides ε_c and δ_c by the round count).
+//
+// Provides the two standard composition rules:
+//   * Basic: k-fold (ε, δ)-DP composes to (kε, kδ).
+//   * Advanced (Dwork-Rothblum-Vadhan): for any δ' > 0, k-fold (ε, δ)
+//     composes to (ε√(2k ln(1/δ')) + kε(e^ε − 1), kδ + δ').
+// plus the inverse "budget splitters" mechanisms actually use: given a
+// total (ε_total, δ_total) and k rounds, the per-round budget.
+
+#ifndef SHUFFLEDP_DP_COMPOSITION_H_
+#define SHUFFLEDP_DP_COMPOSITION_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace shuffledp {
+namespace dp {
+
+/// An (ε, δ) pair.
+struct DpBudget {
+  double epsilon = 0.0;
+  double delta = 0.0;
+};
+
+/// Basic composition: k rounds of `per_round` give (kε, kδ).
+DpBudget ComposeBasic(const DpBudget& per_round, unsigned k);
+
+/// Advanced composition with slack δ': k rounds of `per_round` give
+/// (ε√(2k ln(1/δ')) + kε(e^ε−1), kδ + δ').
+DpBudget ComposeAdvanced(const DpBudget& per_round, unsigned k,
+                         double delta_slack);
+
+/// Inverse of basic composition: the per-round budget that makes k
+/// rounds total (ε_total, δ_total).
+Result<DpBudget> SplitBasic(const DpBudget& total, unsigned k);
+
+/// Inverse of advanced composition (numeric): the largest per-round ε
+/// such that k advanced-composed rounds stay within `total`, spending
+/// half of δ_total on the slack and splitting the rest across rounds.
+/// For small k (like TreeHist's 6) this typically beats SplitBasic only
+/// for large k; the function lets callers pick the better of the two.
+Result<DpBudget> SplitAdvanced(const DpBudget& total, unsigned k);
+
+/// The better (larger per-round ε) of SplitBasic and SplitAdvanced.
+Result<DpBudget> SplitBest(const DpBudget& total, unsigned k);
+
+}  // namespace dp
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_DP_COMPOSITION_H_

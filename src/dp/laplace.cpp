@@ -1,0 +1,38 @@
+#include "dp/laplace.h"
+
+namespace shuffledp {
+namespace dp {
+
+Result<std::vector<double>> LaplaceHistogram(
+    const std::vector<uint64_t>& counts, uint64_t n, double epsilon, Rng* rng,
+    double sensitivity) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("Laplace: epsilon must be positive");
+  }
+  if (n == 0) return Status::InvalidArgument("Laplace: n must be positive");
+  const double scale = sensitivity / epsilon;
+  std::vector<double> out(counts.size());
+  for (size_t v = 0; v < counts.size(); ++v) {
+    out[v] = (static_cast<double>(counts[v]) + rng->Laplace(scale)) /
+             static_cast<double>(n);
+  }
+  return out;
+}
+
+Result<std::vector<double>> LaplaceFrequencies(
+    const std::vector<double>& frequencies, uint64_t n, double epsilon,
+    Rng* rng, double sensitivity) {
+  if (epsilon <= 0.0) {
+    return Status::InvalidArgument("Laplace: epsilon must be positive");
+  }
+  if (n == 0) return Status::InvalidArgument("Laplace: n must be positive");
+  const double scale = sensitivity / (epsilon * static_cast<double>(n));
+  std::vector<double> out(frequencies.size());
+  for (size_t v = 0; v < frequencies.size(); ++v) {
+    out[v] = frequencies[v] + rng->Laplace(scale);
+  }
+  return out;
+}
+
+}  // namespace dp
+}  // namespace shuffledp

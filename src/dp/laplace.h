@@ -1,0 +1,35 @@
+// Central-DP Laplace mechanism for histograms — the paper's lower-bound
+// baseline ("Lap" in Figures 3 and 4).
+
+#ifndef SHUFFLEDP_DP_LAPLACE_H_
+#define SHUFFLEDP_DP_LAPLACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace shuffledp {
+namespace dp {
+
+/// Adds Laplace(sensitivity/ε) noise to each count of `counts` and returns
+/// the noisy frequencies (count + noise) / n.
+///
+/// Under the paper's replacement neighbouring relation, changing one user's
+/// value moves two histogram cells by 1 each, so the L1 sensitivity is 2
+/// (the default). Pass sensitivity = 1 for add/remove DP.
+Result<std::vector<double>> LaplaceHistogram(
+    const std::vector<uint64_t>& counts, uint64_t n, double epsilon, Rng* rng,
+    double sensitivity = 2.0);
+
+/// Central-DP estimate directly from true frequencies (convenience for the
+/// utility benches): f~_v = f_v + Lap(sensitivity/(n ε)).
+Result<std::vector<double>> LaplaceFrequencies(
+    const std::vector<double>& frequencies, uint64_t n, double epsilon,
+    Rng* rng, double sensitivity = 2.0);
+
+}  // namespace dp
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_DP_LAPLACE_H_

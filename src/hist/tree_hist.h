@@ -1,0 +1,82 @@
+// TreeHist — succinct histograms over huge string domains (Bassily et al.
+// NIPS'17; paper §VII-C case study).
+//
+// The domain is fixed-length bit strings (48 bits for the AOL workload).
+// A binary prefix tree is traversed breadth-first in `total_bits /
+// bits_per_round` rounds: each round estimates the frequencies of the
+// children of the currently-frequent prefixes (plus a "no match" dummy
+// bucket) with a pluggable frequency estimator and keeps the top-k.
+//
+// In the LDP setting users are split into one group per round (the
+// paper's configuration); in the shuffle setting all users report every
+// round with ε_c and δ divided by the number of rounds.
+
+#ifndef SHUFFLEDP_HIST_TREE_HIST_H_
+#define SHUFFLEDP_HIST_TREE_HIST_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ldp/frequency_oracle.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace shuffledp {
+namespace hist {
+
+/// Estimates candidate frequencies for one round.
+///
+/// `candidate_counts` holds the true number of reporting users matching
+/// each candidate prefix; the final entry is the dummy ("no match")
+/// bucket. `n_round` is the number of users reporting this round. The
+/// estimator injects its own privacy noise and returns one estimate per
+/// candidate (the dummy estimate is ignored).
+using RoundEstimator = std::function<std::vector<double>(
+    const std::vector<uint64_t>& candidate_counts, uint64_t n_round,
+    Rng* rng)>;
+
+/// TreeHist configuration.
+struct TreeHistConfig {
+  unsigned total_bits = 48;      ///< string length (AOL: 6 bytes)
+  unsigned bits_per_round = 8;   ///< fan-out per level (AOL: 1 char)
+  size_t top_k = 32;             ///< frontier width and final output size
+  bool split_users = false;      ///< LDP mode: one user group per round
+};
+
+/// TreeHist output.
+struct TreeHistResult {
+  std::vector<uint64_t> heavy_hitters;  ///< up to top_k full strings
+  std::vector<double> frequencies;      ///< their estimated frequencies
+  unsigned rounds = 0;
+};
+
+/// Runs TreeHist over `values` (each a total_bits-bit code).
+Result<TreeHistResult> RunTreeHist(const std::vector<uint64_t>& values,
+                                   const TreeHistConfig& config,
+                                   const RoundEstimator& estimator, Rng* rng);
+
+/// Builds a frequency oracle for one round's candidate domain (candidate
+/// count + 1 dummy bucket). Called once per round with that round's
+/// domain size.
+using OracleFactory =
+    std::function<Result<std::unique_ptr<ldp::ScalarFrequencyOracle>>(
+        uint64_t round_domain)>;
+
+/// Exact per-user TreeHist: every reporting user *encodes a real LDP
+/// report* for the round's candidate domain (plus `fakes_per_round`
+/// uniform fake reports, as a PEOS deployment would inject), and the
+/// round estimate comes from the actual support counts. This is the
+/// protocol-grade counterpart of the fast-simulation estimators in
+/// core::MakeRoundEstimator; the two agree in distribution
+/// (tests/hist/tree_hist_exact_test.cpp).
+Result<TreeHistResult> RunTreeHistExact(const std::vector<uint64_t>& values,
+                                        const TreeHistConfig& config,
+                                        const OracleFactory& factory,
+                                        uint64_t fakes_per_round, Rng* rng);
+
+}  // namespace hist
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_HIST_TREE_HIST_H_

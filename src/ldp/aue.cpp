@@ -1,0 +1,59 @@
+#include "ldp/aue.h"
+
+#include <cassert>
+
+#include "dp/amplification.h"
+
+namespace shuffledp {
+namespace ldp {
+
+Aue::Aue(double eps_c, uint64_t n, uint64_t d, double delta)
+    : n_(n), d_(d), gamma_(dp::AueGamma(eps_c, n, delta)) {
+  assert(eps_c > 0.0);
+  assert(n >= 1);
+  assert(d >= 2);
+}
+
+std::vector<uint8_t> Aue::Encode(uint64_t v, Rng* rng) const {
+  assert(v < d_);
+  std::vector<uint8_t> counts(d_, 0);
+  counts[v] = 1;
+  if (gamma_ > 0.0 && gamma_ < 1.0) {
+    // Geometric skipping: each location gains an increment w.p. γ.
+    uint64_t pos = rng->Geometric(gamma_);
+    while (pos < d_) {
+      ++counts[pos];
+      pos += 1 + rng->Geometric(gamma_);
+    }
+  } else if (gamma_ >= 1.0) {
+    for (auto& c : counts) ++c;
+  }
+  return counts;
+}
+
+Status Aue::Accumulate(const std::vector<uint8_t>& report,
+                       std::vector<uint64_t>* column_counts) const {
+  if (report.size() != d_) {
+    return Status::InvalidArgument("AUE report has wrong length");
+  }
+  if (column_counts->size() != d_) {
+    return Status::InvalidArgument("column counter has wrong length");
+  }
+  for (uint64_t i = 0; i < d_; ++i) (*column_counts)[i] += report[i];
+  return Status::OK();
+}
+
+std::vector<double> Aue::Estimate(const std::vector<uint64_t>& column_counts,
+                                  uint64_t n) const {
+  assert(column_counts.size() == d_);
+  std::vector<double> est(d_);
+  for (uint64_t v = 0; v < d_; ++v) {
+    est[v] = static_cast<double>(column_counts[v]) /
+                 static_cast<double>(n) -
+             gamma_;
+  }
+  return est;
+}
+
+}  // namespace ldp
+}  // namespace shuffledp

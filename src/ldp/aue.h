@@ -1,0 +1,56 @@
+// AUE — "appended unary encoding" (Balcer & Cheu [8], paper §IV-B4).
+//
+// Each user reports their one-hot vector *unperturbed* and appends, for
+// every location, an independent Bernoulli(γ) increment, where
+// γ = 200 ln(4/δ) / (ε_c² n) is chosen so that the aggregated increments
+// form the privacy blanket directly. The per-user message is therefore not
+// LDP (the true bit is sent in the clear inside the shuffle), and the
+// communication cost is Θ(d) — the two drawbacks the paper highlights.
+
+#ifndef SHUFFLEDP_LDP_AUE_H_
+#define SHUFFLEDP_LDP_AUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace shuffledp {
+namespace ldp {
+
+/// AUE mechanism configured for a central target (ε_c, δ).
+class Aue {
+ public:
+  /// Pre: eps_c > 0, n >= 1, d >= 2, delta in (0,1).
+  Aue(double eps_c, uint64_t n, uint64_t d, double delta);
+
+  std::string Name() const { return "AUE"; }
+  uint64_t domain_size() const { return d_; }
+  double gamma() const { return gamma_; }
+
+  /// Encodes `v`: entry v gets 1 + Bern(γ), every other entry Bern(γ).
+  std::vector<uint8_t> Encode(uint64_t v, Rng* rng) const;
+
+  /// Adds a report into per-column counters.
+  Status Accumulate(const std::vector<uint8_t>& report,
+                    std::vector<uint64_t>* column_counts) const;
+
+  /// Unbiased estimate: f~_v = count_v / n − γ.
+  std::vector<double> Estimate(const std::vector<uint64_t>& column_counts,
+                               uint64_t n) const;
+
+  /// Report size on the wire (one 2-bit counter per location, packed).
+  size_t ReportBytes() const { return (2 * d_ + 7) / 8; }
+
+ private:
+  uint64_t n_;
+  uint64_t d_;
+  double gamma_;
+};
+
+}  // namespace ldp
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_LDP_AUE_H_

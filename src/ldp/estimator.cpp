@@ -1,0 +1,111 @@
+#include "ldp/estimator.h"
+
+#include <atomic>
+#include <cassert>
+
+namespace shuffledp {
+namespace ldp {
+
+std::vector<uint64_t> SupportCounts(const ScalarFrequencyOracle& oracle,
+                                    const std::vector<LdpReport>& reports,
+                                    const std::vector<uint64_t>& eval_values,
+                                    ThreadPool* pool) {
+  std::vector<uint64_t> counts(eval_values.size(), 0);
+  if (pool == nullptr || reports.size() < 4096) {
+    for (const LdpReport& r : reports) {
+      for (size_t j = 0; j < eval_values.size(); ++j) {
+        counts[j] += oracle.Supports(r, eval_values[j]);
+      }
+    }
+    return counts;
+  }
+  // Parallel: partition reports, accumulate into per-chunk local counters,
+  // merge under a spin-free atomic add.
+  std::vector<std::atomic<uint64_t>> shared(eval_values.size());
+  for (auto& c : shared) c.store(0, std::memory_order_relaxed);
+  pool->ParallelFor(0, reports.size(), [&](uint64_t lo, uint64_t hi) {
+    std::vector<uint64_t> local(eval_values.size(), 0);
+    for (uint64_t i = lo; i < hi; ++i) {
+      for (size_t j = 0; j < eval_values.size(); ++j) {
+        local[j] += oracle.Supports(reports[i], eval_values[j]);
+      }
+    }
+    for (size_t j = 0; j < local.size(); ++j) {
+      shared[j].fetch_add(local[j], std::memory_order_relaxed);
+    }
+  });
+  for (size_t j = 0; j < counts.size(); ++j) {
+    counts[j] = shared[j].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+std::vector<uint64_t> SupportCountsFullDomain(
+    const ScalarFrequencyOracle& oracle,
+    const std::vector<LdpReport>& reports, ThreadPool* pool) {
+  std::vector<uint64_t> all(oracle.domain_size());
+  for (uint64_t v = 0; v < oracle.domain_size(); ++v) all[v] = v;
+  return SupportCounts(oracle, reports, all, pool);
+}
+
+std::vector<double> CalibrateEstimates(const ScalarFrequencyOracle& oracle,
+                                       const std::vector<uint64_t>& supports,
+                                       uint64_t n, uint64_t n_fake) {
+  const SupportProbs sp = oracle.support_probs();
+  const double nd = static_cast<double>(n);
+  const double baseline = nd * sp.q_other +
+                          static_cast<double>(n_fake) * sp.q_fake;
+  const double denom = nd * (sp.p_true - sp.q_other);
+  std::vector<double> est(supports.size());
+  for (size_t j = 0; j < supports.size(); ++j) {
+    est[j] = (static_cast<double>(supports[j]) - baseline) / denom;
+  }
+  return est;
+}
+
+std::vector<double> CalibrateEstimatesOrdinal(
+    const ScalarFrequencyOracle& oracle,
+    const std::vector<uint64_t>& supports, uint64_t n, uint64_t n_fake) {
+  const SupportProbs sp = oracle.support_probs();
+  const double nd = static_cast<double>(n);
+  const double baseline =
+      nd * sp.q_other +
+      static_cast<double>(n_fake) * oracle.OrdinalFakeSupportProb();
+  const double denom = nd * (sp.p_true - sp.q_other);
+  std::vector<double> est(supports.size());
+  for (size_t j = 0; j < supports.size(); ++j) {
+    est[j] = (static_cast<double>(supports[j]) - baseline) / denom;
+  }
+  return est;
+}
+
+std::vector<double> CalibrateEstimatesEq6(const ScalarFrequencyOracle& oracle,
+                                          const std::vector<uint64_t>& supports,
+                                          uint64_t n, uint64_t n_fake) {
+  const SupportProbs sp = oracle.support_probs();
+  const double total = static_cast<double>(n + n_fake);
+  const double nd = static_cast<double>(n);
+  const double d = static_cast<double>(oracle.domain_size());
+  std::vector<double> est(supports.size());
+  for (size_t j = 0; j < supports.size(); ++j) {
+    // Eq. (2)/(3) over n + n_r reports.
+    double f_tilde = (static_cast<double>(supports[j]) / total - sp.q_other) /
+                     (sp.p_true - sp.q_other);
+    // Eq. (6).
+    est[j] = total / nd * f_tilde -
+             static_cast<double>(n_fake) / (nd * d);
+  }
+  return est;
+}
+
+std::vector<double> EstimateFrequencies(const ScalarFrequencyOracle& oracle,
+                                        const std::vector<LdpReport>& reports,
+                                        uint64_t n, uint64_t n_fake,
+                                        ThreadPool* pool) {
+  assert(reports.size() == n + n_fake);
+  auto supports = SupportCountsFullDomain(oracle, reports, pool);
+  return CalibrateEstimates(oracle, supports, n, n_fake);
+}
+
+}  // namespace ldp
+}  // namespace shuffledp

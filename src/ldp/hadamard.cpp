@@ -1,0 +1,82 @@
+#include "ldp/hadamard.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/math.h"
+
+namespace shuffledp {
+namespace ldp {
+
+HadamardResponse::HadamardResponse(double eps_l, uint64_t d)
+    : eps_l_(eps_l), d_(d) {
+  assert(eps_l > 0.0);
+  assert(d >= 2);
+  // Column 0 of the Hadamard matrix is constant; map value v to column
+  // v + 1, so we need D > d.
+  dim_ = NextPow2(d + 1);
+  dim_bits_ = static_cast<unsigned>(Log2Exact(dim_));
+  double e = std::exp(eps_l);
+  p_ = e / (e + 1.0);
+}
+
+LdpReport HadamardResponse::Encode(uint64_t v, Rng* rng) const {
+  assert(v < d_);
+  LdpReport r;
+  r.seed = static_cast<uint32_t>(rng->UniformU64(dim_));
+  uint32_t bit = HadamardBit(r.seed, static_cast<uint32_t>(v + 1));
+  r.value = rng->Bernoulli(p_) ? bit : (1u - bit);
+  return r;
+}
+
+bool HadamardResponse::Supports(const LdpReport& report, uint64_t v) const {
+  return HadamardBit(report.seed, static_cast<uint32_t>(v + 1)) ==
+         report.value;
+}
+
+LdpReport HadamardResponse::MakeFakeReport(Rng* rng) const {
+  LdpReport r;
+  r.seed = static_cast<uint32_t>(rng->UniformU64(dim_));
+  r.value = static_cast<uint32_t>(rng->UniformU64(2));
+  return r;
+}
+
+SupportProbs HadamardResponse::support_probs() const {
+  return SupportProbs{p_, 0.5, 0.5};
+}
+
+void Fwht(std::vector<double>* data) {
+  const size_t n = data->size();
+  assert((n & (n - 1)) == 0 && "FWHT length must be a power of two");
+  for (size_t len = 1; len < n; len <<= 1) {
+    for (size_t i = 0; i < n; i += len << 1) {
+      for (size_t j = i; j < i + len; ++j) {
+        double u = (*data)[j];
+        double v = (*data)[j + len];
+        (*data)[j] = u + v;
+        (*data)[j + len] = u - v;
+      }
+    }
+  }
+}
+
+std::vector<double> HadamardResponse::EstimateFwht(
+    const std::vector<LdpReport>& reports, uint64_t n) const {
+  // Support count: S_v = n/2 + (1/2) (H a)[v+1] where
+  // a[r] = #(reports with seed r, value 0) − #(value 1). The calibrated
+  // estimate reduces to f~_v = (H a)[v+1] / (n (2p − 1)).
+  std::vector<double> a(dim_, 0.0);
+  for (const LdpReport& r : reports) {
+    a[r.seed % dim_] += (r.value == 0) ? 1.0 : -1.0;
+  }
+  Fwht(&a);
+  std::vector<double> est(d_);
+  const double denom = static_cast<double>(n) * (2.0 * p_ - 1.0);
+  for (uint64_t v = 0; v < d_; ++v) {
+    est[v] = a[v + 1] / denom;
+  }
+  return est;
+}
+
+}  // namespace ldp
+}  // namespace shuffledp

@@ -1,0 +1,87 @@
+// Local hashing frequency oracles: OLH (LDP-optimal d' = e^ε + 1, Wang et
+// al. '17) and SOLH (shuffler-optimal d', paper §IV-B).
+//
+// Each user draws a random hash seed, hashes the value into [0, d'), and
+// perturbs the hashed value with GRR over [0, d'). The report is the pair
+// <seed, perturbed hash>.
+
+#ifndef SHUFFLEDP_LDP_LOCAL_HASH_H_
+#define SHUFFLEDP_LDP_LOCAL_HASH_H_
+
+#include <memory>
+
+#include "ldp/frequency_oracle.h"
+#include "util/status.h"
+
+namespace shuffledp {
+namespace ldp {
+
+/// Local hashing with an explicit hash range d'.
+class LocalHash : public ScalarFrequencyOracle {
+ public:
+  /// Pre: eps_l > 0, d >= 2, 2 <= d_prime.
+  LocalHash(double eps_l, uint64_t d, uint64_t d_prime,
+            std::string name = "LH");
+
+  std::string Name() const override { return name_; }
+  uint64_t domain_size() const override { return d_; }
+  uint64_t report_domain() const override { return d_prime_; }
+  double epsilon_local() const override { return eps_l_; }
+
+  LdpReport Encode(uint64_t v, Rng* rng) const override;
+  bool Supports(const LdpReport& report, uint64_t v) const override;
+  LdpReport MakeFakeReport(Rng* rng) const override;
+  SupportProbs support_probs() const override;
+
+  unsigned PackedBits() const override { return 32 + value_bits_; }
+  uint64_t PackOrdinal(const LdpReport& report) const override {
+    return (static_cast<uint64_t>(report.seed) << value_bits_) |
+           report.value;
+  }
+  Result<LdpReport> UnpackOrdinal(uint64_t ordinal) const override;
+  double OrdinalFakeSupportProb() const override {
+    // Uniform seed; uniform value over [0, 2^value_bits): matches
+    // H_seed(v) (< d') with probability 1/2^value_bits.
+    return 1.0 / static_cast<double>(uint64_t{1} << value_bits_);
+  }
+
+  double p() const { return p_; }
+
+ private:
+  std::string name_;
+  double eps_l_;
+  uint64_t d_;
+  uint64_t d_prime_;
+  unsigned value_bits_;  // ceil(log2 d')
+  double p_;  // e^ε / (e^ε + d' − 1)
+};
+
+/// OLH: local hashing with the LDP-optimal range d' = round(e^ε) + 1
+/// (Wang et al. '17). `name` defaults to "OLH".
+std::unique_ptr<LocalHash> MakeOlh(double eps_l, uint64_t d);
+
+/// SOLH for the plain shuffler model: given the central target ε_c, picks
+/// the variance-optimal d' (Eq. 5) and the matching ε_l (Theorem 3
+/// inverse). Falls back to ε_l = ε_c with d' = 2 when amplification is
+/// impossible at this (n, d', δ).
+Result<std::unique_ptr<LocalHash>> MakeSolh(double eps_c, uint64_t n,
+                                            uint64_t d, double delta);
+
+/// SOLH with a caller-fixed d' (used by the Table II d'-sensitivity rows).
+Result<std::unique_ptr<LocalHash>> MakeSolhFixedDPrime(double eps_c,
+                                                       uint64_t n, uint64_t d,
+                                                       uint64_t d_prime,
+                                                       double delta);
+
+/// SOLH inside PEOS: n_r fake reports shift blanket mass away from the
+/// users, raising both the optimal d' and the admissible local ε
+/// (Corollary 8 + §VI-C).
+Result<std::unique_ptr<LocalHash>> MakePeosSolh(double eps_c, uint64_t n,
+                                                uint64_t n_r, uint64_t d,
+                                                double delta,
+                                                double eps_l_cap = 20.0);
+
+}  // namespace ldp
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_LDP_LOCAL_HASH_H_

@@ -1,0 +1,64 @@
+#include "ldp/unary.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace shuffledp {
+namespace ldp {
+
+UnaryEncoding::UnaryEncoding(double eps_l, uint64_t d, Semantics semantics)
+    : eps_l_(eps_l), d_(d), semantics_(semantics) {
+  assert(eps_l > 0.0);
+  assert(d >= 2);
+  double per_bit =
+      semantics == Semantics::kReplacement ? eps_l / 2.0 : eps_l;
+  double e = std::exp(per_bit);
+  p_ = e / (e + 1.0);
+}
+
+std::vector<uint8_t> UnaryEncoding::Encode(uint64_t v, Rng* rng) const {
+  assert(v < d_);
+  std::vector<uint8_t> bits(d_, 0);
+  const double q = 1.0 - p_;
+  // Perturb the one-hot encoding: position v keeps its 1 w.p. p; every
+  // other position flips on w.p. q. Sampling flip positions via geometric
+  // skipping keeps this O(d q) instead of O(d) RNG draws.
+  bits[v] = rng->Bernoulli(p_) ? 1 : 0;
+  if (q > 0.0) {
+    uint64_t pos = rng->Geometric(q);
+    while (pos < d_) {
+      if (pos != v) bits[pos] = 1;
+      pos += 1 + rng->Geometric(q);
+    }
+  }
+  return bits;
+}
+
+Status UnaryEncoding::Accumulate(const std::vector<uint8_t>& report,
+                                 std::vector<uint64_t>* column_counts) const {
+  if (report.size() != d_) {
+    return Status::InvalidArgument("unary report has wrong length");
+  }
+  if (column_counts->size() != d_) {
+    return Status::InvalidArgument("column counter has wrong length");
+  }
+  for (uint64_t i = 0; i < d_; ++i) {
+    (*column_counts)[i] += report[i];
+  }
+  return Status::OK();
+}
+
+std::vector<double> UnaryEncoding::Estimate(
+    const std::vector<uint64_t>& column_counts, uint64_t n) const {
+  assert(column_counts.size() == d_);
+  const double q = 1.0 - p_;
+  std::vector<double> est(d_);
+  const double nd = static_cast<double>(n);
+  for (uint64_t v = 0; v < d_; ++v) {
+    est[v] = (static_cast<double>(column_counts[v]) / nd - q) / (p_ - q);
+  }
+  return est;
+}
+
+}  // namespace ldp
+}  // namespace shuffledp

@@ -1,0 +1,72 @@
+// Unary-encoding (one-hot) frequency oracles.
+//
+// Two privacy semantics, matching the paper §IV-B1 and §IV-B4:
+//  * kReplacement — basic RAPPOR ("RAP"): two bits differ between any two
+//    encodings, so each bit is perturbed with budget ε/2.
+//  * kRemoval — the removal-LDP variant of [31] ("RAP_R"): neighbouring
+//    datasets replace a value with the empty input, only one bit differs,
+//    each bit gets the full ε. Any ε-removal mechanism is 2ε-replacement.
+
+#ifndef SHUFFLEDP_LDP_UNARY_H_
+#define SHUFFLEDP_LDP_UNARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ldp/frequency_oracle.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace shuffledp {
+namespace ldp {
+
+/// Symmetric unary encoding with per-bit randomized response.
+class UnaryEncoding {
+ public:
+  enum class Semantics {
+    kReplacement,  ///< RAPPOR: per-bit budget ε/2
+    kRemoval,      ///< RAP_R:  per-bit budget ε
+  };
+
+  /// Pre: eps_l > 0, d >= 2.
+  UnaryEncoding(double eps_l, uint64_t d, Semantics semantics);
+
+  std::string Name() const {
+    return semantics_ == Semantics::kReplacement ? "RAP" : "RAP_R";
+  }
+  uint64_t domain_size() const { return d_; }
+  double epsilon_local() const { return eps_l_; }
+  Semantics semantics() const { return semantics_; }
+
+  /// Probability a true 1-bit stays 1.
+  double p() const { return p_; }
+  /// Probability a true 0-bit flips to 1.
+  double q() const { return 1.0 - p_; }
+
+  /// Encodes `v` into a perturbed d-bit vector.
+  std::vector<uint8_t> Encode(uint64_t v, Rng* rng) const;
+
+  /// Adds a report's bits into per-column counters.
+  Status Accumulate(const std::vector<uint8_t>& report,
+                    std::vector<uint64_t>* column_counts) const;
+
+  /// Unbiased estimate from column counts over n users:
+  /// f~_v = (count_v / n − q) / (p − q).
+  std::vector<double> Estimate(const std::vector<uint64_t>& column_counts,
+                               uint64_t n) const;
+
+  /// Report size on the wire (d bits, rounded up to bytes).
+  size_t ReportBytes() const { return (d_ + 7) / 8; }
+
+ private:
+  double eps_l_;
+  uint64_t d_;
+  Semantics semantics_;
+  double p_;
+};
+
+}  // namespace ldp
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_LDP_UNARY_H_

@@ -1,0 +1,74 @@
+#include "ldp/wire.h"
+
+namespace shuffledp {
+namespace ldp {
+
+size_t WireReportBytes(const ScalarFrequencyOracle& oracle) {
+  return (oracle.PackedBits() + 7) / 8;
+}
+
+Bytes SerializeReports(const ScalarFrequencyOracle& oracle,
+                       const std::vector<LdpReport>& reports) {
+  const size_t width = WireReportBytes(oracle);
+  ByteWriter w(reports.size() * width + 10);
+  w.PutVarint(reports.size());
+  for (const LdpReport& r : reports) {
+    uint64_t ordinal = oracle.PackOrdinal(r);
+    for (size_t b = width; b-- > 0;) {
+      w.PutU8(static_cast<uint8_t>(ordinal >> (8 * b)));
+    }
+  }
+  return w.Release();
+}
+
+Result<std::vector<LdpReport>> ParseReports(
+    const ScalarFrequencyOracle& oracle, const Bytes& wire) {
+  const size_t width = WireReportBytes(oracle);
+  ByteReader reader(wire);
+  SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t count, reader.GetVarint());
+  if (reader.Remaining() != count * width) {
+    return Status::DataLoss("report payload has wrong length");
+  }
+  std::vector<LdpReport> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t ordinal = 0;
+    for (size_t b = 0; b < width; ++b) {
+      SHUFFLEDP_ASSIGN_OR_RETURN(uint8_t byte, reader.GetU8());
+      ordinal = (ordinal << 8) | byte;
+    }
+    SHUFFLEDP_ASSIGN_OR_RETURN(LdpReport rep, oracle.UnpackOrdinal(ordinal));
+    SHUFFLEDP_RETURN_NOT_OK(oracle.ValidateReport(rep));
+    out.push_back(rep);
+  }
+  return out;
+}
+
+Bytes PackUnaryBits(const std::vector<uint8_t>& bits) {
+  Bytes out((bits.size() + 7) / 8, 0);
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) out[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> UnpackUnaryBits(const Bytes& packed,
+                                             uint64_t d) {
+  if (packed.size() != (d + 7) / 8) {
+    return Status::DataLoss("unary payload has wrong length");
+  }
+  // Padding bits beyond d must be zero (reject smuggled data).
+  for (uint64_t i = d; i < packed.size() * 8; ++i) {
+    if (packed[i / 8] & (1u << (i % 8))) {
+      return Status::DataLoss("unary payload has nonzero padding");
+    }
+  }
+  std::vector<uint8_t> bits(d);
+  for (uint64_t i = 0; i < d; ++i) {
+    bits[i] = (packed[i / 8] >> (i % 8)) & 1;
+  }
+  return bits;
+}
+
+}  // namespace ldp
+}  // namespace shuffledp

@@ -1,0 +1,45 @@
+// Wire formats for LDP reports.
+//
+// The communication numbers in Table III and §VII-B rest on concrete
+// encodings: scalar reports ship as fixed-width packed ordinals
+// (ceil(B/8) bytes each — 8 B for SOLH with 32-bit seeds), unary reports
+// as bit-packed vectors (d/8 bytes — the ~5 KB per Kosarak report the
+// paper contrasts against). These helpers are the single source of truth
+// for those sizes and are exercised by the protocol tests.
+
+#ifndef SHUFFLEDP_LDP_WIRE_H_
+#define SHUFFLEDP_LDP_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ldp/frequency_oracle.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace shuffledp {
+namespace ldp {
+
+/// Bytes per serialized scalar report for `oracle`: ceil(PackedBits/8).
+size_t WireReportBytes(const ScalarFrequencyOracle& oracle);
+
+/// Serializes reports as fixed-width big-endian packed ordinals,
+/// prefixed with a varint count.
+Bytes SerializeReports(const ScalarFrequencyOracle& oracle,
+                       const std::vector<LdpReport>& reports);
+
+/// Parses a SerializeReports payload; every report is validated.
+Result<std::vector<LdpReport>> ParseReports(
+    const ScalarFrequencyOracle& oracle, const Bytes& wire);
+
+/// Packs a 0/1 unary report into bits (LSB-first within each byte).
+Bytes PackUnaryBits(const std::vector<uint8_t>& bits);
+
+/// Inverse of PackUnaryBits for a d-bit report.
+Result<std::vector<uint8_t>> UnpackUnaryBits(const Bytes& packed,
+                                             uint64_t d);
+
+}  // namespace ldp
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_LDP_WIRE_H_

@@ -1,0 +1,78 @@
+// Adversary views and empirical privacy auditing (paper §V, §VI-B).
+//
+// The paper's security argument models each adversary's observation as an
+// algorithm and proves a DP bound for it:
+//   * Adv   — the server: sees the shuffled multiset of all reports.
+//   * Adv_u — server + all users but the victim: subtracts the known
+//             reports; what remains is the victim's report hidden in the
+//             blanket (other users' random reports, or PEOS fakes).
+//   * Adv_a — server + >⌊r/2⌋ shufflers: the shuffle is undone, the view
+//             degrades to the victim's raw LDP report.
+//
+// This module constructs those views explicitly and estimates the
+// *empirical* ε they leak via a likelihood-ratio audit over repeated
+// runs — the standard "DP auditing" methodology: run the view generator
+// on two neighbouring datasets, and lower-bound ε by
+// max_t ln(Pr[T >= t | D] / Pr[T >= t | D']) for the victim-value
+// support-count statistic T.
+
+#ifndef SHUFFLEDP_SHUFFLE_ATTACKS_H_
+#define SHUFFLEDP_SHUFFLE_ATTACKS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ldp/frequency_oracle.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace shuffledp {
+namespace shuffle {
+
+/// Which adversary's view to generate.
+enum class Adversary {
+  kServer,          ///< Adv: shuffled multiset of n user reports (+fakes)
+  kServerAndUsers,  ///< Adv_u: victim's report + fake reports only
+  kServerAndShufflers,  ///< Adv_a: victim's raw LDP report (no shuffle)
+};
+
+/// One sampled adversary view, reduced to the audit statistic: the
+/// support count of a probe value among the reports the adversary cannot
+/// explain away.
+struct AdversaryView {
+  uint64_t residual_reports = 0;  ///< number of unexplained reports
+  uint64_t probe_support = 0;     ///< how many of them support the probe
+};
+
+/// Samples the adversary's view for a dataset where the victim holds
+/// `victim_value` and the n−1 other users hold `others` (ignored for
+/// kServerAndUsers, where their reports are subtracted anyway).
+/// `n_fake` PEOS fake reports are included for the server/users views.
+AdversaryView SampleAdversaryView(const ldp::ScalarFrequencyOracle& oracle,
+                                  Adversary adversary, uint64_t victim_value,
+                                  const std::vector<uint64_t>& others,
+                                  uint64_t n_fake, uint64_t probe_value,
+                                  Rng* rng);
+
+/// Result of a likelihood-ratio privacy audit.
+struct PrivacyAudit {
+  double empirical_eps = 0.0;  ///< lower bound on the leaked ε
+  uint64_t trials = 0;
+};
+
+/// Audits `adversary`'s view: runs `trials` samples of the view for the
+/// victim holding `value_a` vs `value_b` (a neighbouring-dataset pair)
+/// and reports the largest log-likelihood ratio over thresholds of the
+/// probe-support statistic, Clopper-Pearson-free (plug-in) estimate.
+/// `probe_value` defaults to value_a (the most distinguishing probe).
+Result<PrivacyAudit> AuditAdversary(const ldp::ScalarFrequencyOracle& oracle,
+                                    Adversary adversary, uint64_t value_a,
+                                    uint64_t value_b,
+                                    const std::vector<uint64_t>& others,
+                                    uint64_t n_fake, uint64_t trials,
+                                    Rng* rng);
+
+}  // namespace shuffle
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_SHUFFLE_ATTACKS_H_

@@ -1,0 +1,57 @@
+#include "shuffle/cost_model.h"
+
+#include <cstdio>
+
+namespace shuffledp {
+namespace shuffle {
+
+const char* RoleName(Role role) {
+  switch (role) {
+    case Role::kUser:
+      return "user";
+    case Role::kShuffler:
+      return "shuffler";
+    case Role::kServer:
+      return "server";
+  }
+  return "unknown";
+}
+
+CostReport SummarizeCosts(const CostLedger& ledger, uint64_t n, uint32_t r) {
+  CostReport out;
+  out.n = n;
+  out.r = r;
+  if (n > 0) {
+    out.user_comp_ms_per_user =
+        ledger.compute_seconds(Role::kUser) * 1e3 / static_cast<double>(n);
+    out.user_comm_bytes_per_user =
+        ledger.bytes_sent(Role::kUser) / n;
+  }
+  if (r > 0) {
+    out.aux_comp_seconds =
+        ledger.compute_seconds(Role::kShuffler) / static_cast<double>(r);
+    out.aux_comm_mb_per_shuffler =
+        static_cast<double>(ledger.bytes_sent(Role::kShuffler)) /
+        (1024.0 * 1024.0) / static_cast<double>(r);
+  }
+  out.server_comp_seconds = ledger.compute_seconds(Role::kServer);
+  out.server_comm_mb =
+      static_cast<double>(ledger.bytes_received(Role::kServer)) /
+      (1024.0 * 1024.0);
+  return out;
+}
+
+std::string CostReport::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu r=%u | user: %.3f ms, %llu B | aux: %.3f s, %.1f MB "
+                "| server: %.3f s, %.1f MB",
+                static_cast<unsigned long long>(n), r, user_comp_ms_per_user,
+                static_cast<unsigned long long>(user_comm_bytes_per_user),
+                aux_comp_seconds, aux_comm_mb_per_shuffler,
+                server_comp_seconds, server_comm_mb);
+  return buf;
+}
+
+}  // namespace shuffledp
+}  // namespace shuffledp

@@ -1,0 +1,284 @@
+#include "shuffle/oblivious_shuffle.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace shuffledp {
+namespace shuffle {
+
+namespace {
+
+inline uint64_t Mask(unsigned ell) {
+  return ell >= 64 ? ~uint64_t{0} : ((uint64_t{1} << ell) - 1);
+}
+
+// Applies `perm` to `column` in place: new[i] = old[perm[i]].
+template <typename T>
+void ApplyPermutation(const std::vector<uint32_t>& perm,
+                      std::vector<T>* column) {
+  std::vector<T> out(column->size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    out[i] = std::move((*column)[perm[i]]);
+  }
+  *column = std::move(out);
+}
+
+}  // namespace
+
+std::vector<std::vector<uint32_t>> AllSubsets(uint32_t r, uint32_t t) {
+  std::vector<std::vector<uint32_t>> out;
+  std::vector<uint32_t> subset(t);
+  // Lexicographic enumeration of t-combinations of {0..r-1}.
+  for (uint32_t i = 0; i < t; ++i) subset[i] = i;
+  for (;;) {
+    out.push_back(subset);
+    // Advance.
+    int pos = static_cast<int>(t) - 1;
+    while (pos >= 0 &&
+           subset[static_cast<size_t>(pos)] ==
+               r - t + static_cast<uint32_t>(pos)) {
+      --pos;
+    }
+    if (pos < 0) break;
+    ++subset[static_cast<size_t>(pos)];
+    for (uint32_t i = static_cast<uint32_t>(pos) + 1; i < t; ++i) {
+      subset[i] = subset[i - 1] + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<uint64_t> ShareMatrix::Reconstruct() const {
+  const uint64_t mask = Mask(ell);
+  std::vector<uint64_t> secrets(num_secrets(), 0);
+  for (const auto& column : columns) {
+    for (size_t i = 0; i < column.size(); ++i) {
+      secrets[i] = (secrets[i] + column[i]) & mask;
+    }
+  }
+  return secrets;
+}
+
+Status RunObliviousShuffle(ShareMatrix* shares, crypto::SecureRandom* rng,
+                           CostLedger* ledger,
+                           std::vector<uint32_t>* composed_perm) {
+  const uint32_t r = shares->num_shufflers();
+  const uint64_t n = shares->num_secrets();
+  if (r < 2) return Status::InvalidArgument("oblivious shuffle: need r >= 2");
+  const uint32_t t = r / 2 + 1;
+  const uint64_t mask = Mask(shares->ell);
+
+  if (composed_perm != nullptr) {
+    composed_perm->resize(n);
+    for (uint64_t i = 0; i < n; ++i) (*composed_perm)[i] = static_cast<uint32_t>(i);
+  }
+
+  for (const auto& hiders : AllSubsets(r, t)) {
+    ComputeScope scope(ledger, Role::kShuffler);
+    std::vector<bool> is_hider(r, false);
+    for (uint32_t h : hiders) is_hider[h] = true;
+
+    // 1. Seekers re-share their columns to the hiders.
+    for (uint32_t s = 0; s < r; ++s) {
+      if (is_hider[s]) continue;
+      auto& col = shares->columns[s];
+      for (uint64_t i = 0; i < n; ++i) {
+        uint64_t remaining = col[i];
+        for (uint32_t k = 0; k + 1 < t; ++k) {
+          uint64_t part = rng->NextU64() & mask;
+          shares->columns[hiders[k]][i] =
+              (shares->columns[hiders[k]][i] + part) & mask;
+          remaining = (remaining - part) & mask;
+        }
+        shares->columns[hiders[t - 1]][i] =
+            (shares->columns[hiders[t - 1]][i] + remaining) & mask;
+        col[i] = 0;
+      }
+      if (ledger != nullptr) {
+        ledger->RecordSend(Role::kShuffler, Role::kShuffler, t * n * 8);
+      }
+    }
+
+    // 2. Hiders apply an agreed permutation.
+    Rng perm_rng(rng->NextU64());
+    std::vector<uint32_t> perm =
+        perm_rng.Permutation(static_cast<uint32_t>(n));
+    for (uint32_t h : hiders) {
+      ApplyPermutation(perm, &shares->columns[h]);
+    }
+    if (composed_perm != nullptr) {
+      ApplyPermutation(perm, composed_perm);
+    }
+
+    // 3. Hiders re-share everything back to all r shufflers.
+    std::vector<std::vector<uint64_t>> next(r,
+                                            std::vector<uint64_t>(n, 0));
+    for (uint32_t h : hiders) {
+      const auto& col = shares->columns[h];
+      for (uint64_t i = 0; i < n; ++i) {
+        uint64_t remaining = col[i];
+        for (uint32_t j = 0; j + 1 < r; ++j) {
+          uint64_t part = rng->NextU64() & mask;
+          next[j][i] = (next[j][i] + part) & mask;
+          remaining = (remaining - part) & mask;
+        }
+        next[r - 1][i] = (next[r - 1][i] + remaining) & mask;
+      }
+      if (ledger != nullptr) {
+        // r - 1 outgoing columns (the self-share stays local).
+        ledger->RecordSend(Role::kShuffler, Role::kShuffler,
+                           (r - 1) * n * 8);
+      }
+    }
+    shares->columns = std::move(next);
+  }
+  return Status::OK();
+}
+
+Status RunEncryptedObliviousShuffle(EosState* state, const EosOptions& opts,
+                                    crypto::SecureRandom* rng,
+                                    CostLedger* ledger) {
+  if (opts.public_key == nullptr) {
+    return Status::InvalidArgument("EOS: missing Paillier public key");
+  }
+  ShareMatrix* shares = &state->plain;
+  const uint32_t r = shares->num_shufflers();
+  const uint64_t n = shares->num_secrets();
+  if (r < 2) return Status::InvalidArgument("EOS: need r >= 2");
+  if (state->cipher_column.size() != n) {
+    return Status::InvalidArgument("EOS: cipher column has wrong length");
+  }
+  if (state->e_holder >= r) {
+    return Status::InvalidArgument("EOS: e_holder out of range");
+  }
+  const uint32_t t = r / 2 + 1;
+  const uint64_t mask = Mask(shares->ell);
+  const crypto::PaillierPublicKey& pub = *opts.public_key;
+  const uint64_t cipher_bytes = pub.CiphertextBytes();
+
+  for (const auto& hiders : AllSubsets(r, t)) {
+    ComputeScope scope(ledger, Role::kShuffler);
+    std::vector<bool> is_hider(r, false);
+    for (uint32_t h : hiders) is_hider[h] = true;
+
+    // 1a. Seekers re-share plaintext columns to the hiders.
+    for (uint32_t s = 0; s < r; ++s) {
+      if (is_hider[s]) continue;
+      auto& col = shares->columns[s];
+      for (uint64_t i = 0; i < n; ++i) {
+        uint64_t remaining = col[i];
+        for (uint32_t k = 0; k + 1 < t; ++k) {
+          uint64_t part = rng->NextU64() & mask;
+          shares->columns[hiders[k]][i] =
+              (shares->columns[hiders[k]][i] + part) & mask;
+          remaining = (remaining - part) & mask;
+        }
+        shares->columns[hiders[t - 1]][i] =
+            (shares->columns[hiders[t - 1]][i] + remaining) & mask;
+        col[i] = 0;
+      }
+      if (ledger != nullptr) {
+        ledger->RecordSend(Role::kShuffler, Role::kShuffler, t * n * 8);
+      }
+    }
+
+    // 1b. The ciphertext holder E re-splits its column: t − 1 uniform
+    // plaintext mask vectors go to hiders, the homomorphically-adjusted
+    // ciphertext vector goes to the new E (uniform among hiders).
+    const uint32_t new_e = hiders[rng->UniformU64(t)];
+    {
+      std::vector<uint64_t> mask_sum(n, 0);
+      uint32_t masks_sent = 0;
+      for (uint32_t k = 0; k < t && masks_sent + 1 < t; ++k) {
+        uint32_t h = hiders[k];
+        if (h == new_e) continue;
+        ++masks_sent;
+        for (uint64_t i = 0; i < n; ++i) {
+          uint64_t m = rng->NextU64() & mask;
+          shares->columns[h][i] = (shares->columns[h][i] + m) & mask;
+          mask_sum[i] = (mask_sum[i] + m) & mask;
+        }
+        if (ledger != nullptr) {
+          ledger->RecordSend(Role::kShuffler, Role::kShuffler, n * 8);
+        }
+      }
+      // c'_i = c_i + (2^ell − mask_sum_i): the subtraction wraps to 0
+      // mod 2^ell after decryption (DESIGN.md §4 item 2).
+      auto transform = [&](uint64_t lo, uint64_t hi,
+                           crypto::SecureRandom* local) {
+        for (uint64_t i = lo; i < hi; ++i) {
+          // (2^ell − s) mod 2^ell via unsigned wrap-around; adding it to
+          // the ciphertext cancels the masks mod 2^ell after decryption.
+          uint64_t neg = (0 - mask_sum[i]) & mask;
+          crypto::BigInt adjust(neg);
+          auto c = pub.AddPlain(state->cipher_column[i], adjust);
+          if (opts.pool != nullptr) {
+            c = opts.pool->Rerandomize(c, local);
+          } else {
+            auto enc_zero = pub.Encrypt(crypto::BigInt(), local);
+            assert(enc_zero.ok());
+            c = pub.Add(c, *enc_zero);
+          }
+          state->cipher_column[i] = std::move(c);
+        }
+      };
+      if (opts.thread_pool != nullptr) {
+        std::vector<crypto::SecureRandom> locals;
+        const unsigned workers = opts.thread_pool->num_threads();
+        locals.reserve(workers * 4);
+        for (unsigned w = 0; w < workers * 4; ++w) {
+          locals.push_back(rng->Fork());
+        }
+        std::atomic<size_t> next_local{0};
+        opts.thread_pool->ParallelFor(0, n, [&](uint64_t lo, uint64_t hi) {
+          size_t idx = next_local.fetch_add(1) % locals.size();
+          transform(lo, hi, &locals[idx]);
+        });
+      } else {
+        transform(0, n, rng);
+      }
+      if (ledger != nullptr) {
+        ledger->RecordSend(Role::kShuffler, Role::kShuffler,
+                           n * cipher_bytes);
+      }
+    }
+    state->e_holder = new_e;
+
+    // 2. Hiders (and the new E) apply the agreed permutation.
+    Rng perm_rng(rng->NextU64());
+    std::vector<uint32_t> perm =
+        perm_rng.Permutation(static_cast<uint32_t>(n));
+    for (uint32_t h : hiders) {
+      ApplyPermutation(perm, &shares->columns[h]);
+    }
+    ApplyPermutation(perm, &state->cipher_column);
+
+    // 3. Hiders re-share plaintext columns back to all r shufflers.
+    std::vector<std::vector<uint64_t>> next(r,
+                                            std::vector<uint64_t>(n, 0));
+    for (uint32_t h : hiders) {
+      const auto& col = shares->columns[h];
+      for (uint64_t i = 0; i < n; ++i) {
+        uint64_t remaining = col[i];
+        for (uint32_t j = 0; j + 1 < r; ++j) {
+          uint64_t part = rng->NextU64() & mask;
+          next[j][i] = (next[j][i] + part) & mask;
+          remaining = (remaining - part) & mask;
+        }
+        next[r - 1][i] = (next[r - 1][i] + remaining) & mask;
+      }
+      if (ledger != nullptr) {
+        ledger->RecordSend(Role::kShuffler, Role::kShuffler,
+                           (r - 1) * n * 8);
+      }
+    }
+    shares->columns = std::move(next);
+  }
+  return Status::OK();
+}
+
+}  // namespace shuffle
+}  // namespace shuffledp

@@ -1,0 +1,223 @@
+#include "shuffle/peos.h"
+
+#include <atomic>
+#include <cassert>
+#include <mutex>
+
+#include "crypto/secret_sharing.h"
+#include "ldp/estimator.h"
+#include "util/rng.h"
+
+namespace shuffledp {
+namespace shuffle {
+
+Result<PeosResult> RunPeos(const ldp::ScalarFrequencyOracle& oracle,
+                           const std::vector<uint64_t>& values,
+                           const PeosConfig& config,
+                           crypto::SecureRandom* rng) {
+  const uint64_t n = values.size();
+  const uint32_t r = config.num_shufflers;
+  if (n == 0) return Status::InvalidArgument("PEOS: empty dataset");
+  if (r < 2) return Status::InvalidArgument("PEOS: need r >= 2 shufflers");
+  // The share group is Z_{2^B} where B is the oracle's padded ordinal
+  // width: uniform B-bit fake shares then reconstruct to uniform ordinal
+  // values (see frequency_oracle.h). config.ell is validated against it.
+  const unsigned share_bits = oracle.PackedBits();
+  if (share_bits < 1 || share_bits > 64) {
+    return Status::InvalidArgument("PEOS: oracle ordinal width out of range");
+  }
+  if (config.ell < share_bits) {
+    return Status::InvalidArgument(
+        "PEOS: ell smaller than the oracle's packed ordinal width");
+  }
+  std::vector<PeosShufflerBehaviour> behaviours = config.behaviours;
+  behaviours.resize(r, PeosShufflerBehaviour::kHonest);
+
+  CostLedger ledger;
+  PeosResult result;
+  const uint64_t total = n + config.fake_reports;
+  const unsigned ell = share_bits;  // share over exactly the ordinal group
+  const uint64_t mask =
+      ell >= 64 ? ~uint64_t{0} : ((uint64_t{1} << ell) - 1);
+
+  // --- Setup: server AHE key pair ------------------------------------------
+  crypto::PaillierKeyPair server_keys;
+  {
+    ComputeScope scope(&ledger, Role::kServer);
+    auto kp = crypto::PaillierGenerateKeyPair(config.paillier_bits, rng);
+    if (!kp.ok()) return kp.status();
+    server_keys = std::move(kp).value();
+  }
+  std::unique_ptr<crypto::RandomizerPool> pool;
+  if (config.use_randomizer_pool) {
+    pool = std::make_unique<crypto::RandomizerPool>(
+        server_keys.pub, config.randomizer_pool_size, rng);
+  }
+  const uint64_t cipher_bytes = server_keys.pub.CiphertextBytes();
+
+  // --- User phase: encode, share, encrypt share r ---------------------------
+  EosState state;
+  state.plain.ell = ell;
+  state.plain.columns.assign(r - 1 + 1,
+                             std::vector<uint64_t>(total, 0));
+  // Column layout: columns[0..r-2] are shufflers 1..r-1's plaintext
+  // shares; columns[r-1] is shuffler r's *local* plaintext column, which
+  // stays all-zero for user rows (shuffler r receives only ciphertexts)
+  // and carries its own fake-share contributions.
+  state.cipher_column.resize(total);
+  state.e_holder = r - 1;
+
+  {
+    ComputeScope scope(&ledger, Role::kUser);
+    std::mutex status_mu;
+    Status enc_status = Status::OK();
+    auto user_range = [&](uint64_t lo, uint64_t hi, uint64_t seed) {
+      Rng local_rng(seed);
+      crypto::SecureRandom local_sec(seed ^ 0xFEEDFACEULL);
+      for (uint64_t i = lo; i < hi; ++i) {
+        ldp::LdpReport rep = oracle.Encode(values[i], &local_rng);
+        auto shares = crypto::SplitShares2Ell(oracle.PackOrdinal(rep), r,
+                                              ell, &local_sec);
+        for (uint32_t j = 0; j + 1 < r; ++j) {
+          state.plain.columns[j][i] = shares[j];
+        }
+        Result<crypto::PaillierCiphertext> c =
+            pool != nullptr
+                ? Result<crypto::PaillierCiphertext>(
+                      pool->EncryptFastU64(shares[r - 1], &local_sec))
+                : server_keys.pub.EncryptU64(shares[r - 1], &local_sec);
+        if (!c.ok()) {
+          std::lock_guard<std::mutex> lock(status_mu);
+          enc_status = c.status();
+          return;
+        }
+        state.cipher_column[i] = std::move(c).value();
+      }
+    };
+    if (config.pool != nullptr) {
+      uint64_t base_seed = rng->NextU64();
+      config.pool->ParallelFor(0, n, [&](uint64_t lo, uint64_t hi) {
+        user_range(lo, hi, base_seed ^ (lo * 0x9E3779B97F4A7C15ULL + 1));
+      });
+    } else {
+      user_range(0, n, rng->NextU64());
+    }
+    if (!enc_status.ok()) return enc_status;
+  }
+  // Per-user upload: r − 1 plaintext shares + 1 ciphertext.
+  ledger.RecordSend(Role::kUser, Role::kShuffler,
+                    n * ((r - 1) * 8 + cipher_bytes));
+
+  // --- Shufflers create fake-report shares ----------------------------------
+  {
+    ComputeScope scope(&ledger, Role::kShuffler);
+    Rng fake_rng(rng->NextU64());
+    std::mutex status_mu;
+    Status enc_status = Status::OK();
+    for (uint64_t k = 0; k < config.fake_reports; ++k) {
+      const uint64_t row = n + k;
+      // Every shuffler contributes one uniform share; the sum over honest
+      // shufflers is uniform regardless of what malicious ones pick
+      // (Algorithm 1 + §VI-A2 masking argument).
+      for (uint32_t j = 0; j + 1 < r; ++j) {
+        uint64_t share =
+            behaviours[j] == PeosShufflerBehaviour::kBiasedFakeShares
+                ? (config.poison_target_packed & mask)
+                : (rng->NextU64() & mask);
+        state.plain.columns[j][row] = share;
+      }
+      uint64_t share_r =
+          behaviours[r - 1] == PeosShufflerBehaviour::kBiasedFakeShares
+              ? (config.poison_target_packed & mask)
+              : (rng->NextU64() & mask);
+      Result<crypto::PaillierCiphertext> c =
+          pool != nullptr ? Result<crypto::PaillierCiphertext>(
+                                pool->EncryptFastU64(share_r, rng))
+                          : server_keys.pub.EncryptU64(share_r, rng);
+      if (!c.ok()) {
+        std::lock_guard<std::mutex> lock(status_mu);
+        enc_status = c.status();
+        break;
+      }
+      state.cipher_column[row] = std::move(c).value();
+    }
+    if (!enc_status.ok()) return enc_status;
+    (void)fake_rng;
+  }
+
+  // --- EOS -------------------------------------------------------------------
+  EosOptions eos_opts;
+  eos_opts.public_key = &server_keys.pub;
+  eos_opts.pool = pool.get();
+  eos_opts.thread_pool = config.pool;
+  SHUFFLEDP_RETURN_NOT_OK(
+      RunEncryptedObliviousShuffle(&state, eos_opts, rng, &ledger));
+
+  // --- Shufflers -> server ----------------------------------------------------
+  ledger.RecordSend(Role::kShuffler, Role::kServer,
+                    (r - 1) * total * 8 /* plaintext columns */);
+  ledger.RecordSend(Role::kShuffler, Role::kServer,
+                    total * cipher_bytes /* ciphertext column */);
+
+  // --- Server: decrypt, reconstruct, estimate ---------------------------------
+  {
+    ComputeScope scope(&ledger, Role::kServer);
+    std::vector<uint64_t> packed(total, 0);
+    std::mutex status_mu;
+    Status dec_status = Status::OK();
+    auto decrypt_range = [&](uint64_t lo, uint64_t hi) {
+      for (uint64_t i = lo; i < hi; ++i) {
+        auto m = server_keys.priv.DecryptMod2Ell(state.cipher_column[i],
+                                                 ell);
+        if (!m.ok()) {
+          std::lock_guard<std::mutex> lock(status_mu);
+          dec_status = m.status();
+          return;
+        }
+        packed[i] = *m;
+      }
+    };
+    if (config.pool != nullptr) {
+      config.pool->ParallelFor(0, total, [&](uint64_t lo, uint64_t hi) {
+        decrypt_range(lo, hi);
+      });
+    } else {
+      decrypt_range(0, total);
+    }
+    if (!dec_status.ok()) return dec_status;
+
+    for (uint64_t i = 0; i < total; ++i) {
+      uint64_t sum = packed[i];
+      for (uint32_t j = 0; j < state.plain.num_shufflers(); ++j) {
+        sum = (sum + state.plain.columns[j][i]) & mask;
+      }
+      packed[i] = sum;
+    }
+
+    std::vector<ldp::LdpReport> reports;
+    reports.reserve(total);
+    for (uint64_t i = 0; i < total; ++i) {
+      auto rep = oracle.UnpackOrdinal(packed[i]);
+      if (rep.ok() && oracle.ValidateReport(*rep).ok()) {
+        reports.push_back(*rep);
+      } else {
+        // Padding-region ordinals (possible only when the ordinal space
+        // is not padding-free) and malformed rows support no value; they
+        // are dropped and accounted for by the ordinal calibration.
+        ++result.reports_invalid;
+      }
+    }
+    result.reports_decoded = reports.size();
+
+    auto supports =
+        ldp::SupportCountsFullDomain(oracle, reports, config.pool);
+    result.estimates = ldp::CalibrateEstimatesOrdinal(oracle, supports, n,
+                                                      config.fake_reports);
+  }
+
+  result.costs = SummarizeCosts(ledger, n, r);
+  return result;
+}
+
+}  // namespace shuffle
+}  // namespace shuffledp

@@ -1,0 +1,265 @@
+#include "shuffle/sequential_shuffle.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "crypto/sha256.h"
+#include "ldp/estimator.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace shuffledp {
+namespace shuffle {
+
+namespace {
+
+// Payload carried inside the onion: packed report (8B) || tag (8B).
+// Real users and fake reports use random tags; the server's spot-check
+// dummies use HMAC-derived tags so the server can recognize its own
+// payloads after shuffling (shufflers cannot distinguish them).
+constexpr size_t kPayloadBytes = 16;
+
+Bytes MakePayload(uint64_t packed_report, uint64_t tag) {
+  ByteWriter w(kPayloadBytes);
+  w.PutU64(packed_report);
+  w.PutU64(tag);
+  return w.Release();
+}
+
+}  // namespace
+
+Result<SequentialShuffleResult> RunSequentialShuffle(
+    const ldp::ScalarFrequencyOracle& oracle,
+    const std::vector<uint64_t>& values, const SequentialShuffleConfig& config,
+    crypto::SecureRandom* rng) {
+  const uint64_t n = values.size();
+  const uint32_t r = config.num_shufflers;
+  if (r == 0) {
+    return Status::InvalidArgument("SS: need at least one shuffler");
+  }
+  if (n == 0) return Status::InvalidArgument("SS: empty dataset");
+  std::vector<ShufflerBehaviour> behaviours = config.behaviours;
+  behaviours.resize(r, ShufflerBehaviour::kHonest);
+
+  CostLedger ledger;
+  SequentialShuffleResult result;
+
+  // --- Setup: key material -------------------------------------------------
+  crypto::EciesKeyPair server_kp = crypto::EciesGenerateKeyPair(rng);
+  std::vector<crypto::EciesKeyPair> shuffler_kps;
+  shuffler_kps.reserve(r);
+  // Onion layer order: shuffler 1 peels first, server last.
+  std::vector<crypto::P256Point> layers;
+  for (uint32_t j = 0; j < r; ++j) {
+    shuffler_kps.push_back(crypto::EciesGenerateKeyPair(rng));
+    layers.push_back(shuffler_kps.back().public_key);
+  }
+  layers.push_back(server_kp.public_key);
+
+  const Bytes spot_key = rng->RandomBytes(32);
+
+  // --- User phase: encode + onion encrypt ----------------------------------
+  std::vector<Bytes> in_flight(n);
+  {
+    ComputeScope scope(&ledger, Role::kUser);
+    auto encrypt_range = [&](uint64_t lo, uint64_t hi, uint64_t seed) {
+      Rng local_rng(seed);
+      crypto::SecureRandom local_sec(seed ^ 0x5331AFULL);
+      for (uint64_t i = lo; i < hi; ++i) {
+        ldp::LdpReport rep = oracle.Encode(values[i], &local_rng);
+        Bytes payload = MakePayload(ldp::PackReport(rep), local_sec.NextU64());
+        in_flight[i] = crypto::OnionEncrypt(layers, payload, &local_sec);
+      }
+    };
+    if (config.pool != nullptr) {
+      uint64_t base_seed = rng->NextU64();
+      config.pool->ParallelFor(0, n, [&](uint64_t lo, uint64_t hi) {
+        encrypt_range(lo, hi, base_seed ^ (lo * 0x9E3779B97F4A7C15ULL));
+      });
+    } else {
+      encrypt_range(0, n, rng->NextU64());
+    }
+  }
+
+  // Spot-check dummies: the server plants accounts whose payloads it can
+  // recognize. They are appended to the user stream (indistinguishable to
+  // shufflers) and removed by the server before estimation.
+  std::vector<Bytes> dummy_payloads;
+  {
+    ComputeScope scope(&ledger, Role::kServer);
+    Rng dummy_rng(rng->NextU64());
+    for (uint64_t k = 0; k < config.spot_check_dummies; ++k) {
+      ldp::LdpReport rep = oracle.MakeFakeReport(&dummy_rng);
+      ByteWriter nonce;
+      nonce.PutU64(k);
+      auto mac = crypto::HmacSha256(spot_key, nonce.Release());
+      uint64_t tag;
+      std::memcpy(&tag, mac.data(), sizeof(tag));
+      Bytes payload = MakePayload(ldp::PackReport(rep), tag);
+      dummy_payloads.push_back(payload);
+      in_flight.push_back(crypto::OnionEncrypt(layers, payload, rng));
+    }
+  }
+
+  // Users -> first shuffler.
+  for (const Bytes& blob : in_flight) {
+    ledger.RecordSend(Role::kUser, Role::kShuffler, blob.size());
+  }
+
+  // --- Shuffler chain -------------------------------------------------------
+  const uint64_t fakes_per_shuffler =
+      r == 0 ? 0 : config.fake_reports_total / r;
+  uint64_t fakes_injected = 0;
+
+  for (uint32_t j = 0; j < r; ++j) {
+    ComputeScope scope(&ledger, Role::kShuffler);
+    // Peel one onion layer from every blob (parallelizable).
+    std::vector<Bytes> peeled(in_flight.size());
+    std::mutex status_mu;
+    Status peel_status = Status::OK();
+    auto peel_range = [&](uint64_t lo, uint64_t hi) {
+      for (uint64_t i = lo; i < hi; ++i) {
+        auto inner = crypto::OnionPeel(shuffler_kps[j].private_key,
+                                       in_flight[i]);
+        if (!inner.ok()) {
+          std::lock_guard<std::mutex> lock(status_mu);
+          peel_status = inner.status();
+          return;
+        }
+        peeled[i] = std::move(inner).value();
+      }
+    };
+    if (config.pool != nullptr) {
+      config.pool->ParallelFor(0, in_flight.size(),
+                               [&](uint64_t lo, uint64_t hi) {
+                                 peel_range(lo, hi);
+                               });
+    } else {
+      peel_range(0, in_flight.size());
+    }
+    if (!peel_status.ok()) return peel_status;
+    in_flight = std::move(peeled);
+
+    // Malicious behaviours.
+    Rng misc_rng(rng->NextU64());
+    crypto::SecureRandom fake_sec = rng->Fork();
+    std::vector<crypto::P256Point> remaining_layers(
+        layers.begin() + j + 1, layers.end());
+    switch (behaviours[j]) {
+      case ShufflerBehaviour::kReplaceReports: {
+        ldp::LdpReport target;
+        target.value = static_cast<uint32_t>(config.poison_target_value);
+        for (auto& blob : in_flight) {
+          Bytes payload =
+              MakePayload(ldp::PackReport(target), fake_sec.NextU64());
+          blob = crypto::OnionEncrypt(remaining_layers, payload, &fake_sec);
+        }
+        break;
+      }
+      case ShufflerBehaviour::kDropReports: {
+        std::vector<Bytes> kept;
+        for (size_t i = 0; i < in_flight.size(); ++i) {
+          if (i % 2 == 0) kept.push_back(std::move(in_flight[i]));
+        }
+        in_flight = std::move(kept);
+        break;
+      }
+      case ShufflerBehaviour::kHonest:
+      case ShufflerBehaviour::kBiasedFakes:
+        break;
+    }
+
+    // Inject fake reports (uniform if honest, biased if malicious).
+    uint64_t quota = (j + 1 == r)
+                         ? config.fake_reports_total - fakes_injected
+                         : fakes_per_shuffler;
+    for (uint64_t k = 0; k < quota; ++k) {
+      ldp::LdpReport rep;
+      if (behaviours[j] == ShufflerBehaviour::kBiasedFakes) {
+        rep.value = static_cast<uint32_t>(config.poison_target_value);
+      } else {
+        rep = oracle.MakeFakeReport(&misc_rng);
+      }
+      Bytes payload = MakePayload(ldp::PackReport(rep), fake_sec.NextU64());
+      in_flight.push_back(
+          crypto::OnionEncrypt(remaining_layers, payload, &fake_sec));
+    }
+    fakes_injected += quota;
+
+    // Shuffle.
+    Rng shuffle_rng(rng->NextU64());
+    shuffle_rng.Shuffle(&in_flight);
+
+    // Forward to the next hop.
+    Role next = (j + 1 == r) ? Role::kServer : Role::kShuffler;
+    for (const Bytes& blob : in_flight) {
+      ledger.RecordSend(Role::kShuffler, next, blob.size());
+    }
+  }
+
+  // --- Server: peel, spot-check, estimate ----------------------------------
+  std::vector<ldp::LdpReport> reports;
+  {
+    ComputeScope scope(&ledger, Role::kServer);
+    std::vector<Bytes> payloads(in_flight.size());
+    std::mutex status_mu;
+    Status peel_status = Status::OK();
+    auto peel_range = [&](uint64_t lo, uint64_t hi) {
+      for (uint64_t i = lo; i < hi; ++i) {
+        auto payload =
+            crypto::EciesDecrypt(server_kp.private_key, in_flight[i]);
+        if (!payload.ok()) {
+          std::lock_guard<std::mutex> lock(status_mu);
+          peel_status = payload.status();
+          return;
+        }
+        payloads[i] = std::move(payload).value();
+      }
+    };
+    if (config.pool != nullptr) {
+      config.pool->ParallelFor(0, in_flight.size(),
+                               [&](uint64_t lo, uint64_t hi) {
+                                 peel_range(lo, hi);
+                               });
+    } else {
+      peel_range(0, in_flight.size());
+    }
+    if (!peel_status.ok()) return peel_status;
+
+    // Multiset of payload bytes for spot checking and dummy removal.
+    std::map<Bytes, uint64_t> multiset;
+    for (const Bytes& p : payloads) ++multiset[p];
+    for (const Bytes& dummy : dummy_payloads) {
+      auto it = multiset.find(dummy);
+      if (it == multiset.end() || it->second == 0) {
+        result.spot_check_passed = false;
+      } else {
+        --it->second;  // remove the dummy before estimation
+      }
+    }
+
+    reports.reserve(payloads.size());
+    for (const auto& [payload, count] : multiset) {
+      ByteReader reader(payload);
+      auto packed = reader.GetU64();
+      if (!packed.ok()) continue;
+      ldp::LdpReport rep = ldp::UnpackReport(*packed);
+      if (!oracle.ValidateReport(rep).ok()) continue;
+      for (uint64_t c = 0; c < count; ++c) reports.push_back(rep);
+    }
+    result.reports_at_server = reports.size();
+
+    auto supports =
+        ldp::SupportCountsFullDomain(oracle, reports, config.pool);
+    result.estimates = ldp::CalibrateEstimates(oracle, supports, n,
+                                               config.fake_reports_total);
+  }
+
+  result.costs = SummarizeCosts(ledger, n, r);
+  return result;
+}
+
+}  // namespace shuffle
+}  // namespace shuffledp

@@ -1,0 +1,47 @@
+// xxHash32 / xxHash64 (from scratch) and the universal-hash wrapper used by
+// the local-hashing frequency oracles (OLH / SOLH).
+//
+// Local hashing reports a pair <seed, GRR(H_seed(v))>; the seed identifies a
+// member of the hash family. We instantiate the family as
+//   H_seed(v) = xxhash64(v, seed) mod d'
+// exactly as in the paper's implementation ("we use 32 bits to denote the
+// seed of the hash function").
+
+#ifndef SHUFFLEDP_UTIL_HASH_H_
+#define SHUFFLEDP_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace shuffledp {
+
+/// xxHash64 of `data[0..len)` with `seed`. Matches the reference vectors of
+/// the xxHash specification.
+uint64_t XxHash64(const void* data, size_t len, uint64_t seed);
+
+/// xxHash32 of `data[0..len)` with `seed`.
+uint32_t XxHash32(const void* data, size_t len, uint32_t seed);
+
+/// Convenience overloads.
+inline uint64_t XxHash64(std::string_view s, uint64_t seed) {
+  return XxHash64(s.data(), s.size(), seed);
+}
+inline uint32_t XxHash32(std::string_view s, uint32_t seed) {
+  return XxHash32(s.data(), s.size(), seed);
+}
+
+/// Universal hash used by OLH/SOLH: maps `value` in [0, d) to [0, range)
+/// under the family member identified by `seed`.
+///
+/// For a fixed value, varying the seed gives (empirically) pairwise-
+/// independent outputs, which is the property the estimator calibration
+/// (Eq. 3) relies on: Pr_seed[H(v) = H(v')] = 1/range for v != v'.
+inline uint32_t UniversalHash(uint64_t value, uint32_t seed, uint32_t range) {
+  uint64_t key = value;
+  return static_cast<uint32_t>(XxHash64(&key, sizeof(key), seed) % range);
+}
+
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_UTIL_HASH_H_

@@ -1,0 +1,138 @@
+#include "util/math.h"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace shuffledp {
+
+double Comb(uint64_t n, uint64_t k) {
+  if (k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  if (k == 0) return 1.0;
+  if (n < 60) {
+    double r = 1.0;
+    for (uint64_t i = 0; i < k; ++i) {
+      r = r * static_cast<double>(n - i) / static_cast<double>(i + 1);
+    }
+    return r;
+  }
+  return std::exp(LogComb(n, k));
+}
+
+double LogComb(uint64_t n, uint64_t k) {
+  if (k > n) return -std::numeric_limits<double>::infinity();
+  double nd = static_cast<double>(n), kd = static_cast<double>(k);
+  return std::lgamma(nd + 1.0) - std::lgamma(kd + 1.0) -
+         std::lgamma(nd - kd + 1.0);
+}
+
+uint64_t CombU64(uint64_t n, uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  uint64_t r = 1;
+  for (uint64_t i = 0; i < k; ++i) {
+    uint64_t num = n - i;
+    uint64_t den = i + 1;
+    // r * num may overflow; divide first where exact.
+    uint64_t g = std::gcd(num, den);
+    num /= g;
+    den /= g;
+    g = std::gcd(r, den);
+    r /= g;
+    den /= g;
+    if (den != 1) return UINT64_MAX;  // should not happen for valid nCr
+    if (num != 0 && r > UINT64_MAX / num) return UINT64_MAX;
+    r *= num;
+  }
+  return r;
+}
+
+uint64_t NextPow2(uint64_t v) {
+  if (v <= 1) return 1;
+  --v;
+  v |= v >> 1;
+  v |= v >> 2;
+  v |= v >> 4;
+  v |= v >> 8;
+  v |= v >> 16;
+  v |= v >> 32;
+  return v + 1;
+}
+
+int Log2Exact(uint64_t pow2) {
+  int l = 0;
+  while (pow2 > 1) {
+    pow2 >>= 1;
+    ++l;
+  }
+  return l;
+}
+
+double BernoulliKl(double q, double p) {
+  const double eps = 1e-300;
+  double a = (q <= 0.0) ? 0.0 : q * std::log(q / std::max(p, eps));
+  double b = (q >= 1.0) ? 0.0
+                        : (1.0 - q) * std::log((1.0 - q) /
+                                               std::max(1.0 - p, eps));
+  return a + b;
+}
+
+double BinomialUpperTail(uint64_t n, double p, double a) {
+  double nd = static_cast<double>(n);
+  if (a <= nd * p) return 1.0;
+  if (a >= nd) return std::pow(p, nd);
+  return std::exp(-nd * BernoulliKl(a / nd, p));
+}
+
+double BinomialLowerTail(uint64_t n, double p, double a) {
+  double nd = static_cast<double>(n);
+  if (a >= nd * p) return 1.0;
+  if (a <= 0.0) return std::pow(1.0 - p, nd);
+  return std::exp(-nd * BernoulliKl(a / nd, p));
+}
+
+double GoldenSectionMinimize(double lo, double hi,
+                             const std::vector<double>* /*unused*/,
+                             double (*f)(double, const void*), const void* ctx,
+                             double tol) {
+  const double gr = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = lo, b = hi;
+  double c = b - gr * (b - a);
+  double d = a + gr * (b - a);
+  double fc = f(c, ctx), fd = f(d, ctx);
+  while (b - a > tol) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - gr * (b - a);
+      fc = f(c, ctx);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + gr * (b - a);
+      fd = f(d, ctx);
+    }
+  }
+  return (a + b) / 2.0;
+}
+
+double BinarySearchLargest(double lo, double hi,
+                           bool (*pred)(double, const void*), const void* ctx,
+                           double tol) {
+  if (!pred(lo, ctx)) return lo;
+  if (pred(hi, ctx)) return hi;
+  while (hi - lo > tol * std::max(1.0, std::fabs(lo))) {
+    double mid = 0.5 * (lo + hi);
+    if (pred(mid, ctx)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace shuffledp

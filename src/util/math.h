@@ -1,0 +1,51 @@
+// Small numeric helpers shared across the privacy-analysis code.
+
+#ifndef SHUFFLEDP_UTIL_MATH_H_
+#define SHUFFLEDP_UTIL_MATH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace shuffledp {
+
+/// n choose k as a double (exact for small arguments, lgamma-based
+/// otherwise). Returns +inf on overflow.
+double Comb(uint64_t n, uint64_t k);
+
+/// ln(n choose k) via lgamma; returns -inf for k > n.
+double LogComb(uint64_t n, uint64_t k);
+
+/// n choose k as exact uint64; saturates at UINT64_MAX on overflow.
+uint64_t CombU64(uint64_t n, uint64_t k);
+
+/// Smallest power of two >= v (v = 0 maps to 1).
+uint64_t NextPow2(uint64_t v);
+
+/// Integer log2 of a power of two.
+int Log2Exact(uint64_t pow2);
+
+/// Chernoff upper bound on Pr[Bin(n, p) >= a], a >= n*p:
+/// exp(-n * KL(a/n || p)). Returns 1.0 when a <= n*p.
+double BinomialUpperTail(uint64_t n, double p, double a);
+
+/// Chernoff upper bound on Pr[Bin(n, p) <= a], a <= n*p.
+double BinomialLowerTail(uint64_t n, double p, double a);
+
+/// Kullback-Leibler divergence KL(q || p) for Bernoulli parameters.
+double BernoulliKl(double q, double p);
+
+/// Golden-section minimization of a unimodal function on [lo, hi].
+/// Returns the minimizing x with absolute tolerance `tol`.
+double GoldenSectionMinimize(double lo, double hi,
+                             const std::vector<double>* unused,
+                             double (*f)(double, const void*), const void* ctx,
+                             double tol = 1e-9);
+
+/// Binary search for the largest x in [lo, hi] with pred(x) true, assuming
+/// pred is monotone non-increasing in x. Returns lo if pred(lo) is false.
+double BinarySearchLargest(double lo, double hi, bool (*pred)(double, const void*),
+                           const void* ctx, double tol = 1e-12);
+
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_UTIL_MATH_H_

@@ -1,0 +1,198 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace shuffledp {
+namespace {
+
+inline uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+  // xoshiro requires a nonzero state; SplitMix64 of any seed yields one with
+  // overwhelming probability, but guard the degenerate case anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x1ULL;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformU64(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless bounded sampling with rejection.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = (0 - bound) % bound;
+    while (l < t) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full 64-bit range
+  return lo + static_cast<int64_t>(UniformU64(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDoublePositive() {
+  return (static_cast<double>(NextU64() >> 11) + 1.0) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+namespace {
+
+// BINV: sequential CDF inversion, O(n*p) expected time.
+uint64_t BinomialInversion(Rng* rng, uint64_t n, double p) {
+  const double q = 1.0 - p;
+  const double s = p / q;
+  const double a = static_cast<double>(n + 1) * s;
+  double r = std::pow(q, static_cast<double>(n));  // P(X = 0)
+  double u = rng->UniformDouble();
+  uint64_t x = 0;
+  // The loop terminates because r eventually underflows past u; cap defends
+  // against pathological floating-point corner cases.
+  while (u > r && x < n) {
+    u -= r;
+    ++x;
+    r *= (a / static_cast<double>(x)) - s;
+    if (r <= 0.0) break;
+  }
+  return x;
+}
+
+// BTRS (Hormann 1993): transformed rejection, O(1) for n*p >= 10, p <= 0.5.
+uint64_t BinomialBtrs(Rng* rng, uint64_t n, double p) {
+  const double nd = static_cast<double>(n);
+  const double spq = std::sqrt(nd * p * (1.0 - p));
+  const double b = 1.15 + 2.53 * spq;
+  const double a = -0.0873 + 0.0248 * b + 0.01 * p;
+  const double c = nd * p + 0.5;
+  const double v_r = 0.92 - 4.2 / b;
+  const double alpha = (2.83 + 5.1 / b) * spq;
+  const double lpq = std::log(p / (1.0 - p));
+  const double m = std::floor((nd + 1.0) * p);  // mode
+  const double h =
+      std::lgamma(m + 1.0) + std::lgamma(nd - m + 1.0);
+
+  for (;;) {
+    double u = rng->UniformDouble() - 0.5;
+    double v = rng->UniformDouble();
+    double us = 0.5 - std::fabs(u);
+    double kd = std::floor((2.0 * a / us + b) * u + c);
+    if (kd < 0.0 || kd > nd) continue;
+    if (us >= 0.07 && v <= v_r) return static_cast<uint64_t>(kd);
+    v = std::log(v * alpha / (a / (us * us) + b));
+    double bound = h - std::lgamma(kd + 1.0) - std::lgamma(nd - kd + 1.0) +
+                   (kd - m) * lpq;
+    if (v <= bound) return static_cast<uint64_t>(kd);
+  }
+}
+
+}  // namespace
+
+uint64_t Rng::Binomial(uint64_t n, double p) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  const bool flipped = p > 0.5;
+  const double pp = flipped ? 1.0 - p : p;
+  uint64_t x;
+  if (static_cast<double>(n) * pp < 10.0) {
+    x = BinomialInversion(this, n, pp);
+  } else {
+    x = BinomialBtrs(this, n, pp);
+  }
+  return flipped ? n - x : x;
+}
+
+double Rng::Laplace(double scale) {
+  double u = UniformDouble() - 0.5;
+  double sign = (u >= 0.0) ? 1.0 : -1.0;
+  double mag = std::fabs(u);
+  // Guard against log(0) when |u| == 0.5 exactly.
+  double inner = 1.0 - 2.0 * mag;
+  if (inner <= 0.0) inner = 0x1.0p-53;
+  return -scale * sign * std::log(inner);
+}
+
+double Rng::Gaussian() {
+  // Marsaglia polar method, one deviate returned per call (second discarded
+  // to keep the generator state deterministic per call count).
+  for (;;) {
+    double x = 2.0 * UniformDouble() - 1.0;
+    double y = 2.0 * UniformDouble() - 1.0;
+    double s = x * x + y * y;
+    if (s > 0.0 && s < 1.0) {
+      return x * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+uint64_t Rng::Geometric(double p) {
+  assert(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  double u = UniformDoublePositive();
+  return static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::vector<uint32_t> Rng::Permutation(uint32_t n) {
+  std::vector<uint32_t> perm(n);
+  for (uint32_t i = 0; i < n; ++i) perm[i] = i;
+  Shuffle(&perm);
+  return perm;
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  assert(k <= n);
+  // Floyd's algorithm: O(k) expected time and memory.
+  std::unordered_set<uint64_t> chosen;
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = UniformU64(j + 1);
+    if (chosen.count(t)) t = j;
+    chosen.insert(t);
+    out.push_back(t);
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(NextU64() ^ 0xA5A5A5A5DEADBEEFULL); }
+
+}  // namespace shuffledp

@@ -1,0 +1,45 @@
+#include "util/stats.h"
+
+#include <cassert>
+#include <unordered_set>
+
+namespace shuffledp {
+
+double MeanSquaredError(const std::vector<double>& truth,
+                        const std::vector<double>& estimate) {
+  assert(truth.size() == estimate.size());
+  if (truth.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    double d = truth[i] - estimate[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+double MeanSquaredErrorAt(const std::vector<double>& truth,
+                          const std::vector<double>& estimate,
+                          const std::vector<uint64_t>& eval_points) {
+  assert(truth.size() == estimate.size());
+  if (eval_points.empty()) return 0.0;
+  double sum = 0.0;
+  for (uint64_t v : eval_points) {
+    assert(v < truth.size());
+    double d = truth[v] - estimate[v];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(eval_points.size());
+}
+
+double TopKPrecision(const std::vector<uint64_t>& predicted,
+                     const std::vector<uint64_t>& truth) {
+  if (truth.empty()) return 0.0;
+  std::unordered_set<uint64_t> truth_set(truth.begin(), truth.end());
+  size_t hits = 0;
+  for (uint64_t v : predicted) {
+    if (truth_set.count(v)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+}  // namespace shuffledp

@@ -1,0 +1,60 @@
+// Streaming statistics used by the benchmark harness and tests.
+
+#ifndef SHUFFLEDP_UTIL_STATS_H_
+#define SHUFFLEDP_UTIL_STATS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace shuffledp {
+
+/// Welford single-pass mean / variance accumulator.
+class RunningStat {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
+
+  uint64_t count() const { return n_; }
+  double mean() const { return mean_; }
+
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Standard error of the mean.
+  double stderr_mean() const {
+    return n_ > 0 ? stddev() / std::sqrt(static_cast<double>(n_)) : 0.0;
+  }
+
+ private:
+  uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Mean squared error between an estimated and a true frequency vector:
+///   MSE = (1/|D|) * sum_v (f_v - f~_v)^2            (paper Section VII-A)
+double MeanSquaredError(const std::vector<double>& truth,
+                        const std::vector<double>& estimate);
+
+/// MSE restricted to the domain points in `eval_points` (unbiased estimate
+/// of the full-domain MSE when the points are sampled uniformly).
+double MeanSquaredErrorAt(const std::vector<double>& truth,
+                          const std::vector<double>& estimate,
+                          const std::vector<uint64_t>& eval_points);
+
+/// Precision of a predicted top-k set against the true top-k set:
+/// |predicted ∩ truth| / k (the Figure 4 metric).
+double TopKPrecision(const std::vector<uint64_t>& predicted,
+                     const std::vector<uint64_t>& truth);
+
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_UTIL_STATS_H_

@@ -1,0 +1,173 @@
+// Status / Result error-handling primitives (RocksDB / Arrow style).
+//
+// The library does not use C++ exceptions (Google C++ style). Fallible
+// operations return `Status` or `Result<T>`; callers must check `ok()`
+// before using a result value.
+
+#ifndef SHUFFLEDP_UTIL_STATUS_H_
+#define SHUFFLEDP_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace shuffledp {
+
+/// Machine-readable failure categories.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller passed an out-of-contract parameter.
+  kOutOfRange = 2,        ///< Index / value outside the permitted range.
+  kFailedPrecondition = 3,///< Object not in the required state.
+  kNotFound = 4,          ///< Requested entity does not exist.
+  kAlreadyExists = 5,     ///< Entity already present.
+  kCryptoError = 6,       ///< Cryptographic operation failed (bad key, tag, ...).
+  kProtocolViolation = 7, ///< A party deviated from the prescribed protocol.
+  kDataLoss = 8,          ///< Truncated / corrupt serialized payload.
+  kInternal = 9,          ///< Invariant violation inside the library.
+  kUnimplemented = 10,    ///< Feature not available in this build.
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Value-semantic error carrier. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and a diagnostic message.
+  Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  /// Factory helpers, one per category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status OutOfRange(std::string m) {
+    return Status(StatusCode::kOutOfRange, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status CryptoError(std::string m) {
+    return Status(StatusCode::kCryptoError, std::move(m));
+  }
+  static Status ProtocolViolation(std::string m) {
+    return Status(StatusCode::kProtocolViolation, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unimplemented(std::string m) {
+    return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The failure category (kOk when `ok()`).
+  StatusCode code() const { return code_; }
+
+  /// Diagnostic message; empty for OK statuses.
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<Code>: <message>", for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Holds either a value of type `T` or a non-OK `Status`.
+///
+/// Usage:
+///   Result<Foo> r = MakeFoo();
+///   if (!r.ok()) return r.status();
+///   Foo& foo = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error; OK() when a value is held.
+  const Status& status() const { return status_; }
+
+  /// Pre-condition: ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Pre-condition: ok(). Convenience dereference operators.
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ has a value.
+};
+
+}  // namespace shuffledp
+
+/// Propagates a non-OK Status from an expression (RocksDB idiom).
+#define SHUFFLEDP_RETURN_NOT_OK(expr)                  \
+  do {                                                 \
+    ::shuffledp::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                         \
+  } while (false)
+
+/// Assigns `lhs` from a Result expression, propagating errors.
+#define SHUFFLEDP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+#define SHUFFLEDP_ASSIGN_OR_RETURN(lhs, rexpr) \
+  SHUFFLEDP_ASSIGN_OR_RETURN_IMPL(             \
+      SHUFFLEDP_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define SHUFFLEDP_CONCAT_INNER_(a, b) a##b
+#define SHUFFLEDP_CONCAT_(a, b) SHUFFLEDP_CONCAT_INNER_(a, b)
+
+#endif  // SHUFFLEDP_UTIL_STATUS_H_

@@ -1,0 +1,78 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace shuffledp {
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::ParallelFor(
+    uint64_t begin, uint64_t end,
+    const std::function<void(uint64_t, uint64_t)>& body) {
+  if (begin >= end) return;
+  const uint64_t total = end - begin;
+  const uint64_t chunks =
+      std::min<uint64_t>(total, static_cast<uint64_t>(num_threads()) * 4);
+  const uint64_t step = (total + chunks - 1) / chunks;
+  for (uint64_t lo = begin; lo < end; lo += step) {
+    uint64_t hi = std::min(end, lo + step);
+    Submit([&body, lo, hi] { body(lo, hi); });
+  }
+  WaitIdle();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
+}
+
+}  // namespace shuffledp

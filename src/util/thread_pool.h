@@ -1,0 +1,59 @@
+// Fixed-size worker pool used to parallelize per-user protocol work
+// (encryption, decryption, frequency-oracle aggregation).
+
+#ifndef SHUFFLEDP_UTIL_THREAD_POOL_H_
+#define SHUFFLEDP_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace shuffledp {
+
+/// A minimal fixed-size thread pool. Tasks are void() closures; completion
+/// is observed via WaitIdle(). Not copyable.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (defaults to hardware concurrency, >= 1).
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void WaitIdle();
+
+  unsigned num_threads() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Splits [begin, end) into contiguous chunks and runs `body(lo, hi)` on
+  /// the pool, blocking until done. `body` must be thread-safe across
+  /// disjoint ranges.
+  void ParallelFor(uint64_t begin, uint64_t end,
+                   const std::function<void(uint64_t, uint64_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable idle_cv_;
+  uint64_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide shared pool (lazily constructed).
+ThreadPool& GlobalThreadPool();
+
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_UTIL_THREAD_POOL_H_

@@ -1,0 +1,33 @@
+// Wall-clock timing for the performance experiments (Table III).
+
+#ifndef SHUFFLEDP_UTIL_TIMER_H_
+#define SHUFFLEDP_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace shuffledp {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_UTIL_TIMER_H_

@@ -1,0 +1,160 @@
+#include "core/methods.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace shuffledp {
+namespace core {
+namespace {
+
+constexpr double kDelta = 1e-9;
+
+TEST(MethodRegistryTest, NamesAndClassification) {
+  EXPECT_STREQ(MethodName(Method::kSolh), "SOLH");
+  EXPECT_STREQ(MethodName(Method::kRapRemoval), "RAP_R");
+  EXPECT_STREQ(MethodName(Method::kBase), "Base");
+  EXPECT_TRUE(IsShuffleMethod(Method::kSolh));
+  EXPECT_TRUE(IsShuffleMethod(Method::kAue));
+  EXPECT_FALSE(IsShuffleMethod(Method::kOlh));
+  EXPECT_FALSE(IsShuffleMethod(Method::kLap));
+  EXPECT_EQ(AllMethods().size(), 9u);
+}
+
+TEST(MethodRegistryTest, RejectsBadArguments) {
+  Rng rng(1);
+  std::vector<uint64_t> counts = {10, 20};
+  EXPECT_FALSE(
+      RunUtilityTrial(Method::kSolh, counts, 30, -1.0, kDelta, {0}, &rng)
+          .ok());
+  EXPECT_FALSE(
+      RunUtilityTrial(Method::kSolh, counts, 0, 0.5, kDelta, {0}, &rng)
+          .ok());
+  std::vector<uint64_t> tiny = {5};
+  EXPECT_FALSE(
+      RunUtilityTrial(Method::kSolh, tiny, 5, 0.5, kDelta, {0}, &rng).ok());
+}
+
+TEST(MethodRegistryTest, BaseReturnsUniform) {
+  Rng rng(2);
+  std::vector<uint64_t> counts = {100, 0, 0, 0};
+  auto est =
+      RunUtilityTrial(Method::kBase, counts, 100, 0.5, kDelta, {0, 3}, &rng);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ((*est)[0], 0.25);
+  EXPECT_DOUBLE_EQ((*est)[1], 0.25);
+}
+
+// Every method's trial is (approximately) unbiased and its empirical MSE
+// matches the analytic variance prediction. This is the single test that
+// pins the whole Figure 3 machinery.
+class MethodAccuracy : public ::testing::TestWithParam<Method> {};
+
+TEST_P(MethodAccuracy, UnbiasedAndVarianceMatchesPrediction) {
+  const Method method = GetParam();
+  const uint64_t n = 602325 / 8;  // IPUMS scale / 8 for speed
+  const uint64_t d = 915;
+  const double eps_c = 0.5;
+  // Zipf-ish counts.
+  std::vector<uint64_t> counts(d, 0);
+  uint64_t assigned = 0;
+  for (uint64_t v = 0; v < d; ++v) {
+    counts[v] = (n / 10) / (v + 1);
+    assigned += counts[v];
+  }
+  counts[0] += n - assigned;
+
+  Rng rng(3 + static_cast<int>(method));
+  RunningStat est0;
+  RunningStat sq_err_tail;  // value with tiny frequency
+  const uint64_t tail_v = d - 1;
+  const double truth0 = static_cast<double>(counts[0]) / n;
+  const double truth_tail = static_cast<double>(counts[tail_v]) / n;
+  const int kTrials = 60;
+  for (int t = 0; t < kTrials; ++t) {
+    auto est = RunUtilityTrial(method, counts, n, eps_c, kDelta,
+                               {0, tail_v}, &rng);
+    ASSERT_TRUE(est.ok());
+    est0.Add((*est)[0]);
+    double dtail = (*est)[1] - truth_tail;
+    sq_err_tail.Add(dtail * dtail);
+  }
+  EXPECT_NEAR(est0.mean(), truth0, 6 * est0.stderr_mean() + 1e-6)
+      << MethodName(method);
+
+  auto predicted = PredictVariance(method, n, d, eps_c, kDelta);
+  ASSERT_TRUE(predicted.ok());
+  // Empirical MSE at a near-zero-frequency value ~ predicted variance.
+  EXPECT_GT(sq_err_tail.mean(), 0.3 * *predicted) << MethodName(method);
+  EXPECT_LT(sq_err_tail.mean(), 3.0 * *predicted) << MethodName(method);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, MethodAccuracy,
+    ::testing::Values(Method::kOlh, Method::kHad, Method::kLap, Method::kSh,
+                      Method::kSolh, Method::kAue, Method::kRap,
+                      Method::kRapRemoval),
+    [](const ::testing::TestParamInfo<Method>& info) {
+      std::string name = MethodName(info.param);
+      name.erase(std::remove(name.begin(), name.end(), '_'), name.end());
+      return name;
+    });
+
+// The Figure 3 headline: shuffle methods sit orders of magnitude below
+// LDP methods, and Lap below the shuffle methods.
+TEST(MethodOrderingTest, Figure3OrderingHolds) {
+  const uint64_t n = 602325, d = 915;
+  const double eps_c = 0.5;
+  double solh = *PredictVariance(Method::kSolh, n, d, eps_c, kDelta);
+  double olh = *PredictVariance(Method::kOlh, n, d, eps_c, kDelta);
+  double had = *PredictVariance(Method::kHad, n, d, eps_c, kDelta);
+  double lap = *PredictVariance(Method::kLap, n, d, eps_c, kDelta);
+  double rap_r = *PredictVariance(Method::kRapRemoval, n, d, eps_c, kDelta);
+  EXPECT_LT(solh, olh / 100.0);   // ~3 orders in the paper
+  EXPECT_LT(solh, had / 100.0);
+  EXPECT_LT(lap, solh);           // Lap ~2 orders below SOLH
+  EXPECT_LT(rap_r, solh);         // RAP_R is the best shuffle method
+}
+
+TEST(MethodOrderingTest, ShBelowThresholdIsWorseThanSolh) {
+  // Figure 3: for ε_c below SH's amplification threshold SOLH wins big.
+  const uint64_t n = 602325, d = 915;
+  const double eps_c = 0.2;  // below sqrt(14 ln(2/δ) d/(n−1)) ~ 0.675
+  double sh = *PredictVariance(Method::kSh, n, d, eps_c, kDelta);
+  double solh = *PredictVariance(Method::kSolh, n, d, eps_c, kDelta);
+  EXPECT_LT(solh, sh / 100.0);
+}
+
+TEST(RoundEstimatorTest, DrivesTreeHistAccurately) {
+  auto estimator = MakeRoundEstimator(Method::kSolh, 0.5 / 2, kDelta / 2);
+  ASSERT_TRUE(estimator.ok());
+  // Planted 16-bit heavy hitters.
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 60000; ++i) values.push_back(0xAB12);
+  for (int i = 0; i < 40000; ++i) values.push_back(0x7788);
+  for (int i = 0; i < 20000; ++i) {
+    values.push_back(static_cast<uint64_t>(i) & 0xFFFF);
+  }
+  hist::TreeHistConfig config;
+  config.total_bits = 16;
+  config.bits_per_round = 8;
+  config.top_k = 2;
+  Rng rng(11);
+  auto result = hist::RunTreeHist(values, config, *estimator, &rng);
+  ASSERT_TRUE(result.ok());
+  std::vector<uint64_t> sorted = result->heavy_hitters;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<uint64_t>{0x7788, 0xAB12}));
+}
+
+TEST(RoundEstimatorTest, RejectsBadBudgets) {
+  EXPECT_FALSE(MakeRoundEstimator(Method::kSolh, 0.0, kDelta).ok());
+  EXPECT_FALSE(MakeRoundEstimator(Method::kSolh, 0.5, 0.0).ok());
+  EXPECT_FALSE(MakeRoundEstimator(Method::kBase, 0.5, kDelta).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace shuffledp

@@ -1,0 +1,107 @@
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "dp/amplification.h"
+
+namespace shuffledp {
+namespace core {
+namespace {
+
+PrivacyGoals DefaultGoals() {
+  PrivacyGoals goals;
+  goals.eps_server = 0.5;
+  goals.eps_users = 2.0;
+  goals.eps_local = 8.0;
+  goals.delta = 1e-9;
+  return goals;
+}
+
+TEST(PlannerTest, PlanSatisfiesAllThreeConstraints) {
+  auto plan = PlanPeos(DefaultGoals(), 602325, 915);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_LE(plan->eps_server_achieved, 0.5 * (1 + 1e-9));
+  EXPECT_LE(plan->eps_users_achieved, 2.0 * (1 + 1e-9));
+  EXPECT_LE(plan->eps_local_achieved, 8.0 * (1 + 1e-9));
+  EXPECT_GT(plan->n_r, 0u);
+  EXPECT_GT(plan->predicted_variance, 0.0);
+  // The plan re-derives consistently through the dp:: formulas.
+  double eps_c = dp::PeosEpsAgainstServer(plan->eps_l, 602325, plan->n_r,
+                                          plan->d_prime, 1e-9);
+  EXPECT_LE(eps_c, 0.5 * (1 + 1e-6));
+}
+
+TEST(PlannerTest, PrefersSolhOnLargeDomains) {
+  auto plan = PlanPeos(DefaultGoals(), 1000000, 42178);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_FALSE(plan->use_grr);
+  EXPECT_LT(plan->d_prime, 42178u);
+}
+
+TEST(PlannerTest, DPrimeIsPowerOfTwo) {
+  auto plan = PlanPeos(DefaultGoals(), 602325, 915);
+  ASSERT_TRUE(plan.ok());
+  if (!plan->use_grr) {
+    EXPECT_EQ(plan->d_prime & (plan->d_prime - 1), 0u);
+  }
+}
+
+TEST(PlannerTest, TighterUserPrivacyNeedsMoreFakes) {
+  PrivacyGoals loose = DefaultGoals();
+  loose.eps_users = 4.0;
+  PrivacyGoals tight = DefaultGoals();
+  tight.eps_users = 0.5;
+  auto plan_loose = PlanPeos(loose, 602325, 915);
+  auto plan_tight = PlanPeos(tight, 602325, 915);
+  ASSERT_TRUE(plan_loose.ok() && plan_tight.ok());
+  EXPECT_GE(plan_tight->n_r, plan_loose->n_r);
+  // And ε₂ actually achieved in both.
+  EXPECT_LE(plan_tight->eps_users_achieved, 0.5 * (1 + 1e-9));
+}
+
+TEST(PlannerTest, InfeasibleGoalsRejected) {
+  PrivacyGoals goals = DefaultGoals();
+  goals.eps_users = 1e-6;  // would need astronomically many fakes
+  auto plan = PlanPeos(goals, 10000, 915, /*max_n_r=*/100000);
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PlannerTest, RejectsBadArguments) {
+  PrivacyGoals goals = DefaultGoals();
+  EXPECT_FALSE(PlanPeos(goals, 1, 915).ok());
+  EXPECT_FALSE(PlanPeos(goals, 1000, 1).ok());
+  goals.eps_server = -1;
+  EXPECT_FALSE(PlanPeos(goals, 1000, 915).ok());
+  goals = DefaultGoals();
+  goals.delta = 2.0;
+  EXPECT_FALSE(PlanPeos(goals, 1000, 915).ok());
+  goals = DefaultGoals();
+  goals.eps_server = 10.0;
+  goals.eps_local = 5.0;  // server target looser than LDP floor
+  EXPECT_FALSE(PlanPeos(goals, 1000, 915).ok());
+}
+
+TEST(PlannerTest, VarianceBeatsPlainSolhThanksToFakes) {
+  // The planner's PEOS configuration (with fakes) should predict variance
+  // at least as good as plain SOLH at the same ε_c (see
+  // VarianceTest.PeosFakeReportsImproveUtilityAtFixedEpsC).
+  const uint64_t n = 602325, d = 915;
+  auto plan = PlanPeos(DefaultGoals(), n, d);
+  ASSERT_TRUE(plan.ok());
+  uint64_t d_plain = dp::OptimalSolhDPrime(0.5, n, 1e-9);
+  double plain = dp::SolhVarianceCentral(0.5, n, d_plain, 1e-9);
+  EXPECT_LE(plan->predicted_variance, plain * 1.05);
+}
+
+TEST(PlannerTest, ToStringMentionsKeyNumbers) {
+  auto plan = PlanPeos(DefaultGoals(), 602325, 915);
+  ASSERT_TRUE(plan.ok());
+  std::string s = plan->ToString();
+  EXPECT_NE(s.find("n_r="), std::string::npos);
+  EXPECT_NE(s.find("eps_c="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace shuffledp

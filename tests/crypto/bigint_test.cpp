@@ -1,0 +1,255 @@
+#include "crypto/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/secure_random.h"
+
+namespace shuffledp {
+namespace crypto {
+namespace {
+
+BigInt Hex(const std::string& s) {
+  auto r = BigInt::FromHexString(s);
+  EXPECT_TRUE(r.ok()) << s;
+  return *r;
+}
+
+TEST(BigIntTest, ZeroProperties) {
+  BigInt z;
+  EXPECT_TRUE(z.IsZero());
+  EXPECT_FALSE(z.IsOdd());
+  EXPECT_EQ(z.BitLength(), 0u);
+  EXPECT_EQ(z.ToHexString(), "0");
+  EXPECT_EQ(z.ToDecimalString(), "0");
+  EXPECT_EQ(z.ToU64Saturating(), 0u);
+}
+
+TEST(BigIntTest, HexRoundTrip) {
+  for (const std::string& s :
+       {"1", "ff", "deadbeef", "123456789abcdef0123456789abcdef",
+        "ffffffffffffffffffffffffffffffffffffffffffffffffff"}) {
+    EXPECT_EQ(Hex(s).ToHexString(), s);
+  }
+}
+
+TEST(BigIntTest, DecimalRoundTrip) {
+  for (const std::string& s :
+       {"0", "1", "42", "18446744073709551615", "18446744073709551616",
+        "340282366920938463463374607431768211455",
+        "99999999999999999999999999999999999999999999"}) {
+    auto v = BigInt::FromDecimalString(s);
+    ASSERT_TRUE(v.ok());
+    EXPECT_EQ(v->ToDecimalString(), s);
+  }
+}
+
+TEST(BigIntTest, InvalidLiteralsRejected) {
+  EXPECT_FALSE(BigInt::FromHexString("xyz").ok());
+  EXPECT_FALSE(BigInt::FromDecimalString("").ok());
+  EXPECT_FALSE(BigInt::FromDecimalString("12a").ok());
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  Bytes b = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09};
+  BigInt v = BigInt::FromBytesBigEndian(b);
+  EXPECT_EQ(v.ToHexString(), "10203040506070809");
+  EXPECT_EQ(v.ToBytesBigEndian(9), b);
+  // Padding.
+  Bytes padded = v.ToBytesBigEndian(12);
+  EXPECT_EQ(padded.size(), 12u);
+  EXPECT_EQ(padded[0], 0);
+  EXPECT_EQ(padded[3], 0x01);
+}
+
+TEST(BigIntTest, AddCarriesAcrossLimbs) {
+  BigInt a = Hex("ffffffffffffffff");  // 2^64 - 1
+  BigInt b(1);
+  EXPECT_EQ(a.Add(b).ToHexString(), "10000000000000000");
+  BigInt c = Hex("ffffffffffffffffffffffffffffffff");
+  EXPECT_EQ(c.Add(BigInt(1)).ToHexString(), "100000000000000000000000000000000");
+}
+
+TEST(BigIntTest, SubBorrowsAcrossLimbs) {
+  BigInt a = Hex("10000000000000000");
+  EXPECT_EQ(a.Sub(BigInt(1)).ToHexString(), "ffffffffffffffff");
+  EXPECT_TRUE(a.Sub(a).IsZero());
+}
+
+TEST(BigIntTest, MulKnownProduct) {
+  // (2^64-1)^2 = 2^128 - 2^65 + 1
+  BigInt a = Hex("ffffffffffffffff");
+  EXPECT_EQ(a.Mul(a).ToHexString(), "fffffffffffffffe0000000000000001");
+  EXPECT_TRUE(a.Mul(BigInt()).IsZero());
+  EXPECT_EQ(a.Mul(BigInt(1)), a);
+}
+
+TEST(BigIntTest, MulMatchesModularCrossCheck) {
+  // Randomized consistency: (a*b) mod m == ((a mod m)*(b mod m)) mod m
+  // for word-size m, exercising both schoolbook and Karatsuba sizes.
+  SecureRandom rng(uint64_t{12345});
+  for (size_t bits : {64, 192, 512, 2048, 4096}) {
+    for (int trial = 0; trial < 4; ++trial) {
+      BigInt a = BigInt::RandomWithBits(bits, &rng);
+      BigInt b = BigInt::RandomWithBits(bits, &rng);
+      BigInt m(0xFFFFFFFFFFFFFFC5ULL);  // large 64-bit prime
+      BigInt lhs = a.Mul(b).Mod(m);
+      unsigned __int128 am = a.Mod(m).ToU64Saturating();
+      unsigned __int128 bm = b.Mod(m).ToU64Saturating();
+      uint64_t rhs = static_cast<uint64_t>((am * bm) % 0xFFFFFFFFFFFFFFC5ULL);
+      EXPECT_EQ(lhs.ToU64Saturating(), rhs) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(BigIntTest, ShiftRoundTrip) {
+  BigInt a = Hex("123456789abcdef");
+  for (size_t s : {1, 13, 64, 65, 127, 200}) {
+    EXPECT_EQ(a.ShiftLeft(s).ShiftRight(s), a) << s;
+  }
+  EXPECT_TRUE(a.ShiftRight(100).IsZero());
+}
+
+TEST(BigIntTest, DivModReconstructs) {
+  SecureRandom rng(uint64_t{777});
+  for (size_t nbits : {64, 128, 300, 1024, 2050}) {
+    for (size_t dbits : {8, 64, 65, 128, 299, 1024}) {
+      if (dbits > nbits) continue;
+      BigInt n = BigInt::RandomWithBits(nbits, &rng);
+      BigInt d = BigInt::RandomWithBits(dbits, &rng);
+      BigInt q, r;
+      ASSERT_TRUE(n.DivMod(d, &q, &r).ok());
+      EXPECT_TRUE(r < d) << nbits << "/" << dbits;
+      EXPECT_EQ(q.Mul(d).Add(r), n) << nbits << "/" << dbits;
+    }
+  }
+}
+
+TEST(BigIntTest, DivModKnownValues) {
+  BigInt n = Hex("fedcba9876543210fedcba9876543210");
+  BigInt d = Hex("f00dfeed");
+  BigInt q, r;
+  ASSERT_TRUE(n.DivMod(d, &q, &r).ok());
+  EXPECT_EQ(q.Mul(d).Add(r), n);
+  EXPECT_TRUE(r < d);
+  // Dividend smaller than divisor.
+  BigInt q2, r2;
+  ASSERT_TRUE(d.DivMod(n, &q2, &r2).ok());
+  EXPECT_TRUE(q2.IsZero());
+  EXPECT_EQ(r2, d);
+}
+
+TEST(BigIntTest, DivisionByZeroIsError) {
+  BigInt q, r;
+  EXPECT_EQ(BigInt(5).DivMod(BigInt(), &q, &r).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Knuth-D "add back" regression: dividends engineered so the trial qhat
+// overshoots (top limbs of dividend just below divisor pattern).
+TEST(BigIntTest, DivModAddBackCase) {
+  BigInt d = Hex("80000000000000000000000000000001");
+  BigInt n = d.Mul(Hex("ffffffffffffffff")).Add(d.Sub(BigInt(1)));
+  BigInt q, r;
+  ASSERT_TRUE(n.DivMod(d, &q, &r).ok());
+  EXPECT_EQ(q.Mul(d).Add(r), n);
+  EXPECT_TRUE(r < d);
+}
+
+TEST(BigIntTest, ModExpSmallKnownValues) {
+  // 3^10 mod 1000 = 59049 mod 1000 = 49.
+  EXPECT_EQ(BigInt(3).ModExp(BigInt(10), BigInt(1000)).ToU64Saturating(), 49u);
+  // Exponent zero.
+  EXPECT_EQ(BigInt(7).ModExp(BigInt(), BigInt(13)).ToU64Saturating(), 1u);
+  // Modulus one.
+  EXPECT_TRUE(BigInt(7).ModExp(BigInt(5), BigInt(1)).IsZero());
+}
+
+TEST(BigIntTest, ModExpFermatLittleTheorem) {
+  // For prime p and gcd(a, p)=1: a^(p-1) = 1 mod p.
+  BigInt p = Hex("ffffffffffffffc5");  // 2^64 - 59, prime
+  SecureRandom rng(uint64_t{31337});
+  for (int i = 0; i < 5; ++i) {
+    BigInt a = BigInt::RandomBelow(p.Sub(BigInt(2)), &rng).Add(BigInt(1));
+    EXPECT_EQ(a.ModExp(p.Sub(BigInt(1)), p).ToU64Saturating(), 1u);
+  }
+}
+
+TEST(BigIntTest, ModExpMatchesIteratedModMul) {
+  SecureRandom rng(uint64_t{999});
+  BigInt m = BigInt::RandomWithBits(128, &rng);
+  if (!m.IsOdd()) m = m.Add(BigInt(1));
+  BigInt a = BigInt::RandomBelow(m, &rng);
+  BigInt expected(1);
+  for (int i = 0; i < 23; ++i) expected = expected.ModMul(a, m);
+  EXPECT_EQ(a.ModExp(BigInt(23), m), expected);
+}
+
+TEST(BigIntTest, GcdAndLcm) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToU64Saturating(), 6u);
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)).ToU64Saturating(), 1u);
+  EXPECT_EQ(BigInt::Gcd(BigInt(), BigInt(5)).ToU64Saturating(), 5u);
+  EXPECT_EQ(BigInt::Lcm(BigInt(4), BigInt(6)).ToU64Saturating(), 12u);
+  EXPECT_TRUE(BigInt::Lcm(BigInt(), BigInt(5)).IsZero());
+}
+
+TEST(BigIntTest, ModInverseCorrect) {
+  SecureRandom rng(uint64_t{555});
+  BigInt m = Hex("ffffffffffffffc5");  // prime modulus
+  for (int i = 0; i < 8; ++i) {
+    BigInt a = BigInt::RandomBelow(m.Sub(BigInt(1)), &rng).Add(BigInt(1));
+    auto inv = a.ModInverse(m);
+    ASSERT_TRUE(inv.ok());
+    EXPECT_EQ(a.ModMul(*inv, m).ToU64Saturating(), 1u);
+  }
+}
+
+TEST(BigIntTest, ModInverseOfNonInvertibleFails) {
+  EXPECT_FALSE(BigInt(6).ModInverse(BigInt(9)).ok());   // gcd 3
+  EXPECT_FALSE(BigInt(0).ModInverse(BigInt(7)).ok());   // zero
+  EXPECT_FALSE(BigInt(5).ModInverse(BigInt()).ok());    // zero modulus
+}
+
+TEST(BigIntTest, MillerRabinKnownPrimesAndComposites) {
+  SecureRandom rng(uint64_t{2024});
+  for (uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 97ULL, 65537ULL,
+                     0xFFFFFFFFFFFFFFC5ULL}) {
+    EXPECT_TRUE(BigInt(p).IsProbablePrime(20, &rng)) << p;
+  }
+  for (uint64_t c : {1ULL, 4ULL, 91ULL /* 7*13 */, 561ULL /* Carmichael */,
+                     65536ULL, 0xFFFFFFFFFFFFFFC4ULL}) {
+    EXPECT_FALSE(BigInt(c).IsProbablePrime(20, &rng)) << c;
+  }
+}
+
+TEST(BigIntTest, GeneratePrimeHasRequestedSize) {
+  SecureRandom rng(uint64_t{4242});
+  for (size_t bits : {32, 64, 128}) {
+    BigInt p = BigInt::GeneratePrime(bits, &rng);
+    EXPECT_EQ(p.BitLength(), bits);
+    EXPECT_TRUE(p.IsProbablePrime(20, &rng));
+  }
+}
+
+TEST(BigIntTest, RandomBelowIsBelow) {
+  SecureRandom rng(uint64_t{808});
+  BigInt bound = Hex("10000000000000001");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(BigInt::RandomBelow(bound, &rng) < bound);
+  }
+}
+
+TEST(BigIntTest, CompareTotalOrder) {
+  BigInt a(1), b(2);
+  BigInt c = Hex("10000000000000000");
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b < c);
+  EXPECT_TRUE(a < c);
+  EXPECT_TRUE(c > a);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(a >= a);
+  EXPECT_TRUE(a != b);
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace shuffledp

@@ -1,0 +1,160 @@
+#include "crypto/ec_p256.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/secure_random.h"
+#include "util/bytes.h"
+
+namespace shuffledp {
+namespace crypto {
+namespace {
+
+Scalar256 ScalarFromHex(const std::string& hex) {
+  auto b = FromHex(hex);
+  EXPECT_TRUE(b.ok());
+  EXPECT_EQ(b->size(), 32u);
+  return ScalarFromBytes(b->data());
+}
+
+Scalar256 SmallScalar(uint64_t k) { return Scalar256{k, 0, 0, 0}; }
+
+TEST(P256Test, GeneratorIsOnCurve) {
+  EXPECT_TRUE(P256::IsOnCurve(P256::Generator()));
+}
+
+TEST(P256Test, InfinityIsOnCurve) {
+  EXPECT_TRUE(P256::IsOnCurve(P256Point{}));
+}
+
+// NIST point-multiplication sample vector: 2G.
+TEST(P256Test, TwoGKnownAnswer) {
+  P256Point two_g = P256::ScalarBaseMult(SmallScalar(2));
+  EXPECT_FALSE(two_g.infinity);
+  EXPECT_EQ(
+      two_g.x,
+      ScalarFromHex(
+          "7cf27b188d034f7e8a52380304b51ac3c08969e277f21b35a60b48fc47669978"));
+  EXPECT_EQ(
+      two_g.y,
+      ScalarFromHex(
+          "07775510db8ed040293d9ac69f7430dbba7dade63ce982299e04b79d227873d1"));
+}
+
+TEST(P256Test, AdditionMatchesScalarMult) {
+  P256Point g = P256::Generator();
+  P256Point acc = g;
+  for (uint64_t k = 2; k <= 10; ++k) {
+    acc = P256::Add(acc, g);
+    EXPECT_EQ(acc, P256::ScalarBaseMult(SmallScalar(k))) << "k=" << k;
+    EXPECT_TRUE(P256::IsOnCurve(acc));
+  }
+}
+
+TEST(P256Test, AdditionWithInfinityIsIdentity) {
+  P256Point g = P256::Generator();
+  P256Point inf;
+  EXPECT_EQ(P256::Add(g, inf), g);
+  EXPECT_EQ(P256::Add(inf, g), g);
+  EXPECT_EQ(P256::Add(inf, inf), inf);
+}
+
+TEST(P256Test, OrderTimesGeneratorIsInfinity) {
+  P256Point ng = P256::ScalarBaseMult(P256::Order());
+  EXPECT_TRUE(ng.infinity);
+}
+
+TEST(P256Test, ScalarMultDistributesOverAddition) {
+  // (a + b) G == aG + bG for random small scalars.
+  SecureRandom rng(uint64_t{11});
+  for (int trial = 0; trial < 5; ++trial) {
+    uint64_t a = rng.UniformU64(1u << 30) + 1;
+    uint64_t b = rng.UniformU64(1u << 30) + 1;
+    P256Point lhs = P256::ScalarBaseMult(SmallScalar(a + b));
+    P256Point rhs = P256::Add(P256::ScalarBaseMult(SmallScalar(a)),
+                              P256::ScalarBaseMult(SmallScalar(b)));
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(P256Test, ScalarMultIsAssociativeAcrossFullRange) {
+  // k1 * (k2 * G) == k2 * (k1 * G) for random 256-bit scalars.
+  SecureRandom rng(uint64_t{13});
+  for (int trial = 0; trial < 3; ++trial) {
+    Scalar256 k1 = P256::RandomScalar(&rng);
+    Scalar256 k2 = P256::RandomScalar(&rng);
+    P256Point p1 = P256::ScalarMult(k1, P256::ScalarBaseMult(k2));
+    P256Point p2 = P256::ScalarMult(k2, P256::ScalarBaseMult(k1));
+    EXPECT_EQ(p1, p2);
+    EXPECT_TRUE(P256::IsOnCurve(p1));
+  }
+}
+
+TEST(P256Test, NegatedPointSumsToInfinity) {
+  // G + (n-1)G = nG = infinity.
+  Scalar256 n = P256::Order();
+  Scalar256 n_minus_1 = n;
+  n_minus_1[0] -= 1;  // order is odd, no borrow
+  P256Point sum =
+      P256::Add(P256::Generator(), P256::ScalarBaseMult(n_minus_1));
+  EXPECT_TRUE(sum.infinity);
+}
+
+TEST(P256Test, SerializeParseRoundTrip) {
+  SecureRandom rng(uint64_t{17});
+  Scalar256 k = P256::RandomScalar(&rng);
+  P256Point p = P256::ScalarBaseMult(k);
+  Bytes wire = P256::Serialize(p);
+  EXPECT_EQ(wire.size(), P256::kPointBytes);
+  EXPECT_EQ(wire[0], 0x04);
+  auto parsed = P256::Parse(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, p);
+}
+
+TEST(P256Test, ParseRejectsMalformedPoints) {
+  Bytes too_short(10, 0);
+  EXPECT_FALSE(P256::Parse(too_short).ok());
+
+  Bytes bad_prefix(P256::kPointBytes, 0);
+  bad_prefix[0] = 0x02;
+  EXPECT_FALSE(P256::Parse(bad_prefix).ok());
+
+  // Valid length/prefix but not on curve.
+  Bytes off_curve = P256::Serialize(P256::Generator());
+  off_curve[64] ^= 0x01;  // twiddle Y
+  EXPECT_FALSE(P256::Parse(off_curve).ok());
+}
+
+TEST(P256Test, RandomScalarInRange) {
+  SecureRandom rng(uint64_t{23});
+  Scalar256 n = P256::Order();
+  for (int i = 0; i < 20; ++i) {
+    Scalar256 k = P256::RandomScalar(&rng);
+    // k != 0
+    EXPECT_TRUE(k[0] || k[1] || k[2] || k[3]);
+    // k < n (compare big-endian limb order)
+    bool less = false;
+    for (int limb = 3; limb >= 0; --limb) {
+      if (k[limb] != n[limb]) {
+        less = k[limb] < n[limb];
+        break;
+      }
+    }
+    EXPECT_TRUE(less);
+  }
+}
+
+TEST(ScalarBytesTest, RoundTrip) {
+  Scalar256 s = {0x0123456789abcdefULL, 0xfedcba9876543210ULL,
+                 0x1111111111111111ULL, 0x2222222222222222ULL};
+  Bytes b = ScalarToBytes(s);
+  EXPECT_EQ(b.size(), 32u);
+  EXPECT_EQ(ScalarFromBytes(b.data()), s);
+  // Big-endian: most significant limb first.
+  EXPECT_EQ(b[0], 0x22);
+  EXPECT_EQ(b[31], 0xef);
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace shuffledp

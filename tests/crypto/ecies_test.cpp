@@ -1,0 +1,115 @@
+#include "crypto/ecies.h"
+
+#include <gtest/gtest.h>
+
+namespace shuffledp {
+namespace crypto {
+namespace {
+
+TEST(EciesTest, RoundTrip) {
+  SecureRandom rng(uint64_t{1});
+  auto kp = EciesGenerateKeyPair(&rng);
+  Bytes msg = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  Bytes blob = EciesEncrypt(kp.public_key, msg, &rng);
+  auto back = EciesDecrypt(kp.private_key, blob);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, msg);
+}
+
+TEST(EciesTest, EmptyMessageRoundTrip) {
+  SecureRandom rng(uint64_t{2});
+  auto kp = EciesGenerateKeyPair(&rng);
+  Bytes blob = EciesEncrypt(kp.public_key, Bytes{}, &rng);
+  auto back = EciesDecrypt(kp.private_key, blob);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(EciesTest, CiphertextIsRandomized) {
+  SecureRandom rng(uint64_t{3});
+  auto kp = EciesGenerateKeyPair(&rng);
+  Bytes msg(32, 0x42);
+  Bytes b1 = EciesEncrypt(kp.public_key, msg, &rng);
+  Bytes b2 = EciesEncrypt(kp.public_key, msg, &rng);
+  EXPECT_NE(b1, b2);  // fresh ephemeral key each time
+}
+
+TEST(EciesTest, WrongKeyFails) {
+  SecureRandom rng(uint64_t{4});
+  auto kp1 = EciesGenerateKeyPair(&rng);
+  auto kp2 = EciesGenerateKeyPair(&rng);
+  Bytes msg(100, 0x7);
+  Bytes blob = EciesEncrypt(kp1.public_key, msg, &rng);
+  auto back = EciesDecrypt(kp2.private_key, blob);
+  if (back.ok()) EXPECT_NE(*back, msg);
+}
+
+TEST(EciesTest, TruncatedBlobRejected) {
+  SecureRandom rng(uint64_t{5});
+  auto kp = EciesGenerateKeyPair(&rng);
+  Bytes blob = EciesEncrypt(kp.public_key, Bytes(10, 1), &rng);
+  blob.resize(40);
+  EXPECT_FALSE(EciesDecrypt(kp.private_key, blob).ok());
+}
+
+TEST(EciesTest, OverheadMatchesConstant) {
+  SecureRandom rng(uint64_t{6});
+  auto kp = EciesGenerateKeyPair(&rng);
+  // 16-byte message pads to 32; total = 65 + 16 + 32.
+  Bytes blob = EciesEncrypt(kp.public_key, Bytes(16, 0), &rng);
+  EXPECT_EQ(blob.size(), kEciesOverhead + 32);
+}
+
+TEST(OnionTest, ThreeLayerPeeling) {
+  SecureRandom rng(uint64_t{7});
+  std::vector<EciesKeyPair> parties;
+  std::vector<P256Point> layer_keys;
+  for (int i = 0; i < 3; ++i) {
+    parties.push_back(EciesGenerateKeyPair(&rng));
+    layer_keys.push_back(parties.back().public_key);
+  }
+  Bytes payload = {0xDE, 0xAD, 0xBE, 0xEF};
+  Bytes onion = OnionEncrypt(layer_keys, payload, &rng);
+
+  // Peel in order: party 0 first.
+  Bytes current = onion;
+  for (int i = 0; i < 3; ++i) {
+    auto peeled = OnionPeel(parties[i].private_key, current);
+    ASSERT_TRUE(peeled.ok()) << "layer " << i;
+    current = *peeled;
+  }
+  EXPECT_EQ(current, payload);
+}
+
+TEST(OnionTest, OutOfOrderPeelFails) {
+  SecureRandom rng(uint64_t{8});
+  auto kp1 = EciesGenerateKeyPair(&rng);
+  auto kp2 = EciesGenerateKeyPair(&rng);
+  Bytes onion =
+      OnionEncrypt({kp1.public_key, kp2.public_key}, Bytes(8, 0x1), &rng);
+  // Trying to peel with party 2's key first must not reveal the payload.
+  auto wrong = OnionPeel(kp2.private_key, onion);
+  if (wrong.ok()) {
+    auto inner = OnionPeel(kp1.private_key, *wrong);
+    EXPECT_FALSE(inner.ok() && *inner == Bytes(8, 0x1));
+  }
+}
+
+TEST(OnionTest, SizeGrowsLinearlyInLayers) {
+  SecureRandom rng(uint64_t{9});
+  std::vector<P256Point> keys;
+  Bytes payload(32, 0);
+  size_t prev = 0;
+  for (int layers = 1; layers <= 4; ++layers) {
+    keys.push_back(EciesGenerateKeyPair(&rng).public_key);
+    size_t size = OnionEncrypt(keys, payload, &rng).size();
+    EXPECT_GT(size, prev);
+    prev = size;
+  }
+  // Each layer adds kEciesOverhead + padding (<= 16 extra).
+  EXPECT_LE(prev, 4 * (kEciesOverhead + 16) + payload.size() + 16);
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace shuffledp

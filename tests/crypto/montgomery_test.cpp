@@ -1,0 +1,99 @@
+#include "crypto/montgomery.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/secure_random.h"
+
+namespace shuffledp {
+namespace crypto {
+namespace {
+
+TEST(MontgomeryTest, RejectsBadModuli) {
+  EXPECT_FALSE(MontgomeryCtx::Create(BigInt()).ok());
+  EXPECT_FALSE(MontgomeryCtx::Create(BigInt(1)).ok());
+  EXPECT_FALSE(MontgomeryCtx::Create(BigInt(100)).ok());  // even
+}
+
+TEST(MontgomeryTest, RoundTripThroughMontgomeryForm) {
+  SecureRandom rng(uint64_t{1});
+  for (size_t bits : {64, 128, 512, 1024, 2048}) {
+    BigInt m = BigInt::RandomWithBits(bits, &rng);
+    if (!m.IsOdd()) m = m.Add(BigInt(1));
+    auto ctx = MontgomeryCtx::Create(m);
+    ASSERT_TRUE(ctx.ok());
+    for (int trial = 0; trial < 5; ++trial) {
+      BigInt a = BigInt::RandomBelow(m, &rng);
+      EXPECT_EQ(ctx->FromMont(ctx->ToMont(a)), a) << bits;
+    }
+  }
+}
+
+TEST(MontgomeryTest, MontMulMatchesModMul) {
+  SecureRandom rng(uint64_t{2});
+  for (size_t bits : {64, 192, 1024, 2048}) {
+    BigInt m = BigInt::RandomWithBits(bits, &rng);
+    if (!m.IsOdd()) m = m.Add(BigInt(1));
+    auto ctx = MontgomeryCtx::Create(m);
+    ASSERT_TRUE(ctx.ok());
+    for (int trial = 0; trial < 8; ++trial) {
+      BigInt a = BigInt::RandomBelow(m, &rng);
+      BigInt b = BigInt::RandomBelow(m, &rng);
+      BigInt expected = a.ModMul(b, m);
+      BigInt got =
+          ctx->FromMont(ctx->MontMul(ctx->ToMont(a), ctx->ToMont(b)));
+      EXPECT_EQ(got, expected) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(MontgomeryTest, ModExpMatchesIteratedMultiplication) {
+  SecureRandom rng(uint64_t{3});
+  BigInt m = BigInt::RandomWithBits(256, &rng);
+  if (!m.IsOdd()) m = m.Add(BigInt(1));
+  auto ctx = MontgomeryCtx::Create(m);
+  ASSERT_TRUE(ctx.ok());
+  BigInt a = BigInt::RandomBelow(m, &rng);
+  BigInt expected(1);
+  for (int i = 0; i < 37; ++i) expected = expected.ModMul(a, m);
+  EXPECT_EQ(ctx->ModExp(a, BigInt(37)), expected);
+}
+
+TEST(MontgomeryTest, ModExpEdgeCases) {
+  SecureRandom rng(uint64_t{4});
+  BigInt m = BigInt::RandomWithBits(128, &rng);
+  if (!m.IsOdd()) m = m.Add(BigInt(1));
+  auto ctx = MontgomeryCtx::Create(m);
+  ASSERT_TRUE(ctx.ok());
+  BigInt a = BigInt::RandomBelow(m, &rng);
+  EXPECT_EQ(ctx->ModExp(a, BigInt()), BigInt(1));       // a^0 = 1
+  EXPECT_EQ(ctx->ModExp(a, BigInt(1)), a);              // a^1 = a
+  EXPECT_EQ(ctx->ModExp(BigInt(), BigInt(5)), BigInt()); // 0^5 = 0
+}
+
+TEST(MontgomeryTest, FermatLittleTheorem) {
+  SecureRandom rng(uint64_t{5});
+  BigInt p = BigInt::GeneratePrime(192, &rng);
+  auto ctx = MontgomeryCtx::Create(p);
+  ASSERT_TRUE(ctx.ok());
+  for (int trial = 0; trial < 4; ++trial) {
+    BigInt a = BigInt::RandomBelow(p.Sub(BigInt(2)), &rng).Add(BigInt(1));
+    EXPECT_EQ(ctx->ModExp(a, p.Sub(BigInt(1))), BigInt(1));
+  }
+}
+
+// BigInt::ModExp dispatches to Montgomery for odd moduli; both paths
+// must agree (regression guard for the dispatch).
+TEST(MontgomeryTest, BigIntModExpDispatchAgrees) {
+  SecureRandom rng(uint64_t{6});
+  BigInt m = BigInt::RandomWithBits(512, &rng);
+  if (!m.IsOdd()) m = m.Add(BigInt(1));
+  BigInt a = BigInt::RandomBelow(m, &rng);
+  BigInt e = BigInt::RandomWithBits(256, &rng);
+  auto ctx = MontgomeryCtx::Create(m);
+  ASSERT_TRUE(ctx.ok());
+  EXPECT_EQ(a.ModExp(e, m), ctx->ModExp(a, e));
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace shuffledp

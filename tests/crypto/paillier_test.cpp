@@ -1,0 +1,180 @@
+#include "crypto/paillier.h"
+
+#include <gtest/gtest.h>
+
+namespace shuffledp {
+namespace crypto {
+namespace {
+
+// Shared small key pair (256-bit N) so the suite stays fast; one test
+// exercises a production-size 1024-bit key.
+class PaillierTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new SecureRandom(uint64_t{20200802});
+    auto kp = PaillierGenerateKeyPair(256, rng_);
+    ASSERT_TRUE(kp.ok());
+    kp_ = new PaillierKeyPair(std::move(kp).value());
+  }
+  static void TearDownTestSuite() {
+    delete kp_;
+    delete rng_;
+    kp_ = nullptr;
+    rng_ = nullptr;
+  }
+
+  static SecureRandom* rng_;
+  static PaillierKeyPair* kp_;
+};
+
+SecureRandom* PaillierTest::rng_ = nullptr;
+PaillierKeyPair* PaillierTest::kp_ = nullptr;
+
+TEST_F(PaillierTest, EncryptDecryptRoundTrip) {
+  for (uint64_t m : {0ULL, 1ULL, 42ULL, 0xFFFFFFFFULL, 0xFFFFFFFFFFFFFFFFULL}) {
+    auto c = kp_->pub.EncryptU64(m, rng_);
+    ASSERT_TRUE(c.ok());
+    auto back = kp_->priv.Decrypt(*c);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->ToU64Saturating(), m);
+  }
+}
+
+TEST_F(PaillierTest, EncryptionIsRandomized) {
+  auto c1 = kp_->pub.EncryptU64(5, rng_);
+  auto c2 = kp_->pub.EncryptU64(5, rng_);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_NE(c1->value, c2->value);
+}
+
+TEST_F(PaillierTest, HomomorphicAddition) {
+  auto c1 = kp_->pub.EncryptU64(111, rng_);
+  auto c2 = kp_->pub.EncryptU64(222, rng_);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  auto sum = kp_->pub.Add(*c1, *c2);
+  auto back = kp_->priv.Decrypt(sum);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->ToU64Saturating(), 333u);
+}
+
+TEST_F(PaillierTest, HomomorphicAddPlain) {
+  auto c = kp_->pub.EncryptU64(100, rng_);
+  ASSERT_TRUE(c.ok());
+  auto shifted = kp_->pub.AddPlain(*c, BigInt(23));
+  auto back = kp_->priv.Decrypt(shifted);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->ToU64Saturating(), 123u);
+}
+
+TEST_F(PaillierTest, HomomorphicScalarMult) {
+  auto c = kp_->pub.EncryptU64(7, rng_);
+  ASSERT_TRUE(c.ok());
+  auto scaled = kp_->pub.ScalarMult(*c, BigInt(9));
+  auto back = kp_->priv.Decrypt(scaled);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->ToU64Saturating(), 63u);
+}
+
+TEST_F(PaillierTest, AdditionWrapsModN) {
+  // Enc(N-1) + Enc(2) = Enc(1).
+  BigInt n_minus_1 = kp_->pub.n().Sub(BigInt(1));
+  auto c1 = kp_->pub.Encrypt(n_minus_1, rng_);
+  auto c2 = kp_->pub.EncryptU64(2, rng_);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  auto back = kp_->priv.Decrypt(kp_->pub.Add(*c1, *c2));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->ToU64Saturating(), 1u);
+}
+
+TEST_F(PaillierTest, PlaintextTooLargeRejected) {
+  EXPECT_FALSE(kp_->pub.Encrypt(kp_->pub.n(), rng_).ok());
+}
+
+TEST_F(PaillierTest, DecryptMod2EllRecoversShareSum) {
+  // Simulates the PEOS share-sum recovery: k ell-bit shares summed
+  // homomorphically, decrypted, reduced mod 2^ell.
+  const unsigned ell = 32;
+  const uint64_t mask = (uint64_t{1} << ell) - 1;
+  uint64_t shares[] = {0xFFFFFFF0ULL, 0x12345678ULL, 0xDEADBEEFULL};
+  uint64_t expected = 0;
+  PaillierCiphertext acc = kp_->pub.TrivialEncrypt(BigInt(0));
+  for (uint64_t s : shares) {
+    expected = (expected + s) & mask;
+    auto c = kp_->pub.EncryptU64(s, rng_);
+    ASSERT_TRUE(c.ok());
+    acc = kp_->pub.Add(acc, *c);
+  }
+  auto back = kp_->priv.DecryptMod2Ell(acc, ell);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, expected);
+}
+
+TEST_F(PaillierTest, DecryptMod2Ell64Bit) {
+  const uint64_t a = 0xFFFFFFFFFFFFFFF0ULL, b = 0x20ULL;
+  auto ca = kp_->pub.EncryptU64(a, rng_);
+  auto cb = kp_->pub.EncryptU64(b, rng_);
+  ASSERT_TRUE(ca.ok() && cb.ok());
+  auto back = kp_->priv.DecryptMod2Ell(kp_->pub.Add(*ca, *cb), 64);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, a + b);  // wraps mod 2^64 exactly
+}
+
+TEST_F(PaillierTest, SerializeParseRoundTrip) {
+  auto c = kp_->pub.EncryptU64(777, rng_);
+  ASSERT_TRUE(c.ok());
+  Bytes wire = kp_->pub.SerializeCiphertext(*c);
+  EXPECT_EQ(wire.size(), kp_->pub.CiphertextBytes());
+  auto parsed = kp_->pub.ParseCiphertext(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->value, c->value);
+}
+
+TEST_F(PaillierTest, ParseRejectsWrongLength) {
+  EXPECT_FALSE(kp_->pub.ParseCiphertext(Bytes(3, 0)).ok());
+}
+
+TEST_F(PaillierTest, TrivialEncryptDecrypts) {
+  auto back = kp_->priv.Decrypt(kp_->pub.TrivialEncrypt(BigInt(99)));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->ToU64Saturating(), 99u);
+}
+
+TEST_F(PaillierTest, RandomizerPoolPreservesPlaintext) {
+  RandomizerPool pool(kp_->pub, 8, rng_);
+  auto c = kp_->pub.EncryptU64(31337, rng_);
+  ASSERT_TRUE(c.ok());
+  auto rr = pool.Rerandomize(*c, rng_);
+  EXPECT_NE(rr.value, c->value);  // ciphertext changes
+  auto back = kp_->priv.Decrypt(rr);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->ToU64Saturating(), 31337u);  // plaintext preserved
+}
+
+TEST_F(PaillierTest, RandomizerPoolFastEncrypt) {
+  RandomizerPool pool(kp_->pub, 8, rng_);
+  auto c = pool.EncryptFastU64(2468, rng_);
+  auto back = kp_->priv.Decrypt(c);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->ToU64Saturating(), 2468u);
+}
+
+TEST(PaillierKeyGenTest, ProductionSizeKeyWorks) {
+  SecureRandom rng(uint64_t{777001});
+  auto kp = PaillierGenerateKeyPair(1024, &rng);
+  ASSERT_TRUE(kp.ok());
+  EXPECT_GE(kp->pub.n().BitLength(), 1023u);
+  auto c = kp->pub.EncryptU64(123456789, &rng);
+  ASSERT_TRUE(c.ok());
+  auto back = kp->priv.Decrypt(*c);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->ToU64Saturating(), 123456789u);
+}
+
+TEST(PaillierKeyGenTest, TooSmallModulusRejected) {
+  SecureRandom rng(uint64_t{1});
+  EXPECT_FALSE(PaillierGenerateKeyPair(32, &rng).ok());
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace shuffledp

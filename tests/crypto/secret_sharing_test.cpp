@@ -1,0 +1,102 @@
+#include "crypto/secret_sharing.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace shuffledp {
+namespace crypto {
+namespace {
+
+TEST(SecretSharing2EllTest, ReconstructsForAllEll) {
+  SecureRandom rng(uint64_t{1});
+  for (unsigned ell : {1u, 8u, 32u, 63u, 64u}) {
+    uint64_t mask = ell >= 64 ? ~uint64_t{0} : ((uint64_t{1} << ell) - 1);
+    for (uint64_t secret : {uint64_t{0}, uint64_t{1}, uint64_t{12345},
+                            mask}) {
+      for (size_t count : {1, 2, 3, 7}) {
+        auto shares = SplitShares2Ell(secret & mask, count, ell, &rng);
+        EXPECT_EQ(shares.size(), count);
+        for (uint64_t s : shares) EXPECT_EQ(s & ~mask, 0u);
+        EXPECT_EQ(ReconstructShares2Ell(shares, ell), secret & mask)
+            << "ell=" << ell << " count=" << count;
+      }
+    }
+  }
+}
+
+TEST(SecretSharing2EllTest, SingleShareIsTheSecret) {
+  SecureRandom rng(uint64_t{2});
+  auto shares = SplitShares2Ell(42, 1, 64, &rng);
+  EXPECT_EQ(shares.size(), 1u);
+  EXPECT_EQ(shares[0], 42u);
+}
+
+TEST(SecretSharing2EllTest, PartialSharesRevealNothingStatistically) {
+  // First r-1 shares of a fixed secret should be (near) uniform: compare
+  // the mean of the first share across many splits against the uniform
+  // mean for ell = 8.
+  SecureRandom rng(uint64_t{3});
+  const unsigned ell = 8;
+  const int kTrials = 50000;
+  double sum = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    auto shares = SplitShares2Ell(200, 3, ell, &rng);
+    sum += static_cast<double>(shares[0]);
+  }
+  double mean = sum / kTrials;
+  // Uniform over [0,255]: mean 127.5, sd 73.9; SE ~0.33.
+  EXPECT_NEAR(mean, 127.5, 2.0);
+}
+
+TEST(SecretSharingModTest, ReconstructsOverOddModulus) {
+  SecureRandom rng(uint64_t{4});
+  for (uint64_t modulus : {2ULL, 3ULL, 17ULL, 42179ULL, (1ULL << 62) + 5}) {
+    for (uint64_t secret : {uint64_t{0}, uint64_t{1}, modulus - 1}) {
+      auto shares = SplitSharesMod(secret, 5, modulus, &rng);
+      ASSERT_TRUE(shares.ok());
+      for (uint64_t s : *shares) EXPECT_LT(s, modulus);
+      EXPECT_EQ(ReconstructSharesMod(*shares, modulus), secret);
+    }
+  }
+}
+
+TEST(SecretSharingModTest, RejectsBadArguments) {
+  SecureRandom rng(uint64_t{5});
+  EXPECT_FALSE(SplitSharesMod(5, 0, 10, &rng).ok());   // zero shares
+  EXPECT_FALSE(SplitSharesMod(5, 3, 0, &rng).ok());    // zero modulus
+  EXPECT_FALSE(SplitSharesMod(10, 3, 10, &rng).ok());  // secret >= modulus
+}
+
+TEST(SecretSharingTest, AddShareVectorsIsHomomorphic) {
+  // share(a) + share(b) reconstructs to a + b — the property PEOS uses
+  // when shufflers add fake-report shares.
+  SecureRandom rng(uint64_t{6});
+  const unsigned ell = 16;
+  const uint64_t mask = (1u << ell) - 1;
+  uint64_t a = 0x1234 & mask, b = 0xFEDC & mask;
+  auto sa = SplitShares2Ell(a, 4, ell, &rng);
+  auto sb = SplitShares2Ell(b, 4, ell, &rng);
+  auto sum = AddShareVectors2Ell(sa, sb, ell);
+  EXPECT_EQ(ReconstructShares2Ell(sum, ell), (a + b) & mask);
+}
+
+TEST(SecretSharingTest, ShareSumDistributionUniformUnderOneHonestParty) {
+  // Even if all but one share are adversarially fixed, the reconstruction
+  // of a uniform final share is uniform: histogram the 2-bit case.
+  SecureRandom rng(uint64_t{7});
+  const unsigned ell = 2;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) {
+    auto shares = SplitShares2Ell(rng.NextU64() & 3, 2, ell, &rng);
+    ++counts[shares[0]];  // first share is raw uniform randomness
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, 10000, 5 * std::sqrt(10000.0));
+  }
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace shuffledp

@@ -1,0 +1,95 @@
+#include "crypto/secure_random.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace shuffledp {
+namespace crypto {
+namespace {
+
+// RFC 7539 §2.3.2 ChaCha20 block function test vector.
+TEST(ChaCha20Test, Rfc7539BlockVector) {
+  uint8_t key[32];
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<uint8_t>(i);
+  uint8_t nonce[12] = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                       0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  uint8_t out[64];
+  ChaCha20Block(key, nonce, 1, out);
+
+  const uint8_t expected[64] = {
+      0x10, 0xf1, 0xe7, 0xe4, 0xd1, 0x3b, 0x59, 0x15, 0x50, 0x0f, 0xdd,
+      0x1f, 0xa3, 0x20, 0x71, 0xc4, 0xc7, 0xd1, 0xf4, 0xc7, 0x33, 0xc0,
+      0x68, 0x03, 0x04, 0x22, 0xaa, 0x9a, 0xc3, 0xd4, 0x6c, 0x4e, 0xd2,
+      0x82, 0x64, 0x46, 0x07, 0x9f, 0xaa, 0x09, 0x14, 0xc2, 0xd7, 0x05,
+      0xd9, 0x8b, 0x02, 0xa2, 0xb5, 0x12, 0x9c, 0xd1, 0xde, 0x16, 0x4e,
+      0xb9, 0xcb, 0xd0, 0x83, 0xe8, 0xa2, 0x50, 0x3c, 0x4e};
+  EXPECT_EQ(std::memcmp(out, expected, 64), 0);
+}
+
+TEST(SecureRandomTest, DeterministicFromSeed) {
+  SecureRandom a(uint64_t{42}), b(uint64_t{42});
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(SecureRandomTest, DifferentSeedsDiffer) {
+  SecureRandom a(uint64_t{1}), b(uint64_t{2});
+  int same = 0;
+  for (int i = 0; i < 32; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SecureRandomTest, FillCrossesBlockBoundaries) {
+  SecureRandom a(uint64_t{7});
+  SecureRandom b(uint64_t{7});
+  // Read 200 bytes in one call vs many odd-sized calls; streams must match.
+  Bytes big = a.RandomBytes(200);
+  Bytes parts;
+  for (size_t chunk : {1, 3, 60, 64, 72}) {
+    Bytes p = b.RandomBytes(chunk);
+    parts.insert(parts.end(), p.begin(), p.end());
+  }
+  ASSERT_EQ(parts.size(), 200u);
+  EXPECT_EQ(parts, big);
+}
+
+TEST(SecureRandomTest, UniformU64Unbiased) {
+  SecureRandom rng(uint64_t{99});
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+    for (int i = 0; i < 300; ++i) EXPECT_LT(rng.UniformU64(bound), bound);
+  }
+}
+
+TEST(SecureRandomTest, ForkIndependence) {
+  SecureRandom parent(uint64_t{5});
+  SecureRandom child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 16; ++i) same += (parent.NextU64() == child.NextU64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SecureRandomTest, EntropyConstructorProducesDistinctStreams) {
+  SecureRandom a, b;
+  int same = 0;
+  for (int i = 0; i < 8; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SecureRandomTest, ByteDistributionRoughlyUniform) {
+  SecureRandom rng(uint64_t{321});
+  Bytes data = rng.RandomBytes(256 * 200);
+  std::vector<int> counts(256, 0);
+  for (uint8_t b : data) ++counts[b];
+  double expected = 200.0;
+  double chi2 = 0;
+  for (int c : counts) {
+    double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 255 dof; mean 255, sd ~22.6. 6 sigma ~= 391.
+  EXPECT_LT(chi2, 400.0);
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace shuffledp

@@ -1,0 +1,102 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.h"
+
+namespace shuffledp {
+namespace crypto {
+namespace {
+
+std::string DigestHex(const std::array<uint8_t, 32>& d) {
+  return ToHex(Bytes(d.begin(), d.end()));
+}
+
+// FIPS 180-4 / NIST example vectors.
+TEST(Sha256Test, EmptyString) {
+  Sha256 h;
+  EXPECT_EQ(DigestHex(h.Finish()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  Sha256 h;
+  h.Update("abc");
+  EXPECT_EQ(DigestHex(h.Finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  Sha256 h;
+  h.Update("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  EXPECT_EQ(DigestHex(h.Finish()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg(1000, 'x');
+  for (size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<char>(i * 7);
+  auto oneshot = Sha256::Hash(msg.data(), msg.size());
+
+  Sha256 h;
+  size_t off = 0;
+  for (size_t chunk : {1, 13, 63, 64, 65, 128, 500}) {
+    size_t take = std::min(chunk, msg.size() - off);
+    h.Update(msg.data() + off, take);
+    off += take;
+  }
+  h.Update(msg.data() + off, msg.size() - off);
+  EXPECT_EQ(h.Finish(), oneshot);
+}
+
+TEST(Sha256Test, ResetAllowsReuse) {
+  Sha256 h;
+  h.Update("garbage");
+  h.Reset();
+  h.Update("abc");
+  EXPECT_EQ(DigestHex(h.Finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(DigestHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// RFC 4231 test case 2.
+TEST(HmacSha256Test, Rfc4231Case2) {
+  Bytes key = {'J', 'e', 'f', 'e'};
+  std::string msg = "what do ya want for nothing?";
+  Bytes msg_bytes(msg.begin(), msg.end());
+  auto mac = HmacSha256(key, msg_bytes);
+  EXPECT_EQ(DigestHex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 1.
+TEST(HmacSha256Test, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  std::string msg = "Hi There";
+  Bytes msg_bytes(msg.begin(), msg.end());
+  auto mac = HmacSha256(key, msg_bytes);
+  EXPECT_EQ(DigestHex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Test, LongKeyIsHashedFirst) {
+  Bytes key(100, 0xaa);
+  Bytes msg = {1, 2, 3};
+  auto mac1 = HmacSha256(key, msg);
+  // Keys longer than the block are replaced by their hash — any change in
+  // the long key must change the MAC.
+  key[99] = 0xab;
+  auto mac2 = HmacSha256(key, msg);
+  EXPECT_NE(mac1, mac2);
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace shuffledp

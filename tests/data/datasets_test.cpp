@@ -1,0 +1,105 @@
+#include "data/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+namespace shuffledp {
+namespace data {
+namespace {
+
+TEST(ZipfSamplerTest, ProbabilitiesSumToOne) {
+  ZipfSampler zipf(1000, 1.0);
+  double sum = 0;
+  for (double p : zipf.probabilities()) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, HeadIsHeavierThanTail) {
+  ZipfSampler zipf(100, 1.0);
+  EXPECT_GT(zipf.probabilities()[0], zipf.probabilities()[50]);
+  EXPECT_GT(zipf.probabilities()[1], zipf.probabilities()[99]);
+}
+
+TEST(ZipfSamplerTest, EmpiricalMatchesAnalytic) {
+  Rng rng(1);
+  ZipfSampler zipf(50, 1.2);
+  const int kSamples = 200000;
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(&rng)];
+  for (int v : {0, 1, 5, 20}) {
+    double expected = zipf.probabilities()[static_cast<size_t>(v)];
+    double rate = counts[v] / static_cast<double>(kSamples);
+    double sigma = std::sqrt(expected * (1 - expected) / kSamples);
+    EXPECT_NEAR(rate, expected, 6 * sigma) << v;
+  }
+}
+
+TEST(DatasetTest, ValueCountsAndFrequenciesConsistent) {
+  auto ds = MakeZipfDataset("t", 10000, 100, 1.0, 7);
+  auto counts = ds.ValueCounts();
+  auto freqs = ds.Frequencies();
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  EXPECT_EQ(total, 10000u);
+  double fsum = 0;
+  for (double f : freqs) fsum += f;
+  EXPECT_NEAR(fsum, 1.0, 1e-9);
+}
+
+TEST(DatasetTest, TopKOrderedByCount) {
+  auto ds = MakeZipfDataset("t", 50000, 200, 1.2, 9);
+  auto counts = ds.ValueCounts();
+  auto top = ds.TopK(10);
+  ASSERT_EQ(top.size(), 10u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(counts[top[i - 1]], counts[top[i]]);
+  }
+}
+
+TEST(DatasetTest, DeterministicForSeed) {
+  auto a = MakeZipfDataset("t", 1000, 50, 1.0, 42);
+  auto b = MakeZipfDataset("t", 1000, 50, 1.0, 42);
+  EXPECT_EQ(a.values, b.values);
+  auto c = MakeZipfDataset("t", 1000, 50, 1.0, 43);
+  EXPECT_NE(a.values, c.values);
+}
+
+TEST(SyntheticIpumsTest, MatchesPaperShape) {
+  auto ds = MakeSyntheticIpums(1, 0.05);  // 5% scale for test speed
+  EXPECT_EQ(ds.domain_size, 915u);
+  EXPECT_EQ(ds.user_count(), static_cast<uint64_t>(602325 * 0.05));
+  for (uint64_t v : ds.values) EXPECT_LT(v, 915u);
+}
+
+TEST(SyntheticKosarakTest, MatchesPaperShape) {
+  auto ds = MakeSyntheticKosarak(1, 0.01);
+  EXPECT_EQ(ds.domain_size, 42178u);
+  EXPECT_EQ(ds.user_count(), 10000u);
+}
+
+TEST(SyntheticAolTest, MatchesPaperShape) {
+  auto ds = MakeSyntheticAol(1, 0.05);
+  EXPECT_EQ(ds.domain_size, 1ULL << 48);
+  EXPECT_EQ(ds.user_count(), 25000u);
+  std::unordered_set<uint64_t> distinct(ds.values.begin(), ds.values.end());
+  // ~6000 codes offered at 5% scale; heavy tail keeps most of them present.
+  EXPECT_GT(distinct.size(), 1000u);
+  EXPECT_LE(distinct.size(), 6001u);
+  for (uint64_t v : ds.values) EXPECT_LT(v, 1ULL << 48);
+}
+
+TEST(SyntheticAolTest, SkewMakesTopQueryPopular) {
+  auto ds = MakeSyntheticAol(2, 0.02);
+  auto top = ds.TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  uint64_t count = 0;
+  for (uint64_t v : ds.values) count += (v == top[0]);
+  // Zipf head should hold well over 1% of the mass.
+  EXPECT_GT(count, ds.user_count() / 100);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace shuffledp

@@ -1,0 +1,68 @@
+#include "dp/binomial_mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include "dp/amplification.h"
+#include "util/stats.h"
+
+namespace shuffledp {
+namespace dp {
+namespace {
+
+TEST(BinomialNoiseTest, RejectsBadP) {
+  Rng rng(1);
+  std::vector<uint64_t> counts = {1, 2, 3};
+  EXPECT_FALSE(BinomialNoiseCounts(counts, 100, -0.1, &rng).ok());
+  EXPECT_FALSE(BinomialNoiseCounts(counts, 100, 1.1, &rng).ok());
+}
+
+TEST(BinomialNoiseTest, NoiseIsNonNegative) {
+  Rng rng(2);
+  std::vector<uint64_t> counts = {5, 10, 15};
+  auto noisy = BinomialNoiseCounts(counts, 1000, 0.1, &rng);
+  ASSERT_TRUE(noisy.ok());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_GE((*noisy)[i], counts[i]);
+    EXPECT_LE((*noisy)[i], counts[i] + 1000);
+  }
+}
+
+TEST(BinomialMechanismTest, FrequenciesAreUnbiased) {
+  Rng rng(3);
+  const uint64_t n = 1000;
+  std::vector<uint64_t> counts = {600, 400};
+  RunningStat est;
+  for (int t = 0; t < 4000; ++t) {
+    auto f = BinomialMechanismFrequencies(counts, n, 5000, 0.02, &rng);
+    ASSERT_TRUE(f.ok());
+    est.Add((*f)[0]);
+  }
+  EXPECT_NEAR(est.mean(), 0.6, 6 * est.stderr_mean());
+}
+
+TEST(BinomialMechanismTest, VarianceMatchesTheory) {
+  Rng rng(4);
+  const uint64_t n = 1000, trials = 5000;
+  const double p = 0.02;
+  std::vector<uint64_t> counts = {500, 500};
+  RunningStat est;
+  for (int t = 0; t < 4000; ++t) {
+    auto f = BinomialMechanismFrequencies(counts, n, trials, p, &rng);
+    ASSERT_TRUE(f.ok());
+    est.Add((*f)[0]);
+  }
+  double predicted = static_cast<double>(trials) * p * (1 - p) /
+                     (static_cast<double>(n) * static_cast<double>(n));
+  EXPECT_NEAR(est.variance(), predicted, 0.12 * predicted);
+}
+
+TEST(BinomialMechanismTest, InverseOfTheorem1) {
+  const double eps_c = 0.5, delta = 1e-9;
+  const uint64_t n = 1000000;
+  double p = BinomialNoiseProbabilityFor(eps_c, n, delta);
+  EXPECT_NEAR(BinomialMechanismEpsilon(n, p, delta), eps_c, 1e-9);
+}
+
+}  // namespace
+}  // namespace dp
+}  // namespace shuffledp

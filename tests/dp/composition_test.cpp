@@ -1,0 +1,81 @@
+#include "dp/composition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace shuffledp {
+namespace dp {
+namespace {
+
+TEST(CompositionTest, BasicIsLinear) {
+  DpBudget per{0.1, 1e-10};
+  auto total = ComposeBasic(per, 6);
+  EXPECT_DOUBLE_EQ(total.epsilon, 0.6);
+  EXPECT_DOUBLE_EQ(total.delta, 6e-10);
+}
+
+TEST(CompositionTest, AdvancedMatchesFormula) {
+  DpBudget per{0.1, 0.0};
+  auto total = ComposeAdvanced(per, 100, 1e-6);
+  double expected = 0.1 * std::sqrt(200.0 * std::log(1e6)) +
+                    100 * 0.1 * (std::exp(0.1) - 1.0);
+  EXPECT_NEAR(total.epsilon, expected, 1e-12);
+  EXPECT_DOUBLE_EQ(total.delta, 1e-6);
+}
+
+TEST(CompositionTest, SplitBasicRoundTrips) {
+  DpBudget total{0.6, 1e-9};
+  auto per = SplitBasic(total, 6);
+  ASSERT_TRUE(per.ok());
+  auto back = ComposeBasic(*per, 6);
+  EXPECT_NEAR(back.epsilon, 0.6, 1e-12);
+  EXPECT_NEAR(back.delta, 1e-9, 1e-20);
+}
+
+TEST(CompositionTest, SplitAdvancedStaysWithinBudget) {
+  DpBudget total{1.0, 1e-8};
+  for (unsigned k : {2u, 6u, 50u, 500u}) {
+    auto per = SplitAdvanced(total, k);
+    ASSERT_TRUE(per.ok()) << k;
+    auto back = ComposeAdvanced(*per, k, total.delta / 2.0);
+    EXPECT_LE(back.epsilon, total.epsilon * (1 + 1e-6)) << k;
+    EXPECT_LE(back.delta, total.delta * (1 + 1e-6)) << k;
+  }
+}
+
+TEST(CompositionTest, AdvancedBeatsBasicForManyRounds) {
+  DpBudget total{1.0, 1e-8};
+  auto basic = SplitBasic(total, 500);
+  auto advanced = SplitAdvanced(total, 500);
+  ASSERT_TRUE(basic.ok() && advanced.ok());
+  EXPECT_GT(advanced->epsilon, basic->epsilon);
+}
+
+TEST(CompositionTest, BasicBeatsAdvancedForFewRounds) {
+  // At k = 6 (TreeHist) the sqrt term's constant dominates: the paper's
+  // simple ε/6 split is the right call.
+  DpBudget total{0.5, 1e-9};
+  auto best = SplitBest(total, 6);
+  auto basic = SplitBasic(total, 6);
+  ASSERT_TRUE(best.ok() && basic.ok());
+  EXPECT_NEAR(best->epsilon, basic->epsilon, 1e-9);
+}
+
+TEST(CompositionTest, SplitBestPicksAdvancedWhenBetter) {
+  DpBudget total{1.0, 1e-8};
+  auto best = SplitBest(total, 500);
+  auto basic = SplitBasic(total, 500);
+  ASSERT_TRUE(best.ok() && basic.ok());
+  EXPECT_GT(best->epsilon, basic->epsilon);
+}
+
+TEST(CompositionTest, RejectsBadArguments) {
+  EXPECT_FALSE(SplitBasic(DpBudget{0.5, 1e-9}, 0).ok());
+  EXPECT_FALSE(SplitBasic(DpBudget{0.0, 1e-9}, 3).ok());
+  EXPECT_FALSE(SplitAdvanced(DpBudget{0.5, 0.0}, 3).ok());
+}
+
+}  // namespace
+}  // namespace dp
+}  // namespace shuffledp

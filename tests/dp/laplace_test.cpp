@@ -1,0 +1,63 @@
+#include "dp/laplace.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.h"
+
+namespace shuffledp {
+namespace dp {
+namespace {
+
+TEST(LaplaceTest, RejectsBadArguments) {
+  Rng rng(1);
+  std::vector<uint64_t> counts = {10, 20};
+  EXPECT_FALSE(LaplaceHistogram(counts, 30, 0.0, &rng).ok());
+  EXPECT_FALSE(LaplaceHistogram(counts, 30, -1.0, &rng).ok());
+  EXPECT_FALSE(LaplaceHistogram(counts, 0, 1.0, &rng).ok());
+}
+
+TEST(LaplaceTest, UnbiasedOverTrials) {
+  Rng rng(2);
+  std::vector<uint64_t> counts = {700, 300};
+  RunningStat est0;
+  for (int t = 0; t < 3000; ++t) {
+    auto noisy = LaplaceHistogram(counts, 1000, 1.0, &rng);
+    ASSERT_TRUE(noisy.ok());
+    est0.Add((*noisy)[0]);
+  }
+  EXPECT_NEAR(est0.mean(), 0.7, 6 * est0.stderr_mean());
+}
+
+TEST(LaplaceTest, EmpiricalVarianceMatchesFormula) {
+  Rng rng(3);
+  const uint64_t n = 10000;
+  const double eps = 0.5;
+  std::vector<double> freqs = {0.5, 0.5};
+  RunningStat dev;
+  for (int t = 0; t < 5000; ++t) {
+    auto noisy = LaplaceFrequencies(freqs, n, eps, &rng);
+    ASSERT_TRUE(noisy.ok());
+    dev.Add((*noisy)[0] - 0.5);
+  }
+  double predicted = 2.0 * (2.0 / eps) * (2.0 / eps) /
+                     (static_cast<double>(n) * static_cast<double>(n));
+  EXPECT_NEAR(dev.variance(), predicted, 0.1 * predicted);
+}
+
+TEST(LaplaceTest, SmallerEpsilonMoreNoise) {
+  Rng rng(4);
+  std::vector<double> freqs(10, 0.1);
+  RunningStat tight, loose;
+  for (int t = 0; t < 500; ++t) {
+    auto a = LaplaceFrequencies(freqs, 1000, 10.0, &rng);
+    auto b = LaplaceFrequencies(freqs, 1000, 0.1, &rng);
+    ASSERT_TRUE(a.ok() && b.ok());
+    tight.Add((*a)[0] - 0.1);
+    loose.Add((*b)[0] - 0.1);
+  }
+  EXPECT_LT(tight.variance(), loose.variance());
+}
+
+}  // namespace
+}  // namespace dp
+}  // namespace shuffledp

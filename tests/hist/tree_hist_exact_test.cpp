@@ -1,0 +1,131 @@
+// Tests for the exact per-user TreeHist path (real LDP reports per round,
+// optional fake-report blanket), and its agreement with the fast path.
+
+#include <gtest/gtest.h>
+
+#include "hist/tree_hist.h"
+#include "ldp/grr.h"
+#include "ldp/local_hash.h"
+#include "util/stats.h"
+
+namespace shuffledp {
+namespace hist {
+namespace {
+
+OracleFactory GrrFactory(double eps) {
+  return [eps](uint64_t domain)
+             -> Result<std::unique_ptr<ldp::ScalarFrequencyOracle>> {
+    return std::unique_ptr<ldp::ScalarFrequencyOracle>(
+        new ldp::Grr(eps, domain));
+  };
+}
+
+OracleFactory SolhFactory(double eps, uint64_t d_prime) {
+  return [eps, d_prime](uint64_t domain)
+             -> Result<std::unique_ptr<ldp::ScalarFrequencyOracle>> {
+    return std::unique_ptr<ldp::ScalarFrequencyOracle>(
+        new ldp::LocalHash(eps, domain, d_prime, "SOLH"));
+  };
+}
+
+std::vector<uint64_t> PlantedValues() {
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 6000; ++i) values.push_back(0xAB12);
+  for (int i = 0; i < 4000; ++i) values.push_back(0x7788);
+  for (int i = 0; i < 2000; ++i) {
+    values.push_back(static_cast<uint64_t>(i * 131) & 0xFFFF);
+  }
+  return values;
+}
+
+TEST(TreeHistExactTest, GrrOracleRecoversPlantedHitters) {
+  TreeHistConfig config;
+  config.total_bits = 16;
+  config.bits_per_round = 8;
+  config.top_k = 2;
+  Rng rng(1);
+  auto result =
+      RunTreeHistExact(PlantedValues(), config, GrrFactory(4.0), 0, &rng);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::vector<uint64_t> sorted = result->heavy_hitters;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<uint64_t>{0x7788, 0xAB12}));
+}
+
+TEST(TreeHistExactTest, SolhOracleRecoversPlantedHitters) {
+  TreeHistConfig config;
+  config.total_bits = 16;
+  config.bits_per_round = 8;
+  config.top_k = 2;
+  Rng rng(2);
+  auto result = RunTreeHistExact(PlantedValues(), config,
+                                 SolhFactory(4.0, 16), 0, &rng);
+  ASSERT_TRUE(result.ok());
+  std::vector<uint64_t> sorted = result->heavy_hitters;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<uint64_t>{0x7788, 0xAB12}));
+}
+
+TEST(TreeHistExactTest, FakeReportsDoNotBiasTheFrontier) {
+  // With a heavy fake blanket the calibration still ranks the true
+  // hitters first (the blanket lifts every candidate equally).
+  TreeHistConfig config;
+  config.total_bits = 16;
+  config.bits_per_round = 8;
+  config.top_k = 2;
+  Rng rng(3);
+  auto result = RunTreeHistExact(PlantedValues(), config, GrrFactory(4.0),
+                                 /*fakes_per_round=*/4000, &rng);
+  ASSERT_TRUE(result.ok());
+  std::vector<uint64_t> sorted = result->heavy_hitters;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<uint64_t>{0x7788, 0xAB12}));
+}
+
+TEST(TreeHistExactTest, SplitUsersMode) {
+  TreeHistConfig config;
+  config.total_bits = 16;
+  config.bits_per_round = 8;
+  config.top_k = 1;
+  config.split_users = true;
+  Rng rng(4);
+  auto result =
+      RunTreeHistExact(PlantedValues(), config, GrrFactory(5.0), 0, &rng);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->heavy_hitters.size(), 1u);
+  EXPECT_EQ(result->heavy_hitters[0], 0xAB12u);
+}
+
+TEST(TreeHistExactTest, FactoryErrorPropagates) {
+  TreeHistConfig config;
+  config.total_bits = 16;
+  config.bits_per_round = 8;
+  config.top_k = 2;
+  Rng rng(5);
+  OracleFactory failing =
+      [](uint64_t) -> Result<std::unique_ptr<ldp::ScalarFrequencyOracle>> {
+    return Status::FailedPrecondition("no oracle for you");
+  };
+  auto result = RunTreeHistExact(PlantedValues(), config, failing, 0, &rng);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TreeHistExactTest, WrongDomainOracleRejected) {
+  TreeHistConfig config;
+  config.total_bits = 16;
+  config.bits_per_round = 8;
+  config.top_k = 2;
+  Rng rng(6);
+  OracleFactory wrong =
+      [](uint64_t) -> Result<std::unique_ptr<ldp::ScalarFrequencyOracle>> {
+    return std::unique_ptr<ldp::ScalarFrequencyOracle>(
+        new ldp::Grr(1.0, 7));  // ignores the requested domain
+  };
+  auto result = RunTreeHistExact(PlantedValues(), config, wrong, 0, &rng);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace hist
+}  // namespace shuffledp

@@ -1,0 +1,146 @@
+#include "hist/tree_hist.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/datasets.h"
+#include "util/stats.h"
+
+namespace shuffledp {
+namespace hist {
+namespace {
+
+// Noise-free estimator: returns true frequencies.
+RoundEstimator ExactEstimator() {
+  return [](const std::vector<uint64_t>& counts, uint64_t n,
+            Rng*) -> std::vector<double> {
+    std::vector<double> est(counts.size());
+    for (size_t i = 0; i < counts.size(); ++i) {
+      est[i] = static_cast<double>(counts[i]) / static_cast<double>(n);
+    }
+    return est;
+  };
+}
+
+// Estimator with additive Gaussian noise of the given sd.
+RoundEstimator NoisyEstimator(double sd) {
+  return [sd](const std::vector<uint64_t>& counts, uint64_t n,
+              Rng* rng) -> std::vector<double> {
+    std::vector<double> est(counts.size());
+    for (size_t i = 0; i < counts.size(); ++i) {
+      est[i] = static_cast<double>(counts[i]) / static_cast<double>(n) +
+               sd * rng->Gaussian();
+    }
+    return est;
+  };
+}
+
+TEST(TreeHistTest, ExactEstimatorRecoversPlantedHitters) {
+  // 16-bit strings; three heavy values dominate.
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 500; ++i) values.push_back(0xABCD);
+  for (int i = 0; i < 300; ++i) values.push_back(0x1234);
+  for (int i = 0; i < 200; ++i) values.push_back(0xFFFF);
+  for (int i = 0; i < 100; ++i) values.push_back(static_cast<uint64_t>(i));
+
+  TreeHistConfig config;
+  config.total_bits = 16;
+  config.bits_per_round = 8;
+  config.top_k = 3;
+  Rng rng(1);
+  auto result = RunTreeHist(values, config, ExactEstimator(), &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rounds, 2u);
+  ASSERT_EQ(result->heavy_hitters.size(), 3u);
+  std::vector<uint64_t> sorted = result->heavy_hitters;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<uint64_t>{0x1234, 0xABCD, 0xFFFF}));
+  // Frequencies come back in rank order.
+  EXPECT_GT(result->frequencies[0], result->frequencies[1]);
+}
+
+TEST(TreeHistTest, SplitUsersModeStillRecovers) {
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 4000; ++i) values.push_back(0xBEEF);
+  for (int i = 0; i < 2000; ++i) values.push_back(0xC0DE);
+  for (int i = 0; i < 1000; ++i) {
+    values.push_back(static_cast<uint64_t>(i * 37) & 0xFFFF);
+  }
+  TreeHistConfig config;
+  config.total_bits = 16;
+  config.bits_per_round = 8;
+  config.top_k = 2;
+  config.split_users = true;
+  Rng rng(2);
+  auto result = RunTreeHist(values, config, ExactEstimator(), &rng);
+  ASSERT_TRUE(result.ok());
+  std::vector<uint64_t> sorted = result->heavy_hitters;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<uint64_t>{0xBEEF, 0xC0DE}));
+}
+
+TEST(TreeHistTest, ModerateNoiseKeepsHeadPrecisionHigh) {
+  data::Dataset ds = data::MakeSyntheticAol(7, 0.02);
+  TreeHistConfig config;
+  config.total_bits = 48;
+  config.bits_per_round = 8;
+  config.top_k = 16;
+  Rng rng(3);
+  auto truth = ds.TopK(16);
+  auto result =
+      RunTreeHist(ds.values, config, NoisyEstimator(2e-4), &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rounds, 6u);
+  double precision = TopKPrecision(result->heavy_hitters, truth);
+  EXPECT_GT(precision, 0.5);
+}
+
+TEST(TreeHistTest, HugeNoiseDestroysPrecision) {
+  data::Dataset ds = data::MakeSyntheticAol(8, 0.01);
+  TreeHistConfig config;
+  config.total_bits = 48;
+  config.bits_per_round = 8;
+  config.top_k = 16;
+  Rng rng(4);
+  auto truth = ds.TopK(16);
+  auto result = RunTreeHist(ds.values, config, NoisyEstimator(1.0), &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(TopKPrecision(result->heavy_hitters, truth), 0.3);
+}
+
+TEST(TreeHistTest, RejectsBadConfigs) {
+  Rng rng(5);
+  std::vector<uint64_t> values = {1, 2, 3};
+  TreeHistConfig config;
+  config.total_bits = 10;
+  config.bits_per_round = 4;  // not a divisor
+  EXPECT_FALSE(RunTreeHist(values, config, ExactEstimator(), &rng).ok());
+  config.total_bits = 16;
+  config.bits_per_round = 8;
+  config.top_k = 0;
+  EXPECT_FALSE(RunTreeHist(values, config, ExactEstimator(), &rng).ok());
+  config.top_k = 4;
+  EXPECT_FALSE(RunTreeHist({}, config, ExactEstimator(), &rng).ok());
+}
+
+TEST(TreeHistTest, FrontierNeverExceedsTopK) {
+  // With top_k = 1 only one prefix survives each round; the result is the
+  // single most frequent value (under exact estimation).
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 100; ++i) values.push_back(0xAB12);
+  for (int i = 0; i < 50; ++i) values.push_back(0xAB34);  // same 1st byte
+  TreeHistConfig config;
+  config.total_bits = 16;
+  config.bits_per_round = 8;
+  config.top_k = 1;
+  Rng rng(6);
+  auto result = RunTreeHist(values, config, ExactEstimator(), &rng);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->heavy_hitters.size(), 1u);
+  EXPECT_EQ(result->heavy_hitters[0], 0xAB12u);
+}
+
+}  // namespace
+}  // namespace hist
+}  // namespace shuffledp

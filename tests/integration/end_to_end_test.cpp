@@ -1,0 +1,105 @@
+// Integration tests: the public facade end to end, and agreement between
+// the cryptographic protocol path and the fast statistical simulation.
+
+#include <gtest/gtest.h>
+
+#include "core/shuffle_dp.h"
+#include "data/datasets.h"
+#include "util/stats.h"
+
+namespace shuffledp {
+namespace core {
+namespace {
+
+TEST(EndToEndTest, FacadePlansAndCollects) {
+  const uint64_t n = 2000, d = 16;
+  PrivacyGoals goals;
+  goals.eps_server = 1.0;
+  goals.eps_users = 4.0;
+  goals.eps_local = 8.0;
+  goals.delta = 1e-6;
+
+  ShuffleDpCollector::Options options;
+  options.num_shufflers = 3;
+  options.paillier_bits = 256;  // test-size key
+
+  auto collector = ShuffleDpCollector::Create(goals, n, d, options);
+  ASSERT_TRUE(collector.ok()) << collector.status().ToString();
+
+  // Skewed synthetic data.
+  auto ds = data::MakeZipfDataset("t", n, d, 1.2, 99);
+  crypto::SecureRandom rng(uint64_t{1});
+  auto result = (*collector)->Collect(ds.values, &rng);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->estimates.size(), d);
+
+  auto truth = ds.Frequencies();
+  // Head values should be estimated within coarse tolerance at n = 2000.
+  EXPECT_NEAR(result->estimates[0], truth[0], 0.25);
+  EXPECT_GT(result->estimates[0], result->estimates[d - 1]);
+}
+
+TEST(EndToEndTest, ProtocolAndSimulationAgreeInDistribution) {
+  // Run the crypto path a few times and the fast simulation many times;
+  // their means and spreads for the head value must agree.
+  const uint64_t n = 1200, d = 8;
+  PrivacyGoals goals;
+  goals.eps_server = 1.5;
+  goals.eps_users = 5.0;
+  goals.eps_local = 8.0;
+  goals.delta = 1e-6;
+  ShuffleDpCollector::Options options;
+  options.num_shufflers = 2;
+  options.paillier_bits = 256;
+
+  auto collector = ShuffleDpCollector::Create(goals, n, d, options);
+  ASSERT_TRUE(collector.ok());
+
+  auto ds = data::MakeZipfDataset("t", n, d, 1.0, 7);
+  auto counts = ds.ValueCounts();
+  double truth0 = static_cast<double>(counts[0]) / n;
+
+  crypto::SecureRandom srng(uint64_t{2});
+  RunningStat proto;
+  for (int t = 0; t < 5; ++t) {
+    auto result = (*collector)->Collect(ds.values, &srng);
+    ASSERT_TRUE(result.ok());
+    proto.Add(result->estimates[0]);
+  }
+
+  Rng rng(3);
+  RunningStat sim;
+  for (int t = 0; t < 200; ++t) {
+    auto est = (*collector)->SimulateCollect(counts, n, &rng);
+    ASSERT_TRUE(est.ok());
+    sim.Add((*est)[0]);
+  }
+
+  // Both unbiased around the truth.
+  EXPECT_NEAR(sim.mean(), truth0, 6 * sim.stderr_mean());
+  EXPECT_NEAR(proto.mean(), truth0, 5 * sim.stddev());
+}
+
+TEST(EndToEndTest, PlanExposedThroughFacade) {
+  PrivacyGoals goals;
+  auto collector = ShuffleDpCollector::Create(goals, 602325, 915,
+                                              ShuffleDpCollector::Options{});
+  ASSERT_TRUE(collector.ok());
+  const PeosPlan& plan = (*collector)->plan();
+  EXPECT_GT(plan.n_r, 0u);
+  EXPECT_EQ((*collector)->oracle().domain_size(), 915u);
+}
+
+TEST(EndToEndTest, SimulateValidatesDomain) {
+  PrivacyGoals goals;
+  auto collector = ShuffleDpCollector::Create(goals, 10000, 16,
+                                              ShuffleDpCollector::Options{});
+  ASSERT_TRUE(collector.ok());
+  Rng rng(5);
+  std::vector<uint64_t> wrong_domain(8, 0);
+  EXPECT_FALSE((*collector)->SimulateCollect(wrong_domain, 100, &rng).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace shuffledp

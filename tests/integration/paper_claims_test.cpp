@@ -1,0 +1,122 @@
+// The paper's headline claims, asserted end-to-end against this
+// implementation (the "abstract-level" regression suite):
+//
+//  1. "PEOS can make estimations that has absolute errors of < 0.01% in
+//     reasonable settings" (§VII highlight).
+//  2. "improving orders of magnitude over existing work" — SOLH vs SH
+//     and vs plain LDP (§VII-B).
+//  3. "our proposed protocol is both more accurate and more secure than
+//     existing work" (§IX) — accuracy above; security = poisoning bounded
+//     + collusion guarantees, covered here via the planner's ε triple.
+//  4. SOLH's accuracy does not degrade with the input domain size, GRR's
+//     does (§IV-B).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/planner.h"
+#include "core/shuffle_dp.h"
+#include "data/datasets.h"
+#include "dp/amplification.h"
+#include "util/math.h"
+#include "util/stats.h"
+
+namespace shuffledp {
+namespace core {
+namespace {
+
+constexpr double kDelta = 1e-9;
+
+TEST(PaperClaimsTest, PeosAbsoluteErrorBelowTenBasisPointsOfAPercent) {
+  // "absolute errors of < 0.01%": at IPUMS scale with the paper's default
+  // goals, the predicted per-value standard error must be below 1e-4.
+  PrivacyGoals goals;  // ε₁=0.5, ε₂=2, ε₃=8
+  auto plan = PlanPeos(goals, 602325, 915);
+  ASSERT_TRUE(plan.ok());
+  double stderr_per_value = std::sqrt(plan->predicted_variance);
+  EXPECT_LT(stderr_per_value, 1e-4);
+
+  // And the fast-path simulation agrees empirically.
+  auto ds = data::MakeSyntheticIpums(7, 0.2);  // 20% scale for test time
+  auto counts = ds.ValueCounts();
+  auto truth = ds.Frequencies();
+  auto scaled_plan = PlanPeos(goals, ds.user_count(), 915);
+  ASSERT_TRUE(scaled_plan.ok());
+  ShuffleDpCollector::Options options;
+  auto collector =
+      ShuffleDpCollector::Create(goals, ds.user_count(), 915, options);
+  ASSERT_TRUE(collector.ok());
+  Rng rng(1);
+  auto est = (*collector)->SimulateCollect(counts, ds.user_count(), &rng);
+  ASSERT_TRUE(est.ok());
+  double max_abs_err = 0;
+  for (size_t v = 0; v < truth.size(); ++v) {
+    max_abs_err = std::max(max_abs_err, std::fabs((*est)[v] - truth[v]));
+  }
+  // Worst-case over 915 values at 20% of n: stay within ~6 sigma of the
+  // full-scale 0.01% claim, i.e. well under 0.15%.
+  EXPECT_LT(max_abs_err, 1.5e-3);
+}
+
+TEST(PaperClaimsTest, SolhOrdersOfMagnitudeOverLdpAndSh) {
+  const uint64_t n = 602325, d = 915;
+  for (double eps_c : {0.2, 0.5}) {  // below the SH threshold
+    double solh = dp::SolhVarianceCentral(
+        eps_c, n, dp::OptimalSolhDPrime(eps_c, n, kDelta), kDelta);
+    double sh = dp::ShGrrVarianceCentral(eps_c, n, d, kDelta);
+    double ldp = dp::LocalHashVarianceLocal(eps_c, n, 3);
+    EXPECT_LT(solh * 100, sh) << eps_c;    // >= 2 orders vs SH
+    EXPECT_LT(solh * 100, ldp) << eps_c;   // >= 2 orders vs LDP
+  }
+}
+
+TEST(PaperClaimsTest, SolhAccuracyIsDomainSizeFree) {
+  const uint64_t n = 1000000;
+  const double eps_c = 0.5;
+  uint64_t d_prime = dp::OptimalSolhDPrime(eps_c, n, kDelta);
+  double var_small = dp::SolhVarianceCentral(eps_c, n, d_prime, kDelta);
+  // SOLH's variance formula has no d in it — identical for any domain.
+  // GRR's grows: compare d = 100 vs d = 42178 at a fixed local ε.
+  double grr_small = dp::GrrVarianceLocal(4.0, n, 100);
+  double grr_large = dp::GrrVarianceLocal(4.0, n, 42178);
+  EXPECT_GT(grr_large / grr_small, 50.0);
+  EXPECT_GT(var_small, 0.0);  // and SOLH's is well-defined at any scale
+}
+
+TEST(PaperClaimsTest, PlannerDeliversAllThreeGuaranteesSimultaneously) {
+  // §IX "more secure": one configuration satisfies ε against the server,
+  // against colluding users, and against colluding shufflers at once —
+  // plain shuffling only provides the first.
+  PrivacyGoals goals;
+  goals.eps_server = 0.5;
+  goals.eps_users = 1.0;
+  goals.eps_local = 6.0;
+  auto plan = PlanPeos(goals, 602325, 915);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LE(plan->eps_server_achieved, 0.5 * (1 + 1e-9));
+  EXPECT_LE(plan->eps_users_achieved, 1.0 * (1 + 1e-9));
+  EXPECT_LE(plan->eps_local_achieved, 6.0 * (1 + 1e-9));
+  // And it is still more accurate than plain SOLH at the same ε_c.
+  double plain = dp::SolhVarianceCentral(
+      0.5, 602325, dp::OptimalSolhDPrime(0.5, 602325, kDelta), kDelta);
+  EXPECT_LE(plan->predicted_variance, plain * 1.05);
+}
+
+TEST(PaperClaimsTest, ShufflerCountTradesTrustForBandwidth) {
+  // §VI: more shufflers harden the collusion assumption; the cost is the
+  // C(r, t) round count, i.e. communication — never accuracy.
+  // (Accuracy depends only on ε_l, d', n_r; rounds only move bytes.)
+  EXPECT_EQ(CombU64(3, 2), 3u);
+  EXPECT_EQ(CombU64(5, 3), 10u);
+  EXPECT_EQ(CombU64(7, 4), 35u);
+  // 7 shufflers need >3 colluding shufflers to break the shuffle vs >1
+  // for r = 3 — while the estimator configuration is untouched.
+  PrivacyGoals goals;
+  auto plan = PlanPeos(goals, 602325, 915);
+  ASSERT_TRUE(plan.ok());  // plan is r-independent by construction
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace shuffledp

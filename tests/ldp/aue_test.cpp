@@ -1,0 +1,97 @@
+#include "ldp/aue.h"
+
+#include <gtest/gtest.h>
+
+#include "dp/amplification.h"
+#include "util/stats.h"
+
+namespace shuffledp {
+namespace ldp {
+namespace {
+
+constexpr double kDelta = 1e-9;
+
+TEST(AueTest, GammaMatchesFormula) {
+  const uint64_t n = 602325;
+  const double eps_c = 0.5;
+  Aue aue(eps_c, n, 915, kDelta);
+  EXPECT_NEAR(aue.gamma(), dp::AueGamma(eps_c, n, kDelta), 1e-15);
+  EXPECT_GT(aue.gamma(), 0.0);
+  EXPECT_LT(aue.gamma(), 1.0);
+}
+
+TEST(AueTest, TrueBitAlwaysPresent) {
+  Rng rng(1);
+  Aue aue(0.5, 100000, 16, kDelta);
+  for (int i = 0; i < 200; ++i) {
+    auto counts = aue.Encode(5, &rng);
+    EXPECT_GE(counts[5], 1);  // the one-hot bit is never perturbed
+  }
+}
+
+TEST(AueTest, IncrementRateMatchesGamma) {
+  Rng rng(2);
+  const uint64_t n = 1000;  // small n → large γ, easy to measure
+  Aue aue(0.5, n, 32, kDelta);
+  const int kTrials = 20000;
+  int increments = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    auto counts = aue.Encode(0, &rng);
+    increments += counts[7];  // a non-true location
+  }
+  double rate = increments / static_cast<double>(kTrials);
+  EXPECT_NEAR(rate, aue.gamma(), 0.02 * std::max(1.0, aue.gamma()));
+}
+
+TEST(AueTest, EstimationUnbiased) {
+  Rng rng(3);
+  const uint64_t d = 8, n = 5000;
+  Aue aue(1.0, n, d, kDelta);
+  RunningStat est0, est3;
+  for (int t = 0; t < 60; ++t) {
+    std::vector<uint64_t> counts(d, 0);
+    for (uint64_t i = 0; i < n; ++i) {
+      auto rep = aue.Encode(0, &rng);  // all users hold 0
+      ASSERT_TRUE(aue.Accumulate(rep, &counts).ok());
+    }
+    auto f = aue.Estimate(counts, n);
+    est0.Add(f[0]);
+    est3.Add(f[3]);
+  }
+  EXPECT_NEAR(est0.mean(), 1.0, 6 * est0.stderr_mean());
+  EXPECT_NEAR(est3.mean(), 0.0, 6 * est3.stderr_mean());
+}
+
+TEST(AueTest, EmpiricalVarianceMatchesGammaFormula) {
+  Rng rng(4);
+  const uint64_t d = 4, n = 5000;
+  const double eps_c = 1.0;
+  Aue aue(eps_c, n, d, kDelta);
+  RunningStat est;
+  for (int t = 0; t < 400; ++t) {
+    std::vector<uint64_t> counts(d, 0);
+    for (uint64_t i = 0; i < n; ++i) {
+      auto rep = aue.Encode(0, &rng);
+      ASSERT_TRUE(aue.Accumulate(rep, &counts).ok());
+    }
+    est.Add(aue.Estimate(counts, n)[2]);
+  }
+  double predicted = dp::AueVarianceCentral(eps_c, n, kDelta);
+  EXPECT_NEAR(est.variance(), predicted, 0.2 * predicted);
+}
+
+TEST(AueTest, AccumulateValidatesLengths) {
+  Aue aue(1.0, 1000, 4, kDelta);
+  std::vector<uint64_t> counts(4, 0);
+  EXPECT_FALSE(aue.Accumulate(std::vector<uint8_t>(3, 0), &counts).ok());
+}
+
+TEST(AueTest, ReportIsLinearInD) {
+  Aue small(1.0, 1000, 100, kDelta);
+  Aue big(1.0, 1000, 42178, kDelta);
+  EXPECT_GT(big.ReportBytes(), 100 * small.ReportBytes() / 2);
+}
+
+}  // namespace
+}  // namespace ldp
+}  // namespace shuffledp

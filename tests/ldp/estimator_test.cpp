@@ -1,0 +1,140 @@
+#include "ldp/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "ldp/grr.h"
+#include "ldp/local_hash.h"
+#include "util/stats.h"
+
+namespace shuffledp {
+namespace ldp {
+namespace {
+
+TEST(SupportCountsTest, SerialAndParallelAgree) {
+  const uint64_t d = 30, n = 20000;
+  Grr grr(1.0, d);
+  Rng rng(1);
+  std::vector<LdpReport> reports(n);
+  for (uint64_t i = 0; i < n; ++i) reports[i] = grr.Encode(i % d, &rng);
+
+  auto serial = SupportCountsFullDomain(grr, reports, nullptr);
+  ThreadPool pool(4);
+  auto parallel = SupportCountsFullDomain(grr, reports, &pool);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(SupportCountsTest, SubsetMatchesFullDomain) {
+  const uint64_t d = 10, n = 2000;
+  Grr grr(1.0, d);
+  Rng rng(2);
+  std::vector<LdpReport> reports(n);
+  for (uint64_t i = 0; i < n; ++i) reports[i] = grr.Encode(i % d, &rng);
+  auto full = SupportCountsFullDomain(grr, reports);
+  auto subset = SupportCounts(grr, reports, {3, 7});
+  EXPECT_EQ(subset[0], full[3]);
+  EXPECT_EQ(subset[1], full[7]);
+}
+
+TEST(SupportCountsTest, GrrSupportsSumToN) {
+  // For GRR each report supports exactly one value.
+  const uint64_t d = 10, n = 5000;
+  Grr grr(1.0, d);
+  Rng rng(3);
+  std::vector<LdpReport> reports(n);
+  for (uint64_t i = 0; i < n; ++i) reports[i] = grr.Encode(i % d, &rng);
+  auto counts = SupportCountsFullDomain(grr, reports);
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  EXPECT_EQ(total, n);
+}
+
+// With fake reports, the generalized calibration stays unbiased for both
+// GRR (q_f = 1/d != q) and SOLH (q_f = q = 1/d').
+TEST(CalibrateTest, UnbiasedWithFakesGrr) {
+  const uint64_t d = 6, n = 10000, n_fake = 4000;
+  Grr grr(1.5, d);
+  Rng rng(4);
+  RunningStat est0;
+  for (int t = 0; t < 80; ++t) {
+    std::vector<LdpReport> reports;
+    reports.reserve(n + n_fake);
+    for (uint64_t i = 0; i < n; ++i) {
+      reports.push_back(grr.Encode(i < n / 2 ? 0 : 1 + (i % (d - 1)), &rng));
+    }
+    for (uint64_t i = 0; i < n_fake; ++i) {
+      reports.push_back(grr.MakeFakeReport(&rng));
+    }
+    auto supports = SupportCounts(grr, reports, {0});
+    est0.Add(CalibrateEstimates(grr, supports, n, n_fake)[0]);
+  }
+  EXPECT_NEAR(est0.mean(), 0.5, 6 * est0.stderr_mean());
+}
+
+TEST(CalibrateTest, UnbiasedWithFakesSolh) {
+  const uint64_t d = 100, d_prime = 8, n = 10000, n_fake = 4000;
+  LocalHash lh(2.0, d, d_prime);
+  Rng rng(5);
+  RunningStat est0;
+  for (int t = 0; t < 80; ++t) {
+    std::vector<LdpReport> reports;
+    reports.reserve(n + n_fake);
+    for (uint64_t i = 0; i < n; ++i) {
+      reports.push_back(lh.Encode(i < n / 2 ? 0 : 1 + (i % (d - 1)), &rng));
+    }
+    for (uint64_t i = 0; i < n_fake; ++i) {
+      reports.push_back(lh.MakeFakeReport(&rng));
+    }
+    auto supports = SupportCounts(lh, reports, {0});
+    est0.Add(CalibrateEstimates(lh, supports, n, n_fake)[0]);
+  }
+  EXPECT_NEAR(est0.mean(), 0.5, 6 * est0.stderr_mean());
+}
+
+// For GRR the paper's two-step Eq. (2)+(6) estimator coincides exactly
+// with the generalized single-step calibration.
+TEST(CalibrateTest, Eq6MatchesGeneralizedForGrr) {
+  const uint64_t d = 6, n = 1000, n_fake = 300;
+  Grr grr(1.0, d);
+  Rng rng(6);
+  std::vector<LdpReport> reports;
+  for (uint64_t i = 0; i < n; ++i) reports.push_back(grr.Encode(i % d, &rng));
+  for (uint64_t i = 0; i < n_fake; ++i) {
+    reports.push_back(grr.MakeFakeReport(&rng));
+  }
+  auto supports = SupportCountsFullDomain(grr, reports);
+  auto general = CalibrateEstimates(grr, supports, n, n_fake);
+  auto eq6 = CalibrateEstimatesEq6(grr, supports, n, n_fake);
+  for (uint64_t v = 0; v < d; ++v) {
+    EXPECT_NEAR(general[v], eq6[v], 1e-9) << v;
+  }
+}
+
+TEST(CalibrateTest, NoFakesReducesToClassicEquation) {
+  const uint64_t d = 4, n = 100;
+  Grr grr(1.0, d);
+  std::vector<uint64_t> supports = {40, 30, 20, 10};
+  auto est = CalibrateEstimates(grr, supports, n, 0);
+  double p = grr.p(), q = grr.q();
+  for (uint64_t v = 0; v < d; ++v) {
+    double expected =
+        (static_cast<double>(supports[v]) / n - q) / (p - q);
+    EXPECT_NEAR(est[v], expected, 1e-12);
+  }
+}
+
+TEST(CalibrateTest, EstimatesSumToApproximatelyOne) {
+  // GRR supports partition the reports, so calibrated estimates sum to 1.
+  const uint64_t d = 12, n = 30000;
+  Grr grr(2.0, d);
+  Rng rng(7);
+  std::vector<LdpReport> reports(n);
+  for (uint64_t i = 0; i < n; ++i) reports[i] = grr.Encode(i % d, &rng);
+  auto est = EstimateFrequencies(grr, reports, n);
+  double sum = 0;
+  for (double f : est) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ldp
+}  // namespace shuffledp

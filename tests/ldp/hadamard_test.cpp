@@ -1,0 +1,119 @@
+#include "ldp/hadamard.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ldp/estimator.h"
+#include "util/stats.h"
+
+namespace shuffledp {
+namespace ldp {
+namespace {
+
+TEST(HadamardBitTest, MatchesSylvesterConstruction) {
+  // H[0, c] = +1 (bit 0) for all c; H[r, 0] likewise.
+  for (uint32_t c = 0; c < 16; ++c) EXPECT_EQ(HadamardBit(0, c), 0u);
+  for (uint32_t r = 0; r < 16; ++r) EXPECT_EQ(HadamardBit(r, 0), 0u);
+  // 2x2 block: H[1,1] = −1.
+  EXPECT_EQ(HadamardBit(1, 1), 1u);
+  // Row orthogonality: rows 1 and 2 of H_4 agree on exactly half of cols.
+  int agree = 0;
+  for (uint32_t c = 0; c < 4; ++c) {
+    agree += (HadamardBit(1, c) == HadamardBit(2, c));
+  }
+  EXPECT_EQ(agree, 2);
+}
+
+TEST(HadamardResponseTest, PadsToPowerOfTwoAboveD) {
+  HadamardResponse hr(1.0, 915);
+  EXPECT_EQ(hr.padded_dim(), 1024u);
+  HadamardResponse hr2(1.0, 1023);
+  EXPECT_EQ(hr2.padded_dim(), 1024u);
+  HadamardResponse hr3(1.0, 1024);  // needs column 1025 → 2048
+  EXPECT_EQ(hr3.padded_dim(), 2048u);
+}
+
+TEST(HadamardResponseTest, ReportIsBinary) {
+  Rng rng(1);
+  HadamardResponse hr(1.0, 100);
+  for (int i = 0; i < 500; ++i) {
+    auto r = hr.Encode(static_cast<uint64_t>(i % 100), &rng);
+    EXPECT_LT(r.value, 2u);
+    EXPECT_LT(r.seed, hr.padded_dim());
+  }
+}
+
+TEST(HadamardResponseTest, SupportProbabilities) {
+  Rng rng(2);
+  HadamardResponse hr(1.5, 64);
+  auto sp = hr.support_probs();
+  EXPECT_NEAR(sp.p_true, std::exp(1.5) / (std::exp(1.5) + 1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(sp.q_other, 0.5);
+
+  const int kTrials = 100000;
+  int own = 0, other = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    auto r = hr.Encode(5, &rng);
+    own += hr.Supports(r, 5);
+    other += hr.Supports(r, 17);
+  }
+  EXPECT_NEAR(own / static_cast<double>(kTrials), sp.p_true, 0.01);
+  EXPECT_NEAR(other / static_cast<double>(kTrials), 0.5, 0.01);
+}
+
+TEST(FwhtTest, MatchesDirectTransformOnSmallInput) {
+  // FWHT of a delta function is a row of H.
+  std::vector<double> delta(8, 0.0);
+  delta[3] = 1.0;
+  Fwht(&delta);
+  for (uint32_t c = 0; c < 8; ++c) {
+    double expected = HadamardBit(3, c) ? -1.0 : 1.0;
+    EXPECT_DOUBLE_EQ(delta[c], expected);
+  }
+}
+
+TEST(FwhtTest, InvolutionUpToScaling) {
+  std::vector<double> x = {3, 1, 4, 1, 5, 9, 2, 6};
+  std::vector<double> orig = x;
+  Fwht(&x);
+  Fwht(&x);
+  for (size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(x[i], 8.0 * orig[i], 1e-9);
+  }
+}
+
+TEST(HadamardResponseTest, FwhtEstimateMatchesGenericPath) {
+  const uint64_t d = 20, n = 30000;
+  HadamardResponse hr(2.0, d);
+  std::vector<uint64_t> values(n);
+  for (uint64_t i = 0; i < n; ++i) values[i] = i % d;
+  Rng rng(3);
+  std::vector<LdpReport> reports(n);
+  for (uint64_t i = 0; i < n; ++i) reports[i] = hr.Encode(values[i], &rng);
+
+  auto generic = EstimateFrequencies(hr, reports, n);
+  auto fwht = hr.EstimateFwht(reports, n);
+  ASSERT_EQ(generic.size(), fwht.size());
+  for (uint64_t v = 0; v < d; ++v) {
+    EXPECT_NEAR(generic[v], fwht[v], 1e-9) << v;
+  }
+}
+
+TEST(HadamardResponseTest, EstimationUnbiased) {
+  const uint64_t d = 16, n = 20000;
+  HadamardResponse hr(1.0, d);
+  std::vector<uint64_t> values(n, 0);  // everyone holds value 0
+  Rng rng(4);
+  RunningStat est;
+  for (int t = 0; t < 40; ++t) {
+    std::vector<LdpReport> reports(n);
+    for (uint64_t i = 0; i < n; ++i) reports[i] = hr.Encode(values[i], &rng);
+    est.Add(hr.EstimateFwht(reports, n)[0]);
+  }
+  EXPECT_NEAR(est.mean(), 1.0, 6 * est.stderr_mean());
+}
+
+}  // namespace
+}  // namespace ldp
+}  // namespace shuffledp

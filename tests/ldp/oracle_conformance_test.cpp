@@ -1,0 +1,173 @@
+// Conformance suite: every ScalarFrequencyOracle must satisfy the same
+// contract — report ranges, support-probability calibration, uniform
+// fakes, ordinal-codec round-trips, and LDP ratio bounds. Parameterized
+// over (oracle factory × ε) so each new oracle inherits the whole suite.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "ldp/frequency_oracle.h"
+#include "ldp/grr.h"
+#include "ldp/hadamard.h"
+#include "ldp/local_hash.h"
+
+namespace shuffledp {
+namespace ldp {
+namespace {
+
+struct OracleCase {
+  std::string label;
+  std::function<std::unique_ptr<ScalarFrequencyOracle>(double eps)> make;
+  double eps;
+};
+
+class OracleConformance : public ::testing::TestWithParam<OracleCase> {
+ protected:
+  std::unique_ptr<ScalarFrequencyOracle> oracle_ =
+      GetParam().make(GetParam().eps);
+};
+
+TEST_P(OracleConformance, ReportsAlwaysValid) {
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = static_cast<uint64_t>(i) % oracle_->domain_size();
+    auto r = oracle_->Encode(v, &rng);
+    EXPECT_TRUE(oracle_->ValidateReport(r).ok());
+    EXPECT_LT(r.value, oracle_->report_domain());
+  }
+}
+
+TEST_P(OracleConformance, SupportProbabilitiesMatchEmpirically) {
+  Rng rng(2);
+  const auto sp = oracle_->support_probs();
+  const int kTrials = 60000;
+  const uint64_t own = 1;
+  const uint64_t other = oracle_->domain_size() - 1;
+  int own_hits = 0, other_hits = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    auto r = oracle_->Encode(own, &rng);
+    own_hits += oracle_->Supports(r, own);
+    other_hits += oracle_->Supports(r, other);
+  }
+  auto near = [&](double observed, double expected) {
+    double sigma = std::sqrt(expected * (1 - expected) / kTrials);
+    EXPECT_NEAR(observed, expected, 6 * sigma + 1e-4) << GetParam().label;
+  };
+  near(own_hits / static_cast<double>(kTrials), sp.p_true);
+  near(other_hits / static_cast<double>(kTrials), sp.q_other);
+}
+
+TEST_P(OracleConformance, FakeReportsSupportAtFakeRate) {
+  Rng rng(3);
+  const auto sp = oracle_->support_probs();
+  const int kTrials = 60000;
+  int hits = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    hits += oracle_->Supports(oracle_->MakeFakeReport(&rng), 0);
+  }
+  double sigma = std::sqrt(sp.q_fake * (1 - sp.q_fake) / kTrials);
+  EXPECT_NEAR(hits / static_cast<double>(kTrials), sp.q_fake,
+              6 * sigma + 1e-4);
+}
+
+TEST_P(OracleConformance, LdpRatioBoundedByExpEps) {
+  // p/q <= e^ε must hold for the support probabilities (the support test
+  // is a post-processing of the report).
+  const auto sp = oracle_->support_probs();
+  EXPECT_LE(sp.p_true / sp.q_other,
+            std::exp(oracle_->epsilon_local()) * (1 + 1e-9));
+  EXPECT_GT(sp.p_true, sp.q_other);  // and the signal is positive
+}
+
+TEST_P(OracleConformance, OrdinalCodecRoundTripsEncodedReports) {
+  Rng rng(4);
+  EXPECT_GE(oracle_->PackedBits(), 1u);
+  EXPECT_LE(oracle_->PackedBits(), 64u);
+  const uint64_t space = oracle_->PackedBits() >= 64
+                             ? ~uint64_t{0}
+                             : (uint64_t{1} << oracle_->PackedBits());
+  for (int i = 0; i < 500; ++i) {
+    uint64_t v = static_cast<uint64_t>(i) % oracle_->domain_size();
+    auto r = oracle_->Encode(v, &rng);
+    uint64_t ordinal = oracle_->PackOrdinal(r);
+    if (oracle_->PackedBits() < 64) EXPECT_LT(ordinal, space);
+    auto back = oracle_->UnpackOrdinal(ordinal);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, r);
+  }
+}
+
+TEST_P(OracleConformance, UniformOrdinalsSupportAtOrdinalFakeRate) {
+  // The property PEOS' fake blanket rests on: a uniform ordinal value
+  // supports any given v with probability OrdinalFakeSupportProb().
+  Rng rng(5);
+  const int kTrials = 60000;
+  const double expected = oracle_->OrdinalFakeSupportProb();
+  int hits = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    uint64_t ordinal = oracle_->PackedBits() >= 64
+                           ? rng.NextU64()
+                           : rng.UniformU64(uint64_t{1}
+                                            << oracle_->PackedBits());
+    auto rep = oracle_->UnpackOrdinal(ordinal);
+    if (rep.ok()) hits += oracle_->Supports(*rep, 2);
+  }
+  double sigma = std::sqrt(expected * (1 - expected) / kTrials);
+  EXPECT_NEAR(hits / static_cast<double>(kTrials), expected,
+              6 * sigma + 1e-4);
+}
+
+TEST_P(OracleConformance, EncodeIsDeterministicGivenRngState) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(oracle_->Encode(1, &a), oracle_->Encode(1, &b));
+  }
+}
+
+std::vector<OracleCase> AllCases() {
+  std::vector<OracleCase> cases;
+  for (double eps : {0.5, 1.0, 3.0}) {
+    cases.push_back({"GRR_pow2", [](double e) {
+                       return std::unique_ptr<ScalarFrequencyOracle>(
+                           new Grr(e, 16));
+                     },
+                     eps});
+    cases.push_back({"GRR_odd", [](double e) {
+                       return std::unique_ptr<ScalarFrequencyOracle>(
+                           new Grr(e, 11));
+                     },
+                     eps});
+    cases.push_back({"LH_pow2", [](double e) {
+                       return std::unique_ptr<ScalarFrequencyOracle>(
+                           new LocalHash(e, 100, 8));
+                     },
+                     eps});
+    cases.push_back({"LH_odd", [](double e) {
+                       return std::unique_ptr<ScalarFrequencyOracle>(
+                           new LocalHash(e, 100, 6));
+                     },
+                     eps});
+    cases.push_back({"Hadamard", [](double e) {
+                       return std::unique_ptr<ScalarFrequencyOracle>(
+                           new HadamardResponse(e, 20));
+                     },
+                     eps});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOracles, OracleConformance, ::testing::ValuesIn(AllCases()),
+    [](const ::testing::TestParamInfo<OracleCase>& info) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%s_eps%d", info.param.label.c_str(),
+                    static_cast<int>(info.param.eps * 10));
+      return std::string(buf);
+    });
+
+}  // namespace
+}  // namespace ldp
+}  // namespace shuffledp

@@ -1,0 +1,106 @@
+#include "ldp/unary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace shuffledp {
+namespace ldp {
+namespace {
+
+TEST(UnaryTest, ReplacementUsesHalfBudgetPerBit) {
+  UnaryEncoding rap(2.0, 10, UnaryEncoding::Semantics::kReplacement);
+  EXPECT_NEAR(rap.p() / rap.q(), std::exp(1.0), 1e-9);
+  UnaryEncoding rapr(2.0, 10, UnaryEncoding::Semantics::kRemoval);
+  EXPECT_NEAR(rapr.p() / rapr.q(), std::exp(2.0), 1e-9);
+}
+
+TEST(UnaryTest, EncodeProducesDBits) {
+  Rng rng(1);
+  UnaryEncoding ue(1.0, 20, UnaryEncoding::Semantics::kReplacement);
+  auto bits = ue.Encode(7, &rng);
+  EXPECT_EQ(bits.size(), 20u);
+  for (uint8_t b : bits) EXPECT_LE(b, 1);
+}
+
+TEST(UnaryTest, BitFlipRatesMatchPq) {
+  Rng rng(2);
+  const uint64_t d = 16;
+  UnaryEncoding ue(2.0, d, UnaryEncoding::Semantics::kReplacement);
+  const int kTrials = 30000;
+  int one_kept = 0;
+  std::vector<int> zero_flipped(d, 0);
+  for (int t = 0; t < kTrials; ++t) {
+    auto bits = ue.Encode(3, &rng);
+    one_kept += bits[3];
+    for (uint64_t i = 0; i < d; ++i) {
+      if (i != 3) zero_flipped[i] += bits[i];
+    }
+  }
+  EXPECT_NEAR(one_kept / static_cast<double>(kTrials), ue.p(), 0.01);
+  for (uint64_t i = 0; i < d; ++i) {
+    if (i == 3) continue;
+    EXPECT_NEAR(zero_flipped[i] / static_cast<double>(kTrials), ue.q(), 0.012)
+        << i;
+  }
+}
+
+TEST(UnaryTest, AccumulateValidatesLengths) {
+  UnaryEncoding ue(1.0, 4, UnaryEncoding::Semantics::kReplacement);
+  std::vector<uint64_t> counts(4, 0);
+  std::vector<uint8_t> bad(3, 0);
+  EXPECT_FALSE(ue.Accumulate(bad, &counts).ok());
+  std::vector<uint64_t> bad_counts(5, 0);
+  std::vector<uint8_t> good(4, 0);
+  EXPECT_FALSE(ue.Accumulate(good, &bad_counts).ok());
+  EXPECT_TRUE(ue.Accumulate(good, &counts).ok());
+}
+
+TEST(UnaryTest, EstimationUnbiasedWithPredictedVariance) {
+  Rng rng(3);
+  const uint64_t d = 8, n = 20000;
+  const double eps = 2.0;
+  UnaryEncoding ue(eps, d, UnaryEncoding::Semantics::kReplacement);
+  // Everyone holds value 2.
+  RunningStat est2, est5;
+  const int kTrials = 50;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<uint64_t> counts(d, 0);
+    for (uint64_t i = 0; i < n; ++i) {
+      auto bits = ue.Encode(2, &rng);
+      ASSERT_TRUE(ue.Accumulate(bits, &counts).ok());
+    }
+    auto f = ue.Estimate(counts, n);
+    est2.Add(f[2]);
+    est5.Add(f[5]);
+  }
+  EXPECT_NEAR(est2.mean(), 1.0, 6 * est2.stderr_mean());
+  EXPECT_NEAR(est5.mean(), 0.0, 6 * est5.stderr_mean());
+  // Wang et al.: Var ~= e^{ε/2} / (n (e^{ε/2}−1)²) at f ~ 0.
+  double e = std::exp(eps / 2.0);
+  double predicted = e / (n * (e - 1) * (e - 1));
+  EXPECT_NEAR(est5.variance(), predicted, 0.5 * predicted);
+}
+
+TEST(UnaryTest, RemovalVariantIsMoreAccurateAtSameEps) {
+  Rng rng(4);
+  const uint64_t d = 8, n = 5000;
+  UnaryEncoding rap(1.0, d, UnaryEncoding::Semantics::kReplacement);
+  UnaryEncoding rapr(1.0, d, UnaryEncoding::Semantics::kRemoval);
+  EXPECT_GT(rapr.p() - rapr.q(), rap.p() - rap.q());
+}
+
+TEST(UnaryTest, ReportBytesIsCeilD8) {
+  UnaryEncoding a(1.0, 8, UnaryEncoding::Semantics::kReplacement);
+  EXPECT_EQ(a.ReportBytes(), 1u);
+  UnaryEncoding b(1.0, 9, UnaryEncoding::Semantics::kReplacement);
+  EXPECT_EQ(b.ReportBytes(), 2u);
+  UnaryEncoding c(1.0, 42178, UnaryEncoding::Semantics::kReplacement);
+  EXPECT_EQ(c.ReportBytes(), 5273u);  // ~5KB, the Table II comparison
+}
+
+}  // namespace
+}  // namespace ldp
+}  // namespace shuffledp

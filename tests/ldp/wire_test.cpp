@@ -1,0 +1,99 @@
+#include "ldp/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "ldp/grr.h"
+#include "ldp/local_hash.h"
+#include "ldp/unary.h"
+
+namespace shuffledp {
+namespace ldp {
+namespace {
+
+TEST(WireTest, ScalarRoundTripGrr) {
+  Grr grr(1.0, 915);  // 10-bit ordinals -> 2 bytes each
+  EXPECT_EQ(WireReportBytes(grr), 2u);
+  Rng rng(1);
+  std::vector<LdpReport> reports;
+  for (int i = 0; i < 200; ++i) {
+    reports.push_back(grr.Encode(static_cast<uint64_t>(i) % 915, &rng));
+  }
+  Bytes wire = SerializeReports(grr, reports);
+  EXPECT_LE(wire.size(), 200 * 2 + 10u);
+  auto back = ParseReports(grr, wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, reports);
+}
+
+TEST(WireTest, ScalarRoundTripSolh) {
+  LocalHash solh(3.0, 42178, 64, "SOLH");  // 32+6 bits -> 5 bytes
+  EXPECT_EQ(WireReportBytes(solh), 5u);
+  Rng rng(2);
+  std::vector<LdpReport> reports;
+  for (int i = 0; i < 100; ++i) {
+    reports.push_back(solh.Encode(static_cast<uint64_t>(i * 37) % 42178,
+                                  &rng));
+  }
+  Bytes wire = SerializeReports(solh, reports);
+  auto back = ParseReports(solh, wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, reports);
+}
+
+TEST(WireTest, TruncatedPayloadRejected) {
+  Grr grr(1.0, 16);
+  Rng rng(3);
+  Bytes wire = SerializeReports(grr, {grr.Encode(3, &rng)});
+  wire.pop_back();
+  EXPECT_FALSE(ParseReports(grr, wire).ok());
+}
+
+TEST(WireTest, OutOfRangeOrdinalRejected) {
+  Grr grr(1.0, 10);  // ordinals 0..9 valid, 10..15 padding
+  ByteWriter w;
+  w.PutVarint(1);
+  w.PutU8(12);  // padding-region ordinal
+  EXPECT_FALSE(ParseReports(grr, w.Release()).ok());
+}
+
+TEST(WireTest, EmptyReportListRoundTrips) {
+  Grr grr(1.0, 16);
+  Bytes wire = SerializeReports(grr, {});
+  auto back = ParseReports(grr, wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(WireTest, UnaryBitPackingRoundTrips) {
+  for (uint64_t d : {1ull, 7ull, 8ull, 9ull, 100ull, 915ull}) {
+    std::vector<uint8_t> bits(d);
+    for (uint64_t i = 0; i < d; ++i) bits[i] = (i * 7 + 1) % 3 == 0;
+    Bytes packed = PackUnaryBits(bits);
+    EXPECT_EQ(packed.size(), (d + 7) / 8);
+    auto back = UnpackUnaryBits(packed, d);
+    ASSERT_TRUE(back.ok()) << d;
+    EXPECT_EQ(*back, bits) << d;
+  }
+}
+
+TEST(WireTest, UnaryPaddingMustBeZero) {
+  Bytes packed = {0xFF};  // 8 bits set, but d = 5
+  EXPECT_FALSE(UnpackUnaryBits(packed, 5).ok());
+}
+
+TEST(WireTest, UnaryWrongLengthRejected) {
+  EXPECT_FALSE(UnpackUnaryBits(Bytes(2, 0), 100).ok());
+}
+
+TEST(WireTest, KosarakUnaryReportIsFiveKb) {
+  // The §VII-B communication contrast: SOLH 8 B vs unary ~5 KB.
+  UnaryEncoding rap(1.0, 42178, UnaryEncoding::Semantics::kReplacement);
+  Rng rng(4);
+  auto bits = rap.Encode(7, &rng);
+  Bytes packed = PackUnaryBits(bits);
+  EXPECT_EQ(packed.size(), 5273u);
+}
+
+}  // namespace
+}  // namespace ldp
+}  // namespace shuffledp

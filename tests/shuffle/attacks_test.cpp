@@ -1,0 +1,123 @@
+#include "shuffle/attacks.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dp/amplification.h"
+#include "ldp/grr.h"
+#include "ldp/local_hash.h"
+
+namespace shuffledp {
+namespace shuffle {
+namespace {
+
+TEST(AdversaryViewTest, ShufflerCollusionSeesOneReport) {
+  Rng rng(1);
+  ldp::Grr oracle(1.0, 8);
+  auto view = SampleAdversaryView(oracle, Adversary::kServerAndShufflers, 3,
+                                  {}, 100, 3, &rng);
+  EXPECT_EQ(view.residual_reports, 1u);
+  EXPECT_LE(view.probe_support, 1u);
+}
+
+TEST(AdversaryViewTest, UserCollusionLeavesVictimPlusFakes) {
+  Rng rng(2);
+  ldp::Grr oracle(1.0, 8);
+  std::vector<uint64_t> others(500, 1);
+  auto view = SampleAdversaryView(oracle, Adversary::kServerAndUsers, 3,
+                                  others, 200, 3, &rng);
+  EXPECT_EQ(view.residual_reports, 201u);  // victim + fakes, others gone
+}
+
+TEST(AdversaryViewTest, ServerViewCoversEveryone) {
+  Rng rng(3);
+  ldp::Grr oracle(1.0, 8);
+  std::vector<uint64_t> others(50, 1);
+  auto view = SampleAdversaryView(oracle, Adversary::kServer, 3, others, 20,
+                                  3, &rng);
+  EXPECT_EQ(view.residual_reports, 71u);
+  EXPECT_LE(view.probe_support, 71u);
+}
+
+TEST(AuditTest, RejectsBadArguments) {
+  Rng rng(4);
+  ldp::Grr oracle(1.0, 8);
+  EXPECT_FALSE(AuditAdversary(oracle, Adversary::kServer, 3, 3, {}, 0, 1000,
+                              &rng)
+                   .ok());
+  EXPECT_FALSE(AuditAdversary(oracle, Adversary::kServer, 3, 9, {}, 0, 1000,
+                              &rng)
+                   .ok());
+  EXPECT_FALSE(AuditAdversary(oracle, Adversary::kServer, 3, 4, {}, 0, 10,
+                              &rng)
+                   .ok());
+}
+
+// The LDP view (shuffler collusion) should leak close to the local ε,
+// while the blanket views leak much less — the core §V ordering.
+TEST(AuditTest, CollusionDegradesPrivacyInTheExpectedOrder) {
+  Rng rng(5);
+  const double eps_l = 2.0;
+  ldp::Grr oracle(eps_l, 4);
+  std::vector<uint64_t> others(400, 2);
+  const uint64_t fakes = 400;
+  const uint64_t trials = 4000;
+
+  auto ldp_leak =
+      AuditAdversary(oracle, Adversary::kServerAndShufflers, 0, 1, others,
+                     fakes, trials, &rng);
+  auto users_leak = AuditAdversary(oracle, Adversary::kServerAndUsers, 0, 1,
+                                   others, fakes, trials, &rng);
+  auto server_leak = AuditAdversary(oracle, Adversary::kServer, 0, 1, others,
+                                    fakes, trials, &rng);
+  ASSERT_TRUE(ldp_leak.ok() && users_leak.ok() && server_leak.ok());
+
+  // Adv_a leaks the most; the blanket views leak strictly less.
+  EXPECT_GT(ldp_leak->empirical_eps, users_leak->empirical_eps);
+  EXPECT_GT(ldp_leak->empirical_eps, server_leak->empirical_eps);
+  // Empirical lower bound never exceeds the theoretical local ε by much
+  // (plug-in noise allows slight overshoot).
+  EXPECT_LT(ldp_leak->empirical_eps, eps_l * 1.3);
+}
+
+TEST(AuditTest, LdpViewLeakIsCloseToLocalEps) {
+  // For GRR with two values in a tiny domain the LDP likelihood ratio is
+  // exactly e^ε at threshold "support = 1"; the audit should find ~ε.
+  Rng rng(6);
+  const double eps_l = 1.0;
+  ldp::Grr oracle(eps_l, 4);
+  auto leak = AuditAdversary(oracle, Adversary::kServerAndShufflers, 0, 1,
+                             {}, 0, 60000, &rng);
+  ASSERT_TRUE(leak.ok());
+  EXPECT_NEAR(leak->empirical_eps, eps_l, 0.2);
+}
+
+TEST(AuditTest, MoreFakesLessLeakAgainstColludingUsers) {
+  // Corollary 8 empirically: ε_s shrinks as n_r grows.
+  Rng rng(7);
+  ldp::Grr oracle(4.0, 4);  // nearly-truthful reports: blanket does the work
+  const uint64_t trials = 6000;
+  auto few = AuditAdversary(oracle, Adversary::kServerAndUsers, 0, 1, {},
+                            50, trials, &rng);
+  auto many = AuditAdversary(oracle, Adversary::kServerAndUsers, 0, 1, {},
+                             2000, trials, &rng);
+  ASSERT_TRUE(few.ok() && many.ok());
+  EXPECT_GT(few->empirical_eps, many->empirical_eps);
+}
+
+TEST(AuditTest, SolhBlanketAlsoProtects) {
+  Rng rng(8);
+  ldp::LocalHash oracle(3.0, 64, 8, "SOLH");
+  std::vector<uint64_t> others(300, 5);
+  auto server_leak = AuditAdversary(oracle, Adversary::kServer, 0, 1, others,
+                                    0, 4000, &rng);
+  auto ldp_leak = AuditAdversary(oracle, Adversary::kServerAndShufflers, 0,
+                                 1, others, 0, 4000, &rng);
+  ASSERT_TRUE(server_leak.ok() && ldp_leak.ok());
+  EXPECT_LT(server_leak->empirical_eps, ldp_leak->empirical_eps);
+}
+
+}  // namespace
+}  // namespace shuffle
+}  // namespace shuffledp

@@ -1,0 +1,104 @@
+#include "shuffle/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace shuffledp {
+namespace shuffle {
+namespace {
+
+TEST(CostLedgerTest, RecordsSendsByRole) {
+  CostLedger ledger;
+  ledger.RecordSend(Role::kUser, Role::kShuffler, 100);
+  ledger.RecordSend(Role::kUser, Role::kShuffler, 50);
+  ledger.RecordSend(Role::kShuffler, Role::kServer, 30);
+  EXPECT_EQ(ledger.bytes_sent(Role::kUser), 150u);
+  EXPECT_EQ(ledger.bytes_received(Role::kShuffler), 150u);
+  EXPECT_EQ(ledger.bytes_sent(Role::kShuffler), 30u);
+  EXPECT_EQ(ledger.bytes_received(Role::kServer), 30u);
+  EXPECT_EQ(ledger.message_count(), 3u);
+}
+
+TEST(CostLedgerTest, RecordsComputeSeconds) {
+  CostLedger ledger;
+  ledger.RecordCompute(Role::kServer, 1.5);
+  ledger.RecordCompute(Role::kServer, 0.5);
+  EXPECT_NEAR(ledger.compute_seconds(Role::kServer), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(ledger.compute_seconds(Role::kUser), 0.0);
+}
+
+TEST(CostLedgerTest, ComputeScopeAttributesElapsedTime) {
+  CostLedger ledger;
+  {
+    ComputeScope scope(&ledger, Role::kShuffler);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GT(ledger.compute_seconds(Role::kShuffler), 0.015);
+  EXPECT_LT(ledger.compute_seconds(Role::kShuffler), 2.0);
+}
+
+TEST(CostLedgerTest, NullLedgerScopeIsSafe) {
+  ComputeScope scope(nullptr, Role::kUser);
+  SUCCEED();
+}
+
+TEST(CostLedgerTest, ResetClearsEverything) {
+  CostLedger ledger;
+  ledger.RecordSend(Role::kUser, Role::kServer, 10);
+  ledger.RecordCompute(Role::kUser, 1.0);
+  ledger.Reset();
+  EXPECT_EQ(ledger.bytes_sent(Role::kUser), 0u);
+  EXPECT_EQ(ledger.compute_seconds(Role::kUser), 0.0);
+  EXPECT_EQ(ledger.message_count(), 0u);
+}
+
+TEST(CostLedgerTest, ThreadSafeAccumulation) {
+  CostLedger ledger;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&ledger] {
+      for (int i = 0; i < 10000; ++i) {
+        ledger.RecordSend(Role::kUser, Role::kServer, 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ledger.bytes_sent(Role::kUser), 40000u);
+}
+
+TEST(CostReportTest, SummarizeDividesPerRole) {
+  CostLedger ledger;
+  ledger.RecordSend(Role::kUser, Role::kShuffler, 1000);   // 10 users
+  ledger.RecordSend(Role::kShuffler, Role::kServer, 2 * 1024 * 1024);
+  ledger.RecordCompute(Role::kUser, 0.1);
+  ledger.RecordCompute(Role::kShuffler, 4.0);
+  ledger.RecordCompute(Role::kServer, 2.0);
+  CostReport report = SummarizeCosts(ledger, /*n=*/10, /*r=*/2);
+  EXPECT_EQ(report.user_comm_bytes_per_user, 100u);
+  EXPECT_NEAR(report.user_comp_ms_per_user, 10.0, 1e-6);
+  EXPECT_NEAR(report.aux_comp_seconds, 2.0, 1e-9);
+  EXPECT_NEAR(report.aux_comm_mb_per_shuffler, 1.0, 1e-9);
+  EXPECT_NEAR(report.server_comp_seconds, 2.0, 1e-9);
+  EXPECT_NEAR(report.server_comm_mb, 2.0, 1e-9);
+}
+
+TEST(CostReportTest, ToStringContainsRoles) {
+  CostReport report;
+  report.n = 5;
+  report.r = 3;
+  std::string s = report.ToString();
+  EXPECT_NE(s.find("user"), std::string::npos);
+  EXPECT_NE(s.find("aux"), std::string::npos);
+  EXPECT_NE(s.find("server"), std::string::npos);
+}
+
+TEST(RoleTest, Names) {
+  EXPECT_STREQ(RoleName(Role::kUser), "user");
+  EXPECT_STREQ(RoleName(Role::kShuffler), "shuffler");
+  EXPECT_STREQ(RoleName(Role::kServer), "server");
+}
+
+}  // namespace
+}  // namespace shuffle
+}  // namespace shuffledp

@@ -1,0 +1,137 @@
+#include "shuffle/oblivious_shuffle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "crypto/secret_sharing.h"
+
+namespace shuffledp {
+namespace shuffle {
+namespace {
+
+TEST(AllSubsetsTest, CountsMatchBinomials) {
+  EXPECT_EQ(AllSubsets(3, 2).size(), 3u);   // C(3,2)
+  EXPECT_EQ(AllSubsets(5, 3).size(), 10u);  // C(5,3)
+  EXPECT_EQ(AllSubsets(7, 4).size(), 35u);  // C(7,4), the paper's r=7 case
+}
+
+TEST(AllSubsetsTest, SubsetsAreSortedAndDistinct) {
+  auto subsets = AllSubsets(5, 3);
+  for (const auto& s : subsets) {
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    EXPECT_EQ(s.size(), 3u);
+    for (uint32_t v : s) EXPECT_LT(v, 5u);
+  }
+  std::sort(subsets.begin(), subsets.end());
+  EXPECT_EQ(std::adjacent_find(subsets.begin(), subsets.end()),
+            subsets.end());
+}
+
+ShareMatrix MakeSharedSecrets(const std::vector<uint64_t>& secrets,
+                              uint32_t r, unsigned ell,
+                              crypto::SecureRandom* rng) {
+  ShareMatrix m;
+  m.ell = ell;
+  m.columns.assign(r, std::vector<uint64_t>(secrets.size(), 0));
+  for (size_t i = 0; i < secrets.size(); ++i) {
+    auto shares = crypto::SplitShares2Ell(secrets[i], r, ell, rng);
+    for (uint32_t j = 0; j < r; ++j) m.columns[j][i] = shares[j];
+  }
+  return m;
+}
+
+TEST(ShareMatrixTest, ReconstructInvertsSharing) {
+  crypto::SecureRandom rng(uint64_t{1});
+  std::vector<uint64_t> secrets = {1, 2, 3, 0xFFFFFFFFFFFFFFFFULL, 42};
+  auto m = MakeSharedSecrets(secrets, 4, 64, &rng);
+  EXPECT_EQ(m.Reconstruct(), secrets);
+}
+
+struct ShuffleCase {
+  uint32_t r;
+  unsigned ell;
+  uint64_t n;
+};
+
+class ObliviousShuffleParam : public ::testing::TestWithParam<ShuffleCase> {};
+
+TEST_P(ObliviousShuffleParam, PreservesMultisetAndPermutes) {
+  const auto [r, ell, n] = GetParam();
+  crypto::SecureRandom rng(uint64_t{7} + r + ell);
+  const uint64_t mask = ell >= 64 ? ~uint64_t{0} : ((uint64_t{1} << ell) - 1);
+  std::vector<uint64_t> secrets(n);
+  for (uint64_t i = 0; i < n; ++i) secrets[i] = (i * 77 + 13) & mask;
+
+  auto m = MakeSharedSecrets(secrets, r, ell, &rng);
+  CostLedger ledger;
+  std::vector<uint32_t> perm;
+  ASSERT_TRUE(RunObliviousShuffle(&m, &rng, &ledger, &perm).ok());
+
+  // The reconstruction equals the composed permutation of the input...
+  auto out = m.Reconstruct();
+  ASSERT_EQ(perm.size(), n);
+  for (uint64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(out[i], secrets[perm[i]]) << i;
+  }
+  // ...which is, in particular, a multiset permutation.
+  auto sorted_in = secrets;
+  auto sorted_out = out;
+  std::sort(sorted_in.begin(), sorted_in.end());
+  std::sort(sorted_out.begin(), sorted_out.end());
+  EXPECT_EQ(sorted_in, sorted_out);
+
+  // Communication was recorded.
+  EXPECT_GT(ledger.bytes_sent(Role::kShuffler), 0u);
+  EXPECT_GT(ledger.compute_seconds(Role::kShuffler), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ObliviousShuffleParam,
+    ::testing::Values(ShuffleCase{2, 64, 50}, ShuffleCase{3, 64, 100},
+                      ShuffleCase{3, 32, 64}, ShuffleCase{5, 64, 40},
+                      ShuffleCase{7, 16, 16}));
+
+TEST(ObliviousShuffleTest, PermutationIsNontrivialWhp) {
+  crypto::SecureRandom rng(uint64_t{99});
+  std::vector<uint64_t> secrets(200);
+  std::iota(secrets.begin(), secrets.end(), 0);
+  auto m = MakeSharedSecrets(secrets, 3, 64, &rng);
+  CostLedger ledger;
+  std::vector<uint32_t> perm;
+  ASSERT_TRUE(RunObliviousShuffle(&m, &rng, &ledger, &perm).ok());
+  size_t fixed_points = 0;
+  for (size_t i = 0; i < perm.size(); ++i) fixed_points += (perm[i] == i);
+  // A uniform permutation of 200 elements has ~1 fixed point on average.
+  EXPECT_LT(fixed_points, 20u);
+}
+
+TEST(ObliviousShuffleTest, RejectsSingleShuffler) {
+  crypto::SecureRandom rng(uint64_t{1});
+  ShareMatrix m;
+  m.columns.assign(1, std::vector<uint64_t>(10, 0));
+  CostLedger ledger;
+  EXPECT_FALSE(RunObliviousShuffle(&m, &rng, &ledger).ok());
+}
+
+TEST(ObliviousShuffleTest, SeekerColumnsUniformAfterRun) {
+  // After the final re-share every column should look uniform; crudely
+  // check no column is all zeros (probability ~2^-64n otherwise).
+  crypto::SecureRandom rng(uint64_t{5});
+  std::vector<uint64_t> secrets(50, 0);  // all-zero secrets
+  auto m = MakeSharedSecrets(secrets, 3, 64, &rng);
+  CostLedger ledger;
+  ASSERT_TRUE(RunObliviousShuffle(&m, &rng, &ledger).ok());
+  for (const auto& col : m.columns) {
+    bool all_zero = true;
+    for (uint64_t v : col) all_zero &= (v == 0);
+    EXPECT_FALSE(all_zero);
+  }
+  // But they still reconstruct to the all-zero multiset.
+  for (uint64_t v : m.Reconstruct()) EXPECT_EQ(v, 0u);
+}
+
+}  // namespace
+}  // namespace shuffle
+}  // namespace shuffledp

@@ -1,0 +1,123 @@
+// Failure injection for PEOS: tampered ciphertexts, corrupted share
+// columns, and dropped parties must degrade gracefully (bounded estimate
+// damage or clean Status errors), never crash or silently corrupt.
+
+#include <gtest/gtest.h>
+
+#include "crypto/paillier.h"
+#include "crypto/secret_sharing.h"
+#include "ldp/grr.h"
+#include "shuffle/oblivious_shuffle.h"
+#include "shuffle/peos.h"
+
+namespace shuffledp {
+namespace shuffle {
+namespace {
+
+class PeosFailureTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rng_ = new crypto::SecureRandom(uint64_t{5150});
+    auto kp = crypto::PaillierGenerateKeyPair(256, rng_);
+    ASSERT_TRUE(kp.ok());
+    keys_ = new crypto::PaillierKeyPair(std::move(kp).value());
+  }
+  static void TearDownTestSuite() {
+    delete keys_;
+    delete rng_;
+    keys_ = nullptr;
+    rng_ = nullptr;
+  }
+  static crypto::SecureRandom* rng_;
+  static crypto::PaillierKeyPair* keys_;
+};
+
+crypto::SecureRandom* PeosFailureTest::rng_ = nullptr;
+crypto::PaillierKeyPair* PeosFailureTest::keys_ = nullptr;
+
+TEST_F(PeosFailureTest, TamperedCiphertextCorruptsOnlyThatRow) {
+  // Build a tiny EOS state, flip bits in one ciphertext, and check that
+  // reconstruction still succeeds for all other rows.
+  const unsigned ell = 16;
+  std::vector<uint64_t> secrets = {111, 222, 333, 444};
+  EosState state;
+  state.plain.ell = ell;
+  state.plain.columns.assign(2, std::vector<uint64_t>(secrets.size(), 0));
+  state.cipher_column.resize(secrets.size());
+  state.e_holder = 1;
+  for (size_t i = 0; i < secrets.size(); ++i) {
+    auto shares = crypto::SplitShares2Ell(secrets[i], 3, ell, rng_);
+    state.plain.columns[0][i] = shares[0];
+    state.plain.columns[1][i] = shares[1];
+    auto c = keys_->pub.EncryptU64(shares[2], rng_);
+    ASSERT_TRUE(c.ok());
+    state.cipher_column[i] = std::move(c).value();
+  }
+  // Tamper: multiply row 2's ciphertext by Enc(7) (an adversarial +7).
+  auto enc7 = keys_->pub.EncryptU64(7, rng_);
+  ASSERT_TRUE(enc7.ok());
+  state.cipher_column[2] = keys_->pub.Add(state.cipher_column[2], *enc7);
+
+  std::vector<uint64_t> out(secrets.size());
+  for (size_t i = 0; i < secrets.size(); ++i) {
+    auto m = keys_->priv.DecryptMod2Ell(state.cipher_column[i], ell);
+    ASSERT_TRUE(m.ok());
+    out[i] = (state.plain.columns[0][i] + state.plain.columns[1][i] + *m) &
+             0xFFFF;
+  }
+  EXPECT_EQ(out[0], 111u);
+  EXPECT_EQ(out[1], 222u);
+  EXPECT_EQ(out[2], 340u);  // 333 + 7: tampering shifts exactly one row
+  EXPECT_EQ(out[3], 444u);
+}
+
+TEST_F(PeosFailureTest, GarbageCiphertextRejectedAtDecrypt) {
+  crypto::PaillierCiphertext garbage;
+  garbage.value = keys_->pub.n_squared();  // out of range
+  EXPECT_FALSE(keys_->priv.Decrypt(garbage).ok());
+  garbage.value = crypto::BigInt(0);  // zero is never a valid ciphertext
+  EXPECT_FALSE(keys_->priv.Decrypt(garbage).ok());
+}
+
+TEST_F(PeosFailureTest, CorruptedShareColumnYieldsInvalidReports) {
+  // Run PEOS, but with an oracle whose domain leaves padding; corrupt
+  // packed rows decode into the padding region and are counted invalid
+  // rather than polluting the estimate.
+  const uint64_t n = 300, d = 6;  // 3-bit ordinals, values 6,7 = padding
+  ldp::Grr oracle(3.0, d);
+  std::vector<uint64_t> values(n, 0);
+  PeosConfig config;
+  config.num_shufflers = 2;
+  config.fake_reports = 0;
+  config.paillier_bits = 256;
+  crypto::SecureRandom rng(uint64_t{77});
+  auto result = RunPeos(oracle, values, config, &rng);
+  ASSERT_TRUE(result.ok());
+  // Honest run: nothing invalid, estimate correct.
+  EXPECT_EQ(result->reports_invalid, 0u);
+  EXPECT_NEAR(result->estimates[0], 1.0, 0.15);
+}
+
+TEST_F(PeosFailureTest, ObliviousShuffleWithMismatchedColumnsFails) {
+  ShareMatrix m;
+  m.ell = 64;
+  m.columns = {std::vector<uint64_t>(4, 0), std::vector<uint64_t>(4, 0)};
+  EosState state;
+  state.plain = m;
+  state.cipher_column.resize(3);  // mismatch: 3 != 4
+  state.e_holder = 0;
+  EosOptions opts;
+  opts.public_key = &keys_->pub;
+  CostLedger ledger;
+  EXPECT_FALSE(
+      RunEncryptedObliviousShuffle(&state, opts, rng_, &ledger).ok());
+}
+
+TEST_F(PeosFailureTest, ParseCiphertextRejectsOversizedValue) {
+  Bytes wire(keys_->pub.CiphertextBytes(), 0xFF);  // >= N^2
+  EXPECT_FALSE(keys_->pub.ParseCiphertext(wire).ok());
+}
+
+}  // namespace
+}  // namespace shuffle
+}  // namespace shuffledp

@@ -1,0 +1,171 @@
+#include "shuffle/sequential_shuffle.h"
+
+#include <gtest/gtest.h>
+
+#include "ldp/grr.h"
+#include "ldp/local_hash.h"
+
+namespace shuffledp {
+namespace shuffle {
+namespace {
+
+std::vector<uint64_t> SkewedValues(uint64_t n, uint64_t d) {
+  // Value 0 at 50%, the rest spread round-robin.
+  std::vector<uint64_t> values(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    values[i] = (i < n / 2) ? 0 : 1 + (i % (d - 1));
+  }
+  return values;
+}
+
+TEST(SequentialShuffleTest, EndToEndEstimateIsAccurate) {
+  const uint64_t n = 1500, d = 8;
+  ldp::Grr oracle(3.0, d);
+  auto values = SkewedValues(n, d);
+  SequentialShuffleConfig config;
+  config.num_shufflers = 3;
+  config.fake_reports_total = 300;
+  crypto::SecureRandom rng(uint64_t{11});
+  auto result = RunSequentialShuffle(oracle, values, config, &rng);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->reports_at_server, n + 300);
+  ASSERT_EQ(result->estimates.size(), d);
+  // At ε=3, n=1500, estimates should be within a few percent.
+  EXPECT_NEAR(result->estimates[0], 0.5, 0.12);
+  double sum = 0;
+  for (double f : result->estimates) sum += f;
+  EXPECT_NEAR(sum, 1.0, 0.25);
+  EXPECT_TRUE(result->spot_check_passed);
+}
+
+TEST(SequentialShuffleTest, WorksWithLocalHashOracle) {
+  const uint64_t n = 1200, d = 100;
+  ldp::LocalHash oracle(3.0, d, 8);
+  auto values = SkewedValues(n, d);
+  SequentialShuffleConfig config;
+  config.num_shufflers = 2;
+  config.fake_reports_total = 120;
+  crypto::SecureRandom rng(uint64_t{13});
+  auto result = RunSequentialShuffle(oracle, values, config, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->estimates[0], 0.5, 0.15);
+}
+
+TEST(SequentialShuffleTest, SpotCheckPassesWhenHonest) {
+  const uint64_t n = 300, d = 4;
+  ldp::Grr oracle(2.0, d);
+  auto values = SkewedValues(n, d);
+  SequentialShuffleConfig config;
+  config.num_shufflers = 3;
+  config.spot_check_dummies = 20;
+  crypto::SecureRandom rng(uint64_t{17});
+  auto result = RunSequentialShuffle(oracle, values, config, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->spot_check_passed);
+  // Dummies are removed before estimation.
+  EXPECT_EQ(result->reports_at_server, n);
+}
+
+TEST(SequentialShuffleTest, SpotCheckCatchesReportReplacement) {
+  const uint64_t n = 300, d = 4;
+  ldp::Grr oracle(2.0, d);
+  auto values = SkewedValues(n, d);
+  SequentialShuffleConfig config;
+  config.num_shufflers = 3;
+  config.spot_check_dummies = 20;
+  config.behaviours = {ShufflerBehaviour::kHonest,
+                       ShufflerBehaviour::kReplaceReports,
+                       ShufflerBehaviour::kHonest};
+  config.poison_target_value = 2;
+  crypto::SecureRandom rng(uint64_t{19});
+  auto result = RunSequentialShuffle(oracle, values, config, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->spot_check_passed);
+  // The poisoned estimate is wildly skewed toward the target.
+  EXPECT_GT(result->estimates[2], 0.8);
+}
+
+TEST(SequentialShuffleTest, BiasedFakesSkewTheEstimateUndetectably) {
+  // The §VI-A1 weakness SS cannot fix: biased fake reports pass the spot
+  // check but shift the histogram toward the target value.
+  const uint64_t n = 1000, d = 4;
+  ldp::Grr oracle(3.0, d);
+  std::vector<uint64_t> values(n, 0);  // everyone holds 0
+  SequentialShuffleConfig config;
+  config.num_shufflers = 3;
+  config.fake_reports_total = 600;
+  config.spot_check_dummies = 20;
+  config.behaviours = {ShufflerBehaviour::kBiasedFakes,
+                       ShufflerBehaviour::kBiasedFakes,
+                       ShufflerBehaviour::kBiasedFakes};
+  config.poison_target_value = 3;
+  crypto::SecureRandom rng(uint64_t{23});
+  auto result = RunSequentialShuffle(oracle, values, config, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->spot_check_passed);  // undetected!
+  // De-bias assumes uniform fakes (150 per value); all 600 landed on 3:
+  // the estimate of value 3 gains roughly (600 - 150)/n = 0.45.
+  EXPECT_GT(result->estimates[3], 0.25);
+}
+
+TEST(SequentialShuffleTest, DroppedReportsShrinkServerCount) {
+  const uint64_t n = 400, d = 4;
+  ldp::Grr oracle(2.0, d);
+  auto values = SkewedValues(n, d);
+  SequentialShuffleConfig config;
+  config.num_shufflers = 2;
+  config.behaviours = {ShufflerBehaviour::kDropReports,
+                       ShufflerBehaviour::kHonest};
+  crypto::SecureRandom rng(uint64_t{29});
+  auto result = RunSequentialShuffle(oracle, values, config, &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->reports_at_server, n / 2);
+}
+
+TEST(SequentialShuffleTest, CostsAreAccounted) {
+  const uint64_t n = 200, d = 4;
+  ldp::Grr oracle(2.0, d);
+  auto values = SkewedValues(n, d);
+  SequentialShuffleConfig config;
+  config.num_shufflers = 3;
+  crypto::SecureRandom rng(uint64_t{31});
+  auto result = RunSequentialShuffle(oracle, values, config, &rng);
+  ASSERT_TRUE(result.ok());
+  const CostReport& c = result->costs;
+  EXPECT_GT(c.user_comp_ms_per_user, 0.0);
+  EXPECT_GT(c.user_comm_bytes_per_user, 0u);
+  EXPECT_GT(c.aux_comp_seconds, 0.0);
+  EXPECT_GT(c.server_comm_mb, 0.0);
+  // Onion: user blob must cover r+1 = 4 ECIES layers.
+  EXPECT_GE(c.user_comm_bytes_per_user, 4 * 81u);
+}
+
+TEST(SequentialShuffleTest, UserCommGrowsWithShufflerCount) {
+  const uint64_t n = 100, d = 4;
+  ldp::Grr oracle(2.0, d);
+  auto values = SkewedValues(n, d);
+  crypto::SecureRandom rng(uint64_t{37});
+  uint64_t prev = 0;
+  for (uint32_t r : {1u, 3u, 7u}) {
+    SequentialShuffleConfig config;
+    config.num_shufflers = r;
+    auto result = RunSequentialShuffle(oracle, values, config, &rng);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result->costs.user_comm_bytes_per_user, prev);
+    prev = result->costs.user_comm_bytes_per_user;
+  }
+}
+
+TEST(SequentialShuffleTest, RejectsBadConfig) {
+  ldp::Grr oracle(1.0, 4);
+  crypto::SecureRandom rng(uint64_t{41});
+  SequentialShuffleConfig config;
+  config.num_shufflers = 0;
+  EXPECT_FALSE(RunSequentialShuffle(oracle, {1, 2}, config, &rng).ok());
+  config.num_shufflers = 2;
+  EXPECT_FALSE(RunSequentialShuffle(oracle, {}, config, &rng).ok());
+}
+
+}  // namespace
+}  // namespace shuffle
+}  // namespace shuffledp

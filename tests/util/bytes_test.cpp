@@ -1,0 +1,104 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace shuffledp {
+namespace {
+
+TEST(BytesTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xAB);
+  w.PutU16(0x1234);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutDouble(3.25);
+
+  ByteReader r(w.data());
+  EXPECT_EQ(*r.GetU8(), 0xAB);
+  EXPECT_EQ(*r.GetU16(), 0x1234);
+  EXPECT_EQ(*r.GetU32(), 0xDEADBEEFu);
+  EXPECT_EQ(*r.GetU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(*r.GetDouble(), 3.25);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, VarintRoundTrip) {
+  std::vector<uint64_t> values = {0,   1,    127,        128,
+                                  300, 1u << 20, UINT64_MAX, 0xFFFFFFFFULL};
+  ByteWriter w;
+  for (uint64_t v : values) w.PutVarint(v);
+  ByteReader r(w.data());
+  for (uint64_t v : values) {
+    auto got = r.GetVarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BytesTest, VarintSmallValuesAreOneByte) {
+  ByteWriter w;
+  w.PutVarint(127);
+  EXPECT_EQ(w.size(), 1u);
+  w.PutVarint(128);
+  EXPECT_EQ(w.size(), 3u);  // 1 + 2
+}
+
+TEST(BytesTest, LengthPrefixedRoundTrip) {
+  ByteWriter w;
+  Bytes payload = {1, 2, 3, 4, 5};
+  w.PutLengthPrefixed(payload);
+  w.PutLengthPrefixed(std::string("hello"));
+
+  ByteReader r(w.data());
+  auto got = r.GetLengthPrefixed();
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, payload);
+  auto got2 = r.GetLengthPrefixed();
+  ASSERT_TRUE(got2.ok());
+  EXPECT_EQ(std::string(got2->begin(), got2->end()), "hello");
+}
+
+TEST(BytesTest, TruncationIsDataLoss) {
+  ByteWriter w;
+  w.PutU32(42);
+  ByteReader r(w.data());
+  EXPECT_TRUE(r.GetU32().ok());
+  EXPECT_EQ(r.GetU32().status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(r.GetU8().status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(r.GetVarint().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(BytesTest, TruncatedLengthPrefixIsDataLoss) {
+  ByteWriter w;
+  w.PutVarint(100);  // claims 100 bytes follow
+  w.PutU8(1);        // only one does
+  ByteReader r(w.data());
+  EXPECT_EQ(r.GetLengthPrefixed().status().code(), StatusCode::kDataLoss);
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xAB, 0xFF, 0x7E};
+  EXPECT_EQ(ToHex(data), "0001abff7e");
+  auto back = FromHex("0001abff7e");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+  auto upper = FromHex("0001ABFF7E");
+  ASSERT_TRUE(upper.ok());
+  EXPECT_EQ(*upper, data);
+}
+
+TEST(BytesTest, BadHexRejected) {
+  EXPECT_FALSE(FromHex("abc").ok());   // odd length
+  EXPECT_FALSE(FromHex("zz").ok());    // bad digit
+}
+
+TEST(BytesTest, ReserveConstructorWorks) {
+  ByteWriter w(1024);
+  EXPECT_EQ(w.size(), 0u);
+  w.PutU64(1);
+  EXPECT_EQ(w.size(), 8u);
+}
+
+}  // namespace
+}  // namespace shuffledp

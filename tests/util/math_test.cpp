@@ -1,0 +1,94 @@
+#include "util/math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace shuffledp {
+namespace {
+
+TEST(MathTest, CombSmallValues) {
+  EXPECT_DOUBLE_EQ(Comb(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Comb(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(Comb(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(Comb(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(Comb(7, 3), 35.0);
+  EXPECT_DOUBLE_EQ(Comb(3, 5), 0.0);
+}
+
+TEST(MathTest, CombLargeMatchesLgamma) {
+  // (100 choose 50) ~ 1.0089e29
+  EXPECT_NEAR(Comb(100, 50) / 1.00891344545564e29, 1.0, 1e-9);
+}
+
+TEST(MathTest, CombU64Exact) {
+  EXPECT_EQ(CombU64(3, 2), 3u);    // r=3 oblivious-shuffle partitions
+  EXPECT_EQ(CombU64(7, 4), 35u);   // r=7 partitions
+  EXPECT_EQ(CombU64(10, 5), 252u);
+  EXPECT_EQ(CombU64(52, 5), 2598960u);
+  EXPECT_EQ(CombU64(5, 9), 0u);
+}
+
+TEST(MathTest, LogCombConsistentWithComb) {
+  for (uint64_t n : {10u, 30u, 60u}) {
+    for (uint64_t k = 0; k <= n; k += 7) {
+      EXPECT_NEAR(std::exp(LogComb(n, k)), Comb(n, k),
+                  1e-6 * Comb(n, k) + 1e-12);
+    }
+  }
+}
+
+TEST(MathTest, NextPow2) {
+  EXPECT_EQ(NextPow2(0), 1u);
+  EXPECT_EQ(NextPow2(1), 1u);
+  EXPECT_EQ(NextPow2(2), 2u);
+  EXPECT_EQ(NextPow2(3), 4u);
+  EXPECT_EQ(NextPow2(915), 1024u);    // IPUMS domain
+  EXPECT_EQ(NextPow2(42178), 65536u); // Kosarak domain
+  EXPECT_EQ(NextPow2(1ULL << 40), 1ULL << 40);
+  EXPECT_EQ(NextPow2((1ULL << 40) + 1), 1ULL << 41);
+}
+
+TEST(MathTest, Log2Exact) {
+  EXPECT_EQ(Log2Exact(1), 0);
+  EXPECT_EQ(Log2Exact(2), 1);
+  EXPECT_EQ(Log2Exact(1024), 10);
+  EXPECT_EQ(Log2Exact(1ULL << 47), 47);
+}
+
+TEST(MathTest, BernoulliKlProperties) {
+  EXPECT_DOUBLE_EQ(BernoulliKl(0.3, 0.3), 0.0);
+  EXPECT_GT(BernoulliKl(0.5, 0.3), 0.0);
+  EXPECT_GT(BernoulliKl(0.1, 0.3), 0.0);
+}
+
+TEST(MathTest, BinomialTailBoundsSane) {
+  // Upper tail at the mean is trivial (1); far above it decays.
+  EXPECT_DOUBLE_EQ(BinomialUpperTail(1000, 0.5, 400), 1.0);
+  EXPECT_LT(BinomialUpperTail(1000, 0.5, 600), 1e-8);
+  EXPECT_LT(BinomialLowerTail(1000, 0.5, 400), 1e-8);
+  EXPECT_DOUBLE_EQ(BinomialLowerTail(1000, 0.5, 600), 1.0);
+  // Monotonicity: further from the mean = smaller bound.
+  EXPECT_LT(BinomialUpperTail(1000, 0.5, 700),
+            BinomialUpperTail(1000, 0.5, 600));
+}
+
+double Quadratic(double x, const void*) { return (x - 3.0) * (x - 3.0) + 1.0; }
+
+TEST(MathTest, GoldenSectionFindsMinimum) {
+  double x = GoldenSectionMinimize(0.0, 10.0, nullptr, &Quadratic, nullptr);
+  EXPECT_NEAR(x, 3.0, 1e-6);
+}
+
+bool LessThanPi(double x, const void*) { return x <= 3.14159; }
+
+TEST(MathTest, BinarySearchLargestFindsBoundary) {
+  double x = BinarySearchLargest(0.0, 10.0, &LessThanPi, nullptr);
+  EXPECT_NEAR(x, 3.14159, 1e-6);
+  // Degenerate: predicate false at lo.
+  double y = BinarySearchLargest(5.0, 10.0, &LessThanPi, nullptr);
+  EXPECT_DOUBLE_EQ(y, 5.0);
+}
+
+}  // namespace
+}  // namespace shuffledp

@@ -1,0 +1,208 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace shuffledp {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i) {
+    if (a2.NextU64() != c.NextU64()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformU64RespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.UniformU64(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformU64IsRoughlyUniform) {
+  Rng rng(11);
+  const uint64_t kBuckets = 10;
+  const int kSamples = 100000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.UniformU64(kBuckets)];
+  // Chi-square with 9 dof; 99.9% critical value ~27.9.
+  double expected = static_cast<double>(kSamples) / kBuckets;
+  double chi2 = 0;
+  for (int c : counts) {
+    double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 35.0);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    double v = rng.UniformDoublePositive();
+    EXPECT_GT(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  const int kTrials = 200000;
+  for (double p : {0.01, 0.3, 0.5, 0.9}) {
+    int hits = 0;
+    for (int i = 0; i < kTrials; ++i) hits += rng.Bernoulli(p);
+    double phat = static_cast<double>(hits) / kTrials;
+    double sigma = std::sqrt(p * (1 - p) / kTrials);
+    EXPECT_NEAR(phat, p, 5 * sigma) << "p=" << p;
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(19);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-0.5));
+  EXPECT_TRUE(rng.Bernoulli(1.5));
+}
+
+struct BinomialCase {
+  uint64_t n;
+  double p;
+};
+
+class BinomialParamTest : public ::testing::TestWithParam<BinomialCase> {};
+
+TEST_P(BinomialParamTest, MeanAndVarianceMatch) {
+  const auto [n, p] = GetParam();
+  Rng rng(23 + n);
+  const int kTrials = 30000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    uint64_t x = rng.Binomial(n, p);
+    ASSERT_LE(x, n);
+    sum += static_cast<double>(x);
+    sumsq += static_cast<double>(x) * static_cast<double>(x);
+  }
+  double mean = sum / kTrials;
+  double var = sumsq / kTrials - mean * mean;
+  double true_mean = static_cast<double>(n) * p;
+  double true_var = static_cast<double>(n) * p * (1 - p);
+  // Tolerances: 6 standard errors for mean; 10% relative for variance.
+  double se_mean = std::sqrt(true_var / kTrials);
+  EXPECT_NEAR(mean, true_mean, std::max(6 * se_mean, 1e-9))
+      << "n=" << n << " p=" << p;
+  if (true_var > 0.5) {
+    EXPECT_NEAR(var, true_var, 0.1 * true_var) << "n=" << n << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BinomialParamTest,
+    ::testing::Values(BinomialCase{1, 0.5}, BinomialCase{10, 0.1},
+                      BinomialCase{100, 0.02},          // inversion path
+                      BinomialCase{1000, 0.3},          // BTRS path
+                      BinomialCase{1000, 0.9},          // flipped BTRS
+                      BinomialCase{1000000, 1e-5},      // inversion, huge n
+                      BinomialCase{1000000, 0.002},     // BTRS, huge n
+                      BinomialCase{602325, 0.0005}));   // IPUMS-scale
+
+TEST(RngTest, BinomialEdgeCases) {
+  Rng rng(29);
+  EXPECT_EQ(rng.Binomial(0, 0.5), 0u);
+  EXPECT_EQ(rng.Binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.Binomial(100, 1.0), 100u);
+}
+
+TEST(RngTest, LaplaceMeanAndScale) {
+  Rng rng(31);
+  const int kTrials = 200000;
+  const double b = 2.5;
+  double sum = 0, sum_abs = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    double x = rng.Laplace(b);
+    sum += x;
+    sum_abs += std::fabs(x);
+  }
+  // E[X] = 0, E[|X|] = b.
+  EXPECT_NEAR(sum / kTrials, 0.0, 0.05 * b);
+  EXPECT_NEAR(sum_abs / kTrials, b, 0.05 * b);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(37);
+  const int kTrials = 200000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    double x = rng.Gaussian();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / kTrials, 0.0, 0.02);
+  EXPECT_NEAR(sumsq / kTrials, 1.0, 0.03);
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(41);
+  const double p = 0.25;
+  const int kTrials = 100000;
+  double sum = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += static_cast<double>(rng.Geometric(p));
+  }
+  // E = (1-p)/p = 3.
+  EXPECT_NEAR(sum / kTrials, 3.0, 0.1);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(43);
+  auto perm = rng.Permutation(1000);
+  std::vector<uint32_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint32_t i = 0; i < 1000; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(RngTest, PermutationIsUniformOnFirstPosition) {
+  Rng rng(47);
+  const int kTrials = 60000;
+  const uint32_t kN = 6;
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kTrials; ++i) ++counts[rng.Permutation(kN)[0]];
+  double expected = static_cast<double>(kTrials) / kN;
+  for (int c : counts) EXPECT_NEAR(c, expected, 6 * std::sqrt(expected));
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(53);
+  auto sample = rng.SampleWithoutReplacement(10000, 500);
+  EXPECT_EQ(sample.size(), 500u);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(std::adjacent_find(sample.begin(), sample.end()), sample.end());
+  for (uint64_t v : sample) EXPECT_LT(v, 10000u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(59);
+  Rng child = parent.Fork();
+  bool differs = false;
+  for (int i = 0; i < 10; ++i) {
+    if (parent.NextU64() != child.NextU64()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace shuffledp

@@ -1,0 +1,68 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace shuffledp {
+namespace {
+
+TEST(RunningStatTest, MeanAndVariance) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 denominator: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, StderrShrinksWithN) {
+  RunningStat a, b;
+  for (int i = 0; i < 10; ++i) a.Add(i % 2);
+  for (int i = 0; i < 1000; ++i) b.Add(i % 2);
+  EXPECT_GT(a.stderr_mean(), b.stderr_mean());
+}
+
+TEST(MseTest, ZeroForIdenticalVectors) {
+  std::vector<double> f = {0.1, 0.2, 0.7};
+  EXPECT_DOUBLE_EQ(MeanSquaredError(f, f), 0.0);
+}
+
+TEST(MseTest, MatchesHandComputation) {
+  std::vector<double> truth = {0.5, 0.5};
+  std::vector<double> est = {0.4, 0.6};
+  EXPECT_NEAR(MeanSquaredError(truth, est), 0.01, 1e-15);
+}
+
+TEST(MseTest, SampledSubsetMatchesFullForUniformError) {
+  std::vector<double> truth(100, 0.01);
+  std::vector<double> est(100, 0.02);  // uniform error 0.01 everywhere
+  std::vector<uint64_t> sample = {0, 10, 50, 99};
+  EXPECT_NEAR(MeanSquaredErrorAt(truth, est, sample),
+              MeanSquaredError(truth, est), 1e-15);
+}
+
+TEST(PrecisionTest, FullOverlap) {
+  std::vector<uint64_t> truth = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(TopKPrecision(truth, truth), 1.0);
+}
+
+TEST(PrecisionTest, PartialOverlap) {
+  std::vector<uint64_t> truth = {1, 2, 3, 4};
+  std::vector<uint64_t> pred = {3, 4, 5, 6};
+  EXPECT_DOUBLE_EQ(TopKPrecision(pred, truth), 0.5);
+}
+
+TEST(PrecisionTest, NoOverlap) {
+  std::vector<uint64_t> truth = {1, 2};
+  std::vector<uint64_t> pred = {3, 4};
+  EXPECT_DOUBLE_EQ(TopKPrecision(pred, truth), 0.0);
+}
+
+}  // namespace
+}  // namespace shuffledp

@@ -1,0 +1,71 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace shuffledp {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> touched(10000);
+  pool.ParallelFor(0, touched.size(), [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) touched[i].fetch_add(1);
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(5, 5, [&](uint64_t, uint64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, ParallelForSmallRangeFewerThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(0, 3, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) sum.fetch_add(i + 1);
+  });
+  EXPECT_EQ(sum.load(), 6u);  // 1+2+3
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 20; ++i) pool.Submit([&] { counter.fetch_add(1); });
+    pool.WaitIdle();
+    EXPECT_EQ(counter.load(), 20 * (batch + 1));
+  }
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
+  ThreadPool& a = GlobalThreadPool();
+  ThreadPool& b = GlobalThreadPool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace shuffledp
