@@ -31,6 +31,11 @@ class Flags {
     return v.empty() ? def : std::strtod(v.c_str(), nullptr);
   }
 
+  std::string GetString(const std::string& name, const std::string& def) const {
+    std::string v = Raw(name);
+    return v.empty() ? def : v;
+  }
+
   bool GetBool(const std::string& name, bool def) const {
     for (const auto& a : args_) {
       if (a == "--" + name) return true;

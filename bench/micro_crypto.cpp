@@ -44,6 +44,16 @@ void BM_Sha256_64B(benchmark::State& state) {
 }
 BENCHMARK(BM_Sha256_64B);
 
+void BM_Sha256_64B_Portable(benchmark::State& state) {
+  SetShaBackend(ShaBackend::kPortable);
+  Bytes data(64, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::Hash(data));
+  }
+  SetShaBackend(BestShaBackend());
+}
+BENCHMARK(BM_Sha256_64B_Portable);
+
 void BM_Aes128_EncryptBlock(benchmark::State& state) {
   Aes128 aes(std::array<uint8_t, 16>{});
   uint8_t block[16] = {0};
@@ -53,6 +63,29 @@ void BM_Aes128_EncryptBlock(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Aes128_EncryptBlock);
+
+void BM_Aes128_EncryptBlock_Portable(benchmark::State& state) {
+  SetAesBackend(AesBackend::kPortable);
+  Aes128 aes(std::array<uint8_t, 16>{});
+  uint8_t block[16] = {0};
+  for (auto _ : state) {
+    aes.EncryptBlock(block, block);
+    benchmark::DoNotOptimize(block);
+  }
+  SetAesBackend(BestAesBackend());
+}
+BENCHMARK(BM_Aes128_EncryptBlock_Portable);
+
+void BM_Aes128_Ctr4KiB(benchmark::State& state) {
+  std::array<uint8_t, 16> key{};
+  std::array<uint8_t, 12> nonce{};
+  Bytes data(4096, 0x5A);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(AesCtrCrypt(key, nonce, data));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+}
+BENCHMARK(BM_Aes128_Ctr4KiB);
 
 void BM_BigInt_ModMul(benchmark::State& state) {
   const size_t bits = static_cast<size_t>(state.range(0));
@@ -138,6 +171,57 @@ void BM_P256_ScalarBaseMult(benchmark::State& state) {
 }
 BENCHMARK(BM_P256_ScalarBaseMult)->Unit(benchmark::kMicrosecond);
 
+// The seed implementation (double-and-add ladder), kept as the "before"
+// number for the comb / wNAF speedups.
+void BM_P256_ScalarBaseMult_Reference(benchmark::State& state) {
+  Scalar256 k = P256::RandomScalar(&Srng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(P256::ScalarBaseMultReference(k));
+    k[0]++;
+  }
+}
+BENCHMARK(BM_P256_ScalarBaseMult_Reference)->Unit(benchmark::kMicrosecond);
+
+void BM_P256_ScalarBaseMultBatch64(benchmark::State& state) {
+  std::vector<Scalar256> ks(64);
+  for (auto& k : ks) k = P256::RandomScalar(&Srng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(P256::ScalarBaseMultBatch(ks));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_P256_ScalarBaseMultBatch64)->Unit(benchmark::kMicrosecond);
+
+void BM_P256_ScalarMult(benchmark::State& state) {
+  P256Point p = P256::ScalarBaseMult(P256::RandomScalar(&Srng()));
+  Scalar256 k = P256::RandomScalar(&Srng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(P256::ScalarMult(k, p));
+    k[0]++;
+  }
+}
+BENCHMARK(BM_P256_ScalarMult)->Unit(benchmark::kMicrosecond);
+
+void BM_P256_ScalarMult_Reference(benchmark::State& state) {
+  P256Point p = P256::ScalarBaseMult(P256::RandomScalar(&Srng()));
+  Scalar256 k = P256::RandomScalar(&Srng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(P256::ScalarMultReference(k, p));
+    k[0]++;
+  }
+}
+BENCHMARK(BM_P256_ScalarMult_Reference)->Unit(benchmark::kMicrosecond);
+
+void BM_P256_PrecomputedMult(benchmark::State& state) {
+  P256Precomputed pre(P256::ScalarBaseMult(P256::RandomScalar(&Srng())));
+  Scalar256 k = P256::RandomScalar(&Srng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pre.Mult(k));
+    k[0]++;
+  }
+}
+BENCHMARK(BM_P256_PrecomputedMult)->Unit(benchmark::kMicrosecond);
+
 void BM_Ecies_Encrypt32B(benchmark::State& state) {
   auto kp = EciesGenerateKeyPair(&Srng());
   Bytes msg(32, 0x5A);
@@ -146,6 +230,18 @@ void BM_Ecies_Encrypt32B(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Ecies_Encrypt32B)->Unit(benchmark::kMicrosecond);
+
+// Batched report encryption (64 reports to one recipient); the per-report
+// cost is the iteration time divided by 64 (see items_per_second).
+void BM_Ecies_EncryptBatch64x32B(benchmark::State& state) {
+  auto kp = EciesGenerateKeyPair(&Srng());
+  std::vector<Bytes> msgs(64, Bytes(32, 0x5A));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EciesEncryptBatch(kp.public_key, msgs, &Srng()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_Ecies_EncryptBatch64x32B)->Unit(benchmark::kMicrosecond);
 
 void BM_Ecies_Decrypt32B(benchmark::State& state) {
   auto kp = EciesGenerateKeyPair(&Srng());

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs the perf-trajectory benchmarks and writes the JSON artifacts at the
+# repo root:
+#   BENCH_micro_crypto.json  - google-benchmark output of bench_micro_crypto
+#                              (includes *_Reference / *_Portable rows, i.e.
+#                              the seed "before" numbers next to the fast
+#                              paths)
+#   BENCH_table3.json        - measured Table III rows from
+#                              bench_table3_overhead
+#
+# Usage: bench/run_benches.sh [BUILD_DIR] (default: build)
+# Also reachable as `cmake --build build --target run_benches`.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+
+# Default filter keeps the hot-path crypto benchmarks (the Paillier /
+# BigInt suite takes minutes and is unchanged by the EC/AES work); pass
+# MICRO_FILTER='' for everything.
+MICRO_FILTER="${MICRO_FILTER-P256|Ecies|Aes|Sha256|XxHash}"
+TABLE3_N="${TABLE3_N:-2000}"
+
+"$BUILD_DIR/bench_micro_crypto" \
+  ${MICRO_FILTER:+--benchmark_filter="$MICRO_FILTER"} \
+  --benchmark_out="$ROOT/BENCH_micro_crypto.json" \
+  --benchmark_out_format=json
+
+"$BUILD_DIR/bench_table3_overhead" --n="$TABLE3_N" \
+  --json="$ROOT/BENCH_table3.json"
+
+echo "wrote $ROOT/BENCH_micro_crypto.json and $ROOT/BENCH_table3.json"

@@ -11,11 +11,16 @@
 // the paper. See EXPERIMENTS.md for the measured-vs-paper discussion.
 //
 // Flags: --n=4000, --paillier_bits=1024, --exactcrypto (disable the
-// randomizer pool; DESIGN.md §4 item 5), --fakes=0 (paper ignores n_r).
+// randomizer pool; DESIGN.md §4 item 5), --fakes=0 (paper ignores n_r),
+// --json=PATH (additionally dump the measured rows as JSON, used by
+// bench/run_benches.sh to track the perf trajectory across PRs).
 
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "crypto/aes.h"
+#include "crypto/sha256.h"
 #include "data/datasets.h"
 #include "ldp/local_hash.h"
 #include "shuffle/peos.h"
@@ -84,6 +89,34 @@ void PrintTable(const std::vector<Row>& rows, uint64_t n) {
   });
 }
 
+bool WriteJson(const std::string& path, const std::vector<Row>& rows,
+               uint64_t n, unsigned threads) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"n\": %llu,\n  \"threads\": %u,\n",
+               static_cast<unsigned long long>(n), threads);
+  std::fprintf(f, "  \"aes_backend\": \"%s\",\n  \"sha_backend\": \"%s\",\n",
+               crypto::AesBackendName(crypto::ActiveAesBackend()),
+               crypto::ShaBackendName(crypto::ActiveShaBackend()));
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& c = rows[i].costs;
+    std::fprintf(
+        f,
+        "    {\"protocol\": \"%s\", \"r\": %u, "
+        "\"user_comp_ms_per_user\": %.6f, \"user_comm_bytes_per_user\": %llu, "
+        "\"aux_comp_seconds\": %.6f, \"aux_comm_mb_per_shuffler\": %.6f, "
+        "\"server_comp_seconds\": %.6f, \"server_comm_mb\": %.6f}%s\n",
+        rows[i].protocol, rows[i].r, c.user_comp_ms_per_user,
+        static_cast<unsigned long long>(c.user_comm_bytes_per_user),
+        c.aux_comp_seconds, c.aux_comm_mb_per_shuffler, c.server_comp_seconds,
+        c.server_comm_mb, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -99,13 +132,17 @@ int main(int argc, char** argv) {
   ldp::LocalHash oracle(4.0, d, 16, "SOLH");
   data::Dataset ds = data::MakeZipfDataset("bench", n, d, 1.0, 20200802);
 
-  ThreadPool pool;
+  ThreadPool pool(ThreadPool::DefaultNumThreads());
   std::printf("== Table III: SS vs PEOS overhead (n=%llu, fakes=%llu, "
-              "Paillier %zu-bit, %s, %u threads) ==\n\n",
+              "Paillier %zu-bit, %s, %u threads) ==\n",
               static_cast<unsigned long long>(n),
               static_cast<unsigned long long>(fakes), paillier_bits,
               exact_crypto ? "exact crypto" : "randomizer pool",
               pool.num_threads());
+  std::printf("== crypto backends: AES=%s SHA=%s; SS onion encryption uses "
+              "the batched ECIES path ==\n\n",
+              crypto::AesBackendName(crypto::ActiveAesBackend()),
+              crypto::ShaBackendName(crypto::ActiveShaBackend()));
 
   std::vector<Row> rows;
   crypto::SecureRandom rng(uint64_t{31337});
@@ -140,6 +177,15 @@ int main(int argc, char** argv) {
   }
 
   PrintTable(rows, n);
+
+  const std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    if (!WriteJson(json_path, rows, n, pool.num_threads())) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
 
   std::printf(
       "\nExpected shape (paper Table III): PEOS aux computation is orders\n"

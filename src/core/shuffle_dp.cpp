@@ -31,7 +31,9 @@ Result<shuffle::PeosResult> ShuffleDpCollector::Collect(
   config.fake_reports = plan_.n_r;
   config.paillier_bits = options_.paillier_bits;
   config.use_randomizer_pool = options_.use_randomizer_pool;
-  config.pool = options_.pool;
+  // Default to the shared process pool (sized by SHUFFLEDP_THREADS) so the
+  // full-crypto path is parallel out of the box; Options::pool overrides.
+  config.pool = options_.pool != nullptr ? options_.pool : &GlobalThreadPool();
   return shuffle::RunPeos(*oracle_, values, config, rng);
 }
 

@@ -2,6 +2,11 @@
 
 #include <cstring>
 
+#if defined(__x86_64__) || defined(__i386__)
+#define SHUFFLEDP_AESNI_COMPILED 1
+#include <immintrin.h>
+#endif
+
 namespace shuffledp {
 namespace crypto {
 
@@ -72,9 +77,125 @@ inline uint8_t GfMul(uint8_t x, uint8_t y) {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// AES-NI backend. Key expansion is shared with the portable path (it runs
+// once per key and is cheap); the per-block transforms use the hardware
+// instructions. Compiled with a function-level target attribute so the
+// translation unit itself needs no -maes flag, and only executed after a
+// runtime CPUID check.
+// ---------------------------------------------------------------------------
+
+#ifdef SHUFFLEDP_AESNI_COMPILED
+
+__attribute__((target("aes,sse2"))) void AesNiInvertRoundKeys(
+    const uint8_t enc[176], uint8_t dec[176]) {
+  // Equivalent Inverse Cipher (FIPS 197 §5.3.5): reversed round keys with
+  // InvMixColumns applied to the middle nine.
+  __m128i k;
+  k = _mm_loadu_si128(reinterpret_cast<const __m128i*>(enc + 160));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(dec), k);
+  for (int i = 1; i <= 9; ++i) {
+    k = _mm_loadu_si128(reinterpret_cast<const __m128i*>(enc + 16 * (10 - i)));
+    k = _mm_aesimc_si128(k);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dec + 16 * i), k);
+  }
+  k = _mm_loadu_si128(reinterpret_cast<const __m128i*>(enc));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(dec + 160), k);
+}
+
+__attribute__((target("aes,sse2"))) void AesNiEncryptBlocks(
+    const uint8_t rk[176], const uint8_t* in, uint8_t* out, size_t nblocks) {
+  __m128i k[11];
+  for (int i = 0; i < 11; ++i) {
+    k[i] = _mm_loadu_si128(reinterpret_cast<const __m128i*>(rk + 16 * i));
+  }
+  // Four blocks in flight to cover the aesenc latency.
+  while (nblocks >= 4) {
+    __m128i b0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+    __m128i b1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 16));
+    __m128i b2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 32));
+    __m128i b3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in + 48));
+    b0 = _mm_xor_si128(b0, k[0]);
+    b1 = _mm_xor_si128(b1, k[0]);
+    b2 = _mm_xor_si128(b2, k[0]);
+    b3 = _mm_xor_si128(b3, k[0]);
+    for (int r = 1; r <= 9; ++r) {
+      b0 = _mm_aesenc_si128(b0, k[r]);
+      b1 = _mm_aesenc_si128(b1, k[r]);
+      b2 = _mm_aesenc_si128(b2, k[r]);
+      b3 = _mm_aesenc_si128(b3, k[r]);
+    }
+    b0 = _mm_aesenclast_si128(b0, k[10]);
+    b1 = _mm_aesenclast_si128(b1, k[10]);
+    b2 = _mm_aesenclast_si128(b2, k[10]);
+    b3 = _mm_aesenclast_si128(b3, k[10]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out), b0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 16), b1);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 32), b2);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + 48), b3);
+    in += 64;
+    out += 64;
+    nblocks -= 4;
+  }
+  while (nblocks > 0) {
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+    b = _mm_xor_si128(b, k[0]);
+    for (int r = 1; r <= 9; ++r) b = _mm_aesenc_si128(b, k[r]);
+    b = _mm_aesenclast_si128(b, k[10]);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out), b);
+    in += 16;
+    out += 16;
+    --nblocks;
+  }
+}
+
+__attribute__((target("aes,sse2"))) void AesNiDecryptBlock(
+    const uint8_t dk[176], const uint8_t in[16], uint8_t out[16]) {
+  __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  b = _mm_xor_si128(b, _mm_loadu_si128(reinterpret_cast<const __m128i*>(dk)));
+  for (int r = 1; r <= 9; ++r) {
+    b = _mm_aesdec_si128(
+        b, _mm_loadu_si128(reinterpret_cast<const __m128i*>(dk + 16 * r)));
+  }
+  b = _mm_aesdeclast_si128(
+      b, _mm_loadu_si128(reinterpret_cast<const __m128i*>(dk + 160)));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), b);
+}
+
+bool CpuHasAesNi() { return __builtin_cpu_supports("aes"); }
+
+#else
+
+bool CpuHasAesNi() { return false; }
+
+#endif  // SHUFFLEDP_AESNI_COMPILED
+
+AesBackend& BackendOverride() {
+  static AesBackend backend = BestAesBackend();
+  return backend;
+}
+
 }  // namespace
 
-Aes128::Aes128(const std::array<uint8_t, kKeySize>& key) {
+AesBackend BestAesBackend() {
+  return CpuHasAesNi() ? AesBackend::kAesNi : AesBackend::kPortable;
+}
+
+AesBackend ActiveAesBackend() { return BackendOverride(); }
+
+void SetAesBackend(AesBackend backend) {
+  if (backend == AesBackend::kAesNi && !CpuHasAesNi()) {
+    backend = AesBackend::kPortable;
+  }
+  BackendOverride() = backend;
+}
+
+const char* AesBackendName(AesBackend backend) {
+  return backend == AesBackend::kAesNi ? "aesni" : "portable";
+}
+
+Aes128::Aes128(const std::array<uint8_t, kKeySize>& key)
+    : backend_(ActiveAesBackend()) {
   std::memcpy(round_keys_, key.data(), 16);
   for (int i = 4; i < 44; ++i) {
     uint8_t temp[4];
@@ -92,9 +213,20 @@ Aes128::Aes128(const std::array<uint8_t, kKeySize>& key) {
           static_cast<uint8_t>(round_keys_[4 * (i - 4) + j] ^ temp[j]);
     }
   }
+#ifdef SHUFFLEDP_AESNI_COMPILED
+  if (backend_ == AesBackend::kAesNi) {
+    AesNiInvertRoundKeys(round_keys_, dec_round_keys_);
+  }
+#endif
 }
 
 void Aes128::EncryptBlock(const uint8_t in[16], uint8_t out[16]) const {
+#ifdef SHUFFLEDP_AESNI_COMPILED
+  if (backend_ == AesBackend::kAesNi) {
+    AesNiEncryptBlocks(round_keys_, in, out, 1);
+    return;
+  }
+#endif
   uint8_t s[16];
   for (int i = 0; i < 16; ++i) s[i] = in[i] ^ round_keys_[i];
 
@@ -123,7 +255,26 @@ void Aes128::EncryptBlock(const uint8_t in[16], uint8_t out[16]) const {
   std::memcpy(out, s, 16);
 }
 
+void Aes128::EncryptBlocks(const uint8_t* in, uint8_t* out,
+                           size_t nblocks) const {
+#ifdef SHUFFLEDP_AESNI_COMPILED
+  if (backend_ == AesBackend::kAesNi) {
+    AesNiEncryptBlocks(round_keys_, in, out, nblocks);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < nblocks; ++i) {
+    EncryptBlock(in + 16 * i, out + 16 * i);
+  }
+}
+
 void Aes128::DecryptBlock(const uint8_t in[16], uint8_t out[16]) const {
+#ifdef SHUFFLEDP_AESNI_COMPILED
+  if (backend_ == AesBackend::kAesNi) {
+    AesNiDecryptBlock(dec_round_keys_, in, out);
+    return;
+  }
+#endif
   uint8_t s[16];
   for (int i = 0; i < 16; ++i) s[i] = in[i] ^ round_keys_[160 + i];
 
@@ -211,19 +362,24 @@ Bytes AesCtrCrypt(const std::array<uint8_t, 16>& key,
                   uint32_t initial_counter) {
   Aes128 aes(key);
   Bytes out(data.size());
-  uint8_t counter_block[16];
-  std::memcpy(counter_block, nonce.data(), 12);
   uint32_t counter = initial_counter;
-  uint8_t keystream[16];
-  for (size_t off = 0; off < data.size(); off += 16) {
-    counter_block[12] = static_cast<uint8_t>(counter >> 24);
-    counter_block[13] = static_cast<uint8_t>(counter >> 16);
-    counter_block[14] = static_cast<uint8_t>(counter >> 8);
-    counter_block[15] = static_cast<uint8_t>(counter);
-    ++counter;
-    aes.EncryptBlock(counter_block, keystream);
-    size_t chunk = std::min<size_t>(16, data.size() - off);
-    for (size_t i = 0; i < chunk; ++i) {
+  // Generate keystream in batches so the AES-NI backend can pipeline.
+  constexpr size_t kBatchBlocks = 16;
+  uint8_t counters[16 * kBatchBlocks];
+  uint8_t keystream[16 * kBatchBlocks];
+  for (size_t off = 0; off < data.size(); off += 16 * kBatchBlocks) {
+    size_t bytes = std::min<size_t>(16 * kBatchBlocks, data.size() - off);
+    size_t blocks = (bytes + 15) / 16;
+    for (size_t b = 0; b < blocks; ++b) {
+      std::memcpy(counters + 16 * b, nonce.data(), 12);
+      counters[16 * b + 12] = static_cast<uint8_t>(counter >> 24);
+      counters[16 * b + 13] = static_cast<uint8_t>(counter >> 16);
+      counters[16 * b + 14] = static_cast<uint8_t>(counter >> 8);
+      counters[16 * b + 15] = static_cast<uint8_t>(counter);
+      ++counter;
+    }
+    aes.EncryptBlocks(counters, keystream, blocks);
+    for (size_t i = 0; i < bytes; ++i) {
       out[off + i] = data[off + i] ^ keystream[i];
     }
   }

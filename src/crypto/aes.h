@@ -3,11 +3,18 @@
 // Used for the symmetric layer of the sequential-shuffle (SS) onion
 // encryption: the paper encrypts each report with a fresh AES-128-CBC key
 // and wraps that key with elliptic-curve ElGamal (our ECIES; see ecies.h).
+//
+// Two block-cipher backends sit behind one interface: hardware AES-NI
+// (selected at runtime via CPUID) and the original table-based portable
+// code. ECIES and every other caller pick the backend up transparently
+// through Aes128; tests can pin the portable backend with SetAesBackend
+// so both implementations run on any host.
 
 #ifndef SHUFFLEDP_CRYPTO_AES_H_
 #define SHUFFLEDP_CRYPTO_AES_H_
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "util/bytes.h"
@@ -16,13 +23,34 @@
 namespace shuffledp {
 namespace crypto {
 
+/// Block-cipher implementation choices.
+enum class AesBackend {
+  kPortable,  ///< table-based software AES (always available)
+  kAesNi,     ///< x86 AES-NI instructions
+};
+
+/// The fastest backend supported by this CPU.
+AesBackend BestAesBackend();
+
+/// Backend that newly constructed Aes128 instances will use.
+AesBackend ActiveAesBackend();
+
+/// Overrides the backend for subsequently constructed instances. Requests
+/// for kAesNi silently degrade to kPortable when the CPU lacks support,
+/// so forced-fallback tests are safe everywhere. Not thread-safe against
+/// concurrent Aes128 construction; intended for tests and benchmarks.
+void SetAesBackend(AesBackend backend);
+
+/// Human-readable backend name ("aesni" / "portable").
+const char* AesBackendName(AesBackend backend);
+
 /// AES-128 block cipher with an expanded key schedule.
 class Aes128 {
  public:
   static constexpr size_t kBlockSize = 16;
   static constexpr size_t kKeySize = 16;
 
-  /// Expands the 16-byte `key`.
+  /// Expands the 16-byte `key` using the active backend.
   explicit Aes128(const std::array<uint8_t, kKeySize>& key);
 
   /// Encrypts one 16-byte block in place (out may alias in).
@@ -31,9 +59,20 @@ class Aes128 {
   /// Decrypts one 16-byte block.
   void DecryptBlock(const uint8_t in[16], uint8_t out[16]) const;
 
+  /// Encrypts `nblocks` independent 16-byte blocks (ECB layout). The
+  /// AES-NI backend pipelines four blocks in flight; CTR mode is built on
+  /// this. `out` may alias `in`.
+  void EncryptBlocks(const uint8_t* in, uint8_t* out, size_t nblocks) const;
+
+  /// Backend this instance was constructed with.
+  AesBackend backend() const { return backend_; }
+
  private:
   // 11 round keys of 16 bytes.
   uint8_t round_keys_[176];
+  // Equivalent Inverse Cipher round keys (AES-NI decryption only).
+  uint8_t dec_round_keys_[176];
+  AesBackend backend_;
 };
 
 /// CBC mode with PKCS#7 padding. Output is IV || ciphertext.

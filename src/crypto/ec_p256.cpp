@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstring>
+#include <memory>
 
 #include "crypto/secure_random.h"
 
@@ -183,9 +184,56 @@ const Mont256& FieldCtx() {
   return *ctx;
 }
 
+// -(a) mod p, in the Montgomery domain (negation commutes with the domain).
+Fe FeNeg(const Fe& a) {
+  if (IsZeroFe(a)) return a;
+  Fe out;
+  SubFeRaw(kP, a, &out);
+  return out;
+}
+
+// a^(2^n) by repeated Montgomery squaring.
+Fe MontSqrN(Fe a, int n) {
+  const Mont256& f = FieldCtx();
+  for (int i = 0; i < n; ++i) a = f.MontMul(a, a);
+  return a;
+}
+
+// a^(p-2) = a^-1 via a fixed addition chain (255 squarings, 12 multiplies;
+// ~30% cheaper than square-and-multiply over p-2). Chain (addchain output
+// for the P-256 field prime):
+//   _111 = 7, _111111 = 2^6-1, x12 = 2^12-1, x15, x16, x32 = 2^32-1,
+//   i53 = x32<<15, x47 = 2^47-1,
+//   i263 = ((i53<<17 + 1)<<143 + x47)<<47,
+//   result = (x47 + i263)<<2 + 1  ==  p - 2.
+Fe FeInverse(const Fe& a) {
+  const Mont256& f = FieldCtx();
+  Fe t10 = f.MontMul(a, a);
+  Fe t11 = f.MontMul(t10, a);
+  Fe t110 = f.MontMul(t11, t11);
+  Fe t111 = f.MontMul(t110, a);
+  Fe t111111 = f.MontMul(MontSqrN(t111, 3), t111);
+  Fe x12 = f.MontMul(MontSqrN(t111111, 6), t111111);
+  Fe x15 = f.MontMul(MontSqrN(x12, 3), t111);
+  Fe x16 = f.MontMul(MontSqrN(x15, 1), a);
+  Fe x32 = f.MontMul(MontSqrN(x16, 16), x16);
+  Fe i53 = MontSqrN(x32, 15);
+  Fe x47 = f.MontMul(x15, i53);
+  Fe i263 =
+      MontSqrN(f.MontMul(MontSqrN(f.MontMul(MontSqrN(i53, 17), a), 143), x47),
+               47);
+  return f.MontMul(MontSqrN(f.MontMul(x47, i263), 2), a);
+}
+
 // Jacobian point, coordinates in Montgomery form. Infinity <=> z == 0.
 struct Jacobian {
   Fe x, y, z;
+};
+
+// Affine point in the Montgomery domain (z == 1 implicitly). Only valid
+// for non-infinite points; callers track infinity separately.
+struct AffineMont {
+  Fe x, y;
 };
 
 bool JIsInfinity(const Jacobian& p) { return IsZeroFe(p.z); }
@@ -201,7 +249,7 @@ Jacobian ToJacobian(const P256Point& p) {
 P256Point ToAffine(const Jacobian& p) {
   if (JIsInfinity(p)) return P256Point{};
   const Mont256& f = FieldCtx();
-  Fe zinv = f.MontInverse(p.z);
+  Fe zinv = FeInverse(p.z);
   Fe zinv2 = f.MontMul(zinv, zinv);
   Fe zinv3 = f.MontMul(zinv2, zinv);
   P256Point out;
@@ -268,6 +316,80 @@ Jacobian JAdd(const Jacobian& a, const Jacobian& b) {
   return out;
 }
 
+// Mixed addition a + b with b affine (z2 = 1): saves ~4 multiplications
+// per addition versus JAdd, which is what makes precomputed affine tables
+// worthwhile. `b` must not be the point at infinity.
+Jacobian JAddMixed(const Jacobian& a, const AffineMont& b) {
+  const Mont256& f = FieldCtx();
+  if (JIsInfinity(a)) return Jacobian{b.x, b.y, f.mont_one()};
+  Fe z1z1 = f.MontMul(a.z, a.z);
+  Fe u2 = f.MontMul(b.x, z1z1);
+  Fe s2 = f.MontMul(f.MontMul(b.y, a.z), z1z1);
+  Fe h = f.SubMod(u2, a.x);
+  Fe r = f.SubMod(s2, a.y);
+  if (IsZeroFe(h)) {
+    if (IsZeroFe(r)) return JDouble(a);
+    return JInfinity();
+  }
+  Fe hh = f.MontMul(h, h);
+  Fe hhh = f.MontMul(hh, h);
+  Fe v = f.MontMul(a.x, hh);
+  Fe r2 = f.MontMul(r, r);
+  Jacobian out;
+  out.x = f.SubMod(f.SubMod(r2, hhh), f.AddMod(v, v));
+  out.y = f.SubMod(f.MontMul(r, f.SubMod(v, out.x)), f.MontMul(a.y, hhh));
+  out.z = f.MontMul(a.z, h);
+  return out;
+}
+
+// Montgomery's simultaneous-inversion trick: normalizes `n` Jacobian
+// points to affine (Montgomery-domain) coordinates with a single field
+// inversion plus 3 multiplications per point. infinity[i] is set for
+// inputs with z == 0 (whose out[] entry is untouched).
+void BatchNormalize(const Jacobian* in, size_t n, AffineMont* out,
+                    bool* infinity) {
+  const Mont256& f = FieldCtx();
+  std::vector<Fe> prefix(n);
+  Fe acc = f.mont_one();
+  for (size_t i = 0; i < n; ++i) {
+    prefix[i] = acc;
+    if (!IsZeroFe(in[i].z)) acc = f.MontMul(acc, in[i].z);
+  }
+  Fe inv = FeInverse(acc);
+  for (size_t i = n; i-- > 0;) {
+    if (IsZeroFe(in[i].z)) {
+      infinity[i] = true;
+      continue;
+    }
+    infinity[i] = false;
+    Fe zinv = f.MontMul(inv, prefix[i]);
+    inv = f.MontMul(inv, in[i].z);
+    Fe zinv2 = f.MontMul(zinv, zinv);
+    Fe zinv3 = f.MontMul(zinv2, zinv);
+    out[i].x = f.MontMul(in[i].x, zinv2);
+    out[i].y = f.MontMul(in[i].y, zinv3);
+  }
+}
+
+// Batch conversion all the way to plain-domain affine P256Points.
+std::vector<P256Point> BatchToAffinePoints(const std::vector<Jacobian>& in) {
+  const Mont256& f = FieldCtx();
+  std::vector<AffineMont> aff(in.size());
+  std::unique_ptr<bool[]> inf(new bool[in.size() + 1]);
+  if (!in.empty()) {
+    BatchNormalize(in.data(), in.size(), aff.data(), inf.get());
+  }
+  std::vector<P256Point> out(in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    if (inf[i]) continue;  // default-constructed P256Point is infinity
+    out[i].infinity = false;
+    out[i].x = f.FromMont(aff[i].x);
+    out[i].y = f.FromMont(aff[i].y);
+  }
+  return out;
+}
+
+// Reference double-and-add ladder (the seed implementation).
 Jacobian JScalarMult(const Scalar256& k, const Jacobian& p) {
   Jacobian acc = JInfinity();
   bool started = false;
@@ -279,6 +401,190 @@ Jacobian JScalarMult(const Scalar256& k, const Jacobian& p) {
     }
   }
   return started ? acc : JInfinity();
+}
+
+// ---------------------------------------------------------------------------
+// Fixed-base comb for the generator.
+//
+// Write k = sum_{j=0}^{31} 2^j (D_lo(j) + 2^32 D_hi(j)) with the 4-bit
+// digits D_lo(j) built from bits {j, j+64, j+128, j+192} of k and D_hi(j)
+// from bits {j+32, j+96, j+160, j+224}. Precomputing
+//   lo[b] = (b0 + b1 2^64 + b2 2^128 + b3 2^192) G      (b = b3b2b1b0)
+//   hi[b] = 2^32 lo[b]
+// reduces k*G to 31 doublings plus at most 64 mixed additions.
+// ---------------------------------------------------------------------------
+
+struct CombTable {
+  AffineMont lo[16];
+  AffineMont hi[16];
+};
+
+const CombTable& BaseCombTable() {
+  static const CombTable* table = [] {
+    auto* t = new CombTable();
+    // Basis points 2^(64*tooth) G and 2^(64*tooth + 32) G.
+    Jacobian basis_lo[4], basis_hi[4];
+    basis_lo[0] = ToJacobian(P256::Generator());
+    for (int tooth = 0; tooth < 4; ++tooth) {
+      basis_hi[tooth] = basis_lo[tooth];
+      for (int i = 0; i < 32; ++i) basis_hi[tooth] = JDouble(basis_hi[tooth]);
+      if (tooth + 1 < 4) {
+        basis_lo[tooth + 1] = basis_hi[tooth];
+        for (int i = 0; i < 32; ++i) {
+          basis_lo[tooth + 1] = JDouble(basis_lo[tooth + 1]);
+        }
+      }
+    }
+    Jacobian jl[16], jh[16];
+    jl[0] = jh[0] = JInfinity();
+    for (int b = 1; b < 16; ++b) {
+      jl[b] = JInfinity();
+      jh[b] = JInfinity();
+      for (int tooth = 0; tooth < 4; ++tooth) {
+        if (b & (1 << tooth)) {
+          jl[b] = JAdd(jl[b], basis_lo[tooth]);
+          jh[b] = JAdd(jh[b], basis_hi[tooth]);
+        }
+      }
+    }
+    // One batched normalization for all 30 non-trivial entries.
+    Jacobian all[30];
+    AffineMont aff[30];
+    bool inf[30];
+    for (int b = 1; b < 16; ++b) {
+      all[b - 1] = jl[b];
+      all[14 + b] = jh[b];
+    }
+    BatchNormalize(all, 30, aff, inf);
+    for (int b = 1; b < 16; ++b) {
+      t->lo[b] = aff[b - 1];
+      t->hi[b] = aff[14 + b];
+    }
+    return t;
+  }();
+  return *table;
+}
+
+inline uint32_t ScalarBit(const Scalar256& k, int i) {
+  return static_cast<uint32_t>((k[i >> 6] >> (i & 63)) & 1);
+}
+
+// Constant-time scan of a 16-entry table: every entry is read and masked
+// regardless of `idx`. idx must be in [1, 15]; index 0 (infinity) is never
+// selected because zero digits skip the addition entirely.
+AffineMont CtSelect16(const AffineMont* table, uint32_t idx) {
+  AffineMont out{};
+  for (uint32_t i = 1; i < 16; ++i) {
+    u64 mask = (static_cast<u64>(i ^ idx) - 1) >> 63;  // 1 iff i == idx
+    mask = static_cast<u64>(0) - mask;                 // all-ones iff match
+    for (int j = 0; j < 4; ++j) {
+      out.x[j] |= table[i].x[j] & mask;
+      out.y[j] |= table[i].y[j] & mask;
+    }
+  }
+  return out;
+}
+
+Jacobian CombBaseMultJ(const Scalar256& k) {
+  const CombTable& t = BaseCombTable();
+  Jacobian acc = JInfinity();
+  for (int j = 31; j >= 0; --j) {
+    acc = JDouble(acc);
+    uint32_t dlo = ScalarBit(k, j) | (ScalarBit(k, j + 64) << 1) |
+                   (ScalarBit(k, j + 128) << 2) | (ScalarBit(k, j + 192) << 3);
+    uint32_t dhi = ScalarBit(k, j + 32) | (ScalarBit(k, j + 96) << 1) |
+                   (ScalarBit(k, j + 160) << 2) |
+                   (ScalarBit(k, j + 224) << 3);
+    if (dlo != 0) acc = JAddMixed(acc, CtSelect16(t.lo, dlo));
+    if (dhi != 0) acc = JAddMixed(acc, CtSelect16(t.hi, dhi));
+  }
+  return acc;
+}
+
+// ---------------------------------------------------------------------------
+// Width-5 wNAF for variable points: digits are zero or odd in [-15, 15],
+// with at least 4 zeros between nonzero digits (expected density 1/6).
+// ---------------------------------------------------------------------------
+
+constexpr int kWnafWidth = 5;
+constexpr int kWnafMaxDigits = 260;  // 256-bit scalar + borrow headroom
+
+// Recodes k into wNAF digits (little-endian); returns the digit count.
+int WnafRecode(const Scalar256& k, int8_t* digits) {
+  u64 x[5] = {k[0], k[1], k[2], k[3], 0};
+  int len = 0;
+  auto is_zero = [&x] { return (x[0] | x[1] | x[2] | x[3] | x[4]) == 0; };
+  while (!is_zero()) {
+    int8_t d = 0;
+    if (x[0] & 1) {
+      int v = static_cast<int>(x[0] & ((1u << kWnafWidth) - 1));
+      if (v >= (1 << (kWnafWidth - 1))) v -= 1 << kWnafWidth;
+      d = static_cast<int8_t>(v);
+      if (v > 0) {
+        // x -= v
+        u64 borrow = static_cast<u64>(v);
+        for (int i = 0; i < 5 && borrow; ++i) {
+          u64 prev = x[i];
+          x[i] -= borrow;
+          borrow = x[i] > prev ? 1 : 0;
+        }
+      } else {
+        // x += -v
+        u64 carry = static_cast<u64>(-v);
+        for (int i = 0; i < 5 && carry; ++i) {
+          x[i] += carry;
+          carry = x[i] < carry ? 1 : 0;
+        }
+      }
+    }
+    digits[len++] = d;
+    for (int i = 0; i < 4; ++i) x[i] = (x[i] >> 1) | (x[i + 1] << 63);
+    x[4] >>= 1;
+  }
+  return len;
+}
+
+// k * P with a precomputed affine odd-multiple table {1,3,...,15}P.
+Jacobian WnafMultMixed(const AffineMont* odd, const Scalar256& k) {
+  int8_t digits[kWnafMaxDigits];
+  int len = WnafRecode(k, digits);
+  Jacobian acc = JInfinity();
+  for (int i = len - 1; i >= 0; --i) {
+    acc = JDouble(acc);
+    int d = digits[i];
+    if (d > 0) {
+      acc = JAddMixed(acc, odd[(d - 1) >> 1]);
+    } else if (d < 0) {
+      const AffineMont& e = odd[(-d - 1) >> 1];
+      acc = JAddMixed(acc, AffineMont{e.x, FeNeg(e.y)});
+    }
+  }
+  return acc;
+}
+
+// One-shot k * P: wNAF over a Jacobian odd-multiple table. Skipping the
+// table normalization (one inversion) beats the cheaper mixed additions
+// when the table is used for a single scalar.
+Jacobian WnafMultOneShot(const Scalar256& k, const Jacobian& p) {
+  if (JIsInfinity(p)) return JInfinity();
+  Jacobian odd[8];
+  odd[0] = p;
+  Jacobian p2 = JDouble(p);
+  for (int i = 1; i < 8; ++i) odd[i] = JAdd(odd[i - 1], p2);
+  int8_t digits[kWnafMaxDigits];
+  int len = WnafRecode(k, digits);
+  Jacobian acc = JInfinity();
+  for (int i = len - 1; i >= 0; --i) {
+    acc = JDouble(acc);
+    int d = digits[i];
+    if (d > 0) {
+      acc = JAdd(acc, odd[(d - 1) >> 1]);
+    } else if (d < 0) {
+      const Jacobian& e = odd[(-d - 1) >> 1];
+      acc = JAdd(acc, Jacobian{e.x, FeNeg(e.y), e.z});
+    }
+  }
+  return acc;
 }
 
 }  // namespace
@@ -298,11 +604,77 @@ P256Point P256::Add(const P256Point& a, const P256Point& b) {
 }
 
 P256Point P256::ScalarMult(const Scalar256& k, const P256Point& p) {
-  return ToAffine(JScalarMult(k, ToJacobian(p)));
+  return ToAffine(WnafMultOneShot(k, ToJacobian(p)));
 }
 
 P256Point P256::ScalarBaseMult(const Scalar256& k) {
-  return ScalarMult(k, Generator());
+  return ToAffine(CombBaseMultJ(k));
+}
+
+std::vector<P256Point> P256::ScalarBaseMultBatch(
+    const std::vector<Scalar256>& ks) {
+  std::vector<Jacobian> points;
+  points.reserve(ks.size());
+  for (const Scalar256& k : ks) points.push_back(CombBaseMultJ(k));
+  return BatchToAffinePoints(points);
+}
+
+P256Point P256::ScalarMultReference(const Scalar256& k, const P256Point& p) {
+  return ToAffine(JScalarMult(k, ToJacobian(p)));
+}
+
+P256Point P256::ScalarBaseMultReference(const Scalar256& k) {
+  return ScalarMultReference(k, Generator());
+}
+
+P256Precomputed::P256Precomputed(const P256Point& p) : point_(p) {
+  if (p.infinity) return;
+  infinity_ = false;
+  Jacobian jp = ToJacobian(p);
+  Jacobian jodd[8];
+  jodd[0] = jp;
+  Jacobian p2 = JDouble(jp);
+  for (int i = 1; i < 8; ++i) jodd[i] = JAdd(jodd[i - 1], p2);
+  AffineMont aff[8];
+  bool inf[8];
+  BatchNormalize(jodd, 8, aff, inf);
+  for (int i = 0; i < 8; ++i) {
+    // Odd multiples of a non-infinite point of prime order are never
+    // infinite, so aff[i] is always populated.
+    odd_[i].x = aff[i].x;
+    odd_[i].y = aff[i].y;
+  }
+}
+
+namespace {
+
+// The header-visible Entry mirrors AffineMont; rebuild the table in the
+// internal type (a 512-byte copy, negligible next to the field math).
+std::array<AffineMont, 8> OddTable(
+    const std::array<P256Precomputed::Entry, 8>& odd) {
+  std::array<AffineMont, 8> table;
+  for (int i = 0; i < 8; ++i) {
+    table[i].x = odd[i].x;
+    table[i].y = odd[i].y;
+  }
+  return table;
+}
+
+}  // namespace
+
+P256Point P256Precomputed::Mult(const Scalar256& k) const {
+  if (infinity_) return P256Point{};
+  return ToAffine(WnafMultMixed(OddTable(odd_).data(), k));
+}
+
+std::vector<P256Point> P256Precomputed::MultBatch(
+    const std::vector<Scalar256>& ks) const {
+  if (infinity_) return std::vector<P256Point>(ks.size());
+  std::array<AffineMont, 8> table = OddTable(odd_);
+  std::vector<Jacobian> points;
+  points.reserve(ks.size());
+  for (const Scalar256& k : ks) points.push_back(WnafMultMixed(table.data(), k));
+  return BatchToAffinePoints(points);
 }
 
 bool P256::IsOnCurve(const P256Point& p) {

@@ -6,15 +6,35 @@
 // Montgomery (CIOS) multiplication, Jacobian point arithmetic with the
 // a = -3 doubling formulas, and uncompressed SEC1 serialization.
 //
-// Not constant-time: this library is a research simulation, not a TLS
-// stack; timing side channels are out of scope (the paper likewise assumes
-// "no side channels such as timing information", §V-B).
+// Scalar multiplication is tiered for the per-report hot path:
+//
+//  * ScalarBaseMult uses a fixed-base comb: the generator's multiples
+//    2^(32h+64t) G are combined into two 16-entry tables (4 teeth x 64-bit
+//    stride, split in halves), so k*G costs 31 doublings plus at most 64
+//    mixed additions. The table lookup is a constant-time scan (every
+//    entry is touched with masked selection).
+//  * ScalarMult on a variable point uses width-5 wNAF with 8 precomputed
+//    odd multiples {1,3,...,15}P: ~256 doublings plus ~43 signed mixed
+//    additions. P256Precomputed caches the (batch-normalized) odd-multiple
+//    table so repeated multiplications against one point — e.g. a batch of
+//    ECIES reports to one recipient — skip the precomputation.
+//  * Batch variants (ScalarBaseMultBatch, P256Precomputed::MultBatch)
+//    convert all results Jacobian->affine with Montgomery's simultaneous
+//    inversion: one field inversion per batch instead of one per point.
+//  * ScalarMultReference / ScalarBaseMultReference keep the original
+//    double-and-add ladder as an independent cross-check for tests.
+//
+// Aside from the fixed-base table scan, the implementation is not
+// hardened against timing side channels: this library is a research
+// simulation, not a TLS stack (the paper likewise assumes "no side
+// channels such as timing information", §V-B).
 
 #ifndef SHUFFLEDP_CRYPTO_EC_P256_H_
 #define SHUFFLEDP_CRYPTO_EC_P256_H_
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "util/bytes.h"
 #include "util/status.h"
@@ -55,11 +75,21 @@ class P256 {
   /// Point addition (handles doubling and infinity).
   static P256Point Add(const P256Point& a, const P256Point& b);
 
-  /// Scalar multiplication k * P (double-and-add).
+  /// Scalar multiplication k * P (width-5 wNAF).
   static P256Point ScalarMult(const Scalar256& k, const P256Point& p);
 
-  /// k * G.
+  /// k * G via the fixed-base comb table.
   static P256Point ScalarBaseMult(const Scalar256& k);
+
+  /// k_i * G for every scalar, sharing the comb table and batching the
+  /// Jacobian->affine conversion (one inversion per call).
+  static std::vector<P256Point> ScalarBaseMultBatch(
+      const std::vector<Scalar256>& ks);
+
+  /// Reference double-and-add ladder (the original implementation), kept
+  /// as an independent oracle for cross-checking the comb/wNAF paths.
+  static P256Point ScalarMultReference(const Scalar256& k, const P256Point& p);
+  static P256Point ScalarBaseMultReference(const Scalar256& k);
 
   /// True iff `p` satisfies the curve equation (or is infinity).
   static bool IsOnCurve(const P256Point& p);
@@ -72,6 +102,36 @@ class P256 {
 
   /// Uniform scalar in [1, n-1].
   static Scalar256 RandomScalar(SecureRandom* rng);
+};
+
+/// Reusable width-5 wNAF precomputation for one fixed point. Construction
+/// builds (and batch-normalizes) the odd-multiple table once; Mult and
+/// MultBatch then run with cheap mixed additions. Immutable after
+/// construction and safe to share across threads.
+class P256Precomputed {
+ public:
+  explicit P256Precomputed(const P256Point& p);
+
+  const P256Point& point() const { return point_; }
+
+  /// k * P.
+  P256Point Mult(const Scalar256& k) const;
+
+  /// k_i * P for every scalar, with one batched affine conversion.
+  std::vector<P256Point> MultBatch(const std::vector<Scalar256>& ks) const;
+
+  // Odd multiples {1,3,...,15}P in affine coordinates, Montgomery domain.
+  // Public only so the implementation can convert to its internal field
+  // type; not part of the supported API surface.
+  struct Entry {
+    Scalar256 x;
+    Scalar256 y;
+  };
+
+ private:
+  P256Point point_;
+  std::array<Entry, 8> odd_{};
+  bool infinity_ = true;
 };
 
 /// Converts a scalar to/from 32 big-endian bytes.

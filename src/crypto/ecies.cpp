@@ -4,6 +4,7 @@
 
 #include "crypto/aes.h"
 #include "crypto/sha256.h"
+#include "util/thread_pool.h"
 
 namespace shuffledp {
 namespace crypto {
@@ -26,6 +27,17 @@ void DeriveKeyIv(const P256Point& shared, std::array<uint8_t, 16>* key,
   std::memcpy(iv->data(), digest.data() + 16, 16);
 }
 
+// Assembles R || IV || CBC(ciphertext) from the already-computed points.
+Bytes AssembleBlob(const P256Point& r_point, const P256Point& shared,
+                   const Bytes& plaintext) {
+  std::array<uint8_t, 16> key, iv;
+  DeriveKeyIv(shared, &key, &iv);
+  Bytes out = P256::Serialize(r_point);
+  Bytes ct = AesCbcEncrypt(key, iv, plaintext);
+  out.insert(out.end(), ct.begin(), ct.end());
+  return out;
+}
+
 }  // namespace
 
 Bytes EciesEncrypt(const P256Point& recipient, const Bytes& plaintext,
@@ -33,13 +45,41 @@ Bytes EciesEncrypt(const P256Point& recipient, const Bytes& plaintext,
   Scalar256 ephemeral = P256::RandomScalar(rng);
   P256Point r_point = P256::ScalarBaseMult(ephemeral);
   P256Point shared = P256::ScalarMult(ephemeral, recipient);
+  return AssembleBlob(r_point, shared, plaintext);
+}
 
-  std::array<uint8_t, 16> key, iv;
-  DeriveKeyIv(shared, &key, &iv);
+std::vector<Bytes> EciesEncryptBatch(const P256Point& recipient,
+                                     const std::vector<Bytes>& plaintexts,
+                                     SecureRandom* rng, ThreadPool* pool) {
+  const size_t n = plaintexts.size();
+  std::vector<Bytes> out(n);
+  if (n == 0) return out;
 
-  Bytes out = P256::Serialize(r_point);
-  Bytes ct = AesCbcEncrypt(key, iv, plaintext);
-  out.insert(out.end(), ct.begin(), ct.end());
+  // Ephemeral scalars come from the caller's rng serially (SecureRandom is
+  // not thread-safe); all the heavy arithmetic below is embarrassingly
+  // parallel over disjoint chunks.
+  std::vector<Scalar256> ephemerals(n);
+  for (size_t i = 0; i < n; ++i) ephemerals[i] = P256::RandomScalar(rng);
+
+  // One wNAF table for the recipient, shared by every report in the batch.
+  P256Precomputed recipient_table(recipient);
+
+  auto encrypt_range = [&](uint64_t lo, uint64_t hi) {
+    std::vector<Scalar256> ks(ephemerals.begin() + lo, ephemerals.begin() + hi);
+    // Batched affine conversions: one simultaneous inversion for the
+    // ephemeral public points, one for the shared secrets.
+    std::vector<P256Point> r_points = P256::ScalarBaseMultBatch(ks);
+    std::vector<P256Point> shared = recipient_table.MultBatch(ks);
+    for (uint64_t i = lo; i < hi; ++i) {
+      out[i] = AssembleBlob(r_points[i - lo], shared[i - lo], plaintexts[i]);
+    }
+  };
+
+  if (pool != nullptr && pool->num_threads() > 1 && n > 1) {
+    pool->ParallelFor(0, n, encrypt_range);
+  } else {
+    encrypt_range(0, n);
+  }
   return out;
 }
 
@@ -70,6 +110,16 @@ Bytes OnionEncrypt(const std::vector<P256Point>& layers, const Bytes& payload,
     blob = EciesEncrypt(layers[i], blob, rng);
   }
   return blob;
+}
+
+std::vector<Bytes> OnionEncryptBatch(const std::vector<P256Point>& layers,
+                                     const std::vector<Bytes>& payloads,
+                                     SecureRandom* rng, ThreadPool* pool) {
+  std::vector<Bytes> blobs = payloads;
+  for (size_t i = layers.size(); i-- > 0;) {
+    blobs = EciesEncryptBatch(layers[i], blobs, rng, pool);
+  }
+  return blobs;
 }
 
 Result<Bytes> OnionPeel(const Scalar256& private_key, const Bytes& blob) {

@@ -7,9 +7,19 @@
 //
 //   0x04 || R.x || R.y   (65 bytes, ephemeral public point)
 //   IV || CBC ciphertext (16 + padded length)
+//
+// The per-report hot path is the batched encryptor: EciesEncryptBatch
+// reuses the generator's fixed-base comb for every ephemeral key, builds
+// the recipient's wNAF table once per batch, converts all ephemeral and
+// shared points to affine with one Montgomery simultaneous inversion per
+// chunk, and optionally fans chunks out over a ThreadPool. OnionEncrypt /
+// OnionEncryptBatch wrap layered recipients for the sequential-shuffle
+// protocol. Single-shot EciesEncrypt remains byte-compatible.
 
 #ifndef SHUFFLEDP_CRYPTO_ECIES_H_
 #define SHUFFLEDP_CRYPTO_ECIES_H_
+
+#include <vector>
 
 #include "crypto/ec_p256.h"
 #include "crypto/secure_random.h"
@@ -17,6 +27,9 @@
 #include "util/status.h"
 
 namespace shuffledp {
+
+class ThreadPool;
+
 namespace crypto {
 
 /// An ECIES key pair.
@@ -32,6 +45,16 @@ EciesKeyPair EciesGenerateKeyPair(SecureRandom* rng);
 Bytes EciesEncrypt(const P256Point& recipient, const Bytes& plaintext,
                    SecureRandom* rng);
 
+/// Encrypts each plaintext to `recipient` with an independent ephemeral
+/// key (output[i] decrypts exactly like EciesEncrypt(recipient,
+/// plaintexts[i])), amortizing the elliptic-curve precomputation across
+/// the batch. Ephemeral scalars are drawn serially from `rng`; the point
+/// arithmetic and symmetric work run on `pool` when one is supplied.
+std::vector<Bytes> EciesEncryptBatch(const P256Point& recipient,
+                                     const std::vector<Bytes>& plaintexts,
+                                     SecureRandom* rng,
+                                     ThreadPool* pool = nullptr);
+
 /// Decrypts a blob produced by EciesEncrypt.
 Result<Bytes> EciesDecrypt(const Scalar256& private_key, const Bytes& blob);
 
@@ -44,6 +67,14 @@ constexpr size_t kEciesOverhead = 65 + 16;
 /// (the server).
 Bytes OnionEncrypt(const std::vector<P256Point>& layers, const Bytes& payload,
                    SecureRandom* rng);
+
+/// Onion-encrypts every payload, batching each layer's ECIES pass across
+/// all reports (one recipient table + batched affine conversions per
+/// layer). Equivalent to mapping OnionEncrypt over `payloads`.
+std::vector<Bytes> OnionEncryptBatch(const std::vector<P256Point>& layers,
+                                     const std::vector<Bytes>& payloads,
+                                     SecureRandom* rng,
+                                     ThreadPool* pool = nullptr);
 
 /// Removes one onion layer.
 Result<Bytes> OnionPeel(const Scalar256& private_key, const Bytes& blob);

@@ -2,6 +2,12 @@
 
 #include <cstring>
 
+#if defined(__x86_64__) || defined(__i386__)
+#define SHUFFLEDP_SHANI_COMPILED 1
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
+
 namespace shuffledp {
 namespace crypto {
 
@@ -22,7 +28,187 @@ constexpr uint32_t kK[64] = {
 
 inline uint32_t Rotr(uint32_t x, int r) { return (x >> r) | (x << (32 - r)); }
 
+// ---------------------------------------------------------------------------
+// SHA-NI backend: the FIPS 180-4 compression function expressed with the
+// x86 SHA extensions (sha256rnds2 runs two rounds; sha256msg1/msg2 compute
+// the message schedule). Compiled behind a function-level target attribute
+// and only executed after a runtime CPUID check.
+// ---------------------------------------------------------------------------
+
+#ifdef SHUFFLEDP_SHANI_COMPILED
+
+bool CpuHasShaNi() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ebx & (1u << 29)) != 0;  // CPUID.(7,0):EBX.SHA
+}
+
+__attribute__((target("sha,ssse3,sse4.1"))) void ShaNiProcessBlocks(
+    uint32_t state[8], const uint8_t* data, size_t nblocks) {
+  const __m128i kShuffleMask =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // Repack h0..h7 into the ABEF / CDGH register layout SHA-NI expects.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);          // CDAB
+  state1 = _mm_shuffle_epi32(state1, 0x1B);    // EFGH
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);   // ABEF
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);        // CDGH
+
+  while (nblocks > 0) {
+    const __m128i abef_save = state0;
+    const __m128i cdgh_save = state1;
+    __m128i msg, msgtmp;
+    __m128i msg0, msg1, msg2, msg3;
+
+    // Rounds 0-3.
+    msg0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data)), kShuffleMask);
+    msg = _mm_add_epi32(
+        msg0, _mm_set_epi64x(0xE9B5DBA5B5C0FBCFULL, 0x71374491428A2F98ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 4-7.
+    msg1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)),
+        kShuffleMask);
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0xAB1C5ED5923F82A4ULL, 0x59F111F13956C25BULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+    // Rounds 8-11.
+    msg2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)),
+        kShuffleMask);
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0x550C7DC3243185BEULL, 0x12835B01D807AA98ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+    // Rounds 12-15 onward follow one template: feed the schedule with
+    // msg2/msg1 and advance four message registers cyclically.
+    msg3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)),
+        kShuffleMask);
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0xC19BF1749BDC06A7ULL, 0x80DEB1FE72BE5D74ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg3, msg2, 4);
+    msg0 = _mm_add_epi32(msg0, msgtmp);
+    msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+    msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+#define SHUFFLEDP_SHA_ROUND4(ma, mb, mc, md, k_hi, k_lo)          \
+  msg = _mm_add_epi32(ma, _mm_set_epi64x(k_hi, k_lo));            \
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);            \
+  msgtmp = _mm_alignr_epi8(ma, md, 4);                            \
+  mb = _mm_add_epi32(mb, msgtmp);                                 \
+  mb = _mm_sha256msg2_epu32(mb, ma);                              \
+  msg = _mm_shuffle_epi32(msg, 0x0E);                             \
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);            \
+  md = _mm_sha256msg1_epu32(md, ma)
+
+    SHUFFLEDP_SHA_ROUND4(msg0, msg1, msg2, msg3, 0x240CA1CC0FC19DC6ULL,
+                         0xEFBE4786E49B69C1ULL);  // rounds 16-19
+    SHUFFLEDP_SHA_ROUND4(msg1, msg2, msg3, msg0, 0x76F988DA5CB0A9DCULL,
+                         0x4A7484AA2DE92C6FULL);  // rounds 20-23
+    SHUFFLEDP_SHA_ROUND4(msg2, msg3, msg0, msg1, 0xBF597FC7B00327C8ULL,
+                         0xA831C66D983E5152ULL);  // rounds 24-27
+    SHUFFLEDP_SHA_ROUND4(msg3, msg0, msg1, msg2, 0x1429296706CA6351ULL,
+                         0xD5A79147C6E00BF3ULL);  // rounds 28-31
+    SHUFFLEDP_SHA_ROUND4(msg0, msg1, msg2, msg3, 0x53380D134D2C6DFCULL,
+                         0x2E1B213827B70A85ULL);  // rounds 32-35
+    SHUFFLEDP_SHA_ROUND4(msg1, msg2, msg3, msg0, 0x92722C8581C2C92EULL,
+                         0x766A0ABB650A7354ULL);  // rounds 36-39
+    SHUFFLEDP_SHA_ROUND4(msg2, msg3, msg0, msg1, 0xC76C51A3C24B8B70ULL,
+                         0xA81A664BA2BFE8A1ULL);  // rounds 40-43
+    SHUFFLEDP_SHA_ROUND4(msg3, msg0, msg1, msg2, 0x106AA070F40E3585ULL,
+                         0xD6990624D192E819ULL);  // rounds 44-47
+    SHUFFLEDP_SHA_ROUND4(msg0, msg1, msg2, msg3, 0x34B0BCB52748774CULL,
+                         0x1E376C0819A4C116ULL);  // rounds 48-51
+#undef SHUFFLEDP_SHA_ROUND4
+
+    // Rounds 52-55 (schedule no longer needs msg1).
+    msg = _mm_add_epi32(
+        msg1, _mm_set_epi64x(0x682E6FF35B9CCA4FULL, 0x4ED8AA4A391C0CB3ULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg1, msg0, 4);
+    msg2 = _mm_add_epi32(msg2, msgtmp);
+    msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 56-59.
+    msg = _mm_add_epi32(
+        msg2, _mm_set_epi64x(0x8CC7020884C87814ULL, 0x78A5636F748F82EEULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msgtmp = _mm_alignr_epi8(msg2, msg1, 4);
+    msg3 = _mm_add_epi32(msg3, msgtmp);
+    msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    // Rounds 60-63.
+    msg = _mm_add_epi32(
+        msg3, _mm_set_epi64x(0xC67178F2BEF9A3F7ULL, 0xA4506CEB90BEFFFAULL));
+    state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+    msg = _mm_shuffle_epi32(msg, 0x0E);
+    state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+    state0 = _mm_add_epi32(state0, abef_save);
+    state1 = _mm_add_epi32(state1, cdgh_save);
+    data += 64;
+    --nblocks;
+  }
+
+  // Repack ABEF / CDGH back to h0..h7.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);       // FEBA
+  state1 = _mm_shuffle_epi32(state1, 0xB1);    // DCHG
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0); // DCBA
+  state1 = _mm_alignr_epi8(state1, tmp, 8);    // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+#else
+
+bool CpuHasShaNi() { return false; }
+
+#endif  // SHUFFLEDP_SHANI_COMPILED
+
+ShaBackend& ShaBackendOverride() {
+  static ShaBackend backend = BestShaBackend();
+  return backend;
+}
+
 }  // namespace
+
+ShaBackend BestShaBackend() {
+  return CpuHasShaNi() ? ShaBackend::kShaNi : ShaBackend::kPortable;
+}
+
+ShaBackend ActiveShaBackend() { return ShaBackendOverride(); }
+
+void SetShaBackend(ShaBackend backend) {
+  if (backend == ShaBackend::kShaNi && !CpuHasShaNi()) {
+    backend = ShaBackend::kPortable;
+  }
+  ShaBackendOverride() = backend;
+}
+
+const char* ShaBackendName(ShaBackend backend) {
+  return backend == ShaBackend::kShaNi ? "shani" : "portable";
+}
 
 Sha256::Sha256() { Reset(); }
 
@@ -39,7 +225,23 @@ void Sha256::Reset() {
   buffered_ = 0;
 }
 
+void Sha256::ProcessBlocks(const uint8_t* data, size_t nblocks) {
+#ifdef SHUFFLEDP_SHANI_COMPILED
+  if (ActiveShaBackend() == ShaBackend::kShaNi) {
+    ShaNiProcessBlocks(h_, data, nblocks);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < nblocks; ++i) ProcessBlock(data + 64 * i);
+}
+
 void Sha256::ProcessBlock(const uint8_t block[64]) {
+#ifdef SHUFFLEDP_SHANI_COMPILED
+  if (ActiveShaBackend() == ShaBackend::kShaNi) {
+    ShaNiProcessBlocks(h_, block, 1);
+    return;
+  }
+#endif
   uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = (static_cast<uint32_t>(block[4 * i]) << 24) |
@@ -97,10 +299,11 @@ void Sha256::Update(const void* data, size_t len) {
       buffered_ = 0;
     }
   }
-  while (len >= 64) {
-    ProcessBlock(p);
-    p += 64;
-    len -= 64;
+  if (len >= 64) {
+    size_t nblocks = len / 64;
+    ProcessBlocks(p, nblocks);
+    p += 64 * nblocks;
+    len -= 64 * nblocks;
   }
   if (len > 0) {
     std::memcpy(buffer_, p, len);

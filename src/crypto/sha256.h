@@ -1,9 +1,15 @@
 // SHA-256 (FIPS 180-4), used as the KDF inside ECIES onion layers.
+//
+// The compression function dispatches at runtime to the x86 SHA
+// extensions (SHA-NI) when the CPU supports them, with the portable
+// scalar rounds as fallback; tests can pin the portable path with
+// SetShaBackend so both implementations run everywhere.
 
 #ifndef SHUFFLEDP_CRYPTO_SHA256_H_
 #define SHUFFLEDP_CRYPTO_SHA256_H_
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -11,6 +17,25 @@
 
 namespace shuffledp {
 namespace crypto {
+
+/// Compression-function implementation choices.
+enum class ShaBackend {
+  kPortable,  ///< scalar FIPS 180-4 rounds (always available)
+  kShaNi,     ///< x86 SHA extensions
+};
+
+/// The fastest backend supported by this CPU.
+ShaBackend BestShaBackend();
+
+/// Backend used by subsequent Sha256 operations.
+ShaBackend ActiveShaBackend();
+
+/// Overrides the backend; kShaNi silently degrades to kPortable when the
+/// CPU lacks the SHA extensions. Intended for tests and benchmarks.
+void SetShaBackend(ShaBackend backend);
+
+/// Human-readable backend name ("shani" / "portable").
+const char* ShaBackendName(ShaBackend backend);
 
 /// Incremental SHA-256.
 class Sha256 {
@@ -39,6 +64,7 @@ class Sha256 {
 
  private:
   void ProcessBlock(const uint8_t block[64]);
+  void ProcessBlocks(const uint8_t* data, size_t nblocks);
 
   uint32_t h_[8];
   uint64_t total_len_ = 0;

@@ -111,14 +111,14 @@ Result<PeosResult> RunPeos(const ldp::ScalarFrequencyOracle& oracle,
   // --- Shufflers create fake-report shares ----------------------------------
   {
     ComputeScope scope(&ledger, Role::kShuffler);
-    Rng fake_rng(rng->NextU64());
-    std::mutex status_mu;
-    Status enc_status = Status::OK();
+    // Every shuffler contributes one uniform share; the sum over honest
+    // shufflers is uniform regardless of what malicious ones pick
+    // (Algorithm 1 + §VI-A2 masking argument). Shares are drawn serially
+    // from the protocol rng; the Paillier encryptions of shuffler r's
+    // column are independent per row and run on the thread pool.
+    std::vector<uint64_t> share_r_column(config.fake_reports);
     for (uint64_t k = 0; k < config.fake_reports; ++k) {
       const uint64_t row = n + k;
-      // Every shuffler contributes one uniform share; the sum over honest
-      // shufflers is uniform regardless of what malicious ones pick
-      // (Algorithm 1 + §VI-A2 masking argument).
       for (uint32_t j = 0; j + 1 < r; ++j) {
         uint64_t share =
             behaviours[j] == PeosShufflerBehaviour::kBiasedFakeShares
@@ -126,23 +126,41 @@ Result<PeosResult> RunPeos(const ldp::ScalarFrequencyOracle& oracle,
                 : (rng->NextU64() & mask);
         state.plain.columns[j][row] = share;
       }
-      uint64_t share_r =
+      share_r_column[k] =
           behaviours[r - 1] == PeosShufflerBehaviour::kBiasedFakeShares
               ? (config.poison_target_packed & mask)
               : (rng->NextU64() & mask);
-      Result<crypto::PaillierCiphertext> c =
-          pool != nullptr ? Result<crypto::PaillierCiphertext>(
-                                pool->EncryptFastU64(share_r, rng))
-                          : server_keys.pub.EncryptU64(share_r, rng);
-      if (!c.ok()) {
-        std::lock_guard<std::mutex> lock(status_mu);
-        enc_status = c.status();
-        break;
+    }
+    std::mutex status_mu;
+    Status enc_status = Status::OK();
+    auto encrypt_range = [&](uint64_t lo, uint64_t hi, uint64_t seed) {
+      crypto::SecureRandom local_sec(seed ^ 0xFA4E5EEDULL);
+      for (uint64_t k = lo; k < hi; ++k) {
+        Result<crypto::PaillierCiphertext> c =
+            pool != nullptr
+                ? Result<crypto::PaillierCiphertext>(
+                      pool->EncryptFastU64(share_r_column[k], &local_sec))
+                : server_keys.pub.EncryptU64(share_r_column[k], &local_sec);
+        if (!c.ok()) {
+          std::lock_guard<std::mutex> lock(status_mu);
+          enc_status = c.status();
+          return;
+        }
+        state.cipher_column[n + k] = std::move(c).value();
       }
-      state.cipher_column[row] = std::move(c).value();
+    };
+    if (config.pool != nullptr) {
+      uint64_t base_seed = rng->NextU64();
+      config.pool->ParallelFor(0, config.fake_reports,
+                               [&](uint64_t lo, uint64_t hi) {
+                                 encrypt_range(
+                                     lo, hi,
+                                     base_seed ^ (lo * 0x9E3779B97F4A7C15ULL));
+                               });
+    } else {
+      encrypt_range(0, config.fake_reports, rng->NextU64());
     }
     if (!enc_status.ok()) return enc_status;
-    (void)fake_rng;
   }
 
   // --- EOS -------------------------------------------------------------------

@@ -61,26 +61,33 @@ Result<SequentialShuffleResult> RunSequentialShuffle(
   const Bytes spot_key = rng->RandomBytes(32);
 
   // --- User phase: encode + onion encrypt ----------------------------------
-  std::vector<Bytes> in_flight(n);
+  // Encoding stays a per-chunk loop (cheap, deterministic per seed); the
+  // onion layers run through the batched ECIES path, which shares the
+  // fixed-base comb, builds each recipient's wNAF table once, and batches
+  // the affine conversions across all reports.
+  std::vector<Bytes> in_flight;
   {
     ComputeScope scope(&ledger, Role::kUser);
-    auto encrypt_range = [&](uint64_t lo, uint64_t hi, uint64_t seed) {
+    std::vector<Bytes> payloads(n);
+    auto encode_range = [&](uint64_t lo, uint64_t hi, uint64_t seed) {
       Rng local_rng(seed);
       crypto::SecureRandom local_sec(seed ^ 0x5331AFULL);
       for (uint64_t i = lo; i < hi; ++i) {
         ldp::LdpReport rep = oracle.Encode(values[i], &local_rng);
-        Bytes payload = MakePayload(ldp::PackReport(rep), local_sec.NextU64());
-        in_flight[i] = crypto::OnionEncrypt(layers, payload, &local_sec);
+        payloads[i] = MakePayload(ldp::PackReport(rep), local_sec.NextU64());
       }
     };
     if (config.pool != nullptr) {
       uint64_t base_seed = rng->NextU64();
       config.pool->ParallelFor(0, n, [&](uint64_t lo, uint64_t hi) {
-        encrypt_range(lo, hi, base_seed ^ (lo * 0x9E3779B97F4A7C15ULL));
+        encode_range(lo, hi, base_seed ^ (lo * 0x9E3779B97F4A7C15ULL));
       });
     } else {
-      encrypt_range(0, n, rng->NextU64());
+      encode_range(0, n, rng->NextU64());
     }
+    crypto::SecureRandom onion_rng = rng->Fork();
+    in_flight =
+        crypto::OnionEncryptBatch(layers, payloads, &onion_rng, config.pool);
   }
 
   // Spot-check dummies: the server plants accounts whose payloads it can
@@ -97,10 +104,13 @@ Result<SequentialShuffleResult> RunSequentialShuffle(
       auto mac = crypto::HmacSha256(spot_key, nonce.Release());
       uint64_t tag;
       std::memcpy(&tag, mac.data(), sizeof(tag));
-      Bytes payload = MakePayload(ldp::PackReport(rep), tag);
-      dummy_payloads.push_back(payload);
-      in_flight.push_back(crypto::OnionEncrypt(layers, payload, rng));
+      dummy_payloads.push_back(MakePayload(ldp::PackReport(rep), tag));
     }
+    std::vector<Bytes> dummy_blobs =
+        crypto::OnionEncryptBatch(layers, dummy_payloads, rng, config.pool);
+    in_flight.insert(in_flight.end(),
+                     std::make_move_iterator(dummy_blobs.begin()),
+                     std::make_move_iterator(dummy_blobs.end()));
   }
 
   // Users -> first shuffler.
@@ -151,11 +161,13 @@ Result<SequentialShuffleResult> RunSequentialShuffle(
       case ShufflerBehaviour::kReplaceReports: {
         ldp::LdpReport target;
         target.value = static_cast<uint32_t>(config.poison_target_value);
-        for (auto& blob : in_flight) {
-          Bytes payload =
-              MakePayload(ldp::PackReport(target), fake_sec.NextU64());
-          blob = crypto::OnionEncrypt(remaining_layers, payload, &fake_sec);
+        std::vector<Bytes> poison_payloads(in_flight.size());
+        for (auto& payload : poison_payloads) {
+          payload = MakePayload(ldp::PackReport(target), fake_sec.NextU64());
         }
+        in_flight = crypto::OnionEncryptBatch(remaining_layers,
+                                              poison_payloads, &fake_sec,
+                                              config.pool);
         break;
       }
       case ShufflerBehaviour::kDropReports: {
@@ -175,6 +187,7 @@ Result<SequentialShuffleResult> RunSequentialShuffle(
     uint64_t quota = (j + 1 == r)
                          ? config.fake_reports_total - fakes_injected
                          : fakes_per_shuffler;
+    std::vector<Bytes> fake_payloads(quota);
     for (uint64_t k = 0; k < quota; ++k) {
       ldp::LdpReport rep;
       if (behaviours[j] == ShufflerBehaviour::kBiasedFakes) {
@@ -182,10 +195,13 @@ Result<SequentialShuffleResult> RunSequentialShuffle(
       } else {
         rep = oracle.MakeFakeReport(&misc_rng);
       }
-      Bytes payload = MakePayload(ldp::PackReport(rep), fake_sec.NextU64());
-      in_flight.push_back(
-          crypto::OnionEncrypt(remaining_layers, payload, &fake_sec));
+      fake_payloads[k] = MakePayload(ldp::PackReport(rep), fake_sec.NextU64());
     }
+    std::vector<Bytes> fake_blobs = crypto::OnionEncryptBatch(
+        remaining_layers, fake_payloads, &fake_sec, config.pool);
+    in_flight.insert(in_flight.end(),
+                     std::make_move_iterator(fake_blobs.begin()),
+                     std::make_move_iterator(fake_blobs.end()));
     fakes_injected += quota;
 
     // Shuffle.

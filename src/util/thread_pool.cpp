@@ -1,8 +1,19 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
 
 namespace shuffledp {
+
+namespace {
+
+// Which pool (if any) owns the current thread; lets ParallelFor detect
+// nested invocations from its own workers and run them inline instead of
+// deadlocking against the occupied worker slot.
+thread_local const ThreadPool* t_owner_pool = nullptr;
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned num_threads) {
   if (num_threads == 0) {
@@ -37,22 +48,57 @@ void ThreadPool::WaitIdle() {
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+bool ThreadPool::InWorkerThread() const { return t_owner_pool == this; }
+
+unsigned ThreadPool::DefaultNumThreads() {
+  if (const char* env = std::getenv("SHUFFLEDP_THREADS")) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 4096) {
+      return static_cast<unsigned>(v);
+    }
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
 void ThreadPool::ParallelFor(
     uint64_t begin, uint64_t end,
     const std::function<void(uint64_t, uint64_t)>& body) {
   if (begin >= end) return;
+  if (InWorkerThread()) {
+    // Nested call from one of our own workers: dispatching to the pool
+    // would wait on a worker slot this thread occupies. Run inline.
+    body(begin, end);
+    return;
+  }
   const uint64_t total = end - begin;
   const uint64_t chunks =
       std::min<uint64_t>(total, static_cast<uint64_t>(num_threads()) * 4);
   const uint64_t step = (total + chunks - 1) / chunks;
+
+  // Per-call completion latch: ParallelFor must not return while its own
+  // chunks run, but should not wait on unrelated tasks either.
+  struct Latch {
+    std::mutex m;
+    std::condition_variable cv;
+    uint64_t remaining;
+  } latch;
+  latch.remaining = (total + step - 1) / step;
+
   for (uint64_t lo = begin; lo < end; lo += step) {
     uint64_t hi = std::min(end, lo + step);
-    Submit([&body, lo, hi] { body(lo, hi); });
+    Submit([&body, &latch, lo, hi] {
+      body(lo, hi);
+      std::lock_guard<std::mutex> lock(latch.m);
+      if (--latch.remaining == 0) latch.cv.notify_all();
+    });
   }
-  WaitIdle();
+  std::unique_lock<std::mutex> lock(latch.m);
+  latch.cv.wait(lock, [&latch] { return latch.remaining == 0; });
 }
 
 void ThreadPool::WorkerLoop() {
+  t_owner_pool = this;
   for (;;) {
     std::function<void()> task;
     {
@@ -71,7 +117,7 @@ void ThreadPool::WorkerLoop() {
 }
 
 ThreadPool& GlobalThreadPool() {
-  static ThreadPool* pool = new ThreadPool();
+  static ThreadPool* pool = new ThreadPool(ThreadPool::DefaultNumThreads());
   return *pool;
 }
 

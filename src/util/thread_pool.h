@@ -35,9 +35,21 @@ class ThreadPool {
 
   /// Splits [begin, end) into contiguous chunks and runs `body(lo, hi)` on
   /// the pool, blocking until done. `body` must be thread-safe across
-  /// disjoint ranges.
+  /// disjoint ranges. Completion is tracked per call, so concurrent
+  /// ParallelFor invocations do not wait on each other's tasks. When
+  /// called from one of this pool's own worker threads the range runs
+  /// inline instead (a nested dispatch would deadlock waiting for the
+  /// occupied worker).
   void ParallelFor(uint64_t begin, uint64_t end,
                    const std::function<void(uint64_t, uint64_t)>& body);
+
+  /// True iff the calling thread is one of this pool's workers.
+  bool InWorkerThread() const;
+
+  /// Worker count for GlobalThreadPool(): the SHUFFLEDP_THREADS
+  /// environment variable when set to a positive integer, otherwise
+  /// hardware concurrency.
+  static unsigned DefaultNumThreads();
 
  private:
   void WorkerLoop();
@@ -51,7 +63,8 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Process-wide shared pool (lazily constructed).
+/// Process-wide shared pool (lazily constructed; sized by
+/// ThreadPool::DefaultNumThreads, i.e. SHUFFLEDP_THREADS when set).
 ThreadPool& GlobalThreadPool();
 
 }  // namespace shuffledp

@@ -1,0 +1,121 @@
+// Coverage for the batched ECIES report-encryption API: every blob from
+// EciesEncryptBatch / OnionEncryptBatch must decrypt exactly like its
+// single-shot counterpart, with and without a thread pool.
+
+#include "crypto/ecies.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace shuffledp {
+namespace crypto {
+namespace {
+
+std::vector<Bytes> MakePlaintexts(size_t n) {
+  std::vector<Bytes> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = Bytes(16 + i % 48, static_cast<uint8_t>(i * 7 + 1));
+  }
+  return out;
+}
+
+TEST(EciesBatchTest, BatchRoundTripsThroughSingleShotDecrypt) {
+  SecureRandom rng(uint64_t{211});
+  auto kp = EciesGenerateKeyPair(&rng);
+  auto plaintexts = MakePlaintexts(40);
+  auto blobs = EciesEncryptBatch(kp.public_key, plaintexts, &rng);
+  ASSERT_EQ(blobs.size(), plaintexts.size());
+  for (size_t i = 0; i < blobs.size(); ++i) {
+    auto back = EciesDecrypt(kp.private_key, blobs[i]);
+    ASSERT_TRUE(back.ok()) << "index " << i;
+    EXPECT_EQ(*back, plaintexts[i]) << "index " << i;
+  }
+}
+
+TEST(EciesBatchTest, BlobFormatMatchesSingleShot) {
+  SecureRandom rng(uint64_t{223});
+  auto kp = EciesGenerateKeyPair(&rng);
+  Bytes msg(32, 0x5A);
+  Bytes single = EciesEncrypt(kp.public_key, msg, &rng);
+  auto batch = EciesEncryptBatch(kp.public_key, {msg}, &rng);
+  ASSERT_EQ(batch.size(), 1u);
+  // Fresh ephemeral keys make the bytes differ, but structure must match.
+  EXPECT_EQ(batch[0].size(), single.size());
+  EXPECT_EQ(batch[0][0], 0x04);
+  EXPECT_NE(batch[0], single);
+}
+
+TEST(EciesBatchTest, EphemeralKeysAreIndependent) {
+  SecureRandom rng(uint64_t{227});
+  auto kp = EciesGenerateKeyPair(&rng);
+  Bytes msg(24, 0x11);
+  auto blobs = EciesEncryptBatch(kp.public_key, {msg, msg, msg}, &rng);
+  EXPECT_NE(blobs[0], blobs[1]);
+  EXPECT_NE(blobs[1], blobs[2]);
+  // Distinct ephemeral points, not just distinct ciphertexts.
+  EXPECT_NE(Bytes(blobs[0].begin(), blobs[0].begin() + 65),
+            Bytes(blobs[1].begin(), blobs[1].begin() + 65));
+}
+
+TEST(EciesBatchTest, EmptyBatchAndEmptyPlaintext) {
+  SecureRandom rng(uint64_t{229});
+  auto kp = EciesGenerateKeyPair(&rng);
+  EXPECT_TRUE(EciesEncryptBatch(kp.public_key, {}, &rng).empty());
+  auto blobs = EciesEncryptBatch(kp.public_key, {Bytes{}}, &rng);
+  ASSERT_EQ(blobs.size(), 1u);
+  auto back = EciesDecrypt(kp.private_key, blobs[0]);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(EciesBatchTest, ParallelBatchMatchesSerialSemantics) {
+  ThreadPool pool(4);
+  SecureRandom rng(uint64_t{233});
+  auto kp = EciesGenerateKeyPair(&rng);
+  auto plaintexts = MakePlaintexts(64);
+  auto blobs = EciesEncryptBatch(kp.public_key, plaintexts, &rng, &pool);
+  ASSERT_EQ(blobs.size(), plaintexts.size());
+  for (size_t i = 0; i < blobs.size(); ++i) {
+    auto back = EciesDecrypt(kp.private_key, blobs[i]);
+    ASSERT_TRUE(back.ok()) << "index " << i;
+    EXPECT_EQ(*back, plaintexts[i]) << "index " << i;
+  }
+}
+
+TEST(EciesBatchTest, OnionBatchPeelsLikeSingleShotOnion) {
+  ThreadPool pool(2);
+  SecureRandom rng(uint64_t{239});
+  auto kp1 = EciesGenerateKeyPair(&rng);
+  auto kp2 = EciesGenerateKeyPair(&rng);
+  auto kp3 = EciesGenerateKeyPair(&rng);
+  std::vector<P256Point> layers = {kp1.public_key, kp2.public_key,
+                                   kp3.public_key};
+  auto payloads = MakePlaintexts(12);
+  auto onions = OnionEncryptBatch(layers, payloads, &rng, &pool);
+  ASSERT_EQ(onions.size(), payloads.size());
+  for (size_t i = 0; i < onions.size(); ++i) {
+    auto l1 = OnionPeel(kp1.private_key, onions[i]);
+    ASSERT_TRUE(l1.ok());
+    auto l2 = OnionPeel(kp2.private_key, *l1);
+    ASSERT_TRUE(l2.ok());
+    auto l3 = OnionPeel(kp3.private_key, *l2);
+    ASSERT_TRUE(l3.ok());
+    EXPECT_EQ(*l3, payloads[i]) << "index " << i;
+  }
+}
+
+TEST(EciesBatchTest, WrongKeyStillFails) {
+  SecureRandom rng(uint64_t{241});
+  auto kp = EciesGenerateKeyPair(&rng);
+  auto other = EciesGenerateKeyPair(&rng);
+  auto blobs = EciesEncryptBatch(kp.public_key, {Bytes(32, 1)}, &rng);
+  auto back = EciesDecrypt(other.private_key, blobs[0]);
+  if (back.ok()) EXPECT_NE(*back, Bytes(32, 1));
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace shuffledp

@@ -67,5 +67,69 @@ TEST(ThreadPoolTest, GlobalPoolIsSingleton) {
   EXPECT_GE(a.num_threads(), 1u);
 }
 
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  // A ParallelFor issued from a worker thread must not dispatch back to
+  // the pool (the worker would wait on a slot it occupies itself: with a
+  // single-thread pool this deadlocked before the inline fallback).
+  ThreadPool pool(1);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(0, 4, [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) {
+      pool.ParallelFor(0, 10, [&](uint64_t ilo, uint64_t ihi) {
+        EXPECT_TRUE(pool.InWorkerThread());
+        for (uint64_t j = ilo; j < ihi; ++j) sum.fetch_add(1);
+      });
+    }
+  });
+  EXPECT_EQ(sum.load(), 40u);
+}
+
+TEST(ThreadPoolTest, InWorkerThreadOnlyTrueOnOwnWorkers) {
+  ThreadPool pool(2);
+  ThreadPool other(1);
+  EXPECT_FALSE(pool.InWorkerThread());
+  std::atomic<int> checks{0};
+  pool.ParallelFor(0, 8, [&](uint64_t, uint64_t) {
+    if (pool.InWorkerThread() && !other.InWorkerThread()) checks.fetch_add(1);
+  });
+  EXPECT_GT(checks.load(), 0);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallsComplete) {
+  // Per-call completion latches: two ParallelFor invocations racing on the
+  // same pool must each observe exactly their own chunks.
+  ThreadPool pool(4);
+  std::atomic<uint64_t> a{0}, b{0};
+  std::thread t1([&] {
+    for (int round = 0; round < 20; ++round) {
+      pool.ParallelFor(0, 100, [&](uint64_t lo, uint64_t hi) {
+        a.fetch_add(hi - lo);
+      });
+    }
+  });
+  std::thread t2([&] {
+    for (int round = 0; round < 20; ++round) {
+      pool.ParallelFor(0, 100, [&](uint64_t lo, uint64_t hi) {
+        b.fetch_add(hi - lo);
+      });
+    }
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(a.load(), 2000u);
+  EXPECT_EQ(b.load(), 2000u);
+}
+
+TEST(ThreadPoolTest, DefaultNumThreadsHonoursEnvVar) {
+  ASSERT_EQ(setenv("SHUFFLEDP_THREADS", "3", 1), 0);
+  EXPECT_EQ(ThreadPool::DefaultNumThreads(), 3u);
+  ASSERT_EQ(setenv("SHUFFLEDP_THREADS", "0", 1), 0);  // invalid: fall back
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1u);
+  ASSERT_EQ(setenv("SHUFFLEDP_THREADS", "soup", 1), 0);  // invalid
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1u);
+  ASSERT_EQ(unsetenv("SHUFFLEDP_THREADS"), 0);
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1u);
+}
+
 }  // namespace
 }  // namespace shuffledp
