@@ -7,26 +7,62 @@
 #                              paths)
 #   BENCH_table3.json        - measured Table III rows from
 #                              bench_table3_overhead
+#   BENCH_streaming.json     - streaming-vs-monolithic server ingestion rows
+#                              from bench_streaming_throughput (batched
+#                              pipeline vs the seed's single-pass collect)
 #
-# Usage: bench/run_benches.sh [BUILD_DIR] (default: build)
+# Usage: bench/run_benches.sh [BUILD_DIR] [--smoke]
+#   --smoke: CI-sized inputs (small n everywhere) to verify the benches
+#            still run; the JSON artifacts are only meaningful from a full
+#            (non-smoke) run.
 # Also reachable as `cmake --build build --target run_benches`.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${1:-$ROOT/build}"
+BUILD_DIR="$ROOT/build"
+SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    --*)
+      echo "unknown flag: $arg" >&2
+      echo "usage: bench/run_benches.sh [BUILD_DIR] [--smoke]" >&2
+      exit 2
+      ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
 
 # Default filter keeps the hot-path crypto benchmarks (the Paillier /
 # BigInt suite takes minutes and is unchanged by the EC/AES work); pass
 # MICRO_FILTER='' for everything.
 MICRO_FILTER="${MICRO_FILTER-P256|Ecies|Aes|Sha256|XxHash}"
 TABLE3_N="${TABLE3_N:-2000}"
+STREAMING_FLAGS=""
+if [[ "$SMOKE" == "1" ]]; then
+  TABLE3_N=300
+  STREAMING_FLAGS="--smoke"
+fi
 
-"$BUILD_DIR/bench_micro_crypto" \
-  ${MICRO_FILTER:+--benchmark_filter="$MICRO_FILTER"} \
-  --benchmark_out="$ROOT/BENCH_micro_crypto.json" \
-  --benchmark_out_format=json
+MICRO_TIME_FLAG=""
+if [[ "$SMOKE" == "1" ]]; then
+  # Plain-double form: works on both pre- and post-1.8 google-benchmark.
+  MICRO_TIME_FLAG="--benchmark_min_time=0.01"
+fi
+if [[ -x "$BUILD_DIR/bench_micro_crypto" ]]; then
+  "$BUILD_DIR/bench_micro_crypto" \
+    ${MICRO_FILTER:+--benchmark_filter="$MICRO_FILTER"} \
+    ${MICRO_TIME_FLAG:+"$MICRO_TIME_FLAG"} \
+    --benchmark_out="$ROOT/BENCH_micro_crypto.json" \
+    --benchmark_out_format=json
+else
+  echo "bench_micro_crypto not built (google-benchmark missing); skipping"
+fi
 
 "$BUILD_DIR/bench_table3_overhead" --n="$TABLE3_N" \
   --json="$ROOT/BENCH_table3.json"
 
-echo "wrote $ROOT/BENCH_micro_crypto.json and $ROOT/BENCH_table3.json"
+"$BUILD_DIR/bench_streaming_throughput" $STREAMING_FLAGS \
+  --json="$ROOT/BENCH_streaming.json"
+
+echo "wrote $ROOT/BENCH_micro_crypto.json, $ROOT/BENCH_table3.json and $ROOT/BENCH_streaming.json"

@@ -1,0 +1,284 @@
+// Streaming-vs-monolithic server ingestion throughput.
+//
+// The seed repo collected every report into one in-memory vector and then
+// aggregated it in a single pass; the service layer replaces that with the
+// sharded streaming pipeline (src/service/). This bench measures both
+// architectures on the same inputs and writes the rows run_benches.sh
+// tracks as BENCH_streaming.json:
+//
+//   *-plain  rows: n pre-encoded reports (default n = 10^6, d = 1024 — the
+//            ROADMAP scale target), server-side aggregation only.
+//   *-ecies  rows: enc_n ECIES-encrypted reports (default 20,000), so the
+//            decrypt stage dominates and the pipeline's decode fan-out +
+//            overlap shows up.
+//
+// Flags: --n=1000000, --enc_n=20000, --d=1024, --dprime=16, --eps=3.0,
+// --batch=4096, --queue=64, --shards=0 (auto), --smoke (tiny sizes for CI),
+// --json=PATH.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "crypto/ecies.h"
+#include "crypto/secure_random.h"
+#include "ldp/estimator.h"
+#include "ldp/grr.h"
+#include "ldp/local_hash.h"
+#include "service/streaming_collector.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace shuffledp;
+using bench::Flags;
+
+namespace {
+
+struct Row {
+  std::string mode;
+  std::string oracle;
+  uint64_t n = 0;
+  uint64_t d = 0;
+  double wall_s = 0.0;
+  double rows_per_s = 0.0;
+  uint64_t backpressure_waits = 0;
+  uint64_t queue_high_water = 0;
+};
+
+std::vector<ldp::LdpReport> EncodeAll(const ldp::ScalarFrequencyOracle& oracle,
+                                      uint64_t n, Rng* rng) {
+  std::vector<ldp::LdpReport> reports;
+  reports.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    reports.push_back(oracle.Encode(i % oracle.domain_size(), rng));
+  }
+  return reports;
+}
+
+Row RunMonolithicPlain(const ldp::ScalarFrequencyOracle& oracle,
+                       const std::vector<ldp::LdpReport>& reports,
+                       ThreadPool* pool) {
+  WallTimer timer;
+  auto supports = ldp::SupportCountsFullDomain(oracle, reports, pool);
+  auto estimates =
+      ldp::CalibrateEstimates(oracle, supports, reports.size(), 0);
+  Row row;
+  row.mode = "monolithic-plain";
+  row.oracle = oracle.Name();
+  row.n = reports.size();
+  row.d = oracle.domain_size();
+  row.wall_s = timer.ElapsedSeconds();
+  row.rows_per_s = static_cast<double>(reports.size()) / row.wall_s;
+  // Keep the estimate alive so the whole pass cannot be optimized out.
+  if (estimates.empty()) std::printf("unexpected empty estimate\n");
+  return row;
+}
+
+Row RunStreamingPlain(const ldp::ScalarFrequencyOracle& oracle,
+                      const std::vector<ldp::LdpReport>& reports,
+                      const service::StreamingOptions& opts) {
+  service::StreamingCollector collector(oracle, opts);
+  WallTimer timer;
+  auto offer = collector.OfferReports(reports);
+  auto round = collector.FinishRound(reports.size(), 0,
+                                     service::Calibration::kStandard);
+  Row row;
+  row.mode = "streaming-plain";
+  row.oracle = oracle.Name();
+  row.n = reports.size();
+  row.d = oracle.domain_size();
+  row.wall_s = timer.ElapsedSeconds();
+  row.rows_per_s = static_cast<double>(reports.size()) / row.wall_s;
+  if (!offer.ok() || !round.ok()) {
+    std::fprintf(stderr, "streaming-plain failed: %s\n",
+                 (!offer.ok() ? offer : round.status()).ToString().c_str());
+    return row;
+  }
+  row.backpressure_waits = round->stats.backpressure_waits;
+  row.queue_high_water = round->stats.queue_high_water;
+  return row;
+}
+
+std::vector<Bytes> EncryptAll(const ldp::ScalarFrequencyOracle& oracle,
+                              const std::vector<ldp::LdpReport>& reports,
+                              const crypto::P256Point& server_pub,
+                              crypto::SecureRandom* rng, ThreadPool* pool) {
+  std::vector<Bytes> payloads(reports.size());
+  for (size_t i = 0; i < reports.size(); ++i) {
+    ByteWriter w(16);
+    w.PutU64(ldp::PackReport(reports[i]));
+    w.PutU64(rng->NextU64());
+    payloads[i] = w.Release();
+  }
+  (void)oracle;
+  return crypto::EciesEncryptBatch(server_pub, payloads, rng, pool);
+}
+
+Row RunMonolithicEcies(const ldp::ScalarFrequencyOracle& oracle,
+                       const std::vector<Bytes>& blobs,
+                       const crypto::Scalar256& priv, ThreadPool* pool) {
+  WallTimer timer;
+  std::vector<ldp::LdpReport> reports(blobs.size());
+  pool->ParallelFor(0, blobs.size(), [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t i = lo; i < hi; ++i) {
+      auto payload = crypto::EciesDecrypt(priv, blobs[i]);
+      if (!payload.ok()) continue;
+      ByteReader reader(*payload);
+      auto packed = reader.GetU64();
+      if (packed.ok()) reports[i] = ldp::UnpackReport(*packed);
+    }
+  });
+  auto supports = ldp::SupportCountsFullDomain(oracle, reports, pool);
+  Row row;
+  row.mode = "monolithic-ecies";
+  row.oracle = oracle.Name();
+  row.n = blobs.size();
+  row.d = oracle.domain_size();
+  row.wall_s = timer.ElapsedSeconds();
+  row.rows_per_s = static_cast<double>(blobs.size()) / row.wall_s;
+  if (supports.empty()) std::printf("unexpected empty supports\n");
+  return row;
+}
+
+Row RunStreamingEcies(const ldp::ScalarFrequencyOracle& oracle,
+                      std::vector<Bytes> blobs, const crypto::Scalar256& priv,
+                      const service::StreamingOptions& opts) {
+  service::StreamingCollector collector(oracle, opts);
+  const uint64_t n = blobs.size();
+  auto shared = std::make_shared<std::vector<Bytes>>(std::move(blobs));
+  WallTimer timer;
+  Status offer = collector.OfferIndexed(
+      n, [shared, priv](uint64_t row_index) -> Result<service::DecodedRow> {
+        SHUFFLEDP_ASSIGN_OR_RETURN(
+            Bytes payload, crypto::EciesDecrypt(priv, (*shared)[row_index]));
+        service::DecodedRow row;
+        ByteReader reader(payload);
+        auto packed = reader.GetU64();
+        if (!packed.ok()) return row;
+        row.report = ldp::UnpackReport(*packed);
+        row.valid = true;
+        return row;
+      });
+  auto round = collector.FinishRound(n, 0, service::Calibration::kStandard);
+  Row row;
+  row.mode = "streaming-ecies";
+  row.oracle = oracle.Name();
+  row.n = n;
+  row.d = oracle.domain_size();
+  row.wall_s = timer.ElapsedSeconds();
+  row.rows_per_s = static_cast<double>(n) / row.wall_s;
+  if (!offer.ok() || !round.ok()) {
+    std::fprintf(stderr, "streaming-ecies failed: %s\n",
+                 (!offer.ok() ? offer : round.status()).ToString().c_str());
+    return row;
+  }
+  row.backpressure_waits = round->stats.backpressure_waits;
+  row.queue_high_water = round->stats.queue_high_water;
+  return row;
+}
+
+bool WriteJson(const std::string& path, const std::vector<Row>& rows,
+               unsigned threads) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"bench\": \"streaming_throughput\",\n");
+  std::fprintf(f, "  \"threads\": %u,\n  \"rows\": [\n", threads);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"mode\": \"%s\", \"oracle\": \"%s\", \"n\": %llu, "
+        "\"d\": %llu, \"wall_s\": %.6f, \"rows_per_s\": %.1f, "
+        "\"backpressure_waits\": %llu, \"queue_high_water\": %llu}%s\n",
+        r.mode.c_str(), r.oracle.c_str(),
+        static_cast<unsigned long long>(r.n),
+        static_cast<unsigned long long>(r.d), r.wall_s, r.rows_per_s,
+        static_cast<unsigned long long>(r.backpressure_waits),
+        static_cast<unsigned long long>(r.queue_high_water),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool smoke = flags.GetBool("smoke", false);
+  const uint64_t n = flags.GetU64("n", smoke ? 50000 : 1000000);
+  const uint64_t enc_n = flags.GetU64("enc_n", smoke ? 2000 : 20000);
+  const uint64_t d = flags.GetU64("d", 1024);
+  const uint64_t d_prime = flags.GetU64("dprime", 16);
+  const double eps = flags.GetDouble("eps", 3.0);
+  const std::string json_path = flags.GetString("json", "");
+
+  ThreadPool& pool = GlobalThreadPool();
+  service::StreamingOptions opts;
+  opts.batch_size = flags.GetU64("batch", 4096);
+  opts.queue_capacity = flags.GetU64("queue", 64);
+  opts.num_shards = static_cast<uint32_t>(flags.GetU64("shards", 0));
+  opts.pool = &pool;
+
+  std::printf("streaming_throughput: n=%llu enc_n=%llu d=%llu threads=%u "
+              "batch=%zu queue=%zu\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(enc_n),
+              static_cast<unsigned long long>(d), pool.num_threads(),
+              opts.batch_size, opts.queue_capacity);
+
+  std::vector<Row> rows;
+  Rng rng(20260729);
+
+  // Plain rows: GRR (histogram fast path) and SOLH (hash support scan).
+  {
+    ldp::Grr grr(eps, d);
+    auto reports = EncodeAll(grr, n, &rng);
+    rows.push_back(RunMonolithicPlain(grr, reports, &pool));
+    rows.push_back(RunStreamingPlain(grr, reports, opts));
+  }
+  {
+    ldp::LocalHash solh(eps, d, d_prime, "SOLH");
+    auto reports = EncodeAll(solh, n, &rng);
+    rows.push_back(RunMonolithicPlain(solh, reports, &pool));
+    rows.push_back(RunStreamingPlain(solh, reports, opts));
+  }
+
+  // Encrypted rows: the decrypt stage dominates.
+  {
+    ldp::Grr grr(eps, d);
+    crypto::SecureRandom sec(uint64_t{42});
+    auto kp = crypto::EciesGenerateKeyPair(&sec);
+    auto reports = EncodeAll(grr, enc_n, &rng);
+    auto blobs = EncryptAll(grr, reports, kp.public_key, &sec, &pool);
+    rows.push_back(RunMonolithicEcies(grr, blobs, kp.private_key, &pool));
+    rows.push_back(
+        RunStreamingEcies(grr, std::move(blobs), kp.private_key, opts));
+  }
+
+  std::printf("\n%-18s %-6s %10s %6s %10s %14s %8s %6s\n", "mode", "oracle",
+              "n", "d", "wall_s", "rows_per_s", "waits", "hwm");
+  for (const Row& r : rows) {
+    std::printf("%-18s %-6s %10llu %6llu %10.3f %14.0f %8llu %6llu\n",
+                r.mode.c_str(), r.oracle.c_str(),
+                static_cast<unsigned long long>(r.n),
+                static_cast<unsigned long long>(r.d), r.wall_s, r.rows_per_s,
+                static_cast<unsigned long long>(r.backpressure_waits),
+                static_cast<unsigned long long>(r.queue_high_water));
+  }
+
+  if (!json_path.empty()) {
+    if (!WriteJson(json_path, rows, pool.num_threads())) {
+      std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

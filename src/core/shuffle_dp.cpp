@@ -1,5 +1,8 @@
 #include "core/shuffle_dp.h"
 
+#include <algorithm>
+#include <memory>
+
 #include "ldp/estimator.h"
 #include "ldp/fast_sim.h"
 #include "ldp/grr.h"
@@ -31,10 +34,70 @@ Result<shuffle::PeosResult> ShuffleDpCollector::Collect(
   config.fake_reports = plan_.n_r;
   config.paillier_bits = options_.paillier_bits;
   config.use_randomizer_pool = options_.use_randomizer_pool;
+  config.streaming = options_.streaming;
   // Default to the shared process pool (sized by SHUFFLEDP_THREADS) so the
   // full-crypto path is parallel out of the box; Options::pool overrides.
   config.pool = options_.pool != nullptr ? options_.pool : &GlobalThreadPool();
   return shuffle::RunPeos(*oracle_, values, config, rng);
+}
+
+Result<service::RoundResult> ShuffleDpCollector::CollectStreaming(
+    const std::vector<uint64_t>& values, Rng* rng) const {
+  const uint64_t n = values.size();
+  if (n == 0) return Status::InvalidArgument("CollectStreaming: empty dataset");
+
+  service::StreamingOptions stream_opts = options_.streaming;
+  stream_opts.pool =
+      options_.pool != nullptr ? options_.pool : &GlobalThreadPool();
+  service::StreamingCollector collector(*oracle_, stream_opts);
+  const size_t batch_size = std::max<size_t>(1, stream_opts.batch_size);
+
+  // User reports: encoded batch by batch on the producer side while the
+  // collector's consumer counts earlier batches. Seeds derive from the
+  // batch start index, so the stream is reproducible for any pool size.
+  const uint64_t base_seed = rng->NextU64();
+  for (uint64_t lo = 0; lo < n; lo += batch_size) {
+    const uint64_t hi = std::min<uint64_t>(n, lo + batch_size);
+    Rng batch_rng(base_seed ^ (lo * 0x9E3779B97F4A7C15ULL));
+    std::vector<ldp::LdpReport> reports;
+    reports.reserve(hi - lo);
+    for (uint64_t i = lo; i < hi; ++i) {
+      reports.push_back(oracle_->Encode(values[i], &batch_rng));
+    }
+    SHUFFLEDP_RETURN_NOT_OK(
+        collector.Offer(service::MakePlainBatch(std::move(reports))));
+  }
+
+  // Fake blanket: n_r uniform ordinals, decoded through the same path the
+  // PEOS server uses (padding ordinals drop as invalid rows).
+  const unsigned bits = oracle_->PackedBits();
+  const uint64_t fake_seed = rng->NextU64();
+  for (uint64_t lo = 0; lo < plan_.n_r; lo += batch_size) {
+    const uint64_t hi = std::min<uint64_t>(plan_.n_r, lo + batch_size);
+    Rng batch_rng(fake_seed ^ (lo * 0x9E3779B97F4A7C15ULL + 1));
+    auto ordinals = std::make_shared<std::vector<uint64_t>>();
+    ordinals->reserve(hi - lo);
+    for (uint64_t i = lo; i < hi; ++i) {
+      ordinals->push_back(bits >= 64
+                              ? batch_rng.NextU64()
+                              : batch_rng.UniformU64(uint64_t{1} << bits));
+    }
+    service::ReportBatch batch;
+    batch.count = ordinals->size();
+    const ldp::ScalarFrequencyOracle* oracle_ptr = oracle_.get();
+    batch.decode = [ordinals,
+                    oracle_ptr](uint64_t i) -> Result<service::DecodedRow> {
+      service::DecodedRow row;
+      auto rep = oracle_ptr->UnpackOrdinal((*ordinals)[i]);
+      if (!rep.ok()) return row;  // padding ordinal: dropped as invalid
+      row.report = *rep;
+      row.valid = true;
+      return row;
+    };
+    SHUFFLEDP_RETURN_NOT_OK(collector.Offer(std::move(batch)));
+  }
+
+  return collector.FinishRound(n, plan_.n_r, service::Calibration::kOrdinal);
 }
 
 Result<std::vector<double>> ShuffleDpCollector::SimulateCollect(

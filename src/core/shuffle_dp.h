@@ -23,6 +23,7 @@
 #include "core/planner.h"
 #include "crypto/secure_random.h"
 #include "ldp/frequency_oracle.h"
+#include "service/streaming_collector.h"
 #include "shuffle/peos.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -40,6 +41,10 @@ class ShuffleDpCollector {
     size_t paillier_bits = 1024;
     bool use_randomizer_pool = true;
     ThreadPool* pool = nullptr;
+    /// Server-side streaming ingestion knobs (batch size, queue
+    /// capacity, shard count); the pool field is ignored in favor of
+    /// `pool` above.
+    service::StreamingOptions streaming;
   };
 
   /// Plans parameters for (goals, n, d) and builds the collector.
@@ -67,6 +72,16 @@ class ShuffleDpCollector {
   Result<std::vector<double>> SimulateCollect(
       const std::vector<uint64_t>& value_counts, uint64_t n,
       Rng* rng) const;
+
+  /// Crypto-free streaming collection: encodes the users' reports in
+  /// deterministic fixed-size chunks, streams them — plus the plan's n_r
+  /// uniform ordinal fake reports — through a service::StreamingCollector
+  /// in batches, and calibrates exactly like Collect's server side.
+  /// Distribution-identical to SimulateCollect while exercising the real
+  /// ingestion pipeline (queue, backpressure, domain-sharded counting),
+  /// so utility studies run at n = 10^6+ without the crypto cost.
+  Result<service::RoundResult> CollectStreaming(
+      const std::vector<uint64_t>& values, Rng* rng) const;
 
  private:
   ShuffleDpCollector(PeosPlan plan, uint64_t n, uint64_t domain_size,

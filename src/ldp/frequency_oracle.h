@@ -90,6 +90,11 @@ class ScalarFrequencyOracle {
   /// Wire size of one report in bytes (seed + value, packed).
   virtual size_t ReportBytes() const { return 8; }
 
+  /// True when Supports(report, v) reduces to report.value == v (GRR):
+  /// lets aggregators count supports with one histogram increment per
+  /// report instead of a full domain scan.
+  virtual bool SupportIsValueEquality() const { return false; }
+
   // --- Ordinal codec for PEOS secret sharing ------------------------------
   //
   // PEOS shares reports over Z_{2^B}: uniform B-bit fake *shares*

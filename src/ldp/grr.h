@@ -24,6 +24,7 @@ class Grr : public ScalarFrequencyOracle {
   bool Supports(const LdpReport& report, uint64_t v) const override;
   LdpReport MakeFakeReport(Rng* rng) const override;
   SupportProbs support_probs() const override;
+  bool SupportIsValueEquality() const override { return true; }
 
   unsigned PackedBits() const override { return packed_bits_; }
   uint64_t PackOrdinal(const LdpReport& report) const override {

@@ -26,7 +26,11 @@ Result<std::vector<LdpReport>> ParseReports(
   const size_t width = WireReportBytes(oracle);
   ByteReader reader(wire);
   SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t count, reader.GetVarint());
-  if (reader.Remaining() != count * width) {
+  // Divide instead of multiplying: a hostile count (e.g. 2^61 with an
+  // 8-byte width) would overflow count * width to a small value, slip
+  // past the length check, and drive a huge reserve() below.
+  if (count > reader.Remaining() / width ||
+      count * width != reader.Remaining()) {
     return Status::DataLoss("report payload has wrong length");
   }
   std::vector<LdpReport> out;

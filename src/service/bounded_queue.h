@@ -1,0 +1,119 @@
+// Bounded MPMC queue — the backpressure primitive of the streaming
+// collection service.
+//
+// Producers (report ingestion threads) block in Push() when `capacity`
+// items are already buffered, which throttles upstream generation to the
+// rate the server-side workers can sustain; consumers block in Pop()
+// until an item arrives or the queue is closed and drained. Close() wakes
+// everyone: pending Push() calls fail (the round is over) and Pop()
+// returns false once the buffer is empty.
+
+#ifndef SHUFFLEDP_SERVICE_BOUNDED_QUEUE_H_
+#define SHUFFLEDP_SERVICE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace shuffledp {
+namespace service {
+
+/// Fixed-capacity multi-producer/multi-consumer queue with blocking
+/// push/pop and close semantics. Thread-safe; not copyable.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full; returns false (dropping `item`) if
+  /// the queue was closed before space became available.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_ && !closed_) ++producer_waits_;
+    not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    high_water_ = items_.size() > high_water_ ? items_.size() : high_water_;
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and empty.
+  /// Returns false only in the latter case.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Closes the queue: future Push() calls fail, Pop() drains what is
+  /// buffered then returns false. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Reopens a drained queue for the next collection round.
+  void Reopen() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = false;
+  }
+
+  /// Restarts the high-water tracking (per-round stats; producer_waits
+  /// is cumulative and delta-corrected by the caller instead).
+  void ResetHighWaterMark() {
+    std::lock_guard<std::mutex> lock(mu_);
+    high_water_ = items_.size();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// Number of Push() calls that had to wait for space (backpressure
+  /// events) since construction.
+  uint64_t producer_waits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return producer_waits_;
+  }
+
+  /// Largest buffered depth observed.
+  size_t high_water_mark() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  uint64_t producer_waits_ = 0;
+  size_t high_water_ = 0;
+};
+
+}  // namespace service
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_SERVICE_BOUNDED_QUEUE_H_

@@ -1,0 +1,79 @@
+#include "service/sharded_counter.h"
+
+#include <algorithm>
+
+namespace shuffledp {
+namespace service {
+
+ShardedSupportCounter::ShardedSupportCounter(
+    const ldp::ScalarFrequencyOracle& oracle, uint32_t num_shards)
+    : oracle_(oracle), value_equality_(oracle.SupportIsValueEquality()) {
+  const uint64_t d = oracle.domain_size();
+  uint64_t shards = num_shards;
+  if (shards == 0) shards = std::min<uint64_t>(64, d);
+  shards = std::max<uint64_t>(1, std::min<uint64_t>(shards, d));
+  shards_.resize(shards);
+  for (uint64_t s = 0; s < shards; ++s) {
+    shards_[s].lo = d * s / shards;
+    shards_[s].hi = d * (s + 1) / shards;
+    shards_[s].counts.assign(shards_[s].hi - shards_[s].lo, 0);
+  }
+}
+
+void ShardedSupportCounter::AccumulateShard(
+    Shard* shard, const std::vector<ldp::LdpReport>& reports) const {
+  for (const ldp::LdpReport& r : reports) {
+    for (uint64_t v = shard->lo; v < shard->hi; ++v) {
+      shard->counts[v - shard->lo] += oracle_.Supports(r, v);
+    }
+  }
+}
+
+void ShardedSupportCounter::AccumulateBatch(
+    const std::vector<ldp::LdpReport>& reports, ThreadPool* pool) {
+  if (reports.empty()) return;
+  if (value_equality_) {
+    // Equality-support oracles (GRR): one histogram increment per report
+    // beats any fan-out — a per-shard scan would redo the batch
+    // num_shards times for no gain. Shard ranges are floor(d·s/S)
+    // partitions, so s = floor(v·S/d) lands on the right shard up to one
+    // boundary step.
+    const uint64_t d = oracle_.domain_size();
+    const uint64_t s_count = shards_.size();
+    for (const ldp::LdpReport& r : reports) {
+      if (r.value >= d) continue;
+      uint64_t s = static_cast<uint64_t>(r.value) * s_count / d;
+      while (r.value < shards_[s].lo) --s;
+      while (r.value >= shards_[s].hi) ++s;
+      ++shards_[s].counts[r.value - shards_[s].lo];
+    }
+    return;
+  }
+  if (pool == nullptr || shards_.size() == 1) {
+    for (Shard& shard : shards_) AccumulateShard(&shard, reports);
+    return;
+  }
+  pool->ParallelFor(0, shards_.size(), [&](uint64_t lo, uint64_t hi) {
+    for (uint64_t s = lo; s < hi; ++s) {
+      AccumulateShard(&shards_[s], reports);
+    }
+  });
+}
+
+std::vector<uint64_t> ShardedSupportCounter::Finalize() const {
+  std::vector<uint64_t> merged;
+  merged.reserve(oracle_.domain_size());
+  for (const Shard& shard : shards_) {
+    merged.insert(merged.end(), shard.counts.begin(), shard.counts.end());
+  }
+  return merged;
+}
+
+void ShardedSupportCounter::Reset() {
+  for (Shard& shard : shards_) {
+    std::fill(shard.counts.begin(), shard.counts.end(), 0);
+  }
+}
+
+}  // namespace service
+}  // namespace shuffledp

@@ -1,0 +1,71 @@
+// Domain-sharded support aggregation.
+//
+// The value domain [0, d) is partitioned into contiguous shards; each
+// shard owns the support counters of its value range. A batch of decoded
+// reports is fanned out with one task per shard group — every task scans
+// the whole batch but only touches its own counters, so accumulation is
+// lock-free, race-free, and (being integer addition) independent of both
+// task scheduling and report order. Finalize() concatenates the shard
+// slices in shard order, which makes the merged vector deterministic by
+// construction.
+//
+// Oracles whose support test is plain value equality (GRR — see
+// ScalarFrequencyOracle::SupportIsValueEquality) skip the fan-out
+// entirely: one histogram increment per report into the owning shard's
+// slice, turning the O(batch × d) aggregation into O(batch).
+
+#ifndef SHUFFLEDP_SERVICE_SHARDED_COUNTER_H_
+#define SHUFFLEDP_SERVICE_SHARDED_COUNTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ldp/frequency_oracle.h"
+#include "util/thread_pool.h"
+
+namespace shuffledp {
+namespace service {
+
+/// Per-shard partial support aggregates over the oracle's full domain.
+class ShardedSupportCounter {
+ public:
+  /// `num_shards` = 0 picks min(64, domain_size).
+  ShardedSupportCounter(const ldp::ScalarFrequencyOracle& oracle,
+                        uint32_t num_shards);
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+
+  /// Adds one batch of reports into every shard's partial aggregate,
+  /// one task per shard on `pool` (serially when `pool` is null). Not
+  /// safe to call concurrently with itself — batches are accumulated one
+  /// at a time by the collector's consumer.
+  void AccumulateBatch(const std::vector<ldp::LdpReport>& reports,
+                       ThreadPool* pool);
+
+  /// Deterministic merge: shard slices concatenated in shard order.
+  std::vector<uint64_t> Finalize() const;
+
+  /// Clears all partial aggregates (next collection round/window).
+  void Reset();
+
+ private:
+  struct Shard {
+    uint64_t lo = 0;  // first owned value
+    uint64_t hi = 0;  // one past the last owned value
+    std::vector<uint64_t> counts;
+  };
+
+  void AccumulateShard(Shard* shard,
+                       const std::vector<ldp::LdpReport>& reports) const;
+
+  const ldp::ScalarFrequencyOracle& oracle_;
+  bool value_equality_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace service
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_SERVICE_SHARDED_COUNTER_H_

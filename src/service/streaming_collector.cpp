@@ -1,0 +1,232 @@
+#include "service/streaming_collector.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "ldp/estimator.h"
+
+namespace shuffledp {
+namespace service {
+
+std::string StreamingStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "batches=%llu rows=%llu backpressure_waits=%llu "
+                "queue_high_water=%llu busy=%.3fs wall=%.3fs rate=%.0f rows/s",
+                static_cast<unsigned long long>(batches),
+                static_cast<unsigned long long>(rows),
+                static_cast<unsigned long long>(backpressure_waits),
+                static_cast<unsigned long long>(queue_high_water),
+                busy_seconds, wall_seconds, rows_per_second);
+  return buf;
+}
+
+ReportBatch MakePlainBatch(std::vector<ldp::LdpReport> reports) {
+  auto shared =
+      std::make_shared<std::vector<ldp::LdpReport>>(std::move(reports));
+  ReportBatch batch;
+  batch.count = shared->size();
+  batch.decode = [shared](uint64_t i) -> Result<DecodedRow> {
+    DecodedRow row;
+    row.valid = true;
+    row.report = (*shared)[i];
+    return row;
+  };
+  return batch;
+}
+
+StreamingCollector::StreamingCollector(
+    const ldp::ScalarFrequencyOracle& oracle, StreamingOptions options)
+    : oracle_(oracle),
+      options_(options),
+      counter_(oracle, options.num_shards),
+      queue_(options.queue_capacity) {
+  if (options_.pool != nullptr && options_.pool->InWorkerThread()) {
+    // Constructed from one of the pool's own workers (a protocol run
+    // nested inside a pool task): the consumer's decode/count fan-out
+    // would wait on pool slots the blocked caller occupies — a deadlock
+    // once the caller parks in Push()/FinishRound(). Degrade to serial
+    // processing on the consumer thread, which always makes progress.
+    options_.pool = nullptr;
+  }
+  StartRound();
+}
+
+StreamingCollector::~StreamingCollector() {
+  queue_.Close();
+  if (consumer_.joinable()) consumer_.join();
+}
+
+void StreamingCollector::StartRound() {
+  rows_seen_ = 0;
+  batches_seen_ = 0;
+  reports_decoded_ = 0;
+  reports_invalid_ = 0;
+  dummies_recognized_ = 0;
+  busy_seconds_ = 0.0;
+  round_status_ = Status::OK();
+  dummies_expected_ = 0;
+  dummy_multiset_.clear();
+  counter_.Reset();
+  waits_at_round_start_ = queue_.producer_waits();
+  queue_.ResetHighWaterMark();
+  round_timer_.Reset();
+  queue_.Reopen();
+  // The consumer spawns lazily on the first Offer (EnsureConsumer), so a
+  // finished collector does not park an idle thread between rounds.
+}
+
+void StreamingCollector::EnsureConsumer() {
+  std::lock_guard<std::mutex> lock(consumer_mu_);
+  if (!consumer_.joinable()) {
+    consumer_ = std::thread([this] { ConsumerLoop(); });
+  }
+}
+
+void StreamingCollector::ExpectDummy(const ldp::LdpReport& report,
+                                     uint64_t tag) {
+  ++dummy_multiset_[{ldp::PackReport(report), tag}];
+  ++dummies_expected_;
+}
+
+Status StreamingCollector::Offer(ReportBatch batch) {
+  EnsureConsumer();
+  if (!queue_.Push(std::move(batch))) {
+    // The queue only rejects after Close(): either the round was already
+    // finished or a decode failure shut the pipeline down.
+    if (!round_status_.ok()) return round_status_;
+    return Status::FailedPrecondition(
+        "streaming collector: round already closed");
+  }
+  return Status::OK();
+}
+
+Status StreamingCollector::OfferReports(
+    const std::vector<ldp::LdpReport>& reports) {
+  const size_t batch_size = std::max<size_t>(1, options_.batch_size);
+  for (size_t lo = 0; lo < reports.size(); lo += batch_size) {
+    size_t hi = std::min(reports.size(), lo + batch_size);
+    SHUFFLEDP_RETURN_NOT_OK(
+        Offer(MakePlainBatch({reports.begin() + lo, reports.begin() + hi})));
+  }
+  return Status::OK();
+}
+
+Status StreamingCollector::OfferIndexed(
+    uint64_t total, std::function<Result<DecodedRow>(uint64_t row)> decode) {
+  const uint64_t batch_size = std::max<size_t>(1, options_.batch_size);
+  for (uint64_t lo = 0; lo < total; lo += batch_size) {
+    ReportBatch batch;
+    batch.count = std::min(total - lo, batch_size);
+    batch.decode = [decode, lo](uint64_t i) { return decode(lo + i); };
+    SHUFFLEDP_RETURN_NOT_OK(Offer(std::move(batch)));
+  }
+  return Status::OK();
+}
+
+void StreamingCollector::ConsumerLoop() {
+  ReportBatch batch;
+  while (queue_.Pop(&batch)) {
+    if (!round_status_.ok()) continue;  // drain without processing
+    ProcessBatch(batch);
+  }
+}
+
+void StreamingCollector::ProcessBatch(const ReportBatch& batch) {
+  WallTimer timer;
+  ++batches_seen_;
+  rows_seen_ += batch.count;
+
+  std::vector<DecodedRow> rows(batch.count);
+  std::mutex status_mu;
+  Status decode_status = Status::OK();
+  std::atomic<bool> failed{false};
+  ForChunks(options_.pool, 0, batch.count, options_.decode_chunk,
+            [&](uint64_t lo, uint64_t hi) {
+              for (uint64_t i = lo; i < hi; ++i) {
+                // Stop burning crypto on rows whose batch already failed.
+                if (failed.load(std::memory_order_relaxed)) return;
+                auto row = batch.decode(i);
+                if (!row.ok()) {
+                  failed.store(true, std::memory_order_relaxed);
+                  std::lock_guard<std::mutex> lock(status_mu);
+                  if (decode_status.ok()) decode_status = row.status();
+                  return;
+                }
+                rows[i] = std::move(row).value();
+              }
+            });
+  if (!decode_status.ok()) {
+    round_status_ = decode_status;
+    // Unblock any producer stuck in Push; their Offer reports the error.
+    queue_.Close();
+    return;
+  }
+
+  std::vector<ldp::LdpReport> kept;
+  kept.reserve(rows.size());
+  for (const DecodedRow& row : rows) {
+    if (!row.valid || !oracle_.ValidateReport(row.report).ok()) {
+      ++reports_invalid_;
+      continue;
+    }
+    if (!dummy_multiset_.empty()) {
+      auto it =
+          dummy_multiset_.find({ldp::PackReport(row.report), row.tag});
+      if (it != dummy_multiset_.end() && it->second > 0) {
+        --it->second;
+        ++dummies_recognized_;
+        continue;  // server-planted dummy: strip before estimation
+      }
+    }
+    kept.push_back(row.report);
+  }
+  reports_decoded_ += kept.size();
+  counter_.AccumulateBatch(kept, options_.pool);
+  busy_seconds_ += timer.ElapsedSeconds();
+}
+
+Result<RoundResult> StreamingCollector::FinishRound(uint64_t n,
+                                                    uint64_t n_fake,
+                                                    Calibration calibration) {
+  queue_.Close();
+  if (consumer_.joinable()) consumer_.join();
+  const double wall = round_timer_.ElapsedSeconds();
+
+  if (!round_status_.ok()) {
+    Status failed = round_status_;
+    StartRound();
+    return failed;
+  }
+
+  RoundResult result;
+  result.supports = counter_.Finalize();
+  result.estimates =
+      calibration == Calibration::kOrdinal
+          ? ldp::CalibrateEstimatesOrdinal(oracle_, result.supports, n,
+                                           n_fake)
+          : ldp::CalibrateEstimates(oracle_, result.supports, n, n_fake);
+  result.reports_decoded = reports_decoded_;
+  result.reports_invalid = reports_invalid_;
+  result.dummies_recognized = dummies_recognized_;
+  result.spot_check_passed = dummies_recognized_ == dummies_expected_;
+
+  result.stats.batches = batches_seen_;
+  result.stats.rows = rows_seen_;
+  result.stats.backpressure_waits =
+      queue_.producer_waits() - waits_at_round_start_;
+  result.stats.queue_high_water = queue_.high_water_mark();
+  result.stats.busy_seconds = busy_seconds_;
+  result.stats.wall_seconds = wall;
+  result.stats.rows_per_second =
+      wall > 0.0 ? static_cast<double>(rows_seen_) / wall : 0.0;
+
+  StartRound();
+  return result;
+}
+
+}  // namespace service
+}  // namespace shuffledp

@@ -1,0 +1,188 @@
+// Streaming server-side collection pipeline.
+//
+// The paper costs the protocols per user at IPUMS scale (n ≈ 602k,
+// d = 915), but a server that materializes every report before touching
+// the first one cannot keep up with "heavy traffic from millions of
+// users". StreamingCollector replaces the monolithic collect-then-count
+// pass with a pipeline:
+//
+//   producers ──ReportBatch──▶ BoundedQueue ──▶ consumer thread
+//                (backpressure)                   │ decode batch   (pool)
+//                                                 │ validate + strip dummies
+//                                                 ▼ count supports (pool,
+//                                                   domain-sharded)
+//
+// Producers enqueue fixed-size batches of reports and block when the
+// bounded queue fills (backpressure). A dedicated consumer drains batches
+// in FIFO order; for each batch it fans the per-report decode step
+// (ECIES peel, Paillier share reconstruction, …) out across the
+// ThreadPool, then fans support counting out across domain shards
+// (sharded_counter.h). Because every aggregate is an integer counter and
+// shard slices merge in shard order, the finalized supports — and hence
+// the estimates — are bitwise identical for any pool size, including no
+// pool at all. Spot-check dummies (sequential shuffle §VI-A1) are
+// registered up front and stripped before counting.
+//
+// FinishRound() closes the window, drains, merges, calibrates, and
+// resets the collector for the next round, enabling multi-round/windowed
+// collection over one set of knobs (batch_size, queue_capacity,
+// num_shards).
+
+#ifndef SHUFFLEDP_SERVICE_STREAMING_COLLECTOR_H_
+#define SHUFFLEDP_SERVICE_STREAMING_COLLECTOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "ldp/frequency_oracle.h"
+#include "service/bounded_queue.h"
+#include "service/sharded_counter.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace shuffledp {
+namespace service {
+
+/// One decoded ingestion row. `valid = false` rows (failed share
+/// reconstruction, ordinal padding, …) are dropped and counted, matching
+/// the protocols' treatment of malformed reports.
+struct DecodedRow {
+  bool valid = false;
+  ldp::LdpReport report;
+  uint64_t tag = 0;  ///< payload tag (spot-check matching); 0 when unused
+};
+
+/// A batch of reports flowing through the queue. `decode` is invoked for
+/// i in [0, count) from pool workers (concurrently, each index once); it
+/// owns whatever per-batch data it needs via its captures. A non-OK
+/// result is a hard protocol failure that aborts the round.
+struct ReportBatch {
+  uint64_t count = 0;
+  std::function<Result<DecodedRow>(uint64_t i)> decode;
+};
+
+/// Builds a decode-free batch from already-decoded reports.
+ReportBatch MakePlainBatch(std::vector<ldp::LdpReport> reports);
+
+/// Which estimator calibration FinishRound applies.
+enum class Calibration {
+  kStandard,  ///< uniform fake reports at q_fake (sequential shuffle)
+  kOrdinal,   ///< uniform Z_{2^B} fakes at OrdinalFakeSupportProb (PEOS)
+};
+
+/// Pipeline knobs.
+struct StreamingOptions {
+  size_t batch_size = 4096;     ///< reports per batch (producer helpers)
+  size_t queue_capacity = 64;   ///< buffered batches before backpressure
+  uint32_t num_shards = 0;      ///< domain shards; 0 = min(64, d)
+  uint64_t decode_chunk = 512;  ///< reports per decode task
+  ThreadPool* pool = nullptr;   ///< decode/count fan-out; null = serial
+};
+
+/// Pipeline health/throughput counters for one round.
+struct StreamingStats {
+  uint64_t batches = 0;
+  uint64_t rows = 0;                 ///< rows offered (incl. invalid/dummy)
+  uint64_t backpressure_waits = 0;   ///< producer pushes that blocked
+  uint64_t queue_high_water = 0;     ///< deepest buffered batch count
+  double busy_seconds = 0.0;         ///< consumer time decoding + counting
+  double wall_seconds = 0.0;         ///< round open -> drain complete
+  double rows_per_second = 0.0;      ///< rows / wall_seconds
+
+  std::string ToString() const;
+};
+
+/// Result of one collection round.
+struct RoundResult {
+  std::vector<uint64_t> supports;   ///< per-value counts over [0, d)
+  std::vector<double> estimates;    ///< calibrated frequencies
+  uint64_t reports_decoded = 0;     ///< valid rows counted (dummies excl.)
+  uint64_t reports_invalid = 0;     ///< dropped rows
+  uint64_t dummies_recognized = 0;  ///< spot-check dummies stripped
+  bool spot_check_passed = true;    ///< every expected dummy arrived
+  StreamingStats stats;
+};
+
+/// Sharded streaming collector; one instance per collection endpoint.
+///
+/// Thread-safety: Offer* may be called from any thread *except* workers
+/// of `options.pool` (a blocked producer on a pool worker could starve
+/// the consumer's decode tasks and deadlock the pipeline). A collector
+/// *constructed* on a pool worker — a protocol run nested inside a pool
+/// task — detects this and degrades to serial processing. ExpectDummy
+/// must precede the rows it matches. FinishRound is not reentrant.
+class StreamingCollector {
+ public:
+  StreamingCollector(const ldp::ScalarFrequencyOracle& oracle,
+                     StreamingOptions options);
+  ~StreamingCollector();
+
+  StreamingCollector(const StreamingCollector&) = delete;
+  StreamingCollector& operator=(const StreamingCollector&) = delete;
+
+  /// Registers a server-planted spot-check dummy; matching rows are
+  /// stripped before estimation and counted in dummies_recognized.
+  void ExpectDummy(const ldp::LdpReport& report, uint64_t tag);
+
+  /// Enqueues one batch; blocks under backpressure. Fails once the round
+  /// is closed or a decode error aborted it.
+  Status Offer(ReportBatch batch);
+
+  /// Splits pre-decoded reports into batch_size batches and offers them.
+  Status OfferReports(const std::vector<ldp::LdpReport>& reports);
+
+  /// Slices rows [0, total) into batch_size batches and offers each;
+  /// `decode` receives the absolute row index and must be safe to call
+  /// concurrently (it is shared across the batches' pool tasks).
+  Status OfferIndexed(uint64_t total,
+                      std::function<Result<DecodedRow>(uint64_t row)> decode);
+
+  /// Closes the window, drains the queue, merges the shard aggregates in
+  /// shard order, and calibrates with n users and n_fake fake reports.
+  /// Resets the collector afterwards, ready for the next round.
+  Result<RoundResult> FinishRound(uint64_t n, uint64_t n_fake,
+                                  Calibration calibration);
+
+  const StreamingOptions& options() const { return options_; }
+  const ldp::ScalarFrequencyOracle& oracle() const { return oracle_; }
+
+ private:
+  void ConsumerLoop();
+  void ProcessBatch(const ReportBatch& batch);
+  void StartRound();
+  void EnsureConsumer();
+
+  const ldp::ScalarFrequencyOracle& oracle_;
+  StreamingOptions options_;
+  ShardedSupportCounter counter_;
+  BoundedQueue<ReportBatch> queue_;
+  std::mutex consumer_mu_;  // guards the lazy consumer spawn
+  std::thread consumer_;
+
+  // Consumer-owned state (the single consumer thread writes; readers wait
+  // for it to join in FinishRound).
+  uint64_t rows_seen_ = 0;
+  uint64_t batches_seen_ = 0;
+  uint64_t reports_decoded_ = 0;
+  uint64_t reports_invalid_ = 0;
+  uint64_t dummies_recognized_ = 0;
+  double busy_seconds_ = 0.0;
+  Status round_status_ = Status::OK();
+
+  uint64_t dummies_expected_ = 0;
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> dummy_multiset_;
+  WallTimer round_timer_;
+  uint64_t waits_at_round_start_ = 0;
+};
+
+}  // namespace service
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_SERVICE_STREAMING_COLLECTOR_H_

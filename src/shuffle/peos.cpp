@@ -1,6 +1,5 @@
 #include "shuffle/peos.h"
 
-#include <atomic>
 #include <cassert>
 #include <mutex>
 
@@ -10,6 +9,14 @@
 
 namespace shuffledp {
 namespace shuffle {
+
+namespace {
+
+// Fixed user-phase chunk size; seeds derive from chunk start indices so
+// the chunking must not depend on the worker count (ForChunks).
+constexpr uint64_t kUserChunk = 1024;
+
+}  // namespace
 
 Result<PeosResult> RunPeos(const ldp::ScalarFrequencyOracle& oracle,
                            const std::vector<uint64_t>& values,
@@ -94,14 +101,12 @@ Result<PeosResult> RunPeos(const ldp::ScalarFrequencyOracle& oracle,
         state.cipher_column[i] = std::move(c).value();
       }
     };
-    if (config.pool != nullptr) {
-      uint64_t base_seed = rng->NextU64();
-      config.pool->ParallelFor(0, n, [&](uint64_t lo, uint64_t hi) {
-        user_range(lo, hi, base_seed ^ (lo * 0x9E3779B97F4A7C15ULL + 1));
-      });
-    } else {
-      user_range(0, n, rng->NextU64());
-    }
+    // Fixed-size chunks keep the per-chunk seeds — and hence every
+    // report and share — independent of the pool's worker count.
+    const uint64_t base_seed = rng->NextU64();
+    ForChunks(config.pool, 0, n, kUserChunk, [&](uint64_t lo, uint64_t hi) {
+      user_range(lo, hi, base_seed ^ (lo * 0x9E3779B97F4A7C15ULL + 1));
+    });
     if (!enc_status.ok()) return enc_status;
   }
   // Per-user upload: r − 1 plaintext shares + 1 ciphertext.
@@ -149,17 +154,12 @@ Result<PeosResult> RunPeos(const ldp::ScalarFrequencyOracle& oracle,
         state.cipher_column[n + k] = std::move(c).value();
       }
     };
-    if (config.pool != nullptr) {
-      uint64_t base_seed = rng->NextU64();
-      config.pool->ParallelFor(0, config.fake_reports,
-                               [&](uint64_t lo, uint64_t hi) {
-                                 encrypt_range(
-                                     lo, hi,
-                                     base_seed ^ (lo * 0x9E3779B97F4A7C15ULL));
-                               });
-    } else {
-      encrypt_range(0, config.fake_reports, rng->NextU64());
-    }
+    const uint64_t base_seed = rng->NextU64();
+    ForChunks(config.pool, 0, config.fake_reports, kUserChunk,
+              [&](uint64_t lo, uint64_t hi) {
+                encrypt_range(lo, hi,
+                              base_seed ^ (lo * 0x9E3779B97F4A7C15ULL));
+              });
     if (!enc_status.ok()) return enc_status;
   }
 
@@ -177,60 +177,50 @@ Result<PeosResult> RunPeos(const ldp::ScalarFrequencyOracle& oracle,
   ledger.RecordSend(Role::kShuffler, Role::kServer,
                     total * cipher_bytes /* ciphertext column */);
 
-  // --- Server: decrypt, reconstruct, estimate ---------------------------------
+  // --- Server: streaming decrypt + reconstruct + estimate -------------------
+  // Rows are offered to the sharded streaming collector in fixed-size
+  // batches; its consumer fans the Paillier decryptions and the
+  // domain-sharded support counting out across the pool. Padding-region
+  // ordinals (possible only when the ordinal space is not padding-free)
+  // and malformed rows are dropped as invalid and accounted for by the
+  // ordinal calibration.
   {
-    ComputeScope scope(&ledger, Role::kServer);
-    std::vector<uint64_t> packed(total, 0);
-    std::mutex status_mu;
-    Status dec_status = Status::OK();
-    auto decrypt_range = [&](uint64_t lo, uint64_t hi) {
-      for (uint64_t i = lo; i < hi; ++i) {
-        auto m = server_keys.priv.DecryptMod2Ell(state.cipher_column[i],
-                                                 ell);
-        if (!m.ok()) {
-          std::lock_guard<std::mutex> lock(status_mu);
-          dec_status = m.status();
-          return;
-        }
-        packed[i] = *m;
-      }
-    };
-    if (config.pool != nullptr) {
-      config.pool->ParallelFor(0, total, [&](uint64_t lo, uint64_t hi) {
-        decrypt_range(lo, hi);
-      });
-    } else {
-      decrypt_range(0, total);
-    }
-    if (!dec_status.ok()) return dec_status;
+    service::StreamingOptions stream_opts = config.streaming;
+    stream_opts.pool = config.pool;
+    service::StreamingCollector collector(oracle, stream_opts);
 
-    for (uint64_t i = 0; i < total; ++i) {
-      uint64_t sum = packed[i];
-      for (uint32_t j = 0; j < state.plain.num_shufflers(); ++j) {
-        sum = (sum + state.plain.columns[j][i]) & mask;
-      }
-      packed[i] = sum;
-    }
+    const ldp::ScalarFrequencyOracle* oracle_ptr = &oracle;
+    const crypto::PaillierPrivateKey* priv = &server_keys.priv;
+    const EosState* state_ptr = &state;
+    // Captured pointers outlive the pipeline: FinishRound below drains
+    // the queue before `state` or the keys leave scope.
+    SHUFFLEDP_RETURN_NOT_OK(collector.OfferIndexed(
+        total,
+        [oracle_ptr, priv, state_ptr, ell,
+         mask](uint64_t row_index) -> Result<service::DecodedRow> {
+          SHUFFLEDP_ASSIGN_OR_RETURN(
+              uint64_t sum,
+              priv->DecryptMod2Ell(state_ptr->cipher_column[row_index], ell));
+          for (uint32_t j = 0; j < state_ptr->plain.num_shufflers(); ++j) {
+            sum = (sum + state_ptr->plain.columns[j][row_index]) & mask;
+          }
+          service::DecodedRow row;
+          auto rep = oracle_ptr->UnpackOrdinal(sum);
+          if (!rep.ok()) return row;  // padding ordinal: drop, don't abort
+          row.report = *rep;
+          row.valid = true;
+          return row;
+        }));
 
-    std::vector<ldp::LdpReport> reports;
-    reports.reserve(total);
-    for (uint64_t i = 0; i < total; ++i) {
-      auto rep = oracle.UnpackOrdinal(packed[i]);
-      if (rep.ok() && oracle.ValidateReport(*rep).ok()) {
-        reports.push_back(*rep);
-      } else {
-        // Padding-region ordinals (possible only when the ordinal space
-        // is not padding-free) and malformed rows support no value; they
-        // are dropped and accounted for by the ordinal calibration.
-        ++result.reports_invalid;
-      }
-    }
-    result.reports_decoded = reports.size();
-
-    auto supports =
-        ldp::SupportCountsFullDomain(oracle, reports, config.pool);
-    result.estimates = ldp::CalibrateEstimatesOrdinal(oracle, supports, n,
-                                                      config.fake_reports);
+    SHUFFLEDP_ASSIGN_OR_RETURN(
+        service::RoundResult round,
+        collector.FinishRound(n, config.fake_reports,
+                              service::Calibration::kOrdinal));
+    ledger.RecordCompute(Role::kServer, round.stats.busy_seconds);
+    result.reports_decoded = round.reports_decoded;
+    result.reports_invalid = round.reports_invalid;
+    result.estimates = std::move(round.estimates);
+    result.streaming = round.stats;
   }
 
   result.costs = SummarizeCosts(ledger, n, r);

@@ -25,6 +25,7 @@
 #include "crypto/paillier.h"
 #include "crypto/secure_random.h"
 #include "ldp/frequency_oracle.h"
+#include "service/streaming_collector.h"
 #include "shuffle/cost_model.h"
 #include "shuffle/oblivious_shuffle.h"
 #include "util/status.h"
@@ -50,6 +51,9 @@ struct PeosConfig {
   std::vector<PeosShufflerBehaviour> behaviours;  ///< default: honest
   uint64_t poison_target_packed = 0;    ///< payload for biased shares
   ThreadPool* pool = nullptr;
+  /// Server-side ingestion pipeline knobs; `streaming.pool` is ignored
+  /// (the server pipeline shares `pool`).
+  service::StreamingOptions streaming;
 };
 
 /// Result of one PEOS collection round.
@@ -58,6 +62,7 @@ struct PeosResult {
   uint64_t reports_decoded = 0;    ///< valid reports after reconstruction
   uint64_t reports_invalid = 0;    ///< failed ValidateReport (poison noise)
   CostReport costs;
+  service::StreamingStats streaming;  ///< server ingestion pipeline stats
 };
 
 /// Runs the full PEOS protocol over `values`.

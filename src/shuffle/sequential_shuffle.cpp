@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
-#include <map>
+#include <memory>
 #include <mutex>
 
 #include "crypto/sha256.h"
@@ -20,6 +20,12 @@ namespace {
 // dummies use HMAC-derived tags so the server can recognize its own
 // payloads after shuffling (shufflers cannot distinguish them).
 constexpr size_t kPayloadBytes = 16;
+
+// Fixed client-encode chunk: per-chunk RNG seeds derive from the chunk's
+// start index, so chunk boundaries must not depend on the worker count
+// (see ThreadPool::ParallelForChunks). Keeps Collect bitwise reproducible
+// across SHUFFLEDP_THREADS settings.
+constexpr uint64_t kEncodeChunk = 4096;
 
 Bytes MakePayload(uint64_t packed_report, uint64_t tag) {
   ByteWriter w(kPayloadBytes);
@@ -69,22 +75,19 @@ Result<SequentialShuffleResult> RunSequentialShuffle(
   {
     ComputeScope scope(&ledger, Role::kUser);
     std::vector<Bytes> payloads(n);
-    auto encode_range = [&](uint64_t lo, uint64_t hi, uint64_t seed) {
+    // Chunk boundaries are fixed by kEncodeChunk — never by the pool
+    // size — so the per-chunk seeds (and hence every report) are
+    // identical whether this runs serially or on any number of workers.
+    const uint64_t base_seed = rng->NextU64();
+    ForChunks(config.pool, 0, n, kEncodeChunk, [&](uint64_t lo, uint64_t hi) {
+      const uint64_t seed = base_seed ^ (lo * 0x9E3779B97F4A7C15ULL);
       Rng local_rng(seed);
       crypto::SecureRandom local_sec(seed ^ 0x5331AFULL);
       for (uint64_t i = lo; i < hi; ++i) {
         ldp::LdpReport rep = oracle.Encode(values[i], &local_rng);
         payloads[i] = MakePayload(ldp::PackReport(rep), local_sec.NextU64());
       }
-    };
-    if (config.pool != nullptr) {
-      uint64_t base_seed = rng->NextU64();
-      config.pool->ParallelFor(0, n, [&](uint64_t lo, uint64_t hi) {
-        encode_range(lo, hi, base_seed ^ (lo * 0x9E3779B97F4A7C15ULL));
-      });
-    } else {
-      encode_range(0, n, rng->NextU64());
-    }
+    });
     crypto::SecureRandom onion_rng = rng->Fork();
     in_flight =
         crypto::OnionEncryptBatch(layers, payloads, &onion_rng, config.pool);
@@ -92,11 +95,12 @@ Result<SequentialShuffleResult> RunSequentialShuffle(
 
   // Spot-check dummies: the server plants accounts whose payloads it can
   // recognize. They are appended to the user stream (indistinguishable to
-  // shufflers) and removed by the server before estimation.
-  std::vector<Bytes> dummy_payloads;
+  // shufflers) and stripped by the streaming collector before estimation.
+  std::vector<std::pair<ldp::LdpReport, uint64_t>> dummy_ids;
   {
     ComputeScope scope(&ledger, Role::kServer);
     Rng dummy_rng(rng->NextU64());
+    std::vector<Bytes> dummy_payloads;
     for (uint64_t k = 0; k < config.spot_check_dummies; ++k) {
       ldp::LdpReport rep = oracle.MakeFakeReport(&dummy_rng);
       ByteWriter nonce;
@@ -104,6 +108,7 @@ Result<SequentialShuffleResult> RunSequentialShuffle(
       auto mac = crypto::HmacSha256(spot_key, nonce.Release());
       uint64_t tag;
       std::memcpy(&tag, mac.data(), sizeof(tag));
+      dummy_ids.emplace_back(rep, tag);
       dummy_payloads.push_back(MakePayload(ldp::PackReport(rep), tag));
     }
     std::vector<Bytes> dummy_blobs =
@@ -215,62 +220,47 @@ Result<SequentialShuffleResult> RunSequentialShuffle(
     }
   }
 
-  // --- Server: peel, spot-check, estimate ----------------------------------
-  std::vector<ldp::LdpReport> reports;
+  // --- Server: streaming peel + spot-check + count + estimate --------------
+  // The monolithic peel-everything-then-count pass is replaced by the
+  // sharded streaming pipeline: blobs are offered in fixed-size batches;
+  // the collector's consumer fans ECIES decryption and domain-sharded
+  // support counting out across the pool and strips the registered
+  // spot-check dummies before estimation.
   {
-    ComputeScope scope(&ledger, Role::kServer);
-    std::vector<Bytes> payloads(in_flight.size());
-    std::mutex status_mu;
-    Status peel_status = Status::OK();
-    auto peel_range = [&](uint64_t lo, uint64_t hi) {
-      for (uint64_t i = lo; i < hi; ++i) {
-        auto payload =
-            crypto::EciesDecrypt(server_kp.private_key, in_flight[i]);
-        if (!payload.ok()) {
-          std::lock_guard<std::mutex> lock(status_mu);
-          peel_status = payload.status();
-          return;
-        }
-        payloads[i] = std::move(payload).value();
-      }
-    };
-    if (config.pool != nullptr) {
-      config.pool->ParallelFor(0, in_flight.size(),
-                               [&](uint64_t lo, uint64_t hi) {
-                                 peel_range(lo, hi);
-                               });
-    } else {
-      peel_range(0, in_flight.size());
-    }
-    if (!peel_status.ok()) return peel_status;
+    service::StreamingOptions stream_opts = config.streaming;
+    stream_opts.pool = config.pool;
+    service::StreamingCollector collector(oracle, stream_opts);
+    for (const auto& [rep, tag] : dummy_ids) collector.ExpectDummy(rep, tag);
 
-    // Multiset of payload bytes for spot checking and dummy removal.
-    std::map<Bytes, uint64_t> multiset;
-    for (const Bytes& p : payloads) ++multiset[p];
-    for (const Bytes& dummy : dummy_payloads) {
-      auto it = multiset.find(dummy);
-      if (it == multiset.end() || it->second == 0) {
-        result.spot_check_passed = false;
-      } else {
-        --it->second;  // remove the dummy before estimation
-      }
-    }
+    auto blobs = std::make_shared<std::vector<Bytes>>(std::move(in_flight));
+    const crypto::Scalar256 server_priv = server_kp.private_key;
+    SHUFFLEDP_RETURN_NOT_OK(collector.OfferIndexed(
+        blobs->size(),
+        [blobs, server_priv](uint64_t row_index)
+            -> Result<service::DecodedRow> {
+          SHUFFLEDP_ASSIGN_OR_RETURN(
+              Bytes payload,
+              crypto::EciesDecrypt(server_priv, (*blobs)[row_index]));
+          service::DecodedRow row;
+          ByteReader reader(payload);
+          auto packed = reader.GetU64();
+          if (!packed.ok()) return row;  // short payload: drop, don't abort
+          row.report = ldp::UnpackReport(*packed);
+          auto tag = reader.GetU64();
+          row.tag = tag.ok() ? *tag : 0;
+          row.valid = true;
+          return row;
+        }));
 
-    reports.reserve(payloads.size());
-    for (const auto& [payload, count] : multiset) {
-      ByteReader reader(payload);
-      auto packed = reader.GetU64();
-      if (!packed.ok()) continue;
-      ldp::LdpReport rep = ldp::UnpackReport(*packed);
-      if (!oracle.ValidateReport(rep).ok()) continue;
-      for (uint64_t c = 0; c < count; ++c) reports.push_back(rep);
-    }
-    result.reports_at_server = reports.size();
-
-    auto supports =
-        ldp::SupportCountsFullDomain(oracle, reports, config.pool);
-    result.estimates = ldp::CalibrateEstimates(oracle, supports, n,
-                                               config.fake_reports_total);
+    SHUFFLEDP_ASSIGN_OR_RETURN(
+        service::RoundResult round,
+        collector.FinishRound(n, config.fake_reports_total,
+                              service::Calibration::kStandard));
+    ledger.RecordCompute(Role::kServer, round.stats.busy_seconds);
+    result.spot_check_passed = round.spot_check_passed;
+    result.reports_at_server = round.reports_decoded;
+    result.estimates = std::move(round.estimates);
+    result.streaming = round.stats;
   }
 
   result.costs = SummarizeCosts(ledger, n, r);

@@ -20,6 +20,7 @@
 #include "crypto/ecies.h"
 #include "crypto/secure_random.h"
 #include "ldp/frequency_oracle.h"
+#include "service/streaming_collector.h"
 #include "shuffle/cost_model.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -43,6 +44,10 @@ struct SequentialShuffleConfig {
   uint64_t poison_target_value = 0;      ///< used by malicious behaviours
   std::vector<ShufflerBehaviour> behaviours;  ///< per shuffler; default honest
   ThreadPool* pool = nullptr;            ///< parallel user encryption
+  /// Server-side ingestion pipeline knobs (batch size, queue capacity,
+  /// shard count). `streaming.pool` is ignored — the server pipeline
+  /// shares `pool`.
+  service::StreamingOptions streaming;
 };
 
 /// Result of one SS collection round.
@@ -51,6 +56,7 @@ struct SequentialShuffleResult {
   bool spot_check_passed = true;       ///< all dummies arrived untampered
   uint64_t reports_at_server = 0;      ///< |reports| after the last peel
   CostReport costs;
+  service::StreamingStats streaming;   ///< server ingestion pipeline stats
 };
 
 /// Runs the full SS protocol over `values` with the given oracle.

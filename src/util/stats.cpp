@@ -1,6 +1,9 @@
 #include "util/stats.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 #include <unordered_set>
 
 namespace shuffledp {
@@ -40,6 +43,156 @@ double TopKPrecision(const std::vector<uint64_t>& predicted,
     if (truth_set.count(v)) ++hits;
   }
   return static_cast<double>(hits) / static_cast<double>(truth.size());
+}
+
+namespace {
+
+// Lower regularized incomplete gamma P(a, x) by its power series; valid
+// (fast-converging) for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double term = 1.0 / a;
+  double sum = term;
+  for (int i = 0; i < 500; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+// Upper regularized incomplete gamma Q(a, x) by Lentz's continued
+// fraction; valid for x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  const double kTiny = 1e-300;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < 1e-15) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double RegularizedGammaQ(double a, double x) {
+  if (x <= 0.0) return 1.0;
+  if (a <= 0.0) return 0.0;
+  if (x < a + 1.0) return 1.0 - GammaPSeries(a, x);
+  return GammaQContinuedFraction(a, x);
+}
+
+double ChiSquarePValue(double stat, double dof) {
+  if (dof <= 0.0) return 1.0;
+  if (std::isinf(stat)) return 0.0;  // impossible observation
+  return RegularizedGammaQ(dof / 2.0, stat / 2.0);
+}
+
+namespace {
+
+// Pearson statistic plus the number of cells it actually included, so
+// the goodness-of-fit dof is derived from the same inclusion rule. A
+// count landing in a cell with (near-)zero expected mass is an outright
+// rejection: stat = +inf.
+struct ChiSquareAccumulation {
+  double stat = 0.0;
+  size_t included_cells = 0;
+};
+
+ChiSquareAccumulation AccumulateChiSquare(
+    const std::vector<uint64_t>& observed,
+    const std::vector<double>& expected_probs) {
+  assert(observed.size() == expected_probs.size());
+  ChiSquareAccumulation acc;
+  uint64_t total = 0;
+  double prob_mass = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    total += observed[i];
+    prob_mass += expected_probs[i];
+  }
+  if (total == 0 || prob_mass <= 0.0) return acc;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    double expected =
+        static_cast<double>(total) * expected_probs[i] / prob_mass;
+    if (expected < 1e-12) {
+      if (observed[i] > 0) {
+        acc.stat = std::numeric_limits<double>::infinity();
+        return acc;
+      }
+      continue;
+    }
+    ++acc.included_cells;
+    double diff = static_cast<double>(observed[i]) - expected;
+    acc.stat += diff * diff / expected;
+  }
+  return acc;
+}
+
+}  // namespace
+
+double ChiSquareStat(const std::vector<uint64_t>& observed,
+                     const std::vector<double>& expected_probs) {
+  return AccumulateChiSquare(observed, expected_probs).stat;
+}
+
+double ChiSquareGofPValue(const std::vector<uint64_t>& observed,
+                          const std::vector<double>& expected_probs) {
+  ChiSquareAccumulation acc = AccumulateChiSquare(observed, expected_probs);
+  if (std::isinf(acc.stat)) return 0.0;  // count in an impossible cell
+  if (acc.included_cells < 2) return 1.0;
+  return ChiSquarePValue(acc.stat,
+                         static_cast<double>(acc.included_cells - 1));
+}
+
+double TwoSampleKsStat(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  std::vector<double> sa = a, sb = b;
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  const double na = static_cast<double>(sa.size());
+  const double nb = static_cast<double>(sb.size());
+  size_t i = 0, j = 0;
+  double d_max = 0.0;
+  while (i < sa.size() && j < sb.size()) {
+    double x = std::min(sa[i], sb[j]);
+    // Advance past ties so both CDFs are evaluated *after* the jump at x.
+    while (i < sa.size() && sa[i] <= x) ++i;
+    while (j < sb.size() && sb[j] <= x) ++j;
+    double diff =
+        std::fabs(static_cast<double>(i) / na - static_cast<double>(j) / nb);
+    d_max = std::max(d_max, diff);
+  }
+  return d_max;
+}
+
+double TwoSampleKsPValue(double d_stat, size_t n, size_t m) {
+  if (n == 0 || m == 0) return 1.0;
+  const double ne = static_cast<double>(n) * static_cast<double>(m) /
+                    static_cast<double>(n + m);
+  double lambda = d_stat * std::sqrt(ne);
+  if (lambda < 1e-9) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int jj = 1; jj <= 100; ++jj) {
+    double term = std::exp(-2.0 * jj * jj * lambda * lambda);
+    sum += sign * term;
+    if (term < 1e-12) break;
+    sign = -sign;
+  }
+  return std::min(1.0, std::max(0.0, 2.0 * sum));
 }
 
 }  // namespace shuffledp

@@ -55,6 +55,39 @@ double MeanSquaredErrorAt(const std::vector<double>& truth,
 double TopKPrecision(const std::vector<uint64_t>& predicted,
                      const std::vector<uint64_t>& truth);
 
+// --- Goodness-of-fit machinery (distribution-conformance tests) -----------
+
+/// Regularized upper incomplete gamma Q(a, x) = Γ(a, x)/Γ(a), a > 0,
+/// x >= 0. Series expansion for x < a + 1, continued fraction otherwise
+/// (Numerical Recipes style; absolute error < 1e-12 over the tested range).
+double RegularizedGammaQ(double a, double x);
+
+/// Upper-tail p-value of a chi-square statistic with `dof` degrees of
+/// freedom: Pr[X >= stat] = Q(dof/2, stat/2).
+double ChiSquarePValue(double stat, double dof);
+
+/// Pearson chi-square statistic of observed category counts against
+/// expected cell probabilities (cells with expected count < 1e-12 are
+/// skipped; `expected_probs` need not be normalized — it is rescaled to
+/// sum to 1). Pre: observed.size() == expected_probs.size().
+double ChiSquareStat(const std::vector<uint64_t>& observed,
+                     const std::vector<double>& expected_probs);
+
+/// One-call goodness-of-fit p-value: ChiSquareStat with dof = cells − 1.
+double ChiSquareGofPValue(const std::vector<uint64_t>& observed,
+                          const std::vector<double>& expected_probs);
+
+/// Two-sample Kolmogorov–Smirnov statistic D = sup_x |F_a(x) − F_b(x)|.
+/// Ties are handled by comparing the empirical CDFs at every jump point;
+/// inputs are copied and sorted internally.
+double TwoSampleKsStat(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// Asymptotic two-sample KS p-value via the Kolmogorov distribution
+/// Q_KS(λ) = 2 Σ_{j>=1} (−1)^{j−1} e^{−2 j² λ²} with
+/// λ = D·sqrt(n·m/(n+m)). Conservative in the presence of ties.
+double TwoSampleKsPValue(double d_stat, size_t n, size_t m);
+
 }  // namespace shuffledp
 
 #endif  // SHUFFLEDP_UTIL_STATS_H_

@@ -65,28 +65,40 @@ void ThreadPool::ParallelFor(
     uint64_t begin, uint64_t end,
     const std::function<void(uint64_t, uint64_t)>& body) {
   if (begin >= end) return;
-  if (InWorkerThread()) {
-    // Nested call from one of our own workers: dispatching to the pool
-    // would wait on a worker slot this thread occupies. Run inline.
-    body(begin, end);
-    return;
-  }
+  // Worker-count-scaled chunking (callers that need pool-independent
+  // boundaries use ParallelForChunks directly).
   const uint64_t total = end - begin;
   const uint64_t chunks =
       std::min<uint64_t>(total, static_cast<uint64_t>(num_threads()) * 4);
-  const uint64_t step = (total + chunks - 1) / chunks;
+  ParallelForChunks(begin, end, (total + chunks - 1) / chunks, body);
+}
 
-  // Per-call completion latch: ParallelFor must not return while its own
+void ThreadPool::ParallelForChunks(
+    uint64_t begin, uint64_t end, uint64_t chunk_size,
+    const std::function<void(uint64_t, uint64_t)>& body) {
+  if (begin >= end) return;
+  if (chunk_size == 0) chunk_size = 1;
+  if (InWorkerThread()) {
+    // Nested call from one of our own workers: dispatching to the pool
+    // would wait on a worker slot this thread occupies. Run the chunks
+    // inline, preserving the boundaries so chunk-seeded callers stay
+    // deterministic.
+    for (uint64_t lo = begin; lo < end; lo += chunk_size) {
+      body(lo, std::min(end, lo + chunk_size));
+    }
+    return;
+  }
+  // Per-call completion latch: the call must not return while its own
   // chunks run, but should not wait on unrelated tasks either.
   struct Latch {
     std::mutex m;
     std::condition_variable cv;
     uint64_t remaining;
   } latch;
-  latch.remaining = (total + step - 1) / step;
+  latch.remaining = (end - begin + chunk_size - 1) / chunk_size;
 
-  for (uint64_t lo = begin; lo < end; lo += step) {
-    uint64_t hi = std::min(end, lo + step);
+  for (uint64_t lo = begin; lo < end; lo += chunk_size) {
+    uint64_t hi = std::min(end, lo + chunk_size);
     Submit([&body, &latch, lo, hi] {
       body(lo, hi);
       std::lock_guard<std::mutex> lock(latch.m);
@@ -119,6 +131,20 @@ void ThreadPool::WorkerLoop() {
 ThreadPool& GlobalThreadPool() {
   static ThreadPool* pool = new ThreadPool(ThreadPool::DefaultNumThreads());
   return *pool;
+}
+
+void ForChunks(ThreadPool* pool, uint64_t begin, uint64_t end,
+               uint64_t chunk_size,
+               const std::function<void(uint64_t, uint64_t)>& body) {
+  if (begin >= end) return;
+  if (chunk_size == 0) chunk_size = 1;
+  if (pool != nullptr) {
+    pool->ParallelForChunks(begin, end, chunk_size, body);
+    return;
+  }
+  for (uint64_t lo = begin; lo < end; lo += chunk_size) {
+    body(lo, std::min(end, lo + chunk_size));
+  }
 }
 
 }  // namespace shuffledp

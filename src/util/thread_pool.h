@@ -43,6 +43,13 @@ class ThreadPool {
   void ParallelFor(uint64_t begin, uint64_t end,
                    const std::function<void(uint64_t, uint64_t)>& body);
 
+  /// Like ParallelFor, but with chunk boundaries fixed by `chunk_size`
+  /// alone — never by the worker count. Protocol code that seeds a
+  /// per-chunk RNG from `lo` must use this variant so results are bitwise
+  /// identical across SHUFFLEDP_THREADS settings.
+  void ParallelForChunks(uint64_t begin, uint64_t end, uint64_t chunk_size,
+                         const std::function<void(uint64_t, uint64_t)>& body);
+
   /// True iff the calling thread is one of this pool's workers.
   bool InWorkerThread() const;
 
@@ -66,6 +73,14 @@ class ThreadPool {
 /// Process-wide shared pool (lazily constructed; sized by
 /// ThreadPool::DefaultNumThreads, i.e. SHUFFLEDP_THREADS when set).
 ThreadPool& GlobalThreadPool();
+
+/// Runs `body` over [begin, end) in fixed-size chunks: on `pool` when one
+/// is supplied, serially otherwise. Both paths produce the exact same
+/// chunk boundaries, so per-chunk RNG seeding derived from `lo` yields
+/// results independent of the pool (and of its size).
+void ForChunks(ThreadPool* pool, uint64_t begin, uint64_t end,
+               uint64_t chunk_size,
+               const std::function<void(uint64_t, uint64_t)>& body);
 
 }  // namespace shuffledp
 

@@ -1,0 +1,210 @@
+// Statistical conformance suite: chi-square goodness-of-fit tests pin the
+// *whole report distribution* of every randomizer to its theoretical law
+// (not just the two support moments oracle_conformance_test checks), and
+// a two-sample KS test pins FastSimulateSupports to the per-user
+// pipeline's empirical support CDF. These are the distribution-level
+// guarantees that make fast-path equivalences (fast_sim, streaming
+// collection) trustworthy.
+//
+// Every test uses a fixed seed, so results are reproducible; thresholds
+// are p > 1e-3 on exact laws (conditioning tricks remove any dependence
+// on hash-family quality, so the null hypothesis holds by construction).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ldp/fast_sim.h"
+#include "ldp/grr.h"
+#include "ldp/hadamard.h"
+#include "ldp/local_hash.h"
+#include "ldp/unary.h"
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace shuffledp {
+namespace ldp {
+namespace {
+
+constexpr double kPThreshold = 1e-3;
+
+TEST(DistributionConformance, GrrReportLawMatchesTheory) {
+  // GRR's output law is exact: the true value with probability p, every
+  // other value with probability q.
+  const uint64_t d = 16;
+  const uint64_t v0 = 3;
+  Grr oracle(1.5, d);
+  Rng rng(101);
+  const int kTrials = 120000;
+  std::vector<uint64_t> observed(d, 0);
+  for (int i = 0; i < kTrials; ++i) {
+    ++observed[oracle.Encode(v0, &rng).value];
+  }
+  std::vector<double> expected(d, oracle.q());
+  expected[v0] = oracle.p();
+  double pval = ChiSquareGofPValue(observed, expected);
+  EXPECT_GT(pval, kPThreshold) << "GRR report distribution off";
+}
+
+TEST(DistributionConformance, GrrFakeReportsAreUniform) {
+  const uint64_t d = 11;
+  Grr oracle(2.0, d);
+  Rng rng(102);
+  const int kTrials = 110000;
+  std::vector<uint64_t> observed(d, 0);
+  for (int i = 0; i < kTrials; ++i) {
+    ++observed[oracle.MakeFakeReport(&rng).value];
+  }
+  std::vector<double> expected(d, 1.0 / static_cast<double>(d));
+  EXPECT_GT(ChiSquareGofPValue(observed, expected), kPThreshold);
+}
+
+TEST(DistributionConformance, SolhPerturbationLawMatchesTheory) {
+  // Conditioning on the drawn seed makes the SOLH law exact regardless of
+  // hash-family quality: the report equals H_seed(v) with probability p,
+  // and conditioned on missing it the value is uniform over the d'−1
+  // remaining cells (chi-square with d'−2 dof).
+  const uint64_t d = 128, d_prime = 8;
+  const uint64_t v0 = 17;
+  LocalHash oracle(2.0, d, d_prime, "SOLH");
+  Rng rng(103);
+  const int kTrials = 160000;
+  uint64_t hits = 0;
+  std::vector<uint64_t> miss_rank(d_prime - 1, 0);
+  for (int i = 0; i < kTrials; ++i) {
+    LdpReport r = oracle.Encode(v0, &rng);
+    uint32_t h = UniversalHash(v0, r.seed, static_cast<uint32_t>(d_prime));
+    if (r.value == h) {
+      ++hits;
+    } else {
+      ++miss_rank[r.value > h ? r.value - 1 : r.value];
+    }
+  }
+  // Hit indicator ~ Bernoulli(p): 5σ z-test.
+  const double p = oracle.p();
+  double z = (static_cast<double>(hits) - kTrials * p) /
+             std::sqrt(kTrials * p * (1 - p));
+  EXPECT_LT(std::fabs(z), 5.0) << "SOLH keep-probability off";
+  // Conditional misses uniform over d'−1 cells.
+  std::vector<double> expected(d_prime - 1,
+                               1.0 / static_cast<double>(d_prime - 1));
+  EXPECT_GT(ChiSquareGofPValue(miss_rank, expected), kPThreshold)
+      << "SOLH conditional miss distribution not uniform";
+}
+
+TEST(DistributionConformance, HadamardRowUniformAndBitLawMatchesTheory) {
+  const uint64_t d = 20;
+  const uint64_t v0 = 5;
+  HadamardResponse oracle(1.0, d);
+  const uint64_t dim = oracle.padded_dim();
+  Rng rng(104);
+  const int kTrials = 160000;
+  std::vector<uint64_t> row_hist(dim, 0);
+  uint64_t bit_kept = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    LdpReport r = oracle.Encode(v0, &rng);
+    ++row_hist[r.seed];
+    uint32_t true_bit =
+        HadamardBit(r.seed, static_cast<uint32_t>(v0 + 1));
+    bit_kept += r.value == true_bit;
+  }
+  std::vector<double> expected(dim, 1.0 / static_cast<double>(dim));
+  EXPECT_GT(ChiSquareGofPValue(row_hist, expected), kPThreshold)
+      << "Hadamard row index not uniform";
+  const double p = std::exp(1.0) / (std::exp(1.0) + 1.0);
+  double z = (static_cast<double>(bit_kept) - kTrials * p) /
+             std::sqrt(kTrials * p * (1 - p));
+  EXPECT_LT(std::fabs(z), 5.0) << "Hadamard bit-keep probability off";
+}
+
+TEST(DistributionConformance, UnaryColumnLawMatchesTheory) {
+  // Each bit of the unary encoding is an independent Bernoulli: p for the
+  // held value's column, q elsewhere. The sum of squared per-column
+  // z-scores is chi-square with d dof.
+  for (auto semantics : {UnaryEncoding::Semantics::kReplacement,
+                         UnaryEncoding::Semantics::kRemoval}) {
+    const uint64_t d = 32;
+    const uint64_t v0 = 9;
+    UnaryEncoding oracle(2.0, d, semantics);
+    Rng rng(105);
+    const int kTrials = 50000;
+    std::vector<uint64_t> ones(d, 0);
+    for (int i = 0; i < kTrials; ++i) {
+      auto bits = oracle.Encode(v0, &rng);
+      for (uint64_t c = 0; c < d; ++c) ones[c] += bits[c];
+    }
+    double stat = 0.0;
+    for (uint64_t c = 0; c < d; ++c) {
+      double prob = c == v0 ? oracle.p() : oracle.q();
+      double mean = kTrials * prob;
+      double var = kTrials * prob * (1 - prob);
+      double diff = static_cast<double>(ones[c]) - mean;
+      stat += diff * diff / var;
+    }
+    EXPECT_GT(ChiSquarePValue(stat, static_cast<double>(d)), kPThreshold)
+        << oracle.Name() << " column law off";
+  }
+}
+
+// Draws `trials` support counts for probe value 0 from (a) the fast
+// Binomial simulator and (b) the exact per-user pipeline, and KS-tests
+// the two samples.
+void KsFastSimVsPerUser(const ScalarFrequencyOracle& oracle,
+                        const std::vector<uint64_t>& value_counts,
+                        uint64_t n_fake, uint64_t seed) {
+  const uint64_t probe = 0;
+  const int kTrialCount = 300;
+  Rng rng(seed);
+  std::vector<double> fast_sample, exact_sample;
+  uint64_t n = 0;
+  for (uint64_t c : value_counts) n += c;
+  for (int t = 0; t < kTrialCount; ++t) {
+    // Fast path: one Binomial-composed draw.
+    auto supports =
+        FastSimulateSupportsAt(oracle.support_probs(), value_counts, n,
+                               n_fake, {probe}, &rng);
+    fast_sample.push_back(static_cast<double>(supports[0]));
+    // Exact path: encode every user and fake, count supports.
+    uint64_t count = 0;
+    for (uint64_t v = 0; v < value_counts.size(); ++v) {
+      for (uint64_t u = 0; u < value_counts[v]; ++u) {
+        count += oracle.Supports(oracle.Encode(v, &rng), probe);
+      }
+    }
+    for (uint64_t f = 0; f < n_fake; ++f) {
+      count += oracle.Supports(oracle.MakeFakeReport(&rng), probe);
+    }
+    exact_sample.push_back(static_cast<double>(count));
+  }
+  double d_stat = TwoSampleKsStat(fast_sample, exact_sample);
+  double pval =
+      TwoSampleKsPValue(d_stat, fast_sample.size(), exact_sample.size());
+  EXPECT_GT(pval, kPThreshold)
+      << oracle.Name() << ": KS D=" << d_stat
+      << " between FastSimulateSupports and the per-user pipeline";
+}
+
+TEST(DistributionConformance, FastSimMatchesPerUserPipelineGrr) {
+  Grr oracle(2.0, 8);
+  KsFastSimVsPerUser(oracle, {200, 100, 50, 50, 0, 0, 0, 0}, 0, 106);
+}
+
+TEST(DistributionConformance, FastSimMatchesPerUserPipelineGrrWithFakes) {
+  Grr oracle(2.0, 8);
+  KsFastSimVsPerUser(oracle, {200, 100, 50, 50, 0, 0, 0, 0}, 120, 107);
+}
+
+TEST(DistributionConformance, FastSimMatchesPerUserPipelineSolh) {
+  LocalHash oracle(2.0, 64, 8, "SOLH");
+  std::vector<uint64_t> counts(64, 0);
+  counts[0] = 150;
+  counts[1] = 100;
+  counts[7] = 150;
+  KsFastSimVsPerUser(oracle, counts, 80, 108);
+}
+
+}  // namespace
+}  // namespace ldp
+}  // namespace shuffledp

@@ -1,0 +1,142 @@
+// Attack matrix: every ShufflerBehaviour × spot-check combination of the
+// sequential shuffle, asserted end-to-end through the streaming server
+// pipeline (§VI-A1).
+//
+// Spot-check theory: the server plants m dummy accounts whose payloads it
+// can recognize; shufflers cannot distinguish them from real users. A
+// shuffler that replaces a fraction β of the reports it forwards destroys
+// each dummy independently with probability β, so
+//     Pr[undetected] = (1 − β)^m                            (§VI-A1)
+// — certain detection for wholesale replacement (β = 1), overwhelming
+// detection for dropping half (β = 1/2, m = 16 → 2^-16), and *no*
+// detection ever for biased fake injection (fakes are new reports; no
+// dummy is touched), which is exactly the SS weakness PEOS fixes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ldp/grr.h"
+#include "shuffle/sequential_shuffle.h"
+
+namespace shuffledp {
+namespace shuffle {
+namespace {
+
+constexpr uint64_t kN = 300;
+constexpr uint64_t kD = 8;
+constexpr uint64_t kFakes = 150;
+constexpr uint64_t kDummies = 16;
+constexpr uint64_t kTarget = 5;
+
+std::vector<uint64_t> SkewedValues(uint64_t n, uint64_t d) {
+  std::vector<uint64_t> values(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    values[i] = (i < n / 2) ? 0 : 1 + (i % (d - 1));
+  }
+  return values;
+}
+
+SequentialShuffleResult RunCell(ShufflerBehaviour behaviour, uint64_t dummies,
+                            uint64_t seed, bool all_shufflers = false) {
+  ldp::Grr oracle(3.0, kD);
+  auto values = SkewedValues(kN, kD);
+  SequentialShuffleConfig config;
+  config.num_shufflers = 3;
+  config.fake_reports_total = kFakes;
+  config.spot_check_dummies = dummies;
+  config.poison_target_value = kTarget;
+  // Malicious middle shuffler by default; all three for fake biasing
+  // (the strongest §VI-A1 poisoning scenario).
+  config.behaviours = all_shufflers
+                          ? std::vector<ShufflerBehaviour>(3, behaviour)
+                          : std::vector<ShufflerBehaviour>{
+                                ShufflerBehaviour::kHonest, behaviour,
+                                ShufflerBehaviour::kHonest};
+  crypto::SecureRandom rng(seed);
+  auto result = RunSequentialShuffle(oracle, values, config, &rng);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? *result : SequentialShuffleResult{};
+}
+
+// --- Honest column: the spot check never trips ----------------------------
+
+TEST(AttackMatrix, HonestWithoutDummies) {
+  auto r = RunCell(ShufflerBehaviour::kHonest, 0, 1);
+  EXPECT_TRUE(r.spot_check_passed);  // vacuous
+  EXPECT_EQ(r.reports_at_server, kN + kFakes);
+  EXPECT_NEAR(r.estimates[0], 0.5, 0.15);
+}
+
+TEST(AttackMatrix, HonestWithDummiesNeverTrips) {
+  // Pr[false positive] = 0 by construction; check across several seeds.
+  for (uint64_t seed : {2, 3, 4, 5, 6}) {
+    auto r = RunCell(ShufflerBehaviour::kHonest, kDummies, seed);
+    EXPECT_TRUE(r.spot_check_passed) << "false positive at seed " << seed;
+    EXPECT_EQ(r.reports_at_server, kN + kFakes);  // dummies stripped
+    EXPECT_NEAR(r.estimates[0], 0.5, 0.15);
+  }
+}
+
+// --- Biased fakes: undetectable, but poisons the estimate -----------------
+
+TEST(AttackMatrix, BiasedFakesWithoutDummies) {
+  auto r = RunCell(ShufflerBehaviour::kBiasedFakes, 0, 7, /*all=*/true);
+  EXPECT_TRUE(r.spot_check_passed);
+  // All kFakes landed on the target instead of kFakes/kD: the estimate
+  // gains ≈ (kFakes − kFakes/kD)/kN ≈ 0.44.
+  EXPECT_GT(r.estimates[kTarget], 0.25);
+}
+
+TEST(AttackMatrix, BiasedFakesPassSpotCheckEveryTime) {
+  // β = 0 for user reports: Pr[undetected] = (1−0)^m = 1. The §VI-A1
+  // spot check is structurally blind to fake-report bias.
+  for (uint64_t seed : {8, 9, 10, 11}) {
+    auto r = RunCell(ShufflerBehaviour::kBiasedFakes, kDummies, seed,
+                 /*all=*/true);
+    EXPECT_TRUE(r.spot_check_passed) << "seed " << seed;
+    EXPECT_GT(r.estimates[kTarget], 0.25);
+  }
+}
+
+// --- Replaced reports: detected with certainty when β = 1 -----------------
+
+TEST(AttackMatrix, ReplaceWithoutDummiesGoesUnnoticed) {
+  auto r = RunCell(ShufflerBehaviour::kReplaceReports, 0, 12);
+  EXPECT_TRUE(r.spot_check_passed);  // nothing planted, nothing caught
+  EXPECT_GT(r.estimates[kTarget], 0.8);
+}
+
+TEST(AttackMatrix, ReplaceWithDummiesAlwaysDetected) {
+  // β = 1: Pr[undetected] = (1−1)^m = 0; every run must trip.
+  for (uint64_t seed : {13, 14, 15, 16}) {
+    auto r = RunCell(ShufflerBehaviour::kReplaceReports, kDummies, seed);
+    EXPECT_FALSE(r.spot_check_passed) << "undetected at seed " << seed;
+    // Estimation still proceeds so the caller can observe the poison.
+    EXPECT_GT(r.estimates[kTarget], 0.8);
+  }
+}
+
+// --- Dropped reports: detected with probability 1 − (1−β)^m ---------------
+
+TEST(AttackMatrix, DropWithoutDummiesShrinksStream) {
+  auto r = RunCell(ShufflerBehaviour::kDropReports, 0, 17);
+  EXPECT_TRUE(r.spot_check_passed);
+  // The middle shuffler drops half of n + n_r/3 in-flight reports; the
+  // last shuffler still injects its fake quota afterwards.
+  EXPECT_LT(r.reports_at_server, kN + kFakes);
+}
+
+TEST(AttackMatrix, DropWithDummiesDetectedWhp) {
+  // β = 1/2, m = 16: Pr[undetected] = 2^-16 ≈ 1.5e-5 — every tested
+  // seed must trip (a false negative here has probability < 1e-4 across
+  // all four seeds combined under the §VI-A1 bound).
+  for (uint64_t seed : {18, 19, 20, 21}) {
+    auto r = RunCell(ShufflerBehaviour::kDropReports, kDummies, seed);
+    EXPECT_FALSE(r.spot_check_passed) << "undetected at seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace shuffle
+}  // namespace shuffledp

@@ -1,0 +1,174 @@
+// Robustness of the wire codecs against malformed bytes (registered in
+// ctest as wire_robustness_test; run under ASan/UBSan in CI).
+//
+// Deterministic corpus: truncations at every prefix length, single-bit
+// flips at every position, length-field lies (including the count that
+// overflows count × width to a small number — a crafted varint must not
+// drive a multi-exabyte reserve()), and seeded random garbage. Every
+// input must come back as an error Status or a fully validated parse —
+// never a crash, hang, or over-read.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ldp/grr.h"
+#include "ldp/hadamard.h"
+#include "ldp/local_hash.h"
+#include "ldp/wire.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace shuffledp {
+namespace ldp {
+namespace {
+
+std::vector<std::unique_ptr<ScalarFrequencyOracle>> CorpusOracles() {
+  std::vector<std::unique_ptr<ScalarFrequencyOracle>> oracles;
+  oracles.push_back(std::make_unique<Grr>(2.0, 11));
+  oracles.push_back(std::make_unique<LocalHash>(2.0, 100, 6, "SOLH"));
+  oracles.push_back(std::make_unique<HadamardResponse>(1.0, 20));
+  return oracles;
+}
+
+Bytes ValidWire(const ScalarFrequencyOracle& oracle, int n_reports,
+                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LdpReport> reports;
+  for (int i = 0; i < n_reports; ++i) {
+    reports.push_back(
+        oracle.Encode(static_cast<uint64_t>(i) % oracle.domain_size(), &rng));
+  }
+  return SerializeReports(oracle, reports);
+}
+
+// The invariant for every mutated input: no crash, and on success every
+// parsed report still validates.
+void MustNotCrash(const ScalarFrequencyOracle& oracle, const Bytes& wire) {
+  auto parsed = ParseReports(oracle, wire);
+  if (parsed.ok()) {
+    for (const LdpReport& r : *parsed) {
+      EXPECT_TRUE(oracle.ValidateReport(r).ok());
+    }
+  }
+}
+
+TEST(WireRobustness, ValidRoundTrip) {
+  for (const auto& oracle : CorpusOracles()) {
+    Bytes wire = ValidWire(*oracle, 7, 1);
+    auto parsed = ParseReports(*oracle, wire);
+    ASSERT_TRUE(parsed.ok()) << oracle->Name();
+    EXPECT_EQ(parsed->size(), 7u);
+  }
+}
+
+TEST(WireRobustness, EveryTruncationFailsCleanly) {
+  for (const auto& oracle : CorpusOracles()) {
+    Bytes wire = ValidWire(*oracle, 5, 2);
+    for (size_t len = 0; len < wire.size(); ++len) {
+      Bytes truncated(wire.begin(), wire.begin() + len);
+      auto parsed = ParseReports(*oracle, truncated);
+      EXPECT_FALSE(parsed.ok())
+          << oracle->Name() << " accepted a " << len << "-byte truncation";
+    }
+  }
+}
+
+TEST(WireRobustness, EveryBitFlipIsHandled) {
+  for (const auto& oracle : CorpusOracles()) {
+    Bytes wire = ValidWire(*oracle, 5, 3);
+    for (size_t byte = 0; byte < wire.size(); ++byte) {
+      for (int bit = 0; bit < 8; ++bit) {
+        Bytes mutated = wire;
+        mutated[byte] ^= static_cast<uint8_t>(1u << bit);
+        MustNotCrash(*oracle, mutated);
+      }
+    }
+  }
+}
+
+TEST(WireRobustness, LengthFieldLies) {
+  for (const auto& oracle : CorpusOracles()) {
+    Bytes wire = ValidWire(*oracle, 5, 4);
+    // Body without the original 1-byte varint count (5 < 0x80).
+    Bytes body(wire.begin() + 1, wire.end());
+    for (uint64_t lied_count :
+         {uint64_t{0}, uint64_t{4}, uint64_t{6}, uint64_t{1} << 32}) {
+      ByteWriter w;
+      w.PutVarint(lied_count);
+      w.PutBytes(body);
+      auto parsed = ParseReports(*oracle, w.data());
+      EXPECT_FALSE(parsed.ok())
+          << oracle->Name() << " accepted lied count " << lied_count;
+    }
+  }
+}
+
+TEST(WireRobustness, OverflowingCountIsRejectedWithoutAllocating) {
+  // count = 2^61 with an 8-byte report width overflows count * width to
+  // 0, which matched an empty remainder in the unpatched check and drove
+  // reserve(2^61). Must now fail fast for every width.
+  for (const auto& oracle : CorpusOracles()) {
+    for (uint64_t count : {uint64_t{1} << 61, uint64_t{1} << 62,
+                           ~uint64_t{0}, (~uint64_t{0}) / 8}) {
+      ByteWriter w;
+      w.PutVarint(count);
+      auto parsed = ParseReports(*oracle, w.data());
+      EXPECT_FALSE(parsed.ok()) << oracle->Name() << " count=" << count;
+      // And with a few trailing bytes so Remaining() is nonzero:
+      w.PutU64(0xDEADBEEFULL);
+      parsed = ParseReports(*oracle, w.data());
+      EXPECT_FALSE(parsed.ok()) << oracle->Name() << " count=" << count;
+    }
+  }
+}
+
+TEST(WireRobustness, RandomGarbageNeverCrashes) {
+  Rng rng(5);
+  for (const auto& oracle : CorpusOracles()) {
+    for (int trial = 0; trial < 300; ++trial) {
+      Bytes garbage(rng.UniformU64(120));
+      for (auto& b : garbage) b = static_cast<uint8_t>(rng.NextU64());
+      MustNotCrash(*oracle, garbage);
+    }
+  }
+}
+
+TEST(WireRobustness, UnaryPayloadLengthAndPadding) {
+  const uint64_t d = 13;
+  std::vector<uint8_t> bits(d, 0);
+  bits[3] = bits[7] = 1;
+  Bytes packed = PackUnaryBits(bits);
+  ASSERT_EQ(packed.size(), (d + 7) / 8);
+
+  auto ok = UnpackUnaryBits(packed, d);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, bits);
+
+  // Wrong lengths fail cleanly.
+  Bytes shorter(packed.begin(), packed.end() - 1);
+  EXPECT_FALSE(UnpackUnaryBits(shorter, d).ok());
+  Bytes longer = packed;
+  longer.push_back(0);
+  EXPECT_FALSE(UnpackUnaryBits(longer, d).ok());
+  EXPECT_FALSE(UnpackUnaryBits(packed, d + 9).ok());
+
+  // Smuggled padding bits are rejected.
+  Bytes smuggled = packed;
+  smuggled.back() |= 0x80;  // bit 15 > d-1 = 12
+  EXPECT_FALSE(UnpackUnaryBits(smuggled, d).ok());
+
+  // Random garbage at matching length parses or fails, never crashes.
+  Rng rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    Bytes garbage((d + 7) / 8);
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.NextU64());
+    auto parsed = UnpackUnaryBits(garbage, d);
+    if (parsed.ok()) EXPECT_EQ(parsed->size(), d);
+  }
+}
+
+}  // namespace
+}  // namespace ldp
+}  // namespace shuffledp
