@@ -7,6 +7,7 @@
 #include "crypto/aes.h"
 #include "crypto/bigint.h"
 #include "crypto/ecies.h"
+#include "crypto/montgomery.h"
 #include "crypto/paillier.h"
 #include "crypto/secret_sharing.h"
 #include "crypto/secure_random.h"
@@ -161,6 +162,75 @@ void BM_Paillier_HomomorphicAdd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Paillier_HomomorphicAdd);
+
+void BM_Paillier_EncryptFixedBase(benchmark::State& state) {
+  // DJN short-exponent fixed-base randomizers (fresh mask per call).
+  auto& f = Paillier();
+  RandomizerPool pool(f.kp.pub, 2, &Srng(),
+                      RandomizerPool::Mode::kFixedBase);
+  uint64_t m = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool.EncryptFastU64(m++, &Srng()));
+  }
+}
+BENCHMARK(BM_Paillier_EncryptFixedBase)->Unit(benchmark::kMicrosecond);
+
+void BM_Paillier_DecryptPacked(benchmark::State& state) {
+  // Packed share recovery at the PEOS Table-III layout (SOLH d'=16:
+  // ell = 36, r = 3: slot = 39); per-row cost = time / items.
+  auto& f = Paillier();
+  const unsigned ell = 36, slot_bits = 39;
+  const uint64_t mask = (uint64_t{1} << ell) - 1;
+  const size_t count = f.kp.priv.PackedSlotCapacity(slot_bits);
+  std::vector<PaillierCiphertext> cs(count);
+  for (size_t i = 0; i < count; ++i) {
+    cs[i] = *f.kp.pub.EncryptU64((0x9E3779B97F4A7C15ULL * i) & mask,
+                                 &Srng());
+  }
+  std::vector<uint64_t> out(count);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.kp.priv.DecryptPackedMod2Ell(
+        cs.data(), count, slot_bits, ell, out.data()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(count));
+}
+BENCHMARK(BM_Paillier_DecryptPacked)->Unit(benchmark::kMillisecond);
+
+void BM_Mont_MulRaw(benchmark::State& state) {
+  // One fused-CIOS Montgomery multiply on the allocation-free kernel.
+  const size_t bits = static_cast<size_t>(state.range(0));
+  BigInt m = BigInt::RandomWithBits(bits, &Srng());
+  if (!m.IsOdd()) m = m.Add(BigInt(1));
+  auto ctx = MontgomeryCtx::Create(m);
+  MontgomeryCtx::Scratch scratch(*ctx);
+  const size_t n = ctx->limbs();
+  std::vector<uint64_t> a(n), out(n);
+  ctx->ToMontInto(BigInt::RandomBelow(m, &Srng()), a.data(), &scratch);
+  out = a;
+  for (auto _ : state) {
+    ctx->MulInto(out.data(), a.data(), out.data(), &scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Mont_MulRaw)->Arg(1024)->Arg(2048)->Arg(3072);
+
+void BM_Mont_SqrRaw(benchmark::State& state) {
+  // The dedicated squaring kernel (the modexp ladder's dominant op).
+  const size_t bits = static_cast<size_t>(state.range(0));
+  BigInt m = BigInt::RandomWithBits(bits, &Srng());
+  if (!m.IsOdd()) m = m.Add(BigInt(1));
+  auto ctx = MontgomeryCtx::Create(m);
+  MontgomeryCtx::Scratch scratch(*ctx);
+  const size_t n = ctx->limbs();
+  std::vector<uint64_t> out(n);
+  ctx->ToMontInto(BigInt::RandomBelow(m, &Srng()), out.data(), &scratch);
+  for (auto _ : state) {
+    ctx->SqrInto(out.data(), out.data(), &scratch);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_Mont_SqrRaw)->Arg(1024)->Arg(2048)->Arg(3072);
 
 void BM_P256_ScalarBaseMult(benchmark::State& state) {
   Scalar256 k = P256::RandomScalar(&Srng());

@@ -33,15 +33,24 @@ for arg in "$@"; do
   esac
 done
 
-# Default filter keeps the hot-path crypto benchmarks (the Paillier /
-# BigInt suite takes minutes and is unchanged by the EC/AES work); pass
+# Default filter keeps the hot-path crypto benchmarks (incl. the Paillier
+# and Montgomery-kernel suite behind the PEOS server cost); pass
 # MICRO_FILTER='' for everything.
-MICRO_FILTER="${MICRO_FILTER-P256|Ecies|Aes|Sha256|XxHash}"
+MICRO_FILTER="${MICRO_FILTER-P256|Ecies|Aes|Sha256|XxHash|Paillier|Mont|BigInt_Mod}"
 TABLE3_N="${TABLE3_N:-2000}"
 STREAMING_FLAGS=""
+# Generous wall-clock budget for the --smoke table3 run (seconds): a smoke
+# run that cannot finish inside it means a pathological modexp/crypto
+# regression, and the job should fail rather than hang. No budget on full
+# runs (0 = disabled).
+SMOKE_TABLE3_BUDGET="${SMOKE_TABLE3_BUDGET:-600}"
+TABLE3_TIMEOUT=()
 if [[ "$SMOKE" == "1" ]]; then
   TABLE3_N=300
   STREAMING_FLAGS="--smoke"
+  if [[ "$SMOKE_TABLE3_BUDGET" != "0" ]] && command -v timeout >/dev/null; then
+    TABLE3_TIMEOUT=(timeout "$SMOKE_TABLE3_BUDGET")
+  fi
 fi
 
 MICRO_TIME_FLAG=""
@@ -59,7 +68,8 @@ else
   echo "bench_micro_crypto not built (google-benchmark missing); skipping"
 fi
 
-"$BUILD_DIR/bench_table3_overhead" --n="$TABLE3_N" \
+${TABLE3_TIMEOUT[@]+"${TABLE3_TIMEOUT[@]}"} \
+  "$BUILD_DIR/bench_table3_overhead" --n="$TABLE3_N" \
   --json="$ROOT/BENCH_table3.json"
 
 "$BUILD_DIR/bench_streaming_throughput" $STREAMING_FLAGS \

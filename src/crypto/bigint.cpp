@@ -1,7 +1,10 @@
 #include "crypto/bigint.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cstdio>
+#include <memory>
 
 #include "crypto/montgomery.h"
 #include "crypto/secure_random.h"
@@ -15,6 +18,42 @@ using u128 = unsigned __int128;
 
 int CountLeadingZeros64(uint64_t x) {
   return x == 0 ? 64 : __builtin_clzll(x);
+}
+
+// Per-thread LRU cache of Montgomery contexts, so repeated ModExp/ModMul
+// against the same modulus (Paillier N^2 / p^2 / q^2, Miller-Rabin rounds
+// on one candidate, ...) pay the R^2-mod-m precomputation once instead of
+// per call. Returns nullptr only if MontgomeryCtx::Create rejects the
+// modulus (which the odd-and-multi-limb dispatch guards already exclude).
+const MontgomeryCtx* CachedMontgomeryCtx(const BigInt& m) {
+  constexpr size_t kCacheCapacity = 8;
+  thread_local std::vector<std::unique_ptr<MontgomeryCtx>> cache;
+  for (size_t i = 0; i < cache.size(); ++i) {
+    if (cache[i]->modulus() == m) {
+      if (i != 0) std::rotate(cache.begin(), cache.begin() + i,
+                              cache.begin() + i + 1);
+      return cache.front().get();
+    }
+  }
+  auto ctx = MontgomeryCtx::Create(m);
+  if (!ctx.ok()) return nullptr;
+  cache.insert(cache.begin(), std::make_unique<MontgomeryCtx>(
+                                  std::move(ctx).value()));
+  if (cache.size() > kCacheCapacity) cache.pop_back();
+  return cache.front().get();
+}
+
+// A Create failure for a modulus the dispatch believed Montgomery-capable
+// is a bug, not a tolerable slow path: surface it (once) instead of
+// silently degrading to the division-based reference implementation.
+void WarnMontgomeryUnavailable(const BigInt& m) {
+  static std::atomic<bool> warned{false};
+  if (!warned.exchange(true)) {
+    std::fprintf(stderr,
+                 "shuffledp: MontgomeryCtx::Create failed for odd modulus "
+                 "0x%s; falling back to the generic division path\n",
+                 m.ToHexString().c_str());
+  }
 }
 
 }  // namespace
@@ -383,6 +422,18 @@ BigInt BigInt::Mod(const BigInt& m) const {
 }
 
 BigInt BigInt::ModMul(const BigInt& other, const BigInt& m) const {
+  // Odd multi-limb moduli ride the cached Montgomery context: two fused
+  // CIOS passes on per-thread workspace instead of a schoolbook multiply
+  // plus a Knuth-D division. Single-limb moduli stay on short division,
+  // and above the Karatsuba threshold the subquadratic multiply beats
+  // the quadratic CIOS passes, so the division path wins again
+  // (measured crossover ≈ 24 limbs).
+  if (m.IsOdd() && m.limb_count() >= 2 &&
+      m.limb_count() < kKaratsubaThreshold) {
+    const MontgomeryCtx* ctx = CachedMontgomeryCtx(m);
+    if (ctx != nullptr) return ctx->ModMul(*this, other);
+    WarnMontgomeryUnavailable(m);
+  }
   return Mul(other).Mod(m);
 }
 
@@ -395,8 +446,9 @@ BigInt BigInt::ModExp(const BigInt& exponent, const BigInt& m) const {
   // fast path: no per-step division. The generic path below remains for
   // even moduli and as the reference implementation.
   if (m.IsOdd() && m.limb_count() >= 2 && exponent.BitLength() >= 16) {
-    auto ctx = MontgomeryCtx::Create(m);
-    if (ctx.ok()) return ctx->ModExp(*this, exponent);
+    const MontgomeryCtx* ctx = CachedMontgomeryCtx(m);
+    if (ctx != nullptr) return ctx->ModExp(*this, exponent);
+    WarnMontgomeryUnavailable(m);
   }
 
   // 4-bit fixed window: precompute base^0..base^15 mod m.

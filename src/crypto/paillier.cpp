@@ -5,8 +5,65 @@
 namespace shuffledp {
 namespace crypto {
 
+namespace {
+
+// Bits [lo_bit, lo_bit + width) of v as a word (width <= 64).
+uint64_t ExtractBits(const BigInt& v, size_t lo_bit, unsigned width) {
+  assert(width >= 1 && width <= 64);
+  const size_t limb = lo_bit / 64;
+  const size_t shift = lo_bit % 64;
+  unsigned __int128 window =
+      static_cast<unsigned __int128>(v.limb(limb)) |
+      (static_cast<unsigned __int128>(v.limb(limb + 1)) << 64);
+  uint64_t out = static_cast<uint64_t>(window >> shift);
+  if (width == 64) return out;
+  return out & ((uint64_t{1} << width) - 1);
+}
+
+std::shared_ptr<const MontgomeryCtx> MakeCtx(const BigInt& modulus) {
+  auto ctx = MontgomeryCtx::Create(modulus);
+  if (!ctx.ok()) return nullptr;
+  return std::make_shared<const MontgomeryCtx>(std::move(ctx).value());
+}
+
+// Per-thread kernel workspace for the randomizer hot loop (one
+// Rerandomize per ciphertext per EOS round): no scratch/mask allocation
+// per call, only the returned BigInt's storage.
+MontgomeryCtx::Scratch& TlsScratch(const MontgomeryCtx& ctx) {
+  thread_local MontgomeryCtx::Scratch scratch;
+  scratch.EnsureFor(ctx);
+  return scratch;
+}
+
+std::vector<uint64_t>& TlsMaskBuf(size_t limbs) {
+  thread_local std::vector<uint64_t> buf;
+  if (buf.size() < limbs) buf.resize(limbs);
+  return buf;
+}
+
+// L_n(x) = (x - 1) / n. Pre: x == 1 mod n.
+BigInt LFunction(const BigInt& x, const BigInt& n) {
+  BigInt q;
+  Status st = x.Sub(BigInt(1)).DivMod(n, &q, nullptr);
+  assert(st.ok());
+  (void)st;
+  return q;
+}
+
+}  // namespace
+
 PaillierPublicKey::PaillierPublicKey(BigInt n)
-    : n_(std::move(n)), n_squared_(n_.Mul(n_)) {}
+    : n_(std::move(n)), n_squared_(n_.Mul(n_)) {
+  if (!n_.IsZero() && n_squared_.IsOdd() && n_squared_.limb_count() >= 1) {
+    n2_ctx_ = MakeCtx(n_squared_);
+  }
+}
+
+BigInt PaillierPublicKey::GToM(const BigInt& m_reduced) const {
+  // g = N + 1: g^m = 1 + m*N mod N^2, and for m < N the integer 1 + m*N
+  // is already < N^2 — no reduction needed.
+  return BigInt(1).Add(m_reduced.Mul(n_));
+}
 
 Result<PaillierCiphertext> PaillierPublicKey::Encrypt(
     const BigInt& m, SecureRandom* rng) const {
@@ -22,10 +79,14 @@ Result<PaillierCiphertext> PaillierPublicKey::Encrypt(
     r = BigInt::RandomBelow(n_, rng);
   } while (r.IsZero() || BigInt::Gcd(r, n_) != BigInt(1));
 
-  // c = (1 + m*N) * r^N mod N^2.
-  BigInt g_to_m = BigInt(1).Add(m.Mul(n_)).Mod(n_squared_);
-  BigInt r_to_n = r.ModExp(n_, n_squared_);
-  return PaillierCiphertext{g_to_m.ModMul(r_to_n, n_squared_)};
+  // c = (1 + m*N) * r^N mod N^2. The final combine goes through
+  // BigInt::ModMul, which picks the division path for production-size
+  // N^2 (>= Karatsuba threshold) — there the short 1 + m*N operand of a
+  // share-sized plaintext makes the subquadratic multiply beat a
+  // fixed-width CIOS pass — and cached Montgomery below it.
+  BigInt r_to_n = n2_ctx_ != nullptr ? n2_ctx_->ModExp(r, n_)
+                                     : r.ModExp(n_, n_squared_);
+  return PaillierCiphertext{GToM(m).ModMul(r_to_n, n_squared_)};
 }
 
 Result<PaillierCiphertext> PaillierPublicKey::EncryptU64(
@@ -35,22 +96,31 @@ Result<PaillierCiphertext> PaillierPublicKey::EncryptU64(
 
 PaillierCiphertext PaillierPublicKey::Add(const PaillierCiphertext& a,
                                           const PaillierCiphertext& b) const {
+  if (n2_ctx_ != nullptr) {
+    return PaillierCiphertext{n2_ctx_->ModMul(a.value, b.value)};
+  }
   return PaillierCiphertext{a.value.ModMul(b.value, n_squared_)};
 }
 
 PaillierCiphertext PaillierPublicKey::AddPlain(const PaillierCiphertext& c,
                                                const BigInt& m) const {
-  BigInt g_to_m = BigInt(1).Add(m.Mod(n_).Mul(n_)).Mod(n_squared_);
+  // Generic ModMul on purpose: g^m = 1 + m*N is a short operand for the
+  // small plaintext adjustments the protocols add, which the
+  // subquadratic multiply exploits and a fixed-width CIOS pass cannot.
+  BigInt g_to_m = GToM(m < n_ ? m : m.Mod(n_));
   return PaillierCiphertext{c.value.ModMul(g_to_m, n_squared_)};
 }
 
 PaillierCiphertext PaillierPublicKey::ScalarMult(const PaillierCiphertext& c,
                                                  const BigInt& k) const {
+  if (n2_ctx_ != nullptr) {
+    return PaillierCiphertext{n2_ctx_->ModExp(c.value, k)};
+  }
   return PaillierCiphertext{c.value.ModExp(k, n_squared_)};
 }
 
 PaillierCiphertext PaillierPublicKey::TrivialEncrypt(const BigInt& m) const {
-  return PaillierCiphertext{BigInt(1).Add(m.Mod(n_).Mul(n_)).Mod(n_squared_)};
+  return PaillierCiphertext{GToM(m < n_ ? m : m.Mod(n_))};
 }
 
 Bytes PaillierPublicKey::SerializeCiphertext(
@@ -70,19 +140,6 @@ Result<PaillierCiphertext> PaillierPublicKey::ParseCiphertext(
   return PaillierCiphertext{std::move(v)};
 }
 
-namespace {
-
-// L_n(x) = (x - 1) / n. Pre: x == 1 mod n.
-BigInt LFunction(const BigInt& x, const BigInt& n) {
-  BigInt q;
-  Status st = x.Sub(BigInt(1)).DivMod(n, &q, nullptr);
-  assert(st.ok());
-  (void)st;
-  return q;
-}
-
-}  // namespace
-
 Result<PaillierPrivateKey> PaillierPrivateKey::FromPrimes(const BigInt& p,
                                                           const BigInt& q) {
   if (p == q) return Status::InvalidArgument("Paillier: p == q");
@@ -91,17 +148,21 @@ Result<PaillierPrivateKey> PaillierPrivateKey::FromPrimes(const BigInt& p,
   key.q_ = q;
   key.p_squared_ = p.Mul(p);
   key.q_squared_ = q.Mul(q);
+  key.p_minus_1_ = p.Sub(BigInt(1));
+  key.q_minus_1_ = q.Sub(BigInt(1));
   BigInt n = p.Mul(q);
   key.pub_ = PaillierPublicKey(n);
+  key.p2_ctx_ = MakeCtx(key.p_squared_);
+  key.q2_ctx_ = MakeCtx(key.q_squared_);
+  if (key.p2_ctx_ == nullptr || key.q2_ctx_ == nullptr) {
+    return Status::InvalidArgument("Paillier: primes must be odd and > 1");
+  }
 
   // With g = N + 1:  g^{p-1} mod p^2 = 1 + (p-1)*N mod p^2, so
   // hp = ( L_p(g^{p-1} mod p^2) )^{-1} mod p.
   const BigInt g = n.Add(BigInt(1));
-  BigInt p_minus_1 = p.Sub(BigInt(1));
-  BigInt q_minus_1 = q.Sub(BigInt(1));
-
-  BigInt gp = g.ModExp(p_minus_1, key.p_squared_);
-  BigInt gq = g.ModExp(q_minus_1, key.q_squared_);
+  BigInt gp = key.p2_ctx_->ModExp(g, key.p_minus_1_);
+  BigInt gq = key.q2_ctx_->ModExp(g, key.q_minus_1_);
   auto hp = LFunction(gp, p).Mod(p).ModInverse(p);
   if (!hp.ok()) return Status::CryptoError("Paillier: hp not invertible");
   auto hq = LFunction(gq, q).Mod(q).ModInverse(q);
@@ -115,6 +176,25 @@ Result<PaillierPrivateKey> PaillierPrivateKey::FromPrimes(const BigInt& p,
   return key;
 }
 
+BigInt PaillierPrivateKey::RecoverHalf(const MontgomeryCtx& ctx,
+                                       const BigInt& c_reduced,
+                                       const BigInt& prime,
+                                       const BigInt& prime_minus_1,
+                                       const BigInt& h) const {
+  BigInt cx = ctx.ModExp(c_reduced, prime_minus_1);
+  return LFunction(cx, prime).ModMul(h, prime);
+}
+
+BigInt PaillierPrivateKey::CrtCombine(const BigInt& mp,
+                                      const BigInt& mq) const {
+  // Garner recombination: m = mq + q * ((mp - mq) * q^{-1} mod p).
+  BigInt mq_mod_p = mq.Mod(p_);
+  BigInt diff =
+      mp >= mq_mod_p ? mp.Sub(mq_mod_p) : mp.Add(p_).Sub(mq_mod_p);
+  BigInt h = diff.ModMul(q_sq_inv_mod_p_sq_, p_);
+  return mq.Add(q_.Mul(h));
+}
+
 Result<BigInt> PaillierPrivateKey::Decrypt(const PaillierCiphertext& c) const {
   if (p_.IsZero()) {
     return Status::FailedPrecondition("Paillier private key not initialized");
@@ -123,22 +203,31 @@ Result<BigInt> PaillierPrivateKey::Decrypt(const PaillierCiphertext& c) const {
     return Status::CryptoError("Paillier: ciphertext out of range");
   }
   // CRT decryption: m_p = L_p(c^{p-1} mod p^2) * hp mod p, same for q.
-  BigInt p_minus_1 = p_.Sub(BigInt(1));
-  BigInt q_minus_1 = q_.Sub(BigInt(1));
-  BigInt cp = c.value.Mod(p_squared_).ModExp(p_minus_1, p_squared_);
-  BigInt cq = c.value.Mod(q_squared_).ModExp(q_minus_1, q_squared_);
-  BigInt mp = LFunction(cp, p_).ModMul(hp_, p_);
-  BigInt mq = LFunction(cq, q_).ModMul(hq_, q_);
+  BigInt mp = RecoverHalf(*p2_ctx_, c.value.Mod(p_squared_), p_,
+                          p_minus_1_, hp_);
+  BigInt mq = RecoverHalf(*q2_ctx_, c.value.Mod(q_squared_), q_,
+                          q_minus_1_, hq_);
+  return CrtCombine(mp, mq);
+}
 
-  // Garner recombination: m = mq + q * ((mp - mq) * q^{-1} mod p).
-  BigInt diff;
-  if (mp >= mq.Mod(p_)) {
-    diff = mp.Sub(mq.Mod(p_));
-  } else {
-    diff = mp.Add(p_).Sub(mq.Mod(p_));
+Result<BigInt> PaillierPrivateKey::DecryptDirect(
+    const PaillierCiphertext& c) const {
+  if (p_.IsZero()) {
+    return Status::FailedPrecondition("Paillier private key not initialized");
   }
-  BigInt h = diff.ModMul(q_sq_inv_mod_p_sq_, p_);
-  return mq.Add(q_.Mul(h));
+  if (c.value >= pub_.n_squared() || c.value.IsZero()) {
+    return Status::CryptoError("Paillier: ciphertext out of range");
+  }
+  // m = L_N(c^lambda mod N^2) * mu mod N with lambda = lcm(p-1, q-1) and
+  // mu = L_N(g^lambda mod N^2)^{-1} mod N. Recomputed per call — this is
+  // the slow reference path for cross-checking CRT decryption.
+  const BigInt& n = pub_.n();
+  const BigInt& n2 = pub_.n_squared();
+  BigInt lambda = BigInt::Lcm(p_minus_1_, q_minus_1_);
+  BigInt g = n.Add(BigInt(1));
+  auto mu = LFunction(g.ModExp(lambda, n2), n).Mod(n).ModInverse(n);
+  if (!mu.ok()) return Status::CryptoError("Paillier: mu not invertible");
+  return LFunction(c.value.ModExp(lambda, n2), n).ModMul(*mu, n);
 }
 
 Result<uint64_t> PaillierPrivateKey::DecryptMod2Ell(
@@ -146,15 +235,71 @@ Result<uint64_t> PaillierPrivateKey::DecryptMod2Ell(
   assert(ell >= 1 && ell <= 64);
   auto m = Decrypt(c);
   if (!m.ok()) return m.status();
-  uint64_t low = m->IsZero() ? 0 : m->ToBytesBigEndian(8).back();
-  // Reconstruct the low 64 bits properly from big-endian bytes.
-  Bytes be = m->ToBytesBigEndian(8);
-  low = 0;
-  for (size_t i = be.size() - 8; i < be.size(); ++i) {
-    low = (low << 8) | be[i];
-  }
+  // m < N, little-endian limbs: limb 0 is exactly the low 64 bits.
+  uint64_t low = m->limb(0);
   if (ell == 64) return low;
   return low & ((uint64_t{1} << ell) - 1);
+}
+
+size_t PaillierPrivateKey::PackedSlotCapacity(unsigned slot_bits) const {
+  const size_t n_bits = pub_.n().BitLength();
+  if (slot_bits == 0 || n_bits < 2) return 1;
+  // Packed plaintext must stay < 2^(n_bits - 1) <= N.
+  const size_t cap = (n_bits - 1) / slot_bits;
+  return cap == 0 ? 1 : cap;
+}
+
+Status PaillierPrivateKey::DecryptPackedMod2Ell(const PaillierCiphertext* cs,
+                                                size_t count,
+                                                unsigned slot_bits,
+                                                unsigned ell,
+                                                uint64_t* out) const {
+  if (count == 0) return Status::OK();
+  if (p_.IsZero()) {
+    return Status::FailedPrecondition("Paillier private key not initialized");
+  }
+  if (ell < 1 || ell > 64 || slot_bits < ell) {
+    return Status::InvalidArgument("Paillier: bad packed slot layout");
+  }
+  if (count > PackedSlotCapacity(slot_bits)) {
+    return Status::InvalidArgument("Paillier: pack group exceeds capacity");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (cs[i].value.IsZero() || cs[i].value >= pub_.n_squared()) {
+      return Status::CryptoError("Paillier: ciphertext out of range");
+    }
+  }
+
+  // Horner over one CRT residue: acc = prod_i c_i^(2^(slot_bits * i)),
+  // i.e. each slot's plaintext lands at bit offset slot_bits * i. Every
+  // ciphertext enters the Montgomery domain once, the accumulator stays
+  // there across the whole group, and one conversion exits.
+  auto packed_residue = [&](const MontgomeryCtx& ctx) -> BigInt {
+    const size_t n = ctx.limbs();
+    MontgomeryCtx::Scratch scratch(ctx);
+    std::vector<uint64_t> acc(n), ci(n);
+    ctx.ToMontInto(cs[count - 1].value, acc.data(), &scratch);
+    for (size_t i = count - 1; i-- > 0;) {
+      for (unsigned b = 0; b < slot_bits; ++b) {
+        ctx.SqrInto(acc.data(), acc.data(), &scratch);
+      }
+      ctx.ToMontInto(cs[i].value, ci.data(), &scratch);
+      ctx.MulInto(acc.data(), ci.data(), acc.data(), &scratch);
+    }
+    return ctx.FromMontLimbs(acc.data(), &scratch);
+  };
+
+  BigInt mp = RecoverHalf(*p2_ctx_, packed_residue(*p2_ctx_), p_,
+                          p_minus_1_, hp_);
+  BigInt mq = RecoverHalf(*q2_ctx_, packed_residue(*q2_ctx_), q_,
+                          q_minus_1_, hq_);
+  BigInt packed = CrtCombine(mp, mq);
+
+  // ExtractBits truncates to exactly ell bits (validated <= 64 above).
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = ExtractBits(packed, i * static_cast<size_t>(slot_bits), ell);
+  }
+  return Status::OK();
 }
 
 Result<PaillierKeyPair> PaillierGenerateKeyPair(size_t modulus_bits,
@@ -180,23 +325,112 @@ Result<PaillierKeyPair> PaillierGenerateKeyPair(size_t modulus_bits,
 }
 
 RandomizerPool::RandomizerPool(const PaillierPublicKey& pub, size_t size,
-                               SecureRandom* rng)
-    : pub_(&pub) {
-  assert(size >= 2);
-  pool_.reserve(size);
-  for (size_t i = 0; i < size; ++i) {
-    auto enc_zero = pub.Encrypt(BigInt(), rng);
-    assert(enc_zero.ok());
-    pool_.push_back(std::move(enc_zero)->value);
+                               SecureRandom* rng, Mode mode,
+                               unsigned short_exp_bits)
+    : pub_(&pub), mode_(mode) {
+  if (mode_ == Mode::kFixedBase && pub.n2_ctx() == nullptr) {
+    mode_ = Mode::kPairwise;  // uninitialized key; keep the legacy path
+  }
+  if (mode_ == Mode::kPairwise) {
+    assert(size >= 2);
+    const MontgomeryCtx* ctx = pub.n2_ctx();
+    std::unique_ptr<MontgomeryCtx::Scratch> scratch;
+    if (ctx != nullptr) {
+      pool_mont_.reserve(size);
+      scratch = std::make_unique<MontgomeryCtx::Scratch>(*ctx);
+    } else {
+      pool_.reserve(size);
+    }
+    for (size_t i = 0; i < size; ++i) {
+      auto enc_zero = pub.Encrypt(BigInt(), rng);
+      assert(enc_zero.ok());
+      if (ctx != nullptr) {
+        // Montgomery form only; the plain pool_ backs the no-context
+        // fallback exclusively.
+        std::vector<uint64_t> mont(ctx->limbs());
+        ctx->ToMontInto(enc_zero->value, mont.data(), scratch.get());
+        pool_mont_.push_back(std::move(mont));
+      } else {
+        pool_.push_back(std::move(enc_zero)->value);
+      }
+    }
+    return;
+  }
+
+  // kFixedBase: h = r0^N (one full-width Enc(0)), then radix-16 comb
+  // tables over the short exponent width.
+  short_exp_bits_ = ((short_exp_bits + 7) / 8) * 8;
+  if (short_exp_bits_ < 64) short_exp_bits_ = 64;
+  auto h = pub.Encrypt(BigInt(), rng);
+  assert(h.ok());
+  const MontgomeryCtx& ctx = *pub.n2_ctx();
+  const size_t n = ctx.limbs();
+  const size_t windows = (short_exp_bits_ + 3) / 4;
+  fb_table_.assign(windows * 15, std::vector<uint64_t>(n));
+  MontgomeryCtx::Scratch scratch(ctx);
+  std::vector<uint64_t> base(n);
+  ctx.ToMontInto(h->value, base.data(), &scratch);
+  for (size_t w = 0; w < windows; ++w) {
+    fb_table_[w * 15] = base;  // h^(1 * 16^w)
+    for (unsigned d = 2; d <= 15; ++d) {
+      ctx.MulInto(fb_table_[w * 15 + d - 2].data(), base.data(),
+                  fb_table_[w * 15 + d - 1].data(), &scratch);
+    }
+    if (w + 1 < windows) {
+      for (int s = 0; s < 4; ++s) {
+        ctx.SqrInto(base.data(), base.data(), &scratch);  // base^16
+      }
+    }
+  }
+}
+
+void RandomizerPool::FreshMaskMont(SecureRandom* rng, uint64_t* out,
+                                   MontgomeryCtx::Scratch* scratch) const {
+  assert(mode_ == Mode::kFixedBase);
+  // h^r for r uniform in [0, 2^short_exp_bits): one comb pass, no
+  // squarings (the tables absorb the radix shifts).
+  const MontgomeryCtx& ctx = *pub_->n2_ctx();
+  const BigInt e =
+      BigInt::FromBytesBigEndian(rng->RandomBytes(short_exp_bits_ / 8));
+  std::copy(ctx.one_mont_limbs().begin(), ctx.one_mont_limbs().end(), out);
+  const size_t windows = (short_exp_bits_ + 3) / 4;
+  for (size_t w = 0; w < windows; ++w) {
+    const uint64_t digit = (e.limb(w / 16) >> (4 * (w % 16))) & 0xF;
+    if (digit != 0) {
+      ctx.MulInto(out, fb_table_[w * 15 + digit - 1].data(), out, scratch);
+    }
   }
 }
 
 PaillierCiphertext RandomizerPool::Rerandomize(const PaillierCiphertext& c,
                                                SecureRandom* rng) const {
-  size_t i = rng->UniformU64(pool_.size());
-  size_t j = rng->UniformU64(pool_.size());
-  BigInt masked = c.value.ModMul(pool_[i], pub_->n_squared());
-  return PaillierCiphertext{masked.ModMul(pool_[j], pub_->n_squared())};
+  const MontgomeryCtx* ctx = pub_->n2_ctx();
+  if (ctx == nullptr) {
+    // No-context fallback (uninitialized key): legacy division path.
+    size_t i = rng->UniformU64(pool_.size());
+    size_t j = rng->UniformU64(pool_.size());
+    BigInt masked = c.value.ModMul(pool_[i], pub_->n_squared());
+    return PaillierCiphertext{masked.ModMul(pool_[j], pub_->n_squared())};
+  }
+  const size_t n = ctx->limbs();
+  MontgomeryCtx::Scratch& scratch = TlsScratch(*ctx);
+  std::vector<uint64_t> acc(n);  // becomes the returned BigInt's storage
+  if (mode_ == Mode::kPairwise) {
+    // Montgomery-form masks: each multiply into the plain-domain
+    // ciphertext is a single fused CIOS pass, division- and
+    // conversion-free.
+    size_t i = rng->UniformU64(pool_mont_.size());
+    size_t j = rng->UniformU64(pool_mont_.size());
+    for (size_t k = 0; k < n; ++k) acc[k] = c.value.limb(k);
+    ctx->MulInto(acc.data(), pool_mont_[i].data(), acc.data(), &scratch);
+    ctx->MulInto(acc.data(), pool_mont_[j].data(), acc.data(), &scratch);
+    return PaillierCiphertext{BigInt::FromLimbsLittleEndian(std::move(acc))};
+  }
+  std::vector<uint64_t>& mask = TlsMaskBuf(n);
+  FreshMaskMont(rng, mask.data(), &scratch);
+  for (size_t k = 0; k < n; ++k) acc[k] = c.value.limb(k);
+  ctx->MulInto(acc.data(), mask.data(), acc.data(), &scratch);
+  return PaillierCiphertext{BigInt::FromLimbsLittleEndian(std::move(acc))};
 }
 
 PaillierCiphertext RandomizerPool::EncryptFast(const BigInt& m,

@@ -11,10 +11,30 @@
 // Implementation notes:
 //  * g = N + 1, so Enc(m; r) = (1 + m*N) * r^N mod N^2 — one modexp.
 //  * Decryption uses CRT over p^2 and q^2 (≈4x faster than the direct
-//    lambda exponentiation).
+//    lambda exponentiation, which survives as DecryptDirect for
+//    cross-checks).
+//  * Both keys pin Montgomery contexts for their moduli (N^2 on the
+//    public key, p^2/q^2 on the private key), so every Encrypt / Decrypt
+//    / Add / ScalarMult runs division-free on precomputed contexts.
+//  * DecryptPackedMod2Ell packs many small plaintexts into one Paillier
+//    plaintext (Horner in the Montgomery domain: w squarings + 1 multiply
+//    per ciphertext) and amortizes the two CRT modexps of a full
+//    decryption over the whole group — the PEOS server-side fast path.
 //  * A RandomizerPool can amortize the r^N modexp for simulation-scale
-//    benchmarks (documented tradeoff; full-strength mode is the default
-//    everywhere except the Table III bench).
+//    benchmarks. Two modes (documented tradeoffs; full-strength
+//    PaillierPublicKey::Encrypt is the default everywhere except the
+//    Table III bench):
+//      - kPairwise (DESIGN.md §4 item 5): masks are products of two
+//        pooled Enc(0) values — pool_size^2 distinct masks only, a
+//        simulation shortcut with no formal rerandomization guarantee.
+//      - kFixedBase: DJN-style randomizers h^r for h = r0^N and a short
+//        uniform exponent r of 2*lambda bits evaluated from fixed-base
+//        comb tables (the P256Precomputed pattern). Fresh masks per call;
+//        security rests on the standard Damgård-Jurik-Nielsen short-
+//        exponent indistinguishability assumption (h^r for r ~ U[0, 2^t)
+//        vs a uniform N-th residue, t = 2*lambda), which is *stronger*
+//        than the DCR assumption plain Paillier needs — hence full-width
+//        r^N stays the default and kFixedBase is opt-in.
 
 #ifndef SHUFFLEDP_CRYPTO_PAILLIER_H_
 #define SHUFFLEDP_CRYPTO_PAILLIER_H_
@@ -24,6 +44,7 @@
 #include <vector>
 
 #include "crypto/bigint.h"
+#include "crypto/montgomery.h"
 #include "crypto/secure_random.h"
 #include "util/status.h"
 
@@ -35,7 +56,7 @@ struct PaillierCiphertext {
   BigInt value;
 };
 
-/// Public key: modulus N (and cached N^2).
+/// Public key: modulus N (and cached N^2 + its Montgomery context).
 class PaillierPublicKey {
  public:
   PaillierPublicKey() = default;
@@ -43,6 +64,9 @@ class PaillierPublicKey {
 
   const BigInt& n() const { return n_; }
   const BigInt& n_squared() const { return n_squared_; }
+
+  /// Montgomery context for N^2 (null until constructed with an odd N).
+  const MontgomeryCtx* n2_ctx() const { return n2_ctx_.get(); }
 
   /// Ciphertext wire size in bytes (= 2 * |N| rounded up).
   size_t CiphertextBytes() const { return (n_squared_.BitLength() + 7) / 8; }
@@ -74,8 +98,12 @@ class PaillierPublicKey {
   Result<PaillierCiphertext> ParseCiphertext(const Bytes& bytes) const;
 
  private:
+  // (1 + m*N) mod N^2 for m already reduced mod N.
+  BigInt GToM(const BigInt& m_reduced) const;
+
   BigInt n_;
   BigInt n_squared_;
+  std::shared_ptr<const MontgomeryCtx> n2_ctx_;
 };
 
 /// Private key holding the factorization (CRT decryption).
@@ -90,18 +118,55 @@ class PaillierPrivateKey {
   /// Decrypts to the full plaintext in [0, N).
   Result<BigInt> Decrypt(const PaillierCiphertext& c) const;
 
+  /// Reference decryption via the direct lambda exponentiation (no CRT);
+  /// slow, kept for cross-checking the CRT path in tests.
+  Result<BigInt> DecryptDirect(const PaillierCiphertext& c) const;
+
   /// Decrypts and reduces mod 2^ell (the Z_{2^ell} share recovery).
   Result<uint64_t> DecryptMod2Ell(const PaillierCiphertext& c,
                                   unsigned ell) const;
 
+  /// How many ciphertexts DecryptPackedMod2Ell can fold into one
+  /// decryption when each plaintext occupies `slot_bits` bits (>= 1).
+  size_t PackedSlotCapacity(unsigned slot_bits) const;
+
+  /// Batched share recovery: packs `count` ciphertexts (count <=
+  /// PackedSlotCapacity(slot_bits)) into a single Paillier plaintext —
+  /// slot i gets plaintext i at bit offset i*slot_bits via a Montgomery-
+  /// domain Horner pass over both CRT residues (each ciphertext is
+  /// converted into the Montgomery domain once, accumulated with
+  /// MontMul/MontSqr, and converted back once per group) — then recovers
+  /// every slot mod 2^ell (ell <= 64) from one CRT decryption.
+  ///
+  /// Pre: every plaintext is < 2^slot_bits. PEOS guarantees this by
+  /// construction (shares are ell-bit values and each EOS round adds one
+  /// more ell-bit mask adjustment, so slot_bits = ell +
+  /// ceil(log2(rounds + 1)) + 1 bounds the integer sum). Tradeoff vs
+  /// per-row decryption: a single adversarially oversized plaintext
+  /// corrupts its whole pack group instead of only its own row — callers
+  /// that must isolate hostile plaintexts row-by-row should keep
+  /// DecryptMod2Ell.
+  Status DecryptPackedMod2Ell(const PaillierCiphertext* cs, size_t count,
+                              unsigned slot_bits, unsigned ell,
+                              uint64_t* out) const;
+
   const PaillierPublicKey& public_key() const { return pub_; }
 
  private:
+  // mp/mq half: L_m(c^(m-1) mod m^2) * h mod m.
+  BigInt RecoverHalf(const MontgomeryCtx& ctx, const BigInt& c_reduced,
+                     const BigInt& prime, const BigInt& prime_minus_1,
+                     const BigInt& h) const;
+  // Garner recombination of the CRT halves.
+  BigInt CrtCombine(const BigInt& mp, const BigInt& mq) const;
+
   PaillierPublicKey pub_;
   BigInt p_, q_;            // primes
   BigInt p_squared_, q_squared_;
+  BigInt p_minus_1_, q_minus_1_;
   BigInt hp_, hq_;          // CRT precomputation: L_p(g^{p-1} mod p^2)^-1 etc.
   BigInt q_sq_inv_mod_p_sq_;  // for CRT recombination
+  std::shared_ptr<const MontgomeryCtx> p2_ctx_, q2_ctx_;
 };
 
 /// Key pair.
@@ -114,30 +179,56 @@ struct PaillierKeyPair {
 Result<PaillierKeyPair> PaillierGenerateKeyPair(size_t modulus_bits,
                                                 SecureRandom* rng);
 
-/// Pool of precomputed Enc(0) randomizers.
-///
-/// Rerandomization multiplies by the product of two independently chosen
-/// pool entries, giving pool_size^2 distinct masks per ciphertext. This is
-/// a *documented simulation shortcut* for benchmark throughput (DESIGN.md
-/// §4 item 5); production deployments should use fresh r^N per ciphertext
-/// (`PaillierPublicKey::Encrypt`).
+/// Pool of precomputed Enc(0) randomizer material (see the header note on
+/// the kPairwise / kFixedBase tradeoff). This is a *documented simulation
+/// shortcut* for benchmark throughput; production deployments should use
+/// fresh full-width r^N per ciphertext (`PaillierPublicKey::Encrypt`).
 class RandomizerPool {
  public:
-  /// Precomputes `size` Enc(0) values (size >= 2).
-  RandomizerPool(const PaillierPublicKey& pub, size_t size,
-                 SecureRandom* rng);
+  enum class Mode {
+    kPairwise,   ///< product of two pooled Enc(0) masks (legacy default)
+    kFixedBase,  ///< fresh DJN short-exponent fixed-base mask per call
+  };
 
-  /// Returns c * pool[i] * pool[j] mod N^2 for random i, j.
+  /// kPairwise: precomputes `size` Enc(0) values (size >= 2).
+  /// kFixedBase: precomputes the comb tables for h = r0^N; `size` is
+  /// ignored. `short_exp_bits` is the fixed-base exponent width t = 2λ
+  /// (rounded up to a byte multiple; default 256 covers λ = 128).
+  RandomizerPool(const PaillierPublicKey& pub, size_t size,
+                 SecureRandom* rng, Mode mode = Mode::kPairwise,
+                 unsigned short_exp_bits = 256);
+
+  Mode mode() const { return mode_; }
+
+  /// Returns c multiplied by a fresh Enc(0) mask (two pooled masks in
+  /// kPairwise mode, one fixed-base mask in kFixedBase mode).
   PaillierCiphertext Rerandomize(const PaillierCiphertext& c,
                                  SecureRandom* rng) const;
 
-  /// Encrypts without a fresh modexp: (1 + mN) * pool mask.
+  /// Encrypts without a full-width modexp: (1 + mN) * mask.
   PaillierCiphertext EncryptFast(const BigInt& m, SecureRandom* rng) const;
   PaillierCiphertext EncryptFastU64(uint64_t m, SecureRandom* rng) const;
 
  private:
+  // Writes the Montgomery form of a fresh comb-evaluated h^r mask into
+  // `out` (kFixedBase mode only).
+  void FreshMaskMont(SecureRandom* rng, uint64_t* out,
+                     MontgomeryCtx::Scratch* scratch) const;
+
   const PaillierPublicKey* pub_;
+  Mode mode_ = Mode::kPairwise;
+
+  // kPairwise masks, stored in Montgomery form so applying one is a
+  // single fused CIOS pass (multiplying a Montgomery-form mask into a
+  // plain-domain ciphertext yields the plain-domain product directly).
+  // `pool_` keeps the plain values for the no-context fallback.
+  std::vector<std::vector<uint64_t>> pool_mont_;
   std::vector<BigInt> pool_;
+
+  // kFixedBase: radix-16 comb over h = r0^N in Montgomery form;
+  // fb_table_[15 * w + (d - 1)] = ToMont(h^(d * 16^w)), d in [1, 15].
+  unsigned short_exp_bits_ = 0;
+  std::vector<std::vector<uint64_t>> fb_table_;
 };
 
 }  // namespace crypto

@@ -117,10 +117,24 @@ Status StreamingCollector::OfferReports(
 
 Status StreamingCollector::OfferIndexed(
     uint64_t total, std::function<Result<DecodedRow>(uint64_t row)> decode) {
+  return OfferIndexedPrepared(total, nullptr, std::move(decode));
+}
+
+Status StreamingCollector::OfferIndexedPrepared(
+    uint64_t total,
+    std::function<Status(uint64_t lo, uint64_t hi, ThreadPool* pool)>
+        prepare,
+    std::function<Result<DecodedRow>(uint64_t row)> decode) {
   const uint64_t batch_size = std::max<size_t>(1, options_.batch_size);
   for (uint64_t lo = 0; lo < total; lo += batch_size) {
+    const uint64_t hi = std::min(total, lo + batch_size);
     ReportBatch batch;
-    batch.count = std::min(total - lo, batch_size);
+    batch.count = hi - lo;
+    if (prepare) {
+      batch.prepare = [prepare, lo, hi](ThreadPool* pool) {
+        return prepare(lo, hi, pool);
+      };
+    }
     batch.decode = [decode, lo](uint64_t i) { return decode(lo + i); };
     SHUFFLEDP_RETURN_NOT_OK(Offer(std::move(batch)));
   }
@@ -139,6 +153,15 @@ void StreamingCollector::ProcessBatch(const ReportBatch& batch) {
   WallTimer timer;
   ++batches_seen_;
   rows_seen_ += batch.count;
+
+  if (batch.prepare) {
+    Status prep_status = batch.prepare(options_.pool);
+    if (!prep_status.ok()) {
+      round_status_ = prep_status;
+      queue_.Close();  // unblock producers; their Offer reports the error
+      return;
+    }
+  }
 
   std::vector<DecodedRow> rows(batch.count);
   std::mutex status_mu;

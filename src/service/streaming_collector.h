@@ -65,6 +65,13 @@ struct DecodedRow {
 /// result is a hard protocol failure that aborts the round.
 struct ReportBatch {
   uint64_t count = 0;
+  /// Optional batch-level stage run once on the consumer thread before
+  /// the per-row decode fan-out — e.g. the PEOS packed Paillier
+  /// decryption, which amortizes one CRT decryption over a whole group
+  /// of rows. Receives the fan-out pool (null = serial); its time counts
+  /// toward busy_seconds. A non-OK status aborts the round like a decode
+  /// failure.
+  std::function<Status(ThreadPool* pool)> prepare;
   std::function<Result<DecodedRow>(uint64_t i)> decode;
 };
 
@@ -143,6 +150,16 @@ class StreamingCollector {
   /// concurrently (it is shared across the batches' pool tasks).
   Status OfferIndexed(uint64_t total,
                       std::function<Result<DecodedRow>(uint64_t row)> decode);
+
+  /// Like OfferIndexed, but each batch first runs `prepare(lo, hi, pool)`
+  /// once on the consumer thread (absolute row range [lo, hi); the pool
+  /// is the decode fan-out pool, null = serial) before its rows decode —
+  /// the hook for batch-level crypto such as packed AHE decryption.
+  Status OfferIndexedPrepared(
+      uint64_t total,
+      std::function<Status(uint64_t lo, uint64_t hi, ThreadPool* pool)>
+          prepare,
+      std::function<Result<DecodedRow>(uint64_t row)> decode);
 
   /// Closes the window, drains the queue, merges the shard aggregates in
   /// shard order, and calibrates with n users and n_fake fake reports.

@@ -51,6 +51,15 @@ std::vector<std::vector<uint32_t>> AllSubsets(uint32_t r, uint32_t t) {
   return out;
 }
 
+uint64_t EosRounds(uint32_t r) {
+  const uint32_t t = r / 2 + 1;  // must match RunEncryptedObliviousShuffle
+  uint64_t count = 1;
+  for (uint32_t i = 1; i <= t; ++i) {
+    count = count * (r - t + i) / i;  // exact: C(k, i) divides the product
+  }
+  return count;
+}
+
 std::vector<uint64_t> ShareMatrix::Reconstruct() const {
   const uint64_t mask = Mask(ell);
   std::vector<uint64_t> secrets(num_secrets(), 0);

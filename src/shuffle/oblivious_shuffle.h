@@ -31,6 +31,14 @@ namespace shuffle {
 /// Enumerates all t-subsets of {0, ..., r-1} in lexicographic order.
 std::vector<std::vector<uint32_t>> AllSubsets(uint32_t r, uint32_t t);
 
+/// Number of EOS rounds for r shufflers: C(r, r/2 + 1) hider subsets,
+/// the count RunEncryptedObliviousShuffle enumerates. Each round
+/// homomorphically adds exactly one ell-bit mask adjustment to every
+/// ciphertext (step 1b), so this also bounds the integer growth of a
+/// ciphertext's plaintext — the invariant the PEOS packed-decryption
+/// slot sizing depends on.
+uint64_t EosRounds(uint32_t r);
+
 /// Share state for the plain oblivious shuffle: columns[j][i] is shuffler
 /// j's share of secret i.
 struct ShareMatrix {

@@ -184,6 +184,32 @@ TEST(BigIntTest, ModExpMatchesIteratedModMul) {
   EXPECT_EQ(a.ModExp(BigInt(23), m), expected);
 }
 
+TEST(BigIntTest, ModMulDispatchMatchesMulThenMod) {
+  // ModMul routes odd sub-Karatsuba-threshold moduli through the cached
+  // Montgomery path; every route must equal the plain multiply+divide
+  // composition — across odd/even moduli, limb widths on both sides of
+  // the dispatch threshold, and operands at/above the modulus.
+  SecureRandom rng(uint64_t{4242});
+  for (size_t bits : {64, 65, 192, 512, 1024, 1536, 2048, 4096}) {
+    for (int parity = 0; parity < 2; ++parity) {
+      BigInt m = BigInt::RandomWithBits(bits, &rng);
+      if (m.IsOdd() == (parity == 1)) m = m.Add(BigInt(1));
+      if (m.BitLength() != bits) continue;  // carry overflowed; skip
+      std::vector<BigInt> operands = {
+          BigInt(), BigInt(1), m.Sub(BigInt(1)), m, m.Add(BigInt(9))};
+      for (int i = 0; i < 4; ++i) {
+        operands.push_back(BigInt::RandomBelow(m, &rng));
+      }
+      for (const BigInt& a : operands) {
+        for (const BigInt& b : operands) {
+          EXPECT_EQ(a.ModMul(b, m), a.Mul(b).Mod(m))
+              << "bits=" << bits << " odd=" << m.IsOdd();
+        }
+      }
+    }
+  }
+}
+
 TEST(BigIntTest, GcdAndLcm) {
   EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToU64Saturating(), 6u);
   EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)).ToU64Saturating(), 1u);

@@ -94,6 +94,134 @@ TEST(MontgomeryTest, BigIntModExpDispatchAgrees) {
   EXPECT_EQ(a.ModExp(e, m), ctx->ModExp(a, e));
 }
 
+// Division-based references, independent of every Montgomery kernel.
+BigInt RefModMul(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return a.Mul(b).Mod(m);
+}
+
+BigInt RefModExp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  BigInt acc(1);
+  acc = acc.Mod(m);
+  BigInt b = base.Mod(m);
+  for (size_t i = exp.BitLength(); i-- > 0;) {
+    acc = RefModMul(acc, acc, m);
+    if (exp.GetBit(i)) acc = RefModMul(acc, b, m);
+  }
+  return acc;
+}
+
+// Randomized ModMul cross-check against the generic multiply+divide
+// reference, over odd moduli of assorted (including non-limb-aligned)
+// widths and edge operands: 0, 1, m-1, and operands >= m.
+TEST(MontgomeryTest, ModMulMatchesReferenceRandomized) {
+  SecureRandom rng(uint64_t{7});
+  for (size_t bits : {65, 127, 192, 513, 1000, 1024, 2048}) {
+    BigInt m = BigInt::RandomWithBits(bits, &rng);
+    if (!m.IsOdd()) m = m.Add(BigInt(1));
+    auto ctx = MontgomeryCtx::Create(m);
+    ASSERT_TRUE(ctx.ok());
+    std::vector<BigInt> operands = {
+        BigInt(),                     // 0
+        BigInt(1),                    // 1
+        m.Sub(BigInt(1)),             // m - 1
+        m,                            // == m (reduces to 0)
+        m.Add(BigInt(5)),             // > m
+        m.Mul(BigInt(2)).Add(BigInt(3)),  // > 2m
+    };
+    for (int trial = 0; trial < 6; ++trial) {
+      operands.push_back(BigInt::RandomBelow(m, &rng));
+    }
+    for (const BigInt& a : operands) {
+      for (const BigInt& b : operands) {
+        EXPECT_EQ(ctx->ModMul(a, b), RefModMul(a, b, m))
+            << "bits=" << bits;
+      }
+    }
+  }
+}
+
+// Randomized ModExp cross-check against binary square-and-multiply on
+// the division path; covers the sliding-window width breakpoints and
+// edge exponents/bases.
+TEST(MontgomeryTest, ModExpMatchesReferenceRandomized) {
+  SecureRandom rng(uint64_t{8});
+  for (size_t bits : {65, 192, 513, 1024}) {
+    BigInt m = BigInt::RandomWithBits(bits, &rng);
+    if (!m.IsOdd()) m = m.Add(BigInt(1));
+    auto ctx = MontgomeryCtx::Create(m);
+    ASSERT_TRUE(ctx.ok());
+    std::vector<BigInt> bases = {BigInt(), BigInt(1), m.Sub(BigInt(1)),
+                                 m.Add(BigInt(7)),
+                                 BigInt::RandomBelow(m, &rng)};
+    // Exponent sizes straddling every window-width breakpoint.
+    std::vector<BigInt> exps = {BigInt(), BigInt(1), BigInt(2), BigInt(3),
+                                m.Sub(BigInt(1))};
+    for (size_t ebits : {16, 25, 81, 241, 700}) {
+      exps.push_back(BigInt::RandomWithBits(ebits, &rng));
+    }
+    for (const BigInt& a : bases) {
+      for (const BigInt& e : exps) {
+        EXPECT_EQ(ctx->ModExp(a, e), RefModExp(a, e, m))
+            << "bits=" << bits << " ebits=" << e.BitLength();
+      }
+    }
+  }
+}
+
+// The dedicated squaring kernel must agree with the general multiply.
+TEST(MontgomeryTest, MontSqrMatchesMontMul) {
+  SecureRandom rng(uint64_t{9});
+  for (size_t bits : {64, 127, 576, 1024, 2048}) {
+    BigInt m = BigInt::RandomWithBits(bits, &rng);
+    if (!m.IsOdd()) m = m.Add(BigInt(1));
+    auto ctx = MontgomeryCtx::Create(m);
+    ASSERT_TRUE(ctx.ok());
+    for (int trial = 0; trial < 12; ++trial) {
+      BigInt a = BigInt::RandomBelow(m, &rng);
+      EXPECT_EQ(ctx->MontSqr(a), ctx->MontMul(a, a)) << "bits=" << bits;
+    }
+    EXPECT_EQ(ctx->MontSqr(BigInt()), BigInt());
+    BigInt top = m.Sub(BigInt(1));
+    EXPECT_EQ(ctx->MontSqr(top), ctx->MontMul(top, top));
+  }
+}
+
+// Raw kernels with one reused scratch, in-place outputs, and mixed
+// Mul/Sqr interleavings must match the BigInt wrappers.
+TEST(MontgomeryTest, KernelScratchReuseAndAliasing) {
+  SecureRandom rng(uint64_t{10});
+  BigInt m = BigInt::RandomWithBits(1024, &rng);
+  if (!m.IsOdd()) m = m.Add(BigInt(1));
+  auto ctx = MontgomeryCtx::Create(m);
+  ASSERT_TRUE(ctx.ok());
+  const size_t n = ctx->limbs();
+  MontgomeryCtx::Scratch scratch(*ctx);
+
+  BigInt a = BigInt::RandomBelow(m, &rng);
+  BigInt b = BigInt::RandomBelow(m, &rng);
+  std::vector<uint64_t> va(n), vb(n);
+  ctx->ToMontInto(a, va.data(), &scratch);
+  ctx->ToMontInto(b, vb.data(), &scratch);
+
+  // ((a*b)^2 * a) with aliased outputs and a single scratch...
+  std::vector<uint64_t> acc(n);
+  ctx->MulInto(va.data(), vb.data(), acc.data(), &scratch);
+  ctx->SqrInto(acc.data(), acc.data(), &scratch);
+  ctx->MulInto(acc.data(), va.data(), acc.data(), &scratch);
+  BigInt got = ctx->FromMontLimbs(acc.data(), &scratch);
+
+  // ...against the BigInt-level wrappers.
+  BigInt am = ctx->ToMont(a), bm = ctx->ToMont(b);
+  BigInt expect = ctx->MontMul(am, bm);
+  expect = ctx->MontSqr(expect);
+  expect = ctx->MontMul(expect, am);
+  EXPECT_EQ(got, ctx->FromMont(expect));
+
+  // And against the plain-domain reference.
+  BigInt ab = RefModMul(a, b, m);
+  EXPECT_EQ(got, RefModMul(RefModMul(ab, ab, m), a, m));
+}
+
 }  // namespace
 }  // namespace crypto
 }  // namespace shuffledp

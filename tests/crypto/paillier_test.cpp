@@ -158,6 +158,178 @@ TEST_F(PaillierTest, RandomizerPoolFastEncrypt) {
   EXPECT_EQ(back->ToU64Saturating(), 2468u);
 }
 
+TEST_F(PaillierTest, HomomorphismRandomizedProperty) {
+  // Dec(Enc(a) (+) Enc(b)) == a + b mod N for random and extreme a, b.
+  const BigInt n = kp_->pub.n();
+  std::vector<BigInt> values = {BigInt(), BigInt(1), n.Sub(BigInt(1))};
+  for (int i = 0; i < 5; ++i) {
+    values.push_back(BigInt::RandomBelow(n, rng_));
+  }
+  for (const BigInt& a : values) {
+    for (const BigInt& b : values) {
+      auto ca = kp_->pub.Encrypt(a, rng_);
+      auto cb = kp_->pub.Encrypt(b, rng_);
+      ASSERT_TRUE(ca.ok() && cb.ok());
+      auto sum = kp_->priv.Decrypt(kp_->pub.Add(*ca, *cb));
+      ASSERT_TRUE(sum.ok());
+      EXPECT_EQ(*sum, a.Add(b).Mod(n));
+    }
+  }
+}
+
+TEST_F(PaillierTest, ExtremePlaintextsRoundTrip) {
+  // m = 0 and m = N - 1 exactly.
+  for (const BigInt& m : {BigInt(), kp_->pub.n().Sub(BigInt(1))}) {
+    auto c = kp_->pub.Encrypt(m, rng_);
+    ASSERT_TRUE(c.ok());
+    auto back = kp_->priv.Decrypt(*c);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, m);
+  }
+}
+
+TEST_F(PaillierTest, CrtMatchesDirectDecryption) {
+  for (int i = 0; i < 4; ++i) {
+    BigInt m = BigInt::RandomBelow(kp_->pub.n(), rng_);
+    auto c = kp_->pub.Encrypt(m, rng_);
+    ASSERT_TRUE(c.ok());
+    auto crt = kp_->priv.Decrypt(*c);
+    auto direct = kp_->priv.DecryptDirect(*c);
+    ASSERT_TRUE(crt.ok() && direct.ok());
+    EXPECT_EQ(*crt, *direct);
+    EXPECT_EQ(*crt, m);
+  }
+  // Also after homomorphic combination.
+  auto c1 = kp_->pub.EncryptU64(12345, rng_);
+  auto c2 = kp_->pub.EncryptU64(67890, rng_);
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  auto combined = kp_->pub.ScalarMult(kp_->pub.Add(*c1, *c2), BigInt(3));
+  auto crt = kp_->priv.Decrypt(combined);
+  auto direct = kp_->priv.DecryptDirect(combined);
+  ASSERT_TRUE(crt.ok() && direct.ok());
+  EXPECT_EQ(*crt, *direct);
+  EXPECT_EQ(crt->ToU64Saturating(), (12345u + 67890u) * 3u);
+}
+
+TEST_F(PaillierTest, FixedBaseRandomizerAgreesWithFullWidth) {
+  RandomizerPool pool(kp_->pub, 2, rng_, RandomizerPool::Mode::kFixedBase);
+  ASSERT_EQ(pool.mode(), RandomizerPool::Mode::kFixedBase);
+  for (uint64_t m : {0ULL, 1ULL, 424242ULL, 0xFFFFFFFFFFFFFFFFULL}) {
+    // Fixed-base fast encryption and full-width encryption must be
+    // plaintext-equivalent.
+    auto fast = pool.EncryptFastU64(m, rng_);
+    auto exact = kp_->pub.EncryptU64(m, rng_);
+    ASSERT_TRUE(exact.ok());
+    auto back_fast = kp_->priv.Decrypt(fast);
+    auto back_exact = kp_->priv.Decrypt(*exact);
+    ASSERT_TRUE(back_fast.ok() && back_exact.ok());
+    EXPECT_EQ(*back_fast, *back_exact);
+    EXPECT_NE(fast.value, exact->value);  // still randomized
+  }
+  // Fresh masks per call: fast encryptions of one plaintext differ.
+  auto f1 = pool.EncryptFastU64(7, rng_);
+  auto f2 = pool.EncryptFastU64(7, rng_);
+  EXPECT_NE(f1.value, f2.value);
+  // Rerandomize preserves the plaintext and changes the ciphertext.
+  auto c = kp_->pub.EncryptU64(31337, rng_);
+  ASSERT_TRUE(c.ok());
+  auto rr = pool.Rerandomize(*c, rng_);
+  EXPECT_NE(rr.value, c->value);
+  auto back = kp_->priv.Decrypt(rr);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->ToU64Saturating(), 31337u);
+}
+
+TEST_F(PaillierTest, PackedDecryptionMatchesPerRow) {
+  SecureRandom data_rng(uint64_t{99});
+  for (unsigned ell : {8u, 13u, 36u}) {
+    const uint64_t mask = (uint64_t{1} << ell) - 1;
+    for (unsigned slack : {0u, 3u}) {
+      const unsigned slot_bits = ell + slack + 1;
+      const size_t cap = kp_->priv.PackedSlotCapacity(slot_bits);
+      ASSERT_GE(cap, 1u);
+      for (size_t count : {size_t{1}, std::min<size_t>(3, cap), cap}) {
+        std::vector<PaillierCiphertext> cs(count);
+        std::vector<uint64_t> expect(count);
+        for (size_t i = 0; i < count; ++i) {
+          uint64_t v = data_rng.NextU64() & mask;
+          expect[i] = v;
+          auto c = kp_->pub.EncryptU64(v, rng_);
+          ASSERT_TRUE(c.ok());
+          cs[i] = std::move(c).value();
+        }
+        std::vector<uint64_t> got(count, ~uint64_t{0});
+        ASSERT_TRUE(kp_->priv
+                        .DecryptPackedMod2Ell(cs.data(), count, slot_bits,
+                                              ell, got.data())
+                        .ok());
+        for (size_t i = 0; i < count; ++i) {
+          auto per_row = kp_->priv.DecryptMod2Ell(cs[i], ell);
+          ASSERT_TRUE(per_row.ok());
+          EXPECT_EQ(got[i], *per_row) << "slot " << i;
+          EXPECT_EQ(got[i], expect[i]) << "slot " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(PaillierTest, PackedDecryptionHandlesEosStyleAdjustments) {
+  // Mimic the PEOS pipeline: the encrypted share accumulates a few more
+  // ell-bit plaintext additions (one per EOS round) plus rerandomization;
+  // the slot headroom must absorb the integer growth.
+  const unsigned ell = 16;
+  const uint64_t mask = (uint64_t{1} << ell) - 1;
+  const unsigned rounds = 3;
+  unsigned extra = 0;
+  while ((1u << extra) < rounds + 1) ++extra;
+  const unsigned slot_bits = ell + extra + 1;
+  RandomizerPool pool(kp_->pub, 4, rng_);
+  SecureRandom data_rng(uint64_t{1234});
+
+  const size_t count =
+      std::min<size_t>(kp_->priv.PackedSlotCapacity(slot_bits), 7);
+  std::vector<PaillierCiphertext> cs(count);
+  std::vector<uint64_t> expect(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t sum = data_rng.NextU64() & mask;
+    cs[i] = pool.EncryptFastU64(sum, rng_);
+    for (unsigned r = 0; r < rounds; ++r) {
+      uint64_t adj = data_rng.NextU64() & mask;
+      sum = (sum + adj) & mask;
+      cs[i] = pool.Rerandomize(kp_->pub.AddPlain(cs[i], BigInt(adj)), rng_);
+    }
+    expect[i] = sum;
+  }
+  std::vector<uint64_t> got(count);
+  ASSERT_TRUE(kp_->priv
+                  .DecryptPackedMod2Ell(cs.data(), count, slot_bits, ell,
+                                        got.data())
+                  .ok());
+  EXPECT_EQ(got, expect);
+}
+
+TEST_F(PaillierTest, PackedDecryptionRejectsBadLayouts) {
+  auto c = kp_->pub.EncryptU64(1, rng_);
+  ASSERT_TRUE(c.ok());
+  std::vector<PaillierCiphertext> cs(
+      kp_->priv.PackedSlotCapacity(16) + 1, *c);
+  std::vector<uint64_t> out(cs.size());
+  // Over capacity.
+  EXPECT_FALSE(kp_->priv
+                   .DecryptPackedMod2Ell(cs.data(), cs.size(), 16, 16,
+                                         out.data())
+                   .ok());
+  // slot_bits < ell and ell out of range.
+  EXPECT_FALSE(
+      kp_->priv.DecryptPackedMod2Ell(cs.data(), 1, 8, 16, out.data()).ok());
+  EXPECT_FALSE(
+      kp_->priv.DecryptPackedMod2Ell(cs.data(), 1, 70, 65, out.data()).ok());
+  // count == 0 is a no-op.
+  EXPECT_TRUE(
+      kp_->priv.DecryptPackedMod2Ell(cs.data(), 0, 16, 16, out.data()).ok());
+}
+
 TEST(PaillierKeyGenTest, ProductionSizeKeyWorks) {
   SecureRandom rng(uint64_t{777001});
   auto kp = PaillierGenerateKeyPair(1024, &rng);
