@@ -41,6 +41,51 @@ Result<shuffle::PeosResult> ShuffleDpCollector::Collect(
   return shuffle::RunPeos(*oracle_, values, config, rng);
 }
 
+Status ShuffleDpCollector::StreamEncodedBatches(
+    const std::vector<uint64_t>& values, Rng* rng, uint64_t skip_batches,
+    const std::function<Status(std::vector<uint64_t>&&)>& sink) const {
+  const uint64_t n = values.size();
+  const size_t batch_size = std::max<size_t>(1, options_.streaming.batch_size);
+  const unsigned bits = oracle_->PackedBits();
+  uint64_t batch_index = 0;
+
+  // User reports: encoded batch by batch on the producer side while the
+  // consumer counts earlier batches. Seeds derive from the batch start
+  // index, so the stream is reproducible for any pool size — and any
+  // batch suffix can be replayed verbatim after a crash (skip_batches).
+  const uint64_t base_seed = rng->NextU64();
+  for (uint64_t lo = 0; lo < n; lo += batch_size, ++batch_index) {
+    if (batch_index < skip_batches) continue;
+    const uint64_t hi = std::min<uint64_t>(n, lo + batch_size);
+    Rng batch_rng(base_seed ^ (lo * 0x9E3779B97F4A7C15ULL));
+    std::vector<uint64_t> ordinals;
+    ordinals.reserve(hi - lo);
+    for (uint64_t i = lo; i < hi; ++i) {
+      ordinals.push_back(
+          oracle_->PackOrdinal(oracle_->Encode(values[i], &batch_rng)));
+    }
+    SHUFFLEDP_RETURN_NOT_OK(sink(std::move(ordinals)));
+  }
+
+  // Fake blanket: n_r uniform ordinals, decoded through the same path the
+  // PEOS server uses (padding ordinals drop as invalid rows).
+  const uint64_t fake_seed = rng->NextU64();
+  for (uint64_t lo = 0; lo < plan_.n_r; lo += batch_size, ++batch_index) {
+    if (batch_index < skip_batches) continue;
+    const uint64_t hi = std::min<uint64_t>(plan_.n_r, lo + batch_size);
+    Rng batch_rng(fake_seed ^ (lo * 0x9E3779B97F4A7C15ULL + 1));
+    std::vector<uint64_t> ordinals;
+    ordinals.reserve(hi - lo);
+    for (uint64_t i = lo; i < hi; ++i) {
+      ordinals.push_back(bits >= 64
+                             ? batch_rng.NextU64()
+                             : batch_rng.UniformU64(uint64_t{1} << bits));
+    }
+    SHUFFLEDP_RETURN_NOT_OK(sink(std::move(ordinals)));
+  }
+  return Status::OK();
+}
+
 Result<service::RoundResult> ShuffleDpCollector::CollectStreaming(
     const std::vector<uint64_t>& values, Rng* rng) const {
   const uint64_t n = values.size();
@@ -50,54 +95,53 @@ Result<service::RoundResult> ShuffleDpCollector::CollectStreaming(
   stream_opts.pool =
       options_.pool != nullptr ? options_.pool : &GlobalThreadPool();
   service::StreamingCollector collector(*oracle_, stream_opts);
-  const size_t batch_size = std::max<size_t>(1, stream_opts.batch_size);
 
-  // User reports: encoded batch by batch on the producer side while the
-  // collector's consumer counts earlier batches. Seeds derive from the
-  // batch start index, so the stream is reproducible for any pool size.
-  const uint64_t base_seed = rng->NextU64();
-  for (uint64_t lo = 0; lo < n; lo += batch_size) {
-    const uint64_t hi = std::min<uint64_t>(n, lo + batch_size);
-    Rng batch_rng(base_seed ^ (lo * 0x9E3779B97F4A7C15ULL));
-    std::vector<ldp::LdpReport> reports;
-    reports.reserve(hi - lo);
-    for (uint64_t i = lo; i < hi; ++i) {
-      reports.push_back(oracle_->Encode(values[i], &batch_rng));
-    }
-    SHUFFLEDP_RETURN_NOT_OK(
-        collector.Offer(service::MakePlainBatch(std::move(reports))));
-  }
-
-  // Fake blanket: n_r uniform ordinals, decoded through the same path the
-  // PEOS server uses (padding ordinals drop as invalid rows).
-  const unsigned bits = oracle_->PackedBits();
-  const uint64_t fake_seed = rng->NextU64();
-  for (uint64_t lo = 0; lo < plan_.n_r; lo += batch_size) {
-    const uint64_t hi = std::min<uint64_t>(plan_.n_r, lo + batch_size);
-    Rng batch_rng(fake_seed ^ (lo * 0x9E3779B97F4A7C15ULL + 1));
-    auto ordinals = std::make_shared<std::vector<uint64_t>>();
-    ordinals->reserve(hi - lo);
-    for (uint64_t i = lo; i < hi; ++i) {
-      ordinals->push_back(bits >= 64
-                              ? batch_rng.NextU64()
-                              : batch_rng.UniformU64(uint64_t{1} << bits));
-    }
-    service::ReportBatch batch;
-    batch.count = ordinals->size();
-    const ldp::ScalarFrequencyOracle* oracle_ptr = oracle_.get();
-    batch.decode = [ordinals,
-                    oracle_ptr](uint64_t i) -> Result<service::DecodedRow> {
-      service::DecodedRow row;
-      auto rep = oracle_ptr->UnpackOrdinal((*ordinals)[i]);
-      if (!rep.ok()) return row;  // padding ordinal: dropped as invalid
-      row.report = *rep;
-      row.valid = true;
-      return row;
-    };
-    SHUFFLEDP_RETURN_NOT_OK(collector.Offer(std::move(batch)));
-  }
+  const ldp::ScalarFrequencyOracle* oracle_ptr = oracle_.get();
+  SHUFFLEDP_RETURN_NOT_OK(StreamEncodedBatches(
+      values, rng, /*skip_batches=*/0,
+      [&collector, oracle_ptr](std::vector<uint64_t>&& batch) {
+        auto ordinals =
+            std::make_shared<std::vector<uint64_t>>(std::move(batch));
+        service::ReportBatch report_batch;
+        report_batch.count = ordinals->size();
+        report_batch.decode =
+            [ordinals, oracle_ptr](uint64_t i) -> Result<service::DecodedRow> {
+          service::DecodedRow row;
+          auto rep = oracle_ptr->UnpackOrdinal((*ordinals)[i]);
+          if (!rep.ok()) return row;  // padding ordinal: dropped as invalid
+          row.report = *rep;
+          row.valid = true;
+          return row;
+        };
+        return collector.Offer(std::move(report_batch));
+      }));
 
   return collector.FinishRound(n, plan_.n_r, service::Calibration::kOrdinal);
+}
+
+Result<service::RemoteRoundResult> ShuffleDpCollector::CollectRemote(
+    const std::vector<uint64_t>& values, Rng* rng,
+    service::CollectorClient* client, uint64_t round_id,
+    uint64_t skip_batches) const {
+  const uint64_t n = values.size();
+  if (n == 0) return Status::InvalidArgument("CollectRemote: empty dataset");
+  if (client == nullptr) {
+    return Status::InvalidArgument("CollectRemote: null client");
+  }
+
+  // Same deterministic producer as CollectStreaming, but each batch ships
+  // to the endpoint as a kBatch frame instead of an in-process Offer —
+  // which is why the loopback e2e can demand bitwise-identical estimates
+  // from the two paths.
+  const ldp::ScalarFrequencyOracle* oracle_ptr = oracle_.get();
+  SHUFFLEDP_RETURN_NOT_OK(StreamEncodedBatches(
+      values, rng, skip_batches,
+      [client, oracle_ptr, round_id](std::vector<uint64_t>&& batch) {
+        return client->SendOrdinals(round_id, *oracle_ptr, batch);
+      }));
+
+  return client->FinishRound(round_id, n, plan_.n_r,
+                             service::Calibration::kOrdinal);
 }
 
 Result<std::vector<double>> ShuffleDpCollector::SimulateCollect(

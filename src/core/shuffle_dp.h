@@ -17,6 +17,7 @@
 #define SHUFFLEDP_CORE_SHUFFLE_DP_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -24,6 +25,7 @@
 #include "crypto/secure_random.h"
 #include "ldp/frequency_oracle.h"
 #include "service/streaming_collector.h"
+#include "service/transport.h"
 #include "shuffle/peos.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -83,7 +85,30 @@ class ShuffleDpCollector {
   Result<service::RoundResult> CollectStreaming(
       const std::vector<uint64_t>& values, Rng* rng) const;
 
+  /// Networked variant of CollectStreaming: the same deterministic
+  /// producer encodes the users' reports plus the plan's fake blanket,
+  /// but every batch ships to a remote collection endpoint
+  /// (service::CollectionServer) through `client` as a kBatch frame for
+  /// `round_id`, and the round closes with a kFinish frame. Because the
+  /// endpoint feeds the identical StreamingCollector pipeline, estimates
+  /// are bitwise identical to CollectStreaming under the same `rng` seed.
+  /// `skip_batches` resumes a crash-recovered round: batches below the
+  /// endpoint's consumed-batch watermark are not resent.
+  Result<service::RemoteRoundResult> CollectRemote(
+      const std::vector<uint64_t>& values, Rng* rng,
+      service::CollectorClient* client, uint64_t round_id,
+      uint64_t skip_batches = 0) const;
+
  private:
+  /// Shared producer of CollectStreaming/CollectRemote: slices users +
+  /// fake blanket into batch_size batches of packed ordinals (seeded per
+  /// batch start index, so any suffix replays bit-identically) and hands
+  /// each to `sink`. The first `skip_batches` batches are skipped without
+  /// being encoded — per-batch seeding makes later batches independent of
+  /// them.
+  Status StreamEncodedBatches(
+      const std::vector<uint64_t>& values, Rng* rng, uint64_t skip_batches,
+      const std::function<Status(std::vector<uint64_t>&&)>& sink) const;
   ShuffleDpCollector(PeosPlan plan, uint64_t n, uint64_t domain_size,
                      Options options,
                      std::unique_ptr<ldp::ScalarFrequencyOracle> oracle)

@@ -7,13 +7,12 @@ size_t WireReportBytes(const ScalarFrequencyOracle& oracle) {
   return (oracle.PackedBits() + 7) / 8;
 }
 
-Bytes SerializeReports(const ScalarFrequencyOracle& oracle,
-                       const std::vector<LdpReport>& reports) {
+Bytes SerializeOrdinals(const ScalarFrequencyOracle& oracle,
+                        const std::vector<uint64_t>& ordinals) {
   const size_t width = WireReportBytes(oracle);
-  ByteWriter w(reports.size() * width + 10);
-  w.PutVarint(reports.size());
-  for (const LdpReport& r : reports) {
-    uint64_t ordinal = oracle.PackOrdinal(r);
+  ByteWriter w(ordinals.size() * width + 10);
+  w.PutVarint(ordinals.size());
+  for (uint64_t ordinal : ordinals) {
     for (size_t b = width; b-- > 0;) {
       w.PutU8(static_cast<uint8_t>(ordinal >> (8 * b)));
     }
@@ -21,9 +20,10 @@ Bytes SerializeReports(const ScalarFrequencyOracle& oracle,
   return w.Release();
 }
 
-Result<std::vector<LdpReport>> ParseReports(
+Result<std::vector<uint64_t>> ParseOrdinals(
     const ScalarFrequencyOracle& oracle, const Bytes& wire) {
   const size_t width = WireReportBytes(oracle);
+  const unsigned bits = oracle.PackedBits();
   ByteReader reader(wire);
   SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t count, reader.GetVarint());
   // Divide instead of multiplying: a hostile count (e.g. 2^61 with an
@@ -33,7 +33,7 @@ Result<std::vector<LdpReport>> ParseReports(
       count * width != reader.Remaining()) {
     return Status::DataLoss("report payload has wrong length");
   }
-  std::vector<LdpReport> out;
+  std::vector<uint64_t> out;
   out.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t ordinal = 0;
@@ -41,6 +41,31 @@ Result<std::vector<LdpReport>> ParseReports(
       SHUFFLEDP_ASSIGN_OR_RETURN(uint8_t byte, reader.GetU8());
       ordinal = (ordinal << 8) | byte;
     }
+    // The width rounds PackedBits up to whole bytes; bits smuggled into
+    // the rounding slack are rejected, padding-region ordinals are not.
+    if (bits < 64 && ordinal >= (uint64_t{1} << bits)) {
+      return Status::DataLoss("ordinal exceeds the packed report space");
+    }
+    out.push_back(ordinal);
+  }
+  return out;
+}
+
+Bytes SerializeReports(const ScalarFrequencyOracle& oracle,
+                       const std::vector<LdpReport>& reports) {
+  std::vector<uint64_t> ordinals;
+  ordinals.reserve(reports.size());
+  for (const LdpReport& r : reports) ordinals.push_back(oracle.PackOrdinal(r));
+  return SerializeOrdinals(oracle, ordinals);
+}
+
+Result<std::vector<LdpReport>> ParseReports(
+    const ScalarFrequencyOracle& oracle, const Bytes& wire) {
+  SHUFFLEDP_ASSIGN_OR_RETURN(std::vector<uint64_t> ordinals,
+                             ParseOrdinals(oracle, wire));
+  std::vector<LdpReport> out;
+  out.reserve(ordinals.size());
+  for (uint64_t ordinal : ordinals) {
     SHUFFLEDP_ASSIGN_OR_RETURN(LdpReport rep, oracle.UnpackOrdinal(ordinal));
     SHUFFLEDP_RETURN_NOT_OK(oracle.ValidateReport(rep));
     out.push_back(rep);

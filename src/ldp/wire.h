@@ -32,6 +32,22 @@ Bytes SerializeReports(const ScalarFrequencyOracle& oracle,
 Result<std::vector<LdpReport>> ParseReports(
     const ScalarFrequencyOracle& oracle, const Bytes& wire);
 
+/// Serializes raw ordinals in [0, 2^PackedBits) with the exact layout of
+/// SerializeReports (varint count + fixed-width big-endian values). This
+/// is the batch payload of the collection transport (service/transport.h):
+/// unlike SerializeReports it admits padding-region ordinals, which the
+/// endpoint must accept — PEOS fake blankets are uniform over the padded
+/// ordinal space, and the server drops padding decodes as invalid rows
+/// rather than rejecting the batch.
+Bytes SerializeOrdinals(const ScalarFrequencyOracle& oracle,
+                        const std::vector<uint64_t>& ordinals);
+
+/// Parses a SerializeOrdinals payload. Length and range (< 2^PackedBits)
+/// are validated; report validity is not — decode each ordinal with
+/// `oracle.UnpackOrdinal` and drop padding hits.
+Result<std::vector<uint64_t>> ParseOrdinals(
+    const ScalarFrequencyOracle& oracle, const Bytes& wire);
+
 /// Packs a 0/1 unary report into bits (LSB-first within each byte).
 Bytes PackUnaryBits(const std::vector<uint8_t>& bits);
 

@@ -1,0 +1,185 @@
+#include "service/checkpoint.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/bytes.h"
+#include "util/hash.h"
+
+namespace shuffledp {
+namespace service {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 16;
+
+Bytes SerializeState(const CheckpointState& state) {
+  ByteWriter w(64 + state.supports.size() * 4 +
+               state.dummies_remaining.size() * 20);
+  w.PutU64(state.round_id);
+  w.PutVarint(state.batches_consumed);
+  w.PutVarint(state.rows_seen);
+  w.PutVarint(state.reports_decoded);
+  w.PutVarint(state.reports_invalid);
+  w.PutVarint(state.dummies_recognized);
+  w.PutVarint(state.dummies_expected);
+  w.PutVarint(state.supports.size());
+  for (uint64_t s : state.supports) w.PutVarint(s);
+  w.PutVarint(state.dummies_remaining.size());
+  for (const auto& [key, count] : state.dummies_remaining) {
+    w.PutU64(key.first);
+    w.PutU64(key.second);
+    w.PutVarint(count);
+  }
+  return w.Release();
+}
+
+Result<CheckpointState> DeserializeState(const Bytes& payload) {
+  ByteReader r(payload);
+  CheckpointState state;
+  SHUFFLEDP_ASSIGN_OR_RETURN(state.round_id, r.GetU64());
+  SHUFFLEDP_ASSIGN_OR_RETURN(state.batches_consumed, r.GetVarint());
+  SHUFFLEDP_ASSIGN_OR_RETURN(state.rows_seen, r.GetVarint());
+  SHUFFLEDP_ASSIGN_OR_RETURN(state.reports_decoded, r.GetVarint());
+  SHUFFLEDP_ASSIGN_OR_RETURN(state.reports_invalid, r.GetVarint());
+  SHUFFLEDP_ASSIGN_OR_RETURN(state.dummies_recognized, r.GetVarint());
+  SHUFFLEDP_ASSIGN_OR_RETURN(state.dummies_expected, r.GetVarint());
+  SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t d, r.GetVarint());
+  // Each support needs at least one payload byte; a hostile length field
+  // cannot drive the reserve below past the file size.
+  if (d > r.Remaining()) {
+    return Status::DataLoss("checkpoint supports length exceeds payload");
+  }
+  state.supports.reserve(d);
+  for (uint64_t i = 0; i < d; ++i) {
+    SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t s, r.GetVarint());
+    state.supports.push_back(s);
+  }
+  SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t n_dummies, r.GetVarint());
+  if (n_dummies > r.Remaining() / 17) {  // 8 + 8 + >=1 bytes per entry
+    return Status::DataLoss("checkpoint dummy count exceeds payload");
+  }
+  for (uint64_t i = 0; i < n_dummies; ++i) {
+    SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t packed, r.GetU64());
+    SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t tag, r.GetU64());
+    SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+    state.dummies_remaining[{packed, tag}] = count;
+  }
+  if (!r.AtEnd()) {
+    return Status::DataLoss("checkpoint payload has trailing bytes");
+  }
+  return state;
+}
+
+}  // namespace
+
+Status WriteCheckpoint(const std::string& path,
+                       const CheckpointState& state) {
+  if (path.empty()) {
+    return Status::InvalidArgument("checkpoint path is empty");
+  }
+  Bytes payload = SerializeState(state);
+
+  ByteWriter file(kHeaderBytes + payload.size());
+  file.PutBytes(kCheckpointMagic, sizeof(kCheckpointMagic));
+  file.PutU8(kCheckpointVersion);
+  file.PutU8(0);
+  file.PutU8(0);
+  file.PutU8(0);
+  file.PutU32(static_cast<uint32_t>(payload.size()));
+  file.PutU32(Crc32(payload.data(), payload.size()));
+  file.PutBytes(payload);
+  const Bytes& bytes = file.data();
+
+  // Stage + fsync + rename: a crash at any point leaves either the old
+  // checkpoint or the new one at `path`, never a torn file.
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("checkpoint: cannot open " + tmp + ": " +
+                            std::strerror(errno));
+  }
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t wrote = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      Status st = Status::Internal(std::string("checkpoint write failed: ") +
+                                   std::strerror(errno));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return st;
+    }
+    off += static_cast<size_t>(wrote);
+  }
+  if (::fsync(fd) != 0) {
+    Status st = Status::Internal(std::string("checkpoint fsync failed: ") +
+                                 std::strerror(errno));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status st = Status::Internal(std::string("checkpoint rename failed: ") +
+                                 std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  return Status::OK();
+}
+
+Result<CheckpointState> ReadCheckpoint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("no checkpoint at " + path);
+  }
+  Bytes bytes;
+  uint8_t buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + got);
+  }
+  std::fclose(f);
+
+  if (bytes.size() < kHeaderBytes) {
+    return Status::DataLoss("checkpoint file shorter than its header");
+  }
+  ByteReader r(bytes);
+  SHUFFLEDP_ASSIGN_OR_RETURN(Bytes magic, r.GetBytes(4));
+  if (std::memcmp(magic.data(), kCheckpointMagic, 4) != 0) {
+    return Status::DataLoss("checkpoint magic mismatch");
+  }
+  SHUFFLEDP_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
+  if (version != kCheckpointVersion) {
+    return Status::DataLoss("unsupported checkpoint version " +
+                            std::to_string(version));
+  }
+  for (int i = 0; i < 3; ++i) {
+    SHUFFLEDP_ASSIGN_OR_RETURN(uint8_t reserved, r.GetU8());
+    if (reserved != 0) {
+      return Status::DataLoss("checkpoint reserved bytes are nonzero");
+    }
+  }
+  SHUFFLEDP_ASSIGN_OR_RETURN(uint32_t payload_len, r.GetU32());
+  SHUFFLEDP_ASSIGN_OR_RETURN(uint32_t expected_crc, r.GetU32());
+  if (payload_len != r.Remaining()) {
+    return Status::DataLoss("checkpoint length field does not match file");
+  }
+  SHUFFLEDP_ASSIGN_OR_RETURN(Bytes payload, r.GetBytes(payload_len));
+  if (Crc32(payload.data(), payload.size()) != expected_crc) {
+    return Status::DataLoss("checkpoint CRC mismatch (torn or corrupt)");
+  }
+  return DeserializeState(payload);
+}
+
+void RemoveCheckpoint(const std::string& path) {
+  if (!path.empty()) std::remove(path.c_str());
+}
+
+}  // namespace service
+}  // namespace shuffledp

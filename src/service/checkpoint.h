@@ -1,0 +1,89 @@
+// Crash-safe round checkpoints for the streaming collection service.
+//
+// A collection round at n = 10^6+ reports is minutes of ingest; a server
+// crash mid-round used to lose every partial shard aggregate. The
+// collector's consumer thread periodically snapshots its round state —
+// merged shard supports, consumed-batch watermark, running tallies, the
+// remaining spot-check dummy multiset — into a CRC-guarded file that is
+// written atomically (temp file + fsync + rename), so the file on disk
+// is always either the previous complete checkpoint or the new one,
+// never a torn mix. On restart, StreamingCollector::RecoverRound()
+// restores the snapshot and returns the watermark; the feeder replays
+// batches from that index (protocol encode phases are deterministic in
+// fixed-size chunks, so replayed batches are bit-identical) and the
+// finished round matches an uninterrupted run exactly.
+//
+// File layout (all integers little-endian; see docs/WIRE_FORMAT.md):
+//
+//   offset size field
+//   0      4    magic "SDPK" (0x53 0x44 0x50 0x4B)
+//   4      1    version (kCheckpointVersion)
+//   5      3    reserved, zero
+//   8      4    payload length (u32)
+//   12     4    CRC-32 of the payload bytes
+//   16     ..   payload (serialized CheckpointState)
+//
+// Payload: u64 round_id, varint batches_consumed, varint rows_seen,
+// varint reports_decoded, varint reports_invalid, varint
+// dummies_recognized, varint dummies_expected, varint domain size d,
+// d × varint supports, varint dummy-entry count, then per entry
+// u64 packed report, u64 tag, varint remaining count.
+
+#ifndef SHUFFLEDP_SERVICE_CHECKPOINT_H_
+#define SHUFFLEDP_SERVICE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace shuffledp {
+namespace service {
+
+inline constexpr uint8_t kCheckpointMagic[4] = {'S', 'D', 'P', 'K'};
+inline constexpr uint8_t kCheckpointVersion = 1;
+
+/// Checkpointing knobs (part of StreamingOptions).
+struct CheckpointOptions {
+  /// Checkpoint file path; empty disables checkpointing. The writer also
+  /// uses `path + ".tmp"` as the atomic-rename staging file.
+  std::string path;
+  /// Consumed-batch interval between snapshots.
+  uint64_t every_batches = 64;
+};
+
+/// One consistent snapshot of a partially drained round, as of the
+/// moment `batches_consumed` batches had been fully accumulated.
+struct CheckpointState {
+  uint64_t round_id = 0;
+  uint64_t batches_consumed = 0;  ///< replay watermark
+  uint64_t rows_seen = 0;
+  uint64_t reports_decoded = 0;
+  uint64_t reports_invalid = 0;
+  uint64_t dummies_recognized = 0;
+  uint64_t dummies_expected = 0;
+  std::vector<uint64_t> supports;  ///< merged shard aggregates, length d
+  /// Spot-check dummies not yet matched: (packed report, tag) -> count.
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> dummies_remaining;
+};
+
+/// Serializes `state` and writes it to `path` atomically: the payload is
+/// staged in `path + ".tmp"`, fsynced, then renamed over `path`.
+Status WriteCheckpoint(const std::string& path, const CheckpointState& state);
+
+/// Reads and validates a checkpoint file: magic, version, length, and
+/// CRC must all match or the read fails (DataLoss) without returning a
+/// partial state.
+Result<CheckpointState> ReadCheckpoint(const std::string& path);
+
+/// Deletes a checkpoint file if present (round completed). Missing files
+/// are not an error.
+void RemoveCheckpoint(const std::string& path);
+
+}  // namespace service
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_SERVICE_CHECKPOINT_H_

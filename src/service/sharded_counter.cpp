@@ -69,6 +69,18 @@ std::vector<uint64_t> ShardedSupportCounter::Finalize() const {
   return merged;
 }
 
+Status ShardedSupportCounter::Restore(const std::vector<uint64_t>& merged) {
+  if (merged.size() != oracle_.domain_size()) {
+    return Status::InvalidArgument(
+        "restore vector does not match the oracle domain size");
+  }
+  for (Shard& shard : shards_) {
+    std::copy(merged.begin() + shard.lo, merged.begin() + shard.hi,
+              shard.counts.begin());
+  }
+  return Status::OK();
+}
+
 void ShardedSupportCounter::Reset() {
   for (Shard& shard : shards_) {
     std::fill(shard.counts.begin(), shard.counts.end(), 0);

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "ldp/frequency_oracle.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace shuffledp {
@@ -46,6 +47,12 @@ class ShardedSupportCounter {
 
   /// Deterministic merge: shard slices concatenated in shard order.
   std::vector<uint64_t> Finalize() const;
+
+  /// Inverse of Finalize for checkpoint recovery: scatters a merged
+  /// supports vector (length = domain size) back into the shard slices.
+  /// The shard partition depends only on (d, num_shards), so a snapshot
+  /// taken by Finalize restores exactly.
+  Status Restore(const std::vector<uint64_t>& merged);
 
   /// Clears all partial aggregates (next collection round/window).
   void Reset();

@@ -42,7 +42,6 @@ StreamingCollector::StreamingCollector(
     const ldp::ScalarFrequencyOracle& oracle, StreamingOptions options)
     : oracle_(oracle),
       options_(options),
-      counter_(oracle, options.num_shards),
       queue_(options.queue_capacity) {
   if (options_.pool != nullptr && options_.pool->InWorkerThread()) {
     // Constructed from one of the pool's own workers (a protocol run
@@ -52,31 +51,35 @@ StreamingCollector::StreamingCollector(
     // processing on the consumer thread, which always makes progress.
     options_.pool = nullptr;
   }
-  StartRound();
+  counter_ = std::make_unique<ShardedSupportCounter>(oracle_,
+                                                     options_.num_shards);
+  drain_counter_ = std::make_unique<ShardedSupportCounter>(
+      oracle_, options_.num_shards);
+  ResetRoundTallies();
+  // The consumer spawns lazily on the first Offer (EnsureConsumer), so a
+  // constructed-but-unused collector does not park an idle thread.
 }
 
 StreamingCollector::~StreamingCollector() {
   queue_.Close();
   if (consumer_.joinable()) consumer_.join();
+  // The last round's finalize task may still run on the pool; it touches
+  // the drain counter and its promise, so wait it out before members die.
+  if (drain_done_.valid()) drain_done_.wait();
 }
 
-void StreamingCollector::StartRound() {
+void StreamingCollector::ResetRoundTallies() {
   rows_seen_ = 0;
   batches_seen_ = 0;
   reports_decoded_ = 0;
   reports_invalid_ = 0;
   dummies_recognized_ = 0;
   busy_seconds_ = 0.0;
-  round_status_ = Status::OK();
   dummies_expected_ = 0;
   dummy_multiset_.clear();
-  counter_.Reset();
   waits_at_round_start_ = queue_.producer_waits();
   queue_.ResetHighWaterMark();
   round_timer_.Reset();
-  queue_.Reopen();
-  // The consumer spawns lazily on the first Offer (EnsureConsumer), so a
-  // finished collector does not park an idle thread between rounds.
 }
 
 void StreamingCollector::EnsureConsumer() {
@@ -88,18 +91,33 @@ void StreamingCollector::EnsureConsumer() {
 
 void StreamingCollector::ExpectDummy(const ldp::LdpReport& report,
                                      uint64_t tag) {
-  ++dummy_multiset_[{ldp::PackReport(report), tag}];
-  ++dummies_expected_;
+  ExpectDummies({{report, tag}});
+}
+
+void StreamingCollector::ExpectDummies(
+    const std::vector<std::pair<ldp::LdpReport, uint64_t>>& dummies) {
+  if (dummies.empty()) return;
+  EnsureConsumer();
+  WorkItem item;
+  item.dummies.reserve(dummies.size());
+  for (const auto& [report, tag] : dummies) {
+    item.dummies.emplace_back(ldp::PackReport(report), tag);
+  }
+  queue_.Push(std::move(item));  // a closed (failed) pipeline drops it;
+                                 // the next Offer reports the error
 }
 
 Status StreamingCollector::Offer(ReportBatch batch) {
   EnsureConsumer();
-  if (!queue_.Push(std::move(batch))) {
-    // The queue only rejects after Close(): either the round was already
-    // finished or a decode failure shut the pipeline down.
-    if (!round_status_.ok()) return round_status_;
+  WorkItem item;
+  item.batch = std::move(batch);
+  if (!queue_.Push(std::move(item))) {
+    // The queue only rejects after Close(): a processing failure shut the
+    // pipeline down (or the collector is being destroyed).
+    Status error = PipelineError();
+    if (!error.ok()) return error;
     return Status::FailedPrecondition(
-        "streaming collector: round already closed");
+        "streaming collector: pipeline is shut down");
   }
   return Status::OK();
 }
@@ -141,12 +159,102 @@ Status StreamingCollector::OfferIndexedPrepared(
   return Status::OK();
 }
 
-void StreamingCollector::ConsumerLoop() {
-  ReportBatch batch;
-  while (queue_.Pop(&batch)) {
-    if (!round_status_.ok()) continue;  // drain without processing
-    ProcessBatch(batch);
+std::future<Result<RoundResult>> StreamingCollector::CloseRound(
+    uint64_t n, uint64_t n_fake, Calibration calibration) {
+  EnsureConsumer();
+  auto close = std::make_shared<RoundClose>();
+  close->n = n;
+  close->n_fake = n_fake;
+  close->calibration = calibration;
+  std::future<Result<RoundResult>> future = close->promise.get_future();
+  WorkItem item;
+  item.close = close;
+  if (!queue_.Push(std::move(item))) {
+    Status error = PipelineError();
+    close->promise.set_value(
+        error.ok() ? Status::FailedPrecondition(
+                         "streaming collector: pipeline is shut down")
+                   : error);
   }
+  return future;
+}
+
+Result<RoundResult> StreamingCollector::FinishRound(uint64_t n,
+                                                    uint64_t n_fake,
+                                                    Calibration calibration) {
+  Result<RoundResult> result = CloseRound(n, n_fake, calibration).get();
+  if (!result.ok()) ResetAfterError();
+  return result;
+}
+
+Result<uint64_t> StreamingCollector::RecoverRound(
+    const CheckpointState& state) {
+  {
+    std::lock_guard<std::mutex> lock(consumer_mu_);
+    if (consumer_.joinable()) {
+      return Status::FailedPrecondition(
+          "RecoverRound requires a fresh collector (nothing offered yet)");
+    }
+  }
+  SHUFFLEDP_RETURN_NOT_OK(counter_->Restore(state.supports));
+  rows_seen_ = state.rows_seen;
+  batches_seen_ = state.batches_consumed;
+  reports_decoded_ = state.reports_decoded;
+  reports_invalid_ = state.reports_invalid;
+  dummies_recognized_ = state.dummies_recognized;
+  dummies_expected_ = state.dummies_expected;
+  dummy_multiset_ = state.dummies_remaining;
+  round_id_.store(state.round_id, std::memory_order_relaxed);
+  return state.batches_consumed;
+}
+
+void StreamingCollector::ConsumerLoop() {
+  WorkItem item;
+  while (queue_.Pop(&item)) {
+    if (item.close != nullptr) {
+      ProcessRoundClose(item.close);
+    } else if (!item.dummies.empty()) {
+      if (!round_status_.ok()) continue;
+      for (const auto& entry : item.dummies) {
+        ++dummy_multiset_[entry];
+        ++dummies_expected_;
+      }
+    } else {
+      if (!round_status_.ok()) continue;  // drain without processing
+      ProcessBatch(item.batch);
+    }
+    item = WorkItem();  // release batch captures before blocking in Pop
+  }
+}
+
+void StreamingCollector::FailRound(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(status_mu_);
+    round_status_ = std::move(status);
+  }
+  // Unblock any producer stuck in Push; their Offer reports the error.
+  queue_.Close();
+}
+
+Status StreamingCollector::PipelineError() const {
+  std::lock_guard<std::mutex> lock(status_mu_);
+  return round_status_;
+}
+
+Status StreamingCollector::WriteRoundCheckpoint() {
+  CheckpointState state;
+  state.round_id = round_id_.load(std::memory_order_relaxed);
+  state.batches_consumed = batches_seen_;
+  state.rows_seen = rows_seen_;
+  state.reports_decoded = reports_decoded_;
+  state.reports_invalid = reports_invalid_;
+  state.dummies_recognized = dummies_recognized_;
+  state.dummies_expected = dummies_expected_;
+  state.supports = counter_->Finalize();
+  for (const auto& [key, count] : dummy_multiset_) {
+    if (count > 0) state.dummies_remaining.emplace(key, count);
+  }
+  return WriteCheckpoint(options_.checkpoint.path, state);
 }
 
 void StreamingCollector::ProcessBatch(const ReportBatch& batch) {
@@ -157,8 +265,7 @@ void StreamingCollector::ProcessBatch(const ReportBatch& batch) {
   if (batch.prepare) {
     Status prep_status = batch.prepare(options_.pool);
     if (!prep_status.ok()) {
-      round_status_ = prep_status;
-      queue_.Close();  // unblock producers; their Offer reports the error
+      FailRound(prep_status);
       return;
     }
   }
@@ -183,9 +290,7 @@ void StreamingCollector::ProcessBatch(const ReportBatch& batch) {
               }
             });
   if (!decode_status.ok()) {
-    round_status_ = decode_status;
-    // Unblock any producer stuck in Push; their Offer reports the error.
-    queue_.Close();
+    FailRound(decode_status);
     return;
   }
 
@@ -208,47 +313,132 @@ void StreamingCollector::ProcessBatch(const ReportBatch& batch) {
     kept.push_back(row.report);
   }
   reports_decoded_ += kept.size();
-  counter_.AccumulateBatch(kept, options_.pool);
+  counter_->AccumulateBatch(kept, options_.pool);
   busy_seconds_ += timer.ElapsedSeconds();
+
+  const CheckpointOptions& ckpt = options_.checkpoint;
+  if (!ckpt.path.empty() &&
+      batches_seen_ % std::max<uint64_t>(1, ckpt.every_batches) == 0) {
+    Status st = WriteRoundCheckpoint();
+    // A failed snapshot is a hard error: the operator asked for
+    // durability, so continuing without it would be a silent downgrade.
+    if (!st.ok()) FailRound(st);
+  }
 }
 
-Result<RoundResult> StreamingCollector::FinishRound(uint64_t n,
-                                                    uint64_t n_fake,
-                                                    Calibration calibration) {
-  queue_.Close();
-  if (consumer_.joinable()) consumer_.join();
-  const double wall = round_timer_.ElapsedSeconds();
-
+void StreamingCollector::ProcessRoundClose(
+    const std::shared_ptr<RoundClose>& close) {
   if (!round_status_.ok()) {
-    Status failed = round_status_;
-    StartRound();
-    return failed;
+    close->promise.set_value(round_status_);
+    return;
   }
 
-  RoundResult result;
-  result.supports = counter_.Finalize();
-  result.estimates =
-      calibration == Calibration::kOrdinal
-          ? ldp::CalibrateEstimatesOrdinal(oracle_, result.supports, n,
-                                           n_fake)
-          : ldp::CalibrateEstimates(oracle_, result.supports, n, n_fake);
-  result.reports_decoded = reports_decoded_;
-  result.reports_invalid = reports_invalid_;
-  result.dummies_recognized = dummies_recognized_;
-  result.spot_check_passed = dummies_recognized_ == dummies_expected_;
-
-  result.stats.batches = batches_seen_;
-  result.stats.rows = rows_seen_;
-  result.stats.backpressure_waits =
+  StreamingStats stats;
+  stats.batches = batches_seen_;
+  stats.rows = rows_seen_;
+  stats.backpressure_waits =
       queue_.producer_waits() - waits_at_round_start_;
-  result.stats.queue_high_water = queue_.high_water_mark();
-  result.stats.busy_seconds = busy_seconds_;
-  result.stats.wall_seconds = wall;
-  result.stats.rows_per_second =
-      wall > 0.0 ? static_cast<double>(rows_seen_) / wall : 0.0;
+  stats.queue_high_water = queue_.high_water_mark();
+  stats.busy_seconds = busy_seconds_;
+  stats.wall_seconds = round_timer_.ElapsedSeconds();
+  stats.rows_per_second =
+      stats.wall_seconds > 0.0
+          ? static_cast<double>(rows_seen_) / stats.wall_seconds
+          : 0.0;
 
-  StartRound();
-  return result;
+  // Double-buffer swap: wait until the previous round's finalize task has
+  // released the back buffer, then hand it the counter we just filled and
+  // keep ingesting the next round into the freshly reset one.
+  if (drain_done_.valid()) drain_done_.wait();
+  std::swap(counter_, drain_counter_);
+
+  // This round is fully accumulated; its mid-round snapshot is stale. The
+  // unlink happens here (synchronously) rather than in the drain task so
+  // it can never race the *next* round's snapshots of the same path.
+  if (!options_.checkpoint.path.empty()) {
+    RemoveCheckpoint(options_.checkpoint.path);
+  }
+
+  struct DrainJob {
+    std::shared_ptr<RoundClose> close;
+    ShardedSupportCounter* drained;
+    const ldp::ScalarFrequencyOracle* oracle;
+    uint64_t reports_decoded, reports_invalid, dummies_recognized;
+    uint64_t dummies_expected;
+    StreamingStats stats;
+
+    void Run() {
+      RoundResult result;
+      result.supports = drained->Finalize();
+      result.estimates =
+          close->calibration == Calibration::kOrdinal
+              ? ldp::CalibrateEstimatesOrdinal(*oracle, result.supports,
+                                               close->n, close->n_fake)
+              : ldp::CalibrateEstimates(*oracle, result.supports, close->n,
+                                        close->n_fake);
+      result.reports_decoded = reports_decoded;
+      result.reports_invalid = reports_invalid;
+      result.dummies_recognized = dummies_recognized;
+      result.spot_check_passed = dummies_recognized == dummies_expected;
+      result.stats = stats;
+      drained->Reset();  // back buffer ready for the next swap
+      close->promise.set_value(std::move(result));
+    }
+  };
+  auto job = std::make_shared<DrainJob>();
+  job->close = close;
+  job->drained = drain_counter_.get();
+  job->oracle = &oracle_;
+  job->reports_decoded = reports_decoded_;
+  job->reports_invalid = reports_invalid_;
+  job->dummies_recognized = dummies_recognized_;
+  job->dummies_expected = dummies_expected_;
+  job->stats = stats;
+
+  // Advance the round *before* the drain can fulfill the promise, so a
+  // caller that observed the round result never sees the old round id.
+  ResetRoundTallies();
+  round_id_.fetch_add(1, std::memory_order_relaxed);
+
+  if (options_.pool != nullptr) {
+    auto done = std::make_shared<std::promise<void>>();
+    drain_done_ = done->get_future();
+    options_.pool->Submit([job, done] {
+      job->Run();
+      done->set_value();
+    });
+  } else {
+    job->Run();
+    drain_done_ = std::future<void>();
+  }
+}
+
+void StreamingCollector::ResetAfterError() {
+  // FailRound closed the queue, so the consumer drains and exits; join
+  // it, flush any pending drain, and rebuild a clean pipeline.
+  {
+    std::lock_guard<std::mutex> lock(consumer_mu_);
+    if (consumer_.joinable()) consumer_.join();
+    consumer_ = std::thread();
+  }
+  if (drain_done_.valid()) {
+    drain_done_.wait();
+    drain_done_ = std::future<void>();
+  }
+  counter_->Reset();
+  drain_counter_->Reset();
+  {
+    std::lock_guard<std::mutex> lock(status_mu_);
+    round_status_ = Status::OK();
+  }
+  // The aborted round's snapshot is poison: recovering from it would
+  // resurrect half-aggregated state for a round already reported failed.
+  if (!options_.checkpoint.path.empty()) {
+    RemoveCheckpoint(options_.checkpoint.path);
+  }
+  ResetRoundTallies();
+  round_id_.fetch_add(1, std::memory_order_relaxed);
+  queue_.Reopen();
 }
 
 }  // namespace service

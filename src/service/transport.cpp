@@ -1,0 +1,611 @@
+#include "service/transport.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "ldp/wire.h"
+#include "util/hash.h"
+
+namespace shuffledp {
+namespace service {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Full-buffer send; MSG_NOSIGNAL so a dropped peer surfaces as EPIPE
+/// instead of killing the process.
+Status SendAll(int fd, const uint8_t* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    ssize_t sent = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    off += static_cast<size_t>(sent);
+  }
+  return Status::OK();
+}
+
+bool ValidFrameType(uint8_t type) {
+  return type >= static_cast<uint8_t>(FrameType::kBatch) &&
+         type <= static_cast<uint8_t>(FrameType::kWatermark);
+}
+
+/// Cap-checked frame write shared by both endpoints: a payload beyond
+/// kMaxFramePayload must fail fast here — encoding it would poison the
+/// peer's decoder mid-stream (and a >4 GiB payload would silently
+/// truncate in the u32 length field).
+Status WriteFrameTo(int fd, const Frame& frame) {
+  if (frame.payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(frame.payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+        "-byte transport cap");
+  }
+  Bytes wire = EncodeFrame(frame);
+  return SendAll(fd, wire.data(), wire.size());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Framing codec
+// ---------------------------------------------------------------------------
+
+Bytes EncodeFrame(const Frame& frame) {
+  ByteWriter w(kFrameHeaderBytes + frame.payload.size());
+  w.PutBytes(kFrameMagic, sizeof(kFrameMagic));
+  w.PutU8(kWireVersion);
+  w.PutU8(static_cast<uint8_t>(frame.type));
+  w.PutU16(0);  // reserved
+  w.PutU64(frame.round_id);
+  w.PutU32(static_cast<uint32_t>(frame.payload.size()));
+  // The CRC covers the 20 header bytes before it *and* the payload, so a
+  // corrupted round id or length cannot slip through just because the
+  // payload survived intact.
+  uint32_t crc = Crc32(w.data().data(), kFrameHeaderBytes - 4);
+  crc = Crc32(frame.payload.data(), frame.payload.size(), crc);
+  w.PutU32(crc);
+  w.PutBytes(frame.payload);
+  return w.Release();
+}
+
+Status FrameDecoder::Feed(const uint8_t* data, size_t len) {
+  if (!error_.ok()) return error_;
+  buf_.insert(buf_.end(), data, data + len);
+  while (buf_.size() >= kFrameHeaderBytes) {
+    ByteReader r(buf_);
+    Bytes magic = *r.GetBytes(4);
+    if (std::memcmp(magic.data(), kFrameMagic, 4) != 0) {
+      error_ = Status::ProtocolViolation("frame magic mismatch");
+      return error_;
+    }
+    uint8_t version = *r.GetU8();
+    if (version != kWireVersion) {
+      error_ = Status::ProtocolViolation(
+          "unsupported wire version " + std::to_string(version) +
+          " (this endpoint speaks " + std::to_string(kWireVersion) + ")");
+      return error_;
+    }
+    uint8_t type = *r.GetU8();
+    if (!ValidFrameType(type)) {
+      error_ = Status::ProtocolViolation("unknown frame type " +
+                                         std::to_string(type));
+      return error_;
+    }
+    uint16_t reserved = *r.GetU16();
+    if (reserved != 0) {
+      error_ = Status::ProtocolViolation("reserved header bytes are nonzero");
+      return error_;
+    }
+    uint64_t round_id = *r.GetU64();
+    uint32_t payload_len = *r.GetU32();
+    uint32_t expected_crc = *r.GetU32();
+    if (payload_len > kMaxFramePayload) {
+      // Reject the length lie before buffering or allocating anything
+      // near that size.
+      error_ = Status::ProtocolViolation(
+          "frame payload length " + std::to_string(payload_len) +
+          " exceeds the " + std::to_string(kMaxFramePayload) + " cap");
+      return error_;
+    }
+    if (buf_.size() < kFrameHeaderBytes + payload_len) break;  // torn: wait
+
+    Frame frame;
+    frame.type = static_cast<FrameType>(type);
+    frame.round_id = round_id;
+    frame.payload.assign(buf_.begin() + kFrameHeaderBytes,
+                         buf_.begin() + kFrameHeaderBytes + payload_len);
+    uint32_t crc = Crc32(buf_.data(), kFrameHeaderBytes - 4);
+    crc = Crc32(frame.payload.data(), frame.payload.size(), crc);
+    if (crc != expected_crc) {
+      error_ = Status::DataLoss("frame CRC mismatch");
+      return error_;
+    }
+    buf_.erase(buf_.begin(), buf_.begin() + kFrameHeaderBytes + payload_len);
+    ready_.push_back(std::move(frame));
+  }
+  return Status::OK();
+}
+
+bool FrameDecoder::Next(Frame* out) {
+  if (ready_.empty()) return false;
+  *out = std::move(ready_.front());
+  ready_.pop_front();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// kResult payload codec
+// ---------------------------------------------------------------------------
+
+Bytes SerializeRoundResult(const RemoteRoundResult& result) {
+  ByteWriter w(32 + result.supports.size() * 12);
+  w.PutVarint(result.reports_decoded);
+  w.PutVarint(result.reports_invalid);
+  w.PutVarint(result.dummies_recognized);
+  w.PutU8(result.spot_check_passed ? 1 : 0);
+  w.PutVarint(result.supports.size());
+  for (uint64_t s : result.supports) w.PutVarint(s);
+  for (double e : result.estimates) w.PutDouble(e);
+  return w.Release();
+}
+
+Result<RemoteRoundResult> ParseRoundResult(const Bytes& payload) {
+  ByteReader r(payload);
+  RemoteRoundResult result;
+  SHUFFLEDP_ASSIGN_OR_RETURN(result.reports_decoded, r.GetVarint());
+  SHUFFLEDP_ASSIGN_OR_RETURN(result.reports_invalid, r.GetVarint());
+  SHUFFLEDP_ASSIGN_OR_RETURN(result.dummies_recognized, r.GetVarint());
+  SHUFFLEDP_ASSIGN_OR_RETURN(uint8_t spot, r.GetU8());
+  result.spot_check_passed = spot != 0;
+  SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t d, r.GetVarint());
+  // Every support costs >= 1 byte and every estimate 8, so d is bounded
+  // by the payload size; a lying d cannot drive a huge reserve.
+  if (d > r.Remaining()) {
+    return Status::DataLoss("result domain size exceeds payload");
+  }
+  result.supports.reserve(d);
+  for (uint64_t i = 0; i < d; ++i) {
+    SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t s, r.GetVarint());
+    result.supports.push_back(s);
+  }
+  result.estimates.reserve(d);
+  for (uint64_t i = 0; i < d; ++i) {
+    SHUFFLEDP_ASSIGN_OR_RETURN(double e, r.GetDouble());
+    result.estimates.push_back(e);
+  }
+  if (!r.AtEnd()) {
+    return Status::DataLoss("result payload has trailing bytes");
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// CollectionServer
+// ---------------------------------------------------------------------------
+
+CollectionServer::CollectionServer(const ldp::ScalarFrequencyOracle& oracle,
+                                   CollectionServerOptions options)
+    : oracle_(oracle), options_(std::move(options)) {}
+
+Result<std::unique_ptr<CollectionServer>> CollectionServer::Start(
+    const ldp::ScalarFrequencyOracle& oracle,
+    CollectionServerOptions options) {
+  std::unique_ptr<CollectionServer> server(
+      new CollectionServer(oracle, std::move(options)));
+  server->collector_ = std::make_unique<StreamingCollector>(
+      oracle, server->options_.streaming);
+
+  // Crash recovery before the first byte of traffic: restore the
+  // interrupted round so the watermark answer is exact.
+  const std::string& ckpt_path = server->options_.streaming.checkpoint.path;
+  if (server->options_.recover && !ckpt_path.empty()) {
+    Result<CheckpointState> state = ReadCheckpoint(ckpt_path);
+    if (state.ok()) {
+      SHUFFLEDP_ASSIGN_OR_RETURN(server->recovered_watermark_,
+                                 server->collector_->RecoverRound(*state));
+      server->recovered_round_ = state->round_id;
+    } else if (state.status().code() != StatusCode::kNotFound) {
+      return state.status();  // present but unreadable: refuse to guess
+    }
+  }
+  server->ingest_round_ = server->collector_->round_id();
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(server->options_.port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Errno("bind");
+    ::close(fd);
+    return st;
+  }
+  if (::listen(fd, server->options_.listen_backlog) != 0) {
+    Status st = Errno("listen");
+    ::close(fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    Status st = Errno("getsockname");
+    ::close(fd);
+    return st;
+  }
+  server->port_ = ntohs(bound.sin_port);
+  server->listen_fd_ = fd;
+  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+CollectionServer::~CollectionServer() { Shutdown(); }
+
+uint64_t CollectionServer::round_id() const {
+  return collector_->round_id();
+}
+
+void CollectionServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    // Unblock accept() and every connection read; the owning threads see
+    // EOF/EBADF and exit. Connection fds are closed by their threads.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    for (const auto& conn : connections_) {
+      if (!conn->done) ::shutdown(conn->fd, SHUT_RDWR);
+    }
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections.swap(connections_);
+  }
+  for (const auto& conn : connections) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void CollectionServer::ReapFinishedLocked() {
+  // A finished connection marked `done` as its final action under mu_,
+  // so its thread is at (or within instructions of) return: joining
+  // here cannot block on connection work.
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    if ((*it)->done) {
+      if ((*it)->thread.joinable()) (*it)->thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void CollectionServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down (or fatal): stop accepting
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    ReapFinishedLocked();  // long-lived endpoints shed dead threads
+    connections_.push_back(std::make_unique<Connection>());
+    Connection* conn = connections_.back().get();
+    conn->fd = fd;
+    conn->thread = std::thread([this, conn] { ConnectionLoop(conn); });
+  }
+}
+
+void CollectionServer::ConnectionLoop(Connection* conn) {
+  const int fd = conn->fd;
+  FrameDecoder decoder;
+  uint8_t buf[65536];
+  Status status = Status::OK();
+  for (;;) {
+    ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;  // peer closed (or shutdown)
+    status = decoder.Feed(buf, static_cast<size_t>(got));
+    Frame frame;
+    while (status.ok() && decoder.Next(&frame)) {
+      status = HandleFrame(fd, std::move(frame));
+      frame = Frame();
+    }
+    if (!status.ok()) {
+      // Best-effort diagnostic, then drop the connection — a client that
+      // sent a malformed or out-of-protocol frame cannot be resynced.
+      ByteWriter w;
+      w.PutU8(static_cast<uint8_t>(status.code()));
+      w.PutLengthPrefixed(status.message());
+      Frame error;
+      error.type = FrameType::kError;
+      error.payload = w.Release();
+      Bytes wire = EncodeFrame(error);
+      SendAll(fd, wire.data(), wire.size());
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ::close(fd);
+  conn->done = true;
+}
+
+Status CollectionServer::HandleFrame(int fd, Frame frame) {
+  switch (frame.type) {
+    case FrameType::kBatch: {
+      SHUFFLEDP_ASSIGN_OR_RETURN(std::vector<uint64_t> parsed,
+                                 ldp::ParseOrdinals(oracle_, frame.payload));
+      auto ordinals =
+          std::make_shared<std::vector<uint64_t>>(std::move(parsed));
+      ReportBatch batch;
+      batch.count = ordinals->size();
+      const ldp::ScalarFrequencyOracle* oracle = &oracle_;
+      batch.decode = [ordinals, oracle](uint64_t i) -> Result<DecodedRow> {
+        DecodedRow row;
+        auto rep = oracle->UnpackOrdinal((*ordinals)[i]);
+        if (!rep.ok()) return row;  // padding ordinal: drop, don't abort
+        row.report = *rep;
+        row.valid = true;
+        return row;
+      };
+      // Round check and Offer are one atomic step under the ingest gate:
+      // checking first and offering later would let another connection's
+      // kFinish slip its close sentinel in between, silently counting
+      // this batch into the next round.
+      std::lock_guard<std::mutex> lock(ingest_mu_);
+      if (frame.round_id != ingest_round_) {
+        return Status::ProtocolViolation(
+            "batch for round " + std::to_string(frame.round_id) +
+            " but the endpoint is ingesting round " +
+            std::to_string(ingest_round_));
+      }
+      return collector_->Offer(std::move(batch));
+    }
+    case FrameType::kFinish: {
+      ByteReader r(frame.payload);
+      SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+      SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t n_fake, r.GetVarint());
+      SHUFFLEDP_ASSIGN_OR_RETURN(uint8_t cal, r.GetU8());
+      if (!r.AtEnd() || cal > 1) {
+        return Status::ProtocolViolation("malformed finish payload");
+      }
+      std::future<Result<RoundResult>> future;
+      {
+        std::lock_guard<std::mutex> lock(ingest_mu_);
+        if (frame.round_id != ingest_round_) {
+          return Status::ProtocolViolation(
+              "finish for round " + std::to_string(frame.round_id) +
+              " but the endpoint is ingesting round " +
+              std::to_string(ingest_round_));
+        }
+        future = collector_->CloseRound(n, n_fake,
+                                        cal == 1 ? Calibration::kOrdinal
+                                                 : Calibration::kStandard);
+        ++ingest_round_;
+      }
+      // Blocks this connection's reader only; the kernel socket buffer
+      // and the collector queue keep absorbing the next round's batches
+      // (from this or other connections) while the round drains.
+      Result<RoundResult> round = future.get();
+      if (!round.ok()) {
+        // Reset under the ingest gate so no concurrent batch can slide
+        // into the half-reset pipeline between Reopen and the round-id
+        // resync.
+        std::lock_guard<std::mutex> lock(ingest_mu_);
+        collector_->ResetAfterError();
+        ingest_round_ = collector_->round_id();
+        return round.status();
+      }
+      RemoteRoundResult remote;
+      remote.supports = std::move(round->supports);
+      remote.estimates = std::move(round->estimates);
+      remote.reports_decoded = round->reports_decoded;
+      remote.reports_invalid = round->reports_invalid;
+      remote.dummies_recognized = round->dummies_recognized;
+      remote.spot_check_passed = round->spot_check_passed;
+      Frame reply;
+      reply.type = FrameType::kResult;
+      reply.round_id = frame.round_id;
+      reply.payload = SerializeRoundResult(remote);
+      // A domain so large its result frame blows the cap surfaces as a
+      // clean kError (via the connection error path), not a poisoned
+      // client decoder mid-frame.
+      return WriteFrameTo(fd, reply);
+    }
+    case FrameType::kWatermark: {
+      if (!frame.payload.empty()) {
+        return Status::ProtocolViolation("watermark query carries a payload");
+      }
+      Frame reply;
+      reply.type = FrameType::kWatermark;
+      ByteWriter w;
+      // Atomic read, not the ingest gate: a pure query must not wait
+      // behind a backpressured Offer.
+      const uint64_t round = ingest_round_.load(std::memory_order_acquire);
+      reply.round_id = round;
+      // The recovered watermark is meaningful only while the recovered
+      // round is still the one being ingested; pairing a stale watermark
+      // with a later round would make a resuming client skip that
+      // round's first batches. Everywhere else the answer is "start from
+      // batch 0".
+      const bool recovering =
+          recovered_watermark_ > 0 && round == recovered_round_;
+      w.PutVarint(recovering ? recovered_watermark_ : 0);
+      reply.payload = w.Release();
+      return WriteFrameTo(fd, reply);
+    }
+    case FrameType::kResult:
+    case FrameType::kError:
+      return Status::ProtocolViolation(
+          "client sent a server-to-client frame type");
+  }
+  return Status::ProtocolViolation("unhandled frame type");
+}
+
+// ---------------------------------------------------------------------------
+// CollectorClient
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<CollectorClient>> CollectorClient::Connect(
+    const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse IPv4 address: " + host);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status st = Errno("connect");
+    ::close(fd);
+    return st;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<CollectorClient>(new CollectorClient(fd));
+}
+
+CollectorClient::~CollectorClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status CollectorClient::WriteFrame(const Frame& frame) {
+  return WriteFrameTo(fd_, frame);
+}
+
+Result<Frame> CollectorClient::ReadFrame() {
+  Frame frame;
+  uint8_t buf[65536];
+  while (!decoder_.Next(&frame)) {
+    ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
+    if (got < 0 && errno == EINTR) continue;
+    if (got < 0) return Errno("recv");
+    if (got == 0) {
+      return Status::DataLoss("server closed the connection mid-frame");
+    }
+    SHUFFLEDP_RETURN_NOT_OK(decoder_.Feed(buf, static_cast<size_t>(got)));
+  }
+  if (frame.type == FrameType::kError) {
+    ByteReader r(frame.payload);
+    auto code = r.GetU8();
+    auto message = r.GetLengthPrefixed();
+    if (code.ok() && message.ok()) {
+      return Status(static_cast<StatusCode>(*code),
+                    "endpoint error: " +
+                        std::string(message->begin(), message->end()));
+    }
+    return Status::ProtocolViolation("endpoint sent a malformed error frame");
+  }
+  return frame;
+}
+
+Status CollectorClient::SendOrdinals(
+    uint64_t round_id, const ldp::ScalarFrequencyOracle& oracle,
+    const std::vector<uint64_t>& ordinals) {
+  // One producer batch must stay one frame: the server's checkpoint
+  // watermark counts consumed frames, and crash recovery replays by
+  // *producer* batch index — silently splitting an oversized batch here
+  // would desynchronize those units and corrupt a recovered round. So a
+  // batch that cannot fit one frame is an actionable configuration
+  // error, not something to paper over.
+  const size_t width = ldp::WireReportBytes(oracle);
+  if (ordinals.size() > (kMaxFramePayload - 10) / width) {  // 10: varint
+    return Status::InvalidArgument(
+        "batch of " + std::to_string(ordinals.size()) + " reports (" +
+        std::to_string(width) + " B each) cannot fit one transport frame; "
+        "lower StreamingOptions::batch_size below " +
+        std::to_string((kMaxFramePayload - 10) / width));
+  }
+  Frame frame;
+  frame.type = FrameType::kBatch;
+  frame.round_id = round_id;
+  frame.payload = ldp::SerializeOrdinals(oracle, ordinals);
+  return WriteFrame(frame);
+}
+
+Status CollectorClient::SendReports(
+    uint64_t round_id, const ldp::ScalarFrequencyOracle& oracle,
+    const std::vector<ldp::LdpReport>& reports) {
+  std::vector<uint64_t> ordinals;
+  ordinals.reserve(reports.size());
+  for (const ldp::LdpReport& r : reports) {
+    ordinals.push_back(oracle.PackOrdinal(r));
+  }
+  return SendOrdinals(round_id, oracle, ordinals);
+}
+
+Status CollectorClient::SendFinish(uint64_t round_id, uint64_t n,
+                                   uint64_t n_fake, Calibration calibration) {
+  Frame frame;
+  frame.type = FrameType::kFinish;
+  frame.round_id = round_id;
+  ByteWriter w;
+  w.PutVarint(n);
+  w.PutVarint(n_fake);
+  w.PutU8(calibration == Calibration::kOrdinal ? 1 : 0);
+  frame.payload = w.Release();
+  return WriteFrame(frame);
+}
+
+Result<RemoteRoundResult> CollectorClient::ReadRoundResult() {
+  SHUFFLEDP_ASSIGN_OR_RETURN(Frame frame, ReadFrame());
+  if (frame.type != FrameType::kResult) {
+    return Status::ProtocolViolation("expected a result frame");
+  }
+  return ParseRoundResult(frame.payload);
+}
+
+Result<RemoteRoundResult> CollectorClient::FinishRound(
+    uint64_t round_id, uint64_t n, uint64_t n_fake, Calibration calibration) {
+  SHUFFLEDP_RETURN_NOT_OK(SendFinish(round_id, n, n_fake, calibration));
+  return ReadRoundResult();
+}
+
+Result<uint64_t> CollectorClient::QueryWatermark(uint64_t* round_id_out) {
+  Frame query;
+  query.type = FrameType::kWatermark;
+  SHUFFLEDP_RETURN_NOT_OK(WriteFrame(query));
+  SHUFFLEDP_ASSIGN_OR_RETURN(Frame reply, ReadFrame());
+  if (reply.type != FrameType::kWatermark) {
+    return Status::ProtocolViolation("expected a watermark reply");
+  }
+  ByteReader r(reply.payload);
+  SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t watermark, r.GetVarint());
+  if (!r.AtEnd()) {
+    return Status::ProtocolViolation("watermark reply has trailing bytes");
+  }
+  if (round_id_out != nullptr) *round_id_out = reply.round_id;
+  return watermark;
+}
+
+}  // namespace service
+}  // namespace shuffledp

@@ -1,0 +1,282 @@
+// Networked collection endpoint: framing protocol + TCP server/client.
+//
+// The paper's deployment story is an auxiliary-server *service*: millions
+// of users submit reports to a collection endpoint across EOS/SS rounds.
+// This header turns src/service/ into that endpoint. Reports travel in
+// length-prefixed, CRC-guarded binary frames over plain TCP (a gRPC/TLS
+// front end is a ROADMAP follow-up); the server's reader threads feed
+// every decoded batch straight into a StreamingCollector, so the wire
+// path and the in-process path share one aggregation pipeline — the
+// loopback e2e test asserts the two produce bitwise-identical estimates.
+//
+// Frame layout (fixed 24-byte header, integers little-endian; the full
+// spec with worked byte-level examples is docs/WIRE_FORMAT.md):
+//
+//   offset size field
+//   0      4    magic "SDPC" (0x53 0x44 0x50 0x43)
+//   4      1    version (kWireVersion)
+//   5      1    frame type (FrameType)
+//   6      2    reserved, zero
+//   8      8    round id (u64)
+//   16     4    payload length (u32, <= kMaxFramePayload)
+//   20     4    CRC-32 over header bytes 0–19 then the payload
+//   24     ..   payload
+//
+// Frame types and payloads:
+//   kBatch     client→server  ldp::SerializeOrdinals bytes (varint count
+//                             + fixed-width big-endian ordinals; padding
+//                             ordinals allowed — the server drops them as
+//                             invalid rows, PEOS-fake style)
+//   kFinish    client→server  varint n, varint n_fake, u8 calibration
+//   kResult    server→client  varint decoded, varint invalid, varint
+//                             dummies, u8 spot_check, varint d,
+//                             d × varint supports, d × f64 estimates
+//   kError     server→client  u8 status code, varint-length message
+//   kWatermark both           query: empty payload; reply: varint
+//                             consumed-batch watermark — nonzero only
+//                             while the recovered round is still
+//                             ingesting (crash recovery: the client
+//                             resumes sending at that batch), 0 = send
+//                             from the beginning
+//
+// Every frame is validated before use: bad magic, version skew, a length
+// field beyond kMaxFramePayload, or a CRC mismatch is a hard error and
+// the server drops the connection (after a best-effort kError frame).
+
+#ifndef SHUFFLEDP_SERVICE_TRANSPORT_H_
+#define SHUFFLEDP_SERVICE_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ldp/frequency_oracle.h"
+#include "service/streaming_collector.h"
+#include "util/bytes.h"
+#include "util/status.h"
+
+namespace shuffledp {
+namespace service {
+
+inline constexpr uint8_t kFrameMagic[4] = {'S', 'D', 'P', 'C'};
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 24;
+/// Upper bound on a frame payload: rejects length lies before any
+/// allocation. 16 MiB fits ~2M 8-byte reports per batch frame.
+inline constexpr uint32_t kMaxFramePayload = 1u << 24;
+
+enum class FrameType : uint8_t {
+  kBatch = 1,
+  kFinish = 2,
+  kResult = 3,
+  kError = 4,
+  kWatermark = 5,
+};
+
+/// One protocol frame (header fields + payload).
+struct Frame {
+  FrameType type = FrameType::kBatch;
+  uint64_t round_id = 0;
+  Bytes payload;
+};
+
+/// Serializes a frame (header + CRC + payload) into wire bytes.
+Bytes EncodeFrame(const Frame& frame);
+
+/// Incremental frame parser over an arbitrarily chunked byte stream
+/// (frames may arrive torn across reads). Feed() buffers bytes and
+/// validates each completed header and payload CRC; decoded frames queue
+/// up for Next(). The first malformed byte poisons the decoder — every
+/// later Feed() returns the same error, matching drop-the-connection
+/// semantics.
+class FrameDecoder {
+ public:
+  /// Appends stream bytes and parses as many complete frames as they
+  /// finish. Errors (bad magic, version skew, oversized length, CRC
+  /// mismatch) are sticky.
+  Status Feed(const uint8_t* data, size_t len);
+  Status Feed(const Bytes& data) { return Feed(data.data(), data.size()); }
+
+  /// Pops the next completed frame; false when none is pending.
+  bool Next(Frame* out);
+
+  /// Bytes buffered but not yet forming a complete frame.
+  size_t buffered_bytes() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+  std::deque<Frame> ready_;
+  Status error_ = Status::OK();
+};
+
+/// The subset of RoundResult that crosses the wire in a kResult frame
+/// (pipeline stats stay server-side).
+struct RemoteRoundResult {
+  std::vector<uint64_t> supports;
+  std::vector<double> estimates;
+  uint64_t reports_decoded = 0;
+  uint64_t reports_invalid = 0;
+  uint64_t dummies_recognized = 0;
+  bool spot_check_passed = true;
+};
+
+/// kResult payload codec (also reused by the tests' golden vectors).
+Bytes SerializeRoundResult(const RemoteRoundResult& result);
+Result<RemoteRoundResult> ParseRoundResult(const Bytes& payload);
+
+/// Collection endpoint configuration.
+struct CollectionServerOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (read it back via
+  /// port() — the loopback tests and examples do exactly that). The
+  /// listener binds 127.0.0.1 only: the endpoint speaks unauthenticated
+  /// cleartext, so exposure beyond the host belongs behind the gRPC/TLS
+  /// front end tracked in ROADMAP.md.
+  uint16_t port = 0;
+  /// Ingestion pipeline knobs, including checkpoint persistence.
+  StreamingOptions streaming;
+  /// When true and streaming.checkpoint.path holds a readable snapshot,
+  /// Start() restores the interrupted round before accepting traffic;
+  /// clients query the consumed-batch watermark and resume from it.
+  bool recover = false;
+  int listen_backlog = 16;
+};
+
+/// TCP collection endpoint: accept thread + one reader thread per
+/// connection, all feeding one StreamingCollector. Batches from multiple
+/// connections interleave safely (integer-counter aggregation is order-
+/// independent); round control (kFinish) is expected from a single
+/// coordinator connection at a time.
+class CollectionServer {
+ public:
+  /// Binds, listens, recovers (when configured), and starts accepting.
+  static Result<std::unique_ptr<CollectionServer>> Start(
+      const ldp::ScalarFrequencyOracle& oracle,
+      CollectionServerOptions options);
+
+  ~CollectionServer();
+
+  CollectionServer(const CollectionServer&) = delete;
+  CollectionServer& operator=(const CollectionServer&) = delete;
+
+  /// The bound port (resolves ephemeral port 0).
+  uint16_t port() const { return port_; }
+
+  /// Watermark restored by crash recovery (0 on a fresh start).
+  uint64_t recovered_watermark() const { return recovered_watermark_; }
+
+  /// Id of the round currently ingesting.
+  uint64_t round_id() const;
+
+  /// Stops accepting, drops every connection, and joins all threads.
+  /// Idempotent; the destructor calls it. In-flight checkpoint state on
+  /// disk is left untouched (that is the crash-recovery artifact).
+  void Shutdown();
+
+ private:
+  CollectionServer(const ldp::ScalarFrequencyOracle& oracle,
+                   CollectionServerOptions options);
+
+  /// One accepted connection: its socket, reader thread, and completion
+  /// flag (swept by the accept loop so long-lived endpoints do not
+  /// accumulate dead threads).
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    bool done = false;
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(Connection* conn);
+  Status HandleFrame(int fd, Frame frame);
+  void ReapFinishedLocked();
+
+  const ldp::ScalarFrequencyOracle& oracle_;
+  CollectionServerOptions options_;
+  std::unique_ptr<StreamingCollector> collector_;
+  uint16_t port_ = 0;
+  uint64_t recovered_watermark_ = 0;
+  uint64_t recovered_round_ = 0;
+  int listen_fd_ = -1;
+
+  std::mutex mu_;  // guards connections_/stopping_
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::thread accept_thread_;
+  bool stopping_ = false;
+
+  // Round-ingest gate: the batch round check + Offer and the finish
+  // round check + CloseRound-sentinel push are each atomic under this
+  // mutex, so a batch validated for round k can never land behind round
+  // k's close sentinel (its Offer would count it into round k+1). This
+  // serializes the enqueue step across connections (decode/parse stays
+  // parallel; the queue would serialize the push anyway). The round id
+  // is additionally atomic so the kWatermark query never waits behind a
+  // backpressured Offer.
+  std::mutex ingest_mu_;
+  std::atomic<uint64_t> ingest_round_{0};
+};
+
+/// Client side of the endpoint. Synchronous; not thread-safe (one
+/// in-flight protocol conversation per client).
+class CollectorClient {
+ public:
+  /// Connects to `host:port`. `host` is a numeric IPv4 address or
+  /// "localhost".
+  static Result<std::unique_ptr<CollectorClient>> Connect(
+      const std::string& host, uint16_t port);
+
+  ~CollectorClient();
+
+  CollectorClient(const CollectorClient&) = delete;
+  CollectorClient& operator=(const CollectorClient&) = delete;
+
+  /// Ships one batch of packed ordinals for `round_id`.
+  Status SendOrdinals(uint64_t round_id,
+                      const ldp::ScalarFrequencyOracle& oracle,
+                      const std::vector<uint64_t>& ordinals);
+
+  /// Ships one batch of reports (PackOrdinal'd) for `round_id`.
+  Status SendReports(uint64_t round_id,
+                     const ldp::ScalarFrequencyOracle& oracle,
+                     const std::vector<ldp::LdpReport>& reports);
+
+  /// Sends the round-close frame without waiting for the result, so the
+  /// caller can pipeline the next round's batches behind it.
+  Status SendFinish(uint64_t round_id, uint64_t n, uint64_t n_fake,
+                    Calibration calibration);
+
+  /// Blocks until the server's kResult (or kError) for the oldest
+  /// unanswered SendFinish arrives.
+  Result<RemoteRoundResult> ReadRoundResult();
+
+  /// SendFinish + ReadRoundResult.
+  Result<RemoteRoundResult> FinishRound(uint64_t round_id, uint64_t n,
+                                        uint64_t n_fake,
+                                        Calibration calibration);
+
+  /// Asks the server for its consumed-batch watermark (crash recovery:
+  /// resume sending at this batch index). The watermark is nonzero only
+  /// while the server is still ingesting the round it recovered — once
+  /// that round closed (or on a fresh start) the reply is 0, i.e. "send
+  /// from the beginning". `round_id_out`, when non-null, receives the
+  /// round id the server is currently ingesting.
+  Result<uint64_t> QueryWatermark(uint64_t* round_id_out = nullptr);
+
+ private:
+  explicit CollectorClient(int fd) : fd_(fd) {}
+
+  Status WriteFrame(const Frame& frame);
+  Result<Frame> ReadFrame();
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace service
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_SERVICE_TRANSPORT_H_

@@ -230,7 +230,7 @@ Result<SequentialShuffleResult> RunSequentialShuffle(
     service::StreamingOptions stream_opts = config.streaming;
     stream_opts.pool = config.pool;
     service::StreamingCollector collector(oracle, stream_opts);
-    for (const auto& [rep, tag] : dummy_ids) collector.ExpectDummy(rep, tag);
+    collector.ExpectDummies(dummy_ids);
 
     auto blobs = std::make_shared<std::vector<Bytes>>(std::move(in_flight));
     const crypto::Scalar256 server_priv = server_kp.private_key;

@@ -45,8 +45,8 @@ struct SequentialShuffleConfig {
   std::vector<ShufflerBehaviour> behaviours;  ///< per shuffler; default honest
   ThreadPool* pool = nullptr;            ///< parallel user encryption
   /// Server-side ingestion pipeline knobs (batch size, queue capacity,
-  /// shard count). `streaming.pool` is ignored — the server pipeline
-  /// shares `pool`.
+  /// shard count, crash-safe `streaming.checkpoint` persistence).
+  /// `streaming.pool` is ignored — the server pipeline shares `pool`.
   service::StreamingOptions streaming;
 };
 

@@ -153,4 +153,32 @@ uint32_t XxHash32(const void* data, size_t len, uint32_t seed) {
   return h32;
 }
 
+namespace {
+
+// Byte-at-a-time table for the reflected IEEE polynomial, built once.
+struct Crc32Table {
+  uint32_t entries[256];
+  Crc32Table() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t len, uint32_t seed) {
+  static const Crc32Table table;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFU;
+  for (size_t i = 0; i < len; ++i) {
+    c = table.entries[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFU;
+}
+
 }  // namespace shuffledp

@@ -1,0 +1,327 @@
+// Crash-safe checkpoint persistence: file codec robustness (CRC, torn
+// writes, version skew) and the end-to-end guarantee — a round killed
+// mid-drain and recovered via RecoverRound() finishes with supports and
+// estimates bitwise identical to an uninterrupted run.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ldp/grr.h"
+#include "ldp/local_hash.h"
+#include "service/checkpoint.h"
+#include "service/streaming_collector.h"
+#include "util/rng.h"
+
+namespace shuffledp {
+namespace service {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "shuffledp_" + name;
+}
+
+CheckpointState SampleState() {
+  CheckpointState state;
+  state.round_id = 3;
+  state.batches_consumed = 17;
+  state.rows_seen = 17 * 256;
+  state.reports_decoded = 4300;
+  state.reports_invalid = 12;
+  state.dummies_recognized = 2;
+  state.dummies_expected = 5;
+  state.supports = {0, 5, 123, 0, 99999999, 1};
+  state.dummies_remaining[{0x1234567890ABCDEFULL, 7}] = 2;
+  state.dummies_remaining[{42, 0}] = 1;
+  return state;
+}
+
+TEST(Checkpoint, WriteReadRoundTrip) {
+  const std::string path = TempPath("roundtrip.ckpt");
+  CheckpointState state = SampleState();
+  ASSERT_TRUE(WriteCheckpoint(path, state).ok());
+
+  auto read = ReadCheckpoint(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->round_id, state.round_id);
+  EXPECT_EQ(read->batches_consumed, state.batches_consumed);
+  EXPECT_EQ(read->rows_seen, state.rows_seen);
+  EXPECT_EQ(read->reports_decoded, state.reports_decoded);
+  EXPECT_EQ(read->reports_invalid, state.reports_invalid);
+  EXPECT_EQ(read->dummies_recognized, state.dummies_recognized);
+  EXPECT_EQ(read->dummies_expected, state.dummies_expected);
+  EXPECT_EQ(read->supports, state.supports);
+  EXPECT_EQ(read->dummies_remaining, state.dummies_remaining);
+  RemoveCheckpoint(path);
+  EXPECT_EQ(ReadCheckpoint(path).status().code(), StatusCode::kNotFound);
+}
+
+// The worked example in docs/WIRE_FORMAT.md §3, byte for byte. If this
+// breaks, update the doc with the new bytes or fix the code — never the
+// test alone.
+TEST(Checkpoint, GoldenVectorMatchesDoc) {
+  const std::string path = TempPath("golden.ckpt");
+  CheckpointState state;
+  state.round_id = 3;
+  state.batches_consumed = 2;
+  state.rows_seen = 2;
+  state.reports_decoded = 2;
+  state.supports = {1, 1};
+  ASSERT_TRUE(WriteCheckpoint(path, state).ok());
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<uint8_t> bytes(64);
+  bytes.resize(std::fread(bytes.data(), 1, bytes.size(), f));
+  std::fclose(f);
+  const std::vector<uint8_t> expected = {
+      0x53, 0x44, 0x50, 0x4B,                          // magic "SDPK"
+      0x01,                                            // version
+      0x00, 0x00, 0x00,                                // reserved
+      0x12, 0x00, 0x00, 0x00,                          // payload length 18
+      0x14, 0x7E, 0x6B, 0x57,                          // CRC-32(payload)
+      0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // round_id 3
+      0x02, 0x02, 0x02, 0x00, 0x00, 0x00,              // tallies
+      0x02, 0x01, 0x01,                                // d=2, supports {1,1}
+      0x00,                                            // no dummy entries
+  };
+  EXPECT_EQ(bytes, expected);
+  RemoveCheckpoint(path);
+}
+
+TEST(Checkpoint, OverwriteKeepsLatestSnapshot) {
+  const std::string path = TempPath("overwrite.ckpt");
+  CheckpointState state = SampleState();
+  ASSERT_TRUE(WriteCheckpoint(path, state).ok());
+  state.batches_consumed = 99;
+  state.supports[2] = 456;
+  ASSERT_TRUE(WriteCheckpoint(path, state).ok());
+  auto read = ReadCheckpoint(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->batches_consumed, 99u);
+  EXPECT_EQ(read->supports[2], 456u);
+  RemoveCheckpoint(path);
+}
+
+TEST(Checkpoint, CorruptionAndTruncationAreRejected) {
+  const std::string path = TempPath("corrupt.ckpt");
+  ASSERT_TRUE(WriteCheckpoint(path, SampleState()).ok());
+
+  // Read raw bytes once.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<uint8_t> bytes;
+  uint8_t buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + got);
+  }
+  std::fclose(f);
+
+  auto write_raw = [&](const std::vector<uint8_t>& raw) {
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    if (!raw.empty()) {
+      ASSERT_EQ(std::fwrite(raw.data(), 1, raw.size(), out), raw.size());
+    }
+    std::fclose(out);
+  };
+
+  // Every single-bit flip must be caught (magic, version, reserved,
+  // length, CRC, payload).
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    std::vector<uint8_t> mutated = bytes;
+    mutated[byte] ^= 0x01;
+    write_raw(mutated);
+    EXPECT_FALSE(ReadCheckpoint(path).ok()) << "byte=" << byte;
+  }
+
+  // Every truncation (a torn non-atomic write) must be caught.
+  for (size_t len = 0; len < bytes.size(); len += 3) {
+    write_raw({bytes.begin(), bytes.begin() + len});
+    EXPECT_FALSE(ReadCheckpoint(path).ok()) << "len=" << len;
+  }
+
+  // Version skew: a future format must not parse as v1.
+  {
+    std::vector<uint8_t> skewed = bytes;
+    skewed[4] = kCheckpointVersion + 1;
+    write_raw(skewed);
+    auto read = ReadCheckpoint(path);
+    ASSERT_FALSE(read.ok());
+    EXPECT_NE(read.status().message().find("version"), std::string::npos);
+  }
+  RemoveCheckpoint(path);
+}
+
+// Deterministic batch b of the synthetic round (self-seeded, so any
+// suffix replays bit-identically — the same property the protocol
+// encode phases have via fixed-chunk seeding).
+std::vector<ldp::LdpReport> BatchReports(
+    const ldp::ScalarFrequencyOracle& oracle, uint64_t b, size_t batch_size) {
+  Rng rng(0xC0FFEE + b);
+  std::vector<ldp::LdpReport> reports;
+  reports.reserve(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) {
+    reports.push_back(
+        oracle.Encode(rng.UniformU64(oracle.domain_size()), &rng));
+  }
+  return reports;
+}
+
+void KillAndRecoverBitwise(const ldp::ScalarFrequencyOracle& oracle,
+                           const std::string& tag) {
+  const uint64_t kBatches = 40;
+  const size_t kBatchSize = 128;
+  const uint64_t n = kBatches * kBatchSize;
+  const std::string path = TempPath("recover_" + tag + ".ckpt");
+  RemoveCheckpoint(path);
+
+  StreamingOptions plain;
+  plain.batch_size = kBatchSize;
+
+  // Ground truth: uninterrupted run.
+  RoundResult expected;
+  {
+    StreamingCollector collector(oracle, plain);
+    for (uint64_t b = 0; b < kBatches; ++b) {
+      ASSERT_TRUE(collector
+                      .Offer(MakePlainBatch(BatchReports(oracle, b,
+                                                         kBatchSize)))
+                      .ok());
+    }
+    auto result = collector.FinishRound(n, 0, Calibration::kStandard);
+    ASSERT_TRUE(result.ok());
+    expected = std::move(*result);
+  }
+
+  // Crash run: checkpoint every 8 batches, die after 23.
+  StreamingOptions durable = plain;
+  durable.checkpoint.path = path;
+  durable.checkpoint.every_batches = 8;
+  {
+    StreamingCollector collector(oracle, durable);
+    for (uint64_t b = 0; b < 23; ++b) {
+      ASSERT_TRUE(collector
+                      .Offer(MakePlainBatch(BatchReports(oracle, b,
+                                                         kBatchSize)))
+                      .ok());
+    }
+    // Destruction = crash for everything after the last snapshot: the
+    // checkpoint on disk has watermark 16, not 23.
+  }
+
+  auto snapshot = ReadCheckpoint(path);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  EXPECT_EQ(snapshot->batches_consumed, 16u);
+
+  // Recover and replay from the watermark.
+  {
+    StreamingCollector collector(oracle, durable);
+    auto watermark = collector.RecoverRound(*snapshot);
+    ASSERT_TRUE(watermark.ok()) << watermark.status().ToString();
+    EXPECT_EQ(*watermark, 16u);
+    for (uint64_t b = *watermark; b < kBatches; ++b) {
+      ASSERT_TRUE(collector
+                      .Offer(MakePlainBatch(BatchReports(oracle, b,
+                                                         kBatchSize)))
+                      .ok());
+    }
+    auto result = collector.FinishRound(n, 0, Calibration::kStandard);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->supports, expected.supports);
+    EXPECT_EQ(result->estimates, expected.estimates);
+    EXPECT_EQ(result->reports_decoded, expected.reports_decoded);
+    EXPECT_EQ(result->reports_invalid, expected.reports_invalid);
+    // A completed round must clean up its snapshot.
+    EXPECT_EQ(ReadCheckpoint(path).status().code(), StatusCode::kNotFound);
+  }
+}
+
+TEST(CheckpointRecovery, KillMidRoundRecoversBitwiseGrr) {
+  ldp::Grr grr(2.0, 64);  // histogram fast path
+  KillAndRecoverBitwise(grr, "grr");
+}
+
+TEST(CheckpointRecovery, KillMidRoundRecoversBitwiseSolh) {
+  ldp::LocalHash solh(2.0, 300, 8, "SOLH");  // full domain-scan path
+  KillAndRecoverBitwise(solh, "solh");
+}
+
+TEST(CheckpointRecovery, DummyMultisetSurvivesRecovery) {
+  ldp::Grr grr(2.0, 32);
+  const std::string path = TempPath("recover_dummies.ckpt");
+  RemoveCheckpoint(path);
+
+  StreamingOptions options;
+  options.batch_size = 16;
+  options.checkpoint.path = path;
+  options.checkpoint.every_batches = 1;
+
+  // Plant 4 dummies; deliver 2 before the crash and 2 after recovery.
+  std::vector<ldp::LdpReport> dummies;
+  for (uint32_t v = 0; v < 4; ++v) {
+    ldp::LdpReport rep;
+    rep.value = v;
+    dummies.push_back(rep);
+  }
+  {
+    StreamingCollector collector(grr, options);
+    for (const auto& d : dummies) collector.ExpectDummy(d, 0);
+    ASSERT_TRUE(
+        collector.Offer(MakePlainBatch({dummies[0], dummies[1]})).ok());
+  }
+  auto snapshot = ReadCheckpoint(path);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot->dummies_recognized, 2u);
+  EXPECT_EQ(snapshot->dummies_remaining.size(), 2u);
+
+  StreamingCollector collector(grr, options);
+  ASSERT_TRUE(collector.RecoverRound(*snapshot).ok());
+  ASSERT_TRUE(
+      collector.Offer(MakePlainBatch({dummies[2], dummies[3]})).ok());
+  auto result = collector.FinishRound(100, 0, Calibration::kStandard);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->dummies_recognized, 4u);
+  EXPECT_TRUE(result->spot_check_passed);
+  // All four were dummies: nothing real was counted.
+  EXPECT_EQ(result->reports_decoded, 0u);
+  RemoveCheckpoint(path);
+}
+
+TEST(CheckpointRecovery, RecoverRequiresFreshCollector) {
+  ldp::Grr grr(2.0, 16);
+  StreamingOptions options;
+  StreamingCollector collector(grr, options);
+  ASSERT_TRUE(
+      collector.Offer(MakePlainBatch(BatchReports(grr, 0, 8))).ok());
+  CheckpointState state;
+  state.supports.assign(16, 0);
+  auto recovered = collector.RecoverRound(state);
+  EXPECT_EQ(recovered.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CheckpointRecovery, UnwritablePathAbortsTheRound) {
+  ldp::Grr grr(2.0, 16);
+  StreamingOptions options;
+  options.batch_size = 8;
+  options.checkpoint.path = "/nonexistent-dir/never.ckpt";
+  options.checkpoint.every_batches = 1;
+  StreamingCollector collector(grr, options);
+  // The first consumed batch tries to snapshot and fails; the round is
+  // aborted rather than silently running without durability.
+  Status offered = collector.Offer(MakePlainBatch(BatchReports(grr, 0, 8)));
+  ASSERT_TRUE(offered.ok());  // the enqueue itself succeeds
+  auto result = collector.FinishRound(8, 0, Calibration::kStandard);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  // After the reset the collector works again (without the bad path it
+  // would keep failing, so disable checkpointing via a fresh collector).
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace shuffledp

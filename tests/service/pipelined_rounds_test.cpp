@@ -1,0 +1,188 @@
+// Cross-round pipelining: CloseRound() returns immediately and round
+// k+1 ingest proceeds while round k drains through the double-buffered
+// counters — with results bitwise identical to fully sequential
+// FinishRound() rounds, error isolation, and a clean reset after a
+// failed round.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "ldp/grr.h"
+#include "ldp/local_hash.h"
+#include "service/streaming_collector.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace shuffledp {
+namespace service {
+namespace {
+
+std::vector<ldp::LdpReport> RoundReports(
+    const ldp::ScalarFrequencyOracle& oracle, uint64_t round, uint64_t n) {
+  Rng rng(0xABCD + round);
+  std::vector<ldp::LdpReport> reports;
+  reports.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    reports.push_back(
+        oracle.Encode(rng.UniformU64(oracle.domain_size()), &rng));
+  }
+  return reports;
+}
+
+void PipelinedMatchesSequential(const ldp::ScalarFrequencyOracle& oracle,
+                                ThreadPool* pool) {
+  const int kRounds = 4;
+  const uint64_t kN = 3000;
+  StreamingOptions options;
+  options.batch_size = 256;
+  options.pool = pool;
+
+  // Sequential ground truth.
+  std::vector<RoundResult> expected;
+  {
+    StreamingCollector collector(oracle, options);
+    for (int r = 0; r < kRounds; ++r) {
+      ASSERT_TRUE(
+          collector.OfferReports(RoundReports(oracle, r, kN)).ok());
+      auto result = collector.FinishRound(kN, 0, Calibration::kStandard);
+      ASSERT_TRUE(result.ok());
+      expected.push_back(std::move(*result));
+    }
+  }
+
+  // Pipelined: all rounds offered back-to-back, futures collected last.
+  {
+    StreamingCollector collector(oracle, options);
+    EXPECT_EQ(collector.round_id(), 0u);
+    std::vector<std::future<Result<RoundResult>>> futures;
+    for (int r = 0; r < kRounds; ++r) {
+      ASSERT_TRUE(
+          collector.OfferReports(RoundReports(oracle, r, kN)).ok());
+      futures.push_back(
+          collector.CloseRound(kN, 0, Calibration::kStandard));
+    }
+    for (int r = 0; r < kRounds; ++r) {
+      auto result = futures[r].get();
+      ASSERT_TRUE(result.ok()) << "round " << r;
+      EXPECT_EQ(result->supports, expected[r].supports) << "round " << r;
+      EXPECT_EQ(result->estimates, expected[r].estimates) << "round " << r;
+      EXPECT_EQ(result->reports_decoded, expected[r].reports_decoded);
+    }
+    EXPECT_EQ(collector.round_id(), static_cast<uint64_t>(kRounds));
+  }
+}
+
+TEST(PipelinedRounds, MatchesSequentialGrrSerial) {
+  ldp::Grr grr(2.0, 64);
+  PipelinedMatchesSequential(grr, nullptr);
+}
+
+TEST(PipelinedRounds, MatchesSequentialGrrPooled) {
+  ldp::Grr grr(2.0, 64);
+  ThreadPool pool(4);
+  PipelinedMatchesSequential(grr, &pool);
+}
+
+TEST(PipelinedRounds, MatchesSequentialSolhPooled) {
+  ldp::LocalHash solh(2.0, 200, 8, "SOLH");
+  ThreadPool pool(4);
+  PipelinedMatchesSequential(solh, &pool);
+}
+
+TEST(PipelinedRounds, DummiesBindToTheRoundBeingFed) {
+  ldp::Grr grr(2.0, 32);
+  StreamingOptions options;
+  options.batch_size = 64;
+  StreamingCollector collector(grr, options);
+
+  ldp::LdpReport dummy;
+  dummy.value = 3;
+
+  // Round 0: one dummy planted and delivered.
+  collector.ExpectDummy(dummy, 0);
+  ASSERT_TRUE(collector.OfferReports({dummy}).ok());
+  auto round0 = collector.CloseRound(10, 0, Calibration::kStandard);
+
+  // Round 1 (offered while round 0 may still be draining): the same
+  // report arrives but no dummy is expected — it must be counted, not
+  // stripped by round 0's registration.
+  ASSERT_TRUE(collector.OfferReports({dummy}).ok());
+  auto round1 = collector.CloseRound(10, 0, Calibration::kStandard);
+
+  auto r0 = round0.get();
+  ASSERT_TRUE(r0.ok());
+  EXPECT_EQ(r0->dummies_recognized, 1u);
+  EXPECT_TRUE(r0->spot_check_passed);
+  EXPECT_EQ(r0->reports_decoded, 0u);
+
+  auto r1 = round1.get();
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->dummies_recognized, 0u);
+  EXPECT_EQ(r1->reports_decoded, 1u);
+}
+
+TEST(PipelinedRounds, FailedRoundPoisonsPipelineUntilReset) {
+  ldp::Grr grr(2.0, 16);
+  StreamingOptions options;
+  options.batch_size = 8;
+  StreamingCollector collector(grr, options);
+
+  ReportBatch poison;
+  poison.count = 1;
+  poison.decode = [](uint64_t) -> Result<DecodedRow> {
+    return Status::CryptoError("share reconstruction failed");
+  };
+  ASSERT_TRUE(collector.Offer(std::move(poison)).ok());
+  auto failed = collector.CloseRound(1, 0, Calibration::kStandard).get();
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kCryptoError);
+
+  // Un-reset, the pipeline keeps reporting the failure...
+  EXPECT_FALSE(
+      collector.Offer(MakePlainBatch(RoundReports(grr, 0, 8))).ok());
+
+  // ...and after ResetAfterError it serves clean rounds again.
+  collector.ResetAfterError();
+  ASSERT_TRUE(collector.OfferReports(RoundReports(grr, 1, 100)).ok());
+  auto recovered = collector.FinishRound(100, 0, Calibration::kStandard);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->reports_decoded, 100u);
+}
+
+TEST(PipelinedRounds, FinishRoundAfterFailureResetsAutomatically) {
+  ldp::Grr grr(2.0, 16);
+  StreamingOptions options;
+  StreamingCollector collector(grr, options);
+
+  ReportBatch poison;
+  poison.count = 1;
+  poison.decode = [](uint64_t) -> Result<DecodedRow> {
+    return Status::DataLoss("torn payload");
+  };
+  ASSERT_TRUE(collector.Offer(std::move(poison)).ok());
+  auto failed = collector.FinishRound(1, 0, Calibration::kStandard);
+  ASSERT_FALSE(failed.ok());
+
+  // FinishRound already reset; the next round must work without any
+  // explicit recovery call.
+  ASSERT_TRUE(collector.OfferReports(RoundReports(grr, 2, 50)).ok());
+  auto ok = collector.FinishRound(50, 0, Calibration::kStandard);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->reports_decoded, 50u);
+}
+
+TEST(PipelinedRounds, EmptyRoundFinishesCleanly) {
+  ldp::Grr grr(2.0, 16);
+  StreamingOptions options;
+  StreamingCollector collector(grr, options);
+  auto result = collector.FinishRound(10, 0, Calibration::kStandard);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->reports_decoded, 0u);
+  EXPECT_EQ(result->supports, std::vector<uint64_t>(16, 0));
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace shuffledp

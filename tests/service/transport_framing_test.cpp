@@ -1,0 +1,248 @@
+// Transport framing: codec round trips, the byte-exact golden vector
+// documented in docs/WIRE_FORMAT.md, hostile-stream handling, and a
+// socket-level check that a garbage connection cannot take the endpoint
+// down.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <vector>
+
+#include "ldp/grr.h"
+#include "ldp/wire.h"
+#include "service/transport.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace shuffledp {
+namespace service {
+namespace {
+
+Frame MakeBatchFrame(uint64_t round_id, Bytes payload) {
+  Frame frame;
+  frame.type = FrameType::kBatch;
+  frame.round_id = round_id;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+// The worked example in docs/WIRE_FORMAT.md, byte for byte: a kBatch
+// frame for round 5 carrying the ordinals {3, 7} of a GRR oracle with
+// d = 11 (PackedBits = 4, one byte per ordinal). If this test breaks,
+// the documentation is lying — fix the doc with the new bytes or the
+// code, never the test alone.
+TEST(TransportFraming, GoldenVectorMatchesWireFormatDoc) {
+  ldp::Grr grr(2.0, 11);
+  ASSERT_EQ(grr.PackedBits(), 4u);
+  Bytes payload = ldp::SerializeOrdinals(grr, {3, 7});
+  const Bytes expected_payload = {0x02, 0x03, 0x07};
+  EXPECT_EQ(payload, expected_payload);
+
+  Bytes wire = EncodeFrame(MakeBatchFrame(5, payload));
+  const Bytes expected_wire = {
+      0x53, 0x44, 0x50, 0x43,                          // magic "SDPC"
+      0x01,                                            // version
+      0x01,                                            // type kBatch
+      0x00, 0x00,                                      // reserved
+      0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // round id 5
+      0x03, 0x00, 0x00, 0x00,                          // payload length 3
+      0xA2, 0x00, 0x54, 0x3F,                          // CRC-32(hdr+payload)
+      0x02, 0x03, 0x07,                                // payload
+  };
+  EXPECT_EQ(wire, expected_wire);
+
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(wire).ok());
+  Frame decoded;
+  ASSERT_TRUE(decoder.Next(&decoded));
+  EXPECT_EQ(decoded.type, FrameType::kBatch);
+  EXPECT_EQ(decoded.round_id, 5u);
+  EXPECT_EQ(decoded.payload, expected_payload);
+}
+
+TEST(TransportFraming, TornFeedReassemblesEveryFrame) {
+  std::vector<Frame> frames;
+  Rng rng(11);
+  Bytes stream;
+  for (int i = 0; i < 5; ++i) {
+    Bytes payload(rng.UniformU64(200));
+    for (auto& b : payload) b = static_cast<uint8_t>(rng.NextU64());
+    frames.push_back(MakeBatchFrame(i, payload));
+    Bytes wire = EncodeFrame(frames.back());
+    stream.insert(stream.end(), wire.begin(), wire.end());
+  }
+
+  // One byte at a time: every frame must come out intact, none early.
+  FrameDecoder decoder;
+  size_t decoded_count = 0;
+  for (uint8_t byte : stream) {
+    ASSERT_TRUE(decoder.Feed(&byte, 1).ok());
+    Frame out;
+    while (decoder.Next(&out)) {
+      ASSERT_LT(decoded_count, frames.size());
+      EXPECT_EQ(out.round_id, frames[decoded_count].round_id);
+      EXPECT_EQ(out.payload, frames[decoded_count].payload);
+      ++decoded_count;
+    }
+  }
+  EXPECT_EQ(decoded_count, frames.size());
+  EXPECT_EQ(decoder.buffered_bytes(), 0u);
+}
+
+TEST(TransportFraming, TruncatedStreamIsPendingNotError) {
+  Bytes wire = EncodeFrame(MakeBatchFrame(1, Bytes{1, 2, 3, 4}));
+  for (size_t len = 0; len < wire.size(); ++len) {
+    FrameDecoder decoder;
+    ASSERT_TRUE(decoder.Feed(wire.data(), len).ok()) << "len=" << len;
+    Frame out;
+    EXPECT_FALSE(decoder.Next(&out)) << "len=" << len;
+  }
+}
+
+TEST(TransportFraming, BadMagicIsRejected) {
+  Bytes wire = EncodeFrame(MakeBatchFrame(1, Bytes{1}));
+  wire[0] ^= 0xFF;
+  FrameDecoder decoder;
+  Status st = decoder.Feed(wire);
+  EXPECT_EQ(st.code(), StatusCode::kProtocolViolation);
+}
+
+TEST(TransportFraming, VersionSkewIsRejected) {
+  Bytes wire = EncodeFrame(MakeBatchFrame(1, Bytes{1}));
+  wire[4] = kWireVersion + 1;
+  FrameDecoder decoder;
+  Status st = decoder.Feed(wire);
+  EXPECT_EQ(st.code(), StatusCode::kProtocolViolation);
+  EXPECT_NE(st.message().find("version"), std::string::npos);
+}
+
+TEST(TransportFraming, UnknownTypeAndReservedBitsAreRejected) {
+  {
+    Bytes wire = EncodeFrame(MakeBatchFrame(1, Bytes{1}));
+    wire[5] = 0x7F;  // unknown frame type
+    FrameDecoder decoder;
+    EXPECT_EQ(decoder.Feed(wire).code(), StatusCode::kProtocolViolation);
+  }
+  {
+    Bytes wire = EncodeFrame(MakeBatchFrame(1, Bytes{1}));
+    wire[6] = 1;  // reserved must be zero
+    FrameDecoder decoder;
+    EXPECT_EQ(decoder.Feed(wire).code(), StatusCode::kProtocolViolation);
+  }
+}
+
+TEST(TransportFraming, LengthLieBeyondCapIsRejectedBeforeBuffering) {
+  Bytes wire = EncodeFrame(MakeBatchFrame(1, Bytes{1}));
+  // Lie: 0xFFFFFFFF payload bytes allegedly follow.
+  wire[16] = wire[17] = wire[18] = wire[19] = 0xFF;
+  FrameDecoder decoder;
+  Status st = decoder.Feed(wire);
+  EXPECT_EQ(st.code(), StatusCode::kProtocolViolation);
+  EXPECT_NE(st.message().find("cap"), std::string::npos);
+}
+
+TEST(TransportFraming, PayloadCorruptionFailsTheCrc) {
+  Bytes payload(64, 0xAB);
+  Bytes wire = EncodeFrame(MakeBatchFrame(9, payload));
+  for (size_t byte = kFrameHeaderBytes; byte < wire.size(); byte += 7) {
+    Bytes mutated = wire;
+    mutated[byte] ^= 0x01;
+    FrameDecoder decoder;
+    Status st = decoder.Feed(mutated);
+    EXPECT_EQ(st.code(), StatusCode::kDataLoss) << "byte=" << byte;
+  }
+}
+
+TEST(TransportFraming, ErrorsAreSticky) {
+  Bytes bad = EncodeFrame(MakeBatchFrame(1, Bytes{1}));
+  bad[0] ^= 0xFF;
+  FrameDecoder decoder;
+  EXPECT_FALSE(decoder.Feed(bad).ok());
+  // A pristine frame after the poison must not resurrect the stream.
+  Bytes good = EncodeFrame(MakeBatchFrame(2, Bytes{2}));
+  EXPECT_FALSE(decoder.Feed(good).ok());
+  Frame out;
+  EXPECT_FALSE(decoder.Next(&out));
+}
+
+TEST(TransportFraming, RoundResultCodecRoundTripsAndRejectsHostileBytes) {
+  RemoteRoundResult result;
+  result.supports = {5, 0, 123456789, 42};
+  result.estimates = {0.5, -0.001, 0.25, 0.125};
+  result.reports_decoded = 1000;
+  result.reports_invalid = 7;
+  result.dummies_recognized = 3;
+  result.spot_check_passed = false;
+
+  Bytes payload = SerializeRoundResult(result);
+  auto parsed = ParseRoundResult(payload);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->supports, result.supports);
+  EXPECT_EQ(parsed->estimates, result.estimates);
+  EXPECT_EQ(parsed->reports_decoded, result.reports_decoded);
+  EXPECT_EQ(parsed->reports_invalid, result.reports_invalid);
+  EXPECT_EQ(parsed->dummies_recognized, result.dummies_recognized);
+  EXPECT_FALSE(parsed->spot_check_passed);
+
+  for (size_t len = 0; len < payload.size(); ++len) {
+    Bytes truncated(payload.begin(), payload.begin() + len);
+    EXPECT_FALSE(ParseRoundResult(truncated).ok()) << "len=" << len;
+  }
+  // A lying domain size must fail fast, not allocate.
+  ByteWriter w;
+  w.PutVarint(0);
+  w.PutVarint(0);
+  w.PutVarint(0);
+  w.PutU8(1);
+  w.PutVarint(uint64_t{1} << 60);
+  EXPECT_FALSE(ParseRoundResult(w.data()).ok());
+}
+
+// A connection that sends garbage must be dropped without disturbing a
+// well-behaved client on the same endpoint.
+TEST(TransportFraming, GarbageConnectionDoesNotKillTheEndpoint) {
+  ldp::Grr grr(2.0, 16);
+  CollectionServerOptions options;
+  options.streaming.batch_size = 64;
+  auto server = CollectionServer::Start(grr, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  {
+    // Raw socket, no framing: 4 KiB of noise.
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons((*server)->port());
+    ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)), 0);
+    Rng rng(3);
+    Bytes noise(4096);
+    for (auto& b : noise) b = static_cast<uint8_t>(rng.NextU64());
+    ::send(fd, noise.data(), noise.size(), MSG_NOSIGNAL);
+    ::close(fd);
+  }
+
+  // The endpoint must still complete a clean round.
+  auto client = CollectorClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  Rng rng(4);
+  std::vector<ldp::LdpReport> reports;
+  for (int i = 0; i < 500; ++i) reports.push_back(grr.Encode(i % 16, &rng));
+  const uint64_t round = (*server)->round_id();
+  ASSERT_TRUE((*client)->SendReports(round, grr, reports).ok());
+  auto result = (*client)->FinishRound(round, 500, 0,
+                                       Calibration::kStandard);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->reports_decoded, 500u);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace shuffledp

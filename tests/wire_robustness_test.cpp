@@ -6,7 +6,9 @@
 // overflows count × width to a small number — a crafted varint must not
 // drive a multi-exabyte reserve()), and seeded random garbage. Every
 // input must come back as an error Status or a fully validated parse —
-// never a crash, hang, or over-read.
+// never a crash, hang, or over-read. The same corpus style covers the
+// transport framing (service/transport.h): torn frames, length lies,
+// CRC corruption, and version skew.
 
 #include <gtest/gtest.h>
 
@@ -17,6 +19,7 @@
 #include "ldp/hadamard.h"
 #include "ldp/local_hash.h"
 #include "ldp/wire.h"
+#include "service/transport.h"
 #include "util/bytes.h"
 #include "util/rng.h"
 
@@ -131,6 +134,118 @@ TEST(WireRobustness, RandomGarbageNeverCrashes) {
       Bytes garbage(rng.UniformU64(120));
       for (auto& b : garbage) b = static_cast<uint8_t>(rng.NextU64());
       MustNotCrash(*oracle, garbage);
+    }
+  }
+}
+
+TEST(WireRobustness, OrdinalCodecAdmitsPaddingButNotSlackBits) {
+  // PEOS fakes are uniform over the padded 2^B ordinal space, so the
+  // ordinal codec must round-trip padding-region values that
+  // ParseReports would reject...
+  Grr grr(2.0, 11);  // B = 4: ordinals 0..10 valid, 11..15 padding
+  Bytes wire = SerializeOrdinals(grr, {0, 10, 11, 15});
+  auto ordinals = ParseOrdinals(grr, wire);
+  ASSERT_TRUE(ordinals.ok());
+  EXPECT_EQ(*ordinals, (std::vector<uint64_t>{0, 10, 11, 15}));
+  EXPECT_FALSE(ParseReports(grr, wire).ok());
+
+  // ...but bits smuggled into the byte-rounding slack above B are not
+  // part of the report space and must be rejected.
+  Bytes smuggled = SerializeOrdinals(grr, {3});
+  smuggled.back() |= 0x80;  // bit 7 > B-1 = 3
+  EXPECT_FALSE(ParseOrdinals(grr, smuggled).ok());
+}
+
+TEST(WireRobustness, OrdinalCodecHostileCorpus) {
+  for (const auto& oracle : CorpusOracles()) {
+    Bytes wire = SerializeOrdinals(*oracle, {0, 1, 2, 3, 4});
+    for (size_t len = 0; len < wire.size(); ++len) {
+      Bytes truncated(wire.begin(), wire.begin() + len);
+      EXPECT_FALSE(ParseOrdinals(*oracle, truncated).ok());
+    }
+    for (uint64_t count : {uint64_t{0}, uint64_t{4}, uint64_t{6},
+                           uint64_t{1} << 32, uint64_t{1} << 61,
+                           ~uint64_t{0}}) {
+      ByteWriter w;
+      w.PutVarint(count);
+      w.PutBytes({wire.begin() + 1, wire.end()});
+      EXPECT_FALSE(ParseOrdinals(*oracle, w.data()).ok())
+          << oracle->Name() << " accepted lied count " << count;
+    }
+    Rng rng(7);
+    for (int trial = 0; trial < 200; ++trial) {
+      Bytes garbage(rng.UniformU64(100));
+      for (auto& b : garbage) b = static_cast<uint8_t>(rng.NextU64());
+      auto parsed = ParseOrdinals(*oracle, garbage);
+      if (parsed.ok()) {
+        const unsigned bits = oracle->PackedBits();
+        for (uint64_t ordinal : *parsed) {
+          if (bits < 64) EXPECT_LT(ordinal, uint64_t{1} << bits);
+        }
+      }
+    }
+  }
+}
+
+// Framing corpus: the transport's FrameDecoder faces the network
+// directly, so it gets the same hostile treatment as the report codecs.
+TEST(WireRobustness, FramingHostileCorpus) {
+  service::Frame frame;
+  frame.type = service::FrameType::kBatch;
+  frame.round_id = 42;
+  frame.payload = {1, 2, 3, 4, 5, 6, 7, 8};
+  const Bytes wire = service::EncodeFrame(frame);
+
+  // Torn prefixes: pending, never an error, never a frame.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    service::FrameDecoder decoder;
+    ASSERT_TRUE(decoder.Feed(wire.data(), len).ok());
+    service::Frame out;
+    EXPECT_FALSE(decoder.Next(&out));
+  }
+
+  // Single-bit flips anywhere in the frame: either rejected outright
+  // (header fields, CRC) or still pending (a flip that enlarges the
+  // length field within the cap just waits for bytes that never come) —
+  // but a flipped frame must never decode as valid.
+  for (size_t byte = 0; byte < wire.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes mutated = wire;
+      mutated[byte] ^= static_cast<uint8_t>(1u << bit);
+      service::FrameDecoder decoder;
+      Status st = decoder.Feed(mutated);
+      service::Frame out;
+      if (st.ok() && decoder.Next(&out)) {
+        // The only acceptable decode is a shrunken-length frame whose
+        // CRC happens to cover the shorter payload — impossible here
+        // because any length flip changes the covered bytes.
+        ADD_FAILURE() << "bit flip at byte " << byte << " bit " << bit
+                      << " decoded as a valid frame";
+      }
+    }
+  }
+
+  // Version skew both ways.
+  for (uint8_t version : {uint8_t{0}, uint8_t{service::kWireVersion + 1},
+                          uint8_t{0xFF}}) {
+    Bytes mutated = wire;
+    mutated[4] = version;
+    service::FrameDecoder decoder;
+    EXPECT_EQ(decoder.Feed(mutated).code(), StatusCode::kProtocolViolation);
+  }
+
+  // Random garbage streams: any outcome but a crash/hang is fine, and
+  // no garbage may parse into a frame whose payload CRC doesn't hold.
+  Rng rng(8);
+  for (int trial = 0; trial < 300; ++trial) {
+    Bytes garbage(rng.UniformU64(200));
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.NextU64());
+    service::FrameDecoder decoder;
+    if (decoder.Feed(garbage).ok()) {
+      service::Frame out;
+      while (decoder.Next(&out)) {
+        EXPECT_LE(out.payload.size(), service::kMaxFramePayload);
+      }
     }
   }
 }
