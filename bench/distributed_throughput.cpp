@@ -1,0 +1,235 @@
+// Multi-endpoint ingest scaling: aggregate throughput of a partitioned
+// collection fleet behind the merge-of-supports coordinator.
+//
+// For each partition count P in {1, 2, 4} the bench starts P loopback
+// CollectionServers sharing one PartitionMap, pre-routes a fixed report
+// stream into per-partition frame payloads (routing cost is client-side
+// and identical at every P, so it stays outside the timed section), then
+// measures wall time from the first frame to the merged, calibrated
+// round result:
+//
+//   P sender threads --kBatch*--> endpoint p   (one connection each)
+//        |  kWatermark flush barrier (all batches in the queues)
+//   coordinator --kFinish--> every endpoint, merge + calibrate
+//
+// Endpoint consumers run serial (no pool): the per-endpoint consumer
+// thread is precisely the bottleneck domain partitioning removes, so
+// rows/s should scale with P until parse/socket overhead dominates.
+// The scaling is real parallelism across consumer threads — on a host
+// with fewer cores than endpoints the fleet time-shares and the curve
+// flattens, which is why the JSON records "cores" next to the rows.
+// Rows land in BENCH_distributed.json via run_benches.sh.
+//
+// Flags: --n=1000000, --d=1024, --solh_n=200000, --solh_d=256,
+// --dprime=16, --eps=3.0, --batch=4096, --smoke, --json=PATH.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "ldp/grr.h"
+#include "ldp/local_hash.h"
+#include "service/coordinator.h"
+#include "service/partition.h"
+#include "service/transport.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace shuffledp;
+using bench::Flags;
+
+namespace {
+
+struct Row {
+  std::string oracle;
+  std::string mode;
+  uint32_t partitions = 0;
+  uint64_t n = 0;
+  uint64_t d = 0;
+  double wall_s = 0.0;
+  double rows_per_s = 0.0;
+};
+
+// Pre-encoded producer batches (ordinals), identical for every P.
+std::vector<std::vector<uint64_t>> EncodeBatches(
+    const ldp::ScalarFrequencyOracle& oracle, uint64_t n, size_t batch) {
+  Rng rng(0xD15C0);
+  std::vector<std::vector<uint64_t>> batches;
+  for (uint64_t lo = 0; lo < n; lo += batch) {
+    const uint64_t hi = std::min(n, lo + batch);
+    std::vector<uint64_t> ordinals;
+    ordinals.reserve(hi - lo);
+    for (uint64_t i = lo; i < hi; ++i) {
+      ordinals.push_back(oracle.PackOrdinal(
+          oracle.Encode(rng.UniformU64(oracle.domain_size()), &rng)));
+    }
+    batches.push_back(std::move(ordinals));
+  }
+  return batches;
+}
+
+Result<Row> RunFleet(const ldp::ScalarFrequencyOracle& oracle,
+                     service::PartitionMode mode, uint32_t partitions,
+                     const std::vector<std::vector<uint64_t>>& batches,
+                     uint64_t n, size_t batch_size) {
+  SHUFFLEDP_ASSIGN_OR_RETURN(
+      service::PartitionMap map,
+      service::PartitionMap::Create(oracle, mode, partitions));
+
+  // Route outside the timed section: per-partition producer batch lists.
+  std::vector<std::vector<std::vector<uint64_t>>> routed(partitions);
+  for (auto& r : routed) r.resize(batches.size());
+  for (size_t b = 0; b < batches.size(); ++b) {
+    auto groups = map.Route(b, batches[b]);
+    for (uint32_t p = 0; p < partitions; ++p) {
+      routed[p][b] = std::move(groups[p]);
+    }
+  }
+
+  std::vector<std::unique_ptr<service::CollectionServer>> servers;
+  std::vector<service::EndpointAddress> endpoints;
+  for (uint32_t p = 0; p < partitions; ++p) {
+    service::CollectionServerOptions options;
+    options.partition_map = map;
+    options.partition_id = p;
+    options.streaming.batch_size = batch_size;
+    SHUFFLEDP_ASSIGN_OR_RETURN(auto server,
+                               service::CollectionServer::Start(oracle,
+                                                                options));
+    endpoints.push_back({"127.0.0.1", server->port()});
+    servers.push_back(std::move(server));
+  }
+
+  // Sender connections handshake before the clock starts.
+  std::vector<std::unique_ptr<service::CollectorClient>> senders;
+  for (uint32_t p = 0; p < partitions; ++p) {
+    SHUFFLEDP_ASSIGN_OR_RETURN(
+        auto client,
+        service::CollectorClient::Connect(endpoints[p].host,
+                                          endpoints[p].port));
+    SHUFFLEDP_RETURN_NOT_OK(client->Hello(map, p).status());
+    senders.push_back(std::move(client));
+  }
+  SHUFFLEDP_ASSIGN_OR_RETURN(
+      auto routing,
+      service::PartitionRoutingClient::Connect(oracle, map, endpoints));
+  service::MergeCoordinator coordinator(oracle, routing.get());
+
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  std::vector<Status> sender_status(partitions, Status::OK());
+  for (uint32_t p = 0; p < partitions; ++p) {
+    threads.emplace_back([&, p] {
+      for (size_t b = 0; b < routed[p].size(); ++b) {
+        Status st = senders[p]->SendOrdinals(0, oracle, routed[p][b]);
+        if (!st.ok()) {
+          sender_status[p] = st;
+          return;
+        }
+      }
+      // Flush barrier: the reply certifies every batch on this
+      // connection reached the collector queue.
+      auto watermark = senders[p]->QueryWatermark();
+      if (!watermark.ok()) sender_status[p] = watermark.status();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const Status& st : sender_status) SHUFFLEDP_RETURN_NOT_OK(st);
+  SHUFFLEDP_ASSIGN_OR_RETURN(
+      service::RoundResult merged,
+      coordinator.FinishRound(0, n, 0, service::Calibration::kStandard));
+
+  Row row;
+  row.oracle = oracle.Name();
+  row.mode = mode == service::PartitionMode::kByValue ? "by-value"
+                                                      : "by-client";
+  row.partitions = partitions;
+  row.n = n;
+  row.d = oracle.domain_size();
+  row.wall_s = timer.ElapsedSeconds();
+  row.rows_per_s = static_cast<double>(n) / row.wall_s;
+  if (merged.reports_decoded + merged.reports_invalid != n) {
+    return Status::Internal("distributed bench lost rows");
+  }
+  return row;
+}
+
+bool WriteJson(const std::string& path, const std::vector<Row>& rows) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"bench\": \"distributed_throughput\",\n");
+  std::fprintf(f, "  \"cores\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        f,
+        "    {\"oracle\": \"%s\", \"mode\": \"%s\", \"partitions\": %u, "
+        "\"n\": %llu, \"d\": %llu, \"wall_s\": %.6f, "
+        "\"rows_per_s\": %.1f}%s\n",
+        r.oracle.c_str(), r.mode.c_str(), r.partitions,
+        static_cast<unsigned long long>(r.n),
+        static_cast<unsigned long long>(r.d), r.wall_s, r.rows_per_s,
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool smoke = flags.GetBool("smoke", false);
+  const uint64_t n = flags.GetU64("n", smoke ? 60000 : 1000000);
+  const uint64_t d = flags.GetU64("d", smoke ? 256 : 1024);
+  const uint64_t solh_n = flags.GetU64("solh_n", smoke ? 20000 : 200000);
+  const uint64_t solh_d = flags.GetU64("solh_d", 256);
+  const uint64_t dprime = flags.GetU64("dprime", 16);
+  const double eps = flags.GetDouble("eps", 3.0);
+  const size_t batch = flags.GetU64("batch", 4096);
+  const std::string json = flags.GetString("json", "");
+
+  ldp::Grr grr(eps, d);
+  ldp::LocalHash solh(eps, solh_d, dprime, "SOLH");
+  auto grr_batches = EncodeBatches(grr, n, batch);
+  auto solh_batches = EncodeBatches(solh, solh_n, batch);
+
+  std::vector<Row> rows;
+  std::printf("%-6s %-10s %10s %12s %10s %14s\n", "oracle", "mode",
+              "partitions", "n", "wall_s", "rows/s");
+  for (uint32_t partitions : {1u, 2u, 4u}) {
+    auto grr_row = RunFleet(grr, service::PartitionMode::kByValue,
+                            partitions, grr_batches, n, batch);
+    if (!grr_row.ok()) {
+      std::fprintf(stderr, "grr fleet failed: %s\n",
+                   grr_row.status().ToString().c_str());
+      return 1;
+    }
+    rows.push_back(*grr_row);
+    auto solh_row = RunFleet(solh, service::PartitionMode::kByClient,
+                             partitions, solh_batches, solh_n, batch);
+    if (!solh_row.ok()) {
+      std::fprintf(stderr, "solh fleet failed: %s\n",
+                   solh_row.status().ToString().c_str());
+      return 1;
+    }
+    rows.push_back(*solh_row);
+    for (const Row* r : {&*grr_row, &*solh_row}) {
+      std::printf("%-6s %-10s %10u %12llu %10.3f %14.0f\n",
+                  r->oracle.c_str(), r->mode.c_str(), r->partitions,
+                  static_cast<unsigned long long>(r->n), r->wall_s,
+                  r->rows_per_s);
+    }
+  }
+  if (!json.empty() && !WriteJson(json, rows)) {
+    std::fprintf(stderr, "cannot write %s\n", json.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -10,6 +10,10 @@
 #   BENCH_streaming.json     - streaming-vs-monolithic server ingestion rows
 #                              from bench_streaming_throughput (batched
 #                              pipeline vs the seed's single-pass collect)
+#   BENCH_distributed.json   - aggregate ingest throughput of a partitioned
+#                              endpoint fleet (1/2/4 partitions behind the
+#                              merge-of-supports coordinator) from
+#                              bench_distributed_throughput
 #
 # Usage: bench/run_benches.sh [BUILD_DIR] [--smoke]
 #   --smoke: CI-sized inputs (small n everywhere) to verify the benches
@@ -75,4 +79,7 @@ ${TABLE3_TIMEOUT[@]+"${TABLE3_TIMEOUT[@]}"} \
 "$BUILD_DIR/bench_streaming_throughput" $STREAMING_FLAGS \
   --json="$ROOT/BENCH_streaming.json"
 
-echo "wrote $ROOT/BENCH_micro_crypto.json, $ROOT/BENCH_table3.json and $ROOT/BENCH_streaming.json"
+"$BUILD_DIR/bench_distributed_throughput" $STREAMING_FLAGS \
+  --json="$ROOT/BENCH_distributed.json"
+
+echo "wrote $ROOT/BENCH_micro_crypto.json, $ROOT/BENCH_table3.json, $ROOT/BENCH_streaming.json and $ROOT/BENCH_distributed.json"

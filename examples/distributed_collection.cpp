@@ -1,0 +1,133 @@
+// Partitioned collection fleet demo.
+//
+// Boots P loopback CollectionServers that share one PartitionMap (each
+// owns a slice of the value domain, or a round-robin share of the
+// clients), fans a report population across them through the
+// partition-routing client, and closes the round through the
+// MergeCoordinator: raw per-partition supports are gathered, merged in
+// partition order, and only then calibrated. The identical dataset then
+// runs through the single-node CollectStreaming path; the two must agree
+// bitwise — the property the distributed e2e test pins. Exits non-zero
+// on any mismatch, so CI can drive it as a process-level check.
+//
+//   ./example_distributed_collection 120000 64 3
+//
+// See docs/ARCHITECTURE.md (partition/coordinator tier) and
+// docs/WIRE_FORMAT.md (kHello handshake, partition header field).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "core/shuffle_dp.h"
+#include "service/coordinator.h"
+#include "service/transport.h"
+#include "util/rng.h"
+
+using namespace shuffledp;
+
+int main(int argc, char** argv) {
+  const uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 120000;
+  const uint64_t d = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 64;
+  const uint32_t partitions =
+      argc > 3 ? static_cast<uint32_t>(std::strtoul(argv[3], nullptr, 10)) : 3;
+
+  core::PrivacyGoals goals;  // ε₁=0.5, ε₂=2, ε₃=8, δ=1e-9
+  core::ShuffleDpCollector::Options options;
+  options.streaming.batch_size = 4096;
+  auto collector = core::ShuffleDpCollector::Create(goals, n, d, options);
+  if (!collector.ok()) {
+    std::fprintf(stderr, "planner failed: %s\n",
+                 collector.status().ToString().c_str());
+    return 1;
+  }
+  const auto& oracle = (*collector)->oracle();
+
+  // GRR routes by value range; SOLH reports support the whole domain, so
+  // its fleet partitions by client instead.
+  const service::PartitionMode mode = (*collector)->plan().use_grr
+                                          ? service::PartitionMode::kByValue
+                                          : service::PartitionMode::kByClient;
+  auto map = service::PartitionMap::Create(oracle, mode, partitions);
+  if (!map.ok()) {
+    std::fprintf(stderr, "partition map failed: %s\n",
+                 map.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("plan: %s\nfleet: %s\n", (*collector)->plan().ToString().c_str(),
+              map->ToString().c_str());
+
+  std::vector<uint64_t> values(n);
+  Rng data_rng(7);
+  for (uint64_t i = 0; i < n; ++i) {
+    values[i] = data_rng.Bernoulli(0.10) ? 0 : 1 + data_rng.UniformU64(d - 1);
+  }
+
+  std::vector<std::unique_ptr<service::CollectionServer>> servers;
+  std::vector<service::EndpointAddress> endpoints;
+  for (uint32_t p = 0; p < partitions; ++p) {
+    service::CollectionServerOptions server_options;
+    server_options.streaming = options.streaming;
+    server_options.partition_map = *map;
+    server_options.partition_id = p;
+    auto server = service::CollectionServer::Start(oracle, server_options);
+    if (!server.ok()) {
+      std::fprintf(stderr, "endpoint %u start failed: %s\n", p,
+                   server.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("endpoint %u: 127.0.0.1:%u owns %s slice [%llu, %llu)\n", p,
+                (*server)->port(),
+                mode == service::PartitionMode::kByValue ? "value"
+                                                         : "client",
+                static_cast<unsigned long long>(map->SliceOf(p).lo),
+                static_cast<unsigned long long>(map->SliceOf(p).hi));
+    endpoints.push_back({"127.0.0.1", (*server)->port()});
+    servers.push_back(std::move(*server));
+  }
+
+  auto routing =
+      service::PartitionRoutingClient::Connect(oracle, *map, endpoints);
+  if (!routing.ok()) {
+    std::fprintf(stderr, "fleet handshake failed: %s\n",
+                 routing.status().ToString().c_str());
+    return 1;
+  }
+  service::MergeCoordinator coordinator(oracle, routing->get());
+
+  Rng distributed_rng(1234);
+  auto merged = (*collector)->CollectDistributed(
+      values, &distributed_rng, routing->get(), &coordinator, 0);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "distributed round failed: %s\n",
+                 merged.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "fleet:     f̂(0)=%.4f (true 0.10)  decoded=%llu invalid=%llu\n",
+      merged->estimates[0],
+      static_cast<unsigned long long>(merged->reports_decoded),
+      static_cast<unsigned long long>(merged->reports_invalid));
+
+  // Same seed through the single-node pipeline; must agree bitwise.
+  Rng local_rng(1234);
+  auto local = (*collector)->CollectStreaming(values, &local_rng);
+  if (!local.ok()) {
+    std::fprintf(stderr, "single-node round failed: %s\n",
+                 local.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("1-node:    f̂(0)=%.4f  pipeline: %s\n", local->estimates[0],
+              local->stats.ToString().c_str());
+
+  const bool identical =
+      merged->supports == local->supports &&
+      merged->estimates.size() == local->estimates.size() &&
+      std::memcmp(merged->estimates.data(), local->estimates.data(),
+                  merged->estimates.size() * sizeof(double)) == 0;
+  std::printf("%u-endpoint fleet vs single node: %s\n", partitions,
+              identical ? "bitwise identical" : "MISMATCH");
+  return identical ? 0 : 1;
+}

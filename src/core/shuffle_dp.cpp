@@ -144,6 +144,34 @@ Result<service::RemoteRoundResult> ShuffleDpCollector::CollectRemote(
                              service::Calibration::kOrdinal);
 }
 
+Result<service::RoundResult> ShuffleDpCollector::CollectDistributed(
+    const std::vector<uint64_t>& values, Rng* rng,
+    service::PartitionRoutingClient* routing,
+    service::MergeCoordinator* coordinator, uint64_t round_id) const {
+  const uint64_t n = values.size();
+  if (n == 0) {
+    return Status::InvalidArgument("CollectDistributed: empty dataset");
+  }
+  if (routing == nullptr || coordinator == nullptr) {
+    return Status::InvalidArgument(
+        "CollectDistributed: null routing client or coordinator");
+  }
+
+  // Same deterministic producer as CollectStreaming/CollectRemote; the
+  // routing client fans each batch across the owning endpoints (and
+  // honors per-endpoint replay floors for crash recovery). skip_batches
+  // stays 0 here: skipping is per endpoint, not per producer batch.
+  uint64_t batch_index = 0;
+  SHUFFLEDP_RETURN_NOT_OK(StreamEncodedBatches(
+      values, rng, /*skip_batches=*/0,
+      [routing, round_id, &batch_index](std::vector<uint64_t>&& batch) {
+        return routing->SendBatch(round_id, batch_index++, batch);
+      }));
+
+  return coordinator->FinishRound(round_id, n, plan_.n_r,
+                                  service::Calibration::kOrdinal);
+}
+
 Result<std::vector<double>> ShuffleDpCollector::SimulateCollect(
     const std::vector<uint64_t>& value_counts, uint64_t n, Rng* rng) const {
   if (value_counts.size() != domain_size_) {

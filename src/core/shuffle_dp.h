@@ -24,6 +24,7 @@
 #include "core/planner.h"
 #include "crypto/secure_random.h"
 #include "ldp/frequency_oracle.h"
+#include "service/coordinator.h"
 #include "service/streaming_collector.h"
 #include "service/transport.h"
 #include "shuffle/peos.h"
@@ -98,6 +99,24 @@ class ShuffleDpCollector {
       const std::vector<uint64_t>& values, Rng* rng,
       service::CollectorClient* client, uint64_t round_id,
       uint64_t skip_batches = 0) const;
+
+  /// Partition-aware variant of CollectRemote: the same deterministic
+  /// producer, but every batch fans out across a fleet of partitioned
+  /// endpoints through `routing` (one kBatch frame per endpoint per
+  /// producer batch — the slice of ordinals it owns), and the round
+  /// closes through `coordinator`, which gathers raw per-partition
+  /// supports, merges them in partition order, and calibrates the merged
+  /// vector. Because integer supports compose losslessly and the
+  /// calibration runs once over the merged population, the result is
+  /// bitwise identical to single-node CollectStreaming under the same
+  /// `rng` seed — for any partition count and either partition mode.
+  /// Per-endpoint replay floors set on `routing` (SetSkipBatches) make
+  /// single-endpoint crash recovery exact without re-sending batches the
+  /// surviving endpoints already consumed.
+  Result<service::RoundResult> CollectDistributed(
+      const std::vector<uint64_t>& values, Rng* rng,
+      service::PartitionRoutingClient* routing,
+      service::MergeCoordinator* coordinator, uint64_t round_id) const;
 
  private:
   /// Shared producer of CollectStreaming/CollectRemote: slices users +

@@ -123,6 +123,31 @@ PaillierCiphertext PaillierPublicKey::TrivialEncrypt(const BigInt& m) const {
   return PaillierCiphertext{GToM(m < n_ ? m : m.Mod(n_))};
 }
 
+void PaillierPublicKey::ToMontCiphertext(
+    const PaillierCiphertext& c, uint64_t* out,
+    MontgomeryCtx::Scratch* scratch) const {
+  assert(n2_ctx_ != nullptr);
+  n2_ctx_->ToMontInto(c.value, out, scratch);
+}
+
+PaillierCiphertext PaillierPublicKey::FromMontCiphertext(
+    const uint64_t* limbs, MontgomeryCtx::Scratch* scratch) const {
+  assert(n2_ctx_ != nullptr);
+  return PaillierCiphertext{n2_ctx_->FromMontLimbs(limbs, scratch)};
+}
+
+void PaillierPublicKey::AddPlainMontInto(
+    uint64_t* c_mont, const BigInt& m,
+    MontgomeryCtx::Scratch* scratch) const {
+  assert(n2_ctx_ != nullptr);
+  const MontgomeryCtx& ctx = *n2_ctx_;
+  // g^m = 1 + mN enters the domain once (one CIOS pass against R^2),
+  // then multiplies in with a second — no division anywhere.
+  std::vector<uint64_t>& g_mont = TlsMaskBuf(ctx.limbs());
+  ctx.ToMontInto(GToM(m < n_ ? m : m.Mod(n_)), g_mont.data(), scratch);
+  ctx.MulInto(c_mont, g_mont.data(), c_mont, scratch);
+}
+
 Bytes PaillierPublicKey::SerializeCiphertext(
     const PaillierCiphertext& c) const {
   return c.value.ToBytesBigEndian(CiphertextBytes());
@@ -431,6 +456,26 @@ PaillierCiphertext RandomizerPool::Rerandomize(const PaillierCiphertext& c,
   for (size_t k = 0; k < n; ++k) acc[k] = c.value.limb(k);
   ctx->MulInto(acc.data(), mask.data(), acc.data(), &scratch);
   return PaillierCiphertext{BigInt::FromLimbsLittleEndian(std::move(acc))};
+}
+
+void RandomizerPool::RerandomizeMontInto(
+    uint64_t* c_mont, SecureRandom* rng,
+    MontgomeryCtx::Scratch* scratch) const {
+  const MontgomeryCtx* ctx = pub_->n2_ctx();
+  assert(ctx != nullptr);
+  const size_t n = ctx->limbs();
+  if (mode_ == Mode::kPairwise) {
+    // Same index draws as Rerandomize; MontMul of two Montgomery
+    // operands stays Montgomery, so the column never leaves the domain.
+    size_t i = rng->UniformU64(pool_mont_.size());
+    size_t j = rng->UniformU64(pool_mont_.size());
+    ctx->MulInto(c_mont, pool_mont_[i].data(), c_mont, scratch);
+    ctx->MulInto(c_mont, pool_mont_[j].data(), c_mont, scratch);
+    return;
+  }
+  std::vector<uint64_t>& mask = TlsMaskBuf(n);
+  FreshMaskMont(rng, mask.data(), scratch);
+  ctx->MulInto(c_mont, mask.data(), c_mont, scratch);
 }
 
 PaillierCiphertext RandomizerPool::EncryptFast(const BigInt& m,

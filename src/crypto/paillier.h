@@ -93,6 +93,30 @@ class PaillierPublicKey {
   /// element; NOT semantically secure on its own — always rerandomize).
   PaillierCiphertext TrivialEncrypt(const BigInt& m) const;
 
+  // --- Montgomery-resident ciphertext column --------------------------
+  //
+  // The EOS rerandomize chain touches every ciphertext once per C(r, t)
+  // round: homomorphically add an ell-bit mask adjustment, then re-mask.
+  // Keeping the whole column in the Montgomery domain across all rounds
+  // turns each round into pure fused CIOS passes — the only to/from-
+  // Montgomery conversions are one per element at chain entry and exit.
+  // All three kernels require n2_ctx() != nullptr (any real key) and
+  // limb buffers of exactly n2_ctx()->limbs() words.
+
+  /// c -> Montgomery form (entry into the resident chain).
+  void ToMontCiphertext(const PaillierCiphertext& c, uint64_t* out,
+                        MontgomeryCtx::Scratch* scratch) const;
+
+  /// Montgomery-form limbs -> canonical ciphertext (chain exit).
+  PaillierCiphertext FromMontCiphertext(const uint64_t* limbs,
+                                        MontgomeryCtx::Scratch* scratch) const;
+
+  /// In-place Montgomery-domain AddPlain: c̃ <- c̃ ⊗ ToMont(g^m), i.e.
+  /// Enc(a) (+) m without leaving the domain (two fused CIOS passes:
+  /// one ToMont of the short g^m = 1 + mN operand, one multiply).
+  void AddPlainMontInto(uint64_t* c_mont, const BigInt& m,
+                        MontgomeryCtx::Scratch* scratch) const;
+
   /// Serialization for the simulated network channels.
   Bytes SerializeCiphertext(const PaillierCiphertext& c) const;
   Result<PaillierCiphertext> ParseCiphertext(const Bytes& bytes) const;
@@ -204,6 +228,16 @@ class RandomizerPool {
   /// kPairwise mode, one fixed-base mask in kFixedBase mode).
   PaillierCiphertext Rerandomize(const PaillierCiphertext& c,
                                  SecureRandom* rng) const;
+
+  /// In-place Rerandomize of a Montgomery-form ciphertext (the resident
+  /// EOS column): multiplies the same masks as Rerandomize — identical
+  /// rng draws, identical plaintext effect — but stays in the domain
+  /// (masks are pooled in Montgomery form, so each application is one
+  /// fused CIOS pass and the product of two Montgomery operands is again
+  /// a Montgomery operand). Pre: the key has a Montgomery context and
+  /// `c_mont` holds n2_ctx()->limbs() words.
+  void RerandomizeMontInto(uint64_t* c_mont, SecureRandom* rng,
+                           MontgomeryCtx::Scratch* scratch) const;
 
   /// Encrypts without a full-width modexp: (1 + mN) * mask.
   PaillierCiphertext EncryptFast(const BigInt& m, SecureRandom* rng) const;

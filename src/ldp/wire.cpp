@@ -22,6 +22,12 @@ Bytes SerializeOrdinals(const ScalarFrequencyOracle& oracle,
 
 Result<std::vector<uint64_t>> ParseOrdinals(
     const ScalarFrequencyOracle& oracle, const Bytes& wire) {
+  return ParseOrdinalsValidated(oracle, wire, nullptr);
+}
+
+Result<std::vector<uint64_t>> ParseOrdinalsValidated(
+    const ScalarFrequencyOracle& oracle, const Bytes& wire,
+    const std::function<Status(uint64_t ordinal)>& check) {
   const size_t width = WireReportBytes(oracle);
   const unsigned bits = oracle.PackedBits();
   ByteReader reader(wire);
@@ -45,6 +51,9 @@ Result<std::vector<uint64_t>> ParseOrdinals(
     // the rounding slack are rejected, padding-region ordinals are not.
     if (bits < 64 && ordinal >= (uint64_t{1} << bits)) {
       return Status::DataLoss("ordinal exceeds the packed report space");
+    }
+    if (check) {
+      SHUFFLEDP_RETURN_NOT_OK(check(ordinal));
     }
     out.push_back(ordinal);
   }

@@ -11,6 +11,7 @@
 #define SHUFFLEDP_LDP_WIRE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "ldp/frequency_oracle.h"
@@ -47,6 +48,14 @@ Bytes SerializeOrdinals(const ScalarFrequencyOracle& oracle,
 /// `oracle.UnpackOrdinal` and drop padding hits.
 Result<std::vector<uint64_t>> ParseOrdinals(
     const ScalarFrequencyOracle& oracle, const Bytes& wire);
+
+/// ParseOrdinals with a caller-supplied per-ordinal admission check run
+/// inline during the decode scan (the partitioned collection endpoint
+/// rejects ordinals another partition owns this way — one pass instead
+/// of parse-then-rescan). A non-OK `check` fails the whole parse.
+Result<std::vector<uint64_t>> ParseOrdinalsValidated(
+    const ScalarFrequencyOracle& oracle, const Bytes& wire,
+    const std::function<Status(uint64_t ordinal)>& check);
 
 /// Packs a 0/1 unary report into bits (LSB-first within each byte).
 Bytes PackUnaryBits(const std::vector<uint8_t>& bits);

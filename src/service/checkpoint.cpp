@@ -21,6 +21,9 @@ Bytes SerializeState(const CheckpointState& state) {
   ByteWriter w(64 + state.supports.size() * 4 +
                state.dummies_remaining.size() * 20);
   w.PutU64(state.round_id);
+  w.PutVarint(state.partition_index);
+  w.PutVarint(state.partition_count);
+  w.PutVarint(state.slice_lo);
   w.PutVarint(state.batches_consumed);
   w.PutVarint(state.rows_seen);
   w.PutVarint(state.reports_decoded);
@@ -42,6 +45,14 @@ Result<CheckpointState> DeserializeState(const Bytes& payload) {
   ByteReader r(payload);
   CheckpointState state;
   SHUFFLEDP_ASSIGN_OR_RETURN(state.round_id, r.GetU64());
+  SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t part_index, r.GetVarint());
+  SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t part_count, r.GetVarint());
+  SHUFFLEDP_ASSIGN_OR_RETURN(state.slice_lo, r.GetVarint());
+  if (part_count == 0 || part_count > 0xFFFF || part_index >= part_count) {
+    return Status::DataLoss("checkpoint partition fields out of range");
+  }
+  state.partition_index = static_cast<uint32_t>(part_index);
+  state.partition_count = static_cast<uint32_t>(part_count);
   SHUFFLEDP_ASSIGN_OR_RETURN(state.batches_consumed, r.GetVarint());
   SHUFFLEDP_ASSIGN_OR_RETURN(state.rows_seen, r.GetVarint());
   SHUFFLEDP_ASSIGN_OR_RETURN(state.reports_decoded, r.GetVarint());
@@ -75,17 +86,68 @@ Result<CheckpointState> DeserializeState(const Bytes& payload) {
   return state;
 }
 
-}  // namespace
+Bytes SerializeJournal(const RoundJournal& journal) {
+  ByteWriter w(64 + journal.supports.size() * 4);
+  w.PutU64(journal.round_id);
+  w.PutVarint(journal.partition_index);
+  w.PutVarint(journal.partition_count);
+  w.PutVarint(journal.slice_lo);
+  w.PutVarint(journal.n);
+  w.PutVarint(journal.n_fake);
+  w.PutU8(journal.calibration);
+  w.PutVarint(journal.reports_decoded);
+  w.PutVarint(journal.reports_invalid);
+  w.PutVarint(journal.dummies_recognized);
+  w.PutVarint(journal.dummies_expected);
+  w.PutVarint(journal.supports.size());
+  for (uint64_t s : journal.supports) w.PutVarint(s);
+  return w.Release();
+}
 
-Status WriteCheckpoint(const std::string& path,
-                       const CheckpointState& state) {
-  if (path.empty()) {
-    return Status::InvalidArgument("checkpoint path is empty");
+Result<RoundJournal> DeserializeJournal(const Bytes& payload) {
+  ByteReader r(payload);
+  RoundJournal journal;
+  SHUFFLEDP_ASSIGN_OR_RETURN(journal.round_id, r.GetU64());
+  SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t part_index, r.GetVarint());
+  SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t part_count, r.GetVarint());
+  SHUFFLEDP_ASSIGN_OR_RETURN(journal.slice_lo, r.GetVarint());
+  if (part_count == 0 || part_count > 0xFFFF || part_index >= part_count) {
+    return Status::DataLoss("journal partition fields out of range");
   }
-  Bytes payload = SerializeState(state);
+  journal.partition_index = static_cast<uint32_t>(part_index);
+  journal.partition_count = static_cast<uint32_t>(part_count);
+  SHUFFLEDP_ASSIGN_OR_RETURN(journal.n, r.GetVarint());
+  SHUFFLEDP_ASSIGN_OR_RETURN(journal.n_fake, r.GetVarint());
+  SHUFFLEDP_ASSIGN_OR_RETURN(journal.calibration, r.GetU8());
+  SHUFFLEDP_ASSIGN_OR_RETURN(journal.reports_decoded, r.GetVarint());
+  SHUFFLEDP_ASSIGN_OR_RETURN(journal.reports_invalid, r.GetVarint());
+  SHUFFLEDP_ASSIGN_OR_RETURN(journal.dummies_recognized, r.GetVarint());
+  SHUFFLEDP_ASSIGN_OR_RETURN(journal.dummies_expected, r.GetVarint());
+  SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t d, r.GetVarint());
+  if (d > r.Remaining()) {
+    return Status::DataLoss("journal supports length exceeds payload");
+  }
+  journal.supports.reserve(d);
+  for (uint64_t i = 0; i < d; ++i) {
+    SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t s, r.GetVarint());
+    journal.supports.push_back(s);
+  }
+  if (!r.AtEnd()) {
+    return Status::DataLoss("journal payload has trailing bytes");
+  }
+  return journal;
+}
 
+/// Stage + fsync + rename a magic/version/CRC-framed payload: a crash at
+/// any point leaves either the old file or the new one at `path`, never
+/// a torn mix. Shared by checkpoints and round journals.
+Status WriteFramedFile(const std::string& path, const uint8_t magic[4],
+                       const Bytes& payload, const char* what) {
+  if (path.empty()) {
+    return Status::InvalidArgument(std::string(what) + " path is empty");
+  }
   ByteWriter file(kHeaderBytes + payload.size());
-  file.PutBytes(kCheckpointMagic, sizeof(kCheckpointMagic));
+  file.PutBytes(magic, 4);
   file.PutU8(kCheckpointVersion);
   file.PutU8(0);
   file.PutU8(0);
@@ -95,20 +157,18 @@ Status WriteCheckpoint(const std::string& path,
   file.PutBytes(payload);
   const Bytes& bytes = file.data();
 
-  // Stage + fsync + rename: a crash at any point leaves either the old
-  // checkpoint or the new one at `path`, never a torn file.
   const std::string tmp = path + ".tmp";
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
-    return Status::Internal("checkpoint: cannot open " + tmp + ": " +
-                            std::strerror(errno));
+    return Status::Internal(std::string(what) + ": cannot open " + tmp +
+                            ": " + std::strerror(errno));
   }
   size_t off = 0;
   while (off < bytes.size()) {
     ssize_t wrote = ::write(fd, bytes.data() + off, bytes.size() - off);
     if (wrote < 0) {
       if (errno == EINTR) continue;
-      Status st = Status::Internal(std::string("checkpoint write failed: ") +
+      Status st = Status::Internal(std::string(what) + " write failed: " +
                                    std::strerror(errno));
       ::close(fd);
       ::unlink(tmp.c_str());
@@ -117,7 +177,7 @@ Status WriteCheckpoint(const std::string& path,
     off += static_cast<size_t>(wrote);
   }
   if (::fsync(fd) != 0) {
-    Status st = Status::Internal(std::string("checkpoint fsync failed: ") +
+    Status st = Status::Internal(std::string(what) + " fsync failed: " +
                                  std::strerror(errno));
     ::close(fd);
     ::unlink(tmp.c_str());
@@ -125,7 +185,7 @@ Status WriteCheckpoint(const std::string& path,
   }
   ::close(fd);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    Status st = Status::Internal(std::string("checkpoint rename failed: ") +
+    Status st = Status::Internal(std::string(what) + " rename failed: " +
                                  std::strerror(errno));
     ::unlink(tmp.c_str());
     return st;
@@ -133,10 +193,11 @@ Status WriteCheckpoint(const std::string& path,
   return Status::OK();
 }
 
-Result<CheckpointState> ReadCheckpoint(const std::string& path) {
+Result<Bytes> ReadFramedFile(const std::string& path, const uint8_t magic[4],
+                             const char* what) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
-    return Status::NotFound("no checkpoint at " + path);
+    return Status::NotFound(std::string("no ") + what + " at " + path);
   }
   Bytes bytes;
   uint8_t buf[4096];
@@ -147,38 +208,71 @@ Result<CheckpointState> ReadCheckpoint(const std::string& path) {
   std::fclose(f);
 
   if (bytes.size() < kHeaderBytes) {
-    return Status::DataLoss("checkpoint file shorter than its header");
+    return Status::DataLoss(std::string(what) + " file shorter than header");
   }
   ByteReader r(bytes);
-  SHUFFLEDP_ASSIGN_OR_RETURN(Bytes magic, r.GetBytes(4));
-  if (std::memcmp(magic.data(), kCheckpointMagic, 4) != 0) {
-    return Status::DataLoss("checkpoint magic mismatch");
+  SHUFFLEDP_ASSIGN_OR_RETURN(Bytes file_magic, r.GetBytes(4));
+  if (std::memcmp(file_magic.data(), magic, 4) != 0) {
+    return Status::DataLoss(std::string(what) + " magic mismatch");
   }
   SHUFFLEDP_ASSIGN_OR_RETURN(uint8_t version, r.GetU8());
   if (version != kCheckpointVersion) {
-    return Status::DataLoss("unsupported checkpoint version " +
-                            std::to_string(version));
+    return Status::DataLoss(std::string("unsupported ") + what +
+                            " version " + std::to_string(version));
   }
   for (int i = 0; i < 3; ++i) {
     SHUFFLEDP_ASSIGN_OR_RETURN(uint8_t reserved, r.GetU8());
     if (reserved != 0) {
-      return Status::DataLoss("checkpoint reserved bytes are nonzero");
+      return Status::DataLoss(std::string(what) +
+                              " reserved bytes are nonzero");
     }
   }
   SHUFFLEDP_ASSIGN_OR_RETURN(uint32_t payload_len, r.GetU32());
   SHUFFLEDP_ASSIGN_OR_RETURN(uint32_t expected_crc, r.GetU32());
   if (payload_len != r.Remaining()) {
-    return Status::DataLoss("checkpoint length field does not match file");
+    return Status::DataLoss(std::string(what) +
+                            " length field does not match file");
   }
   SHUFFLEDP_ASSIGN_OR_RETURN(Bytes payload, r.GetBytes(payload_len));
   if (Crc32(payload.data(), payload.size()) != expected_crc) {
-    return Status::DataLoss("checkpoint CRC mismatch (torn or corrupt)");
+    return Status::DataLoss(std::string(what) +
+                            " CRC mismatch (torn or corrupt)");
   }
+  return payload;
+}
+
+}  // namespace
+
+Status WriteCheckpoint(const std::string& path,
+                       const CheckpointState& state) {
+  return WriteFramedFile(path, kCheckpointMagic, SerializeState(state),
+                         "checkpoint");
+}
+
+Result<CheckpointState> ReadCheckpoint(const std::string& path) {
+  SHUFFLEDP_ASSIGN_OR_RETURN(
+      Bytes payload, ReadFramedFile(path, kCheckpointMagic, "checkpoint"));
   return DeserializeState(payload);
 }
 
 void RemoveCheckpoint(const std::string& path) {
   if (!path.empty()) std::remove(path.c_str());
+}
+
+std::string RoundJournalPath(const std::string& checkpoint_path) {
+  return checkpoint_path + ".result";
+}
+
+Status WriteRoundJournal(const std::string& path,
+                         const RoundJournal& journal) {
+  return WriteFramedFile(path, kJournalMagic, SerializeJournal(journal),
+                         "round journal");
+}
+
+Result<RoundJournal> ReadRoundJournal(const std::string& path) {
+  SHUFFLEDP_ASSIGN_OR_RETURN(
+      Bytes payload, ReadFramedFile(path, kJournalMagic, "round journal"));
+  return DeserializeJournal(payload);
 }
 
 }  // namespace service

@@ -13,20 +13,30 @@
 // fixed-size chunks, so replayed batches are bit-identical) and the
 // finished round matches an uninterrupted run exactly.
 //
+// A second artifact closes the post-round crash window: the checkpoint
+// is removed at the round-close sentinel, so a crash between that
+// sentinel and the drained result being read used to lose the round.
+// Before the unlink, the worker journals the *finalized* round state
+// (supports fully accumulated, tallies final) into a sibling file
+// (`path + ".result"`, same CRC + atomic-rename discipline). Recovery
+// replays the journal through the deterministic finalize/calibrate step
+// and reproduces the round result bitwise — see RoundJournal below.
+//
 // File layout (all integers little-endian; see docs/WIRE_FORMAT.md):
 //
 //   offset size field
-//   0      4    magic "SDPK" (0x53 0x44 0x50 0x4B)
+//   0      4    magic "SDPK" (0x53 0x44 0x50 0x4B) / "SDPJ" for journals
 //   4      1    version (kCheckpointVersion)
 //   5      3    reserved, zero
 //   8      4    payload length (u32)
 //   12     4    CRC-32 of the payload bytes
-//   16     ..   payload (serialized CheckpointState)
+//   16     ..   payload (serialized CheckpointState / RoundJournal)
 //
-// Payload: u64 round_id, varint batches_consumed, varint rows_seen,
-// varint reports_decoded, varint reports_invalid, varint
-// dummies_recognized, varint dummies_expected, varint domain size d,
-// d × varint supports, varint dummy-entry count, then per entry
+// Checkpoint payload: u64 round_id, varint partition index, varint
+// partition count, varint slice lo, varint batches_consumed, varint
+// rows_seen, varint reports_decoded, varint reports_invalid, varint
+// dummies_recognized, varint dummies_expected, varint slice length,
+// that many varint supports, varint dummy-entry count, then per entry
 // u64 packed report, u64 tag, varint remaining count.
 
 #ifndef SHUFFLEDP_SERVICE_CHECKPOINT_H_
@@ -44,7 +54,8 @@ namespace shuffledp {
 namespace service {
 
 inline constexpr uint8_t kCheckpointMagic[4] = {'S', 'D', 'P', 'K'};
-inline constexpr uint8_t kCheckpointVersion = 1;
+inline constexpr uint8_t kJournalMagic[4] = {'S', 'D', 'P', 'J'};
+inline constexpr uint8_t kCheckpointVersion = 2;
 
 /// Checkpointing knobs (part of StreamingOptions).
 struct CheckpointOptions {
@@ -59,13 +70,21 @@ struct CheckpointOptions {
 /// moment `batches_consumed` batches had been fully accumulated.
 struct CheckpointState {
   uint64_t round_id = 0;
+  /// Partition identity of the worker that wrote the snapshot. A
+  /// recovered worker refuses a snapshot for a different partition — a
+  /// misrouted checkpoint file must not resurrect another slice's counts.
+  uint32_t partition_index = 0;
+  uint32_t partition_count = 1;
+  uint64_t slice_lo = 0;          ///< first owned value (0 for full domain)
   uint64_t batches_consumed = 0;  ///< replay watermark
   uint64_t rows_seen = 0;
   uint64_t reports_decoded = 0;
   uint64_t reports_invalid = 0;
   uint64_t dummies_recognized = 0;
   uint64_t dummies_expected = 0;
-  std::vector<uint64_t> supports;  ///< merged shard aggregates, length d
+  /// Merged shard aggregates over the owned slice (length = slice size;
+  /// the full domain for single-node / kByClient workers).
+  std::vector<uint64_t> supports;
   /// Spot-check dummies not yet matched: (packed report, tag) -> count.
   std::map<std::pair<uint64_t, uint64_t>, uint64_t> dummies_remaining;
 };
@@ -82,6 +101,40 @@ Result<CheckpointState> ReadCheckpoint(const std::string& path);
 /// Deletes a checkpoint file if present (round completed). Missing files
 /// are not an error.
 void RemoveCheckpoint(const std::string& path);
+
+/// Finalized state of a *closed* round, journaled before the round
+/// checkpoint is unlinked. Everything downstream of these fields —
+/// Finalize-order merge and estimator calibration — is a deterministic
+/// pure function, so replaying the journal reproduces the RoundResult
+/// bitwise.
+///
+/// Journal payload ("SDPJ"): u64 round_id, varint partition index,
+/// varint partition count, varint slice lo, varint n, varint n_fake,
+/// u8 calibration, varint reports_decoded, varint reports_invalid,
+/// varint dummies_recognized, varint dummies_expected, varint slice
+/// length, that many varint supports.
+struct RoundJournal {
+  uint64_t round_id = 0;
+  uint32_t partition_index = 0;
+  uint32_t partition_count = 1;
+  uint64_t slice_lo = 0;
+  uint64_t n = 0;
+  uint64_t n_fake = 0;
+  uint8_t calibration = 0;  ///< service::Calibration wire value
+  uint64_t reports_decoded = 0;
+  uint64_t reports_invalid = 0;
+  uint64_t dummies_recognized = 0;
+  uint64_t dummies_expected = 0;
+  std::vector<uint64_t> supports;  ///< finalized, length = slice size
+};
+
+/// The journal lives next to its checkpoint: `path + ".result"`.
+std::string RoundJournalPath(const std::string& checkpoint_path);
+
+/// Atomic CRC-guarded write/read of a finalized-round journal, same
+/// staging discipline as the checkpoint itself.
+Status WriteRoundJournal(const std::string& path, const RoundJournal& journal);
+Result<RoundJournal> ReadRoundJournal(const std::string& path);
 
 }  // namespace service
 }  // namespace shuffledp

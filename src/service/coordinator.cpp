@@ -1,0 +1,114 @@
+#include "service/coordinator.h"
+
+namespace shuffledp {
+namespace service {
+
+Result<std::unique_ptr<PartitionRoutingClient>> PartitionRoutingClient::Connect(
+    const ldp::ScalarFrequencyOracle& oracle, const PartitionMap& map,
+    const std::vector<EndpointAddress>& endpoints) {
+  if (endpoints.size() != map.partitions()) {
+    return Status::InvalidArgument(
+        "partition routing: " + std::to_string(endpoints.size()) +
+        " endpoints for a " + map.ToString() + " layout");
+  }
+  if (map.domain_size() != oracle.domain_size() ||
+      map.packed_bits() != oracle.PackedBits()) {
+    return Status::InvalidArgument(
+        "partition routing: map " + map.ToString() +
+        " does not describe this oracle's domain");
+  }
+  std::unique_ptr<PartitionRoutingClient> routing(
+      new PartitionRoutingClient(oracle, map, endpoints));
+  routing->clients_.resize(map.partitions());
+  routing->round_ids_.assign(map.partitions(), 0);
+  routing->skip_batches_.assign(map.partitions(), 0);
+  for (uint32_t p = 0; p < map.partitions(); ++p) {
+    SHUFFLEDP_RETURN_NOT_OK(routing->ReconnectPartition(p));
+  }
+  return routing;
+}
+
+Status PartitionRoutingClient::ReconnectPartition(uint32_t p) {
+  if (p >= clients_.size()) {
+    return Status::InvalidArgument("partition index out of range");
+  }
+  SHUFFLEDP_ASSIGN_OR_RETURN(
+      clients_[p], CollectorClient::Connect(endpoints_[p].host,
+                                            endpoints_[p].port));
+  SHUFFLEDP_ASSIGN_OR_RETURN(round_ids_[p], clients_[p]->Hello(map_, p));
+  return Status::OK();
+}
+
+Status PartitionRoutingClient::SendBatch(
+    uint64_t round_id, uint64_t batch_index,
+    const std::vector<uint64_t>& ordinals) {
+  std::vector<std::vector<uint64_t>> groups =
+      map_.Route(batch_index, ordinals);
+  for (uint32_t p = 0; p < map_.partitions(); ++p) {
+    if (batch_index < skip_batches_[p]) continue;  // already consumed
+    SHUFFLEDP_RETURN_NOT_OK(
+        clients_[p]->SendOrdinals(round_id, oracle_, groups[p]));
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> PartitionRoutingClient::QueryWatermark(
+    uint32_t p, uint64_t* round_id_out) {
+  if (p >= clients_.size()) {
+    return Status::InvalidArgument("partition index out of range");
+  }
+  return clients_[p]->QueryWatermark(round_id_out);
+}
+
+Result<RoundResult> MergeCoordinator::FinishRound(uint64_t round_id,
+                                                  uint64_t n,
+                                                  uint64_t n_fake,
+                                                  Calibration calibration) {
+  const uint32_t partitions = client_->partitions();
+  // Pipelined close: every endpoint starts draining its slice before the
+  // first result is read — the round-close latency is the slowest
+  // endpoint's, not the sum.
+  for (uint32_t p = 0; p < partitions; ++p) {
+    SHUFFLEDP_RETURN_NOT_OK(client_->client(p)->SendFinish(
+        round_id, n, n_fake, Calibration::kNone));
+  }
+  std::vector<std::vector<uint64_t>> parts(partitions);
+  uint64_t reports_decoded = 0;
+  uint64_t reports_invalid = 0;
+  uint64_t dummies_recognized = 0;
+  uint64_t dummies_expected = 0;
+  bool spot_check_passed = true;
+  uint64_t rows = 0;
+  for (uint32_t p = 0; p < partitions; ++p) {
+    SHUFFLEDP_ASSIGN_OR_RETURN(RemoteRoundResult part,
+                               client_->client(p)->ReadRoundResult());
+    reports_decoded += part.reports_decoded;
+    reports_invalid += part.reports_invalid;
+    dummies_recognized += part.dummies_recognized;
+    dummies_expected += part.dummies_expected;
+    spot_check_passed = spot_check_passed && part.spot_check_passed;
+    rows += part.reports_decoded + part.reports_invalid +
+            part.dummies_recognized;
+    parts[p] = std::move(part.supports);
+  }
+  SHUFFLEDP_ASSIGN_OR_RETURN(std::vector<uint64_t> merged,
+                             client_->map().MergeSupports(parts));
+
+  // Merge first, calibrate once: the estimator is a function of the
+  // whole population's supports (see the header note), and running it
+  // here on the merged vector is the exact computation the single-node
+  // drain task performs — bitwise, which the distributed e2e pins.
+  RoundResult result = FinalizeRoundResult(
+      oracle_, std::move(merged), n, n_fake, calibration, reports_decoded,
+      reports_invalid, dummies_recognized, dummies_expected);
+  // Cross-partition spot-check: each endpoint already compared its own
+  // recognized/expected counts; the merged verdict must also fail if any
+  // single partition's did (a per-partition miss can hide in the sums
+  // when another partition over-recognizes).
+  result.spot_check_passed = result.spot_check_passed && spot_check_passed;
+  result.stats.rows = rows;
+  return result;
+}
+
+}  // namespace service
+}  // namespace shuffledp

@@ -1,0 +1,149 @@
+// Multi-endpoint collection: partition-routing client + merge-of-supports
+// coordinator.
+//
+// A distributed round has two client-side roles:
+//
+//   PartitionRoutingClient  fans a producer's batches out to the owning
+//       endpoints. Every producer batch yields exactly one kBatch frame
+//       per endpoint — the frame carries the subset of ordinals the
+//       endpoint owns (kByValue) or the whole batch / nothing (kByClient
+//       round-robin) — so per-endpoint batch indices always equal
+//       producer batch indices. That alignment is what crash recovery
+//       replays against: an endpoint's consumed-batch watermark is
+//       directly a producer batch index, and SetSkipBatches() replays
+//       any single endpoint's suffix without re-sending (and
+//       double-counting) the others'.
+//
+//   MergeCoordinator  closes the round: it sends kFinish with
+//       Calibration::kNone to every endpoint (pipelined — all sends
+//       first, then reads in partition order), collects the raw
+//       per-partition supports, tallies, and dummy accounting, performs
+//       the deterministic merge-of-supports in partition order
+//       (PartitionMap::MergeSupports), and only then calibrates.
+//
+// Merge before calibrate is a correctness requirement, not a
+// convenience: the estimator's de-bias and the shuffle-DP amplification
+// analysis are both properties of the *whole* population of n + n_r
+// reports (Wang et al.), and integer support counts are the only
+// aggregate that composes losslessly across partitions. Averaging
+// per-node estimates would weight partitions wrongly the moment their
+// loads differ — and could never be bitwise-identical to the
+// single-node path, which is the bar the distributed e2e test pins.
+
+#ifndef SHUFFLEDP_SERVICE_COORDINATOR_H_
+#define SHUFFLEDP_SERVICE_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ldp/frequency_oracle.h"
+#include "service/partition.h"
+#include "service/partition_worker.h"
+#include "service/transport.h"
+#include "util/status.h"
+
+namespace shuffledp {
+namespace service {
+
+/// One collection endpoint's address (loopback/IPv4, see
+/// CollectorClient::Connect).
+struct EndpointAddress {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+/// Client-side fan-out: one handshaken connection per partition.
+/// Synchronous and single-threaded like CollectorClient; a producer
+/// streams batches through SendBatch and the coordinator closes the
+/// round over the same connections (per-connection FIFO makes every
+/// batch precede the finish without any extra barrier).
+class PartitionRoutingClient {
+ public:
+  /// Dials endpoints[p] for partition p (one per map partition) and
+  /// performs the kHello handshake on each — a misconfigured endpoint
+  /// (different layout, different owned partition) fails here, before
+  /// any data flows.
+  static Result<std::unique_ptr<PartitionRoutingClient>> Connect(
+      const ldp::ScalarFrequencyOracle& oracle, const PartitionMap& map,
+      const std::vector<EndpointAddress>& endpoints);
+
+  const PartitionMap& map() const { return map_; }
+  uint32_t partitions() const { return map_.partitions(); }
+
+  /// The round endpoint `p` reported at handshake / reconnect.
+  uint64_t round_id(uint32_t p) const { return round_ids_[p]; }
+
+  /// Raw per-partition connection (round control, watermark queries).
+  CollectorClient* client(uint32_t p) { return clients_[p].get(); }
+
+  /// Routes producer batch `batch_index` and ships one frame per
+  /// endpoint (ordinals it owns; possibly empty). Partitions whose
+  /// skip-batch floor exceeds `batch_index` are skipped — their endpoint
+  /// already consumed that batch before a crash.
+  Status SendBatch(uint64_t round_id, uint64_t batch_index,
+                   const std::vector<uint64_t>& ordinals);
+
+  /// Replay floor for one endpoint (crash recovery): batches below
+  /// `batches` are not re-sent to partition `p`. Pair with
+  /// ReconnectPartition + QueryWatermark; reset it to 0 after the round.
+  void SetSkipBatches(uint32_t p, uint64_t batches) {
+    skip_batches_[p] = batches;
+  }
+
+  /// Re-dials and re-handshakes one endpoint after it restarted; the
+  /// other connections (and the batches their endpoints already
+  /// consumed) are left untouched.
+  Status ReconnectPartition(uint32_t p);
+
+  /// Consumed-batch watermark of endpoint `p` (see
+  /// CollectorClient::QueryWatermark; also a flush barrier for this
+  /// connection).
+  Result<uint64_t> QueryWatermark(uint32_t p,
+                                  uint64_t* round_id_out = nullptr);
+
+ private:
+  PartitionRoutingClient(const ldp::ScalarFrequencyOracle& oracle,
+                         PartitionMap map,
+                         std::vector<EndpointAddress> endpoints)
+      : oracle_(oracle),
+        map_(std::move(map)),
+        endpoints_(std::move(endpoints)) {}
+
+  const ldp::ScalarFrequencyOracle& oracle_;
+  PartitionMap map_;
+  std::vector<EndpointAddress> endpoints_;
+  std::vector<std::unique_ptr<CollectorClient>> clients_;
+  std::vector<uint64_t> round_ids_;
+  std::vector<uint64_t> skip_batches_;
+};
+
+/// Round-close coordinator: collect raw per-partition results, merge in
+/// partition order, calibrate once over the merged supports.
+class MergeCoordinator {
+ public:
+  /// Borrows `client` (not owned); one coordinator per routing client.
+  MergeCoordinator(const ldp::ScalarFrequencyOracle& oracle,
+                   PartitionRoutingClient* client)
+      : oracle_(oracle), client_(client) {}
+
+  /// Closes `round_id` on every endpoint and returns the merged,
+  /// calibrated round result. `calibration` is applied *after* the merge
+  /// (endpoints always close with Calibration::kNone); kNone returns the
+  /// merged raw supports. Tallies and dummy accounting sum across
+  /// partitions; the spot check passes only if every partition's does.
+  /// The merged stats keep only the row/batch totals — per-endpoint
+  /// timing lives on the endpoints.
+  Result<RoundResult> FinishRound(uint64_t round_id, uint64_t n,
+                                  uint64_t n_fake, Calibration calibration);
+
+ private:
+  const ldp::ScalarFrequencyOracle& oracle_;
+  PartitionRoutingClient* client_;
+};
+
+}  // namespace service
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_SERVICE_COORDINATOR_H_

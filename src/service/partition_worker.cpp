@@ -1,4 +1,4 @@
-#include "service/streaming_collector.h"
+#include "service/partition_worker.h"
 
 #include <algorithm>
 #include <atomic>
@@ -38,8 +38,38 @@ ReportBatch MakePlainBatch(std::vector<ldp::LdpReport> reports) {
   return batch;
 }
 
-StreamingCollector::StreamingCollector(
-    const ldp::ScalarFrequencyOracle& oracle, StreamingOptions options)
+RoundResult FinalizeRoundResult(const ldp::ScalarFrequencyOracle& oracle,
+                                std::vector<uint64_t> supports,
+                                uint64_t n, uint64_t n_fake,
+                                Calibration calibration,
+                                uint64_t reports_decoded,
+                                uint64_t reports_invalid,
+                                uint64_t dummies_recognized,
+                                uint64_t dummies_expected) {
+  RoundResult result;
+  result.supports = std::move(supports);
+  switch (calibration) {
+    case Calibration::kStandard:
+      result.estimates = ldp::CalibrateEstimates(oracle, result.supports, n,
+                                                 n_fake);
+      break;
+    case Calibration::kOrdinal:
+      result.estimates = ldp::CalibrateEstimatesOrdinal(
+          oracle, result.supports, n, n_fake);
+      break;
+    case Calibration::kNone:
+      break;  // raw supports for the merge coordinator
+  }
+  result.reports_decoded = reports_decoded;
+  result.reports_invalid = reports_invalid;
+  result.dummies_recognized = dummies_recognized;
+  result.dummies_expected = dummies_expected;
+  result.spot_check_passed = dummies_recognized == dummies_expected;
+  return result;
+}
+
+PartitionWorker::PartitionWorker(const ldp::ScalarFrequencyOracle& oracle,
+                                 StreamingOptions options)
     : oracle_(oracle),
       options_(options),
       queue_(options.queue_capacity) {
@@ -51,16 +81,21 @@ StreamingCollector::StreamingCollector(
     // processing on the consumer thread, which always makes progress.
     options_.pool = nullptr;
   }
-  counter_ = std::make_unique<ShardedSupportCounter>(oracle_,
-                                                     options_.num_shards);
+  slice_ = options_.partition;
+  if (slice_.full_domain()) {
+    slice_.lo = 0;
+    slice_.hi = oracle_.domain_size();
+  }
+  counter_ = std::make_unique<ShardedSupportCounter>(
+      oracle_, options_.num_shards, slice_.lo, slice_.hi);
   drain_counter_ = std::make_unique<ShardedSupportCounter>(
-      oracle_, options_.num_shards);
+      oracle_, options_.num_shards, slice_.lo, slice_.hi);
   ResetRoundTallies();
   // The consumer spawns lazily on the first Offer (EnsureConsumer), so a
-  // constructed-but-unused collector does not park an idle thread.
+  // constructed-but-unused worker does not park an idle thread.
 }
 
-StreamingCollector::~StreamingCollector() {
+PartitionWorker::~PartitionWorker() {
   queue_.Close();
   if (consumer_.joinable()) consumer_.join();
   // The last round's finalize task may still run on the pool; it touches
@@ -68,7 +103,7 @@ StreamingCollector::~StreamingCollector() {
   if (drain_done_.valid()) drain_done_.wait();
 }
 
-void StreamingCollector::ResetRoundTallies() {
+void PartitionWorker::ResetRoundTallies() {
   rows_seen_ = 0;
   batches_seen_ = 0;
   reports_decoded_ = 0;
@@ -82,19 +117,19 @@ void StreamingCollector::ResetRoundTallies() {
   round_timer_.Reset();
 }
 
-void StreamingCollector::EnsureConsumer() {
+void PartitionWorker::EnsureConsumer() {
   std::lock_guard<std::mutex> lock(consumer_mu_);
   if (!consumer_.joinable()) {
     consumer_ = std::thread([this] { ConsumerLoop(); });
   }
 }
 
-void StreamingCollector::ExpectDummy(const ldp::LdpReport& report,
-                                     uint64_t tag) {
+void PartitionWorker::ExpectDummy(const ldp::LdpReport& report,
+                                  uint64_t tag) {
   ExpectDummies({{report, tag}});
 }
 
-void StreamingCollector::ExpectDummies(
+void PartitionWorker::ExpectDummies(
     const std::vector<std::pair<ldp::LdpReport, uint64_t>>& dummies) {
   if (dummies.empty()) return;
   EnsureConsumer();
@@ -107,22 +142,22 @@ void StreamingCollector::ExpectDummies(
                                  // the next Offer reports the error
 }
 
-Status StreamingCollector::Offer(ReportBatch batch) {
+Status PartitionWorker::Offer(ReportBatch batch) {
   EnsureConsumer();
   WorkItem item;
   item.batch = std::move(batch);
   if (!queue_.Push(std::move(item))) {
     // The queue only rejects after Close(): a processing failure shut the
-    // pipeline down (or the collector is being destroyed).
+    // pipeline down (or the worker is being destroyed).
     Status error = PipelineError();
     if (!error.ok()) return error;
     return Status::FailedPrecondition(
-        "streaming collector: pipeline is shut down");
+        "partition worker: pipeline is shut down");
   }
   return Status::OK();
 }
 
-Status StreamingCollector::OfferReports(
+Status PartitionWorker::OfferReports(
     const std::vector<ldp::LdpReport>& reports) {
   const size_t batch_size = std::max<size_t>(1, options_.batch_size);
   for (size_t lo = 0; lo < reports.size(); lo += batch_size) {
@@ -133,12 +168,12 @@ Status StreamingCollector::OfferReports(
   return Status::OK();
 }
 
-Status StreamingCollector::OfferIndexed(
+Status PartitionWorker::OfferIndexed(
     uint64_t total, std::function<Result<DecodedRow>(uint64_t row)> decode) {
   return OfferIndexedPrepared(total, nullptr, std::move(decode));
 }
 
-Status StreamingCollector::OfferIndexedPrepared(
+Status PartitionWorker::OfferIndexedPrepared(
     uint64_t total,
     std::function<Status(uint64_t lo, uint64_t hi, ThreadPool* pool)>
         prepare,
@@ -159,7 +194,7 @@ Status StreamingCollector::OfferIndexedPrepared(
   return Status::OK();
 }
 
-std::future<Result<RoundResult>> StreamingCollector::CloseRound(
+std::future<Result<RoundResult>> PartitionWorker::CloseRound(
     uint64_t n, uint64_t n_fake, Calibration calibration) {
   EnsureConsumer();
   auto close = std::make_shared<RoundClose>();
@@ -173,28 +208,37 @@ std::future<Result<RoundResult>> StreamingCollector::CloseRound(
     Status error = PipelineError();
     close->promise.set_value(
         error.ok() ? Status::FailedPrecondition(
-                         "streaming collector: pipeline is shut down")
+                         "partition worker: pipeline is shut down")
                    : error);
   }
   return future;
 }
 
-Result<RoundResult> StreamingCollector::FinishRound(uint64_t n,
-                                                    uint64_t n_fake,
-                                                    Calibration calibration) {
+Result<RoundResult> PartitionWorker::FinishRound(uint64_t n,
+                                                 uint64_t n_fake,
+                                                 Calibration calibration) {
   Result<RoundResult> result = CloseRound(n, n_fake, calibration).get();
   if (!result.ok()) ResetAfterError();
   return result;
 }
 
-Result<uint64_t> StreamingCollector::RecoverRound(
+Result<uint64_t> PartitionWorker::RecoverRound(
     const CheckpointState& state) {
   {
     std::lock_guard<std::mutex> lock(consumer_mu_);
     if (consumer_.joinable()) {
       return Status::FailedPrecondition(
-          "RecoverRound requires a fresh collector (nothing offered yet)");
+          "RecoverRound requires a fresh worker (nothing offered yet)");
     }
+  }
+  if (state.partition_index != slice_.index ||
+      state.partition_count != slice_.count || state.slice_lo != slice_.lo) {
+    return Status::FailedPrecondition(
+        "checkpoint belongs to partition " +
+        std::to_string(state.partition_index) + "/" +
+        std::to_string(state.partition_count) + " (slice lo " +
+        std::to_string(state.slice_lo) + "), not this worker's " +
+        std::to_string(slice_.index) + "/" + std::to_string(slice_.count));
   }
   SHUFFLEDP_RETURN_NOT_OK(counter_->Restore(state.supports));
   rows_seen_ = state.rows_seen;
@@ -208,7 +252,40 @@ Result<uint64_t> StreamingCollector::RecoverRound(
   return state.batches_consumed;
 }
 
-void StreamingCollector::ConsumerLoop() {
+Result<RoundResult> PartitionWorker::RecoverFinalizedRound(
+    const RoundJournal& journal) {
+  {
+    std::lock_guard<std::mutex> lock(consumer_mu_);
+    if (consumer_.joinable()) {
+      return Status::FailedPrecondition(
+          "RecoverFinalizedRound requires a fresh worker");
+    }
+  }
+  if (journal.partition_index != slice_.index ||
+      journal.partition_count != slice_.count ||
+      journal.slice_lo != slice_.lo) {
+    return Status::FailedPrecondition(
+        "round journal belongs to a different partition");
+  }
+  if (journal.supports.size() != slice_.hi - slice_.lo) {
+    return Status::InvalidArgument(
+        "round journal supports do not match the owned slice");
+  }
+  if (journal.calibration > static_cast<uint8_t>(Calibration::kNone)) {
+    return Status::InvalidArgument("round journal calibration out of range");
+  }
+  // The journaled round is closed; the worker resumes feeding the next
+  // one. Replay = the same deterministic finalize/calibrate the drain
+  // task would have run.
+  round_id_.store(journal.round_id + 1, std::memory_order_relaxed);
+  return FinalizeRoundResult(
+      oracle_, journal.supports, journal.n, journal.n_fake,
+      static_cast<Calibration>(journal.calibration), journal.reports_decoded,
+      journal.reports_invalid, journal.dummies_recognized,
+      journal.dummies_expected);
+}
+
+void PartitionWorker::ConsumerLoop() {
   WorkItem item;
   while (queue_.Pop(&item)) {
     if (item.close != nullptr) {
@@ -227,7 +304,7 @@ void StreamingCollector::ConsumerLoop() {
   }
 }
 
-void StreamingCollector::FailRound(Status status) {
+void PartitionWorker::FailRound(Status status) {
   {
     std::lock_guard<std::mutex> lock(status_mu_);
     round_status_ = std::move(status);
@@ -236,14 +313,17 @@ void StreamingCollector::FailRound(Status status) {
   queue_.Close();
 }
 
-Status StreamingCollector::PipelineError() const {
+Status PartitionWorker::PipelineError() const {
   std::lock_guard<std::mutex> lock(status_mu_);
   return round_status_;
 }
 
-Status StreamingCollector::WriteRoundCheckpoint() {
+Status PartitionWorker::WriteRoundCheckpoint() {
   CheckpointState state;
   state.round_id = round_id_.load(std::memory_order_relaxed);
+  state.partition_index = slice_.index;
+  state.partition_count = slice_.count;
+  state.slice_lo = slice_.lo;
   state.batches_consumed = batches_seen_;
   state.rows_seen = rows_seen_;
   state.reports_decoded = reports_decoded_;
@@ -257,7 +337,7 @@ Status StreamingCollector::WriteRoundCheckpoint() {
   return WriteCheckpoint(options_.checkpoint.path, state);
 }
 
-void StreamingCollector::ProcessBatch(const ReportBatch& batch) {
+void PartitionWorker::ProcessBatch(const ReportBatch& batch) {
   WallTimer timer;
   ++batches_seen_;
   rows_seen_ += batch.count;
@@ -326,7 +406,7 @@ void StreamingCollector::ProcessBatch(const ReportBatch& batch) {
   }
 }
 
-void StreamingCollector::ProcessRoundClose(
+void PartitionWorker::ProcessRoundClose(
     const std::shared_ptr<RoundClose>& close) {
   if (!round_status_.ok()) {
     close->promise.set_value(round_status_);
@@ -346,16 +426,52 @@ void StreamingCollector::ProcessRoundClose(
           ? static_cast<double>(rows_seen_) / stats.wall_seconds
           : 0.0;
 
+  // With persistence on, journal the finalized round state *before*
+  // dropping the mid-round snapshot: everything downstream (Finalize
+  // merge + calibration) is deterministic, so the journal alone can
+  // reproduce the round result bitwise after a crash in the close/read
+  // window. The journaled supports feed the drain task too — finalizing
+  // once keeps the two observers trivially identical.
+  std::vector<uint64_t> finalized;
+  bool prefinalized = false;
+  const bool durable = !options_.checkpoint.path.empty();
+  if (durable) {
+    finalized = counter_->Finalize();
+    prefinalized = true;
+    RoundJournal journal;
+    journal.round_id = round_id_.load(std::memory_order_relaxed);
+    journal.partition_index = slice_.index;
+    journal.partition_count = slice_.count;
+    journal.slice_lo = slice_.lo;
+    journal.n = close->n;
+    journal.n_fake = close->n_fake;
+    journal.calibration = static_cast<uint8_t>(close->calibration);
+    journal.reports_decoded = reports_decoded_;
+    journal.reports_invalid = reports_invalid_;
+    journal.dummies_recognized = dummies_recognized_;
+    journal.dummies_expected = dummies_expected_;
+    journal.supports = finalized;
+    Status st = WriteRoundJournal(
+        RoundJournalPath(options_.checkpoint.path), journal);
+    if (!st.ok()) {
+      // Same durability contract as a failed checkpoint: hard error.
+      FailRound(st);
+      close->promise.set_value(st);
+      return;
+    }
+  }
+
   // Double-buffer swap: wait until the previous round's finalize task has
   // released the back buffer, then hand it the counter we just filled and
   // keep ingesting the next round into the freshly reset one.
   if (drain_done_.valid()) drain_done_.wait();
   std::swap(counter_, drain_counter_);
 
-  // This round is fully accumulated; its mid-round snapshot is stale. The
-  // unlink happens here (synchronously) rather than in the drain task so
-  // it can never race the *next* round's snapshots of the same path.
-  if (!options_.checkpoint.path.empty()) {
+  // This round is fully accumulated (and, when durable, journaled); its
+  // mid-round snapshot is stale. The unlink happens here (synchronously)
+  // rather than in the drain task so it can never race the *next*
+  // round's snapshots of the same path.
+  if (durable) {
     RemoveCheckpoint(options_.checkpoint.path);
   }
 
@@ -365,21 +481,15 @@ void StreamingCollector::ProcessRoundClose(
     const ldp::ScalarFrequencyOracle* oracle;
     uint64_t reports_decoded, reports_invalid, dummies_recognized;
     uint64_t dummies_expected;
+    std::vector<uint64_t> finalized;  // pre-merged when journaled
+    bool prefinalized = false;
     StreamingStats stats;
 
     void Run() {
-      RoundResult result;
-      result.supports = drained->Finalize();
-      result.estimates =
-          close->calibration == Calibration::kOrdinal
-              ? ldp::CalibrateEstimatesOrdinal(*oracle, result.supports,
-                                               close->n, close->n_fake)
-              : ldp::CalibrateEstimates(*oracle, result.supports, close->n,
-                                        close->n_fake);
-      result.reports_decoded = reports_decoded;
-      result.reports_invalid = reports_invalid;
-      result.dummies_recognized = dummies_recognized;
-      result.spot_check_passed = dummies_recognized == dummies_expected;
+      RoundResult result = FinalizeRoundResult(
+          *oracle, prefinalized ? std::move(finalized) : drained->Finalize(),
+          close->n, close->n_fake, close->calibration, reports_decoded,
+          reports_invalid, dummies_recognized, dummies_expected);
       result.stats = stats;
       drained->Reset();  // back buffer ready for the next swap
       close->promise.set_value(std::move(result));
@@ -393,6 +503,8 @@ void StreamingCollector::ProcessRoundClose(
   job->reports_invalid = reports_invalid_;
   job->dummies_recognized = dummies_recognized_;
   job->dummies_expected = dummies_expected_;
+  job->finalized = std::move(finalized);
+  job->prefinalized = prefinalized;
   job->stats = stats;
 
   // Advance the round *before* the drain can fulfill the promise, so a
@@ -413,7 +525,7 @@ void StreamingCollector::ProcessRoundClose(
   }
 }
 
-void StreamingCollector::ResetAfterError() {
+void PartitionWorker::ResetAfterError() {
   // FailRound closed the queue, so the consumer drains and exits; join
   // it, flush any pending drain, and rebuild a clean pipeline.
   {
@@ -433,6 +545,8 @@ void StreamingCollector::ResetAfterError() {
   }
   // The aborted round's snapshot is poison: recovering from it would
   // resurrect half-aggregated state for a round already reported failed.
+  // (A previously *closed* round's journal stays — it is still the
+  // durable record of that round's result.)
   if (!options_.checkpoint.path.empty()) {
     RemoveCheckpoint(options_.checkpoint.path);
   }

@@ -1,21 +1,31 @@
 #include "service/sharded_counter.h"
 
 #include <algorithm>
+#include <cassert>
 
 namespace shuffledp {
 namespace service {
 
 ShardedSupportCounter::ShardedSupportCounter(
     const ldp::ScalarFrequencyOracle& oracle, uint32_t num_shards)
+    : ShardedSupportCounter(oracle, num_shards, 0, 0) {}
+
+ShardedSupportCounter::ShardedSupportCounter(
+    const ldp::ScalarFrequencyOracle& oracle, uint32_t num_shards,
+    uint64_t lo, uint64_t hi)
     : oracle_(oracle), value_equality_(oracle.SupportIsValueEquality()) {
-  const uint64_t d = oracle.domain_size();
+  if (lo == 0 && hi == 0) hi = oracle.domain_size();  // full domain
+  assert(lo < hi && hi <= oracle.domain_size());
+  range_lo_ = lo;
+  range_hi_ = hi;
+  const uint64_t width = hi - lo;
   uint64_t shards = num_shards;
-  if (shards == 0) shards = std::min<uint64_t>(64, d);
-  shards = std::max<uint64_t>(1, std::min<uint64_t>(shards, d));
+  if (shards == 0) shards = std::min<uint64_t>(64, width);
+  shards = std::max<uint64_t>(1, std::min<uint64_t>(shards, width));
   shards_.resize(shards);
   for (uint64_t s = 0; s < shards; ++s) {
-    shards_[s].lo = d * s / shards;
-    shards_[s].hi = d * (s + 1) / shards;
+    shards_[s].lo = lo + width * s / shards;
+    shards_[s].hi = lo + width * (s + 1) / shards;
     shards_[s].counts.assign(shards_[s].hi - shards_[s].lo, 0);
   }
 }
@@ -35,14 +45,16 @@ void ShardedSupportCounter::AccumulateBatch(
   if (value_equality_) {
     // Equality-support oracles (GRR): one histogram increment per report
     // beats any fan-out — a per-shard scan would redo the batch
-    // num_shards times for no gain. Shard ranges are floor(d·s/S)
-    // partitions, so s = floor(v·S/d) lands on the right shard up to one
-    // boundary step.
-    const uint64_t d = oracle_.domain_size();
+    // num_shards times for no gain. Shard ranges are floor(w·s/S)
+    // partitions of the counted range, so s = floor((v-lo)·S/w) lands on
+    // the right shard up to one boundary step. Values outside the
+    // counted range are no-ops (a partition worker only ever sees its
+    // own slice; anything else was already rejected upstream).
+    const uint64_t width = range_hi_ - range_lo_;
     const uint64_t s_count = shards_.size();
     for (const ldp::LdpReport& r : reports) {
-      if (r.value >= d) continue;
-      uint64_t s = static_cast<uint64_t>(r.value) * s_count / d;
+      if (r.value < range_lo_ || r.value >= range_hi_) continue;
+      uint64_t s = (r.value - range_lo_) * s_count / width;
       while (r.value < shards_[s].lo) --s;
       while (r.value >= shards_[s].hi) ++s;
       ++shards_[s].counts[r.value - shards_[s].lo];
@@ -62,7 +74,7 @@ void ShardedSupportCounter::AccumulateBatch(
 
 std::vector<uint64_t> ShardedSupportCounter::Finalize() const {
   std::vector<uint64_t> merged;
-  merged.reserve(oracle_.domain_size());
+  merged.reserve(range_hi_ - range_lo_);
   for (const Shard& shard : shards_) {
     merged.insert(merged.end(), shard.counts.begin(), shard.counts.end());
   }
@@ -70,12 +82,13 @@ std::vector<uint64_t> ShardedSupportCounter::Finalize() const {
 }
 
 Status ShardedSupportCounter::Restore(const std::vector<uint64_t>& merged) {
-  if (merged.size() != oracle_.domain_size()) {
+  if (merged.size() != range_hi_ - range_lo_) {
     return Status::InvalidArgument(
-        "restore vector does not match the oracle domain size");
+        "restore vector does not match the counted value range");
   }
   for (Shard& shard : shards_) {
-    std::copy(merged.begin() + shard.lo, merged.begin() + shard.hi,
+    std::copy(merged.begin() + (shard.lo - range_lo_),
+              merged.begin() + (shard.hi - range_lo_),
               shard.counts.begin());
   }
   return Status::OK();

@@ -27,16 +27,28 @@
 namespace shuffledp {
 namespace service {
 
-/// Per-shard partial support aggregates over the oracle's full domain.
+/// Per-shard partial support aggregates over the oracle's full domain —
+/// or, for a partition-scoped worker, over one contiguous value slice
+/// [lo, hi) of it (the shard fan-out then divides the slice instead).
 class ShardedSupportCounter {
  public:
-  /// `num_shards` = 0 picks min(64, domain_size).
+  /// Full-domain counter. `num_shards` = 0 picks min(64, domain_size).
   ShardedSupportCounter(const ldp::ScalarFrequencyOracle& oracle,
                         uint32_t num_shards);
+
+  /// Slice-restricted counter over values [lo, hi): supports are counted
+  /// (and Finalize/Restore sized) for that range only. Pre: lo < hi <=
+  /// domain_size. `lo == hi == 0` means the full domain.
+  ShardedSupportCounter(const ldp::ScalarFrequencyOracle& oracle,
+                        uint32_t num_shards, uint64_t lo, uint64_t hi);
 
   uint32_t num_shards() const {
     return static_cast<uint32_t>(shards_.size());
   }
+
+  /// The counted value range (full domain unless slice-restricted).
+  uint64_t range_lo() const { return range_lo_; }
+  uint64_t range_hi() const { return range_hi_; }
 
   /// Adds one batch of reports into every shard's partial aggregate,
   /// one task per shard on `pool` (serially when `pool` is null). Not
@@ -45,13 +57,14 @@ class ShardedSupportCounter {
   void AccumulateBatch(const std::vector<ldp::LdpReport>& reports,
                        ThreadPool* pool);
 
-  /// Deterministic merge: shard slices concatenated in shard order.
+  /// Deterministic merge: shard slices concatenated in shard order
+  /// (length = range_hi() - range_lo()).
   std::vector<uint64_t> Finalize() const;
 
   /// Inverse of Finalize for checkpoint recovery: scatters a merged
-  /// supports vector (length = domain size) back into the shard slices.
-  /// The shard partition depends only on (d, num_shards), so a snapshot
-  /// taken by Finalize restores exactly.
+  /// supports vector (length = counted range) back into the shard
+  /// slices. The shard partition depends only on (range, num_shards),
+  /// so a snapshot taken by Finalize restores exactly.
   Status Restore(const std::vector<uint64_t>& merged);
 
   /// Clears all partial aggregates (next collection round/window).
@@ -69,6 +82,8 @@ class ShardedSupportCounter {
 
   const ldp::ScalarFrequencyOracle& oracle_;
   bool value_equality_;
+  uint64_t range_lo_ = 0;
+  uint64_t range_hi_ = 0;
   std::vector<Shard> shards_;
 };
 

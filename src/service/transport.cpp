@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <ctime>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -39,7 +40,7 @@ Status SendAll(int fd, const uint8_t* data, size_t len) {
 
 bool ValidFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kBatch) &&
-         type <= static_cast<uint8_t>(FrameType::kWatermark);
+         type <= static_cast<uint8_t>(FrameType::kHello);
 }
 
 /// Cap-checked frame write shared by both endpoints: a payload beyond
@@ -68,7 +69,7 @@ Bytes EncodeFrame(const Frame& frame) {
   w.PutBytes(kFrameMagic, sizeof(kFrameMagic));
   w.PutU8(kWireVersion);
   w.PutU8(static_cast<uint8_t>(frame.type));
-  w.PutU16(0);  // reserved
+  w.PutU16(frame.partition);
   w.PutU64(frame.round_id);
   w.PutU32(static_cast<uint32_t>(frame.payload.size()));
   // The CRC covers the 20 header bytes before it *and* the payload, so a
@@ -104,11 +105,7 @@ Status FrameDecoder::Feed(const uint8_t* data, size_t len) {
                                          std::to_string(type));
       return error_;
     }
-    uint16_t reserved = *r.GetU16();
-    if (reserved != 0) {
-      error_ = Status::ProtocolViolation("reserved header bytes are nonzero");
-      return error_;
-    }
+    uint16_t partition = *r.GetU16();
     uint64_t round_id = *r.GetU64();
     uint32_t payload_len = *r.GetU32();
     uint32_t expected_crc = *r.GetU32();
@@ -124,6 +121,7 @@ Status FrameDecoder::Feed(const uint8_t* data, size_t len) {
 
     Frame frame;
     frame.type = static_cast<FrameType>(type);
+    frame.partition = partition;
     frame.round_id = round_id;
     frame.payload.assign(buf_.begin() + kFrameHeaderBytes,
                          buf_.begin() + kFrameHeaderBytes + payload_len);
@@ -155,9 +153,13 @@ Bytes SerializeRoundResult(const RemoteRoundResult& result) {
   w.PutVarint(result.reports_decoded);
   w.PutVarint(result.reports_invalid);
   w.PutVarint(result.dummies_recognized);
+  w.PutVarint(result.dummies_expected);
   w.PutU8(result.spot_check_passed ? 1 : 0);
   w.PutVarint(result.supports.size());
   for (uint64_t s : result.supports) w.PutVarint(s);
+  // Estimates carry their own count: a Calibration::kNone round (raw
+  // supports for the merge coordinator) ships zero of them.
+  w.PutVarint(result.estimates.size());
   for (double e : result.estimates) w.PutDouble(e);
   return w.Release();
 }
@@ -168,6 +170,7 @@ Result<RemoteRoundResult> ParseRoundResult(const Bytes& payload) {
   SHUFFLEDP_ASSIGN_OR_RETURN(result.reports_decoded, r.GetVarint());
   SHUFFLEDP_ASSIGN_OR_RETURN(result.reports_invalid, r.GetVarint());
   SHUFFLEDP_ASSIGN_OR_RETURN(result.dummies_recognized, r.GetVarint());
+  SHUFFLEDP_ASSIGN_OR_RETURN(result.dummies_expected, r.GetVarint());
   SHUFFLEDP_ASSIGN_OR_RETURN(uint8_t spot, r.GetU8());
   result.spot_check_passed = spot != 0;
   SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t d, r.GetVarint());
@@ -181,8 +184,15 @@ Result<RemoteRoundResult> ParseRoundResult(const Bytes& payload) {
     SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t s, r.GetVarint());
     result.supports.push_back(s);
   }
-  result.estimates.reserve(d);
-  for (uint64_t i = 0; i < d; ++i) {
+  SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t e_count, r.GetVarint());
+  if (e_count != 0 && e_count != d) {
+    return Status::DataLoss("result estimate count is neither 0 nor d");
+  }
+  if (e_count > r.Remaining() / 8) {
+    return Status::DataLoss("result estimate count exceeds payload");
+  }
+  result.estimates.reserve(e_count);
+  for (uint64_t i = 0; i < e_count; ++i) {
     SHUFFLEDP_ASSIGN_OR_RETURN(double e, r.GetDouble());
     result.estimates.push_back(e);
   }
@@ -205,23 +215,81 @@ Result<std::unique_ptr<CollectionServer>> CollectionServer::Start(
     CollectionServerOptions options) {
   std::unique_ptr<CollectionServer> server(
       new CollectionServer(oracle, std::move(options)));
-  server->collector_ = std::make_unique<StreamingCollector>(
+  if (server->options_.partition_id >=
+      server->options_.partition_map.partitions()) {
+    return Status::InvalidArgument(
+        "endpoint partition id " +
+        std::to_string(server->options_.partition_id) +
+        " out of range for map " + server->options_.partition_map.ToString());
+  }
+  // The streaming worker owns exactly the slice this endpoint was
+  // assigned; a single-node default map resolves to the full domain.
+  server->options_.streaming.partition =
+      server->options_.partition_map.SliceOf(server->options_.partition_id);
+  server->collector_ = std::make_unique<PartitionWorker>(
       oracle, server->options_.streaming);
 
   // Crash recovery before the first byte of traffic: restore the
-  // interrupted round so the watermark answer is exact.
+  // interrupted round so the watermark answer is exact, and replay any
+  // finalized-round journal so a kFinish for the round that closed just
+  // before the crash is answered instead of rejected.
   const std::string& ckpt_path = server->options_.streaming.checkpoint.path;
   if (server->options_.recover && !ckpt_path.empty()) {
     Result<CheckpointState> state = ReadCheckpoint(ckpt_path);
+    if (!state.ok() && state.status().code() != StatusCode::kNotFound) {
+      return state.status();  // present but unreadable: refuse to guess
+    }
+    Result<RoundJournal> journal =
+        ReadRoundJournal(RoundJournalPath(ckpt_path));
+    if (journal.ok()) {
+      // Replay through a throwaway worker when a newer mid-round
+      // checkpoint also exists (the live collector must restore *that*
+      // round); otherwise through the live collector so its round id
+      // advances past the journaled round.
+      Result<RoundResult> replay =
+          state.ok() ? PartitionWorker(oracle, server->options_.streaming)
+                           .RecoverFinalizedRound(*journal)
+                     : server->collector_->RecoverFinalizedRound(*journal);
+      SHUFFLEDP_RETURN_NOT_OK(replay.status());
+      server->have_journaled_result_ = true;
+      server->journaled_round_ = journal->round_id;
+      server->journaled_n_ = journal->n;
+      server->journaled_n_fake_ = journal->n_fake;
+      server->journaled_calibration_ = journal->calibration;
+      server->journaled_result_.supports = std::move(replay->supports);
+      server->journaled_result_.estimates = std::move(replay->estimates);
+      server->journaled_result_.reports_decoded = replay->reports_decoded;
+      server->journaled_result_.reports_invalid = replay->reports_invalid;
+      server->journaled_result_.dummies_recognized =
+          replay->dummies_recognized;
+      server->journaled_result_.dummies_expected = replay->dummies_expected;
+      server->journaled_result_.spot_check_passed = replay->spot_check_passed;
+    } else if (journal.status().code() != StatusCode::kNotFound) {
+      return journal.status();  // present but unreadable: refuse to guess
+    }
     if (state.ok()) {
       SHUFFLEDP_ASSIGN_OR_RETURN(server->recovered_watermark_,
                                  server->collector_->RecoverRound(*state));
       server->recovered_round_ = state->round_id;
-    } else if (state.status().code() != StatusCode::kNotFound) {
-      return state.status();  // present but unreadable: refuse to guess
     }
   }
   server->ingest_round_ = server->collector_->round_id();
+  if (server->options_.partition_map.mode() == PartitionMode::kByValue &&
+      server->options_.partition_map.partitions() > 1) {
+    // Built once: the kBatch path runs this per ordinal.
+    CollectionServer* s = server.get();
+    server->ordinal_owner_check_ = [s](uint64_t ordinal) -> Status {
+      const uint32_t owner = s->options_.partition_map.OwnerOfOrdinal(ordinal);
+      if (owner != s->options_.partition_id) {
+        return Status::ProtocolViolation(
+            "batch contains ordinal " + std::to_string(ordinal) +
+            " owned by partition " + std::to_string(owner) +
+            ", not this endpoint's " +
+            std::to_string(s->options_.partition_id));
+      }
+      return Status::OK();
+    };
+  }
 
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
@@ -232,8 +300,27 @@ Result<std::unique_ptr<CollectionServer>> CollectionServer::Start(
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(server->options_.port);
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status st = Errno("bind");
+  // Port 0 cannot collide (the kernel assigns); a fixed port can lose a
+  // close/rebind race against a parallel test that just released it, so
+  // retry briefly and, if the port is genuinely taken, say EADDRINUSE in
+  // a distinct status instead of a generic bind failure.
+  int bind_rc = -1;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    bind_rc = ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+    if (bind_rc == 0 || errno != EADDRINUSE || server->options_.port == 0) {
+      break;
+    }
+    struct timespec backoff = {0, 20 * 1000 * 1000};  // 20 ms
+    ::nanosleep(&backoff, nullptr);
+  }
+  if (bind_rc != 0) {
+    Status st = errno == EADDRINUSE
+                    ? Status::AlreadyExists(
+                          "bind: port " +
+                          std::to_string(server->options_.port) +
+                          " is EADDRINUSE (pass port 0 to let the kernel "
+                          "pick a free one)")
+                    : Errno("bind");
     ::close(fd);
     return st;
   }
@@ -250,6 +337,10 @@ Result<std::unique_ptr<CollectionServer>> CollectionServer::Start(
     ::close(fd);
     return st;
   }
+  // The chosen port is published before the accept thread exists: a
+  // caller can read port() and connect the moment Start() returns (the
+  // kernel queues the connection against the listening socket even if
+  // the accept loop has not reached accept() yet).
   server->port_ = ntohs(bound.sin_port);
   server->listen_fd_ = fd;
   server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
@@ -346,6 +437,7 @@ void CollectionServer::ConnectionLoop(Connection* conn) {
       w.PutLengthPrefixed(status.message());
       Frame error;
       error.type = FrameType::kError;
+      error.partition = static_cast<uint16_t>(options_.partition_id);
       error.payload = w.Release();
       Bytes wire = EncodeFrame(error);
       SendAll(fd, wire.data(), wire.size());
@@ -358,10 +450,55 @@ void CollectionServer::ConnectionLoop(Connection* conn) {
 }
 
 Status CollectionServer::HandleFrame(int fd, Frame frame) {
+  // Misrouted traffic fails loudly: every data/control frame must name
+  // the partition this endpoint owns (kWatermark is a pure query and may
+  // come from anyone, e.g. a prober that has not handshaken).
+  if (frame.type != FrameType::kWatermark &&
+      frame.partition != options_.partition_id) {
+    return Status::ProtocolViolation(
+        "frame targets partition " + std::to_string(frame.partition) +
+        " but this endpoint owns partition " +
+        std::to_string(options_.partition_id));
+  }
   switch (frame.type) {
+    case FrameType::kHello: {
+      ByteReader r(frame.payload);
+      SHUFFLEDP_ASSIGN_OR_RETURN(PartitionMap peer_map,
+                                 ParsePartitionMap(&r));
+      SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t peer_partition, r.GetVarint());
+      if (!r.AtEnd()) {
+        return Status::ProtocolViolation("malformed hello payload");
+      }
+      if (peer_map != options_.partition_map) {
+        return Status::ProtocolViolation(
+            "partition map mismatch: client speaks " + peer_map.ToString() +
+            ", endpoint is " + options_.partition_map.ToString());
+      }
+      if (peer_partition != options_.partition_id) {
+        return Status::ProtocolViolation(
+            "client expects this endpoint to own partition " +
+            std::to_string(peer_partition) + " but it owns " +
+            std::to_string(options_.partition_id));
+      }
+      Frame reply;
+      reply.type = FrameType::kHello;
+      reply.partition = static_cast<uint16_t>(options_.partition_id);
+      reply.round_id = ingest_round_.load(std::memory_order_acquire);
+      ByteWriter w;
+      w.PutBytes(SerializePartitionMap(options_.partition_map));
+      w.PutVarint(options_.partition_id);
+      reply.payload = w.Release();
+      return WriteFrameTo(fd, reply);
+    }
     case FrameType::kBatch: {
-      SHUFFLEDP_ASSIGN_OR_RETURN(std::vector<uint64_t> parsed,
-                                 ldp::ParseOrdinals(oracle_, frame.payload));
+      // Under value partitioning the frame header alone cannot prove
+      // routing: every contained ordinal must belong to the owned
+      // slice, or another partition's counts are silently wrong. The
+      // check runs inline with the decode scan (one pass).
+      SHUFFLEDP_ASSIGN_OR_RETURN(
+          std::vector<uint64_t> parsed,
+          ldp::ParseOrdinalsValidated(oracle_, frame.payload,
+                                      ordinal_owner_check_));
       auto ordinals =
           std::make_shared<std::vector<uint64_t>>(std::move(parsed));
       ReportBatch batch;
@@ -393,8 +530,33 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
       SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
       SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t n_fake, r.GetVarint());
       SHUFFLEDP_ASSIGN_OR_RETURN(uint8_t cal, r.GetU8());
-      if (!r.AtEnd() || cal > 1) {
+      if (!r.AtEnd() || cal > static_cast<uint8_t>(Calibration::kNone)) {
         return Status::ProtocolViolation("malformed finish payload");
+      }
+      // A kFinish for the journaled round means the client never read
+      // the original kResult (crash in the close/read window): answer it
+      // from the replayed journal instead of failing the round-id check.
+      // The request must restate the parameters the round actually
+      // closed with — replaying a result for different (n, n_fake,
+      // calibration) would hand the caller numbers it never asked for.
+      if (have_journaled_result_ && frame.round_id == journaled_round_ &&
+          frame.round_id !=
+              ingest_round_.load(std::memory_order_acquire)) {
+        if (n != journaled_n_ || n_fake != journaled_n_fake_ ||
+            cal != journaled_calibration_) {
+          return Status::ProtocolViolation(
+              "finish for journaled round " + std::to_string(frame.round_id) +
+              " does not match the parameters it closed with (n=" +
+              std::to_string(journaled_n_) + ", n_fake=" +
+              std::to_string(journaled_n_fake_) + ", calibration=" +
+              std::to_string(journaled_calibration_) + ")");
+        }
+        Frame reply;
+        reply.type = FrameType::kResult;
+        reply.partition = frame.partition;
+        reply.round_id = frame.round_id;
+        reply.payload = SerializeRoundResult(journaled_result_);
+        return WriteFrameTo(fd, reply);
       }
       std::future<Result<RoundResult>> future;
       {
@@ -406,8 +568,7 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
               std::to_string(ingest_round_));
         }
         future = collector_->CloseRound(n, n_fake,
-                                        cal == 1 ? Calibration::kOrdinal
-                                                 : Calibration::kStandard);
+                                        static_cast<Calibration>(cal));
         ++ingest_round_;
       }
       // Blocks this connection's reader only; the kernel socket buffer
@@ -429,9 +590,11 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
       remote.reports_decoded = round->reports_decoded;
       remote.reports_invalid = round->reports_invalid;
       remote.dummies_recognized = round->dummies_recognized;
+      remote.dummies_expected = round->dummies_expected;
       remote.spot_check_passed = round->spot_check_passed;
       Frame reply;
       reply.type = FrameType::kResult;
+      reply.partition = frame.partition;
       reply.round_id = frame.round_id;
       reply.payload = SerializeRoundResult(remote);
       // A domain so large its result frame blows the cap surfaces as a
@@ -445,6 +608,7 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
       }
       Frame reply;
       reply.type = FrameType::kWatermark;
+      reply.partition = static_cast<uint16_t>(options_.partition_id);
       ByteWriter w;
       // Atomic read, not the ingest gate: a pure query must not wait
       // behind a backpressured Offer.
@@ -499,7 +663,50 @@ CollectorClient::~CollectorClient() {
 }
 
 Status CollectorClient::WriteFrame(const Frame& frame) {
-  return WriteFrameTo(fd_, frame);
+  Frame stamped = frame;
+  stamped.partition = partition_;
+  return WriteFrameTo(fd_, stamped);
+}
+
+Result<uint64_t> CollectorClient::Hello(const PartitionMap& map,
+                                        uint32_t partition_id) {
+  Frame hello;
+  hello.type = FrameType::kHello;
+  ByteWriter w;
+  w.PutBytes(SerializePartitionMap(map));
+  w.PutVarint(partition_id);
+  hello.payload = w.Release();
+  const uint16_t previous = partition_;
+  partition_ = static_cast<uint16_t>(partition_id);
+  Status sent = WriteFrame(hello);
+  if (!sent.ok()) {
+    partition_ = previous;
+    return sent;
+  }
+  auto reply = ReadFrame();
+  if (!reply.ok()) {
+    partition_ = previous;
+    return reply.status();
+  }
+  if (reply->type != FrameType::kHello) {
+    partition_ = previous;
+    return Status::ProtocolViolation("expected a hello reply");
+  }
+  ByteReader r(reply->payload);
+  auto echo_map = ParsePartitionMap(&r);
+  auto echo_partition = r.GetVarint();
+  if (!echo_map.ok() || !echo_partition.ok() || !r.AtEnd()) {
+    partition_ = previous;
+    return Status::ProtocolViolation("malformed hello reply");
+  }
+  if (*echo_map != map || *echo_partition != partition_id) {
+    partition_ = previous;
+    return Status::ProtocolViolation(
+        "endpoint disagrees with the partition layout: speaks " +
+        echo_map->ToString() + " owning partition " +
+        std::to_string(*echo_partition));
+  }
+  return reply->round_id;
 }
 
 Result<Frame> CollectorClient::ReadFrame() {
@@ -571,7 +778,7 @@ Status CollectorClient::SendFinish(uint64_t round_id, uint64_t n,
   ByteWriter w;
   w.PutVarint(n);
   w.PutVarint(n_fake);
-  w.PutU8(calibration == Calibration::kOrdinal ? 1 : 0);
+  w.PutU8(static_cast<uint8_t>(calibration));
   frame.payload = w.Release();
   return WriteFrame(frame);
 }

@@ -16,7 +16,10 @@
 //   0      4    magic "SDPC" (0x53 0x44 0x50 0x43)
 //   4      1    version (kWireVersion)
 //   5      1    frame type (FrameType)
-//   6      2    reserved, zero
+//   6      2    partition id (u16) — which endpoint slice the frame
+//               targets; 0 for single-node deployments (wire v1 called
+//               these bytes reserved-zero, so v1 traffic is v2 traffic
+//               for partition 0 apart from the version byte)
 //   8      8    round id (u64)
 //   16     4    payload length (u32, <= kMaxFramePayload)
 //   20     4    CRC-32 over header bytes 0–19 then the payload
@@ -29,19 +32,39 @@
 //                             invalid rows, PEOS-fake style)
 //   kFinish    client→server  varint n, varint n_fake, u8 calibration
 //   kResult    server→client  varint decoded, varint invalid, varint
-//                             dummies, u8 spot_check, varint d,
-//                             d × varint supports, d × f64 estimates
+//                             dummies recognized, varint dummies
+//                             expected, u8 spot_check, varint d,
+//                             d × varint supports, varint e (0 or d),
+//                             e × f64 estimates (e = 0 for the raw
+//                             merge-before-calibrate supports a
+//                             partition worker returns under
+//                             Calibration::kNone)
 //   kError     server→client  u8 status code, varint-length message
 //   kWatermark both           query: empty payload; reply: varint
 //                             consumed-batch watermark — nonzero only
 //                             while the recovered round is still
 //                             ingesting (crash recovery: the client
 //                             resumes sending at that batch), 0 = send
-//                             from the beginning
+//                             from the beginning. Doubles as a flush
+//                             barrier: the reply is sent only after
+//                             every earlier frame on the connection has
+//                             been handed to the collector queue.
+//   kHello     both           partition handshake: SerializePartitionMap
+//                             bytes + varint partition id. The client
+//                             states the layout it was configured with
+//                             and the partition it believes this
+//                             endpoint owns; a mismatch is a protocol
+//                             violation (kError + drop). The server
+//                             echoes its own map + id, with the header
+//                             round id set to the round it is currently
+//                             ingesting.
 //
 // Every frame is validated before use: bad magic, version skew, a length
 // field beyond kMaxFramePayload, or a CRC mismatch is a hard error and
-// the server drops the connection (after a best-effort kError frame).
+// the server drops the connection (after a best-effort kError frame). A
+// batch for a partition the endpoint does not own — by header id, or
+// under kByValue maps by any contained ordinal — is rejected the same
+// way: misrouted reports must never be silently miscounted.
 
 #ifndef SHUFFLEDP_SERVICE_TRANSPORT_H_
 #define SHUFFLEDP_SERVICE_TRANSPORT_H_
@@ -49,6 +72,7 @@
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -56,6 +80,7 @@
 #include <vector>
 
 #include "ldp/frequency_oracle.h"
+#include "service/partition.h"
 #include "service/streaming_collector.h"
 #include "util/bytes.h"
 #include "util/status.h"
@@ -64,7 +89,7 @@ namespace shuffledp {
 namespace service {
 
 inline constexpr uint8_t kFrameMagic[4] = {'S', 'D', 'P', 'C'};
-inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint8_t kWireVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 24;
 /// Upper bound on a frame payload: rejects length lies before any
 /// allocation. 16 MiB fits ~2M 8-byte reports per batch frame.
@@ -76,11 +101,13 @@ enum class FrameType : uint8_t {
   kResult = 3,
   kError = 4,
   kWatermark = 5,
+  kHello = 6,
 };
 
 /// One protocol frame (header fields + payload).
 struct Frame {
   FrameType type = FrameType::kBatch;
+  uint16_t partition = 0;
   uint64_t round_id = 0;
   Bytes payload;
 };
@@ -115,13 +142,16 @@ class FrameDecoder {
 };
 
 /// The subset of RoundResult that crosses the wire in a kResult frame
-/// (pipeline stats stay server-side).
+/// (pipeline stats stay server-side). `estimates` is empty when the
+/// round closed with Calibration::kNone — raw supports for the merge
+/// coordinator.
 struct RemoteRoundResult {
   std::vector<uint64_t> supports;
   std::vector<double> estimates;
   uint64_t reports_decoded = 0;
   uint64_t reports_invalid = 0;
   uint64_t dummies_recognized = 0;
+  uint64_t dummies_expected = 0;
   bool spot_check_passed = true;
 };
 
@@ -132,25 +162,41 @@ Result<RemoteRoundResult> ParseRoundResult(const Bytes& payload);
 /// Collection endpoint configuration.
 struct CollectionServerOptions {
   /// TCP port to listen on; 0 picks an ephemeral port (read it back via
-  /// port() — the loopback tests and examples do exactly that). The
-  /// listener binds 127.0.0.1 only: the endpoint speaks unauthenticated
+  /// port(), which is valid as soon as Start() returns and before the
+  /// accept loop admits its first connection — the race-free pattern the
+  /// loopback tests and examples rely on). A fixed port that is already
+  /// taken fails with AlreadyExists naming EADDRINUSE after a bounded
+  /// retry; prefer port 0 anywhere tests run in parallel. The listener
+  /// binds 127.0.0.1 only: the endpoint speaks unauthenticated
   /// cleartext, so exposure beyond the host belongs behind the gRPC/TLS
   /// front end tracked in ROADMAP.md.
   uint16_t port = 0;
   /// Ingestion pipeline knobs, including checkpoint persistence.
   StreamingOptions streaming;
+  /// The partition layout this endpoint participates in and the slice it
+  /// owns. Defaults to the single-node 1-of-1 layout (partition id 0),
+  /// which every pre-partition client speaks implicitly. The streaming
+  /// worker's slice is derived from these — any partition slice set in
+  /// `streaming.partition` is overridden.
+  PartitionMap partition_map;
+  uint32_t partition_id = 0;
   /// When true and streaming.checkpoint.path holds a readable snapshot,
   /// Start() restores the interrupted round before accepting traffic;
-  /// clients query the consumed-batch watermark and resume from it.
+  /// clients query the consumed-batch watermark and resume from it. A
+  /// finalized-round journal (checkpoint.h) is also replayed, so a
+  /// kFinish for the journaled round is answered from the journal — the
+  /// crash window between round close and result read is covered.
   bool recover = false;
   int listen_backlog = 16;
 };
 
 /// TCP collection endpoint: accept thread + one reader thread per
-/// connection, all feeding one StreamingCollector. Batches from multiple
-/// connections interleave safely (integer-counter aggregation is order-
-/// independent); round control (kFinish) is expected from a single
-/// coordinator connection at a time.
+/// connection, all feeding one partition-scoped streaming worker.
+/// Batches from multiple connections interleave safely (integer-counter
+/// aggregation is order-independent); round control (kFinish) is
+/// expected from a single coordinator connection at a time. Senders on
+/// other connections synchronize with a kWatermark flush barrier before
+/// the coordinator closes the round.
 class CollectionServer {
  public:
   /// Binds, listens, recovers (when configured), and starts accepting.
@@ -197,10 +243,26 @@ class CollectionServer {
 
   const ldp::ScalarFrequencyOracle& oracle_;
   CollectionServerOptions options_;
-  std::unique_ptr<StreamingCollector> collector_;
+  std::unique_ptr<PartitionWorker> collector_;
   uint16_t port_ = 0;
   uint64_t recovered_watermark_ = 0;
   uint64_t recovered_round_ = 0;
+  // Finalized-round journal replayed at recovery: a kFinish for
+  // `journaled_round_` re-serves `journaled_result_` instead of failing
+  // the round-id check (the client never read the original kResult) —
+  // but only when the request's close parameters match the journaled
+  // ones, so a caller can never receive a result computed under
+  // parameters it did not ask for.
+  bool have_journaled_result_ = false;
+  uint64_t journaled_round_ = 0;
+  uint64_t journaled_n_ = 0;
+  uint64_t journaled_n_fake_ = 0;
+  uint8_t journaled_calibration_ = 0;
+  RemoteRoundResult journaled_result_;
+  // Per-ordinal slice-ownership predicate for kByValue maps (built once
+  // at Start; null otherwise) — the kBatch ingest path runs it inline
+  // with the decode scan, so it must not be rebuilt per frame.
+  std::function<Status(uint64_t)> ordinal_owner_check_;
   int listen_fd_ = -1;
 
   std::mutex mu_;  // guards connections_/stopping_
@@ -234,6 +296,18 @@ class CollectorClient {
   CollectorClient(const CollectorClient&) = delete;
   CollectorClient& operator=(const CollectorClient&) = delete;
 
+  /// Partition id stamped into every outgoing frame header (default 0,
+  /// the single-node layout). The partition-routing client sets this to
+  /// the endpoint's owned partition after the kHello handshake.
+  void set_partition(uint16_t partition) { partition_ = partition; }
+  uint16_t partition() const { return partition_; }
+
+  /// Partition handshake: states `map` + `partition_id` to the endpoint
+  /// and verifies the echo matches. Returns the round id the endpoint is
+  /// currently ingesting (the natural round to start streaming into).
+  /// On success the client stamps `partition_id` into later frames.
+  Result<uint64_t> Hello(const PartitionMap& map, uint32_t partition_id);
+
   /// Ships one batch of packed ordinals for `round_id`.
   Status SendOrdinals(uint64_t round_id,
                       const ldp::ScalarFrequencyOracle& oracle,
@@ -263,7 +337,11 @@ class CollectorClient {
   /// while the server is still ingesting the round it recovered — once
   /// that round closed (or on a fresh start) the reply is 0, i.e. "send
   /// from the beginning". `round_id_out`, when non-null, receives the
-  /// round id the server is currently ingesting.
+  /// round id the server is currently ingesting. Because the server
+  /// answers queries in connection order, a reply also certifies that
+  /// every batch this client sent earlier has been handed to the
+  /// collector queue — the flush barrier multi-connection rounds use
+  /// before a coordinator's kFinish.
   Result<uint64_t> QueryWatermark(uint64_t* round_id_out = nullptr);
 
  private:
@@ -273,6 +351,7 @@ class CollectorClient {
   Result<Frame> ReadFrame();
 
   int fd_ = -1;
+  uint16_t partition_ = 0;
   FrameDecoder decoder_;
 };
 

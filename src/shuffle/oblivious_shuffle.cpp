@@ -168,6 +168,35 @@ Status RunEncryptedObliviousShuffle(EosState* state, const EosOptions& opts,
   const crypto::PaillierPublicKey& pub = *opts.public_key;
   const uint64_t cipher_bytes = pub.CiphertextBytes();
 
+  // Montgomery-resident ciphertext column: every C(r, t) round multiplies
+  // each ciphertext by g^adjust and a re-randomization mask — both
+  // available in Montgomery form — so the column enters the domain once
+  // here, stays resident across all rounds (permutations just move limb
+  // vectors), and exits once after the loop. The per-round work becomes
+  // pure fused CIOS passes; the old per-round generic ModMul (a full
+  // division-path multiply per ciphertext) disappears. Bitwise identical
+  // to the plain-domain path: the same masks multiply mod N^2 and the
+  // same rng draws happen in the same order (paillier_test pins this).
+  // An uninitialized key (no context) keeps the legacy plain path.
+  const crypto::MontgomeryCtx* mont_ctx = pub.n2_ctx();
+  const size_t limbs = mont_ctx != nullptr ? mont_ctx->limbs() : 0;
+  std::vector<std::vector<uint64_t>> mont_column;
+  if (mont_ctx != nullptr) {
+    mont_column.assign(n, std::vector<uint64_t>(limbs));
+    auto enter = [&](uint64_t lo, uint64_t hi) {
+      crypto::MontgomeryCtx::Scratch scratch(*mont_ctx);
+      for (uint64_t i = lo; i < hi; ++i) {
+        pub.ToMontCiphertext(state->cipher_column[i],
+                             mont_column[i].data(), &scratch);
+      }
+    };
+    if (opts.thread_pool != nullptr) {
+      opts.thread_pool->ParallelFor(0, n, enter);
+    } else {
+      enter(0, n);
+    }
+  }
+
   for (const auto& hiders : AllSubsets(r, t)) {
     ComputeScope scope(ledger, Role::kShuffler);
     std::vector<bool> is_hider(r, false);
@@ -218,6 +247,28 @@ Status RunEncryptedObliviousShuffle(EosState* state, const EosOptions& opts,
       // mod 2^ell after decryption (DESIGN.md §4 item 2).
       auto transform = [&](uint64_t lo, uint64_t hi,
                            crypto::SecureRandom* local) {
+        if (mont_ctx != nullptr) {
+          // Resident path: AddPlain + re-mask without ever leaving the
+          // Montgomery domain (3–4 fused CIOS passes per ciphertext).
+          crypto::MontgomeryCtx::Scratch scratch(*mont_ctx);
+          std::vector<uint64_t> fresh(limbs);
+          for (uint64_t i = lo; i < hi; ++i) {
+            uint64_t neg = (0 - mask_sum[i]) & mask;
+            pub.AddPlainMontInto(mont_column[i].data(),
+                                 crypto::BigInt(neg), &scratch);
+            if (opts.pool != nullptr) {
+              opts.pool->RerandomizeMontInto(mont_column[i].data(), local,
+                                             &scratch);
+            } else {
+              auto enc_zero = pub.Encrypt(crypto::BigInt(), local);
+              assert(enc_zero.ok());
+              mont_ctx->ToMontInto(enc_zero->value, fresh.data(), &scratch);
+              mont_ctx->MulInto(mont_column[i].data(), fresh.data(),
+                                mont_column[i].data(), &scratch);
+            }
+          }
+          return;
+        }
         for (uint64_t i = lo; i < hi; ++i) {
           // (2^ell − s) mod 2^ell via unsigned wrap-around; adding it to
           // the ciphertext cancels the masks mod 2^ell after decryption.
@@ -263,7 +314,11 @@ Status RunEncryptedObliviousShuffle(EosState* state, const EosOptions& opts,
     for (uint32_t h : hiders) {
       ApplyPermutation(perm, &shares->columns[h]);
     }
-    ApplyPermutation(perm, &state->cipher_column);
+    if (mont_ctx != nullptr) {
+      ApplyPermutation(perm, &mont_column);  // resident limbs just move
+    } else {
+      ApplyPermutation(perm, &state->cipher_column);
+    }
 
     // 3. Hiders re-share plaintext columns back to all r shufflers.
     std::vector<std::vector<uint64_t>> next(r,
@@ -285,6 +340,23 @@ Status RunEncryptedObliviousShuffle(EosState* state, const EosOptions& opts,
       }
     }
     shares->columns = std::move(next);
+  }
+
+  // Chain exit: one conversion per element, the only FromMont of the
+  // whole shuffle.
+  if (mont_ctx != nullptr) {
+    auto leave = [&](uint64_t lo, uint64_t hi) {
+      crypto::MontgomeryCtx::Scratch scratch(*mont_ctx);
+      for (uint64_t i = lo; i < hi; ++i) {
+        state->cipher_column[i] =
+            pub.FromMontCiphertext(mont_column[i].data(), &scratch);
+      }
+    };
+    if (opts.thread_pool != nullptr) {
+      opts.thread_pool->ParallelFor(0, n, leave);
+    } else {
+      leave(0, n);
+    }
   }
   return Status::OK();
 }

@@ -330,6 +330,56 @@ TEST_F(PaillierTest, PackedDecryptionRejectsBadLayouts) {
       kp_->priv.DecryptPackedMod2Ell(cs.data(), 0, 16, 16, out.data()).ok());
 }
 
+// The Montgomery-resident rerandomize chain (the EOS ciphertext column)
+// against the per-round plain-domain path: identically seeded rngs must
+// yield bitwise-identical ciphertexts after every round of
+// AddPlain + Rerandomize, for both pool modes — the domain residency is
+// a representation change only, never a value change.
+TEST_F(PaillierTest, MontResidentRerandomizeChainMatchesPerRoundPath) {
+  const MontgomeryCtx* ctx = kp_->pub.n2_ctx();
+  ASSERT_NE(ctx, nullptr);
+  for (RandomizerPool::Mode mode :
+       {RandomizerPool::Mode::kPairwise, RandomizerPool::Mode::kFixedBase}) {
+    SecureRandom pool_rng(uint64_t{777});
+    RandomizerPool pool(kp_->pub, 8, &pool_rng, mode);
+
+    auto start = kp_->pub.EncryptU64(123456789, rng_);
+    ASSERT_TRUE(start.ok());
+
+    // Plain-domain reference: the exact sequence the pre-resident EOS
+    // loop ran once per C(r, t) round.
+    const int kRounds = 12;
+    SecureRandom plain_rng(uint64_t{4242});
+    PaillierCiphertext plain = *start;
+    uint64_t sum = 123456789;
+    for (int round = 0; round < kRounds; ++round) {
+      const uint64_t adjust = 0x9E37 + static_cast<uint64_t>(round);
+      sum += adjust;
+      plain = kp_->pub.AddPlain(plain, BigInt(adjust));
+      plain = pool.Rerandomize(plain, &plain_rng);
+    }
+
+    // Montgomery-resident chain: enter once, stay, leave once.
+    SecureRandom mont_rng(uint64_t{4242});
+    MontgomeryCtx::Scratch scratch(*ctx);
+    std::vector<uint64_t> resident(ctx->limbs());
+    kp_->pub.ToMontCiphertext(*start, resident.data(), &scratch);
+    for (int round = 0; round < kRounds; ++round) {
+      const uint64_t adjust = 0x9E37 + static_cast<uint64_t>(round);
+      kp_->pub.AddPlainMontInto(resident.data(), BigInt(adjust), &scratch);
+      pool.RerandomizeMontInto(resident.data(), &mont_rng, &scratch);
+    }
+    PaillierCiphertext mont =
+        kp_->pub.FromMontCiphertext(resident.data(), &scratch);
+
+    EXPECT_EQ(mont.value, plain.value)
+        << "mode=" << static_cast<int>(mode);  // bitwise, not just Dec-equal
+    auto decrypted = kp_->priv.DecryptMod2Ell(mont, 64);
+    ASSERT_TRUE(decrypted.ok());
+    EXPECT_EQ(*decrypted, sum);
+  }
+}
+
 TEST(PaillierKeyGenTest, ProductionSizeKeyWorks) {
   SecureRandom rng(uint64_t{777001});
   auto kp = PaillierGenerateKeyPair(1024, &rng);

@@ -79,11 +79,12 @@ TEST(Checkpoint, GoldenVectorMatchesDoc) {
   std::fclose(f);
   const std::vector<uint8_t> expected = {
       0x53, 0x44, 0x50, 0x4B,                          // magic "SDPK"
-      0x01,                                            // version
+      0x02,                                            // version
       0x00, 0x00, 0x00,                                // reserved
-      0x12, 0x00, 0x00, 0x00,                          // payload length 18
-      0x14, 0x7E, 0x6B, 0x57,                          // CRC-32(payload)
+      0x15, 0x00, 0x00, 0x00,                          // payload length 21
+      0x3C, 0x67, 0x49, 0x7B,                          // CRC-32(payload)
       0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // round_id 3
+      0x00, 0x01, 0x00,                                // partition 0/1, lo 0
       0x02, 0x02, 0x02, 0x00, 0x00, 0x00,              // tallies
       0x02, 0x01, 0x01,                                // d=2, supports {1,1}
       0x00,                                            // no dummy entries
@@ -239,6 +240,114 @@ void KillAndRecoverBitwise(const ldp::ScalarFrequencyOracle& oracle,
     // A completed round must clean up its snapshot.
     EXPECT_EQ(ReadCheckpoint(path).status().code(), StatusCode::kNotFound);
   }
+}
+
+TEST(RoundJournal, WriteReadRoundTripAndCorruptionRejected) {
+  const std::string path = TempPath("journal.ckpt.result");
+  RoundJournal journal;
+  journal.round_id = 5;
+  journal.partition_index = 2;
+  journal.partition_count = 4;
+  journal.slice_lo = 96;
+  journal.n = 120000;
+  journal.n_fake = 7500;
+  journal.calibration = 1;
+  journal.reports_decoded = 123456;
+  journal.reports_invalid = 77;
+  journal.dummies_recognized = 3;
+  journal.dummies_expected = 3;
+  journal.supports = {9, 0, 12345, 2};
+  ASSERT_TRUE(WriteRoundJournal(path, journal).ok());
+
+  auto read = ReadRoundJournal(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->round_id, journal.round_id);
+  EXPECT_EQ(read->partition_index, journal.partition_index);
+  EXPECT_EQ(read->partition_count, journal.partition_count);
+  EXPECT_EQ(read->slice_lo, journal.slice_lo);
+  EXPECT_EQ(read->n, journal.n);
+  EXPECT_EQ(read->n_fake, journal.n_fake);
+  EXPECT_EQ(read->calibration, journal.calibration);
+  EXPECT_EQ(read->reports_decoded, journal.reports_decoded);
+  EXPECT_EQ(read->supports, journal.supports);
+
+  // A checkpoint is not a journal: magic must disagree.
+  CheckpointState state = SampleState();
+  ASSERT_TRUE(WriteCheckpoint(path, state).ok());
+  EXPECT_EQ(ReadRoundJournal(path).status().code(), StatusCode::kDataLoss);
+
+  // Every single-byte corruption of a valid journal is rejected.
+  ASSERT_TRUE(WriteRoundJournal(path, journal).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<uint8_t> bytes(4096);
+  bytes.resize(std::fread(bytes.data(), 1, bytes.size(), f));
+  std::fclose(f);
+  for (size_t i = 0; i < bytes.size(); i += 3) {
+    std::vector<uint8_t> mutated = bytes;
+    mutated[i] ^= 0x40;
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    std::fwrite(mutated.data(), 1, mutated.size(), out);
+    std::fclose(out);
+    EXPECT_FALSE(ReadRoundJournal(path).ok()) << "byte " << i;
+  }
+  RemoveCheckpoint(path);
+}
+
+// The crash window the ROADMAP named: round closed (checkpoint gone),
+// result never read. The journal written at the close sentinel must
+// replay to the exact result, bitwise.
+TEST(RoundJournal, FinalizedRoundReplaysBitwise) {
+  const std::string path = TempPath("journal_replay.ckpt");
+  RemoveCheckpoint(path);
+  RemoveCheckpoint(RoundJournalPath(path));
+  ldp::Grr grr(2.0, 32);
+  StreamingOptions options;
+  options.batch_size = 64;
+  options.checkpoint.path = path;
+  options.checkpoint.every_batches = 4;
+
+  Rng rng(31337);
+  std::vector<ldp::LdpReport> reports;
+  for (int i = 0; i < 2000; ++i) {
+    reports.push_back(grr.Encode(i % 32, &rng));
+  }
+
+  RoundResult live;
+  {
+    StreamingCollector collector(grr, options);
+    ASSERT_TRUE(collector.OfferReports(reports).ok());
+    auto result =
+        collector.FinishRound(reports.size(), 0, Calibration::kStandard);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    live = std::move(*result);
+  }
+  // Round closed: mid-round snapshot gone, finalized journal present.
+  EXPECT_EQ(ReadCheckpoint(path).status().code(), StatusCode::kNotFound);
+  auto journal = ReadRoundJournal(RoundJournalPath(path));
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  EXPECT_EQ(journal->round_id, 0u);
+
+  // "Restarted" collector replays the journal: bitwise-equal result and
+  // the round id advanced past the journaled round.
+  StreamingCollector recovered(grr, options);
+  auto replay = recovered.RecoverFinalizedRound(*journal);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->supports, live.supports);
+  EXPECT_EQ(replay->estimates, live.estimates);  // bitwise (exact ==)
+  EXPECT_EQ(replay->reports_decoded, live.reports_decoded);
+  EXPECT_EQ(replay->reports_invalid, live.reports_invalid);
+  EXPECT_EQ(recovered.round_id(), 1u);
+
+  // A journal for someone else's partition must be refused.
+  RoundJournal foreign = *journal;
+  foreign.partition_index = 1;
+  foreign.partition_count = 2;
+  EXPECT_EQ(recovered.RecoverFinalizedRound(foreign).status().code(),
+            StatusCode::kFailedPrecondition);
+  RemoveCheckpoint(path);
+  RemoveCheckpoint(RoundJournalPath(path));
 }
 
 TEST(CheckpointRecovery, KillMidRoundRecoversBitwiseGrr) {

@@ -118,6 +118,7 @@ TEST(EndpointE2e, ServerRestartMidRoundConvergesToUninterruptedResult) {
   const uint64_t n = kBatches * kBatchSize;
   const std::string ckpt = ::testing::TempDir() + "shuffledp_endpoint.ckpt";
   RemoveCheckpoint(ckpt);
+  RemoveCheckpoint(RoundJournalPath(ckpt));
 
   CollectionServerOptions options;
   options.streaming.batch_size = kBatchSize;
@@ -210,6 +211,78 @@ TEST(EndpointE2e, ServerRestartMidRoundConvergesToUninterruptedResult) {
     EXPECT_EQ(result->reports_decoded, expected.reports_decoded);
   }
   RemoveCheckpoint(ckpt);
+  RemoveCheckpoint(RoundJournalPath(ckpt));
+}
+
+// The post-close crash window: the server finalized the round (journal
+// written, checkpoint unlinked) and died before the client read the
+// result. The restarted server must serve the journaled result for that
+// round — bitwise — and still run new rounds afterwards.
+TEST(EndpointE2e, RestartAfterRoundCloseServesJournaledResult) {
+  ldp::Grr grr(2.0, 32);
+  const std::string ckpt = ::testing::TempDir() + "shuffledp_journal.ckpt";
+  RemoveCheckpoint(ckpt);
+  RemoveCheckpoint(RoundJournalPath(ckpt));
+
+  CollectionServerOptions options;
+  options.streaming.batch_size = 128;
+  options.streaming.checkpoint.path = ckpt;
+  options.streaming.checkpoint.every_batches = 4;
+
+  RemoteRoundResult original;
+  {
+    auto server = CollectionServer::Start(grr, options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    auto client = CollectorClient::Connect("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(client.ok());
+    for (uint64_t b = 0; b < 10; ++b) {
+      ASSERT_TRUE((*client)
+                      ->SendOrdinals(0, grr, BatchOrdinals(grr, b, 128))
+                      .ok());
+    }
+    auto result = (*client)->FinishRound(0, 1280, 0, Calibration::kStandard);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    original = std::move(*result);
+    (*server)->Shutdown();  // "crash" after close; client got the result,
+                            // but a real crash may race the read
+  }
+  ASSERT_TRUE(ReadRoundJournal(RoundJournalPath(ckpt)).ok());
+
+  {
+    CollectionServerOptions recover_options = options;
+    recover_options.recover = true;
+    auto server = CollectionServer::Start(grr, recover_options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    // The worker resumed *after* the journaled round.
+    EXPECT_EQ((*server)->round_id(), 1u);
+
+    // Re-asking with *different* close parameters must be refused — a
+    // journaled result is only valid for the parameters it closed with.
+    {
+      auto probe = CollectorClient::Connect("127.0.0.1", (*server)->port());
+      ASSERT_TRUE(probe.ok());
+      auto wrong = (*probe)->FinishRound(0, 9999, 0, Calibration::kStandard);
+      ASSERT_FALSE(wrong.ok());
+      EXPECT_EQ(wrong.status().code(), StatusCode::kProtocolViolation);
+    }
+
+    auto client = CollectorClient::Connect("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(client.ok());
+    // Re-asking for round 0 replays the journal bitwise.
+    auto replay = (*client)->FinishRound(0, 1280, 0, Calibration::kStandard);
+    ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+    EXPECT_EQ(replay->supports, original.supports);
+    EXPECT_EQ(replay->estimates, original.estimates);
+    EXPECT_EQ(replay->reports_decoded, original.reports_decoded);
+
+    // And the endpoint is not stuck in the past: round 1 works.
+    ASSERT_TRUE((*client)->SendOrdinals(1, grr, {1, 2, 3}).ok());
+    auto next = (*client)->FinishRound(1, 3, 0, Calibration::kStandard);
+    ASSERT_TRUE(next.ok()) << next.status().ToString();
+    EXPECT_EQ(next->reports_decoded, 3u);
+  }
+  RemoveCheckpoint(ckpt);
+  RemoveCheckpoint(RoundJournalPath(ckpt));
 }
 
 TEST(EndpointE2e, WatermarkIsZeroOutsideTheRecoveredRound) {

@@ -1,0 +1,148 @@
+// PartitionMap unit tests: ownership is total and consistent with the
+// slices, routing preserves the report multiset, the merge is the exact
+// inverse of the split, and the handshake codec rejects hostile bytes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "ldp/grr.h"
+#include "ldp/local_hash.h"
+#include "service/partition.h"
+#include "util/rng.h"
+
+namespace shuffledp {
+namespace service {
+namespace {
+
+TEST(PartitionMap, ByValueRequiresValueEqualityOracle) {
+  ldp::Grr grr(2.0, 64);
+  ldp::LocalHash solh(2.0, 64, 16, "SOLH");
+  EXPECT_TRUE(PartitionMap::Create(grr, PartitionMode::kByValue, 4).ok());
+  EXPECT_FALSE(PartitionMap::Create(solh, PartitionMode::kByValue, 4).ok());
+  EXPECT_TRUE(PartitionMap::Create(solh, PartitionMode::kByClient, 4).ok());
+  EXPECT_FALSE(PartitionMap::Create(grr, PartitionMode::kByValue, 0).ok());
+  EXPECT_FALSE(PartitionMap::Create(grr, PartitionMode::kByValue, 65).ok());
+}
+
+TEST(PartitionMap, SlicesTileTheDomainAndOwnershipMatches) {
+  ldp::Grr grr(2.0, 37);  // deliberately not divisible by P
+  for (uint32_t partitions : {1u, 3u, 5u, 37u}) {
+    auto map = PartitionMap::Create(grr, PartitionMode::kByValue, partitions);
+    ASSERT_TRUE(map.ok());
+    uint64_t covered = 0;
+    for (uint32_t p = 0; p < partitions; ++p) {
+      PartitionSlice slice = map->SliceOf(p);
+      EXPECT_EQ(slice.index, p);
+      EXPECT_EQ(slice.count, partitions);
+      EXPECT_EQ(slice.lo, covered);
+      covered = slice.hi;
+      for (uint64_t v = slice.lo; v < slice.hi; ++v) {
+        EXPECT_EQ(map->OwnerOfOrdinal(v), p) << "v=" << v;
+      }
+    }
+    EXPECT_EQ(covered, 37u);  // tiles exactly, no gaps or overlap
+    // Padding-region ordinals (>= d) also have exactly one owner.
+    for (uint64_t ordinal = 37; ordinal < 64; ++ordinal) {
+      EXPECT_LT(map->OwnerOfOrdinal(ordinal), partitions);
+    }
+  }
+}
+
+TEST(PartitionMap, RoutePreservesTheMultisetAndMergeInverts) {
+  ldp::Grr grr(2.0, 100);
+  Rng rng(7);
+  std::vector<uint64_t> ordinals;
+  for (int i = 0; i < 5000; ++i) {
+    ordinals.push_back(rng.UniformU64(128));  // incl. padding region
+  }
+
+  for (PartitionMode mode :
+       {PartitionMode::kByValue, PartitionMode::kByClient}) {
+    auto map = PartitionMap::Create(grr, mode, 4);
+    ASSERT_TRUE(map.ok());
+    std::map<uint64_t, uint64_t> original;
+    for (uint64_t o : ordinals) ++original[o];
+
+    std::map<uint64_t, uint64_t> routed;
+    auto groups = map->Route(/*batch_index=*/3, ordinals);
+    ASSERT_EQ(groups.size(), 4u);
+    for (uint32_t p = 0; p < 4; ++p) {
+      for (uint64_t o : groups[p]) {
+        ++routed[o];
+        if (mode == PartitionMode::kByValue) {
+          EXPECT_EQ(map->OwnerOfOrdinal(o), p);
+        }
+      }
+    }
+    EXPECT_EQ(routed, original);
+    if (mode == PartitionMode::kByClient) {
+      // Whole batch to batch_index % P, everything else empty.
+      EXPECT_EQ(groups[3].size(), ordinals.size());
+    }
+  }
+}
+
+TEST(PartitionMap, MergeSupportsByValueConcatenatesByClientSums) {
+  ldp::Grr grr(2.0, 10);
+  {
+    auto map = PartitionMap::Create(grr, PartitionMode::kByValue, 3);
+    ASSERT_TRUE(map.ok());
+    // Slices of d=10 over 3: [0,3) [3,6) [6,10).
+    auto merged = map->MergeSupports({{1, 2, 3}, {4, 5, 6}, {7, 8, 9, 10}});
+    ASSERT_TRUE(merged.ok());
+    EXPECT_EQ(*merged,
+              (std::vector<uint64_t>{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+    // Wrong slice length fails loudly.
+    EXPECT_FALSE(
+        map->MergeSupports({{1, 2}, {4, 5, 6}, {7, 8, 9, 10}}).ok());
+    EXPECT_FALSE(map->MergeSupports({{1, 2, 3}, {4, 5, 6}}).ok());
+  }
+  {
+    auto map = PartitionMap::Create(grr, PartitionMode::kByClient, 2);
+    ASSERT_TRUE(map.ok());
+    std::vector<uint64_t> a = {1, 0, 2, 0, 3, 0, 4, 0, 5, 0};
+    std::vector<uint64_t> b = {0, 9, 0, 8, 0, 7, 0, 6, 0, 5};
+    auto merged = map->MergeSupports({a, b});
+    ASSERT_TRUE(merged.ok());
+    EXPECT_EQ(*merged,
+              (std::vector<uint64_t>{1, 9, 2, 8, 3, 7, 4, 6, 5, 5}));
+    EXPECT_FALSE(map->MergeSupports({{1, 2}, b}).ok());
+  }
+}
+
+TEST(PartitionMap, HandshakeCodecRoundTripsAndRejectsHostileBytes) {
+  ldp::Grr grr(2.0, 300);
+  auto map = PartitionMap::Create(grr, PartitionMode::kByValue, 7);
+  ASSERT_TRUE(map.ok());
+  Bytes wire = SerializePartitionMap(*map);
+  auto parsed = ParsePartitionMap(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(*parsed == *map);
+  EXPECT_EQ(parsed->partitions(), 7u);
+  EXPECT_EQ(parsed->domain_size(), 300u);
+  EXPECT_EQ(parsed->packed_bits(), grr.PackedBits());
+
+  for (size_t len = 0; len < wire.size(); ++len) {
+    Bytes truncated(wire.begin(), wire.begin() + len);
+    EXPECT_FALSE(ParsePartitionMap(truncated).ok()) << "len=" << len;
+  }
+  {
+    Bytes bad = wire;
+    bad[0] = 9;  // unknown mode
+    EXPECT_FALSE(ParsePartitionMap(bad).ok());
+  }
+  {
+    ByteWriter w;
+    w.PutU8(0);
+    w.PutVarint(0);  // zero partitions
+    w.PutVarint(300);
+    w.PutU8(9);
+    EXPECT_FALSE(ParsePartitionMap(w.data()).ok());
+  }
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace shuffledp

@@ -46,12 +46,12 @@ TEST(TransportFraming, GoldenVectorMatchesWireFormatDoc) {
   Bytes wire = EncodeFrame(MakeBatchFrame(5, payload));
   const Bytes expected_wire = {
       0x53, 0x44, 0x50, 0x43,                          // magic "SDPC"
-      0x01,                                            // version
+      0x02,                                            // version
       0x01,                                            // type kBatch
-      0x00, 0x00,                                      // reserved
+      0x00, 0x00,                                      // partition 0
       0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // round id 5
       0x03, 0x00, 0x00, 0x00,                          // payload length 3
-      0xA2, 0x00, 0x54, 0x3F,                          // CRC-32(hdr+payload)
+      0x0B, 0x86, 0x02, 0x9C,                          // CRC-32(hdr+payload)
       0x02, 0x03, 0x07,                                // payload
   };
   EXPECT_EQ(wire, expected_wire);
@@ -61,8 +61,23 @@ TEST(TransportFraming, GoldenVectorMatchesWireFormatDoc) {
   Frame decoded;
   ASSERT_TRUE(decoder.Next(&decoded));
   EXPECT_EQ(decoded.type, FrameType::kBatch);
+  EXPECT_EQ(decoded.partition, 0u);
   EXPECT_EQ(decoded.round_id, 5u);
   EXPECT_EQ(decoded.payload, expected_payload);
+}
+
+TEST(TransportFraming, PartitionFieldRoundTrips) {
+  Frame frame = MakeBatchFrame(7, Bytes{1, 2, 3});
+  frame.partition = 0xBEEF;
+  Bytes wire = EncodeFrame(frame);
+  EXPECT_EQ(wire[6], 0xEF);  // partition id, u16 LE at offset 6
+  EXPECT_EQ(wire[7], 0xBE);
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(wire).ok());
+  Frame decoded;
+  ASSERT_TRUE(decoder.Next(&decoded));
+  EXPECT_EQ(decoded.partition, 0xBEEFu);
+  EXPECT_EQ(decoded.round_id, 7u);
 }
 
 TEST(TransportFraming, TornFeedReassemblesEveryFrame) {
@@ -121,19 +136,11 @@ TEST(TransportFraming, VersionSkewIsRejected) {
   EXPECT_NE(st.message().find("version"), std::string::npos);
 }
 
-TEST(TransportFraming, UnknownTypeAndReservedBitsAreRejected) {
-  {
-    Bytes wire = EncodeFrame(MakeBatchFrame(1, Bytes{1}));
-    wire[5] = 0x7F;  // unknown frame type
-    FrameDecoder decoder;
-    EXPECT_EQ(decoder.Feed(wire).code(), StatusCode::kProtocolViolation);
-  }
-  {
-    Bytes wire = EncodeFrame(MakeBatchFrame(1, Bytes{1}));
-    wire[6] = 1;  // reserved must be zero
-    FrameDecoder decoder;
-    EXPECT_EQ(decoder.Feed(wire).code(), StatusCode::kProtocolViolation);
-  }
+TEST(TransportFraming, UnknownTypeIsRejected) {
+  Bytes wire = EncodeFrame(MakeBatchFrame(1, Bytes{1}));
+  wire[5] = 0x7F;  // unknown frame type
+  FrameDecoder decoder;
+  EXPECT_EQ(decoder.Feed(wire).code(), StatusCode::kProtocolViolation);
 }
 
 TEST(TransportFraming, LengthLieBeyondCapIsRejectedBeforeBuffering) {
@@ -201,6 +208,87 @@ TEST(TransportFraming, RoundResultCodecRoundTripsAndRejectsHostileBytes) {
   w.PutU8(1);
   w.PutVarint(uint64_t{1} << 60);
   EXPECT_FALSE(ParseRoundResult(w.data()).ok());
+}
+
+TEST(TransportFraming, RawSupportsResultCarriesZeroEstimates) {
+  RemoteRoundResult result;
+  result.supports = {4, 5, 6};
+  result.reports_decoded = 15;
+  Bytes payload = SerializeRoundResult(result);
+  auto parsed = ParseRoundResult(payload);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->supports, result.supports);
+  EXPECT_TRUE(parsed->estimates.empty());
+
+  // An estimate count that is neither 0 nor d is corrupt, not a partial
+  // calibration.
+  ByteWriter w;
+  w.PutVarint(0);  // decoded
+  w.PutVarint(0);  // invalid
+  w.PutVarint(0);  // dummies recognized
+  w.PutVarint(0);  // dummies expected
+  w.PutU8(1);      // spot check
+  w.PutVarint(2);  // d = 2
+  w.PutVarint(1);
+  w.PutVarint(1);  // supports
+  w.PutVarint(1);  // e = 1: neither 0 nor d
+  w.PutDouble(0.5);
+  EXPECT_FALSE(ParseRoundResult(w.data()).ok());
+}
+
+TEST(TransportFraming, HelloHandshakeAgreesAndRejectsMismatch) {
+  ldp::Grr grr(2.0, 32);
+  auto map = PartitionMap::Create(grr, PartitionMode::kByValue, 2);
+  ASSERT_TRUE(map.ok());
+
+  CollectionServerOptions options;
+  options.partition_map = *map;
+  options.partition_id = 1;
+  auto server = CollectionServer::Start(grr, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  {
+    auto client = CollectorClient::Connect("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(client.ok());
+    auto round = (*client)->Hello(*map, 1);
+    ASSERT_TRUE(round.ok()) << round.status().ToString();
+    EXPECT_EQ(*round, 0u);
+    EXPECT_EQ((*client)->partition(), 1u);
+  }
+  {
+    // Wrong partition id: the endpoint owns 1, the client expects 0.
+    auto client = CollectorClient::Connect("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(client.ok());
+    auto round = (*client)->Hello(*map, 0);
+    ASSERT_FALSE(round.ok());
+    EXPECT_EQ(round.status().code(), StatusCode::kProtocolViolation);
+  }
+  {
+    // Wrong layout: same endpoint, a 4-way map.
+    auto other = PartitionMap::Create(grr, PartitionMode::kByValue, 4);
+    ASSERT_TRUE(other.ok());
+    auto client = CollectorClient::Connect("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(client.ok());
+    auto round = (*client)->Hello(*other, 1);
+    ASSERT_FALSE(round.ok());
+    EXPECT_EQ(round.status().code(), StatusCode::kProtocolViolation);
+  }
+}
+
+TEST(TransportFraming, PortCollisionReportsAddrInUseDistinctly) {
+  ldp::Grr grr(2.0, 8);
+  CollectionServerOptions options;  // port 0: kernel-assigned, race-free
+  auto server = CollectionServer::Start(grr, options);
+  ASSERT_TRUE(server.ok());
+  ASSERT_NE((*server)->port(), 0u);  // surfaced before any accept
+
+  CollectionServerOptions clash;
+  clash.port = (*server)->port();
+  auto second = CollectionServer::Start(grr, clash);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_NE(second.status().message().find("EADDRINUSE"),
+            std::string::npos);
 }
 
 // A connection that sends garbage must be dropped without disturbing a
