@@ -23,6 +23,7 @@
 // Flags: --n=1000000, --d=1024, --solh_n=200000, --solh_d=256,
 // --dprime=16, --eps=3.0, --batch=4096, --smoke, --json=PATH.
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -33,6 +34,7 @@
 #include "ldp/grr.h"
 #include "ldp/local_hash.h"
 #include "service/coordinator.h"
+#include "service/fault_injection.h"
 #include "service/partition.h"
 #include "service/transport.h"
 #include "util/rng.h"
@@ -157,7 +159,102 @@ Result<Row> RunFleet(const ldp::ScalarFrequencyOracle& oracle,
   return row;
 }
 
-bool WriteJson(const std::string& path, const std::vector<Row>& rows) {
+struct CloseRow {
+  std::string scenario;  // "healthy" | "degraded"
+  uint32_t partitions = 0;
+  uint32_t rounds = 0;
+  uint64_t delay_ms = 0;  // injected per-recv stall on the slow endpoint
+  double close_p50_ms = 0.0;
+  double close_p99_ms = 0.0;
+};
+
+double PercentileMs(std::vector<double> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  const size_t idx = static_cast<size_t>(q * (samples.size() - 1) + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+// Round-close latency over repeated rounds, optionally with one slow
+// endpoint (seeded per-recv delays injected on partition 1): the
+// coordinator's pipelined close means the fleet's close latency is the
+// slowest endpoint's, and this row quantifies exactly that degradation.
+// The timed section is FinishRound only — sends happen before the clock.
+Result<CloseRow> RunRoundClose(const ldp::ScalarFrequencyOracle& oracle,
+                               uint32_t partitions, uint32_t rounds,
+                               size_t batch_size, uint64_t delay_ms) {
+  SHUFFLEDP_ASSIGN_OR_RETURN(
+      service::PartitionMap map,
+      service::PartitionMap::Create(oracle, service::PartitionMode::kByValue,
+                                    partitions));
+  std::vector<std::unique_ptr<service::CollectionServer>> servers;
+  std::vector<service::EndpointAddress> endpoints;
+  for (uint32_t p = 0; p < partitions; ++p) {
+    service::CollectionServerOptions options;
+    options.partition_map = map;
+    options.partition_id = p;
+    options.streaming.batch_size = batch_size;
+    SHUFFLEDP_ASSIGN_OR_RETURN(auto server,
+                               service::CollectionServer::Start(oracle,
+                                                                options));
+    endpoints.push_back({"127.0.0.1", server->port()});
+    servers.push_back(std::move(server));
+  }
+  SHUFFLEDP_ASSIGN_OR_RETURN(
+      auto routing,
+      service::PartitionRoutingClient::Connect(oracle, map, endpoints));
+  service::MergeCoordinator coordinator(oracle, routing.get());
+
+  service::FaultInjector injector(0xBE7C);
+  if (delay_ms > 0) {
+    service::FaultRule slow;
+    slow.op = service::FaultOp::kRecv;
+    slow.port = endpoints[1].port;
+    slow.action = service::FaultAction::DelayMs(delay_ms);
+    injector.AddRule(slow);
+    service::SetFaultInjector(&injector);
+  }
+
+  Rng rng(0xC105E);
+  std::vector<double> close_ms;
+  for (uint32_t r = 0; r < rounds; ++r) {
+    uint64_t sent = 0;
+    for (uint64_t b = 0; b < 4; ++b) {
+      std::vector<uint64_t> ordinals;
+      ordinals.reserve(batch_size);
+      for (size_t i = 0; i < batch_size; ++i) {
+        ordinals.push_back(oracle.PackOrdinal(
+            oracle.Encode(rng.UniformU64(oracle.domain_size()), &rng)));
+      }
+      sent += ordinals.size();
+      Status st = routing->SendBatch(r, b, ordinals);
+      if (!st.ok()) {
+        service::SetFaultInjector(nullptr);
+        return st;
+      }
+    }
+    WallTimer timer;
+    auto merged =
+        coordinator.FinishRound(r, sent, 0, service::Calibration::kStandard);
+    if (!merged.ok()) {
+      service::SetFaultInjector(nullptr);
+      return merged.status();
+    }
+    close_ms.push_back(timer.ElapsedSeconds() * 1e3);
+  }
+  service::SetFaultInjector(nullptr);
+
+  CloseRow row;
+  row.scenario = delay_ms > 0 ? "degraded" : "healthy";
+  row.partitions = partitions;
+  row.rounds = rounds;
+  row.delay_ms = delay_ms;
+  row.close_p50_ms = PercentileMs(close_ms, 0.50);
+  row.close_p99_ms = PercentileMs(close_ms, 0.99);
+  return row;
+}
+
+bool WriteJson(const std::string& path, const std::vector<Row>& rows,
+               const std::vector<CloseRow>& close_rows) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n  \"bench\": \"distributed_throughput\",\n");
@@ -175,6 +272,18 @@ bool WriteJson(const std::string& path, const std::vector<Row>& rows) {
         static_cast<unsigned long long>(r.n),
         static_cast<unsigned long long>(r.d), r.wall_s, r.rows_per_s,
         i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"round_close\": [\n");
+  for (size_t i = 0; i < close_rows.size(); ++i) {
+    const CloseRow& r = close_rows[i];
+    std::fprintf(
+        f,
+        "    {\"scenario\": \"%s\", \"partitions\": %u, \"rounds\": %u, "
+        "\"recv_delay_ms\": %llu, \"close_p50_ms\": %.3f, "
+        "\"close_p99_ms\": %.3f}%s\n",
+        r.scenario.c_str(), r.partitions, r.rounds,
+        static_cast<unsigned long long>(r.delay_ms), r.close_p50_ms,
+        r.close_p99_ms, i + 1 < close_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -227,7 +336,33 @@ int main(int argc, char** argv) {
                   r->rows_per_s);
     }
   }
-  if (!json.empty() && !WriteJson(json, rows)) {
+
+  // Round-close latency with a healthy fleet vs. one endpoint whose
+  // socket reads are artificially slowed — the "degraded fleet" row.
+  // Close latency (not ingest throughput) is what a slow endpoint
+  // hurts first, because FinishRound serializes on the slowest drain.
+  const uint32_t close_rounds =
+      static_cast<uint32_t>(flags.GetU64("close_rounds", smoke ? 20 : 50));
+  const uint64_t degraded_delay_ms = flags.GetU64("degraded_delay_ms", 5);
+  std::vector<CloseRow> close_rows;
+  std::printf("\n%-10s %10s %8s %14s %14s %14s\n", "scenario", "partitions",
+              "rounds", "recv_delay_ms", "close_p50_ms", "close_p99_ms");
+  for (uint64_t delay_ms : {uint64_t{0}, degraded_delay_ms}) {
+    auto close_row = RunRoundClose(grr, 2, close_rounds, batch, delay_ms);
+    if (!close_row.ok()) {
+      std::fprintf(stderr, "round-close bench failed: %s\n",
+                   close_row.status().ToString().c_str());
+      return 1;
+    }
+    close_rows.push_back(*close_row);
+    std::printf("%-10s %10u %8u %14llu %14.3f %14.3f\n",
+                close_row->scenario.c_str(), close_row->partitions,
+                close_row->rounds,
+                static_cast<unsigned long long>(close_row->delay_ms),
+                close_row->close_p50_ms, close_row->close_p99_ms);
+  }
+
+  if (!json.empty() && !WriteJson(json, rows, close_rows)) {
     std::fprintf(stderr, "cannot write %s\n", json.c_str());
     return 1;
   }

@@ -41,6 +41,7 @@
 #include "ldp/frequency_oracle.h"
 #include "service/partition.h"
 #include "service/partition_worker.h"
+#include "service/retry.h"
 #include "service/transport.h"
 #include "util/status.h"
 
@@ -54,6 +55,53 @@ struct EndpointAddress {
   uint16_t port = 0;
 };
 
+/// Fault-tolerance knobs for the fleet client tier.
+struct RoutingOptions {
+  /// Per-operation deadlines on every endpoint connection.
+  CollectorClientOptions client;
+  /// Retry budget for the automatic reconnect → handshake → watermark →
+  /// replay recovery dance (per failure event, per partition).
+  RetryPolicy retry;
+  /// When true (default) the routing client records every routed frame
+  /// for the current round and, on a retryable send/finish failure,
+  /// recovers the endpoint itself: reconnect with backoff, re-handshake,
+  /// query the consumed-batch watermark, and replay the unconsumed
+  /// suffix. When false, failures surface immediately and the caller
+  /// drives ReconnectPartition/SetSkipBatches by hand (the pre-recovery
+  /// behavior; also skips the replay log's memory).
+  bool auto_recover = true;
+};
+
+/// Per-partition liveness/outcome of one round's fleet I/O (ISSUE:
+/// "attempts, last errno, watermark at death"). `attempts` counts
+/// connection attempts spent on recovery for this partition this round;
+/// `recoveries` successful recovery dances; `watermark_at_death` the
+/// last consumed-batch watermark learned before giving up (0 when the
+/// endpoint was never reachable again).
+struct PartitionHealth {
+  uint32_t partition = 0;
+  bool healthy = true;
+  uint64_t attempts = 0;
+  uint64_t recoveries = 0;
+  uint64_t watermark_at_death = 0;
+  Status last_error = Status::OK();
+
+  std::string ToString() const;
+};
+
+/// The per-partition health report a failed (or recovered) round
+/// returns instead of a bare error.
+struct RoundHealth {
+  uint64_t round_id = 0;
+  std::vector<PartitionHealth> partitions;
+
+  bool all_healthy() const;
+  /// "round 3: p0 ok (1 recovery), p1 DEAD after 4 attempts ..." —
+  /// embedded in the failure Status message so even callers that only
+  /// see the Status learn which partition died and why.
+  std::string ToString() const;
+};
+
 /// Client-side fan-out: one handshaken connection per partition.
 /// Synchronous and single-threaded like CollectorClient; a producer
 /// streams batches through SendBatch and the coordinator closes the
@@ -64,13 +112,16 @@ class PartitionRoutingClient {
   /// Dials endpoints[p] for partition p (one per map partition) and
   /// performs the kHello handshake on each — a misconfigured endpoint
   /// (different layout, different owned partition) fails here, before
-  /// any data flows.
+  /// any data flows. `options` sets the per-connection deadlines and the
+  /// automatic-recovery budget for the fleet.
   static Result<std::unique_ptr<PartitionRoutingClient>> Connect(
       const ldp::ScalarFrequencyOracle& oracle, const PartitionMap& map,
-      const std::vector<EndpointAddress>& endpoints);
+      const std::vector<EndpointAddress>& endpoints,
+      const RoutingOptions& options = RoutingOptions());
 
   const PartitionMap& map() const { return map_; }
   uint32_t partitions() const { return map_.partitions(); }
+  const RoutingOptions& options() const { return options_; }
 
   /// The round endpoint `p` reported at handshake / reconnect.
   uint64_t round_id(uint32_t p) const { return round_ids_[p]; }
@@ -82,6 +133,14 @@ class PartitionRoutingClient {
   /// endpoint (ordinals it owns; possibly empty). Partitions whose
   /// skip-batch floor exceeds `batch_index` are skipped — their endpoint
   /// already consumed that batch before a crash.
+  ///
+  /// With auto_recover on, a retryable transport failure (peer reset,
+  /// refused reconnect, deadline) triggers the recovery dance for that
+  /// partition — reconnect with backoff, re-handshake, query the
+  /// endpoint's consumed-batch watermark, replay the round's unconsumed
+  /// suffix from the replay log — transparently, bounded by the retry
+  /// budget. Only budget exhaustion (or a fatal error: CRC mismatch,
+  /// version skew, partition mismatch) surfaces to the caller.
   Status SendBatch(uint64_t round_id, uint64_t batch_index,
                    const std::vector<uint64_t>& ordinals);
 
@@ -103,20 +162,61 @@ class PartitionRoutingClient {
   Result<uint64_t> QueryWatermark(uint32_t p,
                                   uint64_t* round_id_out = nullptr);
 
+  /// Runs the bounded recovery dance for partition `p` right now:
+  /// backoff → reconnect → kHello handshake → QueryWatermark → replay
+  /// the replay-log suffix [watermark, replay_until) for `round_id`.
+  /// `replay_until` is the producer batch index the round has reached
+  /// (exclusive). Health accounting (attempts, recoveries, last error,
+  /// watermark at death) accumulates into this round's PartitionHealth.
+  /// Public so the coordinator (and tests) can drive it; SendBatch and
+  /// FinishRound call it automatically when auto_recover is on.
+  Status RecoverPartition(uint32_t p, uint64_t round_id,
+                          uint64_t replay_until);
+
+  /// Health accumulated for partition `p` since the last round change.
+  const PartitionHealth& health(uint32_t p) const { return health_[p]; }
+  /// Snapshot of all partitions' health for `round_id`.
+  RoundHealth SnapshotHealth(uint64_t round_id) const;
+  /// Clears the replay log and health records (a new round started).
+  void ResetRoundState(uint64_t round_id);
+
  private:
+  /// One routed frame the endpoint must have consumed for the round to
+  /// close — what RecoverPartition replays above the watermark.
+  struct LoggedBatch {
+    uint64_t batch_index = 0;
+    std::vector<uint64_t> ordinals;  ///< already routed for partition p
+  };
+
   PartitionRoutingClient(const ldp::ScalarFrequencyOracle& oracle,
                          PartitionMap map,
-                         std::vector<EndpointAddress> endpoints)
+                         std::vector<EndpointAddress> endpoints,
+                         RoutingOptions options)
       : oracle_(oracle),
         map_(std::move(map)),
-        endpoints_(std::move(endpoints)) {}
+        endpoints_(std::move(endpoints)),
+        options_(std::move(options)) {}
+
+  /// Sends one routed frame to partition `p` without recovery.
+  Status SendRoutedBatch(uint32_t p, uint64_t round_id, uint64_t batch_index,
+                         const std::vector<uint64_t>& owned);
+  /// Appends to partition `p`'s replay log (auto_recover only).
+  void LogRoutedBatch(uint32_t p, uint64_t batch_index,
+                      std::vector<uint64_t> owned);
 
   const ldp::ScalarFrequencyOracle& oracle_;
   PartitionMap map_;
   std::vector<EndpointAddress> endpoints_;
+  RoutingOptions options_;
   std::vector<std::unique_ptr<CollectorClient>> clients_;
   std::vector<uint64_t> round_ids_;
   std::vector<uint64_t> skip_batches_;
+  /// Per-partition routed-frame log for the current round; cleared when
+  /// the round id changes (ResetRoundState).
+  std::vector<std::vector<LoggedBatch>> replay_log_;
+  std::vector<PartitionHealth> health_;
+  uint64_t logged_round_ = 0;
+  bool round_state_valid_ = false;
 };
 
 /// Round-close coordinator: collect raw per-partition results, merge in
@@ -135,12 +235,27 @@ class MergeCoordinator {
   /// partitions; the spot check passes only if every partition's does.
   /// The merged stats keep only the row/batch totals — per-endpoint
   /// timing lives on the endpoints.
+  ///
+  /// With the routing client's auto_recover on, a retryable failure
+  /// while closing any partition (send, read, or a connection that died
+  /// between the last batch and the finish) triggers the same recovery
+  /// dance as SendBatch, then re-sends kFinish — the endpoint serves a
+  /// re-finish for an already-closed round from its result stash, so a
+  /// coordinator that crashed mid-read still converges. On budget
+  /// exhaustion the round fails cleanly: the error message embeds the
+  /// RoundHealth report and last_round_health() returns it structured.
   Result<RoundResult> FinishRound(uint64_t round_id, uint64_t n,
                                   uint64_t n_fake, Calibration calibration);
+
+  /// Health report of the most recent FinishRound call (success or
+  /// failure) — which partitions recovered, which died, attempts spent,
+  /// and the watermark each dead endpoint had reached.
+  const RoundHealth& last_round_health() const { return last_health_; }
 
  private:
   const ldp::ScalarFrequencyOracle& oracle_;
   PartitionRoutingClient* client_;
+  RoundHealth last_health_;
 };
 
 }  // namespace service

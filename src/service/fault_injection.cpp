@@ -1,0 +1,64 @@
+#include "service/fault_injection.h"
+
+namespace shuffledp {
+namespace service {
+
+namespace {
+std::atomic<FaultInjector*> g_injector{nullptr};
+}  // namespace
+
+const char* FaultOpName(FaultOp op) {
+  switch (op) {
+    case FaultOp::kConnect:
+      return "connect";
+    case FaultOp::kAccept:
+      return "accept";
+    case FaultOp::kSend:
+      return "send";
+    case FaultOp::kRecv:
+      return "recv";
+  }
+  return "?";
+}
+
+void FaultInjector::AddRule(const FaultRule& rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_.push_back(RuleState{rule, 0});
+}
+
+FaultAction FaultInjector::Evaluate(FaultOp op, uint16_t port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FaultAction chosen = FaultAction::None();
+  for (RuleState& state : rules_) {
+    const FaultRule& rule = state.rule;
+    if (rule.op != op) continue;
+    if (rule.port != 0 && rule.port != port) continue;
+    const uint64_t ordinal = state.matched++;
+    if (ordinal < rule.skip || ordinal - rule.skip >= rule.count) continue;
+    // The probability draw happens for every eligible call — even when
+    // an earlier rule already armed — so adding a rule never perturbs
+    // another rule's deterministic firing pattern.
+    const bool fires = rule.probability >= 1.0 ||
+                       rng_.UniformDouble() < rule.probability;
+    if (fires && chosen.kind == FaultAction::Kind::kNone) {
+      chosen = rule.action;
+    }
+  }
+  if (chosen.kind != FaultAction::Kind::kNone) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    injected_by_op_[static_cast<size_t>(op)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  return chosen;
+}
+
+FaultInjector* SetFaultInjector(FaultInjector* injector) {
+  return g_injector.exchange(injector, std::memory_order_acq_rel);
+}
+
+FaultInjector* GetFaultInjector() {
+  return g_injector.load(std::memory_order_acquire);
+}
+
+}  // namespace service
+}  // namespace shuffledp

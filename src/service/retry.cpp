@@ -1,0 +1,37 @@
+#include "service/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+namespace shuffledp {
+namespace service {
+
+bool IsRetryableTransportError(const Status& status) {
+  return status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
+BackoffSchedule::BackoffSchedule(const RetryPolicy& policy, uint64_t salt)
+    : policy_(policy), rng_(policy.seed ^ salt) {}
+
+uint64_t BackoffSchedule::NextDelayMs() {
+  // Exponential growth computed in double (the cap bites long before
+  // precision does), then jittered by a uniform factor in [1-j, 1+j].
+  double base = static_cast<double>(policy_.initial_backoff_ms) *
+                std::pow(policy_.multiplier, static_cast<double>(retries_));
+  base = std::min(base, static_cast<double>(policy_.max_backoff_ms));
+  const double j = std::clamp(policy_.jitter, 0.0, 1.0);
+  const double factor = 1.0 + j * (2.0 * rng_.UniformDouble() - 1.0);
+  ++retries_;
+  return static_cast<uint64_t>(base * factor);
+}
+
+void SleepForMs(uint64_t ms) {
+  if (ms == 0) return;
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace service
+}  // namespace shuffledp

@@ -1,0 +1,83 @@
+// Retry policy + transport error taxonomy for the collection fleet.
+//
+// Every fleet I/O operation can fail in one of two fundamentally
+// different ways, and conflating them is how retry storms corrupt
+// protocols:
+//
+//   *Retryable* failures are environmental: the peer is down, mid
+//   restart, or slow (ECONNREFUSED / ECONNRESET / EPIPE surface as
+//   kUnavailable; an expired per-operation deadline as
+//   kDeadlineExceeded). Retrying — reconnect, handshake, replay — is
+//   safe because the failure says nothing about the bytes exchanged.
+//
+//   *Fatal* failures are semantic: a CRC mismatch (kDataLoss), wire
+//   version skew or a partition-layout disagreement
+//   (kProtocolViolation), a malformed argument (kInvalidArgument). The
+//   peer answered and the answer was wrong; retrying into a protocol
+//   violation can only miscount reports or mask corruption, so these
+//   abort immediately.
+//
+// Backoff is exponential with deterministically seeded jitter: the
+// schedule is a pure function of (policy, salt), so a test can pin the
+// exact delay sequence and a fleet-wide retry wave still decorrelates
+// because every (partition, round) pair salts its own stream.
+
+#ifndef SHUFFLEDP_SERVICE_RETRY_H_
+#define SHUFFLEDP_SERVICE_RETRY_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace shuffledp {
+namespace service {
+
+/// Bounded exponential backoff with deterministic jitter.
+struct RetryPolicy {
+  /// Total tries including the first (1 = no retries).
+  uint32_t max_attempts = 4;
+  /// Delay before retry k (k >= 1): min(max_backoff_ms,
+  /// initial_backoff_ms * multiplier^(k-1)), jittered.
+  uint64_t initial_backoff_ms = 20;
+  uint64_t max_backoff_ms = 2000;
+  double multiplier = 2.0;
+  /// Fractional jitter j in [0, 1]: each delay is scaled by a uniform
+  /// factor in [1 - j, 1 + j] drawn from the seeded stream.
+  double jitter = 0.2;
+  /// Seed for the jitter stream (xor'd with the caller's salt).
+  uint64_t seed = 0xB0FF5EEDULL;
+};
+
+/// True for failures a reconnect/replay can fix (kUnavailable,
+/// kDeadlineExceeded); false for everything semantic — protocol
+/// violations must never be retried into.
+bool IsRetryableTransportError(const Status& status);
+
+/// One deterministic backoff delay sequence. Two schedules built from
+/// the same (policy, salt) produce identical delays; different salts
+/// (one per partition × round, say) decorrelate.
+class BackoffSchedule {
+ public:
+  BackoffSchedule(const RetryPolicy& policy, uint64_t salt);
+
+  /// Delay in ms before the next retry; advances the schedule.
+  uint64_t NextDelayMs();
+
+  /// Retries produced so far (== NextDelayMs() calls).
+  uint32_t retries() const { return retries_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng rng_;
+  uint32_t retries_ = 0;
+};
+
+/// Blocking sleep helper used between retry attempts (ms granularity;
+/// a no-op for 0).
+void SleepForMs(uint64_t ms);
+
+}  // namespace service
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_SERVICE_RETRY_H_

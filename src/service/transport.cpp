@@ -2,16 +2,21 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <ctime>
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include "ldp/wire.h"
+#include "service/fault_injection.h"
+#include "service/retry.h"
 #include "util/hash.h"
 
 namespace shuffledp {
@@ -19,22 +24,200 @@ namespace service {
 
 namespace {
 
+/// Errno taxonomy (service/retry.h): failures that say "the peer is
+/// down / unreachable / mid-restart" are transient and map to
+/// kUnavailable, so the retry layer reconnects through them. Anything
+/// else is an Internal error — not retried, because it signals a bug or
+/// a local-resource problem a reconnect will not fix.
+bool TransientErrno(int err) {
+  switch (err) {
+    case ECONNREFUSED:
+    case ECONNRESET:
+    case ECONNABORTED:
+    case EPIPE:
+    case ETIMEDOUT:
+    case EHOSTUNREACH:
+    case ENETUNREACH:
+    case ENETDOWN:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Status MapSocketErrno(const char* what, int err, const std::string& peer) {
+  std::string msg = std::string(what) + " " + peer + ": " +
+                    std::strerror(err);
+  return TransientErrno(err) ? Status::Unavailable(std::move(msg))
+                             : Status::Internal(std::move(msg));
+}
+
 Status Errno(const char* what) {
   return Status::Internal(std::string(what) + ": " + std::strerror(errno));
 }
 
-/// Full-buffer send; MSG_NOSIGNAL so a dropped peer surfaces as EPIPE
-/// instead of killing the process.
-Status SendAll(int fd, const uint8_t* data, size_t len) {
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+/// Monotonic per-operation deadline; ms <= 0 means "no deadline".
+class DeadlineTimer {
+ public:
+  static DeadlineTimer After(int ms) {
+    DeadlineTimer t;
+    if (ms > 0) {
+      t.infinite_ = false;
+      t.at_ = std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(ms);
+    }
+    return t;
+  }
+
+  /// poll() timeout argument: -1 = wait forever, else clamped >= 0.
+  int PollTimeoutMs() const {
+    if (infinite_) return -1;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    at_ - std::chrono::steady_clock::now())
+                    .count();
+    if (left < 0) return 0;
+    if (left > 3600 * 1000) return 3600 * 1000;
+    return static_cast<int>(left);
+  }
+
+  bool Expired() const {
+    return !infinite_ && std::chrono::steady_clock::now() >= at_;
+  }
+
+ private:
+  bool infinite_ = true;
+  std::chrono::steady_clock::time_point at_;
+};
+
+/// Waits for `events` readiness on `fd` within the deadline.
+/// kDeadlineExceeded names the operation and peer; POLLERR/POLLHUP are
+/// left for the subsequent syscall to diagnose precisely.
+Status PollWait(int fd, short events, const DeadlineTimer& deadline,
+                const char* what, const std::string& peer) {
+  for (;;) {
+    pollfd pfd{fd, events, 0};
+    int rc = ::poll(&pfd, 1, deadline.PollTimeoutMs());
+    if (rc > 0) return Status::OK();
+    if (rc == 0) {
+      return Status::DeadlineExceeded(std::string(what) + " " + peer +
+                                      ": deadline exceeded");
+    }
+    if (errno == EINTR) continue;
+    return MapSocketErrno(what, errno, peer);
+  }
+}
+
+/// Applies an injected fault for one syscall site. Returns non-OK for
+/// kFailErrno (mapped through the errno taxonomy); fills
+/// `truncate_send` (when non-null) for kTruncateSend.
+Status ApplyFault(FaultOp op, uint16_t port, const std::string& peer,
+                  size_t* truncate_send = nullptr) {
+  FaultInjector* injector = GetFaultInjector();
+  if (injector == nullptr) return Status::OK();
+  FaultAction action = injector->Evaluate(op, port);
+  switch (action.kind) {
+    case FaultAction::Kind::kNone:
+      break;
+    case FaultAction::Kind::kFailErrno:
+      return MapSocketErrno(FaultOpName(op), action.err,
+                            peer + " [injected]");
+    case FaultAction::Kind::kDelayMs:
+      SleepForMs(action.delay_ms);
+      break;
+    case FaultAction::Kind::kTruncateSend:
+      if (truncate_send != nullptr) {
+        *truncate_send = static_cast<size_t>(action.max_bytes);
+      }
+      break;
+  }
+  return Status::OK();
+}
+
+/// Full-buffer send over a nonblocking socket with a deadline:
+/// poll(POLLOUT) whenever the kernel buffer is full, fail with
+/// kDeadlineExceeded when the peer stops draining. MSG_NOSIGNAL so a
+/// dropped peer surfaces as EPIPE instead of killing the process.
+Status SendAllDeadline(int fd, const uint8_t* data, size_t len,
+                       const DeadlineTimer& deadline, uint16_t fault_port,
+                       const std::string& peer) {
   size_t off = 0;
   while (off < len) {
-    ssize_t sent = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
-    if (sent < 0) {
-      if (errno == EINTR) continue;
-      return Errno("send");
+    size_t truncate = 0;
+    SHUFFLEDP_RETURN_NOT_OK(
+        ApplyFault(FaultOp::kSend, fault_port, peer, &truncate));
+    size_t want = len - off;
+    if (truncate > 0) want = std::min(want, truncate);  // torn write
+    ssize_t sent = ::send(fd, data + off, want, MSG_NOSIGNAL);
+    if (sent > 0) {
+      off += static_cast<size_t>(sent);
+      continue;
     }
-    off += static_cast<size_t>(sent);
+    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      SHUFFLEDP_RETURN_NOT_OK(PollWait(fd, POLLOUT, deadline, "send", peer));
+      continue;
+    }
+    if (sent < 0 && errno == EINTR) continue;
+    return MapSocketErrno("send", errno, peer);
   }
+  return Status::OK();
+}
+
+/// One deadline-bounded read. `*got` = 0 signals a clean EOF; transient
+/// socket errors map to kUnavailable, an expired deadline to
+/// kDeadlineExceeded.
+Status RecvSomeDeadline(int fd, uint8_t* buf, size_t cap,
+                        const DeadlineTimer& deadline, uint16_t fault_port,
+                        const std::string& peer, size_t* got) {
+  for (;;) {
+    SHUFFLEDP_RETURN_NOT_OK(ApplyFault(FaultOp::kRecv, fault_port, peer));
+    ssize_t n = ::recv(fd, buf, cap, 0);
+    if (n > 0) {
+      *got = static_cast<size_t>(n);
+      return Status::OK();
+    }
+    if (n == 0) {
+      *got = 0;
+      return Status::OK();
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      SHUFFLEDP_RETURN_NOT_OK(PollWait(fd, POLLIN, deadline, "recv", peer));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return MapSocketErrno("recv", errno, peer);
+  }
+}
+
+/// Nonblocking connect with a deadline: EINPROGRESS + poll(POLLOUT) +
+/// SO_ERROR, so a blackholed address fails with kDeadlineExceeded
+/// naming the endpoint instead of hanging ::connect forever. The socket
+/// stays nonblocking — every later operation is poll-driven too.
+Status ConnectDeadline(int fd, const sockaddr_in& addr,
+                       const DeadlineTimer& deadline,
+                       const std::string& peer) {
+  for (;;) {
+    int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                       sizeof(addr));
+    if (rc == 0) return Status::OK();
+    if (errno == EINTR) continue;
+    if (errno != EINPROGRESS) return MapSocketErrno("connect", errno, peer);
+    break;
+  }
+  SHUFFLEDP_RETURN_NOT_OK(PollWait(fd, POLLOUT, deadline, "connect", peer));
+  int err = 0;
+  socklen_t err_len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+    return Errno("getsockopt(SO_ERROR)");
+  }
+  if (err != 0) return MapSocketErrno("connect", err, peer);
   return Status::OK();
 }
 
@@ -47,7 +230,8 @@ bool ValidFrameType(uint8_t type) {
 /// kMaxFramePayload must fail fast here — encoding it would poison the
 /// peer's decoder mid-stream (and a >4 GiB payload would silently
 /// truncate in the u32 length field).
-Status WriteFrameTo(int fd, const Frame& frame) {
+Status WriteFrameTo(int fd, const Frame& frame, const DeadlineTimer& deadline,
+                    uint16_t fault_port, const std::string& peer) {
   if (frame.payload.size() > kMaxFramePayload) {
     return Status::InvalidArgument(
         "frame payload of " + std::to_string(frame.payload.size()) +
@@ -55,7 +239,8 @@ Status WriteFrameTo(int fd, const Frame& frame) {
         "-byte transport cap");
   }
   Bytes wire = EncodeFrame(frame);
-  return SendAll(fd, wire.data(), wire.size());
+  return SendAllDeadline(fd, wire.data(), wire.size(), deadline, fault_port,
+                         peer);
 }
 
 }  // namespace
@@ -251,19 +436,17 @@ Result<std::unique_ptr<CollectionServer>> CollectionServer::Start(
                            .RecoverFinalizedRound(*journal)
                      : server->collector_->RecoverFinalizedRound(*journal);
       SHUFFLEDP_RETURN_NOT_OK(replay.status());
-      server->have_journaled_result_ = true;
-      server->journaled_round_ = journal->round_id;
-      server->journaled_n_ = journal->n;
-      server->journaled_n_fake_ = journal->n_fake;
-      server->journaled_calibration_ = journal->calibration;
-      server->journaled_result_.supports = std::move(replay->supports);
-      server->journaled_result_.estimates = std::move(replay->estimates);
-      server->journaled_result_.reports_decoded = replay->reports_decoded;
-      server->journaled_result_.reports_invalid = replay->reports_invalid;
-      server->journaled_result_.dummies_recognized =
-          replay->dummies_recognized;
-      server->journaled_result_.dummies_expected = replay->dummies_expected;
-      server->journaled_result_.spot_check_passed = replay->spot_check_passed;
+      RemoteRoundResult replayed;
+      replayed.supports = std::move(replay->supports);
+      replayed.estimates = std::move(replay->estimates);
+      replayed.reports_decoded = replay->reports_decoded;
+      replayed.reports_invalid = replay->reports_invalid;
+      replayed.dummies_recognized = replay->dummies_recognized;
+      replayed.dummies_expected = replay->dummies_expected;
+      replayed.spot_check_passed = replay->spot_check_passed;
+      server->StashRoundResult(journal->round_id, journal->n,
+                               journal->n_fake, journal->calibration,
+                               std::move(replayed));
     } else if (journal.status().code() != StatusCode::kNotFound) {
       return journal.status();  // present but unreadable: refuse to guess
     }
@@ -271,6 +454,9 @@ Result<std::unique_ptr<CollectionServer>> CollectionServer::Start(
       SHUFFLEDP_ASSIGN_OR_RETURN(server->recovered_watermark_,
                                  server->collector_->RecoverRound(*state));
       server->recovered_round_ = state->round_id;
+      // Resuming clients replay from the restored consumed-batch count.
+      server->ingest_offered_.store(server->recovered_watermark_,
+                                    std::memory_order_release);
     }
   }
   server->ingest_round_ = server->collector_->round_id();
@@ -353,6 +539,38 @@ uint64_t CollectionServer::round_id() const {
   return collector_->round_id();
 }
 
+CollectionServerStats CollectionServer::stats() const {
+  CollectionServerStats s;
+  s.connections_accepted = stat_accepted_.load(std::memory_order_relaxed);
+  s.connections_closed = stat_closed_.load(std::memory_order_relaxed);
+  s.evicted_idle = stat_evicted_idle_.load(std::memory_order_relaxed);
+  s.evicted_slow = stat_evicted_slow_.load(std::memory_order_relaxed);
+  s.protocol_errors = stat_protocol_errors_.load(std::memory_order_relaxed);
+  s.frames_handled = stat_frames_.load(std::memory_order_relaxed);
+  return s;
+}
+
+Status CollectionServer::WriteServerFrame(int fd, const Frame& frame) {
+  return WriteFrameTo(fd, frame,
+                      DeadlineTimer::After(options_.write_timeout_ms), port_,
+                      "client@:" + std::to_string(port_));
+}
+
+void CollectionServer::StashRoundResult(uint64_t round_id, uint64_t n,
+                                        uint64_t n_fake, uint8_t calibration,
+                                        RemoteRoundResult result) {
+  {
+    std::lock_guard<std::mutex> lock(result_mu_);
+    have_last_result_ = true;
+    last_round_ = round_id;
+    last_n_ = n;
+    last_n_fake_ = n_fake;
+    last_calibration_ = calibration;
+    last_result_ = std::move(result);
+  }
+  result_cv_.notify_all();
+}
+
 void CollectionServer::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -393,14 +611,29 @@ void CollectionServer::ReapFinishedLocked() {
 }
 
 void CollectionServer::AcceptLoop() {
+  const std::string peer = "listener@:" + std::to_string(port_);
   for (;;) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // listener shut down (or fatal): stop accepting
     }
+    // Scripted accept faults: a kFailErrno rule models "the endpoint is
+    // up but sheds this connection", a delay models a wedged acceptor.
+    Status admitted = ApplyFault(FaultOp::kAccept, port_, peer);
+    if (!admitted.ok()) {
+      ::close(fd);
+      continue;
+    }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Connection I/O is poll-driven (idle and write deadlines), so the
+    // socket must be nonblocking like the client side's.
+    if (!SetNonBlocking(fd).ok()) {
+      ::close(fd);
+      continue;
+    }
+    stat_accepted_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
       ::close(fd);
@@ -416,22 +649,46 @@ void CollectionServer::AcceptLoop() {
 
 void CollectionServer::ConnectionLoop(Connection* conn) {
   const int fd = conn->fd;
+  const std::string peer = "client@:" + std::to_string(port_);
   FrameDecoder decoder;
   uint8_t buf[65536];
   Status status = Status::OK();
   for (;;) {
-    ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
-    if (got < 0 && errno == EINTR) continue;
-    if (got <= 0) break;  // peer closed (or shutdown)
-    status = decoder.Feed(buf, static_cast<size_t>(got));
+    // Idle eviction: a connection that sends nothing for
+    // idle_timeout_ms is dropped (slow-client hygiene for long-lived
+    // endpoints; disabled by default so coordinator connections can sit
+    // between rounds). Each received chunk refreshes the deadline.
+    DeadlineTimer idle = DeadlineTimer::After(options_.idle_timeout_ms);
+    size_t got = 0;
+    Status read = RecvSomeDeadline(fd, buf, sizeof(buf), idle, port_, peer,
+                                   &got);
+    if (!read.ok()) {
+      if (read.code() == StatusCode::kDeadlineExceeded) {
+        stat_evicted_idle_.fetch_add(1, std::memory_order_relaxed);
+      }
+      break;  // reset / injected failure / idle: drop the connection
+    }
+    if (got == 0) break;  // peer closed (or shutdown)
+    status = decoder.Feed(buf, got);
     Frame frame;
     while (status.ok() && decoder.Next(&frame)) {
       status = HandleFrame(fd, std::move(frame));
+      if (status.ok()) stat_frames_.fetch_add(1, std::memory_order_relaxed);
       frame = Frame();
     }
     if (!status.ok()) {
+      if (status.code() == StatusCode::kDeadlineExceeded) {
+        // The frame was fine but the peer would not drain our reply:
+        // that is a slow client, not a protocol violation — no error
+        // frame (it would block on the same stuffed socket).
+        stat_evicted_slow_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      stat_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
       // Best-effort diagnostic, then drop the connection — a client that
       // sent a malformed or out-of-protocol frame cannot be resynced.
+      // Deadline-bounded like every server write: a stalled peer must
+      // not wedge this reader thread on its way out.
       ByteWriter w;
       w.PutU8(static_cast<uint8_t>(status.code()));
       w.PutLengthPrefixed(status.message());
@@ -439,13 +696,13 @@ void CollectionServer::ConnectionLoop(Connection* conn) {
       error.type = FrameType::kError;
       error.partition = static_cast<uint16_t>(options_.partition_id);
       error.payload = w.Release();
-      Bytes wire = EncodeFrame(error);
-      SendAll(fd, wire.data(), wire.size());
+      WriteServerFrame(fd, error);
       break;
     }
   }
   std::lock_guard<std::mutex> lock(mu_);
   ::close(fd);
+  stat_closed_.fetch_add(1, std::memory_order_relaxed);
   conn->done = true;
 }
 
@@ -488,7 +745,7 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
       w.PutBytes(SerializePartitionMap(options_.partition_map));
       w.PutVarint(options_.partition_id);
       reply.payload = w.Release();
-      return WriteFrameTo(fd, reply);
+      return WriteServerFrame(fd, reply);
     }
     case FrameType::kBatch: {
       // Under value partitioning the frame header alone cannot prove
@@ -523,7 +780,13 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
             " but the endpoint is ingesting round " +
             std::to_string(ingest_round_));
       }
-      return collector_->Offer(std::move(batch));
+      SHUFFLEDP_RETURN_NOT_OK(collector_->Offer(std::move(batch)));
+      // Advance the watermark only after the queue accepted the batch:
+      // a reconnecting sender replays everything at or above the
+      // answered value, so over-advancing would lose batches while
+      // under-advancing merely replays (which the count prevents).
+      ingest_offered_.fetch_add(1, std::memory_order_release);
+      return Status::OK();
     }
     case FrameType::kFinish: {
       ByteReader r(frame.payload);
@@ -533,43 +796,68 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
       if (!r.AtEnd() || cal > static_cast<uint8_t>(Calibration::kNone)) {
         return Status::ProtocolViolation("malformed finish payload");
       }
-      // A kFinish for the journaled round means the client never read
-      // the original kResult (crash in the close/read window): answer it
-      // from the replayed journal instead of failing the round-id check.
-      // The request must restate the parameters the round actually
-      // closed with — replaying a result for different (n, n_fake,
-      // calibration) would hand the caller numbers it never asked for.
-      if (have_journaled_result_ && frame.round_id == journaled_round_ &&
-          frame.round_id !=
-              ingest_round_.load(std::memory_order_acquire)) {
-        if (n != journaled_n_ || n_fake != journaled_n_fake_ ||
-            cal != journaled_calibration_) {
+      std::future<Result<RoundResult>> future;
+      bool closing = false;
+      {
+        std::lock_guard<std::mutex> lock(ingest_mu_);
+        if (frame.round_id == ingest_round_) {
+          future = collector_->CloseRound(n, n_fake,
+                                          static_cast<Calibration>(cal));
+          ++ingest_round_;
+          ingest_offered_.store(0, std::memory_order_release);
+          closing = true;
+        }
+      }
+      if (!closing) {
+        // Not the live round. A kFinish for the *last closed* round
+        // means the requester never read the original kResult — a
+        // coordinator whose connection died in the close-to-read window
+        // (reconnect-and-refinish), or one resuming after an endpoint
+        // crash (journal replay stocked the stash at Start). Serve the
+        // stashed result; wait briefly first, because the original
+        // close may still be draining on another connection's thread.
+        // The request must restate the parameters the round actually
+        // closed with — re-serving a result for different (n, n_fake,
+        // calibration) would hand the caller numbers it never asked
+        // for.
+        std::unique_lock<std::mutex> lock(result_mu_);
+        auto stashed = [&] {
+          return have_last_result_ && last_round_ == frame.round_id;
+        };
+        bool ready = stashed();
+        if (!ready &&
+            frame.round_id + 1 ==
+                ingest_round_.load(std::memory_order_acquire)) {
+          // Only the round *just* closed can still be draining; any
+          // other id is garbage and rejects immediately.
+          ready = result_cv_.wait_for(
+              lock,
+              std::chrono::milliseconds(std::max(options_.result_rewait_ms,
+                                                 0)),
+              stashed);
+        }
+        if (!ready) {
           return Status::ProtocolViolation(
-              "finish for journaled round " + std::to_string(frame.round_id) +
+              "finish for round " + std::to_string(frame.round_id) +
+              " but the endpoint is ingesting round " +
+              std::to_string(ingest_round_.load(std::memory_order_acquire)));
+        }
+        if (n != last_n_ || n_fake != last_n_fake_ ||
+            cal != last_calibration_) {
+          return Status::ProtocolViolation(
+              "finish for closed round " + std::to_string(frame.round_id) +
               " does not match the parameters it closed with (n=" +
-              std::to_string(journaled_n_) + ", n_fake=" +
-              std::to_string(journaled_n_fake_) + ", calibration=" +
-              std::to_string(journaled_calibration_) + ")");
+              std::to_string(last_n_) + ", n_fake=" +
+              std::to_string(last_n_fake_) + ", calibration=" +
+              std::to_string(last_calibration_) + ")");
         }
         Frame reply;
         reply.type = FrameType::kResult;
         reply.partition = frame.partition;
         reply.round_id = frame.round_id;
-        reply.payload = SerializeRoundResult(journaled_result_);
-        return WriteFrameTo(fd, reply);
-      }
-      std::future<Result<RoundResult>> future;
-      {
-        std::lock_guard<std::mutex> lock(ingest_mu_);
-        if (frame.round_id != ingest_round_) {
-          return Status::ProtocolViolation(
-              "finish for round " + std::to_string(frame.round_id) +
-              " but the endpoint is ingesting round " +
-              std::to_string(ingest_round_));
-        }
-        future = collector_->CloseRound(n, n_fake,
-                                        static_cast<Calibration>(cal));
-        ++ingest_round_;
+        reply.payload = SerializeRoundResult(last_result_);
+        lock.unlock();
+        return WriteServerFrame(fd, reply);
       }
       // Blocks this connection's reader only; the kernel socket buffer
       // and the collector queue keep absorbing the next round's batches
@@ -582,6 +870,7 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
         std::lock_guard<std::mutex> lock(ingest_mu_);
         collector_->ResetAfterError();
         ingest_round_ = collector_->round_id();
+        ingest_offered_.store(0, std::memory_order_release);
         return round.status();
       }
       RemoteRoundResult remote;
@@ -597,10 +886,15 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
       reply.partition = frame.partition;
       reply.round_id = frame.round_id;
       reply.payload = SerializeRoundResult(remote);
+      // Stash *before* writing the reply: if this connection died while
+      // the round drained, the write fails but a reconnecting
+      // coordinator can still re-request the result (the close-to-read
+      // window, live-server edition of the journal replay).
+      StashRoundResult(frame.round_id, n, n_fake, cal, std::move(remote));
       // A domain so large its result frame blows the cap surfaces as a
       // clean kError (via the connection error path), not a poisoned
       // client decoder mid-frame.
-      return WriteFrameTo(fd, reply);
+      return WriteServerFrame(fd, reply);
     }
     case FrameType::kWatermark: {
       if (!frame.payload.empty()) {
@@ -610,20 +904,16 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
       reply.type = FrameType::kWatermark;
       reply.partition = static_cast<uint16_t>(options_.partition_id);
       ByteWriter w;
-      // Atomic read, not the ingest gate: a pure query must not wait
-      // behind a backpressured Offer.
-      const uint64_t round = ingest_round_.load(std::memory_order_acquire);
-      reply.round_id = round;
-      // The recovered watermark is meaningful only while the recovered
-      // round is still the one being ingested; pairing a stale watermark
-      // with a later round would make a resuming client skip that
-      // round's first batches. Everywhere else the answer is "start from
-      // batch 0".
-      const bool recovering =
-          recovered_watermark_ > 0 && round == recovered_round_;
-      w.PutVarint(recovering ? recovered_watermark_ : 0);
+      // Atomic reads, not the ingest gate: a pure query must not wait
+      // behind a backpressured Offer. Round first: if a close lands
+      // between the two loads we pair the old round with the reset (or
+      // partially advanced) count of the new one, and a replay floor
+      // that is too low only re-sends batches the round-id check will
+      // reject — never skips any.
+      reply.round_id = ingest_round_.load(std::memory_order_acquire);
+      w.PutVarint(ingest_offered_.load(std::memory_order_acquire));
       reply.payload = w.Release();
-      return WriteFrameTo(fd, reply);
+      return WriteServerFrame(fd, reply);
     }
     case FrameType::kResult:
     case FrameType::kError:
@@ -638,7 +928,9 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
 // ---------------------------------------------------------------------------
 
 Result<std::unique_ptr<CollectorClient>> CollectorClient::Connect(
-    const std::string& host, uint16_t port) {
+    const std::string& host, uint16_t port,
+    const CollectorClientOptions& options) {
+  const std::string peer = host + ":" + std::to_string(port);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
@@ -646,16 +938,24 @@ Result<std::unique_ptr<CollectorClient>> CollectorClient::Connect(
   if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
     return Status::InvalidArgument("cannot parse IPv4 address: " + host);
   }
+  SHUFFLEDP_RETURN_NOT_OK(ApplyFault(FaultOp::kConnect, port, peer));
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) return Errno("socket");
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status st = Errno("connect");
+  Status nonblocking = SetNonBlocking(fd);
+  if (!nonblocking.ok()) {
     ::close(fd);
-    return st;
+    return nonblocking;
+  }
+  Status connected = ConnectDeadline(
+      fd, addr, DeadlineTimer::After(options.connect_timeout_ms), peer);
+  if (!connected.ok()) {
+    ::close(fd);
+    return connected;
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<CollectorClient>(new CollectorClient(fd));
+  return std::unique_ptr<CollectorClient>(
+      new CollectorClient(fd, port, peer, options));
 }
 
 CollectorClient::~CollectorClient() {
@@ -665,7 +965,9 @@ CollectorClient::~CollectorClient() {
 Status CollectorClient::WriteFrame(const Frame& frame) {
   Frame stamped = frame;
   stamped.partition = partition_;
-  return WriteFrameTo(fd_, stamped);
+  return WriteFrameTo(fd_, stamped,
+                      DeadlineTimer::After(options_.write_timeout_ms), port_,
+                      peer_);
 }
 
 Result<uint64_t> CollectorClient::Hello(const PartitionMap& map,
@@ -712,14 +1014,23 @@ Result<uint64_t> CollectorClient::Hello(const PartitionMap& map,
 Result<Frame> CollectorClient::ReadFrame() {
   Frame frame;
   uint8_t buf[65536];
+  // One deadline for the whole frame (it may arrive across many reads):
+  // a reply that cannot complete inside read_timeout_ms means the peer
+  // is wedged or the link is blackholed — kDeadlineExceeded, retryable.
+  DeadlineTimer deadline = DeadlineTimer::After(options_.read_timeout_ms);
   while (!decoder_.Next(&frame)) {
-    ssize_t got = ::recv(fd_, buf, sizeof(buf), 0);
-    if (got < 0 && errno == EINTR) continue;
-    if (got < 0) return Errno("recv");
+    size_t got = 0;
+    SHUFFLEDP_RETURN_NOT_OK(
+        RecvSomeDeadline(fd_, buf, sizeof(buf), deadline, port_, peer_,
+                         &got));
     if (got == 0) {
-      return Status::DataLoss("server closed the connection mid-frame");
+      // A peer that vanished mid-conversation is a transient fleet
+      // event (endpoint crash/restart), not corrupt data: kUnavailable
+      // so the recovery layer reconnects and replays.
+      return Status::Unavailable("server " + peer_ +
+                                 " closed the connection mid-frame");
     }
-    SHUFFLEDP_RETURN_NOT_OK(decoder_.Feed(buf, static_cast<size_t>(got)));
+    SHUFFLEDP_RETURN_NOT_OK(decoder_.Feed(buf, got));
   }
   if (frame.type == FrameType::kError) {
     ByteReader r(frame.payload);

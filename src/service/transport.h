@@ -41,14 +41,17 @@
 //                             Calibration::kNone)
 //   kError     server→client  u8 status code, varint-length message
 //   kWatermark both           query: empty payload; reply: varint
-//                             consumed-batch watermark — nonzero only
-//                             while the recovered round is still
-//                             ingesting (crash recovery: the client
-//                             resumes sending at that batch), 0 = send
-//                             from the beginning. Doubles as a flush
-//                             barrier: the reply is sent only after
-//                             every earlier frame on the connection has
-//                             been handed to the collector queue.
+//                             consumed-batch watermark — how many of
+//                             the ingesting round's batch frames this
+//                             endpoint has accepted into its collector
+//                             queue (crash recovery seeds it from the
+//                             restored checkpoint). A resuming or
+//                             reconnecting client replays from exactly
+//                             this batch index; 0 = send from the
+//                             beginning. Doubles as a flush barrier:
+//                             the reply is sent only after every
+//                             earlier frame on the connection has been
+//                             handed to the collector queue.
 //   kHello     both           partition handshake: SerializePartitionMap
 //                             bytes + varint partition id. The client
 //                             states the layout it was configured with
@@ -70,6 +73,7 @@
 #define SHUFFLEDP_SERVICE_TRANSPORT_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -159,6 +163,37 @@ struct RemoteRoundResult {
 Bytes SerializeRoundResult(const RemoteRoundResult& result);
 Result<RemoteRoundResult> ParseRoundResult(const Bytes& payload);
 
+/// Per-operation deadlines for the client side of the endpoint. Every
+/// value is milliseconds; <= 0 disables that deadline (the seed's
+/// block-forever behavior, kept available for debugging but not the
+/// default — a blackholed peer must surface as kDeadlineExceeded, never
+/// as a hang). Deadlines are per operation: each Send*/ReadFrame call
+/// gets a fresh one.
+struct CollectorClientOptions {
+  /// Nonblocking connect + poll bound; a blackholed address fails with
+  /// kDeadlineExceeded naming the endpoint instead of hanging in
+  /// ::connect.
+  int connect_timeout_ms = 10000;
+  /// Whole-frame read bound (covers every recv a frame needs). Must
+  /// exceed the worst-case server round-drain for FinishRound reads.
+  int read_timeout_ms = 120000;
+  /// Full-buffer write bound: a stalled peer that stops draining its
+  /// socket fails the send instead of wedging the producer.
+  int write_timeout_ms = 60000;
+};
+
+/// Per-connection lifecycle counters for a collection endpoint
+/// (monotonic over the server's lifetime; read via
+/// CollectionServer::stats()).
+struct CollectionServerStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;   ///< all closes, any cause
+  uint64_t evicted_idle = 0;         ///< idle-timeout evictions
+  uint64_t evicted_slow = 0;         ///< write-deadline evictions
+  uint64_t protocol_errors = 0;      ///< connections dropped on bad frames
+  uint64_t frames_handled = 0;       ///< frames fully processed
+};
+
 /// Collection endpoint configuration.
 struct CollectionServerOptions {
   /// TCP port to listen on; 0 picks an ephemeral port (read it back via
@@ -188,6 +223,23 @@ struct CollectionServerOptions {
   /// crash window between round close and result read is covered.
   bool recover = false;
   int listen_backlog = 16;
+  /// Slow-client eviction: a connection whose pending server→client
+  /// write (result, watermark, error frames) makes no progress for this
+  /// long is dropped and counted in stats().evicted_slow. <= 0 disables.
+  int write_timeout_ms = 60000;
+  /// Idle-connection eviction: a connection that sends nothing for this
+  /// long is dropped and counted in stats().evicted_idle. <= 0 disables
+  /// (the default — coordinator connections legitimately sit idle
+  /// between rounds; fleets that hold thousands of client connections
+  /// set this).
+  int idle_timeout_ms = 0;
+  /// How long a kFinish for the *previous* round waits for that round's
+  /// in-flight drain before being rejected. This is the reconnect-and-
+  /// refinish window: a coordinator whose connection died between
+  /// SendFinish and the result reply re-sends the finish on a fresh
+  /// connection, which may land while the original close is still
+  /// draining.
+  int result_rewait_ms = 15000;
 };
 
 /// TCP collection endpoint: accept thread + one reader thread per
@@ -218,6 +270,9 @@ class CollectionServer {
   /// Id of the round currently ingesting.
   uint64_t round_id() const;
 
+  /// Snapshot of the per-connection lifecycle counters.
+  CollectionServerStats stats() const;
+
   /// Stops accepting, drops every connection, and joins all threads.
   /// Idempotent; the destructor calls it. In-flight checkpoint state on
   /// disk is left untouched (that is the crash-recovery artifact).
@@ -239,6 +294,11 @@ class CollectionServer {
   void AcceptLoop();
   void ConnectionLoop(Connection* conn);
   Status HandleFrame(int fd, Frame frame);
+  /// Deadline-bounded frame write (options_.write_timeout_ms); a
+  /// kDeadlineExceeded return means the peer is a slow client.
+  Status WriteServerFrame(int fd, const Frame& frame);
+  void StashRoundResult(uint64_t round_id, uint64_t n, uint64_t n_fake,
+                        uint8_t calibration, RemoteRoundResult result);
   void ReapFinishedLocked();
 
   const ldp::ScalarFrequencyOracle& oracle_;
@@ -247,18 +307,30 @@ class CollectionServer {
   uint16_t port_ = 0;
   uint64_t recovered_watermark_ = 0;
   uint64_t recovered_round_ = 0;
-  // Finalized-round journal replayed at recovery: a kFinish for
-  // `journaled_round_` re-serves `journaled_result_` instead of failing
-  // the round-id check (the client never read the original kResult) —
-  // but only when the request's close parameters match the journaled
-  // ones, so a caller can never receive a result computed under
-  // parameters it did not ask for.
-  bool have_journaled_result_ = false;
-  uint64_t journaled_round_ = 0;
-  uint64_t journaled_n_ = 0;
-  uint64_t journaled_n_fake_ = 0;
-  uint8_t journaled_calibration_ = 0;
-  RemoteRoundResult journaled_result_;
+  // The last finalized round result, kept so a coordinator whose
+  // connection died in the close-to-read window can reconnect and
+  // re-send the kFinish: the re-request is served from this stash
+  // instead of failing the round-id check — but only when its close
+  // parameters match the stashed ones, so a caller can never receive a
+  // result computed under parameters it did not ask for. Populated by
+  // every live round close and by finalized-round journal replay at
+  // recovery; guarded by result_mu_ (multiple reader threads), with
+  // result_cv_ waking re-finish waiters when a drain completes.
+  mutable std::mutex result_mu_;
+  std::condition_variable result_cv_;
+  bool have_last_result_ = false;
+  uint64_t last_round_ = 0;
+  uint64_t last_n_ = 0;
+  uint64_t last_n_fake_ = 0;
+  uint8_t last_calibration_ = 0;
+  RemoteRoundResult last_result_;
+  // Lifecycle counters behind stats().
+  std::atomic<uint64_t> stat_accepted_{0};
+  std::atomic<uint64_t> stat_closed_{0};
+  std::atomic<uint64_t> stat_evicted_idle_{0};
+  std::atomic<uint64_t> stat_evicted_slow_{0};
+  std::atomic<uint64_t> stat_protocol_errors_{0};
+  std::atomic<uint64_t> stat_frames_{0};
   // Per-ordinal slice-ownership predicate for kByValue maps (built once
   // at Start; null otherwise) — the kBatch ingest path runs it inline
   // with the decode scan, so it must not be rebuilt per frame.
@@ -280,16 +352,29 @@ class CollectionServer {
   // backpressured Offer.
   std::mutex ingest_mu_;
   std::atomic<uint64_t> ingest_round_{0};
+  // Batches accepted into the collector queue for the ingesting round —
+  // the watermark a reconnecting sender resumes from. Advances under
+  // ingest_mu_ with each accepted kBatch, resets when the round closes,
+  // and is seeded from the restored checkpoint at recovery; atomic so
+  // the kWatermark query never waits behind a backpressured Offer.
+  std::atomic<uint64_t> ingest_offered_{0};
 };
 
 /// Client side of the endpoint. Synchronous; not thread-safe (one
-/// in-flight protocol conversation per client).
+/// in-flight protocol conversation per client). Every operation is
+/// deadline-bounded per CollectorClientOptions; transient failures
+/// (peer down, reset, deadline) come back as kUnavailable /
+/// kDeadlineExceeded so the retry layer (service/retry.h) can tell
+/// them from protocol violations.
 class CollectorClient {
  public:
-  /// Connects to `host:port`. `host` is a numeric IPv4 address or
-  /// "localhost".
+  /// Connects to `host:port` within options.connect_timeout_ms. `host`
+  /// is a numeric IPv4 address or "localhost". A blackholed address
+  /// fails with kDeadlineExceeded naming the endpoint; a refused one
+  /// with kUnavailable.
   static Result<std::unique_ptr<CollectorClient>> Connect(
-      const std::string& host, uint16_t port);
+      const std::string& host, uint16_t port,
+      const CollectorClientOptions& options = CollectorClientOptions());
 
   ~CollectorClient();
 
@@ -332,25 +417,34 @@ class CollectorClient {
                                         uint64_t n_fake,
                                         Calibration calibration);
 
-  /// Asks the server for its consumed-batch watermark (crash recovery:
-  /// resume sending at this batch index). The watermark is nonzero only
-  /// while the server is still ingesting the round it recovered — once
-  /// that round closed (or on a fresh start) the reply is 0, i.e. "send
-  /// from the beginning". `round_id_out`, when non-null, receives the
-  /// round id the server is currently ingesting. Because the server
+  /// Asks the server for its consumed-batch watermark: how many of the
+  /// ingesting round's batches the endpoint has accepted so far, i.e.
+  /// the batch index a resuming (crash recovery) or reconnecting
+  /// (endpoint recovery) sender replays from — 0 means "send from the
+  /// beginning". The count resets when a round closes and is seeded
+  /// from the restored checkpoint after a crash. `round_id_out`, when
+  /// non-null, receives the round id the server is currently ingesting. Because the server
   /// answers queries in connection order, a reply also certifies that
   /// every batch this client sent earlier has been handed to the
   /// collector queue — the flush barrier multi-connection rounds use
   /// before a coordinator's kFinish.
   Result<uint64_t> QueryWatermark(uint64_t* round_id_out = nullptr);
 
+  /// The endpoint this client dialed, as "host:port" (error messages).
+  const std::string& peer() const { return peer_; }
+
  private:
-  explicit CollectorClient(int fd) : fd_(fd) {}
+  CollectorClient(int fd, uint16_t port, std::string peer,
+                  const CollectorClientOptions& options)
+      : fd_(fd), port_(port), peer_(std::move(peer)), options_(options) {}
 
   Status WriteFrame(const Frame& frame);
   Result<Frame> ReadFrame();
 
   int fd_ = -1;
+  uint16_t port_ = 0;      ///< dialed TCP port (fault-injection match key)
+  std::string peer_;       ///< "host:port" for error messages
+  CollectorClientOptions options_;
   uint16_t partition_ = 0;
   FrameDecoder decoder_;
 };

@@ -27,6 +27,8 @@ enum class StatusCode {
   kDataLoss = 8,          ///< Truncated / corrupt serialized payload.
   kInternal = 9,          ///< Invariant violation inside the library.
   kUnimplemented = 10,    ///< Feature not available in this build.
+  kUnavailable = 11,      ///< Transient transport failure (peer down, reset).
+  kDeadlineExceeded = 12, ///< Operation did not finish inside its deadline.
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -72,6 +74,12 @@ class Status {
   }
   static Status Unimplemented(std::string m) {
     return Status(StatusCode::kUnimplemented, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
   }
 
   /// True iff the operation succeeded.

@@ -1,0 +1,195 @@
+// Retry policy and fault-injection determinism: the error taxonomy that
+// separates transient transport failures from fatal protocol errors, the
+// exact backoff sequence a fixed seed produces (recovery timing must be
+// reproducible or the chaos tests cannot be), and the scripted fault
+// injector's skip/count windows and seeded probability stream.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <vector>
+
+#include "service/fault_injection.h"
+#include "service/retry.h"
+#include "util/status.h"
+
+namespace shuffledp {
+namespace service {
+namespace {
+
+TEST(RetryTaxonomy, TransientCodesAreRetryable) {
+  EXPECT_TRUE(IsRetryableTransportError(Status::Unavailable("peer down")));
+  EXPECT_TRUE(
+      IsRetryableTransportError(Status::DeadlineExceeded("read timed out")));
+}
+
+TEST(RetryTaxonomy, FatalCodesAreNot) {
+  // CRC mismatch / malformed frames surface as these — retrying cannot
+  // fix corrupted or misrouted data, so the taxonomy must refuse them.
+  EXPECT_FALSE(IsRetryableTransportError(Status::DataLoss("crc mismatch")));
+  EXPECT_FALSE(
+      IsRetryableTransportError(Status::ProtocolViolation("version skew")));
+  EXPECT_FALSE(
+      IsRetryableTransportError(Status::InvalidArgument("bad partition")));
+  EXPECT_FALSE(IsRetryableTransportError(Status::Internal("io error")));
+  EXPECT_FALSE(IsRetryableTransportError(Status::OK()));
+}
+
+TEST(BackoffSchedule, ExactSequenceUnderFixedSeed) {
+  // Golden sequences: any drift in the jitter draw order or the backoff
+  // arithmetic is a behavior change for every recovery in the fleet and
+  // must be deliberate.
+  {
+    BackoffSchedule s(RetryPolicy{}, 0x1234);
+    const std::vector<uint64_t> expected = {22,  39,  80,   135,
+                                            349, 705, 1132, 2016};
+    for (uint64_t want : expected) EXPECT_EQ(s.NextDelayMs(), want);
+  }
+  {
+    RetryPolicy p;
+    p.initial_backoff_ms = 5;
+    p.max_backoff_ms = 40;
+    p.multiplier = 3.0;
+    p.jitter = 0.5;
+    p.seed = 42;
+    BackoffSchedule s(p, 7);
+    const std::vector<uint64_t> expected = {3, 7, 27, 45, 35, 49, 41, 58};
+    for (uint64_t want : expected) EXPECT_EQ(s.NextDelayMs(), want);
+  }
+}
+
+TEST(BackoffSchedule, ZeroJitterIsPureCappedExponential) {
+  RetryPolicy p;
+  p.jitter = 0.0;  // defaults otherwise: 20ms * 2^k capped at 2000ms
+  BackoffSchedule s(p, 0);
+  const std::vector<uint64_t> expected = {20,  40,  80,   160,
+                                          320, 640, 1280, 2000};
+  for (uint64_t want : expected) EXPECT_EQ(s.NextDelayMs(), want);
+}
+
+TEST(BackoffSchedule, SameSaltReplaysDifferentSaltDiverges) {
+  BackoffSchedule a(RetryPolicy{}, 99);
+  BackoffSchedule b(RetryPolicy{}, 99);
+  BackoffSchedule c(RetryPolicy{}, 100);
+  bool diverged = false;
+  for (int i = 0; i < 16; ++i) {
+    const uint64_t da = a.NextDelayMs();
+    EXPECT_EQ(da, b.NextDelayMs());
+    diverged = diverged || da != c.NextDelayMs();
+  }
+  EXPECT_TRUE(diverged);
+  EXPECT_EQ(a.retries(), 16u);
+}
+
+TEST(BackoffSchedule, JitterStaysInsideBand) {
+  RetryPolicy p;
+  p.jitter = 0.2;
+  BackoffSchedule s(p, 5);
+  uint64_t base = p.initial_backoff_ms;
+  for (int i = 0; i < 12; ++i) {
+    const uint64_t delay = s.NextDelayMs();
+    EXPECT_GE(delay, static_cast<uint64_t>(base * 0.8) - 1);
+    EXPECT_LE(delay, static_cast<uint64_t>(base * 1.2) + 1);
+    base = std::min<uint64_t>(p.max_backoff_ms, base * 2);
+  }
+}
+
+TEST(FaultInjector, SkipCountWindowFiresExactly) {
+  FaultInjector fi(1);
+  FaultRule rule;
+  rule.op = FaultOp::kSend;
+  rule.skip = 2;
+  rule.count = 3;
+  rule.action = FaultAction::FailErrno(ECONNRESET);
+  fi.AddRule(rule);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    FaultAction a = fi.Evaluate(FaultOp::kSend, 1000);
+    const bool hit = a.kind == FaultAction::Kind::kFailErrno;
+    if (hit) {
+      EXPECT_GE(i, 2);
+      EXPECT_LT(i, 5);
+      EXPECT_EQ(a.err, ECONNRESET);
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(fi.injected(), 3u);
+  EXPECT_EQ(fi.injected(FaultOp::kSend), 3u);
+  EXPECT_EQ(fi.injected(FaultOp::kRecv), 0u);
+}
+
+TEST(FaultInjector, PortAndOpFiltersMatch) {
+  FaultInjector fi(1);
+  FaultRule rule;
+  rule.op = FaultOp::kConnect;
+  rule.port = 7001;
+  rule.action = FaultAction::FailErrno(ECONNREFUSED);
+  fi.AddRule(rule);
+  EXPECT_EQ(fi.Evaluate(FaultOp::kConnect, 7002).kind,
+            FaultAction::Kind::kNone);
+  EXPECT_EQ(fi.Evaluate(FaultOp::kSend, 7001).kind, FaultAction::Kind::kNone);
+  EXPECT_EQ(fi.Evaluate(FaultOp::kConnect, 7001).kind,
+            FaultAction::Kind::kFailErrno);
+}
+
+TEST(FaultInjector, SeededProbabilityStreamReplays) {
+  auto firing_pattern = [](uint64_t seed) {
+    FaultInjector fi(seed);
+    FaultRule rule;
+    rule.op = FaultOp::kRecv;
+    rule.probability = 0.5;
+    rule.action = FaultAction::DelayMs(1);
+    fi.AddRule(rule);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(fi.Evaluate(FaultOp::kRecv, 0).kind !=
+                      FaultAction::Kind::kNone);
+    }
+    return fired;
+  };
+  const std::vector<bool> a = firing_pattern(0xFA17);
+  EXPECT_EQ(a, firing_pattern(0xFA17));  // same seed: same schedule
+  EXPECT_NE(a, firing_pattern(0xFA18));
+  size_t hits = 0;
+  for (bool b : a) hits += b;
+  EXPECT_GT(hits, 16u);  // ~32 expected of 64
+  EXPECT_LT(hits, 48u);
+}
+
+TEST(FaultInjector, EarlierRuleWinsAndCountersStayIndependent) {
+  FaultInjector fi(1);
+  FaultRule first;
+  first.op = FaultOp::kSend;
+  first.count = 1;
+  first.action = FaultAction::TruncateSend(8);
+  FaultRule second;
+  second.op = FaultOp::kSend;
+  second.skip = 0;
+  second.action = FaultAction::FailErrno(EPIPE);
+  fi.AddRule(first);
+  fi.AddRule(second);
+  // Call 0: both armed; the earlier rule supplies the action.
+  FaultAction a = fi.Evaluate(FaultOp::kSend, 0);
+  EXPECT_EQ(a.kind, FaultAction::Kind::kTruncateSend);
+  EXPECT_EQ(a.max_bytes, 8u);
+  // Call 1: the first rule's window is spent; the second now surfaces —
+  // its own counter advanced during call 0 even while shadowed.
+  a = fi.Evaluate(FaultOp::kSend, 0);
+  EXPECT_EQ(a.kind, FaultAction::Kind::kFailErrno);
+  EXPECT_EQ(a.err, EPIPE);
+}
+
+TEST(FaultInjector, ScopedInstallUninstalls) {
+  EXPECT_EQ(GetFaultInjector(), nullptr);
+  {
+    FaultInjector fi(1);
+    ScopedFaultInjector scope(&fi);
+    EXPECT_EQ(GetFaultInjector(), &fi);
+  }
+  EXPECT_EQ(GetFaultInjector(), nullptr);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace shuffledp
