@@ -28,9 +28,15 @@ Result<std::vector<uint64_t>> ParseOrdinals(
 Result<std::vector<uint64_t>> ParseOrdinalsValidated(
     const ScalarFrequencyOracle& oracle, const Bytes& wire,
     const std::function<Status(uint64_t ordinal)>& check) {
+  return ParseOrdinalsValidated(oracle, wire.data(), wire.size(), check);
+}
+
+Result<std::vector<uint64_t>> ParseOrdinalsValidated(
+    const ScalarFrequencyOracle& oracle, const uint8_t* data, size_t len,
+    const std::function<Status(uint64_t ordinal)>& check) {
   const size_t width = WireReportBytes(oracle);
   const unsigned bits = oracle.PackedBits();
-  ByteReader reader(wire);
+  ByteReader reader(data, len);
   SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t count, reader.GetVarint());
   // Divide instead of multiplying: a hostile count (e.g. 2^61 with an
   // 8-byte width) would overflow count * width to a small value, slip

@@ -57,6 +57,13 @@ Result<std::vector<uint64_t>> ParseOrdinalsValidated(
     const ScalarFrequencyOracle& oracle, const Bytes& wire,
     const std::function<Status(uint64_t ordinal)>& check);
 
+/// Same, over a raw byte range — for payloads where the ordinal block
+/// follows a caller-parsed prefix (the transport's indexed batch frames)
+/// and a subrange copy would be waste.
+Result<std::vector<uint64_t>> ParseOrdinalsValidated(
+    const ScalarFrequencyOracle& oracle, const uint8_t* data, size_t len,
+    const std::function<Status(uint64_t ordinal)>& check);
+
 /// Packs a 0/1 unary report into bits (LSB-first within each byte).
 Bytes PackUnaryBits(const std::vector<uint8_t>& bits);
 

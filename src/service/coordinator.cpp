@@ -117,12 +117,14 @@ void PartitionRoutingClient::LogRoutedBatch(uint32_t p, uint64_t batch_index,
 Status PartitionRoutingClient::SendRoutedBatch(
     uint32_t p, uint64_t round_id, uint64_t batch_index,
     const std::vector<uint64_t>& owned) {
-  (void)batch_index;
   if (clients_[p] == nullptr) {
     return Status::Unavailable("partition " + std::to_string(p) +
                                " has no live connection");
   }
-  return clients_[p]->SendOrdinals(round_id, oracle_, owned);
+  // Indexed send: the endpoint's batch-index gate accepts each producer
+  // batch exactly once, so a recovery replay can race stragglers the
+  // replaced connection still delivers without double-ingesting.
+  return clients_[p]->SendOrdinals(round_id, batch_index, oracle_, owned);
 }
 
 Status PartitionRoutingClient::SendBatch(
@@ -173,10 +175,15 @@ Status PartitionRoutingClient::RecoverPartition(uint32_t p,
   }
   PartitionHealth& h = health_[p];
   h.healthy = false;
-  // Drop the dead connection *before* the first backoff sleep: the
-  // endpoint drains and discards whatever the old socket still buffered
-  // while we wait, so the watermark answered on the fresh connection
-  // reflects every frame that made it through.
+  // Drop the dead connection before the first backoff sleep. This does
+  // NOT guarantee the endpoint has finished with it: kernel-buffered
+  // frames sit ahead of our FIN, so the old reader thread may still be
+  // ingesting batches while (and after) the fresh connection's watermark
+  // is answered. That race is why routed batches ship as kBatchIndexed:
+  // the endpoint's index gate accepts each batch index exactly once and
+  // silently drops the straggler/replay duplicate, whichever connection
+  // delivers second. The watermark is therefore a safe (possibly stale-
+  // low) replay floor, never a dedup mechanism by itself.
   clients_[p].reset();
   BackoffSchedule backoff(options_.retry,
                           (static_cast<uint64_t>(p) << 32) ^ round_id);

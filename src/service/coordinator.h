@@ -4,15 +4,18 @@
 // A distributed round has two client-side roles:
 //
 //   PartitionRoutingClient  fans a producer's batches out to the owning
-//       endpoints. Every producer batch yields exactly one kBatch frame
-//       per endpoint — the frame carries the subset of ordinals the
-//       endpoint owns (kByValue) or the whole batch / nothing (kByClient
-//       round-robin) — so per-endpoint batch indices always equal
-//       producer batch indices. That alignment is what crash recovery
-//       replays against: an endpoint's consumed-batch watermark is
-//       directly a producer batch index, and SetSkipBatches() replays
-//       any single endpoint's suffix without re-sending (and
-//       double-counting) the others'.
+//       endpoints. Every producer batch yields exactly one kBatchIndexed
+//       frame per endpoint — the frame carries the producer batch index
+//       plus the subset of ordinals the endpoint owns (kByValue) or the
+//       whole batch / nothing (kByClient round-robin) — so per-endpoint
+//       batch indices always equal producer batch indices. That
+//       alignment is what crash recovery replays against: an endpoint's
+//       consumed-batch watermark is directly a producer batch index, and
+//       SetSkipBatches() replays any single endpoint's suffix without
+//       re-sending the others'. The explicit index also makes replay
+//       idempotent: the endpoint accepts each index exactly once, so a
+//       replayed batch that races a straggler the replaced connection
+//       still delivers is dropped, not double-counted.
 //
 //   MergeCoordinator  closes the round: it sends kFinish with
 //       Calibration::kNone to every endpoint (pipelined — all sends
@@ -166,8 +169,12 @@ class PartitionRoutingClient {
   /// backoff → reconnect → kHello handshake → QueryWatermark → replay
   /// the replay-log suffix [watermark, replay_until) for `round_id`.
   /// `replay_until` is the producer batch index the round has reached
-  /// (exclusive). Health accounting (attempts, recoveries, last error,
-  /// watermark at death) accumulates into this round's PartitionHealth.
+  /// (exclusive). The watermark may lag what the endpoint ultimately
+  /// ingests from the replaced connection's kernel buffers; replayed
+  /// batches that duplicate such stragglers are dropped by the
+  /// endpoint's batch-index gate, so over-replaying is safe. Health
+  /// accounting (attempts, recoveries, last error, watermark at death)
+  /// accumulates into this round's PartitionHealth.
   /// Public so the coordinator (and tests) can drive it; SendBatch and
   /// FinishRound call it automatically when auto_recover is on.
   Status RecoverPartition(uint32_t p, uint64_t round_id,

@@ -1,10 +1,21 @@
 #include "service/fault_injection.h"
 
+#include <thread>
+
 namespace shuffledp {
 namespace service {
 
 namespace {
 std::atomic<FaultInjector*> g_injector{nullptr};
+/// In-flight EvaluateInstalledFault calls. SetFaultInjector waits for
+/// this to drain after swapping the hook, so a test that uninstalls can
+/// immediately destroy its injector even while transport threads are
+/// mid-syscall — without the wait, a reader thread that loaded the hook
+/// just before the swap would race the destructor. seq_cst on both
+/// sides closes the store/load reordering window (Dekker pattern);
+/// these are test-only paths, the production fast path below is
+/// untouched.
+std::atomic<int64_t> g_evaluating{0};
 }  // namespace
 
 const char* FaultOpName(FaultOp op) {
@@ -52,8 +63,28 @@ FaultAction FaultInjector::Evaluate(FaultOp op, uint16_t port) {
   return chosen;
 }
 
+FaultAction EvaluateInstalledFault(FaultOp op, uint16_t port) {
+  // Production fast path: one atomic load, no pin traffic.
+  if (g_injector.load(std::memory_order_acquire) == nullptr) {
+    return FaultAction::None();
+  }
+  g_evaluating.fetch_add(1, std::memory_order_seq_cst);
+  FaultInjector* injector = g_injector.load(std::memory_order_seq_cst);
+  FaultAction action =
+      injector ? injector->Evaluate(op, port) : FaultAction::None();
+  g_evaluating.fetch_sub(1, std::memory_order_seq_cst);
+  return action;
+}
+
 FaultInjector* SetFaultInjector(FaultInjector* injector) {
-  return g_injector.exchange(injector, std::memory_order_acq_rel);
+  FaultInjector* previous =
+      g_injector.exchange(injector, std::memory_order_seq_cst);
+  // Drain evaluations that pinned before the swap: once this returns,
+  // no thread can still be inside the previous injector.
+  while (g_evaluating.load(std::memory_order_seq_cst) != 0) {
+    std::this_thread::yield();
+  }
+  return previous;
 }
 
 FaultInjector* GetFaultInjector() {

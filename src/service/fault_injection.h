@@ -86,7 +86,11 @@ struct FaultAction {
   static FaultAction TruncateSend(uint64_t max_bytes) {
     FaultAction a;
     a.kind = Kind::kTruncateSend;
-    a.max_bytes = max_bytes;
+    // Clamp to >= 1: a 0-byte cap would make the transport call
+    // ::send(fd, p, 0), whose 0 return is indistinguishable from a
+    // send failure and would be mislabeled with a stale errno. The
+    // smallest expressible torn write is 1 byte.
+    a.max_bytes = max_bytes == 0 ? 1 : max_bytes;
     return a;
   }
 };
@@ -144,13 +148,23 @@ class FaultInjector {
   std::atomic<uint64_t> injected_by_op_[4] = {{0}, {0}, {0}, {0}};
 };
 
+/// Evaluates the installed hook for one syscall site — what the
+/// transport calls on every connect/accept/send/recv. Returns None when
+/// no hook is installed (the production state: one atomic load). The
+/// evaluation is pinned against SetFaultInjector, so the injector
+/// cannot be swapped out (and destroyed) mid-evaluate.
+FaultAction EvaluateInstalledFault(FaultOp op, uint16_t port);
+
 /// Installs `injector` as the process-global transport hook (null
-/// uninstalls). Not reference-counted: the caller keeps the injector
-/// alive until after uninstalling. Returns the previous hook.
+/// uninstalls). Blocks until every in-flight EvaluateInstalledFault on
+/// the previous hook has drained: after uninstalling, the caller may
+/// destroy the injector immediately, even with transport threads still
+/// running. Returns the previous hook.
 FaultInjector* SetFaultInjector(FaultInjector* injector);
 
-/// The installed hook, or null (the production state). The transport
-/// calls this on every connect/accept/send/recv.
+/// The installed hook, or null (the production state) — for tests that
+/// assert install state; the transport goes through
+/// EvaluateInstalledFault.
 FaultInjector* GetFaultInjector();
 
 /// RAII install/uninstall for tests.

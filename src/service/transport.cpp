@@ -120,9 +120,7 @@ Status PollWait(int fd, short events, const DeadlineTimer& deadline,
 /// `truncate_send` (when non-null) for kTruncateSend.
 Status ApplyFault(FaultOp op, uint16_t port, const std::string& peer,
                   size_t* truncate_send = nullptr) {
-  FaultInjector* injector = GetFaultInjector();
-  if (injector == nullptr) return Status::OK();
-  FaultAction action = injector->Evaluate(op, port);
+  FaultAction action = EvaluateInstalledFault(op, port);
   switch (action.kind) {
     case FaultAction::Kind::kNone:
       break;
@@ -160,11 +158,20 @@ Status SendAllDeadline(int fd, const uint8_t* data, size_t len,
       off += static_cast<size_t>(sent);
       continue;
     }
-    if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    if (sent == 0) {
+      // A stream send never legitimately returns 0 for a nonzero
+      // length (and `want` is always >= 1 here: the loop guard keeps
+      // len - off positive and injected truncations clamp to >= 1).
+      // errno is unspecified in this case — report the fact itself
+      // instead of mislabeling the failure with a stale errno.
+      return Status::Internal("send " + peer +
+                              ": returned 0 for a nonzero-length write");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
       SHUFFLEDP_RETURN_NOT_OK(PollWait(fd, POLLOUT, deadline, "send", peer));
       continue;
     }
-    if (sent < 0 && errno == EINTR) continue;
+    if (errno == EINTR) continue;
     return MapSocketErrno("send", errno, peer);
   }
   return Status::OK();
@@ -223,7 +230,7 @@ Status ConnectDeadline(int fd, const sockaddr_in& addr,
 
 bool ValidFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kBatch) &&
-         type <= static_cast<uint8_t>(FrameType::kHello);
+         type <= static_cast<uint8_t>(FrameType::kBatchIndexed);
 }
 
 /// Cap-checked frame write shared by both endpoints: a payload beyond
@@ -547,6 +554,7 @@ CollectionServerStats CollectionServer::stats() const {
   s.evicted_slow = stat_evicted_slow_.load(std::memory_order_relaxed);
   s.protocol_errors = stat_protocol_errors_.load(std::memory_order_relaxed);
   s.frames_handled = stat_frames_.load(std::memory_order_relaxed);
+  s.batches_deduped = stat_deduped_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -747,14 +755,26 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
       reply.payload = w.Release();
       return WriteServerFrame(fd, reply);
     }
-    case FrameType::kBatch: {
+    case FrameType::kBatch:
+    case FrameType::kBatchIndexed: {
+      const bool indexed = frame.type == FrameType::kBatchIndexed;
+      uint64_t batch_index = 0;
+      const uint8_t* ordinal_bytes = frame.payload.data();
+      size_t ordinal_len = frame.payload.size();
+      if (indexed) {
+        ByteReader prefix(frame.payload);
+        SHUFFLEDP_ASSIGN_OR_RETURN(batch_index, prefix.GetVarint());
+        ordinal_bytes = frame.payload.data() +
+                        (frame.payload.size() - prefix.Remaining());
+        ordinal_len = prefix.Remaining();
+      }
       // Under value partitioning the frame header alone cannot prove
       // routing: every contained ordinal must belong to the owned
       // slice, or another partition's counts are silently wrong. The
       // check runs inline with the decode scan (one pass).
       SHUFFLEDP_ASSIGN_OR_RETURN(
           std::vector<uint64_t> parsed,
-          ldp::ParseOrdinalsValidated(oracle_, frame.payload,
+          ldp::ParseOrdinalsValidated(oracle_, ordinal_bytes, ordinal_len,
                                       ordinal_owner_check_));
       auto ordinals =
           std::make_shared<std::vector<uint64_t>>(std::move(parsed));
@@ -769,10 +789,11 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
         row.valid = true;
         return row;
       };
-      // Round check and Offer are one atomic step under the ingest gate:
-      // checking first and offering later would let another connection's
-      // kFinish slip its close sentinel in between, silently counting
-      // this batch into the next round.
+      // Round check, index gate, and Offer are one atomic step under
+      // the ingest gate: checking first and offering later would let
+      // another connection's kFinish slip its close sentinel in between
+      // (silently counting this batch into the next round), or let two
+      // connections racing the same batch index both pass the gate.
       std::lock_guard<std::mutex> lock(ingest_mu_);
       if (frame.round_id != ingest_round_) {
         return Status::ProtocolViolation(
@@ -780,11 +801,34 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
             " but the endpoint is ingesting round " +
             std::to_string(ingest_round_));
       }
+      if (indexed) {
+        // Exactly-once gate for the single indexed producer stream:
+        // the consumed-batch count is the next index the round admits.
+        // A stale index is a duplicate — a replaced connection's
+        // kernel-buffered stragglers draining concurrently with the
+        // recovery replay on the fresh connection — and is dropped
+        // silently, because both copies carry identical bytes and one
+        // was already counted. A future index means a batch was lost
+        // in between: fail loudly, a replay cannot fill the hole.
+        const uint64_t expected =
+            ingest_offered_.load(std::memory_order_relaxed);
+        if (batch_index < expected) {
+          stat_deduped_.fetch_add(1, std::memory_order_relaxed);
+          return Status::OK();
+        }
+        if (batch_index > expected) {
+          return Status::ProtocolViolation(
+              "indexed batch " + std::to_string(batch_index) +
+              " for round " + std::to_string(frame.round_id) +
+              " but the endpoint expects batch " +
+              std::to_string(expected) + " next (a batch was lost)");
+        }
+      }
       SHUFFLEDP_RETURN_NOT_OK(collector_->Offer(std::move(batch)));
       // Advance the watermark only after the queue accepted the batch:
       // a reconnecting sender replays everything at or above the
       // answered value, so over-advancing would lose batches while
-      // under-advancing merely replays (which the count prevents).
+      // under-advancing merely replays (which the index gate absorbs).
       ingest_offered_.fetch_add(1, std::memory_order_release);
       return Status::OK();
     }
@@ -903,15 +947,24 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
       Frame reply;
       reply.type = FrameType::kWatermark;
       reply.partition = static_cast<uint16_t>(options_.partition_id);
+      uint64_t reply_round = 0;
+      uint64_t offered = 0;
+      {
+        // Both values under the ingest gate: two bare atomic loads
+        // could straddle a concurrent kFinish and pair one round's id
+        // with another round's count — and a recovery acting on that
+        // torn pair replays into the wrong round, which the round-id
+        // check rejects *fatally* (kProtocolViolation is not
+        // retryable). The wait this can add behind an in-flight Offer
+        // is the flush barrier the watermark already promises; queries
+        // are rare, so contention is irrelevant.
+        std::lock_guard<std::mutex> lock(ingest_mu_);
+        reply_round = ingest_round_.load(std::memory_order_relaxed);
+        offered = ingest_offered_.load(std::memory_order_relaxed);
+      }
+      reply.round_id = reply_round;
       ByteWriter w;
-      // Atomic reads, not the ingest gate: a pure query must not wait
-      // behind a backpressured Offer. Round first: if a close lands
-      // between the two loads we pair the old round with the reset (or
-      // partially advanced) count of the new one, and a replay floor
-      // that is too low only re-sends batches the round-id check will
-      // reject — never skips any.
-      reply.round_id = ingest_round_.load(std::memory_order_acquire);
-      w.PutVarint(ingest_offered_.load(std::memory_order_acquire));
+      w.PutVarint(offered);
       reply.payload = w.Release();
       return WriteServerFrame(fd, reply);
     }
@@ -1067,6 +1120,30 @@ Status CollectorClient::SendOrdinals(
   frame.type = FrameType::kBatch;
   frame.round_id = round_id;
   frame.payload = ldp::SerializeOrdinals(oracle, ordinals);
+  return WriteFrame(frame);
+}
+
+Status CollectorClient::SendOrdinals(
+    uint64_t round_id, uint64_t batch_index,
+    const ldp::ScalarFrequencyOracle& oracle,
+    const std::vector<uint64_t>& ordinals) {
+  const size_t width = ldp::WireReportBytes(oracle);
+  // 20: the batch-index and report-count varints (<= 10 bytes each).
+  if (ordinals.size() > (kMaxFramePayload - 20) / width) {
+    return Status::InvalidArgument(
+        "batch of " + std::to_string(ordinals.size()) + " reports (" +
+        std::to_string(width) + " B each) cannot fit one transport frame; "
+        "lower StreamingOptions::batch_size below " +
+        std::to_string((kMaxFramePayload - 20) / width));
+  }
+  Frame frame;
+  frame.type = FrameType::kBatchIndexed;
+  frame.round_id = round_id;
+  Bytes reports = ldp::SerializeOrdinals(oracle, ordinals);
+  ByteWriter w(reports.size() + 10);
+  w.PutVarint(batch_index);
+  w.PutBytes(reports);
+  frame.payload = w.Release();
   return WriteFrame(frame);
 }
 

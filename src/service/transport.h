@@ -30,6 +30,22 @@
 //                             + fixed-width big-endian ordinals; padding
 //                             ordinals allowed — the server drops them as
 //                             invalid rows, PEOS-fake style)
+//   kBatchIndexed
+//              client→server  varint producer batch index, then the same
+//                             SerializeOrdinals bytes as kBatch. The
+//                             endpoint accepts the frame only when the
+//                             index equals its consumed-batch count:
+//                             a stale index (a duplicate — e.g. frames a
+//                             replaced connection was still draining
+//                             while recovery replayed them on a fresh
+//                             one) is dropped silently, a future index
+//                             (a gap: a batch was lost) is a protocol
+//                             violation. This is what makes the
+//                             reconnect-and-replay recovery dance
+//                             exactly-once; the index gate assumes ONE
+//                             indexed producer stream per endpoint per
+//                             round, indices contiguous from 0 (the
+//                             partition-routing client's topology).
 //   kFinish    client→server  varint n, varint n_fake, u8 calibration
 //   kResult    server→client  varint decoded, varint invalid, varint
 //                             dummies recognized, varint dummies
@@ -45,13 +61,24 @@
 //                             the ingesting round's batch frames this
 //                             endpoint has accepted into its collector
 //                             queue (crash recovery seeds it from the
-//                             restored checkpoint). A resuming or
-//                             reconnecting client replays from exactly
-//                             this batch index; 0 = send from the
-//                             beginning. Doubles as a flush barrier:
-//                             the reply is sent only after every
-//                             earlier frame on the connection has been
-//                             handed to the collector queue.
+//                             restored checkpoint), with the header
+//                             round id naming the round it counts; the
+//                             pair is read atomically under the ingest
+//                             gate, so a reply can never pair one
+//                             round's id with another round's count. A
+//                             resuming or reconnecting client replays
+//                             from exactly this batch index; 0 = send
+//                             from the beginning. As a *replay floor*
+//                             the watermark is only meaningful under
+//                             the kBatchIndexed single-producer
+//                             contract above — with plain kBatch
+//                             traffic from several connections it is a
+//                             global count no single producer can
+//                             replay against. Doubles as a flush
+//                             barrier either way: the reply is sent
+//                             only after every earlier frame on the
+//                             connection has been handed to the
+//                             collector queue.
 //   kHello     both           partition handshake: SerializePartitionMap
 //                             bytes + varint partition id. The client
 //                             states the layout it was configured with
@@ -106,6 +133,7 @@ enum class FrameType : uint8_t {
   kError = 4,
   kWatermark = 5,
   kHello = 6,
+  kBatchIndexed = 7,
 };
 
 /// One protocol frame (header fields + payload).
@@ -192,6 +220,9 @@ struct CollectionServerStats {
   uint64_t evicted_slow = 0;         ///< write-deadline evictions
   uint64_t protocol_errors = 0;      ///< connections dropped on bad frames
   uint64_t frames_handled = 0;       ///< frames fully processed
+  /// kBatchIndexed frames dropped as already-consumed duplicates (a
+  /// replaced connection's stragglers racing a recovery replay).
+  uint64_t batches_deduped = 0;
 };
 
 /// Collection endpoint configuration.
@@ -244,8 +275,12 @@ struct CollectionServerOptions {
 
 /// TCP collection endpoint: accept thread + one reader thread per
 /// connection, all feeding one partition-scoped streaming worker.
-/// Batches from multiple connections interleave safely (integer-counter
-/// aggregation is order-independent); round control (kFinish) is
+/// Plain kBatch frames from multiple connections interleave safely
+/// (integer-counter aggregation is order-independent); kBatchIndexed
+/// frames additionally pass the exactly-once index gate, which assumes
+/// a single indexed producer stream per round (its reconnects may
+/// overlap — stragglers a dying connection is still draining are
+/// deduplicated against the replay). Round control (kFinish) is
 /// expected from a single coordinator connection at a time. Senders on
 /// other connections synchronize with a kWatermark flush barrier before
 /// the coordinator closes the round.
@@ -331,6 +366,7 @@ class CollectionServer {
   std::atomic<uint64_t> stat_evicted_slow_{0};
   std::atomic<uint64_t> stat_protocol_errors_{0};
   std::atomic<uint64_t> stat_frames_{0};
+  std::atomic<uint64_t> stat_deduped_{0};
   // Per-ordinal slice-ownership predicate for kByValue maps (built once
   // at Start; null otherwise) — the kBatch ingest path runs it inline
   // with the decode scan, so it must not be rebuilt per frame.
@@ -342,21 +378,28 @@ class CollectionServer {
   std::thread accept_thread_;
   bool stopping_ = false;
 
-  // Round-ingest gate: the batch round check + Offer and the finish
-  // round check + CloseRound-sentinel push are each atomic under this
-  // mutex, so a batch validated for round k can never land behind round
-  // k's close sentinel (its Offer would count it into round k+1). This
-  // serializes the enqueue step across connections (decode/parse stays
-  // parallel; the queue would serialize the push anyway). The round id
-  // is additionally atomic so the kWatermark query never waits behind a
-  // backpressured Offer.
+  // Round-ingest gate: the batch round check (+ index gate for
+  // kBatchIndexed) + Offer and the finish round check +
+  // CloseRound-sentinel push are each atomic under this mutex, so a
+  // batch validated for round k can never land behind round k's close
+  // sentinel (its Offer would count it into round k+1), and two
+  // connections racing the same batch index can never both pass the
+  // duplicate gate. This serializes the enqueue step across connections
+  // (decode/parse stays parallel; the queue would serialize the push
+  // anyway). The kWatermark reply also reads the (round, count) pair
+  // under this mutex — a reply must never pair one round's id with
+  // another round's count, and the wait behind an in-flight Offer is
+  // exactly the flush-barrier semantics the watermark promises.
   std::mutex ingest_mu_;
+  // Atomic so lock-free readers (the kHello reply, error messages
+  // composed outside the gate) stay race-free; every write is under
+  // ingest_mu_.
   std::atomic<uint64_t> ingest_round_{0};
   // Batches accepted into the collector queue for the ingesting round —
-  // the watermark a reconnecting sender resumes from. Advances under
-  // ingest_mu_ with each accepted kBatch, resets when the round closes,
-  // and is seeded from the restored checkpoint at recovery; atomic so
-  // the kWatermark query never waits behind a backpressured Offer.
+  // the watermark a reconnecting sender resumes from, and the next
+  // batch index the kBatchIndexed gate admits. Advances under
+  // ingest_mu_ with each accepted batch, resets when the round closes,
+  // and is seeded from the restored checkpoint at recovery.
   std::atomic<uint64_t> ingest_offered_{0};
 };
 
@@ -393,8 +436,24 @@ class CollectorClient {
   /// On success the client stamps `partition_id` into later frames.
   Result<uint64_t> Hello(const PartitionMap& map, uint32_t partition_id);
 
-  /// Ships one batch of packed ordinals for `round_id`.
+  /// Ships one batch of packed ordinals for `round_id` as a plain
+  /// (unindexed) kBatch frame — the endpoint accepts it
+  /// unconditionally. Use this for unordered producers that never
+  /// replay (multi-connection fan-in, the watermark as a flush barrier
+  /// only); anything that may reconnect and replay must use the indexed
+  /// overload so the endpoint can deduplicate.
   Status SendOrdinals(uint64_t round_id,
+                      const ldp::ScalarFrequencyOracle& oracle,
+                      const std::vector<uint64_t>& ordinals);
+
+  /// Ships one batch as a kBatchIndexed frame carrying the producer
+  /// batch index. The endpoint accepts it only when `batch_index`
+  /// equals its consumed-batch count: a replayed duplicate is dropped
+  /// silently (exactly-once under reconnect-and-replay recovery), a
+  /// gap is a protocol violation. Requires the single-indexed-producer
+  /// topology: one producer stream per endpoint per round, indices
+  /// contiguous from 0 (or from the queried watermark after recovery).
+  Status SendOrdinals(uint64_t round_id, uint64_t batch_index,
                       const ldp::ScalarFrequencyOracle& oracle,
                       const std::vector<uint64_t>& ordinals);
 
@@ -423,11 +482,16 @@ class CollectorClient {
   /// (endpoint recovery) sender replays from — 0 means "send from the
   /// beginning". The count resets when a round closes and is seeded
   /// from the restored checkpoint after a crash. `round_id_out`, when
-  /// non-null, receives the round id the server is currently ingesting. Because the server
-  /// answers queries in connection order, a reply also certifies that
-  /// every batch this client sent earlier has been handed to the
-  /// collector queue — the flush barrier multi-connection rounds use
-  /// before a coordinator's kFinish.
+  /// non-null, receives the round id the server is currently ingesting;
+  /// the (round, watermark) pair is consistent — the server reads both
+  /// under its ingest gate. As a replay floor the watermark assumes the
+  /// single-indexed-producer topology (see the indexed SendOrdinals
+  /// overload); replayed batches at stale indices are deduplicated
+  /// server-side, so a floor that raced an in-flight batch is safe.
+  /// Because the server answers queries in connection order, a reply
+  /// also certifies that every batch this client sent earlier has been
+  /// handed to the collector queue — the flush barrier
+  /// multi-connection rounds use before a coordinator's kFinish.
   Result<uint64_t> QueryWatermark(uint64_t* round_id_out = nullptr);
 
   /// The endpoint this client dialed, as "host:port" (error messages).

@@ -219,6 +219,167 @@ TEST(TransportFlushBarrier, ConcurrentProducersUnderInjectedDelays) {
   EXPECT_EQ(*reset, 0u);
 }
 
+TEST(TransportIndexedIngest, DuplicateStreamsIngestExactlyOnce) {
+  // The recovery race the batch-index gate exists for: after a client
+  // reconnects, the replaced connection's kernel buffers can still
+  // deliver every batch the replay re-sends. Model the worst case — two
+  // connections streaming the *same* indexed batches 0..19 concurrently
+  // — and require exactly-once ingestion regardless of interleaving.
+  ldp::Grr grr(2.0, 16);
+  CollectionServerOptions options;
+  options.streaming.batch_size = 3;
+  auto server = CollectionServer::Start(grr, options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  constexpr uint64_t kBatches = 20;
+  std::vector<std::thread> streams;
+  std::vector<Status> outcomes(2, Status::OK());
+  for (int t = 0; t < 2; ++t) {
+    streams.emplace_back([&, t] {
+      auto client = CollectorClient::Connect("127.0.0.1", (*server)->port());
+      if (!client.ok()) {
+        outcomes[t] = client.status();
+        return;
+      }
+      for (uint64_t b = 0; b < kBatches; ++b) {
+        // Identical payloads: batch b carries {1, 2, b % 16} on both
+        // streams, exactly what a replay of the same log produces.
+        Status sent = (*client)->SendOrdinals(0, b, grr, {1, 2, b % 16});
+        if (!sent.ok()) {
+          outcomes[t] = sent;
+          return;
+        }
+      }
+      auto barrier = (*client)->QueryWatermark();
+      if (!barrier.ok()) outcomes[t] = barrier.status();
+    });
+  }
+  for (std::thread& t : streams) t.join();
+  for (const Status& s : outcomes) ASSERT_TRUE(s.ok()) << s.ToString();
+
+  // Every index accepted once, every second arrival dropped: 40 frames
+  // in, watermark 20, 20 dedups, and the round tallies 20 batches.
+  auto probe = CollectorClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(probe.ok());
+  auto watermark = (*probe)->QueryWatermark();
+  ASSERT_TRUE(watermark.ok()) << watermark.status().ToString();
+  EXPECT_EQ(*watermark, kBatches);
+  EXPECT_EQ((*server)->stats().batches_deduped, kBatches);
+
+  const uint64_t n = kBatches * 3;
+  auto result = (*probe)->FinishRound(0, n, 0, Calibration::kStandard);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->reports_decoded, n);
+}
+
+TEST(TransportIndexedIngest, StaleDuplicateDroppedAndGapRejected) {
+  ldp::Grr grr(2.0, 16);
+  auto server = CollectionServer::Start(grr, CollectionServerOptions());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  auto client = CollectorClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->SendOrdinals(0, 0, grr, {1, 2, 3}).ok());
+  ASSERT_TRUE((*client)->SendOrdinals(0, 1, grr, {4, 5, 6}).ok());
+  auto mark = (*client)->QueryWatermark();
+  ASSERT_TRUE(mark.ok());
+  EXPECT_EQ(*mark, 2u);
+
+  // A stale index (a straggler from a replaced connection) is dropped
+  // silently — the connection stays healthy, the watermark holds.
+  ASSERT_TRUE((*client)->SendOrdinals(0, 0, grr, {1, 2, 3}).ok());
+  mark = (*client)->QueryWatermark();
+  ASSERT_TRUE(mark.ok()) << mark.status().ToString();
+  EXPECT_EQ(*mark, 2u);
+  EXPECT_EQ((*server)->stats().batches_deduped, 1u);
+
+  // A future index means a batch was lost in between: fatal, and the
+  // error must not be retryable (a replay cannot fill the hole).
+  ASSERT_TRUE((*client)->SendOrdinals(0, 5, grr, {7, 8, 9}).ok());
+  auto violated = (*client)->QueryWatermark();
+  ASSERT_FALSE(violated.ok());
+  EXPECT_EQ(violated.status().code(), StatusCode::kProtocolViolation)
+      << violated.status().ToString();
+  EXPECT_FALSE(IsRetryableTransportError(violated.status()));
+}
+
+TEST(TransportFlushBarrier, WatermarkRoundPairConsistentAcrossRoundClose) {
+  // A watermark query racing a round close must answer either
+  // (old round, old count) or (new round, 0) — never the torn pair
+  // (old round, new zeroed count), which recovery would treat as "the
+  // endpoint consumed nothing" and fail the round on a phantom round
+  // mismatch after replay. Hammer the close boundary across rounds.
+  ldp::Grr grr(2.0, 16);
+  auto server = CollectionServer::Start(grr, CollectionServerOptions());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  auto producer = CollectorClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(producer.ok());
+  auto closer = CollectorClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(closer.ok());
+
+  constexpr uint64_t kRounds = 8;
+  constexpr uint64_t kBatches = 5;
+  for (uint64_t r = 0; r < kRounds; ++r) {
+    for (uint64_t b = 0; b < kBatches; ++b) {
+      ASSERT_TRUE((*producer)->SendOrdinals(r, b, grr, {1, 2, 3}).ok());
+    }
+    // Barrier: all 5 batches are ingested before the close starts, so
+    // on this connection (round r, w) is only ever valid with w == 5.
+    auto barrier = (*producer)->QueryWatermark();
+    ASSERT_TRUE(barrier.ok()) << barrier.status().ToString();
+    ASSERT_EQ(*barrier, kBatches);
+
+    std::thread close([&] {
+      auto result =
+          (*closer)->FinishRound(r, kBatches * 3, 0, Calibration::kStandard);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+    });
+    uint64_t seen_round = r;
+    while (seen_round == r) {
+      uint64_t reply_round = 0;
+      auto mark = (*producer)->QueryWatermark(&reply_round);
+      ASSERT_TRUE(mark.ok()) << mark.status().ToString();
+      if (reply_round == r) {
+        EXPECT_EQ(*mark, kBatches) << "torn (old round, reset count) pair";
+      } else {
+        ASSERT_EQ(reply_round, r + 1);
+        EXPECT_EQ(*mark, 0u) << "torn (new round, stale count) pair";
+      }
+      seen_round = reply_round;
+    }
+    close.join();
+  }
+}
+
+TEST(TransportFaultInjection, TruncateSendZeroClampsToOneByte) {
+  // TruncateSend(0) must not script a 0-length ::send — its 0 return
+  // would be mislabeled with a stale errno. The action clamps to the
+  // smallest real torn write instead.
+  EXPECT_EQ(FaultAction::TruncateSend(0).max_bytes, 1u);
+
+  ldp::Grr grr(2.0, 16);
+  auto server = CollectionServer::Start(grr, CollectionServerOptions());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+
+  FaultInjector fi(7);
+  FaultRule torn;
+  torn.op = FaultOp::kSend;
+  torn.port = (*server)->port();
+  torn.count = 1;
+  torn.action = FaultAction::TruncateSend(0);
+  fi.AddRule(torn);
+  ScopedFaultInjector scope(&fi);
+
+  // The first client send is torn to a single byte; the frame must
+  // still complete (resumed sends) rather than fail spuriously.
+  auto client = CollectorClient::Connect("127.0.0.1", (*server)->port());
+  ASSERT_TRUE(client.ok());
+  auto mark = (*client)->QueryWatermark();
+  EXPECT_TRUE(mark.ok()) << mark.status().ToString();
+  EXPECT_EQ(fi.injected(FaultOp::kSend), 1u);
+}
+
 }  // namespace
 }  // namespace service
 }  // namespace shuffledp
