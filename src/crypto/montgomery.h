@@ -18,10 +18,20 @@
 //    multiplies), worth ~25% on the square-dominated modexp ladder.
 //  * ModExp uses a sliding window (width 2-6 chosen from the exponent
 //    size) over odd-power tables, all on caller-free scratch.
+//  * MulManyInto/SqrManyInto process K independent operand sets per pass
+//    (interleaved carry chains portably, 32-bit-digit AVX2 lanes behind
+//    runtime dispatch) — the multi-ciphertext fast path for workloads
+//    like packed CRT decryption that always hold a column of
+//    independent values.
+//  * Ct* kernels are the constant-time tier for secret exponents: fixed
+//    flow, branchless reduction, fixed-window ModExp with a full table
+//    scan per window. See docs/ARCHITECTURE.md ("Crypto kernels") for
+//    the exact ct contract.
 
 #ifndef SHUFFLEDP_CRYPTO_MONTGOMERY_H_
 #define SHUFFLEDP_CRYPTO_MONTGOMERY_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -30,6 +40,27 @@
 
 namespace shuffledp {
 namespace crypto {
+
+/// Batch-kernel implementation tiers (MulManyInto/SqrManyInto). The
+/// portable tier interleaves K scalar CIOS carry chains in one loop; the
+/// AVX2 tier runs 8 ciphertext lanes as two 4-lane vectors of 32-bit
+/// digits. Same dispatch shape as AesBackend/ShaBackend in aes.h/sha256.h.
+enum class MontBackend {
+  kPortable,  ///< interleaved scalar lanes (always available)
+  kAvx2,      ///< 8-lane 32-bit-digit CIOS via AVX2
+};
+
+/// Best backend the host supports. Honors SHUFFLEDP_FORCE_PORTABLE=1.
+MontBackend BestMontBackend();
+
+/// Backend the batch kernels currently use (defaults to BestMontBackend()).
+MontBackend ActiveMontBackend();
+
+/// Overrides the active backend; silently degrades to portable when the
+/// host lacks the requested ISA. Returns the backend actually selected.
+MontBackend SetMontBackend(MontBackend backend);
+
+const char* MontBackendName(MontBackend backend);
 
 /// Precomputed Montgomery context for a fixed odd modulus. Immutable after
 /// Create, so one context can be shared across threads.
@@ -61,7 +92,20 @@ class MontgomeryCtx {
 
   /// Full modular exponentiation base^exp mod m (plain-domain input and
   /// output; sliding-window over Montgomery-form odd powers).
+  /// Variable-time in the exponent — never use with secret exponents;
+  /// CtModExp is the constant-time tier.
   BigInt ModExp(const BigInt& base, const BigInt& exponent) const;
+
+  /// Constant-time modular exponentiation for secret exponents
+  /// (plain-domain input and output). Fixed-window ladder with a full
+  /// table scan per window: no secret-dependent branches or memory
+  /// addresses. `exp_bits` is the public exponent-width bound driving the
+  /// (uniform) schedule; 0 means "use exponent.BitLength()", which leaks
+  /// only the bit length — pass an explicit bound when even that must
+  /// stay hidden. exp_bits may exceed BitLength (high zero windows
+  /// multiply by the Montgomery one, an identity).
+  BigInt CtModExp(const BigInt& base, const BigInt& exponent,
+                  size_t exp_bits = 0) const;
 
   // --- Allocation-free kernel layer -------------------------------------
   //
@@ -81,10 +125,14 @@ class MontgomeryCtx {
     Scratch() = default;
 
     /// Grows the buffer to ctx's kernel requirement (never shrinks).
-    void EnsureFor(const MontgomeryCtx& ctx) {
-      if (buf_.size() < 2 * ctx.limbs() + 2) {
-        buf_.resize(2 * ctx.limbs() + 2);
-      }
+    void EnsureFor(const MontgomeryCtx& ctx) { EnsureLanes(ctx, 1); }
+
+    /// Grows the buffer to the batch-kernel requirement for `lanes`
+    /// concurrent operand sets (never shrinks). The single-operand
+    /// kernels need lanes = 1.
+    void EnsureLanes(const MontgomeryCtx& ctx, size_t lanes) {
+      const size_t need = lanes * (2 * ctx.limbs() + 2);
+      if (buf_.size() < need) buf_.resize(need);
     }
 
    private:
@@ -98,6 +146,63 @@ class MontgomeryCtx {
 
   /// out = a^2 * R^-1 mod m (dedicated squaring + SOS reduction).
   void SqrInto(const uint64_t* a, uint64_t* out, Scratch* scratch) const;
+
+  // --- Batch kernels ----------------------------------------------------
+  //
+  // K independent operand sets per pass, dispatched through
+  // ActiveMontBackend(). Results are bitwise identical to K scalar calls
+  // (every kernel returns the canonical representative < m). Lane count k
+  // is arbitrary (internally chunked); scratch must be sized with
+  // EnsureLanes(ctx, min(k, kMaxBatchLanes)). Aliasing: out[l] may alias
+  // the inputs of its own lane (in-place update), and one input buffer
+  // may be shared by any number of lanes, but out[l] must not alias an
+  // input of a *different* lane — lanes are processed in chunks, so an
+  // earlier lane's output write could clobber a later lane's input. The
+  // out pointers themselves must be pairwise distinct.
+
+  /// Preferred lane-block size for callers that chunk their own columns.
+  static constexpr size_t kMaxBatchLanes = 8;
+
+  /// out[l] = a[l] * b[l] * R^-1 mod m for l in [0, k).
+  void MulManyInto(size_t k, const uint64_t* const* a,
+                   const uint64_t* const* b, uint64_t* const* out,
+                   Scratch* scratch) const;
+
+  /// out[l] = a[l]^2 * R^-1 mod m for l in [0, k).
+  void SqrManyInto(size_t k, const uint64_t* const* a, uint64_t* const* out,
+                   Scratch* scratch) const;
+
+  /// out[l] = ToMont(*a[l]) for plain-domain BigInts (reduced mod m
+  /// internally); the R^2 multiply runs k lanes wide.
+  void ToMontManyInto(size_t k, const BigInt* const* a, uint64_t* const* out,
+                      Scratch* scratch) const;
+
+  // --- Constant-time kernels --------------------------------------------
+  //
+  // Fixed control flow and memory-access pattern regardless of operand
+  // values: the CIOS pass is inherently fixed-flow, and the final
+  // correction is a branchless full-width subtract + masked select
+  // instead of the early-exit compare in the variable-time tier.
+
+  /// Constant-time out = a * b * R^-1 mod m.
+  void CtMulInto(const uint64_t* a, const uint64_t* b, uint64_t* out,
+                 Scratch* scratch) const;
+
+  /// Constant-time out = a^2 * R^-1 mod m (routed through CtMulInto: the
+  /// dedicated squaring kernel's carry-propagation loop is data-dependent
+  /// and stays in the variable-time tier).
+  void CtSqrInto(const uint64_t* a, uint64_t* out, Scratch* scratch) const;
+
+  /// Constant-time batch ModExp with one shared secret exponent: out[l] =
+  /// base_mont[l]^exponent in Montgomery form (inputs already in
+  /// Montgomery form, outputs stay there). The shared exponent makes the
+  /// window schedule uniform across lanes, so the whole ladder runs on
+  /// the interleaved batch kernels. `exp_bits` as in CtModExp (0 = use
+  /// BitLength). scratch sized via EnsureLanes(ctx, min(k,
+  /// kMaxBatchLanes)). Lane pointers as in MulManyInto.
+  void CtModExpManyInto(size_t k, const uint64_t* const* base_mont,
+                        const BigInt& exponent, size_t exp_bits,
+                        uint64_t* const* out, Scratch* scratch) const;
 
   /// out = a * R mod m for plain-domain a (reduced mod m internally).
   void ToMontInto(const BigInt& a, uint64_t* out, Scratch* scratch) const;
@@ -128,8 +233,41 @@ class MontgomeryCtx {
   // plus the overflow word `hi` (0 or 1).
   void ReduceOnce(const uint64_t* v, uint64_t hi, uint64_t* out) const;
 
+  // Branchless ReduceOnce (full-width subtract + masked select).
+  void CtReduceOnce(const uint64_t* v, uint64_t hi, uint64_t* out) const;
+
+  // Portable interleaved lane kernels (montgomery_batch.cpp). CT selects
+  // the branchless final reduction.
+  template <size_t K, bool CT>
+  void MulManyPortable(const uint64_t* const* a, const uint64_t* const* b,
+                       uint64_t* const* out, Scratch* scratch) const;
+  template <size_t K>
+  void SqrManyPortable(const uint64_t* const* a, uint64_t* const* out,
+                       Scratch* scratch) const;
+
+  // 8-lane AVX2 tier (lane count exactly 8); no-op stub on non-x86.
+  // The vector CIOS pass is fixed-flow; `ct` selects the branchless
+  // final reduction, making the kernel usable from the ct ladder (the
+  // dispatch choice depends only on the public CPU feature set, never
+  // on operand values).
+  void MulMany8Avx2(const uint64_t* const* a, const uint64_t* const* b,
+                    uint64_t* const* out, bool ct) const;
+
+  // Dedicated 8-lane AVX2 Montgomery squaring: off-diagonal product scan
+  // (half the multiplies of the generic CIOS), in-register doubling, then
+  // the same deferred-carry SOS reduction as the portable squaring. Flow
+  // is operand-independent; `ct` selects the branchless final reduction.
+  void SqrMany8Avx2(const uint64_t* const* a, uint64_t* const* out,
+                    bool ct) const;
+
+  // Batch multiply with the constant-time final reduction on every lane.
+  void CtMulManyInto(size_t k, const uint64_t* const* a,
+                     const uint64_t* const* b, uint64_t* const* out,
+                     Scratch* scratch) const;
+
   BigInt modulus_;
   std::vector<uint64_t> mod_limbs_;
+  std::vector<uint32_t> mod_digits_;      // mod as 2*limbs() 32-bit digits
   std::vector<uint64_t> one_mont_limbs_;  // R mod m
   std::vector<uint64_t> rr_limbs_;        // R^2 mod m
   size_t limbs_ = 0;

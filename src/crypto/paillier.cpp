@@ -35,10 +35,17 @@ MontgomeryCtx::Scratch& TlsScratch(const MontgomeryCtx& ctx) {
   return scratch;
 }
 
-std::vector<uint64_t>& TlsMaskBuf(size_t limbs) {
-  thread_local std::vector<uint64_t> buf;
+std::vector<uint64_t>& TlsMaskBuf(size_t limbs, int which = 0) {
+  thread_local std::vector<uint64_t> bufs[2];
+  std::vector<uint64_t>& buf = bufs[which];
   if (buf.size() < limbs) buf.resize(limbs);
   return buf;
+}
+
+// 1 if x == y else 0, branchless (for the constant-time comb select).
+uint64_t CtEq(uint64_t x, uint64_t y) {
+  uint64_t d = x ^ y;
+  return 1 ^ ((d | (0 - d)) >> 63);
 }
 
 // L_n(x) = (x - 1) / n. Pre: x == 1 mod n.
@@ -148,6 +155,34 @@ void PaillierPublicKey::AddPlainMontInto(
   ctx.MulInto(c_mont, g_mont.data(), c_mont, scratch);
 }
 
+void PaillierPublicKey::AddPlainMontManyInto(
+    size_t k, uint64_t* const* c_mont, const BigInt* ms,
+    MontgomeryCtx::Scratch* scratch) const {
+  assert(n2_ctx_ != nullptr);
+  const MontgomeryCtx& ctx = *n2_ctx_;
+  const size_t n = ctx.limbs();
+  constexpr size_t kLanes = MontgomeryCtx::kMaxBatchLanes;
+  std::vector<uint64_t>& gbuf = TlsMaskBuf(kLanes * n);
+  BigInt gs[kLanes];
+  const BigInt* gptr[kLanes];
+  uint64_t* glane[kLanes];
+  for (size_t l = 0; l < kLanes; ++l) {
+    gptr[l] = &gs[l];
+    glane[l] = gbuf.data() + l * n;
+  }
+  for (size_t done = 0; done < k; done += kLanes) {
+    const size_t kb = std::min(kLanes, k - done);
+    for (size_t l = 0; l < kb; ++l) {
+      const BigInt& m = ms[done + l];
+      gs[l] = GToM(m < n_ ? m : m.Mod(n_));
+    }
+    // Both CIOS passes of the scalar kernel, k lanes wide: the g^m
+    // operands enter the domain together, then multiply in together.
+    ctx.ToMontManyInto(kb, gptr, glane, scratch);
+    ctx.MulManyInto(kb, c_mont + done, glane, c_mont + done, scratch);
+  }
+}
+
 Bytes PaillierPublicKey::SerializeCiphertext(
     const PaillierCiphertext& c) const {
   return c.value.ToBytesBigEndian(CiphertextBytes());
@@ -186,8 +221,9 @@ Result<PaillierPrivateKey> PaillierPrivateKey::FromPrimes(const BigInt& p,
   // With g = N + 1:  g^{p-1} mod p^2 = 1 + (p-1)*N mod p^2, so
   // hp = ( L_p(g^{p-1} mod p^2) )^{-1} mod p.
   const BigInt g = n.Add(BigInt(1));
-  BigInt gp = key.p2_ctx_->ModExp(g, key.p_minus_1_);
-  BigInt gq = key.q2_ctx_->ModExp(g, key.q_minus_1_);
+  // Key setup exponentiates by the secret p-1 / q-1: constant-time.
+  BigInt gp = key.p2_ctx_->CtModExp(g, key.p_minus_1_);
+  BigInt gq = key.q2_ctx_->CtModExp(g, key.q_minus_1_);
   auto hp = LFunction(gp, p).Mod(p).ModInverse(p);
   if (!hp.ok()) return Status::CryptoError("Paillier: hp not invertible");
   auto hq = LFunction(gq, q).Mod(q).ModInverse(q);
@@ -206,7 +242,8 @@ BigInt PaillierPrivateKey::RecoverHalf(const MontgomeryCtx& ctx,
                                        const BigInt& prime,
                                        const BigInt& prime_minus_1,
                                        const BigInt& h) const {
-  BigInt cx = ctx.ModExp(c_reduced, prime_minus_1);
+  // p-1 / q-1 are equivalent to the factorization: constant-time ladder.
+  BigInt cx = ctx.CtModExp(c_reduced, prime_minus_1);
   return LFunction(cx, prime).ModMul(h, prime);
 }
 
@@ -327,6 +364,94 @@ Status PaillierPrivateKey::DecryptPackedMod2Ell(const PaillierCiphertext* cs,
   return Status::OK();
 }
 
+Status PaillierPrivateKey::DecryptPackedMod2EllBatch(
+    const PaillierCiphertext* cs, size_t count, unsigned slot_bits,
+    unsigned ell, uint64_t* out) const {
+  if (count == 0) return Status::OK();
+  if (p_.IsZero()) {
+    return Status::FailedPrecondition("Paillier private key not initialized");
+  }
+  if (ell < 1 || ell > 64 || slot_bits < ell) {
+    return Status::InvalidArgument("Paillier: bad packed slot layout");
+  }
+  for (size_t i = 0; i < count; ++i) {
+    if (cs[i].value.IsZero() || cs[i].value >= pub_.n_squared()) {
+      return Status::CryptoError("Paillier: ciphertext out of range");
+    }
+  }
+  const size_t cap = PackedSlotCapacity(slot_bits);
+  const size_t nfull = count / cap;
+  const size_t tail = count - nfull * cap;
+
+  if (nfull > 0) {
+    // One Horner chain per capacity-sized group, up to kMaxBatchLanes
+    // chains interleaved: the squarings/multiplies that dominate a
+    // packed decryption, and the secret-exponent CRT modexps behind
+    // them, all run as batch-kernel lanes. Group boundaries are the
+    // same multiples of the capacity the scalar loop would use, and
+    // every kernel returns canonical values, so the recovered slots are
+    // bitwise identical to per-group DecryptPackedMod2Ell calls.
+    std::vector<BigInt> mps(nfull), mqs(nfull);
+    auto halves = [&](const MontgomeryCtx& ctx, const BigInt& prime,
+                      const BigInt& prime_minus_1, const BigInt& h,
+                      std::vector<BigInt>* outs) {
+      const size_t n = ctx.limbs();
+      constexpr size_t kLanes = MontgomeryCtx::kMaxBatchLanes;
+      MontgomeryCtx::Scratch scratch(ctx);
+      std::vector<uint64_t> accv(kLanes * n), civ(kLanes * n);
+      std::vector<uint64_t> one(n, 0);
+      one[0] = 1;
+      uint64_t* acc[kLanes];
+      uint64_t* ci[kLanes];
+      const BigInt* vs[kLanes];
+      for (size_t l = 0; l < kLanes; ++l) {
+        acc[l] = accv.data() + l * n;
+        ci[l] = civ.data() + l * n;
+      }
+      for (size_t g0 = 0; g0 < nfull; g0 += kLanes) {
+        const size_t kb = std::min(kLanes, nfull - g0);
+        for (size_t l = 0; l < kb; ++l) {
+          vs[l] = &cs[(g0 + l) * cap + cap - 1].value;
+        }
+        ctx.ToMontManyInto(kb, vs, acc, &scratch);
+        for (size_t pos = cap - 1; pos-- > 0;) {
+          for (unsigned b = 0; b < slot_bits; ++b) {
+            ctx.SqrManyInto(kb, acc, acc, &scratch);
+          }
+          for (size_t l = 0; l < kb; ++l) {
+            vs[l] = &cs[(g0 + l) * cap + pos].value;
+          }
+          ctx.ToMontManyInto(kb, vs, ci, &scratch);
+          ctx.MulManyInto(kb, acc, ci, acc, &scratch);
+        }
+        // c^(m-1) with the shared secret exponent, kb ct lanes at once;
+        // exit the domain through the ct multiply-by-one.
+        ctx.CtModExpManyInto(kb, acc, prime_minus_1, 0, acc, &scratch);
+        for (size_t l = 0; l < kb; ++l) {
+          ctx.CtMulInto(acc[l], one.data(), acc[l], &scratch);
+          std::vector<uint64_t> limbs(acc[l], acc[l] + n);
+          BigInt cx = BigInt::FromLimbsLittleEndian(std::move(limbs));
+          (*outs)[g0 + l] = LFunction(cx, prime).ModMul(h, prime);
+        }
+      }
+    };
+    halves(*p2_ctx_, p_, p_minus_1_, hp_, &mps);
+    halves(*q2_ctx_, q_, q_minus_1_, hq_, &mqs);
+    for (size_t g = 0; g < nfull; ++g) {
+      const BigInt packed = CrtCombine(mps[g], mqs[g]);
+      for (size_t i = 0; i < cap; ++i) {
+        out[g * cap + i] =
+            ExtractBits(packed, i * static_cast<size_t>(slot_bits), ell);
+      }
+    }
+  }
+  if (tail > 0) {
+    return DecryptPackedMod2Ell(cs + nfull * cap, tail, slot_bits, ell,
+                                out + nfull * cap);
+  }
+  return Status::OK();
+}
+
 Result<PaillierKeyPair> PaillierGenerateKeyPair(size_t modulus_bits,
                                                 SecureRandom* rng) {
   if (modulus_bits < 64) {
@@ -413,17 +538,28 @@ void RandomizerPool::FreshMaskMont(SecureRandom* rng, uint64_t* out,
                                    MontgomeryCtx::Scratch* scratch) const {
   assert(mode_ == Mode::kFixedBase);
   // h^r for r uniform in [0, 2^short_exp_bits): one comb pass, no
-  // squarings (the tables absorb the radix shifts).
+  // squarings (the tables absorb the radix shifts). The exponent is the
+  // mask's secret, so every window multiplies: the operand is selected
+  // branchlessly from {one_mont, table entries}, digit 0 contributing an
+  // identity multiply instead of the skip that used to leak the zero-
+  // digit count through timing. Values (and rng draws) are unchanged.
   const MontgomeryCtx& ctx = *pub_->n2_ctx();
+  const size_t n = ctx.limbs();
   const BigInt e =
       BigInt::FromBytesBigEndian(rng->RandomBytes(short_exp_bits_ / 8));
   std::copy(ctx.one_mont_limbs().begin(), ctx.one_mont_limbs().end(), out);
+  std::vector<uint64_t>& op = TlsMaskBuf(n, 1);
   const size_t windows = (short_exp_bits_ + 3) / 4;
   for (size_t w = 0; w < windows; ++w) {
     const uint64_t digit = (e.limb(w / 16) >> (4 * (w % 16))) & 0xF;
-    if (digit != 0) {
-      ctx.MulInto(out, fb_table_[w * 15 + digit - 1].data(), out, scratch);
+    std::fill_n(op.data(), n, 0);
+    for (uint64_t d = 0; d < 16; ++d) {
+      const uint64_t* src = d == 0 ? ctx.one_mont_limbs().data()
+                                   : fb_table_[w * 15 + d - 1].data();
+      const uint64_t msk = 0 - CtEq(d, digit);
+      for (size_t i = 0; i < n; ++i) op[i] |= src[i] & msk;
     }
+    ctx.CtMulInto(out, op.data(), out, scratch);
   }
 }
 
@@ -476,6 +612,44 @@ void RandomizerPool::RerandomizeMontInto(
   std::vector<uint64_t>& mask = TlsMaskBuf(n);
   FreshMaskMont(rng, mask.data(), scratch);
   ctx->MulInto(c_mont, mask.data(), c_mont, scratch);
+}
+
+void RandomizerPool::RerandomizeMontManyInto(
+    size_t k, uint64_t* const* c_mont, SecureRandom* rng,
+    MontgomeryCtx::Scratch* scratch) const {
+  const MontgomeryCtx* ctx = pub_->n2_ctx();
+  assert(ctx != nullptr);
+  const size_t n = ctx->limbs();
+  constexpr size_t kLanes = MontgomeryCtx::kMaxBatchLanes;
+  if (mode_ == Mode::kPairwise) {
+    const uint64_t* mi[kLanes];
+    const uint64_t* mj[kLanes];
+    for (size_t done = 0; done < k; done += kLanes) {
+      const size_t kb = std::min(kLanes, k - done);
+      // The scalar call draws (i, j) per ciphertext; drawing lane by
+      // lane keeps the rng sequence — and thus the column — bitwise
+      // identical to k scalar calls.
+      for (size_t l = 0; l < kb; ++l) {
+        mi[l] = pool_mont_[rng->UniformU64(pool_mont_.size())].data();
+        mj[l] = pool_mont_[rng->UniformU64(pool_mont_.size())].data();
+      }
+      ctx->MulManyInto(kb, c_mont + done, mi, c_mont + done, scratch);
+      ctx->MulManyInto(kb, c_mont + done, mj, c_mont + done, scratch);
+    }
+    return;
+  }
+  // kFixedBase: lane-distinct comb masks (sequential draws), one batch
+  // multiply per lane block.
+  std::vector<uint64_t>& masks = TlsMaskBuf(kLanes * n);
+  const uint64_t* mp[kLanes];
+  for (size_t done = 0; done < k; done += kLanes) {
+    const size_t kb = std::min(kLanes, k - done);
+    for (size_t l = 0; l < kb; ++l) {
+      FreshMaskMont(rng, masks.data() + l * n, scratch);
+      mp[l] = masks.data() + l * n;
+    }
+    ctx->MulManyInto(kb, c_mont + done, mp, c_mont + done, scratch);
+  }
 }
 
 PaillierCiphertext RandomizerPool::EncryptFast(const BigInt& m,

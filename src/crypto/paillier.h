@@ -117,6 +117,13 @@ class PaillierPublicKey {
   void AddPlainMontInto(uint64_t* c_mont, const BigInt& m,
                         MontgomeryCtx::Scratch* scratch) const;
 
+  /// Batch AddPlainMontInto over k resident ciphertexts: c_mont[l] gets
+  /// ms[l] added, bitwise identical to k scalar calls but routed through
+  /// the interleaved batch kernels (both CIOS passes run k lanes wide).
+  void AddPlainMontManyInto(size_t k, uint64_t* const* c_mont,
+                            const BigInt* ms,
+                            MontgomeryCtx::Scratch* scratch) const;
+
   /// Serialization for the simulated network channels.
   Bytes SerializeCiphertext(const PaillierCiphertext& c) const;
   Result<PaillierCiphertext> ParseCiphertext(const Bytes& bytes) const;
@@ -174,10 +181,21 @@ class PaillierPrivateKey {
                               unsigned slot_bits, unsigned ell,
                               uint64_t* out) const;
 
+  /// Multi-group DecryptPackedMod2Ell: splits `count` ciphertexts into
+  /// PackedSlotCapacity(slot_bits)-sized groups and runs up to
+  /// MontgomeryCtx::kMaxBatchLanes group Horner chains — and their CRT
+  /// modexps — through the interleaved batch kernels at once. Results
+  /// are bitwise identical to looping DecryptPackedMod2Ell over the
+  /// groups; same preconditions, except count may exceed the capacity.
+  Status DecryptPackedMod2EllBatch(const PaillierCiphertext* cs, size_t count,
+                                   unsigned slot_bits, unsigned ell,
+                                   uint64_t* out) const;
+
   const PaillierPublicKey& public_key() const { return pub_; }
 
  private:
-  // mp/mq half: L_m(c^(m-1) mod m^2) * h mod m.
+  // mp/mq half: L_m(c^(m-1) mod m^2) * h mod m. The m-1 exponent is
+  // secret, so the modexp runs on the constant-time ladder.
   BigInt RecoverHalf(const MontgomeryCtx& ctx, const BigInt& c_reduced,
                      const BigInt& prime, const BigInt& prime_minus_1,
                      const BigInt& h) const;
@@ -238,6 +256,14 @@ class RandomizerPool {
   /// `c_mont` holds n2_ctx()->limbs() words.
   void RerandomizeMontInto(uint64_t* c_mont, SecureRandom* rng,
                            MontgomeryCtx::Scratch* scratch) const;
+
+  /// Batch RerandomizeMontInto over k resident ciphertexts. Draws the
+  /// same rng sequence as k scalar calls (lane l's draws come l-th, in
+  /// the scalar order) and produces bitwise-identical ciphertexts; the
+  /// mask multiplies run k lanes wide through the batch kernels.
+  void RerandomizeMontManyInto(size_t k, uint64_t* const* c_mont,
+                               SecureRandom* rng,
+                               MontgomeryCtx::Scratch* scratch) const;
 
   /// Encrypts without a full-width modexp: (1 + mN) * mask.
   PaillierCiphertext EncryptFast(const BigInt& m, SecureRandom* rng) const;

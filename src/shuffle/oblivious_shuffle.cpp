@@ -251,21 +251,36 @@ Status RunEncryptedObliviousShuffle(EosState* state, const EosOptions& opts,
           // Resident path: AddPlain + re-mask without ever leaving the
           // Montgomery domain (3–4 fused CIOS passes per ciphertext).
           crypto::MontgomeryCtx::Scratch scratch(*mont_ctx);
+          if (opts.pool != nullptr) {
+            // Lane-blocked: the AddPlain conversions/multiplies and the
+            // pool masks run through the interleaved batch kernels. The
+            // pool draws stay in scalar row order (lane l draws l-th),
+            // so the column is bitwise identical to the per-row loop.
+            constexpr size_t kLanes = crypto::MontgomeryCtx::kMaxBatchLanes;
+            uint64_t* rows[kLanes];
+            crypto::BigInt adjusts[kLanes];
+            for (uint64_t i = lo; i < hi; i += kLanes) {
+              const size_t kb =
+                  static_cast<size_t>(std::min<uint64_t>(kLanes, hi - i));
+              for (size_t l = 0; l < kb; ++l) {
+                rows[l] = mont_column[i + l].data();
+                adjusts[l] = crypto::BigInt((0 - mask_sum[i + l]) & mask);
+              }
+              pub.AddPlainMontManyInto(kb, rows, adjusts, &scratch);
+              opts.pool->RerandomizeMontManyInto(kb, rows, local, &scratch);
+            }
+            return;
+          }
           std::vector<uint64_t> fresh(limbs);
           for (uint64_t i = lo; i < hi; ++i) {
             uint64_t neg = (0 - mask_sum[i]) & mask;
             pub.AddPlainMontInto(mont_column[i].data(),
                                  crypto::BigInt(neg), &scratch);
-            if (opts.pool != nullptr) {
-              opts.pool->RerandomizeMontInto(mont_column[i].data(), local,
-                                             &scratch);
-            } else {
-              auto enc_zero = pub.Encrypt(crypto::BigInt(), local);
-              assert(enc_zero.ok());
-              mont_ctx->ToMontInto(enc_zero->value, fresh.data(), &scratch);
-              mont_ctx->MulInto(mont_column[i].data(), fresh.data(),
-                                mont_column[i].data(), &scratch);
-            }
+            auto enc_zero = pub.Encrypt(crypto::BigInt(), local);
+            assert(enc_zero.ok());
+            mont_ctx->ToMontInto(enc_zero->value, fresh.data(), &scratch);
+            mont_ctx->MulInto(mont_column[i].data(), fresh.data(),
+                              mont_column[i].data(), &scratch);
           }
           return;
         }

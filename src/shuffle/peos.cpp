@@ -233,13 +233,18 @@ Result<PeosResult> RunPeos(const ldp::ScalarFrequencyOracle& oracle,
               uint64_t lo, uint64_t hi, ThreadPool* fan_out) -> Status {
             std::mutex status_mu;
             Status status = Status::OK();
-            // One pack group per fixed-size chunk: boundaries depend only
-            // on the batch slicing, never on the worker count, so the
-            // recovered shares — and the estimates — are bitwise
-            // reproducible across SHUFFLEDP_THREADS settings.
-            ForChunks(fan_out, lo, hi, group,
+            // One lane-block of pack groups per fixed-size chunk: the
+            // batch decryption splits a chunk into capacity-sized groups
+            // at the same multiples of `group` the scalar path used, and
+            // runs them as interleaved kernel lanes. Boundaries depend
+            // only on the batch slicing, never on the worker count, so
+            // the recovered shares — and the estimates — stay bitwise
+            // reproducible across SHUFFLEDP_THREADS settings (and across
+            // kernel backends, which all return canonical values).
+            ForChunks(fan_out, lo, hi,
+                      group * crypto::MontgomeryCtx::kMaxBatchLanes,
                       [&](uint64_t glo, uint64_t ghi) {
-                        Status st = priv->DecryptPackedMod2Ell(
+                        Status st = priv->DecryptPackedMod2EllBatch(
                             &state_ptr->cipher_column[glo], ghi - glo,
                             slot_bits, ell, shares->data() + glo);
                         if (!st.ok()) {

@@ -222,6 +222,374 @@ TEST(MontgomeryTest, KernelScratchReuseAndAliasing) {
   EXPECT_EQ(got, RefModMul(RefModMul(ab, ab, m), a, m));
 }
 
+// ---------------------------------------------------------------------------
+// Interleaved batch kernels (MulManyInto / SqrManyInto / ToMontManyInto)
+// ---------------------------------------------------------------------------
+
+// Backends to exercise: always portable; AVX2 too when the host has it.
+std::vector<MontBackend> TestableBackends() {
+  std::vector<MontBackend> out = {MontBackend::kPortable};
+  if (BestMontBackend() == MontBackend::kAvx2) {
+    out.push_back(MontBackend::kAvx2);
+  }
+  return out;
+}
+
+// RAII pin so a failing test can't leak a forced backend into later tests.
+class BackendPin {
+ public:
+  explicit BackendPin(MontBackend b) : prev_(ActiveMontBackend()) {
+    SetMontBackend(b);
+  }
+  ~BackendPin() { SetMontBackend(prev_); }
+
+ private:
+  MontBackend prev_;
+};
+
+// Montgomery-domain operand sets with adversarial raw values: 0, 1, m-1
+// (all valid residues), plus uniform randoms.
+std::vector<std::vector<uint64_t>> MakeLaneOperands(const MontgomeryCtx& ctx,
+                                                    size_t count,
+                                                    SecureRandom* rng) {
+  const size_t n = ctx.limbs();
+  MontgomeryCtx::Scratch scratch(ctx);
+  std::vector<std::vector<uint64_t>> lanes;
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<uint64_t> v(n, 0);
+    switch (i % 4) {
+      case 0:  // random residue in Montgomery form
+        ctx.ToMontInto(BigInt::RandomBelow(ctx.modulus(), rng), v.data(),
+                       &scratch);
+        break;
+      case 1:  // raw 0
+        break;
+      case 2:  // raw 1
+        v[0] = 1;
+        break;
+      case 3: {  // raw m - 1
+        BigInt top = ctx.modulus().Sub(BigInt(1));
+        for (size_t w = 0; w < n; ++w) v[w] = top.limb(w);
+        break;
+      }
+    }
+    lanes.push_back(std::move(v));
+  }
+  return lanes;
+}
+
+// Every batch width from 1 through past kMaxBatchLanes, on every
+// available backend, must be bitwise identical to k scalar MulInto calls.
+TEST(MontgomeryBatchTest, MulManyBitwiseEqualsScalar) {
+  SecureRandom rng(uint64_t{20});
+  for (MontBackend backend : TestableBackends()) {
+    BackendPin pin(backend);
+    for (size_t bits : {65, 127, 512, 1000, 2048}) {
+      BigInt m = BigInt::RandomWithBits(bits, &rng);
+      if (!m.IsOdd()) m = m.Add(BigInt(1));
+      auto ctx = MontgomeryCtx::Create(m);
+      ASSERT_TRUE(ctx.ok());
+      const size_t n = ctx->limbs();
+      MontgomeryCtx::Scratch scratch(*ctx);
+      for (size_t k : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 17u}) {
+        auto as = MakeLaneOperands(*ctx, k, &rng);
+        auto bs = MakeLaneOperands(*ctx, k, &rng);
+        std::vector<std::vector<uint64_t>> got(k, std::vector<uint64_t>(n));
+        std::vector<const uint64_t*> ap(k), bp(k);
+        std::vector<uint64_t*> op(k);
+        for (size_t l = 0; l < k; ++l) {
+          ap[l] = as[l].data();
+          bp[l] = bs[l].data();
+          op[l] = got[l].data();
+        }
+        ctx->MulManyInto(k, ap.data(), bp.data(), op.data(), &scratch);
+        for (size_t l = 0; l < k; ++l) {
+          std::vector<uint64_t> want(n);
+          ctx->MulInto(as[l].data(), bs[l].data(), want.data(), &scratch);
+          EXPECT_EQ(got[l], want)
+              << MontBackendName(backend) << " bits=" << bits << " k=" << k
+              << " lane=" << l;
+        }
+      }
+    }
+  }
+}
+
+TEST(MontgomeryBatchTest, SqrManyBitwiseEqualsScalar) {
+  SecureRandom rng(uint64_t{21});
+  for (MontBackend backend : TestableBackends()) {
+    BackendPin pin(backend);
+    for (size_t bits : {65, 192, 513, 1024, 2048}) {
+      BigInt m = BigInt::RandomWithBits(bits, &rng);
+      if (!m.IsOdd()) m = m.Add(BigInt(1));
+      auto ctx = MontgomeryCtx::Create(m);
+      ASSERT_TRUE(ctx.ok());
+      const size_t n = ctx->limbs();
+      MontgomeryCtx::Scratch scratch(*ctx);
+      for (size_t k : {1u, 2u, 3u, 4u, 6u, 8u, 11u}) {
+        auto as = MakeLaneOperands(*ctx, k, &rng);
+        std::vector<std::vector<uint64_t>> got(k, std::vector<uint64_t>(n));
+        std::vector<const uint64_t*> ap(k);
+        std::vector<uint64_t*> op(k);
+        for (size_t l = 0; l < k; ++l) {
+          ap[l] = as[l].data();
+          op[l] = got[l].data();
+        }
+        ctx->SqrManyInto(k, ap.data(), op.data(), &scratch);
+        for (size_t l = 0; l < k; ++l) {
+          std::vector<uint64_t> want(n);
+          ctx->SqrInto(as[l].data(), want.data(), &scratch);
+          EXPECT_EQ(got[l], want)
+              << MontBackendName(backend) << " bits=" << bits << " k=" << k
+              << " lane=" << l;
+        }
+      }
+    }
+  }
+}
+
+TEST(MontgomeryBatchTest, ToMontManyBitwiseEqualsScalar) {
+  SecureRandom rng(uint64_t{22});
+  for (MontBackend backend : TestableBackends()) {
+    BackendPin pin(backend);
+    BigInt m = BigInt::RandomWithBits(1024, &rng);
+    if (!m.IsOdd()) m = m.Add(BigInt(1));
+    auto ctx = MontgomeryCtx::Create(m);
+    ASSERT_TRUE(ctx.ok());
+    const size_t n = ctx->limbs();
+    MontgomeryCtx::Scratch scratch(*ctx);
+    const size_t k = 13;  // forces an 8-lane block plus a ragged tail
+    std::vector<BigInt> vals = {BigInt(), BigInt(1), m.Sub(BigInt(1)),
+                                m.Add(BigInt(9))};  // >= m: must reduce
+    while (vals.size() < k) vals.push_back(BigInt::RandomBelow(m, &rng));
+    std::vector<const BigInt*> vp(k);
+    std::vector<std::vector<uint64_t>> got(k, std::vector<uint64_t>(n));
+    std::vector<uint64_t*> op(k);
+    for (size_t l = 0; l < k; ++l) {
+      vp[l] = &vals[l];
+      op[l] = got[l].data();
+    }
+    ctx->ToMontManyInto(k, vp.data(), op.data(), &scratch);
+    for (size_t l = 0; l < k; ++l) {
+      std::vector<uint64_t> want(n);
+      ctx->ToMontInto(vals[l], want.data(), &scratch);
+      EXPECT_EQ(got[l], want) << MontBackendName(backend) << " lane=" << l;
+    }
+  }
+}
+
+// Adversarial lane mixing within the documented contract: one input
+// buffer shared by every lane, plus in-place lanes (out[l] aliasing its
+// own lane's inputs), with pairwise-distinct out pointers.
+TEST(MontgomeryBatchTest, LaneMixingAliasedBatches) {
+  SecureRandom rng(uint64_t{23});
+  for (MontBackend backend : TestableBackends()) {
+    BackendPin pin(backend);
+    BigInt m = BigInt::RandomWithBits(512, &rng);
+    if (!m.IsOdd()) m = m.Add(BigInt(1));
+    auto ctx = MontgomeryCtx::Create(m);
+    ASSERT_TRUE(ctx.ok());
+    const size_t n = ctx->limbs();
+    MontgomeryCtx::Scratch scratch(*ctx);
+
+    const size_t k = 8;
+    auto vals = MakeLaneOperands(*ctx, k, &rng);
+    auto orig = vals;  // scalar reference computed from pristine copies
+
+    // Every lane multiplies in place by one shared mask buffer (the
+    // production rerandomize shape: out[l] == a[l], b shared).
+    std::vector<uint64_t> mask = orig[0];
+    std::vector<const uint64_t*> ap(k), bp(k);
+    std::vector<uint64_t*> op(k);
+    for (size_t l = 0; l < k; ++l) {
+      ap[l] = vals[l].data();
+      bp[l] = mask.data();
+      op[l] = vals[l].data();
+    }
+    ctx->MulManyInto(k, ap.data(), bp.data(), op.data(), &scratch);
+    for (size_t l = 0; l < k; ++l) {
+      std::vector<uint64_t> want(n);
+      ctx->MulInto(orig[l].data(), orig[0].data(), want.data(), &scratch);
+      EXPECT_EQ(vals[l], want)
+          << MontBackendName(backend) << " lane=" << l;
+    }
+
+    // All lanes reading the same single buffer, squared in place into
+    // distinct outputs.
+    std::vector<uint64_t> shared = orig[0];
+    std::vector<std::vector<uint64_t>> outs(k, std::vector<uint64_t>(n));
+    for (size_t l = 0; l < k; ++l) {
+      ap[l] = shared.data();
+      op[l] = outs[l].data();
+    }
+    ctx->SqrManyInto(k, ap.data(), op.data(), &scratch);
+    std::vector<uint64_t> want(n);
+    ctx->SqrInto(orig[0].data(), want.data(), &scratch);
+    for (size_t l = 0; l < k; ++l) {
+      EXPECT_EQ(outs[l], want) << MontBackendName(backend) << " lane=" << l;
+    }
+  }
+}
+
+// Forcing an unavailable backend must degrade silently, and the
+// portable/AVX2 pair must agree bitwise on the same inputs.
+TEST(MontgomeryBatchTest, BackendDispatchDegradesAndAgrees) {
+  MontBackend prev = ActiveMontBackend();
+  MontBackend got = SetMontBackend(MontBackend::kAvx2);
+  if (BestMontBackend() == MontBackend::kPortable) {
+    EXPECT_EQ(got, MontBackend::kPortable);  // silently degraded
+  } else {
+    EXPECT_EQ(got, MontBackend::kAvx2);
+  }
+  EXPECT_EQ(SetMontBackend(MontBackend::kPortable), MontBackend::kPortable);
+  SetMontBackend(prev);
+
+  if (BestMontBackend() != MontBackend::kAvx2) {
+    GTEST_SKIP() << "no AVX2 on this host; cross-backend check skipped";
+  }
+  SecureRandom rng(uint64_t{24});
+  BigInt m = BigInt::RandomWithBits(2048, &rng);
+  if (!m.IsOdd()) m = m.Add(BigInt(1));
+  auto ctx = MontgomeryCtx::Create(m);
+  ASSERT_TRUE(ctx.ok());
+  const size_t n = ctx->limbs();
+  MontgomeryCtx::Scratch scratch(*ctx);
+  const size_t k = 8;
+  auto as = MakeLaneOperands(*ctx, k, &rng);
+  auto bs = MakeLaneOperands(*ctx, k, &rng);
+  std::vector<const uint64_t*> ap(k), bp(k);
+  std::vector<std::vector<uint64_t>> o1(k, std::vector<uint64_t>(n));
+  std::vector<std::vector<uint64_t>> o2(k, std::vector<uint64_t>(n));
+  std::vector<uint64_t*> op(k);
+  for (size_t l = 0; l < k; ++l) {
+    ap[l] = as[l].data();
+    bp[l] = bs[l].data();
+  }
+  {
+    BackendPin pin(MontBackend::kAvx2);
+    for (size_t l = 0; l < k; ++l) op[l] = o1[l].data();
+    ctx->MulManyInto(k, ap.data(), bp.data(), op.data(), &scratch);
+  }
+  {
+    BackendPin pin(MontBackend::kPortable);
+    for (size_t l = 0; l < k; ++l) op[l] = o2[l].data();
+    ctx->MulManyInto(k, ap.data(), bp.data(), op.data(), &scratch);
+  }
+  EXPECT_EQ(o1, o2);
+}
+
+// ---------------------------------------------------------------------------
+// Constant-time tier (CtMulInto / CtSqrInto / CtModExp / CtModExpManyInto)
+// ---------------------------------------------------------------------------
+
+// The ct kernels compute the same function as the variable-time ones;
+// only the schedule differs. Outputs must be bitwise identical.
+TEST(MontgomeryCtTest, CtMulAndSqrBitwiseEqualVariableTime) {
+  SecureRandom rng(uint64_t{25});
+  for (size_t bits : {65, 512, 1024, 2048}) {
+    BigInt m = BigInt::RandomWithBits(bits, &rng);
+    if (!m.IsOdd()) m = m.Add(BigInt(1));
+    auto ctx = MontgomeryCtx::Create(m);
+    ASSERT_TRUE(ctx.ok());
+    const size_t n = ctx->limbs();
+    MontgomeryCtx::Scratch scratch(*ctx);
+    auto ops = MakeLaneOperands(*ctx, 10, &rng);
+    for (size_t i = 0; i < ops.size(); ++i) {
+      for (size_t j = 0; j < ops.size(); ++j) {
+        std::vector<uint64_t> got(n), want(n);
+        ctx->CtMulInto(ops[i].data(), ops[j].data(), got.data(), &scratch);
+        ctx->MulInto(ops[i].data(), ops[j].data(), want.data(), &scratch);
+        EXPECT_EQ(got, want) << "bits=" << bits;
+      }
+      std::vector<uint64_t> got(n), want(n);
+      ctx->CtSqrInto(ops[i].data(), got.data(), &scratch);
+      ctx->SqrInto(ops[i].data(), want.data(), &scratch);
+      EXPECT_EQ(got, want) << "bits=" << bits;
+      // In-place ct multiply (out aliases both inputs).
+      std::vector<uint64_t> inplace = ops[i];
+      ctx->CtMulInto(inplace.data(), inplace.data(), inplace.data(),
+                     &scratch);
+      EXPECT_EQ(inplace, want) << "bits=" << bits;
+    }
+  }
+}
+
+// CtModExp vs the division-based reference across the fixed-window
+// breakpoints (<=24 -> 2, <=80 -> 3, <=240 -> 4, else 5) and edge
+// bases/exponents, including exp_bits padding beyond BitLength.
+TEST(MontgomeryCtTest, CtModExpMatchesReferenceAcrossWindowBreakpoints) {
+  SecureRandom rng(uint64_t{26});
+  for (size_t bits : {127, 512, 1024}) {
+    BigInt m = BigInt::RandomWithBits(bits, &rng);
+    if (!m.IsOdd()) m = m.Add(BigInt(1));
+    auto ctx = MontgomeryCtx::Create(m);
+    ASSERT_TRUE(ctx.ok());
+    std::vector<BigInt> bases = {BigInt(), BigInt(1), m.Sub(BigInt(1)),
+                                 m.Add(BigInt(11)),
+                                 BigInt::RandomBelow(m, &rng)};
+    std::vector<BigInt> exps = {BigInt(), BigInt(1), BigInt(2)};
+    for (size_t ebits : {5, 24, 25, 64, 80, 81, 240, 241, 600}) {
+      exps.push_back(BigInt::RandomWithBits(ebits, &rng));
+    }
+    for (const BigInt& a : bases) {
+      for (const BigInt& e : exps) {
+        BigInt want = RefModExp(a, e, m);
+        EXPECT_EQ(ctx->CtModExp(a, e), want)
+            << "bits=" << bits << " ebits=" << e.BitLength();
+        // Padding the schedule with high zero windows must not change
+        // the value (it is exactly what hides the true bit length).
+        EXPECT_EQ(ctx->CtModExp(a, e, e.BitLength() + 37), want)
+            << "bits=" << bits << " ebits=" << e.BitLength() << " padded";
+      }
+    }
+    // ct and variable-time tiers agree on a full-width secret-sized
+    // exponent (the production decryption shape).
+    BigInt a = BigInt::RandomBelow(m, &rng);
+    BigInt e = m.Sub(BigInt(1));
+    EXPECT_EQ(ctx->CtModExp(a, e), ctx->ModExp(a, e));
+  }
+}
+
+// Batched ct exponentiation with a shared exponent: every lane must be
+// bitwise identical to the one-lane CtModExp, for widths spanning lane
+// blocks and ragged tails, on both backends (the ladder itself is
+// pinned to portable; entry/exit conversions may dispatch).
+TEST(MontgomeryCtTest, CtModExpManyBitwiseEqualsSingleLane) {
+  SecureRandom rng(uint64_t{27});
+  for (MontBackend backend : TestableBackends()) {
+    BackendPin pin(backend);
+    BigInt m = BigInt::RandomWithBits(768, &rng);
+    if (!m.IsOdd()) m = m.Add(BigInt(1));
+    auto ctx = MontgomeryCtx::Create(m);
+    ASSERT_TRUE(ctx.ok());
+    const size_t n = ctx->limbs();
+    MontgomeryCtx::Scratch scratch(*ctx);
+    BigInt e = BigInt::RandomWithBits(384, &rng);
+    for (size_t k : {1u, 3u, 8u, 10u}) {
+      std::vector<BigInt> bases;
+      bases.push_back(BigInt());  // zero base lane
+      bases.push_back(BigInt(1));
+      while (bases.size() < k) bases.push_back(BigInt::RandomBelow(m, &rng));
+      bases.resize(k);
+      std::vector<std::vector<uint64_t>> mont(k, std::vector<uint64_t>(n));
+      std::vector<const uint64_t*> bp(k);
+      std::vector<uint64_t*> op(k);
+      std::vector<std::vector<uint64_t>> got(k, std::vector<uint64_t>(n));
+      for (size_t l = 0; l < k; ++l) {
+        ctx->ToMontInto(bases[l], mont[l].data(), &scratch);
+        bp[l] = mont[l].data();
+        op[l] = got[l].data();
+      }
+      ctx->CtModExpManyInto(k, bp.data(), e, 0, op.data(), &scratch);
+      for (size_t l = 0; l < k; ++l) {
+        EXPECT_EQ(ctx->FromMontLimbs(got[l].data(), &scratch),
+                  ctx->CtModExp(bases[l], e))
+            << MontBackendName(backend) << " k=" << k << " lane=" << l;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace crypto
 }  // namespace shuffledp

@@ -380,6 +380,143 @@ TEST_F(PaillierTest, MontResidentRerandomizeChainMatchesPerRoundPath) {
   }
 }
 
+// Multi-group batched packed decryption against the one-group-at-a-time
+// scalar entry point: results must be bitwise identical for counts that
+// exercise full lane blocks, ragged lane tails, and a sub-capacity tail
+// group, on every available Montgomery backend.
+TEST_F(PaillierTest, DecryptPackedBatchBitwiseEqualsScalarLoop) {
+  SecureRandom data_rng(uint64_t{5150});
+  std::vector<MontBackend> backends = {MontBackend::kPortable};
+  if (BestMontBackend() == MontBackend::kAvx2) {
+    backends.push_back(MontBackend::kAvx2);
+  }
+  const unsigned ell = 16;
+  const unsigned slot_bits = ell + 3;
+  const uint64_t mask = (uint64_t{1} << ell) - 1;
+  const size_t cap = kp_->priv.PackedSlotCapacity(slot_bits);
+  ASSERT_GE(cap, 2u);
+  // 11 full groups (one full 8-lane block + 3-lane tail) + partial group.
+  const size_t count = 11 * cap + cap / 2;
+  std::vector<PaillierCiphertext> cs(count);
+  for (size_t i = 0; i < count; ++i) {
+    auto c = kp_->pub.EncryptU64(data_rng.NextU64() & mask, rng_);
+    ASSERT_TRUE(c.ok());
+    cs[i] = std::move(c).value();
+  }
+  // Scalar reference: one group per call.
+  std::vector<uint64_t> want(count);
+  for (size_t at = 0; at < count; at += cap) {
+    const size_t g = std::min(cap, count - at);
+    ASSERT_TRUE(kp_->priv
+                    .DecryptPackedMod2Ell(cs.data() + at, g, slot_bits, ell,
+                                          want.data() + at)
+                    .ok());
+  }
+  for (MontBackend backend : backends) {
+    MontBackend prev = ActiveMontBackend();
+    SetMontBackend(backend);
+    std::vector<uint64_t> got(count, ~uint64_t{0});
+    Status st = kp_->priv.DecryptPackedMod2EllBatch(cs.data(), count,
+                                                    slot_bits, ell,
+                                                    got.data());
+    SetMontBackend(prev);
+    ASSERT_TRUE(st.ok()) << MontBackendName(backend);
+    EXPECT_EQ(got, want) << MontBackendName(backend);
+  }
+}
+
+// Lane-blocked rerandomization with an identically seeded rng must be
+// bitwise identical to k sequential RerandomizeMontInto calls (the batch
+// draws pool indices / masks in the same lane order), for both modes.
+TEST_F(PaillierTest, RerandomizeMontManyBitwiseEqualsScalarSeeded) {
+  const MontgomeryCtx* ctx = kp_->pub.n2_ctx();
+  ASSERT_NE(ctx, nullptr);
+  const size_t n = ctx->limbs();
+  for (RandomizerPool::Mode mode :
+       {RandomizerPool::Mode::kPairwise, RandomizerPool::Mode::kFixedBase}) {
+    SecureRandom pool_rng(uint64_t{808});
+    RandomizerPool pool(kp_->pub, 8, &pool_rng, mode);
+    MontgomeryCtx::Scratch scratch(*ctx);
+    for (size_t k : {1u, 5u, 8u, 13u}) {
+      std::vector<std::vector<uint64_t>> batch(k), scalar(k);
+      for (size_t l = 0; l < k; ++l) {
+        auto c = kp_->pub.EncryptU64(1000 + l, rng_);
+        ASSERT_TRUE(c.ok());
+        batch[l].resize(n);
+        kp_->pub.ToMontCiphertext(*c, batch[l].data(), &scratch);
+        scalar[l] = batch[l];
+      }
+      SecureRandom rng_batch(uint64_t{31 + k});
+      SecureRandom rng_scalar(uint64_t{31 + k});
+      std::vector<uint64_t*> rows(k);
+      for (size_t l = 0; l < k; ++l) rows[l] = batch[l].data();
+      pool.RerandomizeMontManyInto(k, rows.data(), &rng_batch, &scratch);
+      for (size_t l = 0; l < k; ++l) {
+        pool.RerandomizeMontInto(scalar[l].data(), &rng_scalar, &scratch);
+      }
+      for (size_t l = 0; l < k; ++l) {
+        EXPECT_EQ(batch[l], scalar[l])
+            << "mode=" << static_cast<int>(mode) << " k=" << k
+            << " lane=" << l;
+        // Still decrypts to the original plaintext.
+        auto back = kp_->priv.Decrypt(
+            kp_->pub.FromMontCiphertext(batch[l].data(), &scratch));
+        ASSERT_TRUE(back.ok());
+        EXPECT_EQ(back->ToU64Saturating(), 1000 + l);
+      }
+    }
+  }
+}
+
+// Batched plaintext addition against the scalar per-row path.
+TEST_F(PaillierTest, AddPlainMontManyBitwiseEqualsScalar) {
+  const MontgomeryCtx* ctx = kp_->pub.n2_ctx();
+  ASSERT_NE(ctx, nullptr);
+  const size_t n = ctx->limbs();
+  MontgomeryCtx::Scratch scratch(*ctx);
+  const size_t k = 11;  // 8-lane block + tail
+  std::vector<std::vector<uint64_t>> batch(k), scalar(k);
+  std::vector<BigInt> ms;
+  ms.push_back(BigInt());  // zero adjustment lane
+  for (size_t l = 1; l < k; ++l) {
+    ms.push_back(BigInt::RandomBelow(kp_->pub.n(), rng_));
+  }
+  std::vector<uint64_t> expect(k);
+  for (size_t l = 0; l < k; ++l) {
+    auto c = kp_->pub.EncryptU64(l * 7, rng_);
+    ASSERT_TRUE(c.ok());
+    batch[l].resize(n);
+    kp_->pub.ToMontCiphertext(*c, batch[l].data(), &scratch);
+    scalar[l] = batch[l];
+  }
+  std::vector<uint64_t*> rows(k);
+  for (size_t l = 0; l < k; ++l) rows[l] = batch[l].data();
+  kp_->pub.AddPlainMontManyInto(k, rows.data(), ms.data(), &scratch);
+  for (size_t l = 0; l < k; ++l) {
+    kp_->pub.AddPlainMontInto(scalar[l].data(), ms[l], &scratch);
+    EXPECT_EQ(batch[l], scalar[l]) << "lane=" << l;
+    auto back = kp_->priv.Decrypt(
+        kp_->pub.FromMontCiphertext(batch[l].data(), &scratch));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, BigInt(l * 7).Add(ms[l]).Mod(kp_->pub.n()));
+  }
+}
+
+// The constant-time decryption exponentiations compute the same values
+// as the variable-time reference path (DecryptDirect) end to end.
+TEST_F(PaillierTest, CtDecryptionAgreesWithDirectReference) {
+  for (int i = 0; i < 6; ++i) {
+    BigInt m = BigInt::RandomBelow(kp_->pub.n(), rng_);
+    auto c = kp_->pub.Encrypt(m, rng_);
+    ASSERT_TRUE(c.ok());
+    auto crt = kp_->priv.Decrypt(*c);      // ct CRT ladders
+    auto direct = kp_->priv.DecryptDirect(*c);  // variable-time lambda path
+    ASSERT_TRUE(crt.ok() && direct.ok());
+    EXPECT_EQ(*crt, *direct);
+    EXPECT_EQ(*crt, m);
+  }
+}
+
 TEST(PaillierKeyGenTest, ProductionSizeKeyWorks) {
   SecureRandom rng(uint64_t{777001});
   auto kp = PaillierGenerateKeyPair(1024, &rng);

@@ -1,0 +1,309 @@
+// Dudect-style timing-leak smoke test for the constant-time Montgomery
+// kernels (CtMulInto / CtModExp / CtModExpManyInto).
+//
+// Method (Reparaz, Balasch, Verbauwhede — "dude, is my code constant
+// time?"): measure the same operation over two input classes that a
+// leaky implementation would distinguish (fixed vs. fresh-random secret
+// exponent, low- vs. high-Hamming-weight exponent), interleaved in a
+// seeded random order so drift hits both classes equally, crop the
+// upper tail to shed scheduler/interrupt outliers, and compare the
+// class means with Welch's t-test. |t| stays small (noise) for
+// constant-time code and grows without bound with sample count for
+// variable-time code.
+//
+// Threshold: |t| < 10. Under the null this is a > 9-sigma event per
+// round, and each check gets kRounds independent measurement rounds,
+// passing if ANY round is below threshold — a genuine leak produces
+// |t| in the hundreds consistently, while noise spikes are transient.
+// The canary test at the bottom runs the SAME harness against the
+// variable-time sliding-window ModExp and asserts it FAILS, pinning the
+// harness's statistical power so a silent regression in the measurement
+// loop cannot fake a pass.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "crypto/bigint.h"
+#include "crypto/montgomery.h"
+#include "crypto/secure_random.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace shuffledp {
+namespace crypto {
+namespace {
+
+inline uint64_t Ticks() {
+#if defined(__x86_64__) || defined(__i386__)
+  unsigned aux;
+  return __rdtscp(&aux);  // serializes against preceding loads/stores
+#else
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+// Welch's t-statistic between two sample sets.
+double WelchT(const std::vector<double>& a, const std::vector<double>& b) {
+  auto stats = [](const std::vector<double>& v, double* mean, double* var) {
+    double m = 0;
+    for (double x : v) m += x;
+    m /= static_cast<double>(v.size());
+    double s = 0;
+    for (double x : v) s += (x - m) * (x - m);
+    *mean = m;
+    *var = s / static_cast<double>(v.size() - 1);
+  };
+  double ma, va, mb, vb;
+  stats(a, &ma, &va);
+  stats(b, &mb, &vb);
+  double denom = std::sqrt(va / static_cast<double>(a.size()) +
+                           vb / static_cast<double>(b.size()));
+  if (denom == 0) return 0;
+  return (ma - mb) / denom;
+}
+
+// t-statistic after dropping every sample above the pooled p-th
+// percentile from both classes (dudect's crop: the upper tail is
+// interrupts and frequency shifts, not the operation under test).
+double CroppedT(const std::vector<double>& a, const std::vector<double>& b,
+                double pct) {
+  std::vector<double> pooled;
+  pooled.reserve(a.size() + b.size());
+  pooled.insert(pooled.end(), a.begin(), a.end());
+  pooled.insert(pooled.end(), b.begin(), b.end());
+  std::sort(pooled.begin(), pooled.end());
+  double cut = pooled[static_cast<size_t>(pct * (pooled.size() - 1))];
+  auto crop = [cut](const std::vector<double>& v) {
+    std::vector<double> kept;
+    kept.reserve(v.size());
+    for (double x : v) {
+      if (x <= cut) kept.push_back(x);
+    }
+    return kept;
+  };
+  std::vector<double> ca = crop(a), cb = crop(b);
+  if (ca.size() < 2 || cb.size() < 2) return 0;
+  return WelchT(ca, cb);
+}
+
+constexpr double kThreshold = 10.0;
+constexpr int kRounds = 3;
+// Dudect evaluates several crop levels and keeps the most discriminating
+// one: tight crops isolate the quiet fast tail (max statistical power
+// against a real leak), loose crops keep the bulk (power against leaks
+// that only show in slow paths). For constant-time code every level
+// stays small.
+constexpr double kCropPercentiles[] = {1.0, 0.9, 0.8, 0.7, 0.6, 0.5};
+
+// One measurement round: `op(cls)` runs the operation for class cls
+// (inputs must be pre-generated so generation cost is not measured).
+// Classes are interleaved in a seeded random order.
+template <typename Op>
+double MeasureRound(size_t samples_per_class, SecureRandom* rng, Op&& op) {
+  std::vector<int> schedule;
+  schedule.reserve(2 * samples_per_class);
+  for (size_t i = 0; i < samples_per_class; ++i) {
+    schedule.push_back(0);
+    schedule.push_back(1);
+  }
+  // Fisher-Yates with the seeded rng: replayable order.
+  for (size_t i = schedule.size(); i > 1; --i) {
+    std::swap(schedule[i - 1], schedule[rng->NextU64() % i]);
+  }
+  std::vector<double> cls0, cls1;
+  cls0.reserve(samples_per_class);
+  cls1.reserve(samples_per_class);
+  // Warmup: touch both classes so caches/predictors settle.
+  for (int i = 0; i < 16; ++i) op(i & 1);
+  for (int cls : schedule) {
+    uint64_t t0 = Ticks();
+    op(cls);
+    uint64_t t1 = Ticks();
+    (cls == 0 ? cls0 : cls1).push_back(static_cast<double>(t1 - t0));
+  }
+  double worst = 0;
+  for (double pct : kCropPercentiles) {
+    worst = std::max(worst, std::fabs(CroppedT(cls0, cls1, pct)));
+  }
+  return worst;
+}
+
+// Runs kRounds independent rounds; returns the smallest |t| seen (the
+// pass statistic) and the largest (the canary statistic).
+template <typename Op>
+void RunRounds(size_t samples_per_class, uint64_t seed, Op&& op,
+               double* min_abs_t, double* max_abs_t) {
+  SecureRandom rng(seed);
+  *min_abs_t = 1e300;
+  *max_abs_t = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    double t = std::fabs(MeasureRound(samples_per_class, &rng, op));
+    *min_abs_t = std::min(*min_abs_t, t);
+    *max_abs_t = std::max(*max_abs_t, t);
+  }
+}
+
+struct CtFixture {
+  BigInt m;
+  MontgomeryCtx ctx;
+};
+
+// 512-bit modulus / 256-bit exponents: small enough that thousands of
+// exponentiations fit in a CI smoke budget, large enough that a
+// window-count leak spans dozens of multiplies.
+MontgomeryCtx MakeCtx(SecureRandom* rng, size_t bits) {
+  BigInt m = BigInt::RandomWithBits(bits, rng);
+  if (!m.IsOdd()) m = m.Add(BigInt(1));
+  auto ctx = MontgomeryCtx::Create(m);
+  EXPECT_TRUE(ctx.ok());
+  return std::move(ctx).value();
+}
+
+// Class 0: one fixed secret exponent. Class 1: a fresh random exponent
+// per sample (pre-generated). A leaky ladder correlates time with the
+// exponent's window pattern; a constant-time one cannot.
+TEST(TimingLeakTest, CtModExpFixedVsRandomExponent) {
+  SecureRandom rng(uint64_t{2026'08'08});
+  MontgomeryCtx ctx = MakeCtx(&rng, 512);
+  const size_t kSamples = 700;
+  const size_t ebits = 256;
+  BigInt base = BigInt::RandomBelow(ctx.modulus(), &rng);
+  BigInt fixed = BigInt::RandomWithBits(ebits, &rng);
+  std::vector<BigInt> fresh;
+  for (size_t i = 0; i < kRounds * kSamples * 2 + 64; ++i) {
+    fresh.push_back(BigInt::RandomWithBits(ebits, &rng));
+  }
+  size_t next = 0;
+  volatile uint64_t sink = 0;
+  double min_t, max_t;
+  RunRounds(kSamples, uint64_t{11}, [&](int cls) {
+    const BigInt& e = cls == 0 ? fixed : fresh[next++ % fresh.size()];
+    sink += ctx.CtModExp(base, e, ebits).ToU64Saturating();
+  }, &min_t, &max_t);
+  EXPECT_LT(min_t, kThreshold)
+      << "CtModExp timing depends on the secret exponent (max |t|="
+      << max_t << ")";
+}
+
+// Extreme Hamming-weight classes: 2^(ebits-1) (every window digit zero
+// except the top) vs. all-ones (every digit maximal). The fixed-window
+// always-multiply ladder must not care; a square-and-multiply or
+// sliding-window ladder differs by ~ebits/2 multiplies.
+TEST(TimingLeakTest, CtModExpLowVsHighWeightExponent) {
+  SecureRandom rng(uint64_t{77002});
+  MontgomeryCtx ctx = MakeCtx(&rng, 512);
+  const size_t kSamples = 700;
+  const size_t ebits = 256;
+  BigInt base = BigInt::RandomBelow(ctx.modulus(), &rng);
+  BigInt low = BigInt(1).ShiftLeft(ebits - 1);              // weight 1
+  BigInt high = BigInt(1).ShiftLeft(ebits).Sub(BigInt(1));  // weight ebits
+  volatile uint64_t sink = 0;
+  double min_t, max_t;
+  RunRounds(kSamples, uint64_t{12}, [&](int cls) {
+    sink += ctx.CtModExp(base, cls == 0 ? low : high, ebits)
+                .ToU64Saturating();
+  }, &min_t, &max_t);
+  EXPECT_LT(min_t, kThreshold)
+      << "CtModExp timing depends on exponent weight (max |t|=" << max_t
+      << ")";
+}
+
+// The batched ladder with a shared exponent: lane VALUES differ by
+// class (all-zero bases vs. random bases) — amplified over a lane
+// block. Exercises CtMulManyInto's fixed flow on skewed operands.
+TEST(TimingLeakTest, CtModExpManyOperandClasses) {
+  SecureRandom rng(uint64_t{77003});
+  MontgomeryCtx ctx = MakeCtx(&rng, 512);
+  const size_t n = ctx.limbs();
+  const size_t kSamples = 350;
+  const size_t ebits = 128;
+  const size_t k = 4;
+  BigInt e = BigInt::RandomWithBits(ebits, &rng);
+  MontgomeryCtx::Scratch scratch(ctx);
+  std::vector<std::vector<uint64_t>> zero(k, std::vector<uint64_t>(n, 0));
+  std::vector<std::vector<uint64_t>> rand(k, std::vector<uint64_t>(n));
+  for (size_t l = 0; l < k; ++l) {
+    ctx.ToMontInto(BigInt::RandomBelow(ctx.modulus(), &rng),
+                   rand[l].data(), &scratch);
+  }
+  std::vector<std::vector<uint64_t>> out(k, std::vector<uint64_t>(n));
+  std::vector<const uint64_t*> bp(k);
+  std::vector<uint64_t*> op(k);
+  for (size_t l = 0; l < k; ++l) op[l] = out[l].data();
+  volatile uint64_t sink = 0;
+  double min_t, max_t;
+  RunRounds(kSamples, uint64_t{13}, [&](int cls) {
+    auto& src = cls == 0 ? zero : rand;
+    for (size_t l = 0; l < k; ++l) bp[l] = src[l].data();
+    ctx.CtModExpManyInto(k, bp.data(), e, ebits, op.data(), &scratch);
+    sink += out[0][0];
+  }, &min_t, &max_t);
+  EXPECT_LT(min_t, kThreshold)
+      << "CtModExpManyInto timing depends on operand values (max |t|="
+      << max_t << ")";
+}
+
+// Amplified single multiply: 64 back-to-back CtMulInto calls per sample
+// with all-zero vs. random operands. Catches data-dependent final
+// corrections (the early-exit compare the ct tier exists to remove).
+TEST(TimingLeakTest, CtMulOperandClasses) {
+  SecureRandom rng(uint64_t{77004});
+  MontgomeryCtx ctx = MakeCtx(&rng, 1024);
+  const size_t n = ctx.limbs();
+  const size_t kSamples = 700;
+  MontgomeryCtx::Scratch scratch(ctx);
+  std::vector<uint64_t> zero(n, 0), randa(n), randb(n), out(n);
+  ctx.ToMontInto(BigInt::RandomBelow(ctx.modulus(), &rng), randa.data(),
+                 &scratch);
+  ctx.ToMontInto(BigInt::RandomBelow(ctx.modulus(), &rng), randb.data(),
+                 &scratch);
+  volatile uint64_t sink = 0;
+  double min_t, max_t;
+  RunRounds(kSamples, uint64_t{14}, [&](int cls) {
+    const uint64_t* a = cls == 0 ? zero.data() : randa.data();
+    const uint64_t* b = cls == 0 ? zero.data() : randb.data();
+    for (int i = 0; i < 64; ++i) ctx.CtMulInto(a, b, out.data(), &scratch);
+    sink += out[0];
+  }, &min_t, &max_t);
+  EXPECT_LT(min_t, kThreshold)
+      << "CtMulInto timing depends on operand values (max |t|=" << max_t
+      << ")";
+}
+
+// CANARY: the variable-time sliding-window ModExp run through the exact
+// same harness with the low/high-weight classes MUST flunk — ~128 extra
+// window multiplies is an enormous signal. If this test ever passes the
+// threshold, the harness has lost its power (broken timer, cropped
+// everything, dead-code-eliminated op) and the ct "passes" above are
+// meaningless.
+TEST(TimingLeakTest, CanaryVariableTimeModExpIsDetected) {
+  SecureRandom rng(uint64_t{77005});
+  MontgomeryCtx ctx = MakeCtx(&rng, 512);
+  const size_t kSamples = 350;
+  const size_t ebits = 256;
+  BigInt base = BigInt::RandomBelow(ctx.modulus(), &rng);
+  BigInt low = BigInt(1).ShiftLeft(ebits - 1);
+  BigInt high = BigInt(1).ShiftLeft(ebits).Sub(BigInt(1));
+  volatile uint64_t sink = 0;
+  double min_t, max_t;
+  RunRounds(kSamples, uint64_t{15}, [&](int cls) {
+    sink += ctx.ModExp(base, cls == 0 ? low : high).ToU64Saturating();
+  }, &min_t, &max_t);
+  EXPECT_GT(max_t, kThreshold)
+      << "harness failed to detect a deliberately variable-time ladder "
+         "(max |t|=" << max_t << ", min |t|=" << min_t << ")";
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace shuffledp

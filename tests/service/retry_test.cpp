@@ -94,6 +94,58 @@ TEST(BackoffSchedule, JitterStaysInsideBand) {
   }
 }
 
+TEST(BackoffSchedule, CoordinatorSaltDerivationGoldenPins) {
+  // The coordinator salts each recovery stream with
+  // (partition << 32) ^ round_id (see Coordinator::RecoverEndpoint).
+  // Pin the exact delay sequences those derived salts produce: a change
+  // to either the derivation or the jitter stream re-times every fleet
+  // recovery and must show up here as a deliberate golden update.
+  auto seq = [](uint64_t p, uint64_t round, size_t len) {
+    BackoffSchedule s(RetryPolicy{},
+                      (static_cast<uint64_t>(p) << 32) ^ round);
+    std::vector<uint64_t> out;
+    for (size_t i = 0; i < len; ++i) out.push_back(s.NextDelayMs());
+    return out;
+  };
+  EXPECT_EQ(seq(0, 0, 8),
+            (std::vector<uint64_t>{20, 47, 77, 156, 343, 698, 1040, 2363}));
+  EXPECT_EQ(seq(0, 1, 8),
+            (std::vector<uint64_t>{17, 38, 84, 159, 346, 636, 1111, 1769}));
+  EXPECT_EQ(seq(1, 0, 8),
+            (std::vector<uint64_t>{23, 34, 68, 147, 286, 748, 1418, 1809}));
+  EXPECT_EQ(seq(3, 7, 8),
+            (std::vector<uint64_t>{16, 41, 82, 170, 381, 564, 1279, 1787}));
+  // The partition lives in the high word, the round in the low word:
+  // (p=1, round=0) and (p=0, round=1) must salt distinct streams (a
+  // collision would lock-step recoveries of different partitions).
+  EXPECT_NE(seq(1, 0, 8), seq(0, 1, 8));
+}
+
+TEST(BackoffSchedule, CapSaturationTailGoldenPin) {
+  // Once the exponential passes max_backoff_ms the schedule must settle
+  // into a jittered band around the cap — never grow further, never
+  // collapse. Pin the full 24-draw sequence including the saturated
+  // tail, and bound the tail inside the jitter band analytically.
+  RetryPolicy p;
+  p.jitter = 0.25;
+  p.seed = 9;
+  BackoffSchedule s(p, 0xABCD);
+  const std::vector<uint64_t> expected = {
+      24,  48,   78,   169,  251,  583,  1062, 1613,
+      1686, 1726, 1741, 2194, 2310, 1771, 1892, 1638,
+      1863, 2460, 1741, 2019, 2418, 1695, 2431, 1633};
+  std::vector<uint64_t> got;
+  for (size_t i = 0; i < expected.size(); ++i) got.push_back(s.NextDelayMs());
+  EXPECT_EQ(got, expected);
+  // Saturated tail (base pinned at the 2000ms cap): every delay inside
+  // [cap*(1-jitter), cap*(1+jitter)].
+  for (size_t i = 8; i < got.size(); ++i) {
+    EXPECT_GE(got[i], 1500u) << "draw " << i;
+    EXPECT_LE(got[i], 2500u) << "draw " << i;
+  }
+  EXPECT_EQ(s.retries(), expected.size());
+}
+
 TEST(FaultInjector, SkipCountWindowFiresExactly) {
   FaultInjector fi(1);
   FaultRule rule;
