@@ -20,11 +20,18 @@
 // flattens, which is why the JSON records "cores" next to the rows.
 // Rows land in BENCH_distributed.json via run_benches.sh.
 //
+// A round-close latency section (healthy vs one slowed endpoint) and a
+// durable-store recovery section (restart → round resumed, see
+// RunRecovery) land in the same JSON.
+//
 // Flags: --n=1000000, --d=1024, --solh_n=200000, --solh_d=256,
-// --dprime=16, --eps=3.0, --batch=4096, --smoke, --json=PATH.
+// --dprime=16, --eps=3.0, --batch=4096, --close_rounds, --degraded_delay_ms,
+// --recover_repeats, --smoke, --json=PATH.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -253,8 +260,113 @@ Result<CloseRow> RunRoundClose(const ldp::ScalarFrequencyOracle& oracle,
   return row;
 }
 
+struct RecoveryRow {
+  uint32_t rounds_finalized = 0;  // rounds retained in the store at the kill
+  uint64_t live_batches = 0;      // durable batches of the in-flight round
+  size_t batch_size = 0;
+  double recover_p50_ms = 0.0;
+  double recover_p99_ms = 0.0;
+};
+
+// Restart-to-resumed latency of the durable round store: a single
+// endpoint finalizes `rounds` rounds and is killed with a live round
+// mid-flight, then restarted with recover=true. The timed section is
+// the full resume path — store open (WAL scan + segment load), replay
+// of every retained finalized round, live-round restore, and the first
+// kQuery answers confirming the endpoint serves history (finalized
+// result) and the resume point (live watermark) again.
+Result<RecoveryRow> RunRecovery(const ldp::ScalarFrequencyOracle& oracle,
+                                uint32_t rounds, uint64_t live_batches,
+                                uint32_t repeats, size_t batch_size) {
+  const std::string dir = "/tmp/shuffledp_bench_round_store";
+  Rng rng(0xFA57);
+  std::vector<double> recover_ms;
+  RecoveryRow row;
+  for (uint32_t rep = 0; rep < repeats; ++rep) {
+    if (std::system(("rm -rf '" + dir + "'").c_str()) != 0) {
+      return Status::Internal("cannot clear bench store dir");
+    }
+    service::CollectionServerOptions options;
+    options.streaming.batch_size = batch_size;
+    options.streaming.round_store.dir = dir;
+
+    auto make_batch = [&] {
+      std::vector<uint64_t> ordinals;
+      ordinals.reserve(batch_size);
+      for (size_t i = 0; i < batch_size; ++i) {
+        ordinals.push_back(oracle.PackOrdinal(
+            oracle.Encode(rng.UniformU64(oracle.domain_size()), &rng)));
+      }
+      return ordinals;
+    };
+
+    {
+      SHUFFLEDP_ASSIGN_OR_RETURN(
+          auto server, service::CollectionServer::Start(oracle, options));
+      SHUFFLEDP_ASSIGN_OR_RETURN(
+          auto client,
+          service::CollectorClient::Connect("127.0.0.1", server->port()));
+      for (uint32_t r = 0; r < rounds; ++r) {
+        for (uint64_t b = 0; b < 4; ++b) {
+          SHUFFLEDP_RETURN_NOT_OK(client->SendOrdinals(r, oracle,
+                                                       make_batch()));
+        }
+        SHUFFLEDP_RETURN_NOT_OK(
+            client
+                ->FinishRound(r, 4 * batch_size, 0,
+                              service::Calibration::kStandard)
+                .status());
+      }
+      for (uint64_t b = 0; b < live_batches; ++b) {
+        SHUFFLEDP_RETURN_NOT_OK(client->SendOrdinals(rounds, oracle,
+                                                     make_batch()));
+      }
+      // Accept barrier; the server's shutdown drain then makes every
+      // accepted batch durable, so the recovered watermark is exact.
+      for (int spin = 0; spin < 4000; ++spin) {
+        SHUFFLEDP_ASSIGN_OR_RETURN(service::RoundQuery live,
+                                   client->QueryRound(rounds));
+        if (live.watermark >= live_batches) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      server->Shutdown();
+    }
+
+    WallTimer timer;
+    {
+      service::CollectionServerOptions recover_options = options;
+      recover_options.recover = true;
+      SHUFFLEDP_ASSIGN_OR_RETURN(
+          auto server,
+          service::CollectionServer::Start(oracle, recover_options));
+      SHUFFLEDP_ASSIGN_OR_RETURN(
+          auto client,
+          service::CollectorClient::Connect("127.0.0.1", server->port()));
+      SHUFFLEDP_ASSIGN_OR_RETURN(service::RoundQuery finalized,
+                                 client->QueryRound(rounds - 1));
+      SHUFFLEDP_ASSIGN_OR_RETURN(service::RoundQuery live,
+                                 client->QueryRound(rounds));
+      if (finalized.status != service::RoundStatus::kFinalized ||
+          live.watermark != live_batches) {
+        return Status::Internal("bench recovery resumed at the wrong point");
+      }
+    }
+    recover_ms.push_back(timer.ElapsedSeconds() * 1e3);
+  }
+  if (std::system(("rm -rf '" + dir + "'").c_str()) != 0) {
+    return Status::Internal("cannot clear bench store dir");
+  }
+  row.rounds_finalized = rounds;
+  row.live_batches = live_batches;
+  row.batch_size = batch_size;
+  row.recover_p50_ms = PercentileMs(recover_ms, 0.50);
+  row.recover_p99_ms = PercentileMs(recover_ms, 0.99);
+  return row;
+}
+
 bool WriteJson(const std::string& path, const std::vector<Row>& rows,
-               const std::vector<CloseRow>& close_rows) {
+               const std::vector<CloseRow>& close_rows,
+               const std::vector<RecoveryRow>& recovery_rows) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n  \"bench\": \"distributed_throughput\",\n");
@@ -284,6 +396,18 @@ bool WriteJson(const std::string& path, const std::vector<Row>& rows,
         r.scenario.c_str(), r.partitions, r.rounds,
         static_cast<unsigned long long>(r.delay_ms), r.close_p50_ms,
         r.close_p99_ms, i + 1 < close_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"recovery\": [\n");
+  for (size_t i = 0; i < recovery_rows.size(); ++i) {
+    const RecoveryRow& r = recovery_rows[i];
+    std::fprintf(
+        f,
+        "    {\"rounds_finalized\": %u, \"live_batches\": %llu, "
+        "\"batch_size\": %zu, \"recover_p50_ms\": %.3f, "
+        "\"recover_p99_ms\": %.3f}%s\n",
+        r.rounds_finalized, static_cast<unsigned long long>(r.live_batches),
+        r.batch_size, r.recover_p50_ms, r.recover_p99_ms,
+        i + 1 < recovery_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -362,7 +486,30 @@ int main(int argc, char** argv) {
                 close_row->close_p50_ms, close_row->close_p99_ms);
   }
 
-  if (!json.empty() && !WriteJson(json, rows, close_rows)) {
+  // Restart-to-resumed latency of the durable round store: how long a
+  // killed endpoint takes to serve its history and resume point again.
+  const uint32_t recover_repeats = static_cast<uint32_t>(
+      flags.GetU64("recover_repeats", smoke ? 5 : 20));
+  std::vector<RecoveryRow> recovery_rows;
+  {
+    auto recovery_row = RunRecovery(grr, /*rounds=*/2, /*live_batches=*/4,
+                                    recover_repeats, batch);
+    if (!recovery_row.ok()) {
+      std::fprintf(stderr, "recovery bench failed: %s\n",
+                   recovery_row.status().ToString().c_str());
+      return 1;
+    }
+    recovery_rows.push_back(*recovery_row);
+    std::printf("\n%-10s %16s %12s %16s %16s\n", "scenario",
+                "rounds_finalized", "live_batches", "recover_p50_ms",
+                "recover_p99_ms");
+    std::printf("%-10s %16u %12llu %16.3f %16.3f\n", "recovery",
+                recovery_row->rounds_finalized,
+                static_cast<unsigned long long>(recovery_row->live_batches),
+                recovery_row->recover_p50_ms, recovery_row->recover_p99_ms);
+  }
+
+  if (!json.empty() && !WriteJson(json, rows, close_rows, recovery_rows)) {
     std::fprintf(stderr, "cannot write %s\n", json.c_str());
     return 1;
   }

@@ -12,8 +12,10 @@
 #                              pipeline vs the seed's single-pass collect)
 #   BENCH_distributed.json   - aggregate ingest throughput of a partitioned
 #                              endpoint fleet (1/2/4 partitions behind the
-#                              merge-of-supports coordinator) from
-#                              bench_distributed_throughput
+#                              merge-of-supports coordinator), round-close
+#                              latency (healthy vs degraded), and durable
+#                              round-store recovery time (restart -> round
+#                              resumed) from bench_distributed_throughput
 #
 # Usage: bench/run_benches.sh [BUILD_DIR] [--smoke]
 #   --smoke: CI-sized inputs (small n everywhere) to verify the benches

@@ -7,6 +7,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "service/wal.h"
 #include "util/bytes.h"
 #include "util/hash.h"
 
@@ -17,7 +18,9 @@ namespace {
 
 constexpr size_t kHeaderBytes = 16;
 
-Bytes SerializeState(const CheckpointState& state) {
+}  // namespace
+
+Bytes SerializeCheckpointPayload(const CheckpointState& state) {
   ByteWriter w(64 + state.supports.size() * 4 +
                state.dummies_remaining.size() * 20);
   w.PutU64(state.round_id);
@@ -41,7 +44,7 @@ Bytes SerializeState(const CheckpointState& state) {
   return w.Release();
 }
 
-Result<CheckpointState> DeserializeState(const Bytes& payload) {
+Result<CheckpointState> ParseCheckpointPayload(const Bytes& payload) {
   ByteReader r(payload);
   CheckpointState state;
   SHUFFLEDP_ASSIGN_OR_RETURN(state.round_id, r.GetU64());
@@ -86,7 +89,7 @@ Result<CheckpointState> DeserializeState(const Bytes& payload) {
   return state;
 }
 
-Bytes SerializeJournal(const RoundJournal& journal) {
+Bytes SerializeJournalPayload(const RoundJournal& journal) {
   ByteWriter w(64 + journal.supports.size() * 4);
   w.PutU64(journal.round_id);
   w.PutVarint(journal.partition_index);
@@ -104,7 +107,7 @@ Bytes SerializeJournal(const RoundJournal& journal) {
   return w.Release();
 }
 
-Result<RoundJournal> DeserializeJournal(const Bytes& payload) {
+Result<RoundJournal> ParseJournalPayload(const Bytes& payload) {
   ByteReader r(payload);
   RoundJournal journal;
   SHUFFLEDP_ASSIGN_OR_RETURN(journal.round_id, r.GetU64());
@@ -138,9 +141,6 @@ Result<RoundJournal> DeserializeJournal(const Bytes& payload) {
   return journal;
 }
 
-/// Stage + fsync + rename a magic/version/CRC-framed payload: a crash at
-/// any point leaves either the old file or the new one at `path`, never
-/// a torn mix. Shared by checkpoints and round journals.
 Status WriteFramedFile(const std::string& path, const uint8_t magic[4],
                        const Bytes& payload, const char* what) {
   if (path.empty()) {
@@ -160,33 +160,13 @@ Status WriteFramedFile(const std::string& path, const uint8_t magic[4],
   const std::string tmp = path + ".tmp";
   int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
-    return Status::Internal(std::string(what) + ": cannot open " + tmp +
-                            ": " + std::strerror(errno));
+    return MapStorageErrno(what, tmp, "open", errno);
   }
-  size_t off = 0;
-  while (off < bytes.size()) {
-    ssize_t wrote = ::write(fd, bytes.data() + off, bytes.size() - off);
-    if (wrote < 0) {
-      if (errno == EINTR) continue;
-      Status st = Status::Internal(std::string(what) + " write failed: " +
-                                   std::strerror(errno));
-      ::close(fd);
-      ::unlink(tmp.c_str());
-      return st;
-    }
-    off += static_cast<size_t>(wrote);
-  }
-  if (::fsync(fd) != 0) {
-    Status st = Status::Internal(std::string(what) + " fsync failed: " +
-                                 std::strerror(errno));
-    ::close(fd);
-    ::unlink(tmp.c_str());
-    return st;
-  }
+  Status st = StorageWriteAll(fd, bytes.data(), bytes.size(), what, tmp);
+  if (st.ok()) st = StorageFsync(fd, what, tmp);
   ::close(fd);
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    Status st = Status::Internal(std::string(what) + " rename failed: " +
-                                 std::strerror(errno));
+  if (st.ok()) st = StorageRename(tmp, path, what);
+  if (!st.ok()) {
     ::unlink(tmp.c_str());
     return st;
   }
@@ -241,18 +221,16 @@ Result<Bytes> ReadFramedFile(const std::string& path, const uint8_t magic[4],
   return payload;
 }
 
-}  // namespace
-
 Status WriteCheckpoint(const std::string& path,
                        const CheckpointState& state) {
-  return WriteFramedFile(path, kCheckpointMagic, SerializeState(state),
-                         "checkpoint");
+  return WriteFramedFile(path, kCheckpointMagic,
+                         SerializeCheckpointPayload(state), "checkpoint");
 }
 
 Result<CheckpointState> ReadCheckpoint(const std::string& path) {
   SHUFFLEDP_ASSIGN_OR_RETURN(
       Bytes payload, ReadFramedFile(path, kCheckpointMagic, "checkpoint"));
-  return DeserializeState(payload);
+  return ParseCheckpointPayload(payload);
 }
 
 void RemoveCheckpoint(const std::string& path) {
@@ -265,14 +243,14 @@ std::string RoundJournalPath(const std::string& checkpoint_path) {
 
 Status WriteRoundJournal(const std::string& path,
                          const RoundJournal& journal) {
-  return WriteFramedFile(path, kJournalMagic, SerializeJournal(journal),
-                         "round journal");
+  return WriteFramedFile(path, kJournalMagic,
+                         SerializeJournalPayload(journal), "round journal");
 }
 
 Result<RoundJournal> ReadRoundJournal(const std::string& path) {
   SHUFFLEDP_ASSIGN_OR_RETURN(
       Bytes payload, ReadFramedFile(path, kJournalMagic, "round journal"));
-  return DeserializeJournal(payload);
+  return ParseJournalPayload(payload);
 }
 
 }  // namespace service

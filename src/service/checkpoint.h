@@ -48,6 +48,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/bytes.h"
 #include "util/status.h"
 
 namespace shuffledp {
@@ -135,6 +136,26 @@ std::string RoundJournalPath(const std::string& checkpoint_path);
 /// staging discipline as the checkpoint itself.
 Status WriteRoundJournal(const std::string& path, const RoundJournal& journal);
 Result<RoundJournal> ReadRoundJournal(const std::string& path);
+
+/// Payload codecs, exported for the durable round store (round_store.h):
+/// its segment files and WAL finalize records embed the exact same
+/// checkpoint/journal payload bytes behind different framing, so legacy
+/// files and store segments stay mutually convertible.
+Bytes SerializeCheckpointPayload(const CheckpointState& state);
+Result<CheckpointState> ParseCheckpointPayload(const Bytes& payload);
+Bytes SerializeJournalPayload(const RoundJournal& journal);
+Result<RoundJournal> ParseJournalPayload(const Bytes& payload);
+
+/// Stage + fsync + rename a magic/version/CRC-framed payload (the
+/// 16-byte header documented above): a crash at any point leaves either
+/// the old file or the new one at `path`, never a torn mix. Shared by
+/// checkpoints, round journals, and the round store's segment files.
+/// All storage syscalls go through the fault-injectable wrappers in
+/// wal.h, so ENOSPC surfaces as kResourceExhausted.
+Status WriteFramedFile(const std::string& path, const uint8_t magic[4],
+                       const Bytes& payload, const char* what);
+Result<Bytes> ReadFramedFile(const std::string& path, const uint8_t magic[4],
+                             const char* what);
 
 }  // namespace service
 }  // namespace shuffledp

@@ -341,7 +341,30 @@ Result<RoundResult> MergeCoordinator::FinishRound(uint64_t round_id,
             part->dummies_recognized;
     parts[p] = std::move(part->supports);
   }
+  // Best-effort durability probe: a partition that shed durability
+  // mid-round (ENOSPC) still answered with a complete result, but the
+  // operator must learn that a crash right now would lose it. kQuery is
+  // advisory — a probe failure never fails a round that already has its
+  // numbers.
+  std::vector<uint32_t> degraded_partitions;
+  for (uint32_t p = 0; p < partitions; ++p) {
+    CollectorClient* c = client_->client(p);
+    if (c == nullptr) continue;
+    Result<RoundQuery> q = c->QueryRound(round_id);
+    if (q.ok() && q->durability_degraded) degraded_partitions.push_back(p);
+  }
   last_health_ = client_->SnapshotHealth(round_id);
+  for (uint32_t p : degraded_partitions) {
+    for (PartitionHealth& h : last_health_.partitions) {
+      if (h.partition == p) {
+        // Degraded, not dead: the partition stays healthy (its result
+        // is complete and correct) but the warning rides the report.
+        h.last_error = Status::ResourceExhausted(
+            "round " + std::to_string(round_id) +
+            " finished with durability degraded (results not crash-safe)");
+      }
+    }
+  }
   SHUFFLEDP_ASSIGN_OR_RETURN(std::vector<uint64_t> merged,
                              client_->map().MergeSupports(parts));
 
@@ -358,6 +381,14 @@ Result<RoundResult> MergeCoordinator::FinishRound(uint64_t round_id,
   // when another partition over-recognizes).
   result.spot_check_passed = result.spot_check_passed && spot_check_passed;
   result.stats.rows = rows;
+  if (!degraded_partitions.empty()) {
+    result.durability_degraded = true;
+    std::string warning = "durability degraded on partition(s)";
+    for (uint32_t p : degraded_partitions) {
+      warning += " " + std::to_string(p);
+    }
+    result.durability_warning = std::move(warning);
+  }
   return result;
 }
 

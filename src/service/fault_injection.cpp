@@ -28,6 +28,12 @@ const char* FaultOpName(FaultOp op) {
       return "send";
     case FaultOp::kRecv:
       return "recv";
+    case FaultOp::kFileWrite:
+      return "file-write";
+    case FaultOp::kFileSync:
+      return "fsync";
+    case FaultOp::kFileRename:
+      return "rename";
   }
   return "?";
 }
@@ -37,8 +43,25 @@ void FaultInjector::AddRule(const FaultRule& rule) {
   rules_.push_back(RuleState{rule, 0});
 }
 
+void FaultInjector::ArmStorageKill(uint64_t after_ops, int err) {
+  std::lock_guard<std::mutex> lock(mu_);
+  kill_armed_ = true;
+  kill_after_ops_ = after_ops;
+  kill_err_ = err;
+}
+
 FaultAction FaultInjector::Evaluate(FaultOp op, uint16_t port) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (IsStorageFaultOp(op)) {
+    const uint64_t ordinal =
+        storage_calls_.fetch_add(1, std::memory_order_relaxed);
+    if (kill_armed_ && ordinal >= kill_after_ops_) {
+      injected_.fetch_add(1, std::memory_order_relaxed);
+      injected_by_op_[static_cast<size_t>(op)].fetch_add(
+          1, std::memory_order_relaxed);
+      return FaultAction::FailErrno(kill_err_);
+    }
+  }
   FaultAction chosen = FaultAction::None();
   for (RuleState& state : rules_) {
     const FaultRule& rule = state.rule;

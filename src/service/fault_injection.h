@@ -47,13 +47,28 @@
 namespace shuffledp {
 namespace service {
 
-/// Transport syscall sites that consult the injector.
+/// Syscall sites that consult the injector: the four transport sites
+/// plus the three storage sites the durable round store writes through
+/// (WAL appends, checkpoint/segment staging, fsync barriers, atomic
+/// renames). Storage sites pass port 0; rules targeting them should
+/// leave `port` at 0 (match any).
 enum class FaultOp : uint8_t {
   kConnect = 0,
   kAccept = 1,
   kSend = 2,
   kRecv = 3,
+  kFileWrite = 4,
+  kFileSync = 5,
+  kFileRename = 6,
 };
+
+inline constexpr size_t kNumFaultOps = 7;
+
+/// True for the storage sites (kFileWrite/kFileSync/kFileRename).
+inline bool IsStorageFaultOp(FaultOp op) {
+  return op == FaultOp::kFileWrite || op == FaultOp::kFileSync ||
+         op == FaultOp::kFileRename;
+}
 
 const char* FaultOpName(FaultOp op);
 
@@ -127,12 +142,25 @@ class FaultInjector {
   /// counter advances; the first armed one supplies the action.
   FaultAction Evaluate(FaultOp op, uint16_t port);
 
+  /// Arms the storage kill switch: the `after_ops`-th and every later
+  /// storage-site evaluation (kFileWrite/kFileSync/kFileRename share
+  /// one global counter) fails with `err`, overriding the rule list.
+  /// This is how the crash-point harness simulates a process dying at
+  /// one exact point in the fsync-barrier timeline — after the kill
+  /// point, *nothing* reaches disk, exactly as after a real crash.
+  void ArmStorageKill(uint64_t after_ops, int err);
+
   /// Total actions injected (diagnostics / test assertions).
   uint64_t injected() const { return injected_.load(std::memory_order_relaxed); }
   /// Injected actions at one site.
   uint64_t injected(FaultOp op) const {
     return injected_by_op_[static_cast<size_t>(op)].load(
         std::memory_order_relaxed);
+  }
+  /// Total storage-site evaluations (fault-free counting runs use this
+  /// to enumerate the crash points ArmStorageKill can target).
+  uint64_t storage_evaluations() const {
+    return storage_calls_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -144,8 +172,13 @@ class FaultInjector {
   std::mutex mu_;
   Rng rng_;
   std::vector<RuleState> rules_;
+  bool kill_armed_ = false;
+  uint64_t kill_after_ops_ = 0;
+  int kill_err_ = 0;
   std::atomic<uint64_t> injected_{0};
-  std::atomic<uint64_t> injected_by_op_[4] = {{0}, {0}, {0}, {0}};
+  std::atomic<uint64_t> storage_calls_{0};
+  std::atomic<uint64_t> injected_by_op_[kNumFaultOps] = {{0}, {0}, {0}, {0},
+                                                         {0}, {0}, {0}};
 };
 
 /// Evaluates the installed hook for one syscall site — what the

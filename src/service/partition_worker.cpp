@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "ldp/estimator.h"
+#include "service/retry.h"
 
 namespace shuffledp {
 namespace service {
@@ -90,6 +91,29 @@ PartitionWorker::PartitionWorker(const ldp::ScalarFrequencyOracle& oracle,
       oracle_, options_.num_shards, slice_.lo, slice_.hi);
   drain_counter_ = std::make_unique<ShardedSupportCounter>(
       oracle_, options_.num_shards, slice_.lo, slice_.hi);
+  if (options_.store != nullptr) {
+    store_ = options_.store;
+  } else {
+    RoundStoreOptions store_options = options_.round_store;
+    store_options.partition_index = slice_.index;
+    store_options.partition_count = slice_.count;
+    store_options.slice_lo = slice_.lo;
+    store_options.slice_width = slice_.hi - slice_.lo;
+    Result<std::shared_ptr<RoundStore>> store =
+        OpenRoundStore(store_options, options_.checkpoint);
+    if (store.ok()) {
+      store_ = std::move(*store);
+    } else {
+      // The operator asked for durability and the store refused to open
+      // (corrupt WAL, wrong slice identity, unreachable directory):
+      // poison the pipeline now so the first Offer reports it, instead
+      // of ingesting a round that silently cannot persist.
+      round_status_ = store.status();
+      queue_.Close();
+    }
+  }
+  track_support_shadow_ =
+      store_ != nullptr && store_->WantsDeltas() && !counter_->value_equality();
   ResetRoundTallies();
   // The consumer spawns lazily on the first Offer (EnsureConsumer), so a
   // constructed-but-unused worker does not park an idle thread.
@@ -112,6 +136,12 @@ void PartitionWorker::ResetRoundTallies() {
   busy_seconds_ = 0.0;
   dummies_expected_ = 0;
   dummy_multiset_.clear();
+  durability_degraded_ = false;
+  durability_warning_.clear();
+  degraded_flag_.store(false, std::memory_order_relaxed);
+  if (track_support_shadow_) {
+    persisted_supports_.assign(slice_.hi - slice_.lo, 0);
+  }
   waits_at_round_start_ = queue_.producer_waits();
   queue_.ResetHighWaterMark();
   round_timer_.Reset();
@@ -241,6 +271,7 @@ Result<uint64_t> PartitionWorker::RecoverRound(
         std::to_string(slice_.index) + "/" + std::to_string(slice_.count));
   }
   SHUFFLEDP_RETURN_NOT_OK(counter_->Restore(state.supports));
+  if (track_support_shadow_) persisted_supports_ = state.supports;
   rows_seen_ = state.rows_seen;
   batches_seen_ = state.batches_consumed;
   reports_decoded_ = state.reports_decoded;
@@ -296,6 +327,24 @@ void PartitionWorker::ConsumerLoop() {
         ++dummy_multiset_[entry];
         ++dummies_expected_;
       }
+      if (store_ != nullptr && store_->WantsDeltas() &&
+          !durability_degraded_) {
+        // Registrations mutate the round's dummy multiset between
+        // batches, so they are durable state too: one batch-free delta
+        // record per registration item (batch_lo == batch_hi).
+        RoundDelta delta;
+        delta.round_id = round_id_.load(std::memory_order_relaxed);
+        delta.batch_lo = batches_seen_;
+        delta.batch_hi = batches_seen_;
+        std::map<std::pair<uint64_t, uint64_t>, uint64_t> grouped;
+        for (const auto& entry : item.dummies) ++grouped[entry];
+        delta.dummies_registered.reserve(grouped.size());
+        for (const auto& [key, count] : grouped) {
+          delta.dummies_registered.emplace_back(key.first, key.second,
+                                                count);
+        }
+        if (!PersistDelta(delta)) continue;
+      }
     } else {
       if (!round_status_.ok()) continue;  // drain without processing
       ProcessBatch(item.batch);
@@ -318,7 +367,7 @@ Status PartitionWorker::PipelineError() const {
   return round_status_;
 }
 
-Status PartitionWorker::WriteRoundCheckpoint() {
+CheckpointState PartitionWorker::BuildCheckpointState() {
   CheckpointState state;
   state.round_id = round_id_.load(std::memory_order_relaxed);
   state.partition_index = slice_.index;
@@ -334,11 +383,35 @@ Status PartitionWorker::WriteRoundCheckpoint() {
   for (const auto& [key, count] : dummy_multiset_) {
     if (count > 0) state.dummies_remaining.emplace(key, count);
   }
-  return WriteCheckpoint(options_.checkpoint.path, state);
+  return state;
+}
+
+void PartitionWorker::DegradeDurability(const Status& status) {
+  durability_degraded_ = true;
+  durability_warning_ = status.ToString();
+  degraded_flag_.store(true, std::memory_order_relaxed);
+}
+
+bool PartitionWorker::PersistDelta(const RoundDelta& delta) {
+  Status st = store_->AppendDelta(
+      delta, [this] { return BuildCheckpointState(); });
+  if (st.ok()) return true;
+  if (IsDegradableStorageError(st)) {
+    // Out of disk is not a reason to drop the round: finish it in
+    // memory and let the result carry the durability warning.
+    DegradeDurability(st);
+    return true;
+  }
+  // Every other storage failure is a hard error — the operator asked
+  // for durability, so continuing would be a silent downgrade.
+  FailRound(st);
+  return false;
 }
 
 void PartitionWorker::ProcessBatch(const ReportBatch& batch) {
   WallTimer timer;
+  const uint64_t batch_lo = batches_seen_;
+  const uint64_t invalid_before = reports_invalid_;
   ++batches_seen_;
   rows_seen_ += batch.count;
 
@@ -374,6 +447,9 @@ void PartitionWorker::ProcessBatch(const ReportBatch& batch) {
     return;
   }
 
+  const bool want_deltas = store_ != nullptr && store_->WantsDeltas() &&
+                           !durability_degraded_;
+  std::map<std::pair<uint64_t, uint64_t>, uint64_t> consumed_dummies;
   std::vector<ldp::LdpReport> kept;
   kept.reserve(rows.size());
   for (const DecodedRow& row : rows) {
@@ -387,6 +463,7 @@ void PartitionWorker::ProcessBatch(const ReportBatch& batch) {
       if (it != dummy_multiset_.end() && it->second > 0) {
         --it->second;
         ++dummies_recognized_;
+        if (want_deltas) ++consumed_dummies[it->first];
         continue;  // server-planted dummy: strip before estimation
       }
     }
@@ -396,13 +473,45 @@ void PartitionWorker::ProcessBatch(const ReportBatch& batch) {
   counter_->AccumulateBatch(kept, options_.pool);
   busy_seconds_ += timer.ElapsedSeconds();
 
-  const CheckpointOptions& ckpt = options_.checkpoint;
-  if (!ckpt.path.empty() &&
-      batches_seen_ % std::max<uint64_t>(1, ckpt.every_batches) == 0) {
-    Status st = WriteRoundCheckpoint();
-    // A failed snapshot is a hard error: the operator asked for
-    // durability, so continuing without it would be a silent downgrade.
-    if (!st.ok()) FailRound(st);
+  if (store_ != nullptr && !durability_degraded_) {
+    RoundDelta delta;
+    delta.round_id = round_id_.load(std::memory_order_relaxed);
+    delta.batch_lo = batch_lo;
+    delta.batch_hi = batches_seen_;
+    delta.rows_delta = batch.count;
+    delta.decoded_delta = kept.size();
+    delta.invalid_delta = reports_invalid_ - invalid_before;
+    if (want_deltas) {
+      if (counter_->value_equality()) {
+        // Equality oracles support exactly the reported value: the
+        // sparse delta is a histogram of the kept in-slice values,
+        // mirroring the counter's own fast path.
+        std::map<uint64_t, uint64_t> histogram;
+        for (const ldp::LdpReport& report : kept) {
+          if (report.value >= slice_.lo && report.value < slice_.hi) {
+            ++histogram[report.value - slice_.lo];
+          }
+        }
+        delta.support_deltas.assign(histogram.begin(), histogram.end());
+      } else {
+        // General oracles (hash-based) support many values per report:
+        // diff the merged counter against the shadow of what the store
+        // has already seen.
+        std::vector<uint64_t> current = counter_->Finalize();
+        for (size_t i = 0; i < current.size(); ++i) {
+          if (current[i] != persisted_supports_[i]) {
+            delta.support_deltas.emplace_back(
+                i, current[i] - persisted_supports_[i]);
+          }
+        }
+        persisted_supports_ = std::move(current);
+      }
+      delta.dummies_consumed.reserve(consumed_dummies.size());
+      for (const auto& [key, count] : consumed_dummies) {
+        delta.dummies_consumed.emplace_back(key.first, key.second, count);
+      }
+    }
+    PersistDelta(delta);
   }
 }
 
@@ -426,20 +535,20 @@ void PartitionWorker::ProcessRoundClose(
           ? static_cast<double>(rows_seen_) / stats.wall_seconds
           : 0.0;
 
-  // With persistence on, journal the finalized round state *before*
-  // dropping the mid-round snapshot: everything downstream (Finalize
-  // merge + calibration) is deterministic, so the journal alone can
-  // reproduce the round result bitwise after a crash in the close/read
-  // window. The journaled supports feed the drain task too — finalizing
-  // once keeps the two observers trivially identical.
+  // With persistence on, make the *finalized* round durable before
+  // dropping the mid-round state: everything downstream (Finalize merge
+  // + calibration) is deterministic, so the journal alone can reproduce
+  // the round result bitwise after a crash in the close/read window. The
+  // journaled supports feed the drain task too — finalizing once keeps
+  // the two observers trivially identical.
+  const uint64_t closed_round = round_id_.load(std::memory_order_relaxed);
   std::vector<uint64_t> finalized;
   bool prefinalized = false;
-  const bool durable = !options_.checkpoint.path.empty();
-  if (durable) {
+  if (store_ != nullptr && !durability_degraded_) {
     finalized = counter_->Finalize();
     prefinalized = true;
     RoundJournal journal;
-    journal.round_id = round_id_.load(std::memory_order_relaxed);
+    journal.round_id = closed_round;
     journal.partition_index = slice_.index;
     journal.partition_count = slice_.count;
     journal.slice_lo = slice_.lo;
@@ -451,13 +560,18 @@ void PartitionWorker::ProcessRoundClose(
     journal.dummies_recognized = dummies_recognized_;
     journal.dummies_expected = dummies_expected_;
     journal.supports = finalized;
-    Status st = WriteRoundJournal(
-        RoundJournalPath(options_.checkpoint.path), journal);
+    Status st = store_->FinalizeRound(journal, batches_seen_);
     if (!st.ok()) {
-      // Same durability contract as a failed checkpoint: hard error.
-      FailRound(st);
-      close->promise.set_value(st);
-      return;
+      if (IsDegradableStorageError(st)) {
+        // Same degrade contract as a mid-round ENOSPC: the result is
+        // complete in memory, so hand it out with the warning instead
+        // of poisoning the round.
+        DegradeDurability(st);
+      } else {
+        FailRound(st);
+        close->promise.set_value(st);
+        return;
+      }
     }
   }
 
@@ -467,12 +581,15 @@ void PartitionWorker::ProcessRoundClose(
   if (drain_done_.valid()) drain_done_.wait();
   std::swap(counter_, drain_counter_);
 
-  // This round is fully accumulated (and, when durable, journaled); its
-  // mid-round snapshot is stale. The unlink happens here (synchronously)
-  // rather than in the drain task so it can never race the *next*
-  // round's snapshots of the same path.
-  if (durable) {
-    RemoveCheckpoint(options_.checkpoint.path);
+  // This round is fully accumulated (and, when durable, finalized in the
+  // store); its mid-round state is stale. The close happens here
+  // (synchronously) rather than in the drain task so retention GC and
+  // the legacy checkpoint unlink can never race the *next* round's
+  // writes. A close failure is deliberately ignored: the result is
+  // already durable (or the round already degraded), and a resurrected
+  // closed round is re-collected at the next compaction.
+  if (store_ != nullptr) {
+    (void)store_->CloseRound(closed_round);
   }
 
   struct DrainJob {
@@ -483,6 +600,8 @@ void PartitionWorker::ProcessRoundClose(
     uint64_t dummies_expected;
     std::vector<uint64_t> finalized;  // pre-merged when journaled
     bool prefinalized = false;
+    bool durability_degraded = false;
+    std::string durability_warning;
     StreamingStats stats;
 
     void Run() {
@@ -490,6 +609,8 @@ void PartitionWorker::ProcessRoundClose(
           *oracle, prefinalized ? std::move(finalized) : drained->Finalize(),
           close->n, close->n_fake, close->calibration, reports_decoded,
           reports_invalid, dummies_recognized, dummies_expected);
+      result.durability_degraded = durability_degraded;
+      result.durability_warning = std::move(durability_warning);
       result.stats = stats;
       drained->Reset();  // back buffer ready for the next swap
       close->promise.set_value(std::move(result));
@@ -505,6 +626,8 @@ void PartitionWorker::ProcessRoundClose(
   job->dummies_expected = dummies_expected_;
   job->finalized = std::move(finalized);
   job->prefinalized = prefinalized;
+  job->durability_degraded = durability_degraded_;
+  job->durability_warning = durability_warning_;
   job->stats = stats;
 
   // Advance the round *before* the drain can fulfill the promise, so a
@@ -543,12 +666,12 @@ void PartitionWorker::ResetAfterError() {
     std::lock_guard<std::mutex> lock(status_mu_);
     round_status_ = Status::OK();
   }
-  // The aborted round's snapshot is poison: recovering from it would
-  // resurrect half-aggregated state for a round already reported failed.
-  // (A previously *closed* round's journal stays — it is still the
-  // durable record of that round's result.)
-  if (!options_.checkpoint.path.empty()) {
-    RemoveCheckpoint(options_.checkpoint.path);
+  // The aborted round's durable state is poison: recovering from it
+  // would resurrect half-aggregated state for a round already reported
+  // failed. (Previously *finalized* rounds stay — they are still the
+  // durable record of their results.)
+  if (store_ != nullptr) {
+    (void)store_->AbandonRound(round_id_.load(std::memory_order_relaxed));
   }
   ResetRoundTallies();
   round_id_.fetch_add(1, std::memory_order_relaxed);

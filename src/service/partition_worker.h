@@ -38,19 +38,26 @@
 // calibrate task, so even the merge of round k overlaps round k+1
 // ingest. FinishRound() is the synchronous wrapper (close + wait).
 //
-// Crash safety: when StreamingOptions::checkpoint.path is set, the
-// consumer snapshots its round state every `every_batches` consumed
-// batches into a CRC-guarded, atomically renamed file (checkpoint.h).
-// After a crash, RecoverRound() restores the snapshot and returns the
-// consumed-batch watermark; the feeder replays batches from that index
-// and the round finishes bit-identically to an uninterrupted run. At the
-// round-close sentinel the worker first journals the *finalized* round
-// state (path + ".result") and only then unlinks the mid-round snapshot,
-// so a crash between the sentinel and the result being read replays
-// through RecoverFinalizedRound() instead of losing the round. A
-// checkpoint or journal write failure aborts the round — the operator
-// asked for durability, so losing it is a hard error, not a silent
-// downgrade.
+// Crash safety: round persistence goes through a RoundStore
+// (round_store.h). With StreamingOptions::round_store.dir set, the
+// consumer appends one incremental delta record per batch group to a
+// per-worker WAL, periodically compacted into immutable segment files —
+// any number of rounds (finalized history + the live one) recover
+// together. With only checkpoint.path set, the LegacyCheckpointStore
+// keeps the original behavior: a full CRC-guarded snapshot every
+// `every_batches` batches, plus the finalized-round journal
+// (path + ".result") written before the snapshot is unlinked. Either
+// way, RecoverRound() restores a mid-round state and returns the
+// consumed-batch watermark (the feeder replays from there,
+// bit-identically), and RecoverFinalizedRound() replays a journal
+// through the deterministic finalize/calibrate step.
+//
+// Storage failure taxonomy: an out-of-space write (kResourceExhausted —
+// ENOSPC/EDQUOT) does *not* poison the round. The worker degrades to
+// in-memory-only for the rest of the round and reports it via
+// RoundResult::durability_degraded — operators asked for the data more
+// than for the durability of one round. Every other storage error stays
+// a hard round failure.
 
 #ifndef SHUFFLEDP_SERVICE_PARTITION_WORKER_H_
 #define SHUFFLEDP_SERVICE_PARTITION_WORKER_H_
@@ -71,6 +78,7 @@
 #include "service/bounded_queue.h"
 #include "service/checkpoint.h"
 #include "service/partition.h"
+#include "service/round_store.h"
 #include "service/sharded_counter.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -125,8 +133,18 @@ struct StreamingOptions {
   ThreadPool* pool = nullptr;   ///< decode/count fan-out; null = serial
   /// The domain slice this worker owns (default: full domain, 1-of-1).
   PartitionSlice partition;
-  /// Crash-safe persistence (path empty = disabled); see checkpoint.h.
+  /// Legacy crash-safe persistence (path empty = disabled); selects the
+  /// LegacyCheckpointStore when round_store.dir is unset. See checkpoint.h.
   CheckpointOptions checkpoint;
+  /// Durable round store (round_store.h): `round_store.dir` non-empty
+  /// selects the WAL + segment engine. Slice identity fields are filled
+  /// from the worker's resolved partition; `checkpoint.path` doubles as
+  /// the legacy migration source on first open.
+  RoundStoreOptions round_store;
+  /// Pre-opened store (wins over the options above). The transport
+  /// server shares its store with the worker through this — a WAL must
+  /// have exactly one writer handle.
+  std::shared_ptr<RoundStore> store;
 };
 
 /// Pipeline health/throughput counters for one round.
@@ -152,6 +170,12 @@ struct RoundResult {
   uint64_t dummies_recognized = 0;  ///< spot-check dummies stripped
   uint64_t dummies_expected = 0;    ///< spot-check dummies registered
   bool spot_check_passed = true;    ///< every expected dummy arrived
+  /// The round finished in memory but its durability was downgraded
+  /// mid-round by an out-of-space store (kResourceExhausted): the result
+  /// is correct, but a crash before the coordinator read it would have
+  /// lost the round. `durability_warning` carries the triggering error.
+  bool durability_degraded = false;
+  std::string durability_warning;
   StreamingStats stats;
 };
 
@@ -259,6 +283,16 @@ class PartitionWorker {
   /// The owned slice with lo/hi resolved against the oracle's domain.
   const PartitionSlice& partition() const { return slice_; }
 
+  /// True once the *current* round's durability was downgraded by an
+  /// out-of-space store (cleared at each round boundary). Safe from any
+  /// thread — the kQuery handler reads it live.
+  bool durability_degraded() const {
+    return degraded_flag_.load(std::memory_order_relaxed);
+  }
+
+  /// The round store backing this worker (null when persistence is off).
+  const std::shared_ptr<RoundStore>& store() const { return store_; }
+
   const StreamingOptions& options() const { return options_; }
   const ldp::ScalarFrequencyOracle& oracle() const { return oracle_; }
 
@@ -285,7 +319,12 @@ class PartitionWorker {
   void ProcessRoundClose(const std::shared_ptr<RoundClose>& close);
   void ResetRoundTallies();
   void EnsureConsumer();
-  Status WriteRoundCheckpoint();
+  CheckpointState BuildCheckpointState();
+  /// Routes a batch-group delta to the store, downgrading durability on
+  /// kResourceExhausted and failing the round on anything else. Returns
+  /// false when the round was failed (the caller must stop).
+  bool PersistDelta(const RoundDelta& delta);
+  void DegradeDurability(const Status& status);
   void FailRound(Status status);
   Status PipelineError() const;  // status_mu_-guarded snapshot
 
@@ -319,6 +358,20 @@ class PartitionWorker {
   std::map<std::pair<uint64_t, uint64_t>, uint64_t> dummy_multiset_;
   WallTimer round_timer_;
   uint64_t waits_at_round_start_ = 0;
+
+  // Durable round store plumbing. store_ is set once in the constructor;
+  // the degrade fields are consumer-owned with an atomic mirror for the
+  // kQuery handler.
+  std::shared_ptr<RoundStore> store_;
+  bool durability_degraded_ = false;
+  std::string durability_warning_;
+  std::atomic<bool> degraded_flag_{false};
+  /// Shadow of the supports the store has seen — only maintained for
+  /// non-value-equality oracles on a delta-wanting store, where per-batch
+  /// deltas come from diffing Finalize() snapshots instead of a kept-row
+  /// histogram.
+  bool track_support_shadow_ = false;
+  std::vector<uint64_t> persisted_supports_;
 };
 
 /// Finalize/calibrate step shared by the live drain path, journal

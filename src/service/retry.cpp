@@ -13,6 +13,10 @@ bool IsRetryableTransportError(const Status& status) {
          status.code() == StatusCode::kDeadlineExceeded;
 }
 
+bool IsDegradableStorageError(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted;
+}
+
 BackoffSchedule::BackoffSchedule(const RetryPolicy& policy, uint64_t salt)
     : policy_(policy), rng_(policy.seed ^ salt) {}
 

@@ -17,6 +17,15 @@
 //   violation can only miscount reports or mask corruption, so these
 //   abort immediately.
 //
+//   A third kind sits between the two: *resource exhaustion*
+//   (kResourceExhausted — ENOSPC/EDQUOT from the durable round store).
+//   It is not retryable — the disk will not un-fill between attempts,
+//   and re-running the write would duplicate a WAL record — but it is
+//   not fatal to the round either: the worker sheds durability (keeps
+//   collecting in memory, flags the result degraded) instead of
+//   poisoning a round whose data is perfectly intact. See
+//   IsDegradableStorageError.
+//
 // Backoff is exponential with deterministically seeded jitter: the
 // schedule is a pure function of (policy, salt), so a test can pin the
 // exact delay sequence and a fleet-wide retry wave still decorrelates
@@ -53,6 +62,13 @@ struct RetryPolicy {
 /// kDeadlineExceeded); false for everything semantic — protocol
 /// violations must never be retried into.
 bool IsRetryableTransportError(const Status& status);
+
+/// True for storage failures the worker answers by shedding durability
+/// rather than failing the round (kResourceExhausted: ENOSPC/EDQUOT,
+/// including a short write that hit the disk-full wall mid-record).
+/// Deliberately NOT retryable: a full disk stays full, and replaying
+/// the append could land a duplicate WAL record.
+bool IsDegradableStorageError(const Status& status);
 
 /// One deterministic backoff delay sequence. Two schedules built from
 /// the same (policy, salt) produce identical delays; different salts

@@ -1,0 +1,301 @@
+// Durable multi-round storage engine for partition workers.
+//
+// The one-file-per-round checkpoint path (checkpoint.h) rewrites the
+// entire counter snapshot every N batches and protects exactly one
+// in-flight round. The RoundStore interface replaces it with a
+// crash-consistent engine sized for many concurrent rounds:
+//
+//   ingest      consumer thread appends one incremental RoundDelta per
+//               batch group to a per-worker WAL (wal.h) — sparse slice
+//               deltas + tally deltas + dummy-multiset deltas, O(batch)
+//               bytes instead of O(slice) — with a configurable fsync
+//               barrier cadence;
+//   compaction  the WAL is periodically folded into immutable
+//               CRC-guarded segment files (one per round, "SDPS"
+//               framing, atomic-rename discipline), then truncated;
+//   recovery    segments load first, then the WAL suffix replays on
+//               top. Records carry monotonic LSNs and each segment
+//               records the last LSN folded into it, so replay is
+//               idempotent: a crash between segment publish and WAL
+//               truncation — or a duplicated record — applies as a
+//               no-op. Any number of rounds (finalized history + the
+//               live round) recover together;
+//   queries     Query() serves round history (status, watermark,
+//               finalized journal) — the storage side of the kQuery
+//               wire frame (transport.h);
+//   retention   CloseRound() garbage-collects finalized rounds beyond
+//               the keep-last-K knob.
+//
+// Two backends sit behind the interface: SegmentedRoundStore (the WAL +
+// segment engine above) and LegacyCheckpointStore, which adapts the
+// existing SDPK/SDPJ one-file-per-round format — same write cadence,
+// same files — so existing deployments recover through the same
+// interface unchanged, and the segmented store imports those files as a
+// read-only migration source on first open.
+//
+// Concurrency: the worker's consumer thread is the only writer
+// (AppendDelta / FinalizeRound / CloseRound / AbandonRound); Query and
+// LoadAll may run from any thread. Both backends serialize internally.
+
+#ifndef SHUFFLEDP_SERVICE_ROUND_STORE_H_
+#define SHUFFLEDP_SERVICE_ROUND_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "service/checkpoint.h"
+#include "service/wal.h"
+#include "util/status.h"
+
+namespace shuffledp {
+namespace service {
+
+/// Segment file magic ("SDPS"); framing is checkpoint.h's 16-byte
+/// header via WriteFramedFile/ReadFramedFile.
+inline constexpr uint8_t kSegmentMagic[4] = {'S', 'D', 'P', 'S'};
+
+/// Round store knobs (part of StreamingOptions). `dir` empty disables
+/// the segmented engine; the worker then falls back to the legacy
+/// checkpoint path when that is configured.
+struct RoundStoreOptions {
+  /// Store directory (created if missing): holds `wal.log` and one
+  /// `round-<id>.seg` segment per stored round.
+  std::string dir;
+  /// Finalized rounds retained for history queries; older rounds are
+  /// garbage-collected at CloseRound. Clamped to >= 1 — the newest
+  /// finalized round always survives so a crashed coordinator can
+  /// re-fetch its result after a restart.
+  uint64_t retain_rounds = 4;
+  /// WAL records between compactions (segment rewrite + log truncate).
+  uint64_t compact_every_records = 256;
+  /// WAL records between fsync barriers. 1 = every record durable
+  /// before ingest proceeds (the default; the crash-point tests assume
+  /// it). Larger values trade the barrier cost for a bounded window of
+  /// re-replayed batches after a crash.
+  uint64_t sync_every_records = 1;
+  /// Slice identity (filled by the worker from its resolved partition).
+  uint32_t partition_index = 0;
+  uint32_t partition_count = 1;
+  uint64_t slice_lo = 0;
+  uint64_t slice_width = 0;  ///< supports length; required when dir set
+  /// Legacy SDPK checkpoint path imported (read-only, together with its
+  /// `.result` journal) when the store directory holds no state yet.
+  std::string legacy_checkpoint_path;
+};
+
+/// One batch group's incremental effect on round state — what the WAL
+/// persists instead of a full snapshot. Batch-free records (spot-check
+/// dummy registrations, which mutate the multiset between batches) use
+/// an empty range `batch_lo == batch_hi`.
+struct RoundDelta {
+  uint64_t round_id = 0;
+  uint64_t batch_lo = 0;  ///< consumed-batch watermark before this group
+  uint64_t batch_hi = 0;  ///< watermark after ([lo, hi) consumed)
+  uint64_t rows_delta = 0;
+  uint64_t decoded_delta = 0;
+  uint64_t invalid_delta = 0;
+  /// Sparse support increments: (slice-relative index, +count),
+  /// ascending by index.
+  std::vector<std::pair<uint64_t, uint64_t>> support_deltas;
+  /// Spot-check dummy registrations / consumptions: (packed, tag, count).
+  std::vector<std::tuple<uint64_t, uint64_t, uint64_t>> dummies_registered;
+  std::vector<std::tuple<uint64_t, uint64_t, uint64_t>> dummies_consumed;
+};
+
+/// Delta payload codec (WAL kDelta record payload; golden-pinned in
+/// docs/WIRE_FORMAT.md §6).
+Bytes SerializeRoundDelta(const RoundDelta& delta);
+Result<RoundDelta> ParseRoundDelta(const Bytes& payload);
+
+/// One recovered round. Live rounds carry the mid-round CheckpointState
+/// (feed it to PartitionWorker::RecoverRound and replay from the
+/// watermark); finalized rounds carry the RoundJournal (feed it to
+/// RecoverFinalizedRound / FinalizeRoundResult).
+struct StoredRound {
+  bool finalized = false;
+  CheckpointState state;  ///< valid when !finalized
+  RoundJournal journal;   ///< valid when finalized
+  uint64_t batches_consumed = 0;  ///< watermark (both kinds)
+
+  uint64_t round_id() const {
+    return finalized ? journal.round_id : state.round_id;
+  }
+};
+
+enum class RoundStatus : uint8_t {
+  kUnknown = 0,
+  kActive = 1,
+  kFinalized = 2,
+};
+
+/// Query() answer — the storage side of the kQuery wire frame.
+struct RoundLookup {
+  RoundStatus status = RoundStatus::kUnknown;
+  uint64_t watermark = 0;  ///< durably consumed batches
+  RoundJournal journal;    ///< valid when status == kFinalized
+};
+
+/// Crash-consistent round persistence. See the file comment for the
+/// engine; LegacyCheckpointStore for the SDPK/SDPJ adapter.
+class RoundStore {
+ public:
+  /// Lazily materializes a full CheckpointState snapshot — only the
+  /// legacy backend calls it (on its checkpoint cadence), so the
+  /// segmented engine never pays the O(slice) Finalize cost per batch.
+  using SnapshotFn = std::function<CheckpointState()>;
+
+  virtual ~RoundStore() = default;
+
+  /// True when the backend persists incremental deltas — the worker
+  /// only computes sparse per-batch support deltas when it does.
+  virtual bool WantsDeltas() const = 0;
+
+  /// Records one batch group's deltas for the round (consumer thread).
+  virtual Status AppendDelta(const RoundDelta& delta,
+                             const SnapshotFn& snapshot) = 0;
+
+  /// Durably records the finalized round (called before the result is
+  /// handed out; always an fsync barrier). `batches_consumed` is the
+  /// round's final watermark — the journal itself does not carry one.
+  virtual Status FinalizeRound(const RoundJournal& journal,
+                               uint64_t batches_consumed) = 0;
+
+  /// The round's result has been delivered: run retention GC. The round
+  /// stays queryable until retention expires it.
+  virtual Status CloseRound(uint64_t round_id) = 0;
+
+  /// Drops a failed round's state so recovery does not resurrect a
+  /// round the pipeline abandoned.
+  virtual Status AbandonRound(uint64_t round_id) = 0;
+
+  /// Every stored round, ascending by round id (recovery entry point).
+  virtual Result<std::vector<StoredRound>> LoadAll() = 0;
+
+  /// Round history lookup (any thread).
+  virtual Result<RoundLookup> Query(uint64_t round_id) = 0;
+};
+
+/// Adapter keeping the existing one-file-per-round SDPK checkpoint +
+/// SDPJ journal behind the RoundStore interface: identical write
+/// cadence (full snapshot every `every_batches` consumed batches),
+/// identical files, identical recovery semantics — the journal is a
+/// keep-exactly-1 overwrite, so retention does not apply.
+class LegacyCheckpointStore : public RoundStore {
+ public:
+  explicit LegacyCheckpointStore(CheckpointOptions options)
+      : options_(std::move(options)) {}
+
+  bool WantsDeltas() const override { return false; }
+  Status AppendDelta(const RoundDelta& delta,
+                     const SnapshotFn& snapshot) override;
+  Status FinalizeRound(const RoundJournal& journal,
+                       uint64_t batches_consumed) override;
+  Status CloseRound(uint64_t round_id) override;
+  Status AbandonRound(uint64_t round_id) override;
+  Result<std::vector<StoredRound>> LoadAll() override;
+  Result<RoundLookup> Query(uint64_t round_id) override;
+
+ private:
+  CheckpointOptions options_;
+  std::mutex mu_;
+  // In-memory mirror for Query (the files stay authoritative).
+  bool live_ = false;
+  uint64_t live_round_ = 0;
+  uint64_t live_watermark_ = 0;  ///< durable (checkpointed) watermark
+  bool have_journal_ = false;
+  RoundJournal journal_;
+  uint64_t journal_batches_ = 0;
+};
+
+/// The WAL + segment engine (file comment above).
+class SegmentedRoundStore : public RoundStore {
+ public:
+  /// Opens the store: creates `options.dir` if missing, validates and
+  /// scans the WAL (truncating a torn tail), loads every segment,
+  /// replays the WAL suffix, and — when the directory holds no state —
+  /// imports `options.legacy_checkpoint_path` (+ `.result`). A corrupt
+  /// segment or WAL header is a hard error: refuse to guess.
+  static Result<std::unique_ptr<SegmentedRoundStore>> Open(
+      const RoundStoreOptions& options);
+
+  bool WantsDeltas() const override { return true; }
+  Status AppendDelta(const RoundDelta& delta,
+                     const SnapshotFn& snapshot) override;
+  Status FinalizeRound(const RoundJournal& journal,
+                       uint64_t batches_consumed) override;
+  Status CloseRound(uint64_t round_id) override;
+  Status AbandonRound(uint64_t round_id) override;
+  Result<std::vector<StoredRound>> LoadAll() override;
+  Result<RoundLookup> Query(uint64_t round_id) override;
+
+  /// Forces a compaction (segment rewrite + WAL truncate) now — the
+  /// shutdown hook and tests; AppendDelta triggers it automatically
+  /// every `compact_every_records` records.
+  Status CompactNow();
+
+  /// Diagnostics / tests.
+  uint64_t next_lsn() const;
+  uint64_t wal_truncated_bytes() const { return wal_truncated_bytes_; }
+  std::string SegmentPath(uint64_t round_id) const;
+
+ private:
+  struct RoundEntry {
+    CheckpointState state;  ///< live mirror (empty once finalized)
+    bool finalized = false;
+    RoundJournal journal;
+    uint64_t batches_consumed = 0;
+    uint64_t last_lsn = 0;  ///< newest LSN folded into this entry
+    bool dirty = false;     ///< has WAL records no segment covers
+    bool closed = false;    ///< result delivered (retention-eligible)
+  };
+
+  explicit SegmentedRoundStore(RoundStoreOptions options)
+      : options_(std::move(options)) {}
+
+  RoundEntry& EntryForLocked(uint64_t round_id);
+  Status ApplyDeltaLocked(const RoundDelta& delta, uint64_t lsn);
+  Status ApplyFinalizeLocked(const RoundJournal& journal,
+                             uint64_t batches_consumed, uint64_t lsn);
+  void ApplyAbandonLocked(uint64_t round_id);
+  Status AppendRecordLocked(WalRecordType type, const Bytes& payload,
+                            bool force_sync);
+  /// Compacts when the record cadence is due. Must run only after the
+  /// just-appended record was applied to the mirror — compaction folds
+  /// the mirror into segments and then drops the WAL, so an unapplied
+  /// record would be truncated without ever being folded.
+  Status MaybeCompactLocked();
+  Status CompactLocked();
+  void RetentionGcLocked();
+  Status LoadSegmentsLocked();
+  Status ImportLegacyLocked();
+  Status ReplayLocked(std::vector<WriteAheadLog::Record> records);
+
+  RoundStoreOptions options_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, RoundEntry> rounds_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  uint64_t next_lsn_ = 1;
+  uint64_t appended_since_sync_ = 0;
+  uint64_t appended_since_compact_ = 0;
+  uint64_t wal_truncated_bytes_ = 0;
+};
+
+/// Opens the configured backend: SegmentedRoundStore when
+/// `options.dir` is set (importing `legacy.path` as migration source if
+/// the directory is empty), LegacyCheckpointStore when only
+/// `legacy.path` is set, and a null store when neither (durability
+/// disabled — the returned shared_ptr is empty but the Result is OK).
+Result<std::shared_ptr<RoundStore>> OpenRoundStore(
+    const RoundStoreOptions& options, const CheckpointOptions& legacy);
+
+}  // namespace service
+}  // namespace shuffledp
+
+#endif  // SHUFFLEDP_SERVICE_ROUND_STORE_H_

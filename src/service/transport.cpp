@@ -230,7 +230,7 @@ Status ConnectDeadline(int fd, const sockaddr_in& addr,
 
 bool ValidFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kBatch) &&
-         type <= static_cast<uint8_t>(FrameType::kBatchIndexed);
+         type <= static_cast<uint8_t>(FrameType::kQuery);
 }
 
 /// Cap-checked frame write shared by both endpoints: a payload beyond
@@ -418,30 +418,63 @@ Result<std::unique_ptr<CollectionServer>> CollectionServer::Start(
   // assigned; a single-node default map resolves to the full domain.
   server->options_.streaming.partition =
       server->options_.partition_map.SliceOf(server->options_.partition_id);
+
+  // Open the durable round store *before* constructing the worker and
+  // share one handle: a WAL must have exactly one writer, and the
+  // server needs the store itself for recovery and kQuery. A store that
+  // refuses to open (corrupt WAL, wrong slice identity) fails Start —
+  // refusing traffic beats silently dropping durability.
+  if (server->options_.streaming.store == nullptr) {
+    PartitionSlice slice = server->options_.streaming.partition;
+    if (slice.full_domain()) {
+      slice.lo = 0;
+      slice.hi = oracle.domain_size();
+    }
+    RoundStoreOptions store_options = server->options_.streaming.round_store;
+    store_options.partition_index = slice.index;
+    store_options.partition_count = slice.count;
+    store_options.slice_lo = slice.lo;
+    store_options.slice_width = slice.hi - slice.lo;
+    SHUFFLEDP_ASSIGN_OR_RETURN(
+        server->options_.streaming.store,
+        OpenRoundStore(store_options, server->options_.streaming.checkpoint));
+  }
+  server->store_ = server->options_.streaming.store;
   server->collector_ = std::make_unique<PartitionWorker>(
       oracle, server->options_.streaming);
 
-  // Crash recovery before the first byte of traffic: restore the
-  // interrupted round so the watermark answer is exact, and replay any
-  // finalized-round journal so a kFinish for the round that closed just
-  // before the crash is answered instead of rejected.
-  const std::string& ckpt_path = server->options_.streaming.checkpoint.path;
-  if (server->options_.recover && !ckpt_path.empty()) {
-    Result<CheckpointState> state = ReadCheckpoint(ckpt_path);
-    if (!state.ok() && state.status().code() != StatusCode::kNotFound) {
-      return state.status();  // present but unreadable: refuse to guess
+  // Crash recovery before the first byte of traffic: every stored round
+  // loads through the store — the newest finalized round replays into
+  // the result stash (so a kFinish re-request for it is answered
+  // instead of rejected) and a live mid-round state restores into the
+  // collector so the watermark answer is exact.
+  if (server->options_.recover && server->store_ != nullptr) {
+    SHUFFLEDP_ASSIGN_OR_RETURN(std::vector<StoredRound> rounds,
+                               server->store_->LoadAll());
+    const StoredRound* live = nullptr;
+    const StoredRound* newest_finalized = nullptr;
+    for (const StoredRound& round : rounds) {
+      if (round.finalized) {
+        if (newest_finalized == nullptr ||
+            round.round_id() > newest_finalized->round_id()) {
+          newest_finalized = &round;
+        }
+      } else if (live == nullptr || round.round_id() > live->round_id()) {
+        live = &round;  // the consumer serializes rounds, so at most one
+      }
     }
-    Result<RoundJournal> journal =
-        ReadRoundJournal(RoundJournalPath(ckpt_path));
-    if (journal.ok()) {
-      // Replay through a throwaway worker when a newer mid-round
-      // checkpoint also exists (the live collector must restore *that*
-      // round); otherwise through the live collector so its round id
-      // advances past the journaled round.
+    if (newest_finalized != nullptr) {
+      // Replay through a throwaway worker when a live mid-round state
+      // also exists (the live collector must restore *that* round);
+      // otherwise through the live collector so its round id advances
+      // past the finalized round. The throwaway shares the already-open
+      // store handle via streaming.store, so no second WAL opens.
+      const RoundJournal& journal = newest_finalized->journal;
       Result<RoundResult> replay =
-          state.ok() ? PartitionWorker(oracle, server->options_.streaming)
-                           .RecoverFinalizedRound(*journal)
-                     : server->collector_->RecoverFinalizedRound(*journal);
+          live != nullptr
+              ? PartitionWorker(oracle, server->options_.streaming)
+                    .RecoverFinalizedRound(journal)
+              : server->collector_->RecoverFinalizedRound(journal);
       SHUFFLEDP_RETURN_NOT_OK(replay.status());
       RemoteRoundResult replayed;
       replayed.supports = std::move(replay->supports);
@@ -451,16 +484,15 @@ Result<std::unique_ptr<CollectionServer>> CollectionServer::Start(
       replayed.dummies_recognized = replay->dummies_recognized;
       replayed.dummies_expected = replay->dummies_expected;
       replayed.spot_check_passed = replay->spot_check_passed;
-      server->StashRoundResult(journal->round_id, journal->n,
-                               journal->n_fake, journal->calibration,
-                               std::move(replayed));
-    } else if (journal.status().code() != StatusCode::kNotFound) {
-      return journal.status();  // present but unreadable: refuse to guess
+      server->StashRoundResult(journal.round_id, journal.n, journal.n_fake,
+                               journal.calibration, std::move(replayed),
+                               /*durability_degraded=*/false);
     }
-    if (state.ok()) {
-      SHUFFLEDP_ASSIGN_OR_RETURN(server->recovered_watermark_,
-                                 server->collector_->RecoverRound(*state));
-      server->recovered_round_ = state->round_id;
+    if (live != nullptr) {
+      SHUFFLEDP_ASSIGN_OR_RETURN(
+          server->recovered_watermark_,
+          server->collector_->RecoverRound(live->state));
+      server->recovered_round_ = live->state.round_id;
       // Resuming clients replay from the restored consumed-batch count.
       server->ingest_offered_.store(server->recovered_watermark_,
                                     std::memory_order_release);
@@ -566,7 +598,8 @@ Status CollectionServer::WriteServerFrame(int fd, const Frame& frame) {
 
 void CollectionServer::StashRoundResult(uint64_t round_id, uint64_t n,
                                         uint64_t n_fake, uint8_t calibration,
-                                        RemoteRoundResult result) {
+                                        RemoteRoundResult result,
+                                        bool durability_degraded) {
   {
     std::lock_guard<std::mutex> lock(result_mu_);
     have_last_result_ = true;
@@ -574,6 +607,7 @@ void CollectionServer::StashRoundResult(uint64_t round_id, uint64_t n,
     last_n_ = n;
     last_n_fake_ = n_fake;
     last_calibration_ = calibration;
+    last_durability_degraded_ = durability_degraded;
     last_result_ = std::move(result);
   }
   result_cv_.notify_all();
@@ -716,9 +750,11 @@ void CollectionServer::ConnectionLoop(Connection* conn) {
 
 Status CollectionServer::HandleFrame(int fd, Frame frame) {
   // Misrouted traffic fails loudly: every data/control frame must name
-  // the partition this endpoint owns (kWatermark is a pure query and may
-  // come from anyone, e.g. a prober that has not handshaken).
+  // the partition this endpoint owns (kWatermark and kQuery are pure
+  // queries and may come from anyone, e.g. a prober that has not
+  // handshaken).
   if (frame.type != FrameType::kWatermark &&
+      frame.type != FrameType::kQuery &&
       frame.partition != options_.partition_id) {
     return Status::ProtocolViolation(
         "frame targets partition " + std::to_string(frame.partition) +
@@ -934,7 +970,8 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
       // the round drained, the write fails but a reconnecting
       // coordinator can still re-request the result (the close-to-read
       // window, live-server edition of the journal replay).
-      StashRoundResult(frame.round_id, n, n_fake, cal, std::move(remote));
+      StashRoundResult(frame.round_id, n, n_fake, cal, std::move(remote),
+                       round->durability_degraded);
       // A domain so large its result frame blows the cap surfaces as a
       // clean kError (via the connection error path), not a poisoned
       // client decoder mid-frame.
@@ -965,6 +1002,96 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
       reply.round_id = reply_round;
       ByteWriter w;
       w.PutVarint(offered);
+      reply.payload = w.Release();
+      return WriteServerFrame(fd, reply);
+    }
+    case FrameType::kQuery: {
+      if (!frame.payload.empty()) {
+        return Status::ProtocolViolation("round query carries a payload");
+      }
+      Frame reply;
+      reply.type = FrameType::kQuery;
+      reply.partition = static_cast<uint16_t>(options_.partition_id);
+      reply.round_id = frame.round_id;
+      RoundStatus status = RoundStatus::kUnknown;
+      bool degraded = false;
+      uint64_t watermark = 0;
+      bool answered = false;
+      {
+        // The live round answers from the ingest gate (same torn-pair
+        // reasoning as kWatermark); anything else answers from the
+        // durable store, so the reply reflects exactly what a crash
+        // would preserve.
+        std::lock_guard<std::mutex> lock(ingest_mu_);
+        if (frame.round_id == ingest_round_.load(std::memory_order_relaxed)) {
+          status = RoundStatus::kActive;
+          watermark = ingest_offered_.load(std::memory_order_relaxed);
+          degraded = collector_->durability_degraded();
+          answered = true;
+        }
+      }
+      ByteWriter w;
+      if (!answered && store_ != nullptr) {
+        SHUFFLEDP_ASSIGN_OR_RETURN(RoundLookup lookup,
+                                   store_->Query(frame.round_id));
+        if (lookup.status != RoundStatus::kUnknown) {
+          status = lookup.status;
+          watermark = lookup.watermark;
+          answered = true;
+          if (status == RoundStatus::kFinalized) {
+            // The journal persists supports only; estimates and the
+            // spot-check verdict re-derive through the same pure
+            // function live finalization uses, so the reply is bitwise
+            // the result the round originally produced.
+            const RoundJournal& journal = lookup.journal;
+            RoundResult replay = FinalizeRoundResult(
+                oracle_, journal.supports, journal.n, journal.n_fake,
+                static_cast<Calibration>(journal.calibration),
+                journal.reports_decoded, journal.reports_invalid,
+                journal.dummies_recognized, journal.dummies_expected);
+            RemoteRoundResult remote;
+            remote.supports = std::move(replay.supports);
+            remote.estimates = std::move(replay.estimates);
+            remote.reports_decoded = replay.reports_decoded;
+            remote.reports_invalid = replay.reports_invalid;
+            remote.dummies_recognized = replay.dummies_recognized;
+            remote.dummies_expected = replay.dummies_expected;
+            remote.spot_check_passed = replay.spot_check_passed;
+            w.PutU8(static_cast<uint8_t>(status));
+            w.PutU8(0);
+            w.PutVarint(watermark);
+            w.PutVarint(journal.n);
+            w.PutVarint(journal.n_fake);
+            w.PutU8(journal.calibration);
+            w.PutBytes(SerializeRoundResult(remote));
+            reply.payload = w.Release();
+            return WriteServerFrame(fd, reply);
+          }
+        }
+      }
+      if (!answered) {
+        // Stash fallback: a round finalized this process lifetime but
+        // already garbage-collected from the store (or served by a
+        // legacy store that only journals the newest round) still
+        // answers from the in-memory stash. Watermark 0 — the durable
+        // consumed count is gone with the segment.
+        std::lock_guard<std::mutex> lock(result_mu_);
+        if (have_last_result_ && last_round_ == frame.round_id) {
+          w.PutU8(static_cast<uint8_t>(RoundStatus::kFinalized));
+          w.PutU8(last_durability_degraded_ ? 1 : 0);
+          w.PutVarint(0);
+          w.PutVarint(last_n_);
+          w.PutVarint(last_n_fake_);
+          w.PutU8(last_calibration_);
+          w.PutBytes(SerializeRoundResult(last_result_));
+          reply.payload = w.Release();
+          answered = true;
+        }
+      }
+      if (!reply.payload.empty()) return WriteServerFrame(fd, reply);
+      w.PutU8(static_cast<uint8_t>(status));
+      w.PutU8(degraded ? 1 : 0);
+      w.PutVarint(watermark);
       reply.payload = w.Release();
       return WriteServerFrame(fd, reply);
     }
@@ -1200,6 +1327,44 @@ Result<uint64_t> CollectorClient::QueryWatermark(uint64_t* round_id_out) {
   }
   if (round_id_out != nullptr) *round_id_out = reply.round_id;
   return watermark;
+}
+
+Result<RoundQuery> CollectorClient::QueryRound(uint64_t round_id) {
+  Frame query;
+  query.type = FrameType::kQuery;
+  query.round_id = round_id;
+  SHUFFLEDP_RETURN_NOT_OK(WriteFrame(query));
+  SHUFFLEDP_ASSIGN_OR_RETURN(Frame reply, ReadFrame());
+  if (reply.type != FrameType::kQuery) {
+    return Status::ProtocolViolation("expected a round-query reply");
+  }
+  ByteReader r(reply.payload);
+  RoundQuery out;
+  SHUFFLEDP_ASSIGN_OR_RETURN(uint8_t status, r.GetU8());
+  if (status > static_cast<uint8_t>(RoundStatus::kFinalized)) {
+    return Status::ProtocolViolation("round-query reply has unknown status");
+  }
+  out.status = static_cast<RoundStatus>(status);
+  SHUFFLEDP_ASSIGN_OR_RETURN(uint8_t flags, r.GetU8());
+  if ((flags & ~uint8_t{1}) != 0) {
+    return Status::ProtocolViolation("round-query reply has unknown flags");
+  }
+  out.durability_degraded = (flags & 1) != 0;
+  SHUFFLEDP_ASSIGN_OR_RETURN(out.watermark, r.GetVarint());
+  if (out.status == RoundStatus::kFinalized) {
+    SHUFFLEDP_ASSIGN_OR_RETURN(out.n, r.GetVarint());
+    SHUFFLEDP_ASSIGN_OR_RETURN(out.n_fake, r.GetVarint());
+    SHUFFLEDP_ASSIGN_OR_RETURN(out.calibration, r.GetU8());
+    if (out.calibration > static_cast<uint8_t>(Calibration::kNone)) {
+      return Status::ProtocolViolation(
+          "round-query reply has unknown calibration");
+    }
+    SHUFFLEDP_ASSIGN_OR_RETURN(Bytes rest, r.GetBytes(r.Remaining()));
+    SHUFFLEDP_ASSIGN_OR_RETURN(out.result, ParseRoundResult(rest));
+  } else if (!r.AtEnd()) {
+    return Status::ProtocolViolation("round-query reply has trailing bytes");
+  }
+  return out;
 }
 
 }  // namespace service

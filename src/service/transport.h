@@ -79,6 +79,20 @@
 //                             only after every earlier frame on the
 //                             connection has been handed to the
 //                             collector queue.
+//   kQuery     both           round status query against the durable
+//                             round store (round_store.h), with the
+//                             header round id naming the queried round.
+//                             Request: empty payload. Reply: u8 status
+//                             (RoundStatus wire value), u8 flags (bit 0
+//                             = durability degraded), varint watermark
+//                             (accepted batches for the live round,
+//                             durably consumed batches for stored
+//                             rounds), then — only when status is
+//                             kFinalized — varint n, varint n_fake,
+//                             u8 calibration, and the same result bytes
+//                             as kResult. Like kWatermark it is a pure
+//                             query and skips the partition check, so a
+//                             prober can ask without a handshake.
 //   kHello     both           partition handshake: SerializePartitionMap
 //                             bytes + varint partition id. The client
 //                             states the layout it was configured with
@@ -112,6 +126,7 @@
 
 #include "ldp/frequency_oracle.h"
 #include "service/partition.h"
+#include "service/round_store.h"
 #include "service/streaming_collector.h"
 #include "util/bytes.h"
 #include "util/status.h"
@@ -134,6 +149,7 @@ enum class FrameType : uint8_t {
   kWatermark = 5,
   kHello = 6,
   kBatchIndexed = 7,
+  kQuery = 8,  ///< round status/history query (round_store.h)
 };
 
 /// One protocol frame (header fields + payload).
@@ -191,6 +207,23 @@ struct RemoteRoundResult {
 Bytes SerializeRoundResult(const RemoteRoundResult& result);
 Result<RemoteRoundResult> ParseRoundResult(const Bytes& payload);
 
+/// Decoded kQuery reply: the endpoint's durable view of one round.
+struct RoundQuery {
+  RoundStatus status = RoundStatus::kUnknown;
+  /// The round's durability was downgraded by an out-of-space store —
+  /// the result (when finalized) is correct but would not have survived
+  /// a crash before it was read.
+  bool durability_degraded = false;
+  /// Accepted batches for the live round; durably consumed batches for
+  /// stored rounds (0 when served from the in-memory result stash).
+  uint64_t watermark = 0;
+  // Populated only when status == kFinalized:
+  uint64_t n = 0;
+  uint64_t n_fake = 0;
+  uint8_t calibration = 0;  ///< Calibration wire value
+  RemoteRoundResult result;
+};
+
 /// Per-operation deadlines for the client side of the endpoint. Every
 /// value is milliseconds; <= 0 disables that deadline (the seed's
 /// block-forever behavior, kept available for debugging but not the
@@ -246,12 +279,15 @@ struct CollectionServerOptions {
   /// `streaming.partition` is overridden.
   PartitionMap partition_map;
   uint32_t partition_id = 0;
-  /// When true and streaming.checkpoint.path holds a readable snapshot,
-  /// Start() restores the interrupted round before accepting traffic;
-  /// clients query the consumed-batch watermark and resume from it. A
-  /// finalized-round journal (checkpoint.h) is also replayed, so a
-  /// kFinish for the journaled round is answered from the journal — the
-  /// crash window between round close and result read is covered.
+  /// When true and the configured round store (streaming.round_store /
+  /// streaming.checkpoint) holds state, Start() recovers before
+  /// accepting traffic: every stored round loads through
+  /// RoundStore::LoadAll — a live mid-round state restores into the
+  /// collector (clients query the consumed-batch watermark and resume
+  /// from it), and the newest finalized round replays into the result
+  /// stash, so a kFinish re-request for it is answered instead of
+  /// rejected. Legacy SDPK/SDPJ files recover through the same
+  /// interface unchanged.
   bool recover = false;
   int listen_backlog = 16;
   /// Slow-client eviction: a connection whose pending server→client
@@ -302,6 +338,10 @@ class CollectionServer {
   /// Watermark restored by crash recovery (0 on a fresh start).
   uint64_t recovered_watermark() const { return recovered_watermark_; }
 
+  /// The durable round store backing this endpoint (shared with the
+  /// streaming worker; null when persistence is off).
+  const std::shared_ptr<RoundStore>& store() const { return store_; }
+
   /// Id of the round currently ingesting.
   uint64_t round_id() const;
 
@@ -333,11 +373,13 @@ class CollectionServer {
   /// kDeadlineExceeded return means the peer is a slow client.
   Status WriteServerFrame(int fd, const Frame& frame);
   void StashRoundResult(uint64_t round_id, uint64_t n, uint64_t n_fake,
-                        uint8_t calibration, RemoteRoundResult result);
+                        uint8_t calibration, RemoteRoundResult result,
+                        bool durability_degraded);
   void ReapFinishedLocked();
 
   const ldp::ScalarFrequencyOracle& oracle_;
   CollectionServerOptions options_;
+  std::shared_ptr<RoundStore> store_;  ///< shared with collector_
   std::unique_ptr<PartitionWorker> collector_;
   uint16_t port_ = 0;
   uint64_t recovered_watermark_ = 0;
@@ -358,6 +400,7 @@ class CollectionServer {
   uint64_t last_n_ = 0;
   uint64_t last_n_fake_ = 0;
   uint8_t last_calibration_ = 0;
+  bool last_durability_degraded_ = false;
   RemoteRoundResult last_result_;
   // Lifecycle counters behind stats().
   std::atomic<uint64_t> stat_accepted_{0};
@@ -493,6 +536,13 @@ class CollectorClient {
   /// handed to the collector queue — the flush barrier
   /// multi-connection rounds use before a coordinator's kFinish.
   Result<uint64_t> QueryWatermark(uint64_t* round_id_out = nullptr);
+
+  /// Asks the endpoint for its durable view of `round_id` (the kQuery
+  /// frame): live/finalized/unknown status, watermark, durability flag,
+  /// and — for finalized rounds — the full result with the parameters
+  /// it closed with, served from the round store's history. A round
+  /// older than the store's retention horizon answers kUnknown.
+  Result<RoundQuery> QueryRound(uint64_t round_id);
 
   /// The endpoint this client dialed, as "host:port" (error messages).
   const std::string& peer() const { return peer_; }

@@ -29,6 +29,7 @@ enum class StatusCode {
   kUnimplemented = 10,    ///< Feature not available in this build.
   kUnavailable = 11,      ///< Transient transport failure (peer down, reset).
   kDeadlineExceeded = 12, ///< Operation did not finish inside its deadline.
+  kResourceExhausted = 13,///< Storage/quota exhausted (ENOSPC, EDQUOT).
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -80,6 +81,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string m) {
     return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
   }
 
   /// True iff the operation succeeded.

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -283,6 +284,151 @@ TEST(EndpointE2e, RestartAfterRoundCloseServesJournaledResult) {
   }
   RemoveCheckpoint(ckpt);
   RemoveCheckpoint(RoundJournalPath(ckpt));
+}
+
+// Segmented-store e2e: two rounds over one endpoint, the server killed
+// while round 1 is mid-flight. kQuery must serve round 0's finalized
+// result bitwise before AND after the restart, report round 1 as active
+// with its durable watermark, and the replayed round 1 must match an
+// uninterrupted run bitwise.
+TEST(EndpointE2e, DurableStoreServesQueryAcrossRestartMultiRound) {
+  ldp::Grr grr(2.0, 32);
+  const uint64_t kBatches = 10;
+  const size_t kBatchSize = 128;
+  const uint64_t n = kBatches * kBatchSize;
+  const std::string dir = ::testing::TempDir() + "shuffledp_e2e_store";
+  ASSERT_EQ(std::system(("rm -rf '" + dir + "'").c_str()), 0);
+
+  CollectionServerOptions options;
+  options.streaming.batch_size = kBatchSize;
+  options.streaming.round_store.dir = dir;
+  options.streaming.round_store.sync_every_records = 1;
+  options.streaming.round_store.compact_every_records = 4;
+
+  // Ground truth: both rounds on a store-less endpoint. Round r's batch
+  // b self-seeds as BatchOrdinals(100 * r + b), so any suffix replays
+  // bit-identically.
+  RemoteRoundResult expected[2];
+  {
+    CollectionServerOptions plain;
+    plain.streaming.batch_size = kBatchSize;
+    auto server = CollectionServer::Start(grr, plain);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    auto client = CollectorClient::Connect("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(client.ok());
+    for (uint64_t r = 0; r < 2; ++r) {
+      for (uint64_t b = 0; b < kBatches; ++b) {
+        ASSERT_TRUE(
+            (*client)
+                ->SendOrdinals(r, grr,
+                               BatchOrdinals(grr, 100 * r + b, kBatchSize))
+                .ok());
+      }
+      auto result = (*client)->FinishRound(r, n, 0, Calibration::kStandard);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      expected[r] = std::move(*result);
+    }
+  }
+
+  // Durable run: finish round 0, kill the server mid-round-1.
+  {
+    auto server = CollectionServer::Start(grr, options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    auto client = CollectorClient::Connect("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(client.ok());
+    for (uint64_t b = 0; b < kBatches; ++b) {
+      ASSERT_TRUE((*client)
+                      ->SendOrdinals(0, grr,
+                                     BatchOrdinals(grr, b, kBatchSize))
+                      .ok());
+    }
+    auto r0 = (*client)->FinishRound(0, n, 0, Calibration::kStandard);
+    ASSERT_TRUE(r0.ok()) << r0.status().ToString();
+    ASSERT_EQ(r0->supports, expected[0].supports);
+
+    for (uint64_t b = 0; b < 6; ++b) {
+      ASSERT_TRUE((*client)
+                      ->SendOrdinals(1, grr,
+                                     BatchOrdinals(grr, 100 + b, kBatchSize))
+                      .ok());
+    }
+
+    // Live queries: TCP delivery is asynchronous, so spin until the
+    // consumer accepted all six batches before pinning the watermark.
+    RoundQuery live;
+    for (int spin = 0; spin < 2000; ++spin) {
+      auto q = (*client)->QueryRound(1);
+      ASSERT_TRUE(q.ok()) << q.status().ToString();
+      live = *q;
+      if (live.watermark >= 6) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_EQ(live.status, RoundStatus::kActive);
+    EXPECT_EQ(live.watermark, 6u);
+    EXPECT_FALSE(live.durability_degraded);
+
+    auto finalized = (*client)->QueryRound(0);
+    ASSERT_TRUE(finalized.ok()) << finalized.status().ToString();
+    EXPECT_EQ(finalized->status, RoundStatus::kFinalized);
+    EXPECT_EQ(finalized->n, n);
+    EXPECT_EQ(finalized->result.supports, expected[0].supports);
+    EXPECT_EQ(finalized->result.estimates, expected[0].estimates);
+
+    auto unknown = (*client)->QueryRound(99);
+    ASSERT_TRUE(unknown.ok()) << unknown.status().ToString();
+    EXPECT_EQ(unknown->status, RoundStatus::kUnknown);
+
+    (*server)->Shutdown();  // crash with round 1 in flight
+  }
+
+  // Recovered endpoint: round 0 still served bitwise from the store,
+  // round 1 resumed from its durable watermark and finished bitwise.
+  {
+    CollectionServerOptions recover_options = options;
+    recover_options.recover = true;
+    auto server = CollectionServer::Start(grr, recover_options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    auto client = CollectorClient::Connect("127.0.0.1", (*server)->port());
+    ASSERT_TRUE(client.ok());
+
+    auto finalized = (*client)->QueryRound(0);
+    ASSERT_TRUE(finalized.ok()) << finalized.status().ToString();
+    EXPECT_EQ(finalized->status, RoundStatus::kFinalized);
+    EXPECT_FALSE(finalized->durability_degraded);
+    EXPECT_EQ(finalized->result.supports, expected[0].supports);
+    EXPECT_EQ(finalized->result.estimates, expected[0].estimates);
+    EXPECT_EQ(finalized->result.reports_decoded, expected[0].reports_decoded);
+
+    uint64_t round = 0;
+    auto watermark = (*client)->QueryWatermark(&round);
+    ASSERT_TRUE(watermark.ok()) << watermark.status().ToString();
+    EXPECT_EQ(round, 1u);
+    EXPECT_EQ(*watermark, 6u);  // sync_every_records=1: every batch durable
+
+    auto live = (*client)->QueryRound(1);
+    ASSERT_TRUE(live.ok()) << live.status().ToString();
+    EXPECT_EQ(live->status, RoundStatus::kActive);
+    EXPECT_EQ(live->watermark, *watermark);
+
+    for (uint64_t b = *watermark; b < kBatches; ++b) {
+      ASSERT_TRUE((*client)
+                      ->SendOrdinals(1, grr,
+                                     BatchOrdinals(grr, 100 + b, kBatchSize))
+                      .ok());
+    }
+    auto r1 = (*client)->FinishRound(1, n, 0, Calibration::kStandard);
+    ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+    EXPECT_EQ(r1->supports, expected[1].supports);
+    EXPECT_EQ(r1->estimates, expected[1].estimates);
+    EXPECT_EQ(r1->reports_decoded, expected[1].reports_decoded);
+
+    auto closed = (*client)->QueryRound(1);
+    ASSERT_TRUE(closed.ok()) << closed.status().ToString();
+    EXPECT_EQ(closed->status, RoundStatus::kFinalized);
+    EXPECT_EQ(closed->result.supports, expected[1].supports);
+    EXPECT_EQ(closed->result.estimates, expected[1].estimates);
+  }
+  ASSERT_EQ(std::system(("rm -rf '" + dir + "'").c_str()), 0);
 }
 
 TEST(EndpointE2e, WatermarkIsZeroOutsideTheRecoveredRound) {

@@ -1,0 +1,586 @@
+// Durable round store units: WAL framing (golden-pinned bytes, torn
+// tail, bit flips, slice identity), the RoundDelta codec, segment
+// goldens, LSN-idempotent replay (duplicate records), retention GC,
+// legacy SDPK/SDPJ migration and the legacy adapter's cadence, and the
+// worker-level ENOSPC degrade path. The crash-point-exhaustive sweep
+// lives in round_store_crash_test.cpp.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ldp/grr.h"
+#include "service/checkpoint.h"
+#include "service/fault_injection.h"
+#include "service/round_store.h"
+#include "service/streaming_collector.h"
+#include "service/wal.h"
+#include "util/rng.h"
+
+namespace shuffledp {
+namespace service {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "shuffledp_" + name;
+}
+
+void RemoveTree(const std::string& dir) {
+  std::string cmd = "rm -rf '" + dir + "'";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+}
+
+std::vector<uint8_t> ReadRaw(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::vector<uint8_t> bytes;
+  if (f != nullptr) {
+    uint8_t buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      bytes.insert(bytes.end(), buf, buf + got);
+    }
+    std::fclose(f);
+  }
+  return bytes;
+}
+
+void WriteRaw(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  if (!bytes.empty()) {
+    ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  }
+  std::fclose(f);
+}
+
+RoundDelta SampleDelta() {
+  RoundDelta delta;
+  delta.round_id = 3;
+  delta.batch_lo = 1;
+  delta.batch_hi = 2;
+  delta.rows_delta = 2;
+  delta.decoded_delta = 2;
+  delta.invalid_delta = 0;
+  delta.support_deltas = {{1, 1}, {4, 1}};
+  return delta;
+}
+
+TEST(RoundDeltaCodec, RoundTrip) {
+  RoundDelta delta = SampleDelta();
+  delta.invalid_delta = 7;
+  delta.dummies_registered = {{0x123456789ABCDEF0ULL, 42, 2}};
+  delta.dummies_consumed = {{0x123456789ABCDEF0ULL, 42, 1}};
+  auto parsed = ParseRoundDelta(SerializeRoundDelta(delta));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->round_id, delta.round_id);
+  EXPECT_EQ(parsed->batch_lo, delta.batch_lo);
+  EXPECT_EQ(parsed->batch_hi, delta.batch_hi);
+  EXPECT_EQ(parsed->rows_delta, delta.rows_delta);
+  EXPECT_EQ(parsed->decoded_delta, delta.decoded_delta);
+  EXPECT_EQ(parsed->invalid_delta, delta.invalid_delta);
+  EXPECT_EQ(parsed->support_deltas, delta.support_deltas);
+  EXPECT_EQ(parsed->dummies_registered, delta.dummies_registered);
+  EXPECT_EQ(parsed->dummies_consumed, delta.dummies_consumed);
+}
+
+// The worked example in docs/WIRE_FORMAT.md §6, byte for byte.
+TEST(RoundDeltaCodec, GoldenVectorMatchesDoc) {
+  const Bytes expected = {
+      0x03,              // round_id 3
+      0x01, 0x02,        // batches [1, 2)
+      0x02, 0x02, 0x00,  // rows 2, decoded 2, invalid 0
+      0x02,              // 2 support deltas
+      0x01, 0x01,        // index 1 += 1
+      0x04, 0x01,        // index 4 += 1
+      0x00,              // no dummies registered
+      0x00,              // no dummies consumed
+  };
+  EXPECT_EQ(SerializeRoundDelta(SampleDelta()), expected);
+}
+
+TEST(RoundDeltaCodec, MalformedPayloadsRejected) {
+  Bytes good = SerializeRoundDelta(SampleDelta());
+  // Trailing garbage.
+  Bytes trailing = good;
+  trailing.push_back(0x00);
+  EXPECT_FALSE(ParseRoundDelta(trailing).ok());
+  // Inverted batch range (hi < lo).
+  RoundDelta inverted = SampleDelta();
+  inverted.batch_lo = 5;
+  inverted.batch_hi = 2;
+  EXPECT_FALSE(ParseRoundDelta(SerializeRoundDelta(inverted)).ok());
+  // Support indices must ascend.
+  RoundDelta descending = SampleDelta();
+  descending.support_deltas = {{4, 1}, {1, 1}};
+  EXPECT_FALSE(ParseRoundDelta(SerializeRoundDelta(descending)).ok());
+  // Truncations die cleanly (no allocation balloon, no crash).
+  for (size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(ParseRoundDelta({good.begin(), good.begin() + len}).ok())
+        << "len=" << len;
+  }
+}
+
+// The worked example in docs/WIRE_FORMAT.md §6, byte for byte: header +
+// one kDelta record (LSN 1) carrying the golden delta payload. If this
+// breaks, update the doc with the new bytes or fix the code — never the
+// test alone.
+TEST(Wal, GoldenBytesMatchDoc) {
+  const std::string path = TempPath("wal_golden.log");
+  std::remove(path.c_str());
+  WriteAheadLog::Options options;
+  options.path = path;
+  {
+    auto wal = WriteAheadLog::Open(options);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    ASSERT_TRUE(
+        (*wal)->Append(WalRecordType::kDelta, 1,
+                       SerializeRoundDelta(SampleDelta())).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  const std::vector<uint8_t> expected = {
+      0x53, 0x44, 0x50, 0x57,  // magic "SDPW"
+      0x01, 0x00,              // version 1, reserved
+      0x00, 0x00, 0x01, 0x00,  // partition 0 of 1
+      0x00, 0x00,              // reserved
+      0xF2, 0xE9, 0x90, 0x8D,  // CRC-32 of header[0, 12)
+      0x16, 0x00, 0x00, 0x00,  // body length 22
+      0x39, 0x21, 0xD8, 0x9B,  // CRC-32 of body
+      0x01,                    // type kDelta
+      0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // LSN 1
+      0x03, 0x01, 0x02, 0x02, 0x02, 0x00,              // delta payload...
+      0x02, 0x01, 0x01, 0x04, 0x01, 0x00, 0x00,
+  };
+  EXPECT_EQ(ReadRaw(path), expected);
+  std::remove(path.c_str());
+}
+
+TEST(Wal, TornTailIsTruncatedAndValidPrefixRecovered) {
+  const std::string path = TempPath("wal_torn.log");
+  std::remove(path.c_str());
+  WriteAheadLog::Options options;
+  options.path = path;
+  {
+    auto wal = WriteAheadLog::Open(options);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kDelta, 1, {0x01}).ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kDelta, 2, {0x02}).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  std::vector<uint8_t> bytes = ReadRaw(path);
+  const size_t clean_size = bytes.size();
+  // A crash mid-append leaves a partial record frame.
+  bytes.insert(bytes.end(), {0x0D, 0x00, 0x00, 0x00, 0xAA, 0xBB});
+  WriteRaw(path, bytes);
+  {
+    auto wal = WriteAheadLog::Open(options);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    auto records = (*wal)->TakeRecovered();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[0].lsn, 1u);
+    EXPECT_EQ(records[1].lsn, 2u);
+    EXPECT_GT((*wal)->truncated_bytes(), 0u);
+  }
+  // The torn bytes are gone from disk: the next append starts clean.
+  EXPECT_EQ(ReadRaw(path).size(), clean_size);
+  std::remove(path.c_str());
+}
+
+TEST(Wal, BitFlipEndsTheScanAtTheCorruptRecord) {
+  const std::string path = TempPath("wal_flip.log");
+  std::remove(path.c_str());
+  WriteAheadLog::Options options;
+  options.path = path;
+  size_t first_record_end = 0;
+  {
+    auto wal = WriteAheadLog::Open(options);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kDelta, 1, {0x01}).ok());
+    first_record_end = ReadRaw(path).size();
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kDelta, 2, {0x02}).ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kDelta, 3, {0x03}).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  std::vector<uint8_t> bytes = ReadRaw(path);
+  bytes[first_record_end + kWalRecordHeaderBytes] ^= 0x01;  // record 2 body
+  WriteRaw(path, bytes);
+  auto wal = WriteAheadLog::Open(options);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  // Only the prefix before the corruption survives — record 3 was valid
+  // but unreachable, exactly what a torn tail means.
+  auto records = (*wal)->TakeRecovered();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].lsn, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Wal, HeaderCorruptionAndSliceMismatchRefused) {
+  const std::string path = TempPath("wal_header.log");
+  std::remove(path.c_str());
+  WriteAheadLog::Options options;
+  options.path = path;
+  options.partition_index = 1;
+  options.partition_count = 4;
+  { ASSERT_TRUE(WriteAheadLog::Open(options).ok()); }
+  // Another slice's log must be refused (misrouted volume mount).
+  WriteAheadLog::Options other = options;
+  other.partition_index = 2;
+  EXPECT_FALSE(WriteAheadLog::Open(other).ok());
+  // A flipped header byte is DataLoss, not a silent fresh start.
+  std::vector<uint8_t> bytes = ReadRaw(path);
+  bytes[5] ^= 0x40;
+  WriteRaw(path, bytes);
+  EXPECT_FALSE(WriteAheadLog::Open(options).ok());
+  std::remove(path.c_str());
+}
+
+RoundStoreOptions StoreOptions(const std::string& dir, uint64_t width) {
+  RoundStoreOptions options;
+  options.dir = dir;
+  options.slice_width = width;
+  return options;
+}
+
+TEST(SegmentedStore, IngestFinalizeQueryReopen) {
+  const std::string dir = TempPath("store_basic");
+  RemoveTree(dir);
+  RoundStoreOptions options = StoreOptions(dir, 8);
+  {
+    auto store = SegmentedRoundStore::Open(options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    RoundDelta d;
+    d.round_id = 7;
+    d.batch_lo = 0;
+    d.batch_hi = 1;
+    d.rows_delta = 3;
+    d.decoded_delta = 3;
+    d.support_deltas = {{2, 2}, {5, 1}};
+    ASSERT_TRUE((*store)->AppendDelta(d, nullptr).ok());
+    auto live = (*store)->Query(7);
+    ASSERT_TRUE(live.ok());
+    EXPECT_EQ(live->status, RoundStatus::kActive);
+    EXPECT_EQ(live->watermark, 1u);
+    EXPECT_EQ((*store)->Query(99)->status, RoundStatus::kUnknown);
+
+    RoundJournal journal;
+    journal.round_id = 7;
+    journal.n = 3;
+    journal.calibration = 1;
+    journal.reports_decoded = 3;
+    journal.supports = {0, 0, 2, 0, 0, 1, 0, 0};
+    ASSERT_TRUE((*store)->FinalizeRound(journal, 1).ok());
+  }
+  // Everything above lives only in the WAL (no compaction ran) — a
+  // reopen replays it.
+  auto store = SegmentedRoundStore::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  auto rounds = (*store)->LoadAll();
+  ASSERT_TRUE(rounds.ok());
+  ASSERT_EQ(rounds->size(), 1u);
+  EXPECT_TRUE((*rounds)[0].finalized);
+  EXPECT_EQ((*rounds)[0].round_id(), 7u);
+  EXPECT_EQ((*rounds)[0].batches_consumed, 1u);
+  EXPECT_EQ((*rounds)[0].journal.supports,
+            (std::vector<uint64_t>{0, 0, 2, 0, 0, 1, 0, 0}));
+  auto lookup = (*store)->Query(7);
+  ASSERT_TRUE(lookup.ok());
+  EXPECT_EQ(lookup->status, RoundStatus::kFinalized);
+  EXPECT_EQ(lookup->watermark, 1u);
+  EXPECT_EQ(lookup->journal.n, 3u);
+  RemoveTree(dir);
+}
+
+// The worked example in docs/WIRE_FORMAT.md §7, byte for byte.
+TEST(SegmentedStore, SegmentGoldenBytesMatchDoc) {
+  const std::string dir = TempPath("store_golden");
+  RemoveTree(dir);
+  RoundStoreOptions options = StoreOptions(dir, 8);
+  options.compact_every_records = 1000;  // compact only on demand
+  auto store = SegmentedRoundStore::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  RoundDelta d = SampleDelta();
+  d.batch_lo = 0;
+  d.batch_hi = 1;
+  ASSERT_TRUE((*store)->AppendDelta(d, nullptr).ok());
+  RoundJournal journal;
+  journal.round_id = 3;
+  journal.n = 2;
+  journal.calibration = 1;
+  journal.reports_decoded = 2;
+  journal.supports = {0, 1, 0, 0, 1, 0, 0, 0};
+  ASSERT_TRUE((*store)->FinalizeRound(journal, 1).ok());
+  ASSERT_TRUE((*store)->CompactNow().ok());
+  const std::vector<uint8_t> expected = {
+      0x53, 0x44, 0x50, 0x53,  // magic "SDPS"
+      0x02, 0x00, 0x00, 0x00,  // framing version, reserved
+      0x2D, 0x00, 0x00, 0x00,  // payload length 45
+      0xC2, 0xC1, 0x4E, 0xC2,  // CRC-32(payload)
+      0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // round_id 3
+      0x02, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // last LSN 2
+      0x01,                                            // finalized
+      0x01,                                            // watermark 1
+      // journal payload (checkpoint.h codec)
+      0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // round_id 3
+      0x00, 0x01, 0x00,                                // partition 0/1, lo 0
+      0x02, 0x00, 0x01,                                // n 2, n_fake 0, cal 1
+      0x02, 0x00, 0x00, 0x00,                          // tallies
+      0x08, 0x00, 0x01, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00,  // supports
+  };
+  EXPECT_EQ(ReadRaw((*store)->SegmentPath(3)), expected);
+  // The WAL was truncated back to its bare header by the compaction.
+  EXPECT_EQ(ReadRaw(dir + "/wal.log").size(), kWalHeaderBytes);
+  RemoveTree(dir);
+}
+
+TEST(SegmentedStore, DuplicateRecordReplaysAsNoOp) {
+  const std::string dir = TempPath("store_dup");
+  RemoveTree(dir);
+  ASSERT_EQ(::system(("mkdir -p '" + dir + "'").c_str()), 0);
+  // Craft a WAL whose delta record appears twice with the same LSN —
+  // what a crashed append retry can leave behind.
+  WriteAheadLog::Options wal_options;
+  wal_options.path = dir + "/wal.log";
+  {
+    auto wal = WriteAheadLog::Open(wal_options);
+    ASSERT_TRUE(wal.ok());
+    RoundDelta d = SampleDelta();
+    d.batch_lo = 0;
+    d.batch_hi = 1;
+    Bytes payload = SerializeRoundDelta(d);
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kDelta, 1, payload).ok());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kDelta, 1, payload).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  auto store = SegmentedRoundStore::Open(StoreOptions(dir, 8));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  auto rounds = (*store)->LoadAll();
+  ASSERT_TRUE(rounds.ok());
+  ASSERT_EQ(rounds->size(), 1u);
+  // Applied once: watermark 1, supports counted a single time.
+  EXPECT_EQ((*rounds)[0].batches_consumed, 1u);
+  EXPECT_EQ((*rounds)[0].state.supports[1], 1u);
+  EXPECT_EQ((*rounds)[0].state.supports[4], 1u);
+  RemoveTree(dir);
+}
+
+TEST(SegmentedStore, RetentionKeepsNewestK) {
+  const std::string dir = TempPath("store_gc");
+  RemoveTree(dir);
+  RoundStoreOptions options = StoreOptions(dir, 4);
+  options.retain_rounds = 2;
+  options.compact_every_records = 1;  // segment per record: GC visible
+  auto store = SegmentedRoundStore::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  for (uint64_t round = 1; round <= 4; ++round) {
+    RoundJournal journal;
+    journal.round_id = round;
+    journal.n = 1;
+    journal.supports = {1, 0, 0, 0};
+    ASSERT_TRUE((*store)->FinalizeRound(journal, 0).ok());
+    ASSERT_TRUE((*store)->CloseRound(round).ok());
+  }
+  auto rounds = (*store)->LoadAll();
+  ASSERT_TRUE(rounds.ok());
+  ASSERT_EQ(rounds->size(), 2u);
+  EXPECT_EQ((*rounds)[0].round_id(), 3u);
+  EXPECT_EQ((*rounds)[1].round_id(), 4u);
+  EXPECT_EQ((*store)->Query(1)->status, RoundStatus::kUnknown);
+  EXPECT_EQ((*store)->Query(2)->status, RoundStatus::kUnknown);
+  EXPECT_EQ((*store)->Query(3)->status, RoundStatus::kFinalized);
+  EXPECT_EQ((*store)->Query(4)->status, RoundStatus::kFinalized);
+  RemoveTree(dir);
+}
+
+TEST(SegmentedStore, ImportsLegacyCheckpointAndJournal) {
+  const std::string dir = TempPath("store_migrate");
+  const std::string legacy = TempPath("store_migrate_legacy.ckpt");
+  RemoveTree(dir);
+  std::remove(legacy.c_str());
+  std::remove((legacy + ".result").c_str());
+
+  CheckpointState state;
+  state.round_id = 9;
+  state.batches_consumed = 5;
+  state.rows_seen = 5;
+  state.reports_decoded = 5;
+  state.supports = {1, 2, 0, 2};
+  ASSERT_TRUE(WriteCheckpoint(legacy, state).ok());
+  RoundJournal journal;
+  journal.round_id = 8;
+  journal.n = 10;
+  journal.supports = {3, 3, 2, 2};
+  ASSERT_TRUE(WriteRoundJournal(RoundJournalPath(legacy), journal).ok());
+
+  RoundStoreOptions options = StoreOptions(dir, 4);
+  options.legacy_checkpoint_path = legacy;
+  {
+    auto store = SegmentedRoundStore::Open(options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    auto rounds = (*store)->LoadAll();
+    ASSERT_TRUE(rounds.ok());
+    ASSERT_EQ(rounds->size(), 2u);
+    EXPECT_TRUE((*rounds)[0].finalized);
+    EXPECT_EQ((*rounds)[0].round_id(), 8u);
+    EXPECT_EQ((*rounds)[0].journal.supports, journal.supports);
+    EXPECT_FALSE((*rounds)[1].finalized);
+    EXPECT_EQ((*rounds)[1].round_id(), 9u);
+    EXPECT_EQ((*rounds)[1].batches_consumed, 5u);
+    EXPECT_EQ((*rounds)[1].state.supports, state.supports);
+    ASSERT_TRUE((*store)->CompactNow().ok());
+  }
+  // Migration is read-only: the legacy files are untouched...
+  EXPECT_TRUE(ReadCheckpoint(legacy).ok());
+  EXPECT_TRUE(ReadRoundJournal(RoundJournalPath(legacy)).ok());
+  // ...and once the store holds its own state, it no longer re-imports
+  // (the legacy round would otherwise resurrect forever).
+  {
+    auto store = SegmentedRoundStore::Open(options);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->AbandonRound(9).ok());
+  }
+  auto store = SegmentedRoundStore::Open(options);
+  ASSERT_TRUE(store.ok());
+  auto rounds = (*store)->LoadAll();
+  ASSERT_TRUE(rounds.ok());
+  ASSERT_EQ(rounds->size(), 1u);
+  EXPECT_EQ((*rounds)[0].round_id(), 8u);
+  std::remove(legacy.c_str());
+  std::remove((legacy + ".result").c_str());
+  RemoveTree(dir);
+}
+
+// The legacy adapter writes the exact files on the exact cadence the
+// pre-store worker did: one full snapshot every `every_batches`, a
+// keep-exactly-1 journal, checkpoint removed at close.
+TEST(LegacyStore, PreservesSnapshotCadenceAndFiles) {
+  const std::string path = TempPath("legacy_cadence.ckpt");
+  std::remove(path.c_str());
+  std::remove((path + ".result").c_str());
+  CheckpointOptions legacy;
+  legacy.path = path;
+  legacy.every_batches = 2;
+  auto store = OpenRoundStore(RoundStoreOptions{}, legacy);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  ASSERT_NE(*store, nullptr);
+  EXPECT_FALSE((*store)->WantsDeltas());
+
+  CheckpointState snap;
+  snap.round_id = 1;
+  snap.supports = {0, 0};
+  auto snapshot = [&snap] { return snap; };
+  RoundDelta d;
+  d.round_id = 1;
+  d.batch_lo = 0;
+  d.batch_hi = 1;
+  snap.batches_consumed = 1;
+  ASSERT_TRUE((*store)->AppendDelta(d, snapshot).ok());
+  EXPECT_EQ(ReadCheckpoint(path).status().code(), StatusCode::kNotFound)
+      << "snapshot before the cadence boundary";
+  d.batch_lo = 1;
+  d.batch_hi = 2;
+  snap.batches_consumed = 2;
+  ASSERT_TRUE((*store)->AppendDelta(d, snapshot).ok());
+  auto on_disk = ReadCheckpoint(path);
+  ASSERT_TRUE(on_disk.ok()) << "snapshot due at batch 2";
+  EXPECT_EQ(on_disk->batches_consumed, 2u);
+  auto live = (*store)->Query(1);
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(live->status, RoundStatus::kActive);
+  EXPECT_EQ(live->watermark, 2u);  // durable watermark, not ingest
+
+  RoundJournal journal;
+  journal.round_id = 1;
+  journal.n = 4;
+  journal.supports = {1, 1};
+  ASSERT_TRUE((*store)->FinalizeRound(journal, 2).ok());
+  ASSERT_TRUE(ReadRoundJournal(RoundJournalPath(path)).ok());
+  ASSERT_TRUE((*store)->CloseRound(1).ok());
+  EXPECT_EQ(ReadCheckpoint(path).status().code(), StatusCode::kNotFound)
+      << "close removes the mid-round snapshot";
+  EXPECT_EQ((*store)->Query(1)->status, RoundStatus::kFinalized);
+  std::remove(path.c_str());
+  std::remove((path + ".result").c_str());
+}
+
+TEST(OpenRoundStoreFactory, NeitherConfiguredMeansNoStore) {
+  auto store = OpenRoundStore(RoundStoreOptions{}, CheckpointOptions{});
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(*store, nullptr);
+}
+
+// ENOSPC mid-round: the worker sheds durability instead of failing the
+// round — the result arrives complete and flagged — and the *next*
+// round persists normally again.
+TEST(WorkerDegrade, EnospcDegradesRoundNotPipeline) {
+  const std::string dir = TempPath("worker_degrade");
+  RemoveTree(dir);
+  ldp::Grr oracle(3.0, 16);
+  auto batch = [&](uint64_t b) {
+    Rng rng(0xFEED + b);
+    std::vector<ldp::LdpReport> reports;
+    for (size_t i = 0; i < 32; ++i) {
+      reports.push_back(oracle.Encode(rng.UniformU64(16), &rng));
+    }
+    return reports;
+  };
+
+  StreamingOptions plain;
+  plain.batch_size = 32;
+  RoundResult expected;
+  {
+    StreamingCollector w(oracle, plain);
+    for (uint64_t b = 0; b < 4; ++b) {
+      ASSERT_TRUE(w.Offer(MakePlainBatch(batch(b))).ok());
+    }
+    auto r = w.FinishRound(128, 0, Calibration::kStandard);
+    ASSERT_TRUE(r.ok());
+    expected = std::move(*r);
+  }
+
+  StreamingOptions durable = plain;
+  durable.round_store.dir = dir;
+  StreamingCollector w(oracle, durable);
+  {
+    FaultInjector injector;
+    FaultRule rule;
+    rule.op = FaultOp::kFileWrite;
+    rule.skip = 3;  // header + two appends succeed, then the disk fills
+    rule.action = FaultAction::FailErrno(ENOSPC);
+    injector.AddRule(rule);
+    ScopedFaultInjector installed(&injector);
+    for (uint64_t b = 0; b < 4; ++b) {
+      ASSERT_TRUE(w.Offer(MakePlainBatch(batch(b))).ok());
+    }
+    auto r = w.FinishRound(128, 0, Calibration::kStandard);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_TRUE(r->durability_degraded);
+    EXPECT_FALSE(r->durability_warning.empty());
+    // (w.durability_degraded() reflects the *current* round — it reset
+    // with the round close above; the delivered result carries the flag.)
+    // Degraded, not wrong: the numbers are bitwise the plain run's.
+    EXPECT_EQ(r->supports, expected.supports);
+    EXPECT_EQ(r->estimates, expected.estimates);
+  }
+  // Disk pressure gone: the next round is durable again.
+  for (uint64_t b = 0; b < 4; ++b) {
+    ASSERT_TRUE(w.Offer(MakePlainBatch(batch(b))).ok());
+  }
+  auto r2 = w.FinishRound(128, 0, Calibration::kStandard);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_FALSE(r2->durability_degraded);
+  EXPECT_FALSE(w.durability_degraded());
+  auto lookup = w.store()->Query(1);
+  ASSERT_TRUE(lookup.ok());
+  EXPECT_EQ(lookup->status, RoundStatus::kFinalized);
+  RemoveTree(dir);
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace shuffledp

@@ -66,6 +66,36 @@ TEST(TransportFraming, GoldenVectorMatchesWireFormatDoc) {
   EXPECT_EQ(decoded.payload, expected_payload);
 }
 
+// The kQuery request from docs/WIRE_FORMAT.md, byte for byte: an
+// empty-payload frame whose header carries the queried round id (3
+// here). The CRC still covers the header, so a corrupted query cannot
+// silently ask about the wrong round.
+TEST(TransportFraming, QueryFrameGoldenVectorMatchesWireFormatDoc) {
+  Frame frame;
+  frame.type = FrameType::kQuery;
+  frame.round_id = 3;
+
+  Bytes wire = EncodeFrame(frame);
+  const Bytes expected_wire = {
+      0x53, 0x44, 0x50, 0x43,                          // magic "SDPC"
+      0x02,                                            // version
+      0x08,                                            // type kQuery
+      0x00, 0x00,                                      // partition 0
+      0x03, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // round id 3
+      0x00, 0x00, 0x00, 0x00,                          // payload length 0
+      0xA2, 0x15, 0x67, 0x74,                          // CRC-32(header)
+  };
+  EXPECT_EQ(wire, expected_wire);
+
+  FrameDecoder decoder;
+  ASSERT_TRUE(decoder.Feed(wire).ok());
+  Frame decoded;
+  ASSERT_TRUE(decoder.Next(&decoded));
+  EXPECT_EQ(decoded.type, FrameType::kQuery);
+  EXPECT_EQ(decoded.round_id, 3u);
+  EXPECT_TRUE(decoded.payload.empty());
+}
+
 TEST(TransportFraming, PartitionFieldRoundTrips) {
   Frame frame = MakeBatchFrame(7, Bytes{1, 2, 3});
   frame.partition = 0xBEEF;
