@@ -34,6 +34,8 @@ const char* FaultOpName(FaultOp op) {
       return "fsync";
     case FaultOp::kFileRename:
       return "rename";
+    case FaultOp::kFileUnlink:
+      return "unlink";
   }
   return "?";
 }

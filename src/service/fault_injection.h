@@ -48,10 +48,10 @@ namespace shuffledp {
 namespace service {
 
 /// Syscall sites that consult the injector: the four transport sites
-/// plus the three storage sites the durable round store writes through
+/// plus the four storage sites the durable round store writes through
 /// (WAL appends, checkpoint/segment staging, fsync barriers, atomic
-/// renames). Storage sites pass port 0; rules targeting them should
-/// leave `port` at 0 (match any).
+/// renames, segment unlinks). Storage sites pass port 0; rules
+/// targeting them should leave `port` at 0 (match any).
 enum class FaultOp : uint8_t {
   kConnect = 0,
   kAccept = 1,
@@ -60,14 +60,16 @@ enum class FaultOp : uint8_t {
   kFileWrite = 4,
   kFileSync = 5,
   kFileRename = 6,
+  kFileUnlink = 7,
 };
 
-inline constexpr size_t kNumFaultOps = 7;
+inline constexpr size_t kNumFaultOps = 8;
 
-/// True for the storage sites (kFileWrite/kFileSync/kFileRename).
+/// True for the storage sites (kFileWrite/kFileSync/kFileRename/
+/// kFileUnlink).
 inline bool IsStorageFaultOp(FaultOp op) {
   return op == FaultOp::kFileWrite || op == FaultOp::kFileSync ||
-         op == FaultOp::kFileRename;
+         op == FaultOp::kFileRename || op == FaultOp::kFileUnlink;
 }
 
 const char* FaultOpName(FaultOp op);
@@ -178,7 +180,7 @@ class FaultInjector {
   std::atomic<uint64_t> injected_{0};
   std::atomic<uint64_t> storage_calls_{0};
   std::atomic<uint64_t> injected_by_op_[kNumFaultOps] = {{0}, {0}, {0}, {0},
-                                                         {0}, {0}, {0}};
+                                                         {0}, {0}, {0}, {0}};
 };
 
 /// Evaluates the installed hook for one syscall site — what the

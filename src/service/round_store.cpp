@@ -283,6 +283,15 @@ Result<std::unique_ptr<SegmentedRoundStore>> SegmentedRoundStore::Open(
       store->wal_->TakeRecovered();
   if (store->rounds_.empty() && records.empty()) {
     SHUFFLEDP_RETURN_NOT_OK(store->ImportLegacyLocked());
+    if (!store->rounds_.empty()) {
+      // Make the imported base durable as segments *now*: the worker's
+      // next deltas continue from the legacy watermark, so a crash
+      // before the first cadence compaction would otherwise leave a WAL
+      // whose first delta has batch_lo > 0 and no base to chain to —
+      // replay would fail the continuity check forever. (The legacy
+      // files themselves stay untouched: import is read-only.)
+      SHUFFLEDP_RETURN_NOT_OK(store->CompactLocked());
+    }
   }
   SHUFFLEDP_RETURN_NOT_OK(store->ReplayLocked(std::move(records)));
   return store;
@@ -395,12 +404,34 @@ Status SegmentedRoundStore::ImportLegacyLocked() {
 
 Status SegmentedRoundStore::ReplayLocked(
     std::vector<WriteAheadLog::Record> records) {
+  // Pre-scan for abandons: AbandonRound unlinks the round's segment as
+  // soon as the abandon record is durable, so a crash before the next
+  // compaction leaves earlier deltas for that round in the log with no
+  // base segment to chain to (their batch_lo is the vanished segment's
+  // watermark). Those deltas are dead — the abandon wipes the round
+  // regardless — so replay skips any record a later abandon supersedes
+  // instead of failing the continuity check and bricking recovery.
+  std::map<uint64_t, uint64_t> abandoned_at;  // round id -> newest lsn
+  for (const WriteAheadLog::Record& record : records) {
+    if (record.type != WalRecordType::kAbandon) continue;
+    ByteReader r(record.payload);
+    Result<uint64_t> round_id = r.GetVarint();
+    if (round_id.ok()) {
+      uint64_t& lsn = abandoned_at[*round_id];
+      lsn = std::max(lsn, record.lsn);
+    }
+  }
   for (WriteAheadLog::Record& record : records) {
     next_lsn_ = std::max(next_lsn_, record.lsn + 1);
     switch (record.type) {
       case WalRecordType::kDelta: {
         SHUFFLEDP_ASSIGN_OR_RETURN(RoundDelta delta,
                                    ParseRoundDelta(record.payload));
+        auto abandoned = abandoned_at.find(delta.round_id);
+        if (abandoned != abandoned_at.end() &&
+            record.lsn < abandoned->second) {
+          break;  // a later abandon wipes this round — dead delta
+        }
         auto it = rounds_.find(delta.round_id);
         if (it != rounds_.end() && record.lsn <= it->second.last_lsn) {
           break;  // already folded into a segment — idempotent replay
@@ -425,6 +456,14 @@ Status SegmentedRoundStore::ReplayLocked(
       case WalRecordType::kAbandon: {
         ByteReader r(record.payload);
         SHUFFLEDP_ASSIGN_OR_RETURN(uint64_t round_id, r.GetVarint());
+        auto it = rounds_.find(round_id);
+        if (it != rounds_.end() && record.lsn <= it->second.last_lsn) {
+          // The round's segment already folded state *past* this
+          // abandon (a crash landed between compaction's segment
+          // publish and the WAL truncate) — replaying it would unlink
+          // the newer segment and lose the round.
+          break;
+        }
         ApplyAbandonLocked(round_id);
         break;
       }
@@ -513,8 +552,12 @@ void SegmentedRoundStore::ApplyAbandonLocked(uint64_t round_id) {
     rounds_.erase(it);
   }
   // Also drop any live segment so a later recovery (after the WAL is
-  // truncated) cannot resurrect the abandoned round from it.
-  ::unlink(SegmentPath(round_id).c_str());
+  // truncated) cannot resurrect the abandoned round from it. Runs only
+  // once the abandon record is durable, so a crash anywhere around the
+  // unlink is covered: ReplayLocked skips deltas a later abandon
+  // supersedes, whether or not their base segment still exists.
+  // Best-effort — a surviving segment is re-unlinked on abandon replay.
+  (void)StorageUnlink(SegmentPath(round_id), "round segment");
 }
 
 Status SegmentedRoundStore::AppendRecordLocked(WalRecordType type,
@@ -634,10 +677,14 @@ void SegmentedRoundStore::RetentionGcLocked() {
   for (size_t i = 0; i < expire; ++i) {
     const uint64_t round_id = finalized_ids[i];
     rounds_.erase(round_id);
-    // Best-effort unlink; the round may only live in the WAL, whose
-    // residue can resurrect it until the next compaction rewrites the
-    // segment set — benign, it is re-collected then.
-    ::unlink(SegmentPath(round_id).c_str());
+    // The segment is NOT unlinked here: the WAL may still hold records
+    // for this round (deltas chaining to the segment's watermark), and
+    // removing their base would brick replay after a crash. The next
+    // compaction unlinks it right after the WAL truncate, when nothing
+    // can reference it. Until then the expired round is merely
+    // invisible; a crash resurrects it and the next close re-expires
+    // it — benign.
+    pending_segment_unlinks_.push_back(round_id);
   }
 }
 
@@ -662,6 +709,15 @@ Status SegmentedRoundStore::CompactLocked() {
     entry.dirty = false;
   }
   SHUFFLEDP_RETURN_NOT_OK(wal_->TruncateAll());
+  // Retention-expired segments go only now, after the truncate: no WAL
+  // record can reference them anymore. A crash before this point leaves
+  // the segment in place (the round resurrects and re-expires — benign);
+  // a crash mid-unlink leaves orphan segments the next GC re-collects.
+  for (uint64_t round_id : pending_segment_unlinks_) {
+    if (rounds_.count(round_id) != 0) continue;  // round id re-appeared
+    (void)StorageUnlink(SegmentPath(round_id), "round segment");
+  }
+  pending_segment_unlinks_.clear();
   appended_since_compact_ = 0;
   appended_since_sync_ = 0;
   return Status::OK();

@@ -280,6 +280,11 @@ class SegmentedRoundStore : public RoundStore {
   RoundStoreOptions options_;
   mutable std::mutex mu_;
   std::map<uint64_t, RoundEntry> rounds_;
+  /// Segments of retention-expired rounds, unlinked only by the next
+  /// compaction *after* the WAL truncate: while any WAL record can
+  /// still reference a round, its base segment must stay on disk or a
+  /// crash makes replay see a delta that no longer chains to anything.
+  std::vector<uint64_t> pending_segment_unlinks_;
   std::unique_ptr<WriteAheadLog> wal_;
   uint64_t next_lsn_ = 1;
   uint64_t appended_since_sync_ = 0;

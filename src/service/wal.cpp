@@ -110,6 +110,15 @@ Status StorageTruncate(int fd, uint64_t len, const char* what,
   return Status::OK();
 }
 
+Status StorageUnlink(const std::string& path, const char* what) {
+  SHUFFLEDP_RETURN_NOT_OK(
+      ApplyStorageFault(FaultOp::kFileUnlink, what, path, "unlink", nullptr));
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return MapStorageErrno(what, path, "unlink", errno);
+  }
+  return Status::OK();
+}
+
 namespace {
 
 Bytes BuildWalHeader(uint32_t partition_index, uint32_t partition_count) {
@@ -160,8 +169,8 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
 
   if (bytes.empty()) {
     // Fresh log: publish the header. No rename discipline here — a torn
-    // header is detected (CRC) and rejected at the next open, and a log
-    // with no records carries no state to lose.
+    // header write leaves a short file, which the branch below restarts
+    // as fresh, and a log with no records carries no state to lose.
     Bytes header = BuildWalHeader(options.partition_index,
                                   options.partition_count);
     SHUFFLEDP_RETURN_NOT_OK(StorageWriteAll(fd, header.data(), header.size(),
@@ -171,7 +180,23 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
   }
 
   if (bytes.size() < kWalHeaderBytes) {
-    return Status::DataLoss("WAL file shorter than header: " + options.path);
+    // Torn *initial* header publish: the first 16-byte write has no
+    // rename discipline, so a crash can leave a prefix of it. Such a
+    // file cannot hold any record — there is no state to lose — so
+    // restart it as a fresh log instead of bricking every later Open.
+    // (A full-length header that fails its CRC stays DataLoss below: a
+    // torn write of a fresh file can only produce a short prefix, so
+    // that is post-publish media corruption — refuse to guess.)
+    SHUFFLEDP_RETURN_NOT_OK(StorageTruncate(fd, 0, "WAL", options.path));
+    if (::lseek(fd, 0, SEEK_SET) < 0) {
+      return MapStorageErrno("WAL", options.path, "seek", errno);
+    }
+    Bytes header = BuildWalHeader(options.partition_index,
+                                  options.partition_count);
+    SHUFFLEDP_RETURN_NOT_OK(StorageWriteAll(fd, header.data(), header.size(),
+                                            "WAL", options.path));
+    SHUFFLEDP_RETURN_NOT_OK(StorageFsync(fd, "WAL", options.path));
+    return log;
   }
   if (std::memcmp(bytes.data(), kWalMagic, 4) != 0) {
     return Status::DataLoss("WAL magic mismatch: " + options.path);

@@ -103,6 +103,10 @@ Status StorageRename(const std::string& from, const std::string& to,
 Status StorageTruncate(int fd, uint64_t len, const char* what,
                        const std::string& path);
 
+/// unlink(2) behind the kFileUnlink hook. An already-absent file is
+/// success — the caller wants it gone either way.
+Status StorageUnlink(const std::string& path, const char* what);
+
 // ---------------------------------------------------------------------------
 // WriteAheadLog
 // ---------------------------------------------------------------------------
@@ -126,8 +130,10 @@ class WriteAheadLog {
   /// Opens (creating if absent) and scans the log. An existing log must
   /// carry this slice's identity. A torn or corrupt tail is truncated
   /// in place (and fsynced) before Open returns; the valid prefix is
-  /// available from TakeRecovered(). A corrupt *header* is DataLoss —
-  /// refuse to guess.
+  /// available from TakeRecovered(). A file shorter than the 16-byte
+  /// header is a torn *initial* header publish — it cannot hold any
+  /// record, so it reopens as a fresh log. A corrupt full-length
+  /// header is DataLoss — refuse to guess.
   static Result<std::unique_ptr<WriteAheadLog>> Open(const Options& options);
 
   ~WriteAheadLog();

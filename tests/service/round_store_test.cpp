@@ -220,6 +220,32 @@ TEST(Wal, BitFlipEndsTheScanAtTheCorruptRecord) {
   std::remove(path.c_str());
 }
 
+TEST(Wal, TornInitialHeaderRestartsAsFresh) {
+  const std::string path = TempPath("wal_torn_header.log");
+  std::remove(path.c_str());
+  WriteAheadLog::Options options;
+  options.path = path;
+  { ASSERT_TRUE(WriteAheadLog::Open(options).ok()); }
+  // A crash mid-publish of the very first header write leaves a short
+  // prefix. No record can exist yet — nothing to lose — so the log
+  // restarts as fresh instead of failing every later open.
+  std::vector<uint8_t> bytes = ReadRaw(path);
+  bytes.resize(7);
+  WriteRaw(path, bytes);
+  {
+    auto wal = WriteAheadLog::Open(options);
+    ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+    EXPECT_TRUE((*wal)->TakeRecovered().empty());
+    ASSERT_TRUE((*wal)->Append(WalRecordType::kDelta, 1, {0x01}).ok());
+    ASSERT_TRUE((*wal)->Sync().ok());
+  }
+  // The rewritten header is whole again: the next open recovers.
+  auto wal = WriteAheadLog::Open(options);
+  ASSERT_TRUE(wal.ok()) << wal.status().ToString();
+  EXPECT_EQ((*wal)->TakeRecovered().size(), 1u);
+  std::remove(path.c_str());
+}
+
 TEST(Wal, HeaderCorruptionAndSliceMismatchRefused) {
   const std::string path = TempPath("wal_header.log");
   std::remove(path.c_str());
@@ -369,6 +395,103 @@ TEST(SegmentedStore, DuplicateRecordReplaysAsNoOp) {
   RemoveTree(dir);
 }
 
+// AbandonRound unlinks the round's base segment the moment the abandon
+// record is durable — but earlier deltas chaining to that segment's
+// watermark may still sit in the WAL. A crash before the next
+// compaction must not brick recovery on the orphaned deltas.
+TEST(SegmentedStore, AbandonAfterMidRoundCompactionRecovers) {
+  const std::string dir = TempPath("store_abandon_residue");
+  RemoveTree(dir);
+  RoundStoreOptions options = StoreOptions(dir, 8);
+  options.compact_every_records = 1000;  // no cadence compaction
+  {
+    auto store = SegmentedRoundStore::Open(options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    RoundDelta d;
+    d.round_id = 5;
+    d.batch_lo = 0;
+    d.batch_hi = 1;
+    d.support_deltas = {{0, 1}};
+    ASSERT_TRUE((*store)->AppendDelta(d, nullptr).ok());
+    // Mid-round compaction: the segment becomes the round's base...
+    ASSERT_TRUE((*store)->CompactNow().ok());
+    // ...the next delta chains to its watermark in the WAL...
+    d.batch_lo = 1;
+    d.batch_hi = 2;
+    ASSERT_TRUE((*store)->AppendDelta(d, nullptr).ok());
+    // ...and the abandon unlinks the base out from under that delta.
+    ASSERT_TRUE((*store)->AbandonRound(5).ok());
+  }  // crash before any further compaction
+  auto store = SegmentedRoundStore::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  auto rounds = (*store)->LoadAll();
+  ASSERT_TRUE(rounds.ok());
+  EXPECT_TRUE(rounds->empty());
+  EXPECT_EQ((*store)->Query(5)->status, RoundStatus::kUnknown);
+  RemoveTree(dir);
+}
+
+// Retention GC must not unlink an expired round's segment while WAL
+// records still chain to it: the unlink waits for the next compaction,
+// right after the log truncate.
+TEST(SegmentedStore, RetentionGcDefersUnlinkUntilWalTruncate) {
+  const std::string dir = TempPath("store_gc_residue");
+  RemoveTree(dir);
+  RoundStoreOptions options = StoreOptions(dir, 4);
+  options.retain_rounds = 1;
+  options.compact_every_records = 1000;
+  std::string seg1;
+  {
+    auto store = SegmentedRoundStore::Open(options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    seg1 = (*store)->SegmentPath(1);
+    // Round 1: mid-round base segment, then chained delta + finalize
+    // living only in the WAL.
+    RoundDelta d;
+    d.round_id = 1;
+    d.batch_lo = 0;
+    d.batch_hi = 1;
+    d.support_deltas = {{0, 1}};
+    ASSERT_TRUE((*store)->AppendDelta(d, nullptr).ok());
+    ASSERT_TRUE((*store)->CompactNow().ok());
+    d.batch_lo = 1;
+    d.batch_hi = 2;
+    ASSERT_TRUE((*store)->AppendDelta(d, nullptr).ok());
+    RoundJournal j1;
+    j1.round_id = 1;
+    j1.n = 2;
+    j1.supports = {2, 0, 0, 0};
+    ASSERT_TRUE((*store)->FinalizeRound(j1, 2).ok());
+    ASSERT_TRUE((*store)->CloseRound(1).ok());
+    RoundJournal j2;
+    j2.round_id = 2;
+    j2.n = 1;
+    j2.supports = {1, 0, 0, 0};
+    ASSERT_TRUE((*store)->FinalizeRound(j2, 0).ok());
+    // Closing round 2 expires round 1 — but its chained delta is still
+    // in the log, so the segment must survive the GC.
+    ASSERT_TRUE((*store)->CloseRound(2).ok());
+    EXPECT_FALSE(ReadRaw(seg1).empty());
+  }  // crash with the expired round's records still in the WAL
+  {
+    auto store = SegmentedRoundStore::Open(options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    // The expired round resurrected (benign); re-expiring it and
+    // compacting finally removes the segment — after the truncate.
+    ASSERT_TRUE((*store)->CloseRound(1).ok());
+    ASSERT_TRUE((*store)->CloseRound(2).ok());
+    ASSERT_TRUE((*store)->CompactNow().ok());
+    std::FILE* gone = std::fopen(seg1.c_str(), "rb");
+    EXPECT_EQ(gone, nullptr) << "expired segment survived the compaction";
+    if (gone != nullptr) std::fclose(gone);
+    auto rounds = (*store)->LoadAll();
+    ASSERT_TRUE(rounds.ok());
+    ASSERT_EQ(rounds->size(), 1u);
+    EXPECT_EQ((*rounds)[0].round_id(), 2u);
+  }
+  RemoveTree(dir);
+}
+
 TEST(SegmentedStore, RetentionKeepsNewestK) {
   const std::string dir = TempPath("store_gc");
   RemoveTree(dir);
@@ -450,6 +573,54 @@ TEST(SegmentedStore, ImportsLegacyCheckpointAndJournal) {
   ASSERT_TRUE(rounds.ok());
   ASSERT_EQ(rounds->size(), 1u);
   EXPECT_EQ((*rounds)[0].round_id(), 8u);
+  std::remove(legacy.c_str());
+  std::remove((legacy + ".result").c_str());
+  RemoveTree(dir);
+}
+
+// The imported legacy base is compacted into segments at open: the
+// worker's next deltas continue from the legacy watermark, so a crash
+// before the first cadence compaction must still find a base to chain
+// to on reopen.
+TEST(SegmentedStore, LegacyImportSurvivesCrashBeforeFirstCompaction) {
+  const std::string dir = TempPath("store_migrate_crash");
+  const std::string legacy = TempPath("store_migrate_crash.ckpt");
+  RemoveTree(dir);
+  std::remove(legacy.c_str());
+  std::remove((legacy + ".result").c_str());
+  CheckpointState state;
+  state.round_id = 9;
+  state.batches_consumed = 5;
+  state.rows_seen = 5;
+  state.reports_decoded = 5;
+  state.supports = {1, 2, 0, 2};
+  ASSERT_TRUE(WriteCheckpoint(legacy, state).ok());
+
+  RoundStoreOptions options = StoreOptions(dir, 4);
+  options.legacy_checkpoint_path = legacy;
+  options.compact_every_records = 1000;  // no cadence compaction
+  {
+    auto store = SegmentedRoundStore::Open(options);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    // The import became a segment during Open itself.
+    EXPECT_FALSE(ReadRaw((*store)->SegmentPath(9)).empty());
+    RoundDelta d;
+    d.round_id = 9;
+    d.batch_lo = 5;  // continues the legacy watermark
+    d.batch_hi = 6;
+    d.support_deltas = {{0, 1}};
+    ASSERT_TRUE((*store)->AppendDelta(d, nullptr).ok());
+  }  // crash before the first cadence compaction
+  auto store = SegmentedRoundStore::Open(options);
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  auto rounds = (*store)->LoadAll();
+  ASSERT_TRUE(rounds.ok());
+  ASSERT_EQ(rounds->size(), 1u);
+  EXPECT_FALSE((*rounds)[0].finalized);
+  EXPECT_EQ((*rounds)[0].round_id(), 9u);
+  EXPECT_EQ((*rounds)[0].batches_consumed, 6u);
+  EXPECT_EQ((*rounds)[0].state.supports,
+            (std::vector<uint64_t>{2, 2, 0, 2}));
   std::remove(legacy.c_str());
   std::remove((legacy + ".result").c_str());
   RemoveTree(dir);
