@@ -20,18 +20,36 @@
 // flattens, which is why the JSON records "cores" next to the rows.
 // Rows land in BENCH_distributed.json via run_benches.sh.
 //
-// A round-close latency section (healthy vs one slowed endpoint) and a
+// A round-close latency section (healthy vs one slowed endpoint), a
 // durable-store recovery section (restart → round resumed, see
-// RunRecovery) land in the same JSON.
+// RunRecovery), and a C10K section land in the same JSON.
+//
+// The C10K section is the event-driven server's reason to exist: one
+// endpoint holds ≥10k concurrent loopback connections with sustained
+// ingest spread across all of them. The file-descriptor budget forces
+// two processes (server + 10k client sockets each need ~10k fds), so
+// the bench re-executes itself (/proc/self/exe --c10k_client) as the
+// connection-holder child and coordinates over pipes: the child
+// reports CONNECTED, the parent verifies the server really holds that
+// many, times the ingest window to the watermark, closes the round
+// while every connection is still up, and pins the estimates bitwise
+// against a single-connection run of the identical report stream.
 //
 // Flags: --n=1000000, --d=1024, --solh_n=200000, --solh_d=256,
 // --dprime=16, --eps=3.0, --batch=4096, --close_rounds, --degraded_delay_ms,
-// --recover_repeats, --smoke, --json=PATH.
+// --recover_repeats, --c10k_conns=10000, --c10k_n=120000, --c10k_batch=8,
+// --smoke, --json=PATH.
+
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -364,9 +382,250 @@ Result<RecoveryRow> RunRecovery(const ldp::ScalarFrequencyOracle& oracle,
   return row;
 }
 
+struct C10kRow {
+  uint64_t connections = 0;  // connections the child held
+  uint64_t held_peak = 0;    // accepted - closed observed on the server
+  uint64_t n = 0;
+  uint64_t d = 0;
+  size_t batch = 0;
+  double wall_s = 0.0;        // CONNECTED -> watermark == all batches
+  double rows_per_s = 0.0;
+  bool bitwise_match = false;  // estimates == single-connection run
+};
+
+// The identical report stream for the single-connection reference and
+// the 10k-connection run: seeded, so both processes (parent and the
+// re-executed child) encode byte-identical ordinals.
+std::vector<std::vector<uint64_t>> EncodeC10kBatches(
+    const ldp::ScalarFrequencyOracle& oracle, uint64_t n, size_t batch) {
+  Rng rng(0xC10C);
+  std::vector<std::vector<uint64_t>> batches;
+  for (uint64_t lo = 0; lo < n; lo += batch) {
+    const uint64_t hi = std::min(n, lo + batch);
+    std::vector<uint64_t> ordinals;
+    ordinals.reserve(hi - lo);
+    for (uint64_t i = lo; i < hi; ++i) {
+      ordinals.push_back(oracle.PackOrdinal(
+          oracle.Encode(rng.UniformU64(oracle.domain_size()), &rng)));
+    }
+    batches.push_back(std::move(ordinals));
+  }
+  return batches;
+}
+
+// Child process: hold `conns` connections to the parent's endpoint and
+// stream the seeded batches round-robin across all of them, then wait
+// for the parent's teardown line so every socket stays open through the
+// parent's round close.
+int RunC10kClient(const Flags& flags) {
+  const uint16_t port = static_cast<uint16_t>(flags.GetU64("c10k_port", 0));
+  uint64_t conns = flags.GetU64("c10k_conns", 10000);
+  const uint64_t n = flags.GetU64("c10k_n", 120000);
+  const uint64_t d = flags.GetU64("d", 256);
+  const double eps = flags.GetDouble("eps", 3.0);
+  const size_t batch = flags.GetU64("c10k_batch", 8);
+  if (port == 0) {
+    std::fprintf(stderr, "c10k client: missing --c10k_port\n");
+    return 1;
+  }
+  // Leave headroom under the fd ceiling for stdio, epoll-side fds, and
+  // whatever the runtime holds open.
+  rlimit nofile{};
+  if (::getrlimit(RLIMIT_NOFILE, &nofile) == 0 &&
+      nofile.rlim_cur > 512 && conns > nofile.rlim_cur - 512) {
+    conns = nofile.rlim_cur - 512;
+  }
+
+  ldp::Grr grr(eps, d);
+  std::vector<std::unique_ptr<service::CollectorClient>> clients;
+  clients.reserve(conns);
+  for (uint64_t i = 0; i < conns; ++i) {
+    auto client = service::CollectorClient::Connect("127.0.0.1", port);
+    if (!client.ok()) {
+      std::fprintf(stderr, "c10k client: connect %llu failed: %s\n",
+                   static_cast<unsigned long long>(i),
+                   client.status().ToString().c_str());
+      return 1;
+    }
+    clients.push_back(std::move(*client));
+  }
+  std::printf("CONNECTED %llu\n", static_cast<unsigned long long>(conns));
+  std::fflush(stdout);
+
+  const auto batches = EncodeC10kBatches(grr, n, batch);
+  for (size_t b = 0; b < batches.size(); ++b) {
+    Status st = clients[b % clients.size()]->SendOrdinals(0, grr, batches[b]);
+    if (!st.ok()) {
+      std::fprintf(stderr, "c10k client: send %zu failed: %s\n", b,
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("SENT %llu\n",
+              static_cast<unsigned long long>(batches.size()));
+  std::fflush(stdout);
+
+  // Hold every connection until the parent has closed the round.
+  char line[64];
+  if (std::fgets(line, sizeof(line), stdin) == nullptr) return 1;
+  return 0;
+}
+
+Result<C10kRow> RunC10k(uint64_t conns, uint64_t n, uint64_t d, double eps,
+                        size_t batch) {
+  ldp::Grr grr(eps, d);
+  const auto batches = EncodeC10kBatches(grr, n, batch);
+
+  // Reference: the same stream over one connection. Supports are sums,
+  // so connection count must not change a single bit of the estimates.
+  std::vector<double> reference;
+  {
+    service::CollectionServerOptions options;
+    SHUFFLEDP_ASSIGN_OR_RETURN(auto server,
+                               service::CollectionServer::Start(grr, options));
+    SHUFFLEDP_ASSIGN_OR_RETURN(
+        auto client,
+        service::CollectorClient::Connect("127.0.0.1", server->port()));
+    for (const auto& ordinals : batches) {
+      SHUFFLEDP_RETURN_NOT_OK(client->SendOrdinals(0, grr, ordinals));
+    }
+    SHUFFLEDP_RETURN_NOT_OK(client->QueryWatermark().status());
+    SHUFFLEDP_ASSIGN_OR_RETURN(
+        service::RemoteRoundResult result,
+        client->FinishRound(0, n, 0, service::Calibration::kStandard));
+    reference = std::move(result.estimates);
+  }
+
+  service::CollectionServerOptions options;
+  options.listen_backlog = 4096;
+  SHUFFLEDP_ASSIGN_OR_RETURN(auto server,
+                             service::CollectionServer::Start(grr, options));
+  // The parent's own control connection dials before the child floods
+  // the accept queue.
+  SHUFFLEDP_ASSIGN_OR_RETURN(
+      auto control,
+      service::CollectorClient::Connect("127.0.0.1", server->port()));
+
+  int to_child[2];
+  int from_child[2];
+  if (::pipe(to_child) != 0 || ::pipe(from_child) != 0) {
+    return Status::Internal("c10k: pipe failed");
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) return Status::Internal("c10k: fork failed");
+  if (pid == 0) {
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    const std::string port_arg =
+        "--c10k_port=" + std::to_string(server->port());
+    const std::string conns_arg = "--c10k_conns=" + std::to_string(conns);
+    const std::string n_arg = "--c10k_n=" + std::to_string(n);
+    const std::string d_arg = "--d=" + std::to_string(d);
+    const std::string eps_arg = "--eps=" + std::to_string(eps);
+    const std::string batch_arg = "--c10k_batch=" + std::to_string(batch);
+    const char* argv[] = {"bench_distributed_throughput",
+                          "--c10k_client=true",
+                          port_arg.c_str(),
+                          conns_arg.c_str(),
+                          n_arg.c_str(),
+                          d_arg.c_str(),
+                          eps_arg.c_str(),
+                          batch_arg.c_str(),
+                          nullptr};
+    ::execv("/proc/self/exe", const_cast<char* const*>(argv));
+    std::_Exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  FILE* child_out = ::fdopen(from_child[0], "r");
+  if (child_out == nullptr) return Status::Internal("c10k: fdopen failed");
+
+  auto fail = [&](const std::string& why) -> Status {
+    ::kill(pid, SIGKILL);
+    int wait_status = 0;
+    ::waitpid(pid, &wait_status, 0);
+    std::fclose(child_out);
+    ::close(to_child[1]);
+    return Status::Internal("c10k: " + why);
+  };
+
+  char line[128];
+  unsigned long long connected = 0;
+  if (std::fgets(line, sizeof(line), child_out) == nullptr ||
+      std::sscanf(line, "CONNECTED %llu", &connected) != 1) {
+    return fail("child never reported CONNECTED");
+  }
+  // The server must actually hold them all (plus the control
+  // connection) before the ingest window counts.
+  uint64_t held = 0;
+  for (int spin = 0; spin < 12000; ++spin) {
+    service::CollectionServerStats stats = server->stats();
+    held = stats.connections_accepted - stats.connections_closed;
+    if (held >= connected) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  if (held < connected) {
+    return fail("server holds " + std::to_string(held) + " of " +
+                std::to_string(connected) + " connections");
+  }
+
+  WallTimer timer;
+  unsigned long long sent = 0;
+  if (std::fgets(line, sizeof(line), child_out) == nullptr ||
+      std::sscanf(line, "SENT %llu", &sent) != 1) {
+    return fail("child never reported SENT");
+  }
+  // Watermark flush barrier over the whole fleet of connections: every
+  // batch the child pushed has been offered to the collector.
+  uint64_t watermark = 0;
+  for (int spin = 0; spin < 120000 && watermark < sent; ++spin) {
+    auto mark = control->QueryWatermark();
+    if (!mark.ok()) return fail("watermark: " + mark.status().ToString());
+    watermark = *mark;
+    if (watermark < sent) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  if (watermark < sent) return fail("ingest never drained");
+  const double wall_s = timer.ElapsedSeconds();
+
+  // Close the round while all 10k connections are still open.
+  auto result = control->FinishRound(0, n, 0, service::Calibration::kStandard);
+  if (!result.ok()) return fail("finish: " + result.status().ToString());
+
+  (void)!::write(to_child[1], "DONE\n", 5);
+  int wait_status = 0;
+  ::waitpid(pid, &wait_status, 0);
+  std::fclose(child_out);
+  ::close(to_child[1]);
+  if (!WIFEXITED(wait_status) || WEXITSTATUS(wait_status) != 0) {
+    return Status::Internal("c10k: child exited abnormally");
+  }
+
+  C10kRow row;
+  row.connections = connected;
+  row.held_peak = held;
+  row.n = n;
+  row.d = d;
+  row.batch = batch;
+  row.wall_s = wall_s;
+  row.rows_per_s = static_cast<double>(n) / wall_s;
+  row.bitwise_match = result->estimates == reference;
+  if (!row.bitwise_match) {
+    return Status::Internal(
+        "c10k: estimates diverge from the single-connection run");
+  }
+  return row;
+}
+
 bool WriteJson(const std::string& path, const std::vector<Row>& rows,
                const std::vector<CloseRow>& close_rows,
-               const std::vector<RecoveryRow>& recovery_rows) {
+               const std::vector<RecoveryRow>& recovery_rows,
+               const std::vector<C10kRow>& c10k_rows) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   std::fprintf(f, "{\n  \"bench\": \"distributed_throughput\",\n");
@@ -409,6 +668,21 @@ bool WriteJson(const std::string& path, const std::vector<Row>& rows,
         r.batch_size, r.recover_p50_ms, r.recover_p99_ms,
         i + 1 < recovery_rows.size() ? "," : "");
   }
+  std::fprintf(f, "  ],\n  \"c10k\": [\n");
+  for (size_t i = 0; i < c10k_rows.size(); ++i) {
+    const C10kRow& r = c10k_rows[i];
+    std::fprintf(
+        f,
+        "    {\"connections\": %llu, \"held_peak\": %llu, \"n\": %llu, "
+        "\"d\": %llu, \"batch\": %zu, \"wall_s\": %.6f, "
+        "\"rows_per_s\": %.1f, \"bitwise_match\": %s}%s\n",
+        static_cast<unsigned long long>(r.connections),
+        static_cast<unsigned long long>(r.held_peak),
+        static_cast<unsigned long long>(r.n),
+        static_cast<unsigned long long>(r.d), r.batch, r.wall_s,
+        r.rows_per_s, r.bitwise_match ? "true" : "false",
+        i + 1 < c10k_rows.size() ? "," : "");
+  }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
   return true;
@@ -418,6 +692,7 @@ bool WriteJson(const std::string& path, const std::vector<Row>& rows,
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  if (flags.GetBool("c10k_client", false)) return RunC10kClient(flags);
   const bool smoke = flags.GetBool("smoke", false);
   const uint64_t n = flags.GetU64("n", smoke ? 60000 : 1000000);
   const uint64_t d = flags.GetU64("d", smoke ? 256 : 1024);
@@ -509,7 +784,33 @@ int main(int argc, char** argv) {
                 recovery_row->recover_p50_ms, recovery_row->recover_p99_ms);
   }
 
-  if (!json.empty() && !WriteJson(json, rows, close_rows, recovery_rows)) {
+  // C10K: one endpoint, ≥10k held connections, sustained ingest,
+  // bitwise-equal estimates. Needs an fd ceiling above ~10.5k in the
+  // child; RunC10kClient clamps to RLIMIT_NOFILE minus headroom, so a
+  // constrained host reports the connections it actually held.
+  const uint64_t c10k_conns = flags.GetU64("c10k_conns", 10000);
+  const uint64_t c10k_n = flags.GetU64("c10k_n", 120000);
+  const size_t c10k_batch = flags.GetU64("c10k_batch", 8);
+  std::vector<C10kRow> c10k_rows;
+  {
+    auto c10k = RunC10k(c10k_conns, c10k_n, /*d=*/256, eps, c10k_batch);
+    if (!c10k.ok()) {
+      std::fprintf(stderr, "c10k bench failed: %s\n",
+                   c10k.status().ToString().c_str());
+      return 1;
+    }
+    c10k_rows.push_back(*c10k);
+    std::printf("\n%-12s %10s %12s %10s %14s %8s\n", "connections", "held",
+                "n", "wall_s", "rows/s", "bitwise");
+    std::printf("%-12llu %10llu %12llu %10.3f %14.0f %8s\n",
+                static_cast<unsigned long long>(c10k->connections),
+                static_cast<unsigned long long>(c10k->held_peak),
+                static_cast<unsigned long long>(c10k->n), c10k->wall_s,
+                c10k->rows_per_s, c10k->bitwise_match ? "yes" : "no");
+  }
+
+  if (!json.empty() &&
+      !WriteJson(json, rows, close_rows, recovery_rows, c10k_rows)) {
     std::fprintf(stderr, "cannot write %s\n", json.c_str());
     return 1;
   }

@@ -13,9 +13,12 @@
 #   BENCH_distributed.json   - aggregate ingest throughput of a partitioned
 #                              endpoint fleet (1/2/4 partitions behind the
 #                              merge-of-supports coordinator), round-close
-#                              latency (healthy vs degraded), and durable
+#                              latency (healthy vs degraded), durable
 #                              round-store recovery time (restart -> round
-#                              resumed) from bench_distributed_throughput
+#                              resumed), and the C10K row (one event-driven
+#                              endpoint holding >=10k loopback connections
+#                              with sustained ingest; needs `ulimit -n`
+#                              above ~10.5k) from bench_distributed_throughput
 #
 # Usage: bench/run_benches.sh [BUILD_DIR] [--smoke]
 #   --smoke: CI-sized inputs (small n everywhere) to verify the benches

@@ -19,14 +19,17 @@ std::string PartitionHealth::ToString() const {
   std::string s = "p" + std::to_string(partition);
   if (healthy) {
     s += " ok";
-    if (recoveries > 0) {
-      s += " (" + std::to_string(recoveries) +
+    if (recoveries > 0 || connection_drops > 0) {
+      s += " (" + std::to_string(connection_drops) +
+           (connection_drops == 1 ? " drop/eviction, " : " drops/evictions, ") +
+           std::to_string(recoveries) +
            (recoveries == 1 ? " recovery, " : " recoveries, ") +
            std::to_string(attempts) + " attempts)";
     }
   } else {
-    s += " DEAD after " + std::to_string(attempts) +
-         " attempts (watermark " + std::to_string(watermark_at_death) +
+    s += " DEAD after " + std::to_string(attempts) + " attempts (" +
+         std::to_string(connection_drops) + " drops/evictions, watermark " +
+         std::to_string(watermark_at_death) +
          ", last error: " + last_error.ToString() + ")";
   }
   return s;
@@ -175,6 +178,11 @@ Status PartitionRoutingClient::RecoverPartition(uint32_t p,
   }
   PartitionHealth& h = health_[p];
   h.healthy = false;
+  // Entering recovery means an established connection just failed under
+  // us — the client-side face of a server eviction (idle / slow-writer /
+  // write-queue overflow), a reset, or an endpoint death. Count it so
+  // RoundHealth surfaces evictions even when recovery succeeds.
+  if (clients_[p] != nullptr) ++h.connection_drops;
   // Drop the dead connection before the first backoff sleep. This does
   // NOT guarantee the endpoint has finished with it: kernel-buffered
   // frames sit ahead of our FIN, so the old reader thread may still be
@@ -247,6 +255,7 @@ Status PartitionRoutingClient::RecoverPartition(uint32_t p,
     last = replay;
     h.last_error = replay;
     if (!IsRetryableTransportError(replay)) return replay;
+    ++h.connection_drops;
     clients_[p].reset();  // the replay connection died too
   }
   h.healthy = false;

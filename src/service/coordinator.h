@@ -80,12 +80,18 @@ struct RoutingOptions {
 /// connection attempts spent on recovery for this partition this round;
 /// `recoveries` successful recovery dances; `watermark_at_death` the
 /// last consumed-batch watermark learned before giving up (0 when the
-/// endpoint was never reachable again).
+/// endpoint was never reachable again). `connection_drops` counts
+/// established connections lost mid-round — each drop is the client
+/// face of a server-side event (an idle/slow/overflow eviction, a
+/// reset, an endpoint restart) and each one started a recovery dance,
+/// so an operator reading RoundHealth sees evictions as drops even
+/// when recovery ultimately succeeded.
 struct PartitionHealth {
   uint32_t partition = 0;
   bool healthy = true;
   uint64_t attempts = 0;
   uint64_t recoveries = 0;
+  uint64_t connection_drops = 0;
   uint64_t watermark_at_death = 0;
   Status last_error = Status::OK();
 

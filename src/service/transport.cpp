@@ -3,14 +3,18 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <ctime>
+#include <unordered_map>
 
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -250,6 +254,111 @@ Status WriteFrameTo(int fd, const Frame& frame, const DeadlineTimer& deadline,
                          peer);
 }
 
+uint64_t MonotonicMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Hashed timing wheel for the event loop's idle/write deadlines: O(1)
+/// arm/cancel (intrusive entries, swap-remove), one coarse tick sweep
+/// per loop iteration instead of a per-operation poll() timeout. Timers
+/// here are eviction hygiene, not precision clocks — firing up to one
+/// tick (8 ms) late is fine, firing early is never allowed (the sweep
+/// re-checks each entry's absolute deadline, so an entry hashed into a
+/// revisited slot a full revolution early just stays put).
+class TimerWheel {
+ public:
+  struct Entry {
+    uint64_t deadline_ms = 0;
+    int slot = -1;  ///< -1 = unarmed
+    size_t pos = 0;
+    void* owner = nullptr;
+    uint8_t kind = 0;
+
+    bool armed() const { return slot >= 0; }
+  };
+
+  static constexpr uint64_t kTickMs = 8;
+  static constexpr size_t kSlots = 512;
+
+  TimerWheel() : slots_(kSlots) {}
+
+  void Arm(Entry* e, uint64_t now_ms, uint64_t delay_ms) {
+    Cancel(e);
+    e->deadline_ms = now_ms + delay_ms;
+    // Hash into the first tick boundary strictly past the deadline: the
+    // sweep reaching that tick carries now >= tick*kTickMs > deadline,
+    // so the due check below always passes. Hashing into deadline's own
+    // tick instead would let a sweep arrive in the sub-tick window
+    // before the deadline, pass the entry over, and not revisit the
+    // slot for a full revolution (~4 s) — a busy loop crosses ticks
+    // right at their boundary, making that near-certain.
+    uint64_t tick = e->deadline_ms / kTickMs + 1;
+    // Never hash into a slot the sweep already passed this revolution —
+    // the entry would sleep a full lap.
+    if (tick <= last_tick_) tick = last_tick_ + 1;
+    const size_t slot = static_cast<size_t>(tick % kSlots);
+    e->slot = static_cast<int>(slot);
+    e->pos = slots_[slot].size();
+    slots_[slot].push_back(e);
+    ++armed_;
+  }
+
+  void Cancel(Entry* e) {
+    if (e->slot < 0) return;
+    std::vector<Entry*>& v = slots_[e->slot];
+    v[e->pos] = v.back();
+    v[e->pos]->pos = e->pos;
+    v.pop_back();
+    e->slot = -1;
+    --armed_;
+  }
+
+  /// epoll_wait timeout: tick granularity while anything is armed, block
+  /// forever otherwise (a coordinator fleet with deadlines disabled
+  /// never wakes on timers at all).
+  int TimeoutMs() const { return armed_ == 0 ? -1 : static_cast<int>(kTickMs); }
+
+  /// Detaches every entry due at `now_ms` into `out`. Two-phase on
+  /// purpose: the caller runs eviction callbacks only after the sweep,
+  /// so a callback cancelling a sibling timer never mutates a slot this
+  /// loop is iterating.
+  void ExpireInto(uint64_t now_ms, std::vector<Entry*>* out) {
+    const uint64_t tick = now_ms / kTickMs;
+    if (tick <= last_tick_) return;
+    if (armed_ == 0) {
+      last_tick_ = tick;
+      return;
+    }
+    uint64_t from = last_tick_ + 1;
+    if (tick - from >= kSlots) from = tick - kSlots + 1;  // >= one lap: each slot once
+    for (uint64_t t = from; t <= tick; ++t) {
+      std::vector<Entry*>& v = slots_[t % kSlots];
+      for (size_t i = 0; i < v.size();) {
+        Entry* e = v[i];
+        if (e->deadline_ms <= now_ms) {
+          v[i] = v.back();
+          v[i]->pos = i;
+          v.pop_back();
+          e->slot = -1;
+          --armed_;
+          out->push_back(e);
+        } else {
+          ++i;  // a later revolution's entry sharing the slot
+        }
+      }
+    }
+    last_tick_ = tick;
+  }
+
+ private:
+  std::vector<std::vector<Entry*>> slots_;
+  uint64_t last_tick_ = 0;
+  size_t armed_ = 0;
+};
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -401,6 +510,525 @@ Result<RemoteRoundResult> ParseRoundResult(const Bytes& payload) {
 CollectionServer::CollectionServer(const ldp::ScalarFrequencyOracle& oracle,
                                    CollectionServerOptions options)
     : oracle_(oracle), options_(std::move(options)) {}
+
+// One epoll readiness loop. Every connection is pinned to exactly one
+// loop for its whole life, so connection state (decoder, write queue,
+// timers) is single-threaded by construction — cross-thread work
+// arrives only through Post(), and the finisher threads refer to
+// connections by id, never by pointer. Level-triggered epoll keeps the
+// state machine simple: missing an edge is impossible, and interest is
+// dropped (EPOLL_CTL_DEL) whenever the loop genuinely wants nothing
+// from the socket (a paused connection with an empty write queue), so
+// a hung-up peer cannot spin the loop on EPOLLHUP.
+class CollectionServer::EventLoop {
+ public:
+  explicit EventLoop(CollectionServer* server)
+      : server_(server),
+        peer_("client@:" + std::to_string(server->port_)),
+        accept_peer_("listener@:" + std::to_string(server->port_)) {}
+
+  ~EventLoop() {
+    if (event_fd_ >= 0) ::close(event_fd_);
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  }
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Creates the epoll set and wakeup eventfd; `listen_fd` >= 0 makes
+  /// this the accepting loop (loop 0).
+  Status Init(int listen_fd) {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) return Errno("epoll_create1");
+    event_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (event_fd_ < 0) return Errno("eventfd");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeupKey;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev) != 0) {
+      return Errno("epoll_ctl(eventfd)");
+    }
+    if (listen_fd >= 0) {
+      listen_fd_ = listen_fd;
+      ev.events = EPOLLIN;
+      ev.data.u64 = kListenKey;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd, &ev) != 0) {
+        return Errno("epoll_ctl(listener)");
+      }
+    }
+    return Status::OK();
+  }
+
+  void StartThread() {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  void RequestStop() {
+    {
+      std::lock_guard<std::mutex> lock(tasks_mu_);
+      stop_requested_ = true;
+    }
+    Wake();
+  }
+
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// Queues `task` onto the loop thread. False (task dropped) once the
+  /// loop is stopping — the caller still owns whatever the task would
+  /// have taken over.
+  bool Post(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(tasks_mu_);
+      if (stop_requested_) return false;
+      tasks_.push_back(std::move(task));
+    }
+    Wake();
+    return true;
+  }
+
+  /// Pins an accepted socket to this loop (thread-safe — called from
+  /// the accepting loop). Closed-and-counted when the loop is already
+  /// stopping, so accepted/closed stay balanced through shutdown races.
+  void AdoptSocket(int fd) {
+    if (!Post([this, fd] { RegisterConn(fd); })) {
+      ::close(fd);
+      server_->stat_closed_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Finisher-thread completion, run as a posted task: deliver the
+  /// kFinish reply (or fail the connection) and resume reading.
+  void CompleteFinish(uint64_t conn_id, const Status& fail, Frame reply) {
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) return;
+    Conn* c = it->second.get();
+    if (c->dead) return;
+    c->reads_paused = false;
+    if (!fail.ok()) {
+      FailConn(c, fail);
+      return;
+    }
+    Status sent = EnqueueReply(c, reply);
+    if (c->dead) return;
+    if (!sent.ok()) {
+      FailConn(c, sent);
+      return;
+    }
+    ArmIdle(c);
+    UpdateInterest(c);
+    // Frames that decoded behind the kFinish resume here, in order;
+    // level-triggered epoll re-delivers whatever else the kernel
+    // buffered once EPOLLIN interest is back.
+    ProcessDecodedFrames(c);
+  }
+
+ private:
+  /// Per-connection state, touched only by the owning loop thread.
+  struct Conn {
+    uint64_t id = 0;
+    int fd = -1;
+    FrameDecoder decoder;
+    /// Encoded reply frames awaiting the socket; out_off bytes of the
+    /// front one are already sent. out_bytes is the queued total the
+    /// write_queue_max_bytes bound meters.
+    std::deque<Bytes> out;
+    size_t out_off = 0;
+    size_t out_bytes = 0;
+    uint32_t events = 0;  ///< epoll interest currently registered
+    bool registered = false;
+    bool reads_paused = false;  ///< a kFinish wait is in flight
+    bool close_after_flush = false;
+    bool dead = false;
+    TimerWheel::Entry idle_timer;
+    TimerWheel::Entry write_timer;
+  };
+
+  static constexpr uint64_t kWakeupKey = 0;
+  static constexpr uint64_t kListenKey = 1;
+  static constexpr uint64_t kFirstConnId = 2;
+  static constexpr uint8_t kIdleKind = 0;
+  static constexpr uint8_t kWriteKind = 1;
+  /// Read-burst bound per readiness event: one connection with a deep
+  /// kernel buffer cannot monopolize the loop while others wait.
+  static constexpr size_t kReadBurst = 256 * 1024;
+
+  void Wake() {
+    uint64_t one = 1;
+    ssize_t rc = ::write(event_fd_, &one, sizeof(one));
+    (void)rc;  // EAGAIN means a wakeup is already pending — good enough
+  }
+
+  void Run() {
+    std::vector<epoll_event> events(128);
+    std::vector<TimerWheel::Entry*> expired;
+    std::vector<std::function<void()>> tasks;
+    for (;;) {
+      int rc = ::epoll_wait(epoll_fd_, events.data(),
+                            static_cast<int>(events.size()),
+                            wheel_.TimeoutMs());
+      if (rc < 0 && errno != EINTR) break;
+      if (rc < 0) rc = 0;
+      bool stop = false;
+      tasks.clear();
+      {
+        std::lock_guard<std::mutex> lock(tasks_mu_);
+        tasks.swap(tasks_);
+        stop = stop_requested_;
+      }
+      for (auto& task : tasks) task();
+      if (stop) break;
+      for (int i = 0; i < rc; ++i) {
+        const uint64_t key = events[i].data.u64;
+        const uint32_t ev = events[i].events;
+        if (key == kWakeupKey) {
+          uint64_t drained = 0;
+          while (::read(event_fd_, &drained, sizeof(drained)) > 0) {
+          }
+          continue;
+        }
+        if (key == kListenKey) {
+          OnAccept();
+          continue;
+        }
+        auto it = conns_.find(key);
+        if (it == conns_.end()) continue;  // closed earlier this batch
+        Conn* c = it->second.get();
+        if (c->dead) continue;
+        if (ev & EPOLLERR) {
+          CloseConn(c);
+          continue;
+        }
+        if (ev & EPOLLOUT) {
+          FlushWrites(c);
+          if (c->dead) continue;
+        }
+        if (ev & (EPOLLIN | EPOLLHUP)) OnReadable(c);
+      }
+      expired.clear();
+      wheel_.ExpireInto(MonotonicMs(), &expired);
+      for (TimerWheel::Entry* e : expired) {
+        Conn* c = static_cast<Conn*>(e->owner);
+        if (c->dead) continue;
+        if (e->kind == kIdleKind) {
+          server_->stat_evicted_idle_.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          server_->stat_evicted_slow_.fetch_add(1, std::memory_order_relaxed);
+        }
+        CloseConn(c);
+      }
+      ReapDead();
+    }
+    // Stop: every surviving connection closes here, counted like any
+    // other close.
+    for (auto& entry : conns_) {
+      if (!entry.second->dead) CloseConn(entry.second.get());
+    }
+    conns_.clear();
+    dead_ids_.clear();
+  }
+
+  void OnAccept() {
+    for (;;) {
+      int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        // The peer aborting between SYN and accept is its problem, not
+        // ours; anything else (EMFILE under fd pressure) backs off a
+        // beat instead of spinning on a still-readable listener.
+        if (errno == ECONNABORTED || errno == EPROTO) continue;
+        SleepForMs(10);
+        return;
+      }
+      // Scripted accept faults: a kFailErrno rule models "the endpoint
+      // is up but sheds this connection", a delay a wedged acceptor.
+      Status admitted =
+          ApplyFault(FaultOp::kAccept, server_->port_, accept_peer_);
+      if (!admitted.ok()) {
+        ::close(fd);
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      if (!SetNonBlocking(fd).ok()) {
+        ::close(fd);
+        continue;
+      }
+      server_->stat_accepted_.fetch_add(1, std::memory_order_relaxed);
+      const size_t n = server_->loops_.size();
+      const size_t target =
+          server_->next_loop_.fetch_add(1, std::memory_order_relaxed) % n;
+      server_->loops_[target]->AdoptSocket(fd);
+    }
+  }
+
+  void RegisterConn(int fd) {
+    auto conn = std::make_unique<Conn>();
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    conn->idle_timer.owner = conn.get();
+    conn->idle_timer.kind = kIdleKind;
+    conn->write_timer.owner = conn.get();
+    conn->write_timer.kind = kWriteKind;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      server_->stat_closed_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    conn->registered = true;
+    conn->events = EPOLLIN;
+    Conn* c = conn.get();
+    conns_.emplace(conn->id, std::move(conn));
+    ArmIdle(c);
+  }
+
+  /// Marks the connection dead, cancels its timers, deregisters and
+  /// closes the socket, and counts the close. The Conn object survives
+  /// until ReapDead() at the end of the loop iteration so callers up
+  /// the stack can still test c->dead.
+  void CloseConn(Conn* c) {
+    if (c->dead) return;
+    c->dead = true;
+    wheel_.Cancel(&c->idle_timer);
+    wheel_.Cancel(&c->write_timer);
+    if (c->registered) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->fd, nullptr);
+      c->registered = false;
+    }
+    ::close(c->fd);
+    c->fd = -1;
+    server_->stat_closed_.fetch_add(1, std::memory_order_relaxed);
+    dead_ids_.push_back(c->id);
+  }
+
+  void ReapDead() {
+    for (uint64_t id : dead_ids_) conns_.erase(id);
+    dead_ids_.clear();
+  }
+
+  void ArmIdle(Conn* c) {
+    if (server_->options_.idle_timeout_ms <= 0) return;
+    wheel_.Arm(&c->idle_timer, MonotonicMs(),
+               static_cast<uint64_t>(server_->options_.idle_timeout_ms));
+  }
+
+  /// Recomputes epoll interest from the connection's state. Interest of
+  /// nothing deregisters the fd entirely (EPOLLHUP/EPOLLERR are
+  /// unmaskable, and a paused connection must not spin on them).
+  void UpdateInterest(Conn* c) {
+    if (c->dead) return;
+    uint32_t want = 0;
+    if (!c->reads_paused && !c->close_after_flush) want |= EPOLLIN;
+    if (!c->out.empty()) want |= EPOLLOUT;
+    if (want == 0) {
+      if (c->registered) {
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, c->fd, nullptr);
+        c->registered = false;
+      }
+      return;
+    }
+    epoll_event ev{};
+    ev.events = want;
+    ev.data.u64 = c->id;
+    if (!c->registered) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, c->fd, &ev);
+      c->registered = true;
+      c->events = want;
+      return;
+    }
+    if (want != c->events) {
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd, &ev);
+      c->events = want;
+    }
+  }
+
+  void OnReadable(Conn* c) {
+    if (c->dead || c->reads_paused || c->close_after_flush) return;
+    uint8_t buf[65536];
+    size_t budget = kReadBurst;
+    while (budget > 0) {
+      Status fault = ApplyFault(FaultOp::kRecv, server_->port_, peer_);
+      if (!fault.ok()) {
+        // An injected recv failure models a reset: same exit as the
+        // real syscall failing.
+        CloseConn(c);
+        return;
+      }
+      const size_t want = std::min(sizeof(buf), budget);
+      ssize_t got = ::recv(c->fd, buf, want, 0);
+      if (got == 0) {
+        CloseConn(c);  // peer closed
+        return;
+      }
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+        CloseConn(c);  // reset / injected-equivalent failure
+        return;
+      }
+      budget -= static_cast<size_t>(got);
+      Status fed = c->decoder.Feed(buf, static_cast<size_t>(got));
+      if (!fed.ok()) {
+        // Malformed bytes poison the decoder; frames that decoded
+        // earlier in this same chunk are dropped with the connection —
+        // exactly the per-thread reader's semantics.
+        FailConn(c, fed);
+        return;
+      }
+      ProcessDecodedFrames(c);
+      if (c->dead || c->reads_paused || c->close_after_flush) return;
+      if (static_cast<size_t>(got) < want) return;  // socket drained
+    }
+  }
+
+  void ProcessDecodedFrames(Conn* c) {
+    Status status = Status::OK();
+    bool handled = false;
+    Frame frame;
+    while (status.ok() && !c->dead && !c->reads_paused &&
+           !c->close_after_flush && c->decoder.Next(&frame)) {
+      status = HandleFrameEvent(c, std::move(frame));
+      if (c->dead) return;
+      if (status.ok()) {
+        server_->stat_frames_.fetch_add(1, std::memory_order_relaxed);
+        handled = true;
+      }
+      frame = Frame();
+    }
+    if (!status.ok()) {
+      FailConn(c, status);
+      return;
+    }
+    // The idle clock counts time between *completed* frames: any frame
+    // handled here pushes the eviction deadline out, a byte trickle
+    // that never completes one does not.
+    if (handled && !c->reads_paused) ArmIdle(c);
+  }
+
+  /// Protocol-failure exit: count it, best-effort kError frame, then
+  /// close once the error flushes — the old reader's write-then-drop,
+  /// minus the blocking write (the write deadline bounds the flush).
+  void FailConn(Conn* c, const Status& status) {
+    server_->stat_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    ByteWriter w;
+    w.PutU8(static_cast<uint8_t>(status.code()));
+    w.PutLengthPrefixed(status.message());
+    Frame error;
+    error.type = FrameType::kError;
+    error.partition = static_cast<uint16_t>(server_->options_.partition_id);
+    error.payload = w.Release();
+    c->close_after_flush = true;
+    wheel_.Cancel(&c->idle_timer);
+    EnqueueReply(c, error);  // flush-complete closes via close_after_flush
+    if (c->dead) return;
+    if (c->out.empty()) {
+      CloseConn(c);
+      return;
+    }
+    UpdateInterest(c);
+  }
+
+  /// Queues one reply frame and flushes as much as the socket takes
+  /// right now. kInvalidArgument for an over-cap payload (the caller
+  /// surfaces it as a kError); a backlog past write_queue_max_bytes
+  /// evicts the connection instead (drop-slowest — check c->dead).
+  Status EnqueueReply(Conn* c, const Frame& frame) {
+    if (frame.payload.size() > kMaxFramePayload) {
+      return Status::InvalidArgument(
+          "frame payload of " + std::to_string(frame.payload.size()) +
+          " bytes exceeds the " + std::to_string(kMaxFramePayload) +
+          "-byte transport cap");
+    }
+    Bytes wire = EncodeFrame(frame);
+    if (!c->out.empty() &&
+        c->out_bytes + wire.size() > server_->options_.write_queue_max_bytes) {
+      // Drop-slowest: the peer requests replies faster than it drains
+      // them. (A single reply into an empty queue is always admitted —
+      // the bound meters backlog, not frame size.)
+      server_->stat_evicted_overflow_.fetch_add(1, std::memory_order_relaxed);
+      CloseConn(c);
+      return Status::OK();
+    }
+    c->out_bytes += wire.size();
+    c->out.push_back(std::move(wire));
+    FlushWrites(c);
+    return Status::OK();
+  }
+
+  void FlushWrites(Conn* c) {
+    bool progress = false;
+    while (!c->out.empty()) {
+      size_t truncate = 0;
+      Status fault =
+          ApplyFault(FaultOp::kSend, server_->port_, peer_, &truncate);
+      if (!fault.ok()) {
+        CloseConn(c);  // injected send failure: the peer is "gone"
+        return;
+      }
+      const Bytes& front = c->out.front();
+      size_t want = front.size() - c->out_off;
+      if (truncate > 0) want = std::min(want, truncate);  // torn write
+      ssize_t sent =
+          ::send(c->fd, front.data() + c->out_off, want, MSG_NOSIGNAL);
+      if (sent > 0) {
+        progress = true;
+        c->out_off += static_cast<size_t>(sent);
+        c->out_bytes -= static_cast<size_t>(sent);
+        if (c->out_off == front.size()) {
+          c->out.pop_front();
+          c->out_off = 0;
+        }
+        continue;
+      }
+      if (sent == 0) {
+        // See SendAllDeadline: a 0 return for a nonzero-length write is
+        // never valid.
+        CloseConn(c);
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConn(c);
+      return;
+    }
+    if (c->out.empty()) {
+      wheel_.Cancel(&c->write_timer);
+      if (c->close_after_flush) {
+        CloseConn(c);
+        return;
+      }
+    } else if (server_->options_.write_timeout_ms > 0 &&
+               (progress || !c->write_timer.armed())) {
+      // The write deadline measures *lack of progress*: each drained
+      // byte re-arms it, a peer that stops draining runs it out.
+      wheel_.Arm(&c->write_timer, MonotonicMs(),
+                 static_cast<uint64_t>(server_->options_.write_timeout_ms));
+    }
+    UpdateInterest(c);
+  }
+
+  Status HandleFrameEvent(Conn* c, Frame frame);
+
+  CollectionServer* const server_;
+  const std::string peer_;
+  const std::string accept_peer_;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  int listen_fd_ = -1;  ///< the accepting loop only
+  std::thread thread_;
+  TimerWheel wheel_;
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+  std::vector<uint64_t> dead_ids_;
+  uint64_t next_conn_id_ = kFirstConnId;
+  std::mutex tasks_mu_;
+  std::vector<std::function<void()>> tasks_;
+  bool stop_requested_ = false;
+};
 
 Result<std::unique_ptr<CollectionServer>> CollectionServer::Start(
     const ldp::ScalarFrequencyOracle& oracle,
@@ -562,13 +1190,34 @@ Result<std::unique_ptr<CollectionServer>> CollectionServer::Start(
     ::close(fd);
     return st;
   }
-  // The chosen port is published before the accept thread exists: a
-  // caller can read port() and connect the moment Start() returns (the
-  // kernel queues the connection against the listening socket even if
-  // the accept loop has not reached accept() yet).
+  // The chosen port is published before the event loops exist: a caller
+  // can read port() and connect the moment Start() returns (the kernel
+  // queues the connection against the listening socket even if the
+  // accepting loop has not reached accept() yet).
   server->port_ = ntohs(bound.sin_port);
+  // The accept path is epoll-driven like everything else.
+  Status nonblocking = SetNonBlocking(fd);
+  if (!nonblocking.ok()) {
+    ::close(fd);
+    return nonblocking;
+  }
   server->listen_fd_ = fd;
-  server->accept_thread_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  int threads = server->options_.event_threads;
+  if (threads <= 0) {
+    threads = 1;
+    if (const char* env = std::getenv("SHUFFLEDP_EVENT_THREADS")) {
+      threads = std::atoi(env);
+      if (threads <= 0) threads = 1;
+    }
+  }
+  threads = std::min(threads, 64);
+  for (int i = 0; i < threads; ++i) {
+    server->loops_.push_back(std::make_unique<EventLoop>(server.get()));
+    // An Init failure destroys the half-built server (its destructor
+    // tolerates never-started loops) and closes the listener with it.
+    SHUFFLEDP_RETURN_NOT_OK(server->loops_.back()->Init(i == 0 ? fd : -1));
+  }
+  for (auto& loop : server->loops_) loop->StartThread();
   return server;
 }
 
@@ -584,16 +1233,11 @@ CollectionServerStats CollectionServer::stats() const {
   s.connections_closed = stat_closed_.load(std::memory_order_relaxed);
   s.evicted_idle = stat_evicted_idle_.load(std::memory_order_relaxed);
   s.evicted_slow = stat_evicted_slow_.load(std::memory_order_relaxed);
+  s.evicted_overflow = stat_evicted_overflow_.load(std::memory_order_relaxed);
   s.protocol_errors = stat_protocol_errors_.load(std::memory_order_relaxed);
   s.frames_handled = stat_frames_.load(std::memory_order_relaxed);
   s.batches_deduped = stat_deduped_.load(std::memory_order_relaxed);
   return s;
-}
-
-Status CollectionServer::WriteServerFrame(int fd, const Frame& frame) {
-  return WriteFrameTo(fd, frame,
-                      DeadlineTimer::After(options_.write_timeout_ms), port_,
-                      "client@:" + std::to_string(port_));
 }
 
 void CollectionServer::StashRoundResult(uint64_t round_id, uint64_t n,
@@ -618,148 +1262,169 @@ void CollectionServer::Shutdown() {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) return;
     stopping_ = true;
-    // Unblock accept() and every connection read; the owning threads see
-    // EOF/EBADF and exit. Connection fds are closed by their threads.
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    for (const auto& conn : connections_) {
-      if (!conn->done) ::shutdown(conn->fd, SHUT_RDWR);
-    }
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  std::vector<std::unique_ptr<Connection>> connections;
+  // Wake any re-finish stash waiter out of its rewait window first: a
+  // finisher blocked there would otherwise hold shutdown for up to
+  // result_rewait_ms.
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    connections.swap(connections_);
+    std::lock_guard<std::mutex> lock(result_mu_);
+    result_waiters_stop_ = true;
   }
-  for (const auto& conn : connections) {
-    if (conn->thread.joinable()) conn->thread.join();
+  result_cv_.notify_all();
+  for (auto& loop : loops_) loop->RequestStop();
+  for (auto& loop : loops_) loop->Join();
+  // Finishers post their completions to the (now stopped) loops, where
+  // they are dropped; the connections they would answer are closed.
+  std::vector<std::unique_ptr<FinishWorker>> workers;
+  {
+    std::lock_guard<std::mutex> lock(finish_mu_);
+    workers.swap(finish_workers_);
+  }
+  for (auto& worker : workers) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
   }
 }
 
-void CollectionServer::ReapFinishedLocked() {
-  // A finished connection marked `done` as its final action under mu_,
-  // so its thread is at (or within instructions of) return: joining
-  // here cannot block on connection work.
-  for (auto it = connections_.begin(); it != connections_.end();) {
-    if ((*it)->done) {
+void CollectionServer::ReapFinishWorkersLocked() {
+  // A worker flips `done` as its last action, so joining a done worker
+  // cannot block on finish work.
+  for (auto it = finish_workers_.begin(); it != finish_workers_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
       if ((*it)->thread.joinable()) (*it)->thread.join();
-      it = connections_.erase(it);
+      it = finish_workers_.erase(it);
     } else {
       ++it;
     }
   }
 }
 
-void CollectionServer::AcceptLoop() {
-  const std::string peer = "listener@:" + std::to_string(port_);
-  for (;;) {
-    int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // listener shut down (or fatal): stop accepting
-    }
-    // Scripted accept faults: a kFailErrno rule models "the endpoint is
-    // up but sheds this connection", a delay models a wedged acceptor.
-    Status admitted = ApplyFault(FaultOp::kAccept, port_, peer);
-    if (!admitted.ok()) {
-      ::close(fd);
-      continue;
-    }
-    int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    // Connection I/O is poll-driven (idle and write deadlines), so the
-    // socket must be nonblocking like the client side's.
-    if (!SetNonBlocking(fd).ok()) {
-      ::close(fd);
-      continue;
-    }
-    stat_accepted_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      ::close(fd);
-      return;
-    }
-    ReapFinishedLocked();  // long-lived endpoints shed dead threads
-    connections_.push_back(std::make_unique<Connection>());
-    Connection* conn = connections_.back().get();
-    conn->fd = fd;
-    conn->thread = std::thread([this, conn] { ConnectionLoop(conn); });
-  }
+void CollectionServer::DispatchFinish(EventLoop* loop, uint64_t conn_id,
+                                      bool closing,
+                                      std::future<Result<RoundResult>> future,
+                                      uint64_t round_id, uint64_t n,
+                                      uint64_t n_fake, uint8_t calibration,
+                                      uint16_t reply_partition) {
+  std::lock_guard<std::mutex> lock(finish_mu_);
+  ReapFinishWorkersLocked();  // long-lived endpoints shed dead threads
+  finish_workers_.push_back(std::make_unique<FinishWorker>());
+  FinishWorker* worker = finish_workers_.back().get();
+  worker->thread = std::thread(
+      [this, loop, conn_id, closing, round_id, n, n_fake, calibration,
+       reply_partition, worker, fut = std::move(future)]() mutable {
+        RunFinish(loop, conn_id, closing, std::move(fut), round_id, n, n_fake,
+                  calibration, reply_partition);
+        worker->done.store(true, std::memory_order_release);
+      });
 }
 
-void CollectionServer::ConnectionLoop(Connection* conn) {
-  const int fd = conn->fd;
-  const std::string peer = "client@:" + std::to_string(port_);
-  FrameDecoder decoder;
-  uint8_t buf[65536];
-  Status status = Status::OK();
-  for (;;) {
-    // Idle eviction: a connection that sends nothing for
-    // idle_timeout_ms is dropped (slow-client hygiene for long-lived
-    // endpoints; disabled by default so coordinator connections can sit
-    // between rounds). Each received chunk refreshes the deadline.
-    DeadlineTimer idle = DeadlineTimer::After(options_.idle_timeout_ms);
-    size_t got = 0;
-    Status read = RecvSomeDeadline(fd, buf, sizeof(buf), idle, port_, peer,
-                                   &got);
-    if (!read.ok()) {
-      if (read.code() == StatusCode::kDeadlineExceeded) {
-        stat_evicted_idle_.fetch_add(1, std::memory_order_relaxed);
-      }
-      break;  // reset / injected failure / idle: drop the connection
+void CollectionServer::RunFinish(EventLoop* loop, uint64_t conn_id,
+                                 bool closing,
+                                 std::future<Result<RoundResult>> future,
+                                 uint64_t round_id, uint64_t n,
+                                 uint64_t n_fake, uint8_t calibration,
+                                 uint16_t reply_partition) {
+  Status fail = Status::OK();
+  Frame reply;
+  reply.type = FrameType::kResult;
+  reply.partition = reply_partition;
+  reply.round_id = round_id;
+  if (closing) {
+    // The drain this waits on is the whole reason kFinish leaves the
+    // loop thread: it can take seconds, and the loop must keep serving
+    // every other connection meanwhile.
+    Result<RoundResult> round = future.get();
+    if (!round.ok()) {
+      // Reset under the ingest gate so no concurrent batch can slide
+      // into the half-reset pipeline between Reopen and the round-id
+      // resync.
+      std::lock_guard<std::mutex> lock(ingest_mu_);
+      collector_->ResetAfterError();
+      ingest_round_ = collector_->round_id();
+      ingest_offered_.store(0, std::memory_order_release);
+      fail = round.status();
+    } else {
+      RemoteRoundResult remote;
+      remote.supports = std::move(round->supports);
+      remote.estimates = std::move(round->estimates);
+      remote.reports_decoded = round->reports_decoded;
+      remote.reports_invalid = round->reports_invalid;
+      remote.dummies_recognized = round->dummies_recognized;
+      remote.dummies_expected = round->dummies_expected;
+      remote.spot_check_passed = round->spot_check_passed;
+      reply.payload = SerializeRoundResult(remote);
+      // Stash *before* the reply travels: if the connection died while
+      // the round drained, the write fails but a reconnecting
+      // coordinator can still re-request the result (the close-to-read
+      // window, live-server edition of the journal replay).
+      StashRoundResult(round_id, n, n_fake, calibration, std::move(remote),
+                       round->durability_degraded);
     }
-    if (got == 0) break;  // peer closed (or shutdown)
-    status = decoder.Feed(buf, got);
-    Frame frame;
-    while (status.ok() && decoder.Next(&frame)) {
-      status = HandleFrame(fd, std::move(frame));
-      if (status.ok()) stat_frames_.fetch_add(1, std::memory_order_relaxed);
-      frame = Frame();
+  } else {
+    // Not the live round. A kFinish for the *last closed* round means
+    // the requester never read the original kResult — a coordinator
+    // whose connection died in the close-to-read window
+    // (reconnect-and-refinish), or one resuming after an endpoint
+    // crash (journal replay stocked the stash at Start). Serve the
+    // stashed result; wait briefly first, because the original close
+    // may still be draining on a finisher thread. The request must
+    // restate the parameters the round actually closed with —
+    // re-serving a result for different (n, n_fake, calibration) would
+    // hand the caller numbers it never asked for.
+    std::unique_lock<std::mutex> lock(result_mu_);
+    auto stashed = [&] {
+      return have_last_result_ && last_round_ == round_id;
+    };
+    bool ready = stashed();
+    if (!ready &&
+        round_id + 1 == ingest_round_.load(std::memory_order_acquire)) {
+      // Only the round *just* closed can still be draining; any other
+      // id is garbage and rejects immediately.
+      result_cv_.wait_for(
+          lock,
+          std::chrono::milliseconds(std::max(options_.result_rewait_ms, 0)),
+          [&] { return stashed() || result_waiters_stop_; });
+      ready = stashed();
     }
-    if (!status.ok()) {
-      if (status.code() == StatusCode::kDeadlineExceeded) {
-        // The frame was fine but the peer would not drain our reply:
-        // that is a slow client, not a protocol violation — no error
-        // frame (it would block on the same stuffed socket).
-        stat_evicted_slow_.fetch_add(1, std::memory_order_relaxed);
-        break;
-      }
-      stat_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-      // Best-effort diagnostic, then drop the connection — a client that
-      // sent a malformed or out-of-protocol frame cannot be resynced.
-      // Deadline-bounded like every server write: a stalled peer must
-      // not wedge this reader thread on its way out.
-      ByteWriter w;
-      w.PutU8(static_cast<uint8_t>(status.code()));
-      w.PutLengthPrefixed(status.message());
-      Frame error;
-      error.type = FrameType::kError;
-      error.partition = static_cast<uint16_t>(options_.partition_id);
-      error.payload = w.Release();
-      WriteServerFrame(fd, error);
-      break;
+    if (!ready) {
+      fail = Status::ProtocolViolation(
+          "finish for round " + std::to_string(round_id) +
+          " but the endpoint is ingesting round " +
+          std::to_string(ingest_round_.load(std::memory_order_acquire)));
+    } else if (n != last_n_ || n_fake != last_n_fake_ ||
+               calibration != last_calibration_) {
+      fail = Status::ProtocolViolation(
+          "finish for closed round " + std::to_string(round_id) +
+          " does not match the parameters it closed with (n=" +
+          std::to_string(last_n_) + ", n_fake=" +
+          std::to_string(last_n_fake_) + ", calibration=" +
+          std::to_string(last_calibration_) + ")");
+    } else {
+      reply.payload = SerializeRoundResult(last_result_);
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  ::close(fd);
-  stat_closed_.fetch_add(1, std::memory_order_relaxed);
-  conn->done = true;
+  // Deliver on the owning loop; dropped (with the connection already
+  // closed) when the loop has stopped.
+  loop->Post([loop, conn_id, fail, reply = std::move(reply)]() mutable {
+    loop->CompleteFinish(conn_id, fail, std::move(reply));
+  });
 }
 
-Status CollectionServer::HandleFrame(int fd, Frame frame) {
+Status CollectionServer::EventLoop::HandleFrameEvent(Conn* c, Frame frame) {
   // Misrouted traffic fails loudly: every data/control frame must name
   // the partition this endpoint owns (kWatermark and kQuery are pure
   // queries and may come from anyone, e.g. a prober that has not
   // handshaken).
   if (frame.type != FrameType::kWatermark &&
       frame.type != FrameType::kQuery &&
-      frame.partition != options_.partition_id) {
+      frame.partition != server_->options_.partition_id) {
     return Status::ProtocolViolation(
         "frame targets partition " + std::to_string(frame.partition) +
         " but this endpoint owns partition " +
-        std::to_string(options_.partition_id));
+        std::to_string(server_->options_.partition_id));
   }
   switch (frame.type) {
     case FrameType::kHello: {
@@ -770,26 +1435,26 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
       if (!r.AtEnd()) {
         return Status::ProtocolViolation("malformed hello payload");
       }
-      if (peer_map != options_.partition_map) {
+      if (peer_map != server_->options_.partition_map) {
         return Status::ProtocolViolation(
             "partition map mismatch: client speaks " + peer_map.ToString() +
-            ", endpoint is " + options_.partition_map.ToString());
+            ", endpoint is " + server_->options_.partition_map.ToString());
       }
-      if (peer_partition != options_.partition_id) {
+      if (peer_partition != server_->options_.partition_id) {
         return Status::ProtocolViolation(
             "client expects this endpoint to own partition " +
             std::to_string(peer_partition) + " but it owns " +
-            std::to_string(options_.partition_id));
+            std::to_string(server_->options_.partition_id));
       }
       Frame reply;
       reply.type = FrameType::kHello;
-      reply.partition = static_cast<uint16_t>(options_.partition_id);
-      reply.round_id = ingest_round_.load(std::memory_order_acquire);
+      reply.partition = static_cast<uint16_t>(server_->options_.partition_id);
+      reply.round_id = server_->ingest_round_.load(std::memory_order_acquire);
       ByteWriter w;
-      w.PutBytes(SerializePartitionMap(options_.partition_map));
-      w.PutVarint(options_.partition_id);
+      w.PutBytes(SerializePartitionMap(server_->options_.partition_map));
+      w.PutVarint(server_->options_.partition_id);
       reply.payload = w.Release();
-      return WriteServerFrame(fd, reply);
+      return EnqueueReply(c, reply);
     }
     case FrameType::kBatch:
     case FrameType::kBatchIndexed: {
@@ -810,13 +1475,14 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
       // check runs inline with the decode scan (one pass).
       SHUFFLEDP_ASSIGN_OR_RETURN(
           std::vector<uint64_t> parsed,
-          ldp::ParseOrdinalsValidated(oracle_, ordinal_bytes, ordinal_len,
-                                      ordinal_owner_check_));
+          ldp::ParseOrdinalsValidated(server_->oracle_, ordinal_bytes,
+                                      ordinal_len,
+                                      server_->ordinal_owner_check_));
       auto ordinals =
           std::make_shared<std::vector<uint64_t>>(std::move(parsed));
       ReportBatch batch;
       batch.count = ordinals->size();
-      const ldp::ScalarFrequencyOracle* oracle = &oracle_;
+      const ldp::ScalarFrequencyOracle* oracle = &server_->oracle_;
       batch.decode = [ordinals, oracle](uint64_t i) -> Result<DecodedRow> {
         DecodedRow row;
         auto rep = oracle->UnpackOrdinal((*ordinals)[i]);
@@ -830,12 +1496,16 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
       // another connection's kFinish slip its close sentinel in between
       // (silently counting this batch into the next round), or let two
       // connections racing the same batch index both pass the gate.
-      std::lock_guard<std::mutex> lock(ingest_mu_);
-      if (frame.round_id != ingest_round_) {
+      // Offer may block the loop under collector backpressure — that is
+      // the flush-barrier/backpressure contract, shared by every
+      // connection on this loop by design (the queue bounds memory, the
+      // kernel socket buffers absorb the stall).
+      std::lock_guard<std::mutex> lock(server_->ingest_mu_);
+      if (frame.round_id != server_->ingest_round_) {
         return Status::ProtocolViolation(
             "batch for round " + std::to_string(frame.round_id) +
             " but the endpoint is ingesting round " +
-            std::to_string(ingest_round_));
+            std::to_string(server_->ingest_round_));
       }
       if (indexed) {
         // Exactly-once gate for the single indexed producer stream:
@@ -847,9 +1517,9 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
         // was already counted. A future index means a batch was lost
         // in between: fail loudly, a replay cannot fill the hole.
         const uint64_t expected =
-            ingest_offered_.load(std::memory_order_relaxed);
+            server_->ingest_offered_.load(std::memory_order_relaxed);
         if (batch_index < expected) {
-          stat_deduped_.fetch_add(1, std::memory_order_relaxed);
+          server_->stat_deduped_.fetch_add(1, std::memory_order_relaxed);
           return Status::OK();
         }
         if (batch_index > expected) {
@@ -860,12 +1530,12 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
               std::to_string(expected) + " next (a batch was lost)");
         }
       }
-      SHUFFLEDP_RETURN_NOT_OK(collector_->Offer(std::move(batch)));
+      SHUFFLEDP_RETURN_NOT_OK(server_->collector_->Offer(std::move(batch)));
       // Advance the watermark only after the queue accepted the batch:
       // a reconnecting sender replays everything at or above the
       // answered value, so over-advancing would lose batches while
       // under-advancing merely replays (which the index gate absorbs).
-      ingest_offered_.fetch_add(1, std::memory_order_release);
+      server_->ingest_offered_.fetch_add(1, std::memory_order_release);
       return Status::OK();
     }
     case FrameType::kFinish: {
@@ -879,103 +1549,34 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
       std::future<Result<RoundResult>> future;
       bool closing = false;
       {
-        std::lock_guard<std::mutex> lock(ingest_mu_);
-        if (frame.round_id == ingest_round_) {
-          future = collector_->CloseRound(n, n_fake,
-                                          static_cast<Calibration>(cal));
-          ++ingest_round_;
-          ingest_offered_.store(0, std::memory_order_release);
+        std::lock_guard<std::mutex> lock(server_->ingest_mu_);
+        if (frame.round_id == server_->ingest_round_) {
+          future = server_->collector_->CloseRound(
+              n, n_fake, static_cast<Calibration>(cal));
+          ++server_->ingest_round_;
+          server_->ingest_offered_.store(0, std::memory_order_release);
           closing = true;
         }
       }
-      if (!closing) {
-        // Not the live round. A kFinish for the *last closed* round
-        // means the requester never read the original kResult — a
-        // coordinator whose connection died in the close-to-read window
-        // (reconnect-and-refinish), or one resuming after an endpoint
-        // crash (journal replay stocked the stash at Start). Serve the
-        // stashed result; wait briefly first, because the original
-        // close may still be draining on another connection's thread.
-        // The request must restate the parameters the round actually
-        // closed with — re-serving a result for different (n, n_fake,
-        // calibration) would hand the caller numbers it never asked
-        // for.
-        std::unique_lock<std::mutex> lock(result_mu_);
-        auto stashed = [&] {
-          return have_last_result_ && last_round_ == frame.round_id;
-        };
-        bool ready = stashed();
-        if (!ready &&
-            frame.round_id + 1 ==
-                ingest_round_.load(std::memory_order_acquire)) {
-          // Only the round *just* closed can still be draining; any
-          // other id is garbage and rejects immediately.
-          ready = result_cv_.wait_for(
-              lock,
-              std::chrono::milliseconds(std::max(options_.result_rewait_ms,
-                                                 0)),
-              stashed);
-        }
-        if (!ready) {
-          return Status::ProtocolViolation(
-              "finish for round " + std::to_string(frame.round_id) +
-              " but the endpoint is ingesting round " +
-              std::to_string(ingest_round_.load(std::memory_order_acquire)));
-        }
-        if (n != last_n_ || n_fake != last_n_fake_ ||
-            cal != last_calibration_) {
-          return Status::ProtocolViolation(
-              "finish for closed round " + std::to_string(frame.round_id) +
-              " does not match the parameters it closed with (n=" +
-              std::to_string(last_n_) + ", n_fake=" +
-              std::to_string(last_n_fake_) + ", calibration=" +
-              std::to_string(last_calibration_) + ")");
-        }
-        Frame reply;
-        reply.type = FrameType::kResult;
-        reply.partition = frame.partition;
-        reply.round_id = frame.round_id;
-        reply.payload = SerializeRoundResult(last_result_);
-        lock.unlock();
-        return WriteServerFrame(fd, reply);
-      }
-      // Blocks this connection's reader only; the kernel socket buffer
-      // and the collector queue keep absorbing the next round's batches
-      // (from this or other connections) while the round drains.
-      Result<RoundResult> round = future.get();
-      if (!round.ok()) {
-        // Reset under the ingest gate so no concurrent batch can slide
-        // into the half-reset pipeline between Reopen and the round-id
-        // resync.
-        std::lock_guard<std::mutex> lock(ingest_mu_);
-        collector_->ResetAfterError();
-        ingest_round_ = collector_->round_id();
-        ingest_offered_.store(0, std::memory_order_release);
-        return round.status();
-      }
-      RemoteRoundResult remote;
-      remote.supports = std::move(round->supports);
-      remote.estimates = std::move(round->estimates);
-      remote.reports_decoded = round->reports_decoded;
-      remote.reports_invalid = round->reports_invalid;
-      remote.dummies_recognized = round->dummies_recognized;
-      remote.dummies_expected = round->dummies_expected;
-      remote.spot_check_passed = round->spot_check_passed;
-      Frame reply;
-      reply.type = FrameType::kResult;
-      reply.partition = frame.partition;
-      reply.round_id = frame.round_id;
-      reply.payload = SerializeRoundResult(remote);
-      // Stash *before* writing the reply: if this connection died while
-      // the round drained, the write fails but a reconnecting
-      // coordinator can still re-request the result (the close-to-read
-      // window, live-server edition of the journal replay).
-      StashRoundResult(frame.round_id, n, n_fake, cal, std::move(remote),
-                       round->durability_degraded);
+      // The wait — for the drain (live close) or for the re-finish
+      // stash — leaves the loop thread: a finisher thread blocks on it
+      // and posts the reply back. This connection pauses until then
+      // (nothing after the kFinish is processed or even read — exactly
+      // the old blocked-reader timing, so a pipelined client's next
+      // round of batches sits in the kernel buffer), while every other
+      // connection keeps streaming through the loop. The idle timer
+      // stops with the pause: the server owes the reply, the peer is
+      // not idle.
+      c->reads_paused = true;
+      wheel_.Cancel(&c->idle_timer);
+      UpdateInterest(c);
+      server_->DispatchFinish(this, c->id, closing, std::move(future),
+                              frame.round_id, n, n_fake, cal,
+                              frame.partition);
       // A domain so large its result frame blows the cap surfaces as a
       // clean kError (via the connection error path), not a poisoned
       // client decoder mid-frame.
-      return WriteServerFrame(fd, reply);
+      return Status::OK();
     }
     case FrameType::kWatermark: {
       if (!frame.payload.empty()) {
@@ -983,7 +1584,7 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
       }
       Frame reply;
       reply.type = FrameType::kWatermark;
-      reply.partition = static_cast<uint16_t>(options_.partition_id);
+      reply.partition = static_cast<uint16_t>(server_->options_.partition_id);
       uint64_t reply_round = 0;
       uint64_t offered = 0;
       {
@@ -995,15 +1596,15 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
         // retryable). The wait this can add behind an in-flight Offer
         // is the flush barrier the watermark already promises; queries
         // are rare, so contention is irrelevant.
-        std::lock_guard<std::mutex> lock(ingest_mu_);
-        reply_round = ingest_round_.load(std::memory_order_relaxed);
-        offered = ingest_offered_.load(std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(server_->ingest_mu_);
+        reply_round = server_->ingest_round_.load(std::memory_order_relaxed);
+        offered = server_->ingest_offered_.load(std::memory_order_relaxed);
       }
       reply.round_id = reply_round;
       ByteWriter w;
       w.PutVarint(offered);
       reply.payload = w.Release();
-      return WriteServerFrame(fd, reply);
+      return EnqueueReply(c, reply);
     }
     case FrameType::kQuery: {
       if (!frame.payload.empty()) {
@@ -1011,7 +1612,7 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
       }
       Frame reply;
       reply.type = FrameType::kQuery;
-      reply.partition = static_cast<uint16_t>(options_.partition_id);
+      reply.partition = static_cast<uint16_t>(server_->options_.partition_id);
       reply.round_id = frame.round_id;
       RoundStatus status = RoundStatus::kUnknown;
       bool degraded = false;
@@ -1022,18 +1623,19 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
         // reasoning as kWatermark); anything else answers from the
         // durable store, so the reply reflects exactly what a crash
         // would preserve.
-        std::lock_guard<std::mutex> lock(ingest_mu_);
-        if (frame.round_id == ingest_round_.load(std::memory_order_relaxed)) {
+        std::lock_guard<std::mutex> lock(server_->ingest_mu_);
+        if (frame.round_id ==
+            server_->ingest_round_.load(std::memory_order_relaxed)) {
           status = RoundStatus::kActive;
-          watermark = ingest_offered_.load(std::memory_order_relaxed);
-          degraded = collector_->durability_degraded();
+          watermark = server_->ingest_offered_.load(std::memory_order_relaxed);
+          degraded = server_->collector_->durability_degraded();
           answered = true;
         }
       }
       ByteWriter w;
-      if (!answered && store_ != nullptr) {
+      if (!answered && server_->store_ != nullptr) {
         SHUFFLEDP_ASSIGN_OR_RETURN(RoundLookup lookup,
-                                   store_->Query(frame.round_id));
+                                   server_->store_->Query(frame.round_id));
         if (lookup.status != RoundStatus::kUnknown) {
           status = lookup.status;
           watermark = lookup.watermark;
@@ -1045,7 +1647,7 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
             // the result the round originally produced.
             const RoundJournal& journal = lookup.journal;
             RoundResult replay = FinalizeRoundResult(
-                oracle_, journal.supports, journal.n, journal.n_fake,
+                server_->oracle_, journal.supports, journal.n, journal.n_fake,
                 static_cast<Calibration>(journal.calibration),
                 journal.reports_decoded, journal.reports_invalid,
                 journal.dummies_recognized, journal.dummies_expected);
@@ -1065,7 +1667,7 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
             w.PutU8(journal.calibration);
             w.PutBytes(SerializeRoundResult(remote));
             reply.payload = w.Release();
-            return WriteServerFrame(fd, reply);
+            return EnqueueReply(c, reply);
           }
         }
       }
@@ -1075,25 +1677,26 @@ Status CollectionServer::HandleFrame(int fd, Frame frame) {
         // legacy store that only journals the newest round) still
         // answers from the in-memory stash. Watermark 0 — the durable
         // consumed count is gone with the segment.
-        std::lock_guard<std::mutex> lock(result_mu_);
-        if (have_last_result_ && last_round_ == frame.round_id) {
+        std::lock_guard<std::mutex> lock(server_->result_mu_);
+        if (server_->have_last_result_ &&
+            server_->last_round_ == frame.round_id) {
           w.PutU8(static_cast<uint8_t>(RoundStatus::kFinalized));
-          w.PutU8(last_durability_degraded_ ? 1 : 0);
+          w.PutU8(server_->last_durability_degraded_ ? 1 : 0);
           w.PutVarint(0);
-          w.PutVarint(last_n_);
-          w.PutVarint(last_n_fake_);
-          w.PutU8(last_calibration_);
-          w.PutBytes(SerializeRoundResult(last_result_));
+          w.PutVarint(server_->last_n_);
+          w.PutVarint(server_->last_n_fake_);
+          w.PutU8(server_->last_calibration_);
+          w.PutBytes(SerializeRoundResult(server_->last_result_));
           reply.payload = w.Release();
           answered = true;
         }
       }
-      if (!reply.payload.empty()) return WriteServerFrame(fd, reply);
+      if (!reply.payload.empty()) return EnqueueReply(c, reply);
       w.PutU8(static_cast<uint8_t>(status));
       w.PutU8(degraded ? 1 : 0);
       w.PutVarint(watermark);
       reply.payload = w.Release();
-      return WriteServerFrame(fd, reply);
+      return EnqueueReply(c, reply);
     }
     case FrameType::kResult:
     case FrameType::kError:

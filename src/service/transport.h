@@ -4,10 +4,12 @@
 // of users submit reports to a collection endpoint across EOS/SS rounds.
 // This header turns src/service/ into that endpoint. Reports travel in
 // length-prefixed, CRC-guarded binary frames over plain TCP (a gRPC/TLS
-// front end is a ROADMAP follow-up); the server's reader threads feed
-// every decoded batch straight into a StreamingCollector, so the wire
-// path and the in-process path share one aggregation pipeline — the
-// loopback e2e test asserts the two produce bitwise-identical estimates.
+// front end is a ROADMAP follow-up); the server multiplexes every
+// connection over an epoll readiness loop (a small fixed pool of event
+// threads, default 1) and feeds every decoded batch straight into a
+// StreamingCollector, so the wire path and the in-process path share
+// one aggregation pipeline — the loopback e2e test asserts the two
+// produce bitwise-identical estimates.
 //
 // Frame layout (fixed 24-byte header, integers little-endian; the full
 // spec with worked byte-level examples is docs/WIRE_FORMAT.md):
@@ -118,6 +120,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -251,6 +254,10 @@ struct CollectionServerStats {
   uint64_t connections_closed = 0;   ///< all closes, any cause
   uint64_t evicted_idle = 0;         ///< idle-timeout evictions
   uint64_t evicted_slow = 0;         ///< write-deadline evictions
+  /// Write-queue overflow evictions (the drop-slowest policy): the
+  /// connection's pending reply backlog exceeded write_queue_max_bytes
+  /// because the peer would not drain its socket.
+  uint64_t evicted_overflow = 0;
   uint64_t protocol_errors = 0;      ///< connections dropped on bad frames
   uint64_t frames_handled = 0;       ///< frames fully processed
   /// kBatchIndexed frames dropped as already-consumed duplicates (a
@@ -290,15 +297,31 @@ struct CollectionServerOptions {
   /// interface unchanged.
   bool recover = false;
   int listen_backlog = 16;
+  /// Event-loop threads multiplexing the accepted connections. <= 0 (the
+  /// default) reads SHUFFLEDP_EVENT_THREADS from the environment, falling
+  /// back to 1; clamped to [1, 64]. One loop saturates loopback ingest on
+  /// small hosts — the pool exists for many-core endpoints where decode
+  /// work on one loop would serialize unrelated connections.
+  int event_threads = 0;
+  /// Bounded per-connection write queue (encoded reply bytes awaiting the
+  /// socket). A peer that requests replies faster than it drains them
+  /// grows this backlog; past the bound the connection is dropped (the
+  /// drop-slowest policy, counted in stats().evicted_overflow) instead of
+  /// growing server memory without limit. A single reply larger than the
+  /// bound is always admitted to an empty queue — the bound limits
+  /// *backlog*, not frame size.
+  size_t write_queue_max_bytes = 4u << 20;
   /// Slow-client eviction: a connection whose pending server→client
   /// write (result, watermark, error frames) makes no progress for this
   /// long is dropped and counted in stats().evicted_slow. <= 0 disables.
   int write_timeout_ms = 60000;
-  /// Idle-connection eviction: a connection that sends nothing for this
-  /// long is dropped and counted in stats().evicted_idle. <= 0 disables
-  /// (the default — coordinator connections legitimately sit idle
-  /// between rounds; fleets that hold thousands of client connections
-  /// set this).
+  /// Idle-connection eviction: a connection that completes no frame for
+  /// this long is dropped and counted in stats().evicted_idle. The clock
+  /// resets on each *completed* frame, not each received byte, so a
+  /// byte-at-a-time slowloris sender is evicted on schedule. <= 0
+  /// disables (the default — coordinator connections legitimately sit
+  /// idle between rounds; fleets that hold thousands of client
+  /// connections set this).
   int idle_timeout_ms = 0;
   /// How long a kFinish for the *previous* round waits for that round's
   /// in-flight drain before being rejected. This is the reconnect-and-
@@ -309,8 +332,17 @@ struct CollectionServerOptions {
   int result_rewait_ms = 15000;
 };
 
-/// TCP collection endpoint: accept thread + one reader thread per
-/// connection, all feeding one partition-scoped streaming worker.
+/// TCP collection endpoint: an epoll readiness loop (event_threads
+/// event-loop threads; connections are assigned round-robin and pinned
+/// to one loop for life) multiplexing every accepted socket, all
+/// feeding one partition-scoped streaming worker. Each connection is
+/// nonblocking and carries its own FrameDecoder; idle and write
+/// deadlines ride a hashed timer wheel instead of per-operation
+/// poll(). Round closes (kFinish) hand their drain wait to a detached
+/// finisher thread so one coordinator's multi-second drain never
+/// stalls the loop — the requesting connection pauses (exactly the
+/// old one-reader-blocked semantics, per connection) while every
+/// other connection keeps streaming.
 /// Plain kBatch frames from multiple connections interleave safely
 /// (integer-counter aggregation is order-independent); kBatchIndexed
 /// frames additionally pass the exactly-once index gate, which assumes
@@ -357,25 +389,36 @@ class CollectionServer {
   CollectionServer(const ldp::ScalarFrequencyOracle& oracle,
                    CollectionServerOptions options);
 
-  /// One accepted connection: its socket, reader thread, and completion
-  /// flag (swept by the accept loop so long-lived endpoints do not
-  /// accumulate dead threads).
-  struct Connection {
-    int fd = -1;
+  /// One epoll readiness loop: owns its epoll fd, a wakeup eventfd, a
+  /// timer wheel, and the connections pinned to it. Defined in the .cpp
+  /// — connection state never leaves the loop thread that owns it.
+  class EventLoop;
+
+  /// One in-flight kFinish wait, offloaded from the loop thread (the
+  /// round drain can take seconds). `done` flips as the thread's last
+  /// action so DispatchFinish can reap completed workers promptly
+  /// instead of accumulating joinable threads until shutdown.
+  struct FinishWorker {
     std::thread thread;
-    bool done = false;
+    std::atomic<bool> done{false};
   };
 
-  void AcceptLoop();
-  void ConnectionLoop(Connection* conn);
-  Status HandleFrame(int fd, Frame frame);
-  /// Deadline-bounded frame write (options_.write_timeout_ms); a
-  /// kDeadlineExceeded return means the peer is a slow client.
-  Status WriteServerFrame(int fd, const Frame& frame);
+  /// Hands a kFinish wait to a fresh finisher thread. `closing` says the
+  /// ingest gate already swung (live close; `future` carries the drain);
+  /// otherwise the worker waits on the re-finish result stash. The reply
+  /// (or failure) is posted back to `loop` against `conn_id`.
+  void DispatchFinish(EventLoop* loop, uint64_t conn_id, bool closing,
+                      std::future<Result<RoundResult>> future,
+                      uint64_t round_id, uint64_t n, uint64_t n_fake,
+                      uint8_t calibration, uint16_t reply_partition);
+  void RunFinish(EventLoop* loop, uint64_t conn_id, bool closing,
+                 std::future<Result<RoundResult>> future, uint64_t round_id,
+                 uint64_t n, uint64_t n_fake, uint8_t calibration,
+                 uint16_t reply_partition);
+  void ReapFinishWorkersLocked();
   void StashRoundResult(uint64_t round_id, uint64_t n, uint64_t n_fake,
                         uint8_t calibration, RemoteRoundResult result,
                         bool durability_degraded);
-  void ReapFinishedLocked();
 
   const ldp::ScalarFrequencyOracle& oracle_;
   CollectionServerOptions options_;
@@ -407,6 +450,7 @@ class CollectionServer {
   std::atomic<uint64_t> stat_closed_{0};
   std::atomic<uint64_t> stat_evicted_idle_{0};
   std::atomic<uint64_t> stat_evicted_slow_{0};
+  std::atomic<uint64_t> stat_evicted_overflow_{0};
   std::atomic<uint64_t> stat_protocol_errors_{0};
   std::atomic<uint64_t> stat_frames_{0};
   std::atomic<uint64_t> stat_deduped_{0};
@@ -416,9 +460,20 @@ class CollectionServer {
   std::function<Status(uint64_t)> ordinal_owner_check_;
   int listen_fd_ = -1;
 
-  std::mutex mu_;  // guards connections_/stopping_
-  std::vector<std::unique_ptr<Connection>> connections_;
-  std::thread accept_thread_;
+  // The readiness loops (fixed at Start; loop 0 owns the listening
+  // socket and assigns accepted connections round-robin).
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::atomic<size_t> next_loop_{0};
+
+  // In-flight kFinish waits; completed workers are reaped on the next
+  // dispatch, the rest joined at Shutdown. `result_waiters_stop_`
+  // (guarded by result_mu_) wakes stash waiters out of their rewait so
+  // shutdown never sits out a result_rewait_ms window.
+  std::mutex finish_mu_;
+  std::vector<std::unique_ptr<FinishWorker>> finish_workers_;
+  bool result_waiters_stop_ = false;
+
+  std::mutex mu_;  // guards stopping_
   bool stopping_ = false;
 
   // Round-ingest gate: the batch round check (+ index gate for

@@ -1,0 +1,212 @@
+// Fairness under hostile slow clients: one slowloris (a byte-at-a-time
+// sender that never completes a frame) and one stalled reader (floods
+// queries, never drains replies) share the endpoint with two honest
+// producers. The readiness loop must keep the honest round moving —
+// the round closes inside normal client deadlines and its estimates
+// are bitwise equal to a clean run with no attackers — while the slow
+// clients are evicted by deadline: the slowloris by the idle timer
+// (which refreshes on *completed frames*, so trickled bytes buy
+// nothing) and the stalled reader by the bounded write queue's
+// drop-slowest policy (or the no-progress write deadline, whichever
+// trips first).
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "ldp/grr.h"
+#include "service/transport.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace shuffledp {
+namespace service {
+namespace {
+
+int ConnectLoopback(uint16_t port, int rcvbuf = 0) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  if (rcvbuf > 0) {
+    // Before connect: the window scale is negotiated at SYN time, so a
+    // post-connect shrink would not actually throttle the peer.
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+CollectionServerOptions ServerOptions() {
+  CollectionServerOptions options;
+  options.streaming.batch_size = 64;
+  options.idle_timeout_ms = 150;
+  options.write_timeout_ms = 400;
+  options.write_queue_max_bytes = 4096;
+  return options;
+}
+
+/// The honest workload: two producers stream seeded reports, barrier on
+/// the watermark (their batches are ingested), then a coordinator
+/// connection closes the round. Identical seeds give identical reports,
+/// so two runs differ only in what else the endpoint was fighting off.
+RemoteRoundResult RunHonestRound(CollectionServer* server,
+                                 const ldp::Grr& grr) {
+  constexpr int kProducers = 2;
+  constexpr int kReportsEach = 1500;
+  const uint64_t round = server->round_id();
+  std::vector<std::thread> producers;
+  std::atomic<int> failures{0};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      auto client = CollectorClient::Connect("127.0.0.1", server->port());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      Rng rng(1000 + p);
+      std::vector<ldp::LdpReport> reports;
+      for (int i = 0; i < kReportsEach; ++i) {
+        reports.push_back(grr.Encode((p * 7 + i) % 32, &rng));
+      }
+      if (!(*client)->SendReports(round, grr, reports).ok() ||
+          !(*client)->QueryWatermark().ok()) {
+        ++failures;
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  auto finisher = CollectorClient::Connect("127.0.0.1", server->port());
+  EXPECT_TRUE(finisher.ok()) << finisher.status().ToString();
+  auto result = (*finisher)->FinishRound(round, kProducers * kReportsEach, 0,
+                                         Calibration::kStandard);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? *result : RemoteRoundResult{};
+}
+
+TEST(Fairness, SlowClientsAreEvictedWithoutDelayingTheHonestRound) {
+  ldp::Grr grr(2.0, 32);
+
+  // Reference: the same workload against an unmolested endpoint.
+  RemoteRoundResult clean;
+  {
+    auto server = CollectionServer::Start(grr, ServerOptions());
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    clean = RunHonestRound(server->get(), grr);
+  }
+  ASSERT_EQ(clean.reports_decoded, 3000u);
+
+  auto server = CollectionServer::Start(grr, ServerOptions());
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const uint16_t port = (*server)->port();
+
+  // Slowloris: trickle a valid kBatch frame one byte every 20 ms. The
+  // frame never completes inside the idle window, so the idle deadline
+  // must fire no matter how steadily bytes arrive.
+  std::atomic<bool> stop{false};
+  std::thread slowloris([&] {
+    Frame batch;
+    batch.type = FrameType::kBatch;
+    batch.payload = Bytes{0x02, 0x03, 0x07};
+    const Bytes wire = EncodeFrame(batch);
+    int fd = ConnectLoopback(port);
+    if (fd < 0) return;
+    size_t at = 0;
+    while (!stop.load()) {
+      if (::send(fd, wire.data() + at, 1, MSG_NOSIGNAL) <= 0) break;
+      at = (at + 1) % wire.size();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ::close(fd);
+  });
+
+  // Stalled reader: a tiny receive window, a flood of pipelined
+  // watermark queries, and no reads — the replies back up through the
+  // socket into the server's write queue until the 4 KiB bound (or the
+  // no-progress write deadline) trips. The flood must outsize the
+  // kernel's worst-case send buffer (tcp_wmem caps loopback sndbuf
+  // auto-tuning at ~4 MiB), or the kernel absorbs every reply and the
+  // server never sees backpressure at all.
+  std::thread stalled([&] {
+    Frame query;
+    query.type = FrameType::kWatermark;
+    const Bytes wire = EncodeFrame(query);
+    Bytes flood;
+    for (int i = 0; i < 200000; ++i) {
+      flood.insert(flood.end(), wire.begin(), wire.end());
+    }
+    int fd = ConnectLoopback(port, /*rcvbuf=*/1024);
+    if (fd < 0) return;
+    size_t sent = 0;
+    while (sent < flood.size()) {
+      ssize_t n =
+          ::send(fd, flood.data() + sent, flood.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) break;  // evicted mid-flood: mission accomplished
+      sent += static_cast<size_t>(n);
+    }
+    while (!stop.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    ::close(fd);
+  });
+
+  // Let both attackers attach before the honest traffic starts.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  RemoteRoundResult contested = RunHonestRound(server->get(), grr);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+
+  // The honest round closed inside its ordinary deadlines — the slow
+  // clients never got between the producers and the round — and its
+  // numbers are bitwise the clean run's.
+  EXPECT_LT(elapsed, 15000);
+  EXPECT_EQ(contested.supports, clean.supports);
+  EXPECT_EQ(contested.estimates, clean.estimates);
+  EXPECT_EQ(contested.reports_decoded, clean.reports_decoded);
+  EXPECT_EQ(contested.reports_invalid, clean.reports_invalid);
+
+  // Both attackers are evicted by deadline, not tolerated forever.
+  CollectionServerStats stats;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (std::chrono::steady_clock::now() < deadline) {
+    stats = (*server)->stats();
+    if (stats.evicted_idle >= 1 &&
+        stats.evicted_overflow + stats.evicted_slow >= 1) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(stats.evicted_idle, 1u) << "slowloris outlived the idle deadline";
+  EXPECT_GE(stats.evicted_overflow + stats.evicted_slow, 1u)
+      << "stalled reader outlived the write bound";
+
+  stop.store(true);
+  slowloris.join();
+  stalled.join();
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace shuffledp

@@ -1,0 +1,236 @@
+// FrameDecoder short-read fuzz: the event-driven server hands the
+// decoder whatever recv() returns — which under load is an arbitrary
+// re-chunking of the client's byte stream. Framing is pinned by
+// replaying a golden corpus split at every byte boundary and at seeded
+// random split points, and requiring the decode output bitwise equal to
+// whole-stream delivery: same frames, same bytes, same error code at
+// the same frame for hostile streams. If any split changes the result,
+// the decoder has hidden state keyed on chunk boundaries — exactly the
+// bug class a readiness loop's short reads would hit in production.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ldp/grr.h"
+#include "ldp/wire.h"
+#include "service/transport.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace shuffledp {
+namespace service {
+namespace {
+
+struct DecodedFrame {
+  FrameType type;
+  uint16_t partition;
+  uint64_t round_id;
+  Bytes payload;
+
+  bool operator==(const DecodedFrame& o) const {
+    return type == o.type && partition == o.partition &&
+           round_id == o.round_id && payload == o.payload;
+  }
+};
+
+/// Everything a feed schedule produces, in order, plus the terminal
+/// status — the value the fuzz pins across re-chunkings.
+struct DecodeOutcome {
+  std::vector<DecodedFrame> frames;
+  Status status = Status::OK();
+  size_t buffered = 0;
+
+  bool BitwiseEqual(const DecodeOutcome& o) const {
+    return frames == o.frames && status.code() == o.status.code() &&
+           status.message() == o.status.message() && buffered == o.buffered;
+  }
+};
+
+/// Feeds `stream` in chunks cut at `splits` (sorted offsets into the
+/// stream) and drains the decoder after every chunk — the event loop's
+/// read-then-process cadence. Stops feeding on the first error, like
+/// the server does.
+DecodeOutcome FeedWithSplits(const Bytes& stream,
+                             const std::vector<size_t>& splits) {
+  DecodeOutcome out;
+  FrameDecoder decoder;
+  size_t begin = 0;
+  std::vector<size_t> cuts = splits;
+  cuts.push_back(stream.size());
+  for (size_t cut : cuts) {
+    if (cut > begin) {
+      out.status = decoder.Feed(stream.data() + begin, cut - begin);
+      begin = cut;
+    }
+    Frame frame;
+    while (decoder.Next(&frame)) {
+      out.frames.push_back(DecodedFrame{frame.type, frame.partition,
+                                        frame.round_id,
+                                        std::move(frame.payload)});
+    }
+    if (!out.status.ok()) break;
+  }
+  out.buffered = decoder.buffered_bytes();
+  return out;
+}
+
+Frame MakeFrame(FrameType type, uint16_t partition, uint64_t round_id,
+                Bytes payload) {
+  Frame frame;
+  frame.type = type;
+  frame.partition = partition;
+  frame.round_id = round_id;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+/// A corpus covering every frame type the wire carries, empty and
+/// non-empty payloads, the doc's golden vector, and one payload large
+/// enough that most random split points land inside it.
+Bytes GoldenCorpus() {
+  ldp::Grr grr(2.0, 11);
+  Rng rng(0xC0FFEE);
+  std::vector<Frame> frames;
+  frames.push_back(
+      MakeFrame(FrameType::kBatch, 0, 5, ldp::SerializeOrdinals(grr, {3, 7})));
+  frames.push_back(MakeFrame(FrameType::kQuery, 0, 3, Bytes{}));
+  frames.push_back(MakeFrame(FrameType::kWatermark, 2, 9, Bytes{0x2A}));
+  {
+    ByteWriter w;
+    w.PutVarint(17);  // producer batch index
+    Bytes indexed = w.Release();
+    Bytes body = ldp::SerializeOrdinals(grr, {0, 10, 4});
+    indexed.insert(indexed.end(), body.begin(), body.end());
+    frames.push_back(MakeFrame(FrameType::kBatchIndexed, 1, 6,
+                               std::move(indexed)));
+  }
+  {
+    RemoteRoundResult result;
+    result.supports = {5, 0, 123456789, 42};
+    result.estimates = {0.5, -0.001, 0.25, 0.125};
+    result.reports_decoded = 1000;
+    result.reports_invalid = 7;
+    frames.push_back(MakeFrame(FrameType::kResult, 3, 8,
+                               SerializeRoundResult(result)));
+  }
+  frames.push_back(MakeFrame(FrameType::kBatch, 0, 12, Bytes{}));
+  {
+    Bytes big(613);
+    for (auto& b : big) b = static_cast<uint8_t>(rng.NextU64());
+    frames.push_back(MakeFrame(FrameType::kHello, 0xBEEF, 1, std::move(big)));
+  }
+  frames.push_back(
+      MakeFrame(FrameType::kFinish, 1, 12, Bytes{0x80, 0x08, 0x00, 0x00}));
+
+  Bytes stream;
+  for (const Frame& frame : frames) {
+    Bytes wire = EncodeFrame(frame);
+    stream.insert(stream.end(), wire.begin(), wire.end());
+  }
+  return stream;
+}
+
+TEST(FrameDecoderFuzz, EveryByteBoundarySplitMatchesWholeStream) {
+  const Bytes stream = GoldenCorpus();
+  const DecodeOutcome reference = FeedWithSplits(stream, {});
+  ASSERT_TRUE(reference.status.ok()) << reference.status.ToString();
+  ASSERT_EQ(reference.frames.size(), 8u);
+  ASSERT_EQ(reference.buffered, 0u);
+
+  for (size_t split = 0; split <= stream.size(); ++split) {
+    DecodeOutcome torn = FeedWithSplits(stream, {split});
+    EXPECT_TRUE(torn.BitwiseEqual(reference)) << "split=" << split;
+  }
+}
+
+TEST(FrameDecoderFuzz, SeededRandomSplitPointsMatchWholeStream) {
+  const Bytes stream = GoldenCorpus();
+  const DecodeOutcome reference = FeedWithSplits(stream, {});
+  ASSERT_TRUE(reference.status.ok());
+
+  Rng rng(0xF5);  // seeded: a failure names a reproducible schedule
+  for (int iter = 0; iter < 300; ++iter) {
+    const size_t cuts = 1 + rng.UniformU64(12);
+    std::vector<size_t> splits;
+    for (size_t i = 0; i < cuts; ++i) {
+      splits.push_back(rng.UniformU64(stream.size() + 1));
+    }
+    std::sort(splits.begin(), splits.end());
+    DecodeOutcome torn = FeedWithSplits(stream, splits);
+    EXPECT_TRUE(torn.BitwiseEqual(reference)) << "iter=" << iter;
+  }
+}
+
+TEST(FrameDecoderFuzz, OneByteAtATimeMatchesWholeStream) {
+  const Bytes stream = GoldenCorpus();
+  const DecodeOutcome reference = FeedWithSplits(stream, {});
+  std::vector<size_t> every_byte;
+  for (size_t i = 1; i < stream.size(); ++i) every_byte.push_back(i);
+  EXPECT_TRUE(FeedWithSplits(stream, every_byte).BitwiseEqual(reference));
+}
+
+// Hostile streams must fail identically regardless of chunking: same
+// error code, same message, same frames decoded before the poison.
+TEST(FrameDecoderFuzz, ErrorCorpusFailsIdenticallyAtEverySplit) {
+  const Bytes clean = GoldenCorpus();
+  std::vector<std::pair<std::string, Bytes>> corpus;
+  {
+    Bytes bad = clean;
+    bad[0] ^= 0xFF;  // magic of the first frame
+    corpus.emplace_back("bad-magic-first", std::move(bad));
+  }
+  {
+    Bytes bad = clean;
+    bad[kFrameHeaderBytes + 3 + 4] = kWireVersion + 1;  // 2nd frame version
+    corpus.emplace_back("version-skew-mid", std::move(bad));
+  }
+  {
+    Bytes bad = clean;
+    bad[kFrameHeaderBytes + 1] ^= 0x01;  // payload byte: CRC mismatch
+    corpus.emplace_back("crc-flip-payload", std::move(bad));
+  }
+  {
+    Bytes bad = clean;
+    // First frame's length field lies: 0xFFFFFFFF bytes allegedly follow.
+    bad[16] = bad[17] = bad[18] = bad[19] = 0xFF;
+    corpus.emplace_back("length-cap-lie", std::move(bad));
+  }
+  {
+    Bytes bad = clean;
+    bad[5] = 0x7F;  // unknown frame type
+    corpus.emplace_back("unknown-type", std::move(bad));
+  }
+
+  Rng rng(0xD0A);
+  for (auto& [name, stream] : corpus) {
+    const DecodeOutcome reference = FeedWithSplits(stream, {});
+    ASSERT_FALSE(reference.status.ok()) << name;
+    for (size_t split = 0; split <= stream.size(); ++split) {
+      DecodeOutcome torn = FeedWithSplits(stream, {split});
+      EXPECT_EQ(torn.frames, reference.frames) << name << " split=" << split;
+      EXPECT_EQ(torn.status.code(), reference.status.code())
+          << name << " split=" << split;
+      EXPECT_EQ(torn.status.message(), reference.status.message())
+          << name << " split=" << split;
+    }
+    for (int iter = 0; iter < 50; ++iter) {
+      std::vector<size_t> splits;
+      for (int i = 0; i < 7; ++i) {
+        splits.push_back(rng.UniformU64(stream.size() + 1));
+      }
+      std::sort(splits.begin(), splits.end());
+      DecodeOutcome torn = FeedWithSplits(stream, splits);
+      EXPECT_EQ(torn.frames, reference.frames) << name << " iter=" << iter;
+      EXPECT_EQ(torn.status.code(), reference.status.code())
+          << name << " iter=" << iter;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace shuffledp
