@@ -53,10 +53,17 @@ STREAMING_FLAGS=""
 # regression, and the job should fail rather than hang. No budget on full
 # runs (0 = disabled).
 SMOKE_TABLE3_BUDGET="${SMOKE_TABLE3_BUDGET:-600}"
+# Throughput floor for the --smoke streaming SOLH row (rows/s at the
+# default d'): the vectorized support kernels ingest well over 1M rows/s
+# on one AVX2 core and ~450k rows/s on the portable backend; the old
+# per-pair scalar scan managed ~140k rows/s. A smoke run under the floor
+# means the bulk-kernel path regressed (or stopped being routed) and the
+# job should fail. 0 disables. No budget on full runs.
+SMOKE_SOLH_MIN_RATE="${SMOKE_SOLH_MIN_RATE:-300000}"
 TABLE3_TIMEOUT=()
 if [[ "$SMOKE" == "1" ]]; then
   TABLE3_N=300
-  STREAMING_FLAGS="--smoke"
+  STREAMING_FLAGS="--smoke --solh_min_rate=$SMOKE_SOLH_MIN_RATE"
   if [[ "$SMOKE_TABLE3_BUDGET" != "0" ]] && command -v timeout >/dev/null; then
     TABLE3_TIMEOUT=(timeout "$SMOKE_TABLE3_BUDGET")
   fi

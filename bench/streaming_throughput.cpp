@@ -7,14 +7,25 @@
 // tracks as BENCH_streaming.json:
 //
 //   *-plain  rows: n pre-encoded reports (default n = 10^6, d = 1024 — the
-//            ROADMAP scale target), server-side aggregation only.
+//            ROADMAP scale target), server-side aggregation only. SOLH
+//            runs at several hash ranges (d' = 2, the --dprime default,
+//            and a non-power-of-2) since the support kernels take
+//            different modulo paths per shape.
 //   *-ecies  rows: enc_n ECIES-encrypted reports (default 20,000), so the
 //            decrypt stage dominates and the pipeline's decode fan-out +
 //            overlap shows up.
+//   hash-kernel rows: the raw bulk support kernel (no pipeline, no
+//            decode) on the active backend and on the forced-scalar
+//            reference — the two bound what aggregation can do.
+//
+// Every row carries the decode/support-eval split from StreamingStats and
+// the support-kernel backend that produced it.
 //
 // Flags: --n=1000000, --enc_n=20000, --d=1024, --dprime=16, --eps=3.0,
 // --batch=4096, --queue=64, --shards=0 (auto), --smoke (tiny sizes for CI),
-// --json=PATH.
+// --json=PATH, --solh_min_rate=0 (rows/s; exit nonzero when the streaming
+// SOLH row at the default d' falls under it — the smoke-job regression
+// budget).
 
 #include <algorithm>
 #include <cstdio>
@@ -28,6 +39,7 @@
 #include "ldp/estimator.h"
 #include "ldp/grr.h"
 #include "ldp/local_hash.h"
+#include "ldp/support_kernels.h"
 #include "service/streaming_collector.h"
 #include "util/bytes.h"
 #include "util/rng.h"
@@ -42,10 +54,15 @@ namespace {
 struct Row {
   std::string mode;
   std::string oracle;
+  std::string backend;  // support-kernel backend the row aggregated on
   uint64_t n = 0;
   uint64_t d = 0;
+  uint64_t dprime = 0;  // report domain (d for GRR)
   double wall_s = 0.0;
   double rows_per_s = 0.0;
+  double decode_s = 0.0;        // pipeline rows only
+  double support_eval_s = 0.0;  // pipeline rows only
+  uint64_t rows_aggregated = 0;
   uint64_t backpressure_waits = 0;
   uint64_t queue_high_water = 0;
 };
@@ -60,6 +77,10 @@ std::vector<ldp::LdpReport> EncodeAll(const ldp::ScalarFrequencyOracle& oracle,
   return reports;
 }
 
+const char* ActiveBackendName() {
+  return ldp::SupportBackendName(ldp::ActiveSupportBackend());
+}
+
 Row RunMonolithicPlain(const ldp::ScalarFrequencyOracle& oracle,
                        const std::vector<ldp::LdpReport>& reports,
                        ThreadPool* pool) {
@@ -70,8 +91,10 @@ Row RunMonolithicPlain(const ldp::ScalarFrequencyOracle& oracle,
   Row row;
   row.mode = "monolithic-plain";
   row.oracle = oracle.Name();
+  row.backend = ActiveBackendName();
   row.n = reports.size();
   row.d = oracle.domain_size();
+  row.dprime = oracle.report_domain();
   row.wall_s = timer.ElapsedSeconds();
   row.rows_per_s = static_cast<double>(reports.size()) / row.wall_s;
   // Keep the estimate alive so the whole pass cannot be optimized out.
@@ -90,8 +113,10 @@ Row RunStreamingPlain(const ldp::ScalarFrequencyOracle& oracle,
   Row row;
   row.mode = "streaming-plain";
   row.oracle = oracle.Name();
+  row.backend = ActiveBackendName();
   row.n = reports.size();
   row.d = oracle.domain_size();
+  row.dprime = oracle.report_domain();
   row.wall_s = timer.ElapsedSeconds();
   row.rows_per_s = static_cast<double>(reports.size()) / row.wall_s;
   if (!offer.ok() || !round.ok()) {
@@ -99,8 +124,42 @@ Row RunStreamingPlain(const ldp::ScalarFrequencyOracle& oracle,
                  (!offer.ok() ? offer : round.status()).ToString().c_str());
     return row;
   }
+  row.decode_s = round->stats.decode_seconds;
+  row.support_eval_s = round->stats.support_eval_seconds;
+  row.rows_aggregated = round->stats.rows_aggregated;
   row.backpressure_waits = round->stats.backpressure_waits;
   row.queue_high_water = round->stats.queue_high_water;
+  return row;
+}
+
+/// Raw bulk-kernel row: no pipeline, no decode — just
+/// AccumulateLocalHashSupports over the whole batch × domain. `backend`
+/// is installed for the duration of the measurement.
+Row RunHashKernel(const ldp::LocalHash& oracle,
+                  const std::vector<ldp::LdpReport>& reports,
+                  ldp::SupportBackend backend) {
+  const ldp::SupportBackend saved = ldp::ActiveSupportBackend();
+  const ldp::SupportBackend installed = ldp::SetSupportBackend(backend);
+  const uint64_t d = oracle.domain_size();
+  std::vector<uint64_t> counts(d, 0);
+  WallTimer timer;
+  oracle.AccumulateSupports(reports.data(), reports.size(), 0, d,
+                            counts.data());
+  Row row;
+  row.wall_s = timer.ElapsedSeconds();
+  row.mode = "hash-kernel";
+  row.oracle = oracle.Name();
+  row.backend = ldp::SupportBackendName(installed);
+  row.n = reports.size();
+  row.d = d;
+  row.dprime = oracle.report_domain();
+  row.rows_per_s = static_cast<double>(reports.size()) / row.wall_s;
+  row.rows_aggregated = reports.size();
+  row.support_eval_s = row.wall_s;
+  ldp::SetSupportBackend(saved);
+  uint64_t sum = 0;
+  for (uint64_t c : counts) sum += c;
+  if (sum == 0) std::printf("unexpected zero support mass\n");
   return row;
 }
 
@@ -137,8 +196,10 @@ Row RunMonolithicEcies(const ldp::ScalarFrequencyOracle& oracle,
   Row row;
   row.mode = "monolithic-ecies";
   row.oracle = oracle.Name();
+  row.backend = ActiveBackendName();
   row.n = blobs.size();
   row.d = oracle.domain_size();
+  row.dprime = oracle.report_domain();
   row.wall_s = timer.ElapsedSeconds();
   row.rows_per_s = static_cast<double>(blobs.size()) / row.wall_s;
   if (supports.empty()) std::printf("unexpected empty supports\n");
@@ -168,8 +229,10 @@ Row RunStreamingEcies(const ldp::ScalarFrequencyOracle& oracle,
   Row row;
   row.mode = "streaming-ecies";
   row.oracle = oracle.Name();
+  row.backend = ActiveBackendName();
   row.n = n;
   row.d = oracle.domain_size();
+  row.dprime = oracle.report_domain();
   row.wall_s = timer.ElapsedSeconds();
   row.rows_per_s = static_cast<double>(n) / row.wall_s;
   if (!offer.ok() || !round.ok()) {
@@ -177,6 +240,9 @@ Row RunStreamingEcies(const ldp::ScalarFrequencyOracle& oracle,
                  (!offer.ok() ? offer : round.status()).ToString().c_str());
     return row;
   }
+  row.decode_s = round->stats.decode_seconds;
+  row.support_eval_s = round->stats.support_eval_seconds;
+  row.rows_aggregated = round->stats.rows_aggregated;
   row.backpressure_waits = round->stats.backpressure_waits;
   row.queue_high_water = round->stats.queue_high_water;
   return row;
@@ -192,12 +258,17 @@ bool WriteJson(const std::string& path, const std::vector<Row>& rows,
     const Row& r = rows[i];
     std::fprintf(
         f,
-        "    {\"mode\": \"%s\", \"oracle\": \"%s\", \"n\": %llu, "
-        "\"d\": %llu, \"wall_s\": %.6f, \"rows_per_s\": %.1f, "
+        "    {\"mode\": \"%s\", \"oracle\": \"%s\", \"backend\": \"%s\", "
+        "\"n\": %llu, \"d\": %llu, \"dprime\": %llu, \"wall_s\": %.6f, "
+        "\"rows_per_s\": %.1f, \"decode_s\": %.6f, "
+        "\"support_eval_s\": %.6f, \"rows_aggregated\": %llu, "
         "\"backpressure_waits\": %llu, \"queue_high_water\": %llu}%s\n",
-        r.mode.c_str(), r.oracle.c_str(),
+        r.mode.c_str(), r.oracle.c_str(), r.backend.c_str(),
         static_cast<unsigned long long>(r.n),
-        static_cast<unsigned long long>(r.d), r.wall_s, r.rows_per_s,
+        static_cast<unsigned long long>(r.d),
+        static_cast<unsigned long long>(r.dprime), r.wall_s, r.rows_per_s,
+        r.decode_s, r.support_eval_s,
+        static_cast<unsigned long long>(r.rows_aggregated),
         static_cast<unsigned long long>(r.backpressure_waits),
         static_cast<unsigned long long>(r.queue_high_water),
         i + 1 < rows.size() ? "," : "");
@@ -218,6 +289,7 @@ int main(int argc, char** argv) {
   const uint64_t d_prime = flags.GetU64("dprime", 16);
   const double eps = flags.GetDouble("eps", 3.0);
   const std::string json_path = flags.GetString("json", "");
+  const double solh_min_rate = flags.GetDouble("solh_min_rate", 0.0);
 
   ThreadPool& pool = GlobalThreadPool();
   service::StreamingOptions opts;
@@ -227,27 +299,46 @@ int main(int argc, char** argv) {
   opts.pool = &pool;
 
   std::printf("streaming_throughput: n=%llu enc_n=%llu d=%llu threads=%u "
-              "batch=%zu queue=%zu\n",
+              "batch=%zu queue=%zu support_backend=%s\n",
               static_cast<unsigned long long>(n),
               static_cast<unsigned long long>(enc_n),
               static_cast<unsigned long long>(d), pool.num_threads(),
-              opts.batch_size, opts.queue_capacity);
+              opts.batch_size, opts.queue_capacity, ActiveBackendName());
 
   std::vector<Row> rows;
   Rng rng(20260729);
+  double solh_stream_rate = 0.0;
 
-  // Plain rows: GRR (histogram fast path) and SOLH (hash support scan).
+  // Plain rows: GRR (histogram fast path) and SOLH (hash support scan)
+  // at several hash ranges — d' = 2 (smallest), the default (power of
+  // two), and a non-power-of-2 (magic-modulo path).
   {
     ldp::Grr grr(eps, d);
     auto reports = EncodeAll(grr, n, &rng);
     rows.push_back(RunMonolithicPlain(grr, reports, &pool));
     rows.push_back(RunStreamingPlain(grr, reports, opts));
   }
-  {
-    ldp::LocalHash solh(eps, d, d_prime, "SOLH");
+  const uint64_t solh_dprimes[] = {2, d_prime, 19};
+  for (uint64_t dp : solh_dprimes) {
+    ldp::LocalHash solh(eps, d, dp, "SOLH");
     auto reports = EncodeAll(solh, n, &rng);
-    rows.push_back(RunMonolithicPlain(solh, reports, &pool));
+    if (dp == d_prime) {
+      rows.push_back(RunMonolithicPlain(solh, reports, &pool));
+    }
     rows.push_back(RunStreamingPlain(solh, reports, opts));
+    if (dp == d_prime) solh_stream_rate = rows.back().rows_per_s;
+    if (dp == d_prime) {
+      // Raw kernel rows on the same inputs: best backend vs the
+      // forced-scalar per-pair reference.
+      rows.push_back(RunHashKernel(solh, reports,
+                                   ldp::BestSupportBackend()));
+      const uint64_t scalar_n = std::min<uint64_t>(reports.size(),
+                                                   smoke ? 20000 : 100000);
+      std::vector<ldp::LdpReport> head(reports.begin(),
+                                       reports.begin() + scalar_n);
+      rows.push_back(
+          RunHashKernel(solh, head, ldp::SupportBackend::kScalar));
+    }
   }
 
   // Encrypted rows: the decrypt stage dominates.
@@ -262,15 +353,20 @@ int main(int argc, char** argv) {
         RunStreamingEcies(grr, std::move(blobs), kp.private_key, opts));
   }
 
-  std::printf("\n%-18s %-6s %10s %6s %10s %14s %8s %6s\n", "mode", "oracle",
-              "n", "d", "wall_s", "rows_per_s", "waits", "hwm");
+  std::printf("\n%-18s %-6s %-9s %9s %5s %6s %9s %13s %9s %9s %6s %5s\n",
+              "mode", "oracle", "backend", "n", "d", "d'", "wall_s",
+              "rows_per_s", "decode_s", "supp_s", "waits", "hwm");
   for (const Row& r : rows) {
-    std::printf("%-18s %-6s %10llu %6llu %10.3f %14.0f %8llu %6llu\n",
-                r.mode.c_str(), r.oracle.c_str(),
-                static_cast<unsigned long long>(r.n),
-                static_cast<unsigned long long>(r.d), r.wall_s, r.rows_per_s,
-                static_cast<unsigned long long>(r.backpressure_waits),
-                static_cast<unsigned long long>(r.queue_high_water));
+    std::printf(
+        "%-18s %-6s %-9s %9llu %5llu %6llu %9.3f %13.0f %9.3f %9.3f "
+        "%6llu %5llu\n",
+        r.mode.c_str(), r.oracle.c_str(), r.backend.c_str(),
+        static_cast<unsigned long long>(r.n),
+        static_cast<unsigned long long>(r.d),
+        static_cast<unsigned long long>(r.dprime), r.wall_s, r.rows_per_s,
+        r.decode_s, r.support_eval_s,
+        static_cast<unsigned long long>(r.backpressure_waits),
+        static_cast<unsigned long long>(r.queue_high_water));
   }
 
   if (!json_path.empty()) {
@@ -279,6 +375,15 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  if (solh_min_rate > 0.0 && solh_stream_rate < solh_min_rate) {
+    std::fprintf(stderr,
+                 "FAIL: streaming SOLH d'=%llu ingest %.0f rows/s under "
+                 "the %.0f rows/s budget\n",
+                 static_cast<unsigned long long>(d_prime), solh_stream_rate,
+                 solh_min_rate);
+    return 1;
   }
   return 0;
 }

@@ -12,26 +12,23 @@ std::vector<uint64_t> SupportCounts(const ScalarFrequencyOracle& oracle,
                                     ThreadPool* pool) {
   std::vector<uint64_t> counts(eval_values.size(), 0);
   if (pool == nullptr || reports.size() < 4096) {
-    for (const LdpReport& r : reports) {
-      for (size_t j = 0; j < eval_values.size(); ++j) {
-        counts[j] += oracle.Supports(r, eval_values[j]);
-      }
+    for (size_t j = 0; j < eval_values.size(); ++j) {
+      counts[j] =
+          oracle.SupportsMany(reports.data(), reports.size(), eval_values[j]);
     }
     return counts;
   }
-  // Parallel: partition reports, accumulate into per-chunk local counters,
-  // merge under a spin-free atomic add.
+  // Parallel: each task bulk-evaluates a disjoint slice of the report
+  // vector for every eval value, then merges under an atomic add.
   std::vector<std::atomic<uint64_t>> shared(eval_values.size());
   for (auto& c : shared) c.store(0, std::memory_order_relaxed);
   pool->ParallelFor(0, reports.size(), [&](uint64_t lo, uint64_t hi) {
-    std::vector<uint64_t> local(eval_values.size(), 0);
-    for (uint64_t i = lo; i < hi; ++i) {
-      for (size_t j = 0; j < eval_values.size(); ++j) {
-        local[j] += oracle.Supports(reports[i], eval_values[j]);
+    for (size_t j = 0; j < eval_values.size(); ++j) {
+      const uint64_t local =
+          oracle.SupportsMany(reports.data() + lo, hi - lo, eval_values[j]);
+      if (local != 0) {
+        shared[j].fetch_add(local, std::memory_order_relaxed);
       }
-    }
-    for (size_t j = 0; j < local.size(); ++j) {
-      shared[j].fetch_add(local[j], std::memory_order_relaxed);
     }
   });
   for (size_t j = 0; j < counts.size(); ++j) {
@@ -43,9 +40,22 @@ std::vector<uint64_t> SupportCounts(const ScalarFrequencyOracle& oracle,
 std::vector<uint64_t> SupportCountsFullDomain(
     const ScalarFrequencyOracle& oracle,
     const std::vector<LdpReport>& reports, ThreadPool* pool) {
-  std::vector<uint64_t> all(oracle.domain_size());
-  for (uint64_t v = 0; v < oracle.domain_size(); ++v) all[v] = v;
-  return SupportCounts(oracle, reports, all, pool);
+  const uint64_t d = oracle.domain_size();
+  std::vector<uint64_t> counts(d, 0);
+  if (pool == nullptr || reports.size() < 4096 || d < 2) {
+    // One tiled bulk pass over the whole domain.
+    oracle.AccumulateSupports(reports.data(), reports.size(), 0, d,
+                              counts.data());
+    return counts;
+  }
+  // Parallel: partition the *value domain* — tasks write disjoint count
+  // ranges, so no atomics and the result is deterministic by
+  // construction (identical per-slot arithmetic regardless of split).
+  pool->ParallelFor(0, d, [&](uint64_t lo, uint64_t hi) {
+    oracle.AccumulateSupports(reports.data(), reports.size(), lo, hi,
+                              counts.data() + lo);
+  });
+  return counts;
 }
 
 std::vector<double> CalibrateEstimates(const ScalarFrequencyOracle& oracle,

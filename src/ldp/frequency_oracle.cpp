@@ -1,0 +1,37 @@
+#include "ldp/frequency_oracle.h"
+
+namespace shuffledp {
+namespace ldp {
+
+Status ScalarFrequencyOracle::ValidateReport(const LdpReport& report) const {
+  if (report.value >= report_domain()) {
+    return Status::OutOfRange("report value outside the report domain");
+  }
+  return Status::OK();
+}
+
+void ScalarFrequencyOracle::AccumulateSupports(const LdpReport* reports,
+                                               size_t count,
+                                               uint64_t value_lo,
+                                               uint64_t value_hi,
+                                               uint64_t* counts) const {
+  for (uint64_t v = value_lo; v < value_hi; ++v) {
+    uint64_t c = 0;
+    for (size_t i = 0; i < count; ++i) {
+      c += Supports(reports[i], v);
+    }
+    counts[v - value_lo] += c;
+  }
+}
+
+uint64_t ScalarFrequencyOracle::SupportsMany(const LdpReport* reports,
+                                             size_t count, uint64_t v) const {
+  uint64_t c = 0;
+  for (size_t i = 0; i < count; ++i) {
+    c += Supports(reports[i], v);
+  }
+  return c;
+}
+
+}  // namespace ldp
+}  // namespace shuffledp

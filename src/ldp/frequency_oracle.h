@@ -15,6 +15,7 @@
 #ifndef SHUFFLEDP_LDP_FREQUENCY_ORACLE_H_
 #define SHUFFLEDP_LDP_FREQUENCY_ORACLE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -75,6 +76,20 @@ class ScalarFrequencyOracle {
 
   /// Server side: does `report` support value `v`?
   virtual bool Supports(const LdpReport& report, uint64_t v) const = 0;
+
+  /// Bulk aggregation: for every v in [value_lo, value_hi) adds
+  /// |{ i : Supports(reports[i], v) }| to counts[v − value_lo]. Counts are
+  /// accumulated, never assigned, so shard slices can share one buffer.
+  /// The default is the per-pair scalar loop — semantics identical by
+  /// construction; LocalHash overrides it with the tiled kernels in
+  /// support_kernels.h (bitwise-identical, pinned by tests).
+  virtual void AccumulateSupports(const LdpReport* reports, size_t count,
+                                  uint64_t value_lo, uint64_t value_hi,
+                                  uint64_t* counts) const;
+
+  /// Bulk single-value form: |{ i : Supports(reports[i], v) }|.
+  virtual uint64_t SupportsMany(const LdpReport* reports, size_t count,
+                                uint64_t v) const;
 
   /// Samples a report uniformly from the output space (the PEOS fake
   /// report distribution, Algorithm 1).

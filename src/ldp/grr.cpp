@@ -8,13 +8,6 @@
 namespace shuffledp {
 namespace ldp {
 
-Status ScalarFrequencyOracle::ValidateReport(const LdpReport& report) const {
-  if (report.value >= report_domain()) {
-    return Status::OutOfRange("report value outside the report domain");
-  }
-  return Status::OK();
-}
-
 Grr::Grr(double eps_l, uint64_t d) : eps_l_(eps_l), d_(d) {
   assert(eps_l > 0.0);
   assert(d >= 2);

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "dp/amplification.h"
+#include "ldp/support_kernels.h"
 #include "util/hash.h"
 #include "util/math.h"
 
@@ -53,6 +54,27 @@ LdpReport LocalHash::Encode(uint64_t v, Rng* rng) const {
 bool LocalHash::Supports(const LdpReport& report, uint64_t v) const {
   return UniversalHash(v, report.seed, static_cast<uint32_t>(d_prime_)) ==
          report.value;
+}
+
+void LocalHash::AccumulateSupports(const LdpReport* reports, size_t count,
+                                   uint64_t value_lo, uint64_t value_hi,
+                                   uint64_t* counts) const {
+  if (ActiveSupportBackend() == SupportBackend::kScalar) {
+    ScalarFrequencyOracle::AccumulateSupports(reports, count, value_lo,
+                                              value_hi, counts);
+    return;
+  }
+  AccumulateLocalHashSupports(reports, count, value_lo, value_hi,
+                              static_cast<uint32_t>(d_prime_), counts);
+}
+
+uint64_t LocalHash::SupportsMany(const LdpReport* reports, size_t count,
+                                 uint64_t v) const {
+  if (ActiveSupportBackend() == SupportBackend::kScalar) {
+    return ScalarFrequencyOracle::SupportsMany(reports, count, v);
+  }
+  return CountLocalHashSupports(reports, count, v,
+                                static_cast<uint32_t>(d_prime_));
 }
 
 LdpReport LocalHash::MakeFakeReport(Rng* rng) const {

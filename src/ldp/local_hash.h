@@ -30,6 +30,14 @@ class LocalHash : public ScalarFrequencyOracle {
 
   LdpReport Encode(uint64_t v, Rng* rng) const override;
   bool Supports(const LdpReport& report, uint64_t v) const override;
+  /// Bulk forms routed through the tiled support kernels
+  /// (ldp/support_kernels.h) — bitwise identical to the per-pair loop;
+  /// SupportBackend::kScalar forces the base-class reference path.
+  void AccumulateSupports(const LdpReport* reports, size_t count,
+                          uint64_t value_lo, uint64_t value_hi,
+                          uint64_t* counts) const override;
+  uint64_t SupportsMany(const LdpReport* reports, size_t count,
+                        uint64_t v) const override;
   LdpReport MakeFakeReport(Rng* rng) const override;
   SupportProbs support_probs() const override;
 

@@ -13,15 +13,18 @@ namespace shuffledp {
 namespace service {
 
 std::string StreamingStats::ToString() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
-                "batches=%llu rows=%llu backpressure_waits=%llu "
-                "queue_high_water=%llu busy=%.3fs wall=%.3fs rate=%.0f rows/s",
+                "batches=%llu rows=%llu rows_aggregated=%llu "
+                "backpressure_waits=%llu queue_high_water=%llu busy=%.3fs "
+                "decode=%.3fs support_eval=%.3fs wall=%.3fs rate=%.0f rows/s",
                 static_cast<unsigned long long>(batches),
                 static_cast<unsigned long long>(rows),
+                static_cast<unsigned long long>(rows_aggregated),
                 static_cast<unsigned long long>(backpressure_waits),
                 static_cast<unsigned long long>(queue_high_water),
-                busy_seconds, wall_seconds, rows_per_second);
+                busy_seconds, decode_seconds, support_eval_seconds,
+                wall_seconds, rows_per_second);
   return buf;
 }
 
@@ -133,7 +136,10 @@ void PartitionWorker::ResetRoundTallies() {
   reports_decoded_ = 0;
   reports_invalid_ = 0;
   dummies_recognized_ = 0;
+  rows_aggregated_ = 0;
   busy_seconds_ = 0.0;
+  decode_seconds_ = 0.0;
+  support_eval_seconds_ = 0.0;
   dummies_expected_ = 0;
   dummy_multiset_.clear();
   durability_degraded_ = false;
@@ -470,8 +476,17 @@ void PartitionWorker::ProcessBatch(const ReportBatch& batch) {
     kept.push_back(row.report);
   }
   reports_decoded_ += kept.size();
+  // Split visibility: everything up to here (prepare, decode fan-out,
+  // validation, dummy stripping) is decode cost; the AccumulateBatch
+  // call is pure support accumulation — the two dominate SOLH and GRR
+  // rounds respectively, and the bench reports them separately.
+  const double decode_done = timer.ElapsedSeconds();
   counter_->AccumulateBatch(kept, options_.pool);
-  busy_seconds_ += timer.ElapsedSeconds();
+  const double batch_done = timer.ElapsedSeconds();
+  decode_seconds_ += decode_done;
+  support_eval_seconds_ += batch_done - decode_done;
+  rows_aggregated_ += kept.size();
+  busy_seconds_ += batch_done;
 
   if (store_ != nullptr && !durability_degraded_) {
     RoundDelta delta;
@@ -495,16 +510,17 @@ void PartitionWorker::ProcessBatch(const ReportBatch& batch) {
         delta.support_deltas.assign(histogram.begin(), histogram.end());
       } else {
         // General oracles (hash-based) support many values per report:
-        // diff the merged counter against the shadow of what the store
-        // has already seen.
-        std::vector<uint64_t> current = counter_->Finalize();
+        // diff the counter's contiguous counts view against the shadow
+        // of what the store has already seen, updating the shadow in
+        // place at the changed slots — no per-batch snapshot allocation.
+        const std::vector<uint64_t>& current = counter_->counts();
         for (size_t i = 0; i < current.size(); ++i) {
           if (current[i] != persisted_supports_[i]) {
             delta.support_deltas.emplace_back(
                 i, current[i] - persisted_supports_[i]);
+            persisted_supports_[i] = current[i];
           }
         }
-        persisted_supports_ = std::move(current);
       }
       delta.dummies_consumed.reserve(consumed_dummies.size());
       for (const auto& [key, count] : consumed_dummies) {
@@ -529,6 +545,9 @@ void PartitionWorker::ProcessRoundClose(
       queue_.producer_waits() - waits_at_round_start_;
   stats.queue_high_water = queue_.high_water_mark();
   stats.busy_seconds = busy_seconds_;
+  stats.rows_aggregated = rows_aggregated_;
+  stats.decode_seconds = decode_seconds_;
+  stats.support_eval_seconds = support_eval_seconds_;
   stats.wall_seconds = round_timer_.ElapsedSeconds();
   stats.rows_per_second =
       stats.wall_seconds > 0.0

@@ -151,9 +151,12 @@ struct StreamingOptions {
 struct StreamingStats {
   uint64_t batches = 0;
   uint64_t rows = 0;                 ///< rows offered (incl. invalid/dummy)
+  uint64_t rows_aggregated = 0;      ///< rows that reached support counting
   uint64_t backpressure_waits = 0;   ///< producer pushes that blocked
   uint64_t queue_high_water = 0;     ///< deepest buffered batch count
   double busy_seconds = 0.0;         ///< consumer time decoding + counting
+  double decode_seconds = 0.0;       ///< prepare + decode fan-out + validate
+  double support_eval_seconds = 0.0; ///< support accumulation (kernel) time
   double wall_seconds = 0.0;         ///< round open -> close sentinel drained
   double rows_per_second = 0.0;      ///< rows / wall_seconds
 
@@ -346,7 +349,10 @@ class PartitionWorker {
   uint64_t reports_decoded_ = 0;
   uint64_t reports_invalid_ = 0;
   uint64_t dummies_recognized_ = 0;
+  uint64_t rows_aggregated_ = 0;
   double busy_seconds_ = 0.0;
+  double decode_seconds_ = 0.0;
+  double support_eval_seconds_ = 0.0;
   // The pipeline failure status. The consumer reads it freely (it is
   // the only live writer, via FailRound); producers read it after a
   // failed Push and ResetAfterError rewrites it after joining the

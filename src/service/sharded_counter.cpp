@@ -26,17 +26,8 @@ ShardedSupportCounter::ShardedSupportCounter(
   for (uint64_t s = 0; s < shards; ++s) {
     shards_[s].lo = lo + width * s / shards;
     shards_[s].hi = lo + width * (s + 1) / shards;
-    shards_[s].counts.assign(shards_[s].hi - shards_[s].lo, 0);
   }
-}
-
-void ShardedSupportCounter::AccumulateShard(
-    Shard* shard, const std::vector<ldp::LdpReport>& reports) const {
-  for (const ldp::LdpReport& r : reports) {
-    for (uint64_t v = shard->lo; v < shard->hi; ++v) {
-      shard->counts[v - shard->lo] += oracle_.Supports(r, v);
-    }
-  }
+  counts_.assign(width, 0);
 }
 
 void ShardedSupportCounter::AccumulateBatch(
@@ -44,41 +35,36 @@ void ShardedSupportCounter::AccumulateBatch(
   if (reports.empty()) return;
   if (value_equality_) {
     // Equality-support oracles (GRR): one histogram increment per report
-    // beats any fan-out — a per-shard scan would redo the batch
-    // num_shards times for no gain. Shard ranges are floor(w·s/S)
-    // partitions of the counted range, so s = floor((v-lo)·S/w) lands on
-    // the right shard up to one boundary step. Values outside the
-    // counted range are no-ops (a partition worker only ever sees its
-    // own slice; anything else was already rejected upstream).
-    const uint64_t width = range_hi_ - range_lo_;
-    const uint64_t s_count = shards_.size();
+    // beats any fan-out. Values outside the counted range are no-ops (a
+    // partition worker only ever sees its own slice; anything else was
+    // already rejected upstream).
     for (const ldp::LdpReport& r : reports) {
       if (r.value < range_lo_ || r.value >= range_hi_) continue;
-      uint64_t s = (r.value - range_lo_) * s_count / width;
-      while (r.value < shards_[s].lo) --s;
-      while (r.value >= shards_[s].hi) ++s;
-      ++shards_[s].counts[r.value - shards_[s].lo];
+      ++counts_[r.value - range_lo_];
     }
     return;
   }
   if (pool == nullptr || shards_.size() == 1) {
-    for (Shard& shard : shards_) AccumulateShard(&shard, reports);
+    // No fan-out to amortize: one tiled kernel pass over the whole
+    // counted range instead of num_shards batch re-walks.
+    oracle_.AccumulateSupports(reports.data(), reports.size(), range_lo_,
+                               range_hi_, counts_.data());
     return;
   }
+  // Shards write disjoint slices of counts_, so the tasks share the
+  // vector without synchronization; integer addition makes the result
+  // independent of task scheduling.
   pool->ParallelFor(0, shards_.size(), [&](uint64_t lo, uint64_t hi) {
     for (uint64_t s = lo; s < hi; ++s) {
-      AccumulateShard(&shards_[s], reports);
+      oracle_.AccumulateSupports(reports.data(), reports.size(),
+                                 shards_[s].lo, shards_[s].hi,
+                                 counts_.data() + (shards_[s].lo - range_lo_));
     }
   });
 }
 
 std::vector<uint64_t> ShardedSupportCounter::Finalize() const {
-  std::vector<uint64_t> merged;
-  merged.reserve(range_hi_ - range_lo_);
-  for (const Shard& shard : shards_) {
-    merged.insert(merged.end(), shard.counts.begin(), shard.counts.end());
-  }
-  return merged;
+  return counts_;
 }
 
 Status ShardedSupportCounter::Restore(const std::vector<uint64_t>& merged) {
@@ -86,18 +72,12 @@ Status ShardedSupportCounter::Restore(const std::vector<uint64_t>& merged) {
     return Status::InvalidArgument(
         "restore vector does not match the counted value range");
   }
-  for (Shard& shard : shards_) {
-    std::copy(merged.begin() + (shard.lo - range_lo_),
-              merged.begin() + (shard.hi - range_lo_),
-              shard.counts.begin());
-  }
+  counts_ = merged;
   return Status::OK();
 }
 
 void ShardedSupportCounter::Reset() {
-  for (Shard& shard : shards_) {
-    std::fill(shard.counts.begin(), shard.counts.end(), 0);
-  }
+  std::fill(counts_.begin(), counts_.end(), 0);
 }
 
 }  // namespace service

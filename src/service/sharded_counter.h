@@ -1,18 +1,24 @@
 // Domain-sharded support aggregation.
 //
-// The value domain [0, d) is partitioned into contiguous shards; each
-// shard owns the support counters of its value range. A batch of decoded
-// reports is fanned out with one task per shard group — every task scans
-// the whole batch but only touches its own counters, so accumulation is
-// lock-free, race-free, and (being integer addition) independent of both
-// task scheduling and report order. Finalize() concatenates the shard
-// slices in shard order, which makes the merged vector deterministic by
-// construction.
+// The value domain [0, d) is partitioned into contiguous shards over one
+// shared, contiguous counter vector; each shard owns the [lo, hi) slice
+// of its value range. A batch of decoded reports is fanned out with one
+// task per shard group — every task streams the batch through the
+// oracle's bulk AccumulateSupports kernel restricted to its own slice,
+// so accumulation is lock-free, race-free, and (being integer addition)
+// independent of both task scheduling and report order. With no pool (or
+// a single shard) the fan-out is skipped entirely and the tiled kernel
+// runs once over the whole counted range — same O(batch × d) pair count,
+// none of the per-shard batch re-walks or task overhead.
 //
 // Oracles whose support test is plain value equality (GRR — see
-// ScalarFrequencyOracle::SupportIsValueEquality) skip the fan-out
-// entirely: one histogram increment per report into the owning shard's
-// slice, turning the O(batch × d) aggregation into O(batch).
+// ScalarFrequencyOracle::SupportIsValueEquality) skip everything: one
+// histogram increment per report straight into the contiguous counts,
+// turning the O(batch × d) aggregation into O(batch).
+//
+// The counts being one contiguous vector also gives the round-store
+// delta capture a zero-copy view (counts()) to diff against, instead of
+// materializing a merged snapshot per batch.
 
 #ifndef SHUFFLEDP_SERVICE_SHARDED_COUNTER_H_
 #define SHUFFLEDP_SERVICE_SHARDED_COUNTER_H_
@@ -57,20 +63,26 @@ class ShardedSupportCounter {
   bool value_equality() const { return value_equality_; }
 
   /// Adds one batch of reports into every shard's partial aggregate,
-  /// one task per shard on `pool` (serially when `pool` is null). Not
-  /// safe to call concurrently with itself — batches are accumulated one
-  /// at a time by the collector's consumer.
+  /// one task per shard on `pool` (one bulk kernel pass over the whole
+  /// range when `pool` is null). Not safe to call concurrently with
+  /// itself — batches are accumulated one at a time by the collector's
+  /// consumer.
   void AccumulateBatch(const std::vector<ldp::LdpReport>& reports,
                        ThreadPool* pool);
 
-  /// Deterministic merge: shard slices concatenated in shard order
-  /// (length = range_hi() - range_lo()).
+  /// Zero-copy view of the counts, indexed by value − range_lo() —
+  /// already in deterministic merged order (shards are slices of this
+  /// vector). Only valid to read between AccumulateBatch calls.
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+  /// Deterministic merge: a copy of counts() (length = range_hi() −
+  /// range_lo()).
   std::vector<uint64_t> Finalize() const;
 
-  /// Inverse of Finalize for checkpoint recovery: scatters a merged
-  /// supports vector (length = counted range) back into the shard
-  /// slices. The shard partition depends only on (range, num_shards),
-  /// so a snapshot taken by Finalize restores exactly.
+  /// Inverse of Finalize for checkpoint recovery: restores a merged
+  /// supports vector (length = counted range). The layout depends only
+  /// on the counted range, so a snapshot taken by Finalize restores
+  /// exactly (num_shards may even differ).
   Status Restore(const std::vector<uint64_t>& merged);
 
   /// Clears all partial aggregates (next collection round/window).
@@ -80,17 +92,14 @@ class ShardedSupportCounter {
   struct Shard {
     uint64_t lo = 0;  // first owned value
     uint64_t hi = 0;  // one past the last owned value
-    std::vector<uint64_t> counts;
   };
-
-  void AccumulateShard(Shard* shard,
-                       const std::vector<ldp::LdpReport>& reports) const;
 
   const ldp::ScalarFrequencyOracle& oracle_;
   bool value_equality_;
   uint64_t range_lo_ = 0;
   uint64_t range_hi_ = 0;
   std::vector<Shard> shards_;
+  std::vector<uint64_t> counts_;  // contiguous, one slot per counted value
 };
 
 }  // namespace service

@@ -26,12 +26,17 @@ AdversaryView SampleAdversaryView(const ldp::ScalarFrequencyOracle& oracle,
     case Adversary::kServerAndUsers: {
       // All other users' reports are known and subtracted; the blanket
       // protecting the victim is only the n_fake uniform fake reports.
+      // Generate first (RNG call order unchanged), then bulk-count
+      // supports through the oracle's lane-parallel kernel.
       view.residual_reports = 1 + n_fake;
-      uint64_t support = oracle.Supports(victim_report, probe_value);
+      std::vector<ldp::LdpReport> blanket;
+      blanket.reserve(n_fake);
       for (uint64_t k = 0; k < n_fake; ++k) {
-        support += oracle.Supports(oracle.MakeFakeReport(rng), probe_value);
+        blanket.push_back(oracle.MakeFakeReport(rng));
       }
-      view.probe_support = support;
+      view.probe_support =
+          oracle.Supports(victim_report, probe_value) +
+          oracle.SupportsMany(blanket.data(), blanket.size(), probe_value);
       return view;
     }
     case Adversary::kServer: {
@@ -39,16 +44,20 @@ AdversaryView SampleAdversaryView(const ldp::ScalarFrequencyOracle& oracle,
       // *values* (worst case) but not their reports; the blanket is the
       // other users' randomness plus the fakes. The shuffled multiset is
       // summarized by its per-value support counts (sufficient statistic
-      // for a symmetric mechanism).
+      // for a symmetric mechanism). Same buffer-then-bulk-count shape:
+      // others' encodes then fakes, in the original RNG call order.
       view.residual_reports = 1 + others.size() + n_fake;
-      uint64_t support = oracle.Supports(victim_report, probe_value);
+      std::vector<ldp::LdpReport> blanket;
+      blanket.reserve(others.size() + n_fake);
       for (uint64_t v : others) {
-        support += oracle.Supports(oracle.Encode(v, rng), probe_value);
+        blanket.push_back(oracle.Encode(v, rng));
       }
       for (uint64_t k = 0; k < n_fake; ++k) {
-        support += oracle.Supports(oracle.MakeFakeReport(rng), probe_value);
+        blanket.push_back(oracle.MakeFakeReport(rng));
       }
-      view.probe_support = support;
+      view.probe_support =
+          oracle.Supports(victim_report, probe_value) +
+          oracle.SupportsMany(blanket.data(), blanket.size(), probe_value);
       return view;
     }
   }

@@ -39,6 +39,35 @@ inline uint32_t XxHash32(std::string_view s, uint32_t seed) {
   return XxHash32(s.data(), s.size(), seed);
 }
 
+/// Straight-line xxHash64 specialization for an exactly-8-byte
+/// little-endian key — the only shape the local-hashing oracles ever
+/// hash. The generic XxHash64 length dispatch (len < 32 header, one
+/// 8-byte round, no 4-/1-byte tail) collapses to the ~dozen operations
+/// below; the result is bitwise identical to
+/// `XxHash64(&key, sizeof(key), seed)` (pinned by tests/util/hash_test
+/// and tests/ldp/support_kernel_test). The bulk support-aggregation
+/// kernels (ldp/support_kernels.h) evaluate this same sequence
+/// lane-parallel; keep the two in sync.
+inline uint64_t XxHash64Key8(uint64_t key, uint64_t seed) {
+  constexpr uint64_t kP1 = 0x9E3779B185EBCA87ULL;
+  constexpr uint64_t kP2 = 0xC2B2AE3D27D4EB4FULL;
+  constexpr uint64_t kP3 = 0x165667B19E3779F9ULL;
+  constexpr uint64_t kP4 = 0x85EBCA77C2B2AE63ULL;
+  constexpr uint64_t kP5 = 0x27D4EB2F165667C5ULL;
+  auto rotl = [](uint64_t x, int r) {
+    return (x << r) | (x >> (64 - r));
+  };
+  uint64_t k1 = rotl(key * kP2, 31) * kP1;
+  uint64_t h = (seed + kP5 + 8) ^ k1;
+  h = rotl(h, 27) * kP1 + kP4;
+  h ^= h >> 33;
+  h *= kP2;
+  h ^= h >> 29;
+  h *= kP3;
+  h ^= h >> 32;
+  return h;
+}
+
 /// Universal hash used by OLH/SOLH: maps `value` in [0, d) to [0, range)
 /// under the family member identified by `seed`.
 ///
@@ -46,8 +75,7 @@ inline uint32_t XxHash32(std::string_view s, uint32_t seed) {
 /// independent outputs, which is the property the estimator calibration
 /// (Eq. 3) relies on: Pr_seed[H(v) = H(v')] = 1/range for v != v'.
 inline uint32_t UniversalHash(uint64_t value, uint32_t seed, uint32_t range) {
-  uint64_t key = value;
-  return static_cast<uint32_t>(XxHash64(&key, sizeof(key), seed) % range);
+  return static_cast<uint32_t>(XxHash64Key8(value, seed) % range);
 }
 
 }  // namespace shuffledp
